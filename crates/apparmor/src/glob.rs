@@ -1,0 +1,489 @@
+//! AppArmor-style path globs.
+//!
+//! Supported syntax (a faithful subset of AppArmor's file-rule globbing):
+//!
+//! * `*` — any sequence of characters **within one path component** (no `/`)
+//! * `**` — any sequence of characters, crossing `/`
+//! * `?` — any single character except `/`
+//! * `[abc]`, `[a-z]`, `[^abc]` — character classes
+//! * `{alt1,alt2}` — alternation (expanded at compile time)
+//!
+//! Patterns are compiled once ([`Glob::compile`]) and matched many times on
+//! the hot `file_permission` path, so matching is allocation-free.
+
+use std::fmt;
+
+/// Error raised for malformed glob patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGlobError {
+    message: String,
+}
+
+impl ParseGlobError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseGlobError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseGlobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid glob: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseGlobError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Lit(u8),
+    /// `*`: any run not containing `/`.
+    Star,
+    /// `**`: any run, `/` included.
+    DoubleStar,
+    /// `?`: one char, not `/`.
+    AnyChar,
+    /// Character class; `negated` inverts membership.
+    Class {
+        set: Vec<(u8, u8)>,
+        negated: bool,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Pattern {
+    tokens: Vec<Token>,
+}
+
+impl Pattern {
+    fn matches(&self, text: &[u8]) -> bool {
+        matches_at(&self.tokens, text)
+    }
+}
+
+fn token_matches(tok: &Token, b: u8) -> bool {
+    match tok {
+        Token::Lit(c) => *c == b,
+        Token::AnyChar => b != b'/',
+        Token::Class { set, negated } => {
+            let inside = set.iter().any(|(lo, hi)| b >= *lo && b <= *hi);
+            inside != *negated && b != b'/'
+        }
+        Token::Star | Token::DoubleStar => unreachable!("wildcards handled in matcher"),
+    }
+}
+
+/// Glob matcher: recursive with failure memoization.
+///
+/// A single-backtrack-slot matcher (the classic trick for shell `*`) is
+/// *incorrect* here because the pattern mixes two wildcard kinds with
+/// different alphabets — e.g. `/***` (= `**` then `*`) must match `/a/a`,
+/// which requires re-extending the *earlier* `**` after the later `*`
+/// fails. Full backtracking with an O(|pattern|·|text|) memo of failed
+/// states keeps worst-case time polynomial.
+fn matches_at(tokens: &[Token], text: &[u8]) -> bool {
+    let width = text.len() + 1;
+    let mut failed = vec![false; (tokens.len() + 1) * width];
+    matches_rec(tokens, text, 0, 0, &mut failed, width)
+}
+
+fn matches_rec(
+    tokens: &[Token],
+    text: &[u8],
+    ti: usize,
+    si: usize,
+    failed: &mut [bool],
+    width: usize,
+) -> bool {
+    if failed[ti * width + si] {
+        return false;
+    }
+    let result = match tokens.get(ti) {
+        None => si == text.len(),
+        Some(Token::DoubleStar) => {
+            // Try consuming 0..=rest characters.
+            (si..=text.len()).any(|next| matches_rec(tokens, text, ti + 1, next, failed, width))
+        }
+        Some(Token::Star) => {
+            // Consume 0..n characters, stopping at `/`.
+            let mut next = si;
+            loop {
+                if matches_rec(tokens, text, ti + 1, next, failed, width) {
+                    break true;
+                }
+                if next >= text.len() || text[next] == b'/' {
+                    break false;
+                }
+                next += 1;
+            }
+        }
+        Some(tok) => {
+            si < text.len()
+                && token_matches(tok, text[si])
+                && matches_rec(tokens, text, ti + 1, si + 1, failed, width)
+        }
+    };
+    if !result {
+        failed[ti * width + si] = true;
+    }
+    result
+}
+
+fn parse_pattern(pat: &str) -> Result<Pattern, ParseGlobError> {
+    let bytes = pat.as_bytes();
+    let mut tokens = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'*' => {
+                if bytes.get(i + 1) == Some(&b'*') {
+                    tokens.push(Token::DoubleStar);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Star);
+                    i += 1;
+                }
+            }
+            b'?' => {
+                tokens.push(Token::AnyChar);
+                i += 1;
+            }
+            b'[' => {
+                let mut j = i + 1;
+                let negated = bytes.get(j) == Some(&b'^');
+                if negated {
+                    j += 1;
+                }
+                let mut set = Vec::new();
+                let mut closed = false;
+                while j < bytes.len() {
+                    if bytes[j] == b']' && !set.is_empty() {
+                        closed = true;
+                        break;
+                    }
+                    if j + 2 < bytes.len() && bytes[j + 1] == b'-' && bytes[j + 2] != b']' {
+                        if bytes[j] > bytes[j + 2] {
+                            return Err(ParseGlobError::new(format!(
+                                "descending range in class of `{pat}`"
+                            )));
+                        }
+                        set.push((bytes[j], bytes[j + 2]));
+                        j += 3;
+                    } else {
+                        set.push((bytes[j], bytes[j]));
+                        j += 1;
+                    }
+                }
+                if !closed {
+                    return Err(ParseGlobError::new(format!(
+                        "unterminated character class in `{pat}`"
+                    )));
+                }
+                tokens.push(Token::Class { set, negated });
+                i = j + 1;
+            }
+            b'\\' => {
+                let next = bytes
+                    .get(i + 1)
+                    .ok_or_else(|| ParseGlobError::new(format!("trailing escape in `{pat}`")))?;
+                tokens.push(Token::Lit(*next));
+                i += 2;
+            }
+            c => {
+                tokens.push(Token::Lit(c));
+                i += 1;
+            }
+        }
+    }
+    Ok(Pattern { tokens })
+}
+
+/// Expands `{a,b,...}` alternations into plain patterns (recursively for
+/// nested alternations).
+fn expand_braces(pat: &str) -> Result<Vec<String>, ParseGlobError> {
+    let bytes = pat.as_bytes();
+    let mut depth = 0usize;
+    let mut open = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'{' => {
+                if depth == 0 {
+                    open = Some(i);
+                }
+                depth += 1;
+            }
+            b'}' => {
+                if depth == 0 {
+                    return Err(ParseGlobError::new(format!("unbalanced `}}` in `{pat}`")));
+                }
+                depth -= 1;
+                if depth == 0 {
+                    let start = open.expect("open recorded when depth became 1");
+                    let inner = &pat[start + 1..i];
+                    let mut alts = Vec::new();
+                    let (mut alt_start, mut d) = (0usize, 0usize);
+                    for (j, c) in inner.bytes().enumerate() {
+                        match c {
+                            b'{' => d += 1,
+                            b'}' => d -= 1,
+                            b',' if d == 0 => {
+                                alts.push(&inner[alt_start..j]);
+                                alt_start = j + 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    alts.push(&inner[alt_start..]);
+                    let mut out = Vec::new();
+                    for alt in alts {
+                        let candidate = format!("{}{}{}", &pat[..start], alt, &pat[i + 1..]);
+                        out.extend(expand_braces(&candidate)?);
+                    }
+                    return Ok(out);
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(ParseGlobError::new(format!("unbalanced `{{` in `{pat}`")));
+    }
+    Ok(vec![pat.to_string()])
+}
+
+/// A compiled glob pattern.
+///
+/// # Examples
+///
+/// ```
+/// use sack_apparmor::glob::Glob;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Glob::compile("/dev/car/door*")?;
+/// assert!(g.matches("/dev/car/door0"));
+/// assert!(!g.matches("/dev/car/doors/0")); // `*` stops at `/`
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Glob {
+    source: String,
+    patterns: Vec<Pattern>,
+    /// Longest literal prefix shared by all alternates — a cheap reject
+    /// filter on the hot path.
+    literal_prefix: String,
+}
+
+impl Glob {
+    /// Compiles a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseGlobError`] for unbalanced braces, unterminated
+    /// character classes, descending ranges, or trailing escapes.
+    pub fn compile(pattern: &str) -> Result<Glob, ParseGlobError> {
+        let expanded = expand_braces(pattern)?;
+        let patterns = expanded
+            .iter()
+            .map(|p| parse_pattern(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        let literal_prefix = common_literal_prefix(&patterns);
+        Ok(Glob {
+            source: pattern.to_string(),
+            patterns,
+            literal_prefix,
+        })
+    }
+
+    /// The original pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The longest literal prefix (used for bucketing in rule indexes).
+    pub fn literal_prefix(&self) -> &str {
+        &self.literal_prefix
+    }
+
+    /// True if the pattern contains no wildcards at all (exact match).
+    pub fn is_literal(&self) -> bool {
+        self.patterns.len() == 1 && self.patterns[0].tokens.len() == self.literal_prefix.len()
+    }
+
+    /// Tests `text` against the pattern.
+    pub fn matches(&self, text: &str) -> bool {
+        let bytes = text.as_bytes();
+        if !bytes.starts_with(self.literal_prefix.as_bytes()) {
+            return false;
+        }
+        self.patterns.iter().any(|p| p.matches(bytes))
+    }
+}
+
+impl fmt::Display for Glob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+impl std::str::FromStr for Glob {
+    type Err = ParseGlobError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Glob::compile(s)
+    }
+}
+
+fn common_literal_prefix(patterns: &[Pattern]) -> String {
+    let mut prefix: Option<Vec<u8>> = None;
+    for p in patterns {
+        let mut lit = Vec::new();
+        for tok in &p.tokens {
+            match tok {
+                Token::Lit(c) => lit.push(*c),
+                _ => break,
+            }
+        }
+        prefix = Some(match prefix {
+            None => lit,
+            Some(prev) => {
+                let n = prev
+                    .iter()
+                    .zip(lit.iter())
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                prev[..n].to_vec()
+            }
+        });
+    }
+    String::from_utf8(prefix.unwrap_or_default()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Glob::compile(pat).unwrap().matches(text)
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(m("/etc/passwd", "/etc/passwd"));
+        assert!(!m("/etc/passwd", "/etc/passw"));
+        assert!(!m("/etc/passwd", "/etc/passwd2"));
+    }
+
+    #[test]
+    fn star_stops_at_slash() {
+        assert!(m("/dev/car/door*", "/dev/car/door0"));
+        assert!(m("/dev/car/door*", "/dev/car/door"));
+        assert!(!m("/dev/car/door*", "/dev/car/doors/0"));
+        assert!(m("/tmp/*.txt", "/tmp/a.txt"));
+        assert!(!m("/tmp/*.txt", "/tmp/sub/a.txt"));
+    }
+
+    #[test]
+    fn double_star_crosses_slash() {
+        assert!(m("/usr/lib/**", "/usr/lib/x/y/z.so"));
+        assert!(m("/usr/lib/**", "/usr/lib/a"));
+        assert!(!m("/usr/lib/**", "/usr/libx/a"));
+        assert!(m("/**", "/anything/at/all"));
+        assert!(m("/**/door0", "/dev/car/door0"));
+    }
+
+    #[test]
+    fn question_mark_single_char() {
+        assert!(m("/dev/tty?", "/dev/tty1"));
+        assert!(!m("/dev/tty?", "/dev/tty10"));
+        assert!(!m("/dev/tty?", "/dev/tty/"));
+    }
+
+    #[test]
+    fn character_classes() {
+        assert!(m("/dev/door[0-3]", "/dev/door2"));
+        assert!(!m("/dev/door[0-3]", "/dev/door5"));
+        assert!(m("/dev/door[^0-3]", "/dev/door5"));
+        assert!(!m("/dev/door[^0-3]", "/dev/door1"));
+        assert!(m("/dev/[dw]oor", "/dev/door"));
+        assert!(m("/dev/[dw]oor", "/dev/woor"));
+    }
+
+    #[test]
+    fn brace_alternation() {
+        let g = Glob::compile("/dev/car/{door,window}*").unwrap();
+        assert!(g.matches("/dev/car/door0"));
+        assert!(g.matches("/dev/car/window1"));
+        assert!(!g.matches("/dev/car/audio"));
+    }
+
+    #[test]
+    fn nested_braces() {
+        let g = Glob::compile("/{a,b{c,d}}/f").unwrap();
+        assert!(g.matches("/a/f"));
+        assert!(g.matches("/bc/f"));
+        assert!(g.matches("/bd/f"));
+        assert!(!g.matches("/b/f"));
+    }
+
+    #[test]
+    fn escape_literal_star() {
+        assert!(m(r"/tmp/\*", "/tmp/*"));
+        assert!(!m(r"/tmp/\*", "/tmp/x"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Glob::compile("/tmp/{a,b").is_err());
+        assert!(Glob::compile("/tmp/a}").is_err());
+        assert!(Glob::compile("/tmp/[abc").is_err());
+        assert!(Glob::compile("/tmp/[z-a]").is_err());
+        assert!(Glob::compile(r"/tmp/\").is_err());
+    }
+
+    #[test]
+    fn literal_prefix_extraction() {
+        assert_eq!(
+            Glob::compile("/dev/car/door*").unwrap().literal_prefix(),
+            "/dev/car/door"
+        );
+        assert_eq!(
+            Glob::compile("/dev/{a,b}").unwrap().literal_prefix(),
+            "/dev/"
+        );
+        assert_eq!(
+            Glob::compile("/etc/passwd").unwrap().literal_prefix(),
+            "/etc/passwd"
+        );
+        assert!(Glob::compile("/etc/passwd").unwrap().is_literal());
+        assert!(!Glob::compile("/etc/*").unwrap().is_literal());
+    }
+
+    #[test]
+    fn prefix_filter_does_not_cause_false_negatives() {
+        // `**` can match empty, so the prefix is everything before it.
+        assert!(m("/a/**", "/a/"));
+        let g = Glob::compile("/a**").unwrap();
+        assert!(g.matches("/a"));
+        assert!(g.matches("/a/b/c"));
+    }
+
+    #[test]
+    fn double_star_backtracks_across_components() {
+        assert!(m("/**/secret", "/a/b/c/secret"));
+        // `**` is character-wise (AppArmor semantics), not bash globstar:
+        // `/a/**/z` needs a literal `/` on both sides of the match.
+        assert!(!m("/a/**/z", "/a/z"));
+        assert!(m("/a**/z", "/a/z"));
+        assert!(m("/a/**/z", "/a/b/z"));
+        assert!(!m("/a/**/z", "/a/b/zz"));
+    }
+
+    #[test]
+    fn display_and_fromstr_roundtrip() {
+        let g: Glob = "/dev/*".parse().unwrap();
+        assert_eq!(g.to_string(), "/dev/*");
+        assert_eq!(g.source(), "/dev/*");
+    }
+}

@@ -1,0 +1,303 @@
+//! Profile generation from complain-mode audit logs (the `aa-logprof`
+//! workflow): run a workload under a `complain` profile, collect the
+//! would-have-been denials, and turn them into rule suggestions.
+//!
+//! This is how the baseline profiles for a new IVI application are
+//! authored in practice, and it gives the reproduction a realistic way to
+//! produce the "default policies" the paper benchmarks against.
+
+use std::collections::BTreeMap;
+
+use sack_kernel::cred::Capability;
+use sack_kernel::lsm::SocketFamily;
+
+use crate::module::AuditEvent;
+use crate::policy::{PolicyDb, UnknownProfileError};
+use crate::profile::{FilePerms, PathRule};
+
+/// Suggested profile amendments derived from an audit log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Suggestions {
+    /// Per profile: path → union of permissions that were exercised.
+    pub file_rules: BTreeMap<String, BTreeMap<String, FilePerms>>,
+    /// Per profile: capabilities that were exercised.
+    pub capabilities: BTreeMap<String, Vec<Capability>>,
+    /// Per profile: socket families that were exercised.
+    pub networks: BTreeMap<String, Vec<SocketFamily>>,
+}
+
+impl Suggestions {
+    /// True if nothing was learned.
+    pub fn is_empty(&self) -> bool {
+        self.file_rules.is_empty() && self.capabilities.is_empty() && self.networks.is_empty()
+    }
+
+    /// Total number of suggested items.
+    pub fn len(&self) -> usize {
+        self.file_rules.values().map(BTreeMap::len).sum::<usize>()
+            + self.capabilities.values().map(Vec::len).sum::<usize>()
+            + self.networks.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Renders the suggestions as profile-language fragments.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut profiles: Vec<&String> = self
+            .file_rules
+            .keys()
+            .chain(self.capabilities.keys())
+            .chain(self.networks.keys())
+            .collect();
+        profiles.sort();
+        profiles.dedup();
+        for profile in profiles {
+            out.push_str(&format!("# additions for profile {profile}\n"));
+            for cap in self.capabilities.get(profile).into_iter().flatten() {
+                let name = cap.name().strip_prefix("CAP_").unwrap_or(cap.name());
+                out.push_str(&format!("    capability {},\n", name.to_ascii_lowercase()));
+            }
+            for family in self.networks.get(profile).into_iter().flatten() {
+                let name = match family {
+                    SocketFamily::Unix => "unix",
+                    SocketFamily::Inet => "inet",
+                };
+                out.push_str(&format!("    network {name},\n"));
+            }
+            for (path, perms) in self.file_rules.get(profile).into_iter().flatten() {
+                out.push_str(&format!("    {path} {perms},\n"));
+            }
+        }
+        out
+    }
+}
+
+fn perm_from_op(op: &str, requested: &str) -> FilePerms {
+    match op {
+        "ioctl" => FilePerms::IOCTL,
+        "mmap" => FilePerms::MMAP,
+        "exec" => FilePerms::EXEC,
+        _ => FilePerms::parse(requested).unwrap_or(FilePerms::READ),
+    }
+}
+
+/// Distills an audit log into suggestions. Only complain-mode records
+/// (`complain == true`) are considered: enforce-mode denials are policy
+/// working as intended, not material for new rules.
+pub fn suggest(events: &[AuditEvent]) -> Suggestions {
+    let mut s = Suggestions::default();
+    for event in events.iter().filter(|e| e.complain) {
+        match event.op {
+            "capable" => {
+                if let Some(cap) = Capability::parse(&event.target) {
+                    let caps = s.capabilities.entry(event.profile.clone()).or_default();
+                    if !caps.contains(&cap) {
+                        caps.push(cap);
+                    }
+                }
+            }
+            "socket" => {
+                let family = match event.target.as_str() {
+                    "AF_UNIX" => Some(SocketFamily::Unix),
+                    "AF_INET" => Some(SocketFamily::Inet),
+                    _ => None,
+                };
+                if let Some(family) = family {
+                    let nets = s.networks.entry(event.profile.clone()).or_default();
+                    if !nets.contains(&family) {
+                        nets.push(family);
+                    }
+                }
+            }
+            op => {
+                let perms = perm_from_op(op, &event.requested);
+                let entry = s
+                    .file_rules
+                    .entry(event.profile.clone())
+                    .or_default()
+                    .entry(event.target.clone())
+                    .or_insert(FilePerms::empty());
+                *entry = entry.union(perms);
+            }
+        }
+    }
+    s
+}
+
+/// Applies suggestions to the loaded profiles (and switches nothing else:
+/// the administrator flips `complain` to `enforce` separately).
+///
+/// # Errors
+///
+/// [`UnknownProfileError`] if a suggestion references an unloaded profile.
+pub fn apply(db: &PolicyDb, suggestions: &Suggestions) -> Result<usize, UnknownProfileError> {
+    let mut applied = 0;
+    for (profile, rules) in &suggestions.file_rules {
+        db.patch(profile, |p| {
+            for (path, perms) in rules {
+                if let Ok(rule) = PathRule::allow(path, *perms) {
+                    p.path_rules.push(rule);
+                    applied += 1;
+                }
+            }
+        })?;
+    }
+    for (profile, caps) in &suggestions.capabilities {
+        db.patch(profile, |p| {
+            for cap in caps {
+                if !p.capabilities.contains(cap) {
+                    p.capabilities.push(*cap);
+                    applied += 1;
+                }
+            }
+        })?;
+    }
+    for (profile, nets) in &suggestions.networks {
+        db.patch(profile, |p| {
+            for family in nets {
+                if !p.networks.contains(family) {
+                    p.networks.push(*family);
+                    applied += 1;
+                }
+            }
+        })?;
+    }
+    Ok(applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::AppArmor;
+    use crate::profile::{Profile, ProfileMode};
+    use sack_kernel::cred::Credentials;
+    use sack_kernel::kernel::KernelBuilder;
+    use sack_kernel::lsm::SecurityModule;
+    use std::sync::Arc;
+
+    /// End-to-end learning loop: run in complain mode, learn, enforce.
+    #[test]
+    fn learn_from_complain_run_then_enforce() {
+        let db = Arc::new(PolicyDb::new());
+        db.load(Profile::new("newapp").complain());
+        let apparmor = AppArmor::new(Arc::clone(&db));
+        let kernel = KernelBuilder::new()
+            .security_module(Arc::clone(&apparmor) as Arc<dyn SecurityModule>)
+            .boot();
+
+        // Exercise the app's real behaviour under complain mode.
+        let app = kernel.spawn(Credentials::user(1000, 1000));
+        apparmor.set_profile(app.pid(), "newapp").unwrap();
+        app.write_file("/tmp/newapp.state", b"s").unwrap();
+        app.read_to_vec("/tmp/newapp.state").unwrap();
+
+        // Learn.
+        let log = apparmor.take_audit_log();
+        assert!(!log.is_empty());
+        let suggestions = suggest(&log);
+        assert!(!suggestions.is_empty());
+        let rendered = suggestions.render();
+        assert!(rendered.contains("/tmp/newapp.state"), "{rendered}");
+        let applied = apply(&db, &suggestions).unwrap();
+        assert!(applied >= 1);
+
+        // Enforce: the learned workload now passes, anything else fails.
+        db.patch("newapp", |p| p.mode = ProfileMode::Enforce)
+            .unwrap();
+        apparmor.refresh_confinement();
+        assert!(app.read_to_vec("/tmp/newapp.state").is_ok());
+        assert!(app.write_file("/etc/other", b"x").is_err());
+        assert!(
+            apparmor.take_audit_log().iter().all(|e| !e.complain),
+            "post-learning denials are enforce-mode"
+        );
+    }
+
+    #[test]
+    fn suggest_unions_permissions_per_path() {
+        let events = vec![
+            AuditEvent {
+                pid: sack_kernel::Pid(1),
+                profile: "p".into(),
+                op: "open",
+                target: "/data/file".into(),
+                requested: "r".into(),
+                allowed: true,
+                complain: true,
+            },
+            AuditEvent {
+                pid: sack_kernel::Pid(1),
+                profile: "p".into(),
+                op: "file_perm",
+                target: "/data/file".into(),
+                requested: "w".into(),
+                allowed: true,
+                complain: true,
+            },
+            AuditEvent {
+                pid: sack_kernel::Pid(1),
+                profile: "p".into(),
+                op: "ioctl",
+                target: "/dev/car/door0".into(),
+                requested: "i".into(),
+                allowed: true,
+                complain: true,
+            },
+        ];
+        let s = suggest(&events);
+        assert_eq!(
+            s.file_rules["p"]["/data/file"],
+            FilePerms::READ | FilePerms::WRITE
+        );
+        assert_eq!(s.file_rules["p"]["/dev/car/door0"], FilePerms::IOCTL);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn enforce_mode_denials_are_ignored() {
+        let events = vec![AuditEvent {
+            pid: sack_kernel::Pid(1),
+            profile: "p".into(),
+            op: "open",
+            target: "/secret".into(),
+            requested: "r".into(),
+            allowed: false,
+            complain: false,
+        }];
+        assert!(suggest(&events).is_empty());
+    }
+
+    #[test]
+    fn capability_and_network_suggestions() {
+        let mk = |op: &'static str, target: &str| AuditEvent {
+            pid: sack_kernel::Pid(1),
+            profile: "p".into(),
+            op,
+            target: target.into(),
+            requested: String::new(),
+            allowed: true,
+            complain: true,
+        };
+        let events = vec![
+            mk("capable", "CAP_KILL"),
+            mk("capable", "CAP_KILL"), // duplicate collapses
+            mk("socket", "AF_UNIX"),
+        ];
+        let s = suggest(&events);
+        assert_eq!(s.capabilities["p"], vec![Capability::Kill]);
+        assert_eq!(s.networks["p"], vec![SocketFamily::Unix]);
+        let rendered = s.render();
+        assert!(rendered.contains("capability kill,"));
+        assert!(rendered.contains("network unix,"));
+    }
+
+    #[test]
+    fn apply_to_unknown_profile_errors() {
+        let db = PolicyDb::new();
+        let mut s = Suggestions::default();
+        s.file_rules
+            .entry("ghost".into())
+            .or_default()
+            .insert("/x".into(), FilePerms::READ);
+        assert!(apply(&db, &s).is_err());
+    }
+}

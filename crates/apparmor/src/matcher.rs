@@ -1,0 +1,247 @@
+//! Compiled rule matching.
+//!
+//! Profiles are compiled into a [`CompiledRules`] index before enforcement:
+//! rules whose glob has a literal first path component are bucketed by that
+//! component, so a `file_permission` check only scans the bucket for the
+//! accessed path plus the (usually tiny) list of fully-wildcarded rules.
+//! [`CompiledRules::evaluate_scan`] keeps the naive scan-everything path for
+//! the ablation benchmark (`ablation_path_matcher`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::profile::{FilePerms, PathRule};
+
+/// One compiled rule.
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    glob: crate::glob::Glob,
+    perms: FilePerms,
+    deny: bool,
+}
+
+/// Outcome of evaluating rules for a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuleDecision {
+    /// Union of permissions from matching allow rules.
+    pub allowed: FilePerms,
+    /// Union of permissions from matching deny rules.
+    pub denied: FilePerms,
+}
+
+impl RuleDecision {
+    /// True if `requested` is fully granted: every requested permission is
+    /// allowed by some rule and none is explicitly denied.
+    pub fn permits(&self, requested: FilePerms) -> bool {
+        self.allowed.difference(self.denied).contains(requested)
+            && !self.denied.intersects(requested)
+    }
+}
+
+impl fmt::Display for RuleDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allow={} deny={}", self.allowed, self.denied)
+    }
+}
+
+/// An indexed, immutable rule set.
+pub struct CompiledRules {
+    /// Rules bucketed by literal first path component.
+    buckets: HashMap<String, Vec<CompiledRule>>,
+    /// Rules whose pattern has no literal first component (`/**`, `/*`…).
+    global: Vec<CompiledRule>,
+    len: usize,
+}
+
+/// Extracts the first path component if it is fully literal in `prefix`.
+///
+/// `prefix` is the glob's literal prefix; the first component is literal
+/// only if the prefix contains a second `/` (so the component is closed).
+fn literal_first_component(prefix: &str) -> Option<&str> {
+    let rest = prefix.strip_prefix('/')?;
+    let idx = rest.find('/')?;
+    Some(&rest[..idx])
+}
+
+impl CompiledRules {
+    /// Compiles a rule list into the index.
+    pub fn build(rules: &[PathRule]) -> CompiledRules {
+        let mut buckets: HashMap<String, Vec<CompiledRule>> = HashMap::new();
+        let mut global = Vec::new();
+        for rule in rules {
+            let compiled = CompiledRule {
+                glob: rule.glob.clone(),
+                perms: rule.perms,
+                deny: rule.deny,
+            };
+            match literal_first_component(rule.glob.literal_prefix()) {
+                Some(comp) => buckets.entry(comp.to_string()).or_default().push(compiled),
+                None => global.push(compiled),
+            }
+        }
+        CompiledRules {
+            buckets,
+            global,
+            len: rules.len(),
+        }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no rules.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn accumulate(decision: &mut RuleDecision, rules: &[CompiledRule], path: &str) {
+        for rule in rules {
+            if rule.glob.matches(path) {
+                if rule.deny {
+                    decision.denied = decision.denied.union(rule.perms);
+                } else {
+                    decision.allowed = decision.allowed.union(rule.perms);
+                }
+            }
+        }
+    }
+
+    /// Evaluates `path` through the index.
+    pub fn evaluate(&self, path: &str) -> RuleDecision {
+        let mut decision = RuleDecision::default();
+        if !self.buckets.is_empty() {
+            if let Some(comp) = path
+                .strip_prefix('/')
+                .and_then(|rest| rest.split('/').next())
+            {
+                if let Some(bucket) = self.buckets.get(comp) {
+                    Self::accumulate(&mut decision, bucket, path);
+                }
+            }
+        }
+        Self::accumulate(&mut decision, &self.global, path);
+        decision
+    }
+
+    /// Evaluates `path` by scanning every rule (no index) — the ablation
+    /// baseline. Produces the same decision as [`CompiledRules::evaluate`].
+    pub fn evaluate_scan(&self, path: &str) -> RuleDecision {
+        let mut decision = RuleDecision::default();
+        for bucket in self.buckets.values() {
+            Self::accumulate(&mut decision, bucket, path);
+        }
+        Self::accumulate(&mut decision, &self.global, path);
+        decision
+    }
+}
+
+impl fmt::Debug for CompiledRules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledRules")
+            .field("rules", &self.len)
+            .field("buckets", &self.buckets.len())
+            .field("global", &self.global.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(specs: &[(&str, &str, bool)]) -> Vec<PathRule> {
+        specs
+            .iter()
+            .map(|(pat, perms, deny)| {
+                let perms = FilePerms::parse(perms).unwrap();
+                if *deny {
+                    PathRule::deny(pat, perms).unwrap()
+                } else {
+                    PathRule::allow(pat, perms).unwrap()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn allow_union_across_rules() {
+        let c = CompiledRules::build(&rules(&[
+            ("/etc/*", "r", false),
+            ("/etc/app.conf", "w", false),
+        ]));
+        let d = c.evaluate("/etc/app.conf");
+        assert!(d.permits(FilePerms::READ | FilePerms::WRITE));
+        assert!(!c.evaluate("/etc/other").permits(FilePerms::WRITE));
+    }
+
+    #[test]
+    fn deny_overrides_allow() {
+        let c = CompiledRules::build(&rules(&[
+            ("/dev/**", "rwi", false),
+            ("/dev/car/door*", "wi", true),
+        ]));
+        assert!(c.evaluate("/dev/audio").permits(FilePerms::WRITE));
+        let d = c.evaluate("/dev/car/door0");
+        assert!(!d.permits(FilePerms::WRITE));
+        assert!(!d.permits(FilePerms::IOCTL));
+        assert!(d.permits(FilePerms::READ), "read was not denied");
+    }
+
+    #[test]
+    fn unmatched_path_permits_nothing() {
+        let c = CompiledRules::build(&rules(&[("/a/*", "r", false)]));
+        assert!(!c.evaluate("/b/x").permits(FilePerms::READ));
+        assert!(c.evaluate("/b/x").permits(FilePerms::empty()));
+    }
+
+    #[test]
+    fn index_and_scan_agree() {
+        let c = CompiledRules::build(&rules(&[
+            ("/etc/*", "r", false),
+            ("/dev/car/**", "rwi", false),
+            ("/**", "r", false),
+            ("/dev/car/door[0-3]", "i", true),
+            ("/*", "w", false),
+        ]));
+        for path in [
+            "/etc/passwd",
+            "/dev/car/door1",
+            "/dev/car/window0",
+            "/toplevel",
+            "/a/b/c",
+        ] {
+            assert_eq!(c.evaluate(path), c.evaluate_scan(path), "path {path}");
+        }
+    }
+
+    #[test]
+    fn wildcard_first_component_goes_global() {
+        let c = CompiledRules::build(&rules(&[("/**", "r", false)]));
+        assert_eq!(c.len(), 1);
+        assert!(c.evaluate("/any/where").permits(FilePerms::READ));
+        // Bucketed rule with wildcard *inside* first component stays global.
+        let c = CompiledRules::build(&rules(&[("/de*/audio", "r", false)]));
+        assert!(c.evaluate("/dev/audio").permits(FilePerms::READ));
+    }
+
+    #[test]
+    fn literal_first_component_extraction() {
+        assert_eq!(literal_first_component("/dev/car/door"), Some("dev"));
+        assert_eq!(
+            literal_first_component("/dev"),
+            None,
+            "component not closed"
+        );
+        assert_eq!(literal_first_component("/"), None);
+        assert_eq!(literal_first_component(""), None);
+    }
+
+    #[test]
+    fn empty_rule_set() {
+        let c = CompiledRules::build(&[]);
+        assert!(c.is_empty());
+        assert!(!c.evaluate("/x").permits(FilePerms::READ));
+    }
+}

@@ -1,0 +1,405 @@
+//! Text parser for the simplified AppArmor profile language.
+//!
+//! ```text
+//! # IVI media application
+//! profile media_app /usr/bin/media_app flags=(enforce) {
+//!   capability net_bind_service,
+//!   network inet,
+//!   /usr/lib/** rm,
+//!   /dev/audio rwi,
+//!   deny /dev/car/** rwi,
+//! }
+//! ```
+
+use std::fmt;
+
+use sack_kernel::cred::Capability;
+use sack_kernel::lsm::SocketFamily;
+
+use crate::profile::{FilePerms, PathRule, Profile, ProfileMode};
+
+/// Parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProfileError {
+    /// Line the error occurred on.
+    pub line: usize,
+    message: String,
+}
+
+impl ParseProfileError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseProfileError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseProfileError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Word(String),
+    OpenBrace,
+    CloseBrace,
+    Comma,
+}
+
+fn tokenize(text: &str) -> Vec<(usize, Tok)> {
+    let mut tokens = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = match line.find('#') {
+            Some(idx) => &line[..idx],
+            None => line,
+        };
+        let mut word = String::new();
+        // Depth of glob alternation braces (`/tmp/{a,b}`): while positive,
+        // `{`/`}`/`,` belong to the pattern, not to the block structure. A
+        // `{` opens an alternation exactly when it appears mid-word (block
+        // braces are always preceded by whitespace).
+        let mut glob_depth = 0usize;
+        let flush = |word: &mut String, glob_depth: &mut usize, tokens: &mut Vec<(usize, Tok)>| {
+            if !word.is_empty() {
+                tokens.push((lineno + 1, Tok::Word(std::mem::take(word))));
+            }
+            *glob_depth = 0;
+        };
+        for ch in line.chars() {
+            match ch {
+                '{' if !word.is_empty() => {
+                    glob_depth += 1;
+                    word.push('{');
+                }
+                '}' if glob_depth > 0 => {
+                    glob_depth -= 1;
+                    word.push('}');
+                }
+                ',' if glob_depth > 0 => word.push(','),
+                '{' => {
+                    flush(&mut word, &mut glob_depth, &mut tokens);
+                    tokens.push((lineno + 1, Tok::OpenBrace));
+                }
+                '}' => {
+                    flush(&mut word, &mut glob_depth, &mut tokens);
+                    tokens.push((lineno + 1, Tok::CloseBrace));
+                }
+                ',' => {
+                    flush(&mut word, &mut glob_depth, &mut tokens);
+                    tokens.push((lineno + 1, Tok::Comma));
+                }
+                c if c.is_whitespace() => flush(&mut word, &mut glob_depth, &mut tokens),
+                c => word.push(c),
+            }
+        }
+        flush(&mut word, &mut glob_depth, &mut tokens);
+    }
+    tokens
+}
+
+struct Parser {
+    tokens: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&(usize, Tok)> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<(usize, Tok)> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |(l, _)| *l)
+    }
+
+    fn expect_word(&mut self, what: &str) -> Result<(usize, String), ParseProfileError> {
+        match self.next() {
+            Some((line, Tok::Word(w))) => Ok((line, w)),
+            Some((line, other)) => Err(ParseProfileError::new(
+                line,
+                format!("expected {what}, found {other:?}"),
+            )),
+            None => Err(ParseProfileError::new(
+                self.line(),
+                format!("expected {what}, found end of input"),
+            )),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<usize, ParseProfileError> {
+        match self.next() {
+            Some((line, t)) if t == tok => Ok(line),
+            Some((line, other)) => Err(ParseProfileError::new(
+                line,
+                format!("expected {what}, found {other:?}"),
+            )),
+            None => Err(ParseProfileError::new(
+                self.line(),
+                format!("expected {what}, found end of input"),
+            )),
+        }
+    }
+
+    fn parse_profile(&mut self) -> Result<Profile, ParseProfileError> {
+        let (line, kw) = self.expect_word("`profile`")?;
+        if kw != "profile" {
+            return Err(ParseProfileError::new(
+                line,
+                format!("expected `profile`, found `{kw}`"),
+            ));
+        }
+        let (_, name) = self.expect_word("profile name")?;
+        let mut profile = Profile::new(name);
+
+        // Optional attachment path and flags before `{`.
+        loop {
+            match self.peek() {
+                Some((_, Tok::OpenBrace)) => break,
+                Some((line, Tok::Word(w))) => {
+                    let line = *line;
+                    let w = w.clone();
+                    self.pos += 1;
+                    if let Some(flags) = w.strip_prefix("flags=(") {
+                        let flags = flags.strip_suffix(')').ok_or_else(|| {
+                            ParseProfileError::new(line, "unterminated flags=(...)")
+                        })?;
+                        profile.mode = match flags {
+                            "complain" => ProfileMode::Complain,
+                            "enforce" => ProfileMode::Enforce,
+                            other => {
+                                return Err(ParseProfileError::new(
+                                    line,
+                                    format!("unknown flag `{other}`"),
+                                ))
+                            }
+                        };
+                    } else if w.starts_with('/') {
+                        profile = profile
+                            .with_attachment(&w)
+                            .map_err(|e| ParseProfileError::new(line, e.to_string()))?;
+                    } else {
+                        return Err(ParseProfileError::new(
+                            line,
+                            format!("unexpected token `{w}` in profile header"),
+                        ));
+                    }
+                }
+                other => {
+                    let line = other.map_or(self.line(), |(l, _)| *l);
+                    return Err(ParseProfileError::new(
+                        line,
+                        "expected `{` after profile header",
+                    ));
+                }
+            }
+        }
+        self.expect(Tok::OpenBrace, "`{`")?;
+
+        loop {
+            match self.peek() {
+                Some((_, Tok::CloseBrace)) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => self.parse_rule(&mut profile)?,
+                None => {
+                    return Err(ParseProfileError::new(
+                        self.line(),
+                        "unterminated profile body (missing `}`)",
+                    ))
+                }
+            }
+        }
+        Ok(profile)
+    }
+
+    fn parse_rule(&mut self, profile: &mut Profile) -> Result<(), ParseProfileError> {
+        let (line, first) = self.expect_word("rule")?;
+        match first.as_str() {
+            "capability" => {
+                let (cline, cap) = self.expect_word("capability name")?;
+                let cap = Capability::parse(&cap).ok_or_else(|| {
+                    ParseProfileError::new(cline, format!("unknown capability `{cap}`"))
+                })?;
+                profile.capabilities.push(cap);
+            }
+            "network" => {
+                let (nline, fam) = self.expect_word("network family")?;
+                let family = match fam.as_str() {
+                    "unix" => SocketFamily::Unix,
+                    "inet" => SocketFamily::Inet,
+                    other => {
+                        return Err(ParseProfileError::new(
+                            nline,
+                            format!("unknown network family `{other}`"),
+                        ))
+                    }
+                };
+                profile.networks.push(family);
+            }
+            "deny" => {
+                let (pline, path) = self.expect_word("path")?;
+                let (_, perms) = self.expect_word("permissions")?;
+                let rule = Self::make_rule(pline, &path, &perms, true)?;
+                profile.path_rules.push(rule);
+            }
+            path if path.starts_with('/') => {
+                let (_, perms) = self.expect_word("permissions")?;
+                let rule = Self::make_rule(line, path, &perms, false)?;
+                profile.path_rules.push(rule);
+            }
+            other => {
+                return Err(ParseProfileError::new(
+                    line,
+                    format!("unexpected rule keyword `{other}`"),
+                ))
+            }
+        }
+        self.expect(Tok::Comma, "`,` after rule")?;
+        Ok(())
+    }
+
+    fn make_rule(
+        line: usize,
+        path: &str,
+        perms: &str,
+        deny: bool,
+    ) -> Result<PathRule, ParseProfileError> {
+        let perms = FilePerms::parse(perms).map_err(|c| {
+            ParseProfileError::new(line, format!("unknown permission letter `{c}`"))
+        })?;
+        let rule = if deny {
+            PathRule::deny(path, perms)
+        } else {
+            PathRule::allow(path, perms)
+        };
+        rule.map_err(|e| ParseProfileError::new(line, e.to_string()))
+    }
+}
+
+/// Parses one or more profiles from profile-language text.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number.
+///
+/// # Examples
+///
+/// ```
+/// use sack_apparmor::parser::parse_profiles;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let profiles = parse_profiles(r#"
+/// profile media /usr/bin/media {
+///   /dev/audio rwi,
+///   deny /dev/car/** rwi,
+/// }
+/// "#)?;
+/// assert_eq!(profiles[0].name, "media");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_profiles(text: &str) -> Result<Vec<Profile>, ParseProfileError> {
+    let mut parser = Parser {
+        tokens: tokenize(text),
+        pos: 0,
+    };
+    let mut profiles = Vec::new();
+    while parser.peek().is_some() {
+        profiles.push(parser.parse_profile()?);
+    }
+    Ok(profiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_profile() {
+        let text = r#"
+            # comment line
+            profile media_app /usr/bin/media_app flags=(enforce) {
+              capability net_bind_service,
+              network inet,
+              /usr/lib/** rm,      # inline comment
+              /dev/audio rwi,
+              deny /dev/car/** rwi,
+            }
+        "#;
+        let profiles = parse_profiles(text).unwrap();
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert_eq!(p.name, "media_app");
+        assert!(p.attaches_to("/usr/bin/media_app"));
+        assert_eq!(p.mode, ProfileMode::Enforce);
+        assert_eq!(p.capabilities, vec![Capability::NetBindService]);
+        assert_eq!(p.networks, vec![SocketFamily::Inet]);
+        assert_eq!(p.path_rules.len(), 3);
+        assert!(p.path_rules[2].deny);
+    }
+
+    #[test]
+    fn parses_multiple_profiles() {
+        let text = r#"
+            profile a { /x r, }
+            profile b flags=(complain) { /y w, }
+        "#;
+        let profiles = parse_profiles(text).unwrap();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[1].mode, ProfileMode::Complain);
+        assert!(profiles[0].attachment.is_none());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let text = "profile a {\n  /x rz,\n}";
+        let err = parse_profiles(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("permission letter"));
+    }
+
+    #[test]
+    fn missing_comma_is_error() {
+        let err = parse_profiles("profile a { /x r }").unwrap_err();
+        assert!(err.to_string().contains("`,`"), "{err}");
+    }
+
+    #[test]
+    fn unknown_capability_is_error() {
+        let err = parse_profiles("profile a { capability flying, }").unwrap_err();
+        assert!(err.to_string().contains("unknown capability"));
+    }
+
+    #[test]
+    fn unterminated_body_is_error() {
+        let err = parse_profiles("profile a { /x r,").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn empty_input_yields_no_profiles() {
+        assert!(parse_profiles("").unwrap().is_empty());
+        assert!(parse_profiles("  # only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_glob_surfaces_as_parse_error() {
+        let err = parse_profiles("profile a { /x[ r, }").unwrap_err();
+        assert!(err.to_string().contains("invalid glob"));
+    }
+}

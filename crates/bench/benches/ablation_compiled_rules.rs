@@ -1,0 +1,107 @@
+//! **Ablation (DESIGN.md §5.1)** — per-state precompiled rule sets
+//! (`g(f(SS_i))` materialized at policy load, swapped by pointer on
+//! transition) versus the naive alternative of filtering the full
+//! `(state, permission, rule)` table on every access.
+//!
+//! This is the design decision behind the paper's C3 ("situation-aware
+//! adaptive policy enforcement with low runtime overhead").
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sack_apparmor::profile::FilePerms;
+use sack_core::rules::{StateRuleSet, SubjectCtx};
+use sack_core::{CompiledPolicy, SackPolicy};
+use sack_lmbench::workload::synthetic_independent_policy;
+
+fn compile(states: usize, rules: usize) -> CompiledPolicy {
+    SackPolicy::parse(&synthetic_independent_policy(states, rules))
+        .expect("generated policy parses")
+        .compile()
+        .expect("generated policy compiles")
+}
+
+/// The naive enforcement path: rebuild the decision from the permission
+/// mapping on every access instead of using the precompiled per-state set.
+fn naive_permits(
+    policy: &CompiledPolicy,
+    state: sack_core::StateId,
+    subject: &SubjectCtx<'_>,
+    path: &str,
+    requested: FilePerms,
+) -> bool {
+    let set = StateRuleSet::build(
+        policy
+            .permissions_of(state)
+            .iter()
+            .flat_map(|perm| policy.rules_of(*perm).iter()),
+    );
+    set.permits(subject, path, requested)
+}
+
+fn bench_enforcement_paths(c: &mut Criterion) {
+    let subject = SubjectCtx {
+        uid: 1000,
+        exe: Some("/usr/bin/app"),
+        profile: None,
+    };
+    // A protected path that matches a rule in state s0.
+    let path = "/protected/area0/s0/devices/x";
+
+    for (states, rules) in [(4usize, 40usize), (10, 200), (50, 1000)] {
+        let policy = compile(states, rules);
+        let state = policy.space().state_id("s0").expect("state exists");
+        let label = format!("{states}states_{rules}rules");
+
+        let mut group = c.benchmark_group(format!("ablation_compiled/{label}"));
+        group.bench_with_input(
+            BenchmarkId::from_parameter("precompiled"),
+            &policy,
+            |b, policy| {
+                let rules = policy.state_rules(state);
+                b.iter(|| std::hint::black_box(rules.permits(&subject, path, FilePerms::READ)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter("naive-rebuild"),
+            &policy,
+            |b, policy| {
+                b.iter(|| {
+                    std::hint::black_box(naive_permits(
+                        policy,
+                        state,
+                        &subject,
+                        path,
+                        FilePerms::READ,
+                    ))
+                });
+            },
+        );
+        group.finish();
+    }
+}
+
+/// Transition cost under each design: precompiled sets make a transition an
+/// atomic index move; the naive design pays nothing at transition time (its
+/// cost is on every access instead). Measured for completeness.
+fn bench_transition_cost(c: &mut Criterion) {
+    let bed = sack_bench::TransitionBed::boot();
+    c.bench_function("ablation_compiled/transition_swap", |b| {
+        b.iter(|| bed.toggle_speed());
+    });
+}
+
+fn config_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = ablation_compiled;
+    config = config_criterion();
+    targets = bench_enforcement_paths, bench_transition_cost
+}
+criterion_main!(ablation_compiled);

@@ -1,0 +1,72 @@
+//! **Ablation (DESIGN.md §5.2)** — the bucketed path-rule index
+//! ([`sack_apparmor::CompiledRules::evaluate`]) versus a naive
+//! scan-every-rule matcher (`evaluate_scan`), across profile sizes.
+//!
+//! AppArmor's per-access match is on the hottest path in the system
+//! (`file_permission` fires on every read/write), so this is where the
+//! baseline's — and therefore SACK-enhanced AppArmor's — overhead lives.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sack_apparmor::profile::{FilePerms, PathRule};
+use sack_apparmor::CompiledRules;
+
+/// Builds `n` rules spread over `n / 8 + 1` top-level directories.
+fn synthetic_rules(n: usize) -> Vec<PathRule> {
+    let dirs = n / 8 + 1;
+    (0..n)
+        .map(|i| {
+            let dir = i % dirs;
+            PathRule::allow(
+                &format!("/dir{dir}/sub{i}/**"),
+                FilePerms::READ | FilePerms::WRITE,
+            )
+            .expect("generated pattern compiles")
+        })
+        .collect()
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    for n in [10usize, 100, 1000] {
+        let rules = synthetic_rules(n);
+        let compiled = CompiledRules::build(&rules);
+        // A path matching one of the rules, and one matching none.
+        let hit = "/dir0/sub0/file.txt";
+        let miss = "/elsewhere/file.txt";
+
+        let mut group = c.benchmark_group(format!("ablation_matcher/{n}rules"));
+        for (case, path) in [("hit", hit), ("miss", miss)] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("indexed/{case}")),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| std::hint::black_box(compiled.evaluate(path)));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("scan/{case}")),
+                &compiled,
+                |b, compiled| {
+                    b.iter(|| std::hint::black_box(compiled.evaluate_scan(path)));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn config_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = ablation_matcher;
+    config = config_criterion();
+    targets = bench_matchers
+}
+criterion_main!(ablation_matcher);

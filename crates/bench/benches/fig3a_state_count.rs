@@ -1,0 +1,88 @@
+//! **Fig. 3(a)** — runtime overhead of file operations as the number of
+//! situation states grows (independent SACK, the worst case per the paper,
+//! which reports ~1.8% at 100 states).
+//!
+//! SACK precompiles `g(f(SS_i))` per state, so the per-access cost is
+//! independent of the state count; the sweep verifies that design holds.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sack_bench::boot_state_count;
+use sack_kernel::file::OpenFlags;
+use sack_lmbench::workload::REREAD_FILE;
+
+const STATE_COUNTS: [usize; 6] = [2, 5, 10, 25, 50, 100];
+
+fn bench_file_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3a/file_read_1b");
+    for states in STATE_COUNTS {
+        let bed = boot_state_count(states);
+        let fd = bed
+            .proc()
+            .open(REREAD_FILE, OpenFlags::read_only())
+            .expect("open");
+        group.bench_with_input(BenchmarkId::from_parameter(states), &bed, |b, bed| {
+            let mut buf = [0u8; 1];
+            b.iter(|| {
+                bed.proc().seek(fd, 0).expect("seek");
+                bed.proc().read(fd, &mut buf).expect("read");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_open_close(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3a/open_close");
+    for states in STATE_COUNTS {
+        let bed = boot_state_count(states);
+        group.bench_with_input(BenchmarkId::from_parameter(states), &bed, |b, bed| {
+            b.iter(|| {
+                let fd = bed
+                    .proc()
+                    .open(REREAD_FILE, OpenFlags::read_only())
+                    .expect("open");
+                bed.proc().close(fd).expect("close");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_file_create_delete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3a/file_create_delete_0k");
+    group.sample_size(10);
+    for states in STATE_COUNTS {
+        let bed = boot_state_count(states);
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(states), &bed, |b, bed| {
+            b.iter(|| {
+                let path = format!("/tmp/bench/f3a_{i}");
+                i += 1;
+                let fd = bed
+                    .proc()
+                    .open(&path, OpenFlags::create_new())
+                    .expect("create");
+                bed.proc().close(fd).expect("close");
+                bed.proc().unlink(&path).expect("unlink");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = fig3a;
+    config = config_criterion();
+    targets = bench_file_read, bench_open_close, bench_file_create_delete
+}
+criterion_main!(fig3a);

@@ -1,0 +1,100 @@
+//! **Fig. 3(b)** — overhead of file access while situation-state
+//! transitions happen at different frequencies (the paper measures 0.93%
+//! at a 1000 ms period).
+//!
+//! Setup exactly as in the paper: two situations, high-speed and
+//! low-speed; a critical file is readable only in the low-speed situation;
+//! the state toggles at the given period while the workload reads the file.
+//!
+//! The sweep parameter is the transition period expressed as *file accesses
+//! per transition pair*: a simulated file access costs on the order of
+//! 1 µs, so a 1 ms period corresponds to ~1 000 accesses between
+//! transitions, and 1 000 ms to ~1 000 000. Criterion reports the mean
+//! time per access including the amortized transition cost.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sack_bench::{EnhancedTransitionBed, TransitionBed};
+
+/// (label, accesses between transition pairs); `u64::MAX` = never
+/// transitions, the baseline.
+const PERIODS: [(&str, u64); 7] = [
+    ("baseline-no-transitions", u64::MAX),
+    ("0.01ms", 10),
+    ("0.1ms", 100),
+    ("1ms", 1_000),
+    ("10ms", 10_000),
+    ("100ms", 100_000),
+    ("1000ms", 1_000_000),
+];
+
+fn bench_transition_frequency_independent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3b/independent_sack");
+    for (label, accesses_per_toggle) in PERIODS {
+        let bed = TransitionBed::boot();
+        let mut counter = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bed, |b, bed| {
+            b.iter(|| {
+                counter += 1;
+                if accesses_per_toggle != u64::MAX && counter.is_multiple_of(accesses_per_toggle) {
+                    bed.toggle_speed();
+                }
+                bed.read_critical();
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The enhanced-AppArmor variant: each transition performs real policy
+/// work (profile patch, recompile, confinement refresh), so the overhead
+/// rises visibly with frequency — the paper's Fig. 3(b) curve.
+fn bench_transition_frequency_enhanced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3b/sack_enhanced_apparmor");
+    for (label, accesses_per_toggle) in PERIODS {
+        let bed = EnhancedTransitionBed::boot();
+        let mut counter = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bed, |b, bed| {
+            b.iter(|| {
+                counter += 1;
+                if accesses_per_toggle != u64::MAX && counter.is_multiple_of(accesses_per_toggle) {
+                    bed.toggle_speed();
+                }
+                bed.read_critical();
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The raw cost of one transition pair in each mode, to put the amortized
+/// numbers in context (independent: two atomic swaps; enhanced: two
+/// profile patches).
+fn bench_transition_pair_cost(c: &mut Criterion) {
+    let bed = TransitionBed::boot();
+    c.bench_function("fig3b/transition_pair_cost/independent", |b| {
+        b.iter(|| bed.toggle_speed());
+    });
+    let bed = EnhancedTransitionBed::boot();
+    c.bench_function("fig3b/transition_pair_cost/enhanced", |b| {
+        b.iter(|| bed.toggle_speed());
+    });
+}
+
+fn config_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = fig3b;
+    config = config_criterion();
+    targets = bench_transition_frequency_independent,
+              bench_transition_frequency_enhanced,
+              bench_transition_pair_cost
+}
+criterion_main!(fig3b);

@@ -1,0 +1,132 @@
+//! **Table II** — LMBench operations under the three LSM configurations
+//! (AppArmor baseline, SACK-enhanced AppArmor, independent SACK), plus the
+//! no-LSM kernel for reference.
+//!
+//! Per-operation Criterion groups; compare the per-config lines within a
+//! group to read off the paper's percentage columns. The full-table text
+//! report (all 17 rows) is produced by `examples/lmbench_report.rs`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sack_bench::{boot_config, table2_configs};
+use sack_kernel::file::OpenFlags;
+use sack_lmbench::testbed::LsmConfig;
+use sack_lmbench::workload::REREAD_FILE;
+
+fn configs() -> Vec<(&'static str, LsmConfig)> {
+    let mut all = vec![("no-lsm", LsmConfig::NoLsm)];
+    all.extend(table2_configs());
+    all
+}
+
+fn bench_syscall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/syscall");
+    for (label, config) in configs() {
+        let bed = boot_config(config);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bed, |b, bed| {
+            b.iter(|| std::hint::black_box(bed.proc().null_syscall()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/stat");
+    for (label, config) in configs() {
+        let bed = boot_config(config);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bed, |b, bed| {
+            b.iter(|| bed.proc().stat("/usr/bin/true").expect("stat"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_open_close(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/open_close");
+    for (label, config) in configs() {
+        let bed = boot_config(config);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bed, |b, bed| {
+            b.iter(|| {
+                let fd = bed
+                    .proc()
+                    .open(REREAD_FILE, OpenFlags::read_only())
+                    .expect("open");
+                bed.proc().close(fd).expect("close");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/read_1b");
+    for (label, config) in configs() {
+        let bed = boot_config(config);
+        let fd = bed
+            .proc()
+            .open(REREAD_FILE, OpenFlags::read_only())
+            .expect("open");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bed, |b, bed| {
+            let mut buf = [0u8; 1];
+            b.iter(|| {
+                bed.proc().seek(fd, 0).expect("seek");
+                bed.proc().read(fd, &mut buf).expect("read");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fork(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/fork");
+    group.sample_size(10);
+    for (label, config) in configs() {
+        let bed = boot_config(config);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bed, |b, bed| {
+            b.iter(|| {
+                let child = bed.proc().fork().expect("fork");
+                child.exit();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_file_create_delete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/file_create_delete_0k");
+    group.sample_size(10);
+    for (label, config) in configs() {
+        let bed = boot_config(config);
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bed, |b, bed| {
+            b.iter(|| {
+                let path = format!("/tmp/bench/t2_{i}");
+                i += 1;
+                let fd = bed
+                    .proc()
+                    .open(&path, OpenFlags::create_new())
+                    .expect("create");
+                bed.proc().close(fd).expect("close");
+                bed.proc().unlink(&path).expect("unlink");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = table2;
+    config = config_criterion();
+    targets = bench_syscall, bench_stat, bench_open_close, bench_read,
+              bench_fork, bench_file_create_delete
+}
+criterion_main!(table2);

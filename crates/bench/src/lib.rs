@@ -1,0 +1,298 @@
+//! # sack-bench — shared fixtures for the paper-reproduction benchmarks
+//!
+//! The Criterion targets in `benches/` regenerate every table and figure of
+//! the SACK paper's evaluation (see `DESIGN.md` §3 for the experiment
+//! index). This library crate holds the fixtures they share.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use sack_core::Sack;
+use sack_kernel::cred::{Capability, Credentials};
+use sack_kernel::file::OpenFlags;
+use sack_kernel::kernel::{Kernel, KernelBuilder};
+use sack_kernel::lsm::SecurityModule;
+use sack_kernel::types::Fd;
+use sack_kernel::uctx::UserContext;
+use sack_lmbench::testbed::{LsmConfig, TestBed, TestBedOptions};
+
+/// The non-baseline configurations of Table II, with display labels.
+pub fn table2_configs() -> Vec<(&'static str, LsmConfig)> {
+    vec![
+        ("apparmor-baseline", LsmConfig::AppArmor),
+        ("sack-enhanced-apparmor", LsmConfig::SackEnhancedAppArmor),
+        ("independent-sack", LsmConfig::IndependentSack),
+    ]
+}
+
+/// Boots a testbed for a Table II column.
+pub fn boot_config(config: LsmConfig) -> TestBed {
+    TestBed::boot(&TestBedOptions::new(config))
+}
+
+/// Boots the Table III sweep point: SACK-enhanced AppArmor with `rules`
+/// synthetic SACK rules.
+pub fn boot_rule_count(rules: usize) -> TestBed {
+    TestBed::boot(&TestBedOptions::new(LsmConfig::SackEnhancedAppArmor).with_sack_rules(rules))
+}
+
+/// Boots the Fig. 3a sweep point: independent SACK (the worst case, per the
+/// paper) with `states` situation states.
+pub fn boot_state_count(states: usize) -> TestBed {
+    TestBed::boot(&TestBedOptions::new(LsmConfig::IndependentSack).with_sack_states(states))
+}
+
+/// A kernel running independent SACK with the two-state high/low-speed
+/// policy of the Fig. 3b experiment, plus an event-writer process holding
+/// `CAP_MAC_ADMIN` with its SACKfs descriptor already open.
+pub struct TransitionBed {
+    /// The kernel under test.
+    pub kernel: Arc<Kernel>,
+    /// The SACK module.
+    pub sack: Arc<Sack>,
+    /// Workload process (reads the speed-gated file).
+    pub reader: UserContext,
+    /// Event-writer process (the SDS stand-in).
+    pub writer: UserContext,
+    /// Open descriptor on `/sys/kernel/security/SACK/events`.
+    pub events_fd: Fd,
+}
+
+/// The Fig. 3b policy: access to the critical file is allowed only in the
+/// low-speed situation.
+pub const SPEED_POLICY: &str = r#"
+states { low_speed_state = 0; high_speed_state = 1; }
+events { high_speed; low_speed; }
+transitions {
+    low_speed_state -high_speed-> high_speed_state;
+    high_speed_state -low_speed-> low_speed_state;
+}
+initial low_speed_state;
+permissions { ACCESS_CRITICAL; }
+state_per { low_speed_state: ACCESS_CRITICAL; }
+per_rules { ACCESS_CRITICAL: allow subject=* /etc/critical.conf r; }
+"#;
+
+impl TransitionBed {
+    /// Boots the Fig. 3b environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on setup failure (fixed inputs; failure is a harness bug).
+    pub fn boot() -> TransitionBed {
+        let sack = Sack::independent(SPEED_POLICY).expect("speed policy loads");
+        let kernel = KernelBuilder::new()
+            .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+            .boot();
+        sack.attach(&kernel).expect("sackfs attach");
+        let root = kernel.spawn(Credentials::root());
+        root.write_file("/etc/critical.conf", b"speed-gated content")
+            .expect("create critical file");
+        root.exit();
+        let reader = kernel.spawn(Credentials::user(1000, 1000));
+        let writer =
+            kernel.spawn(Credentials::user(500, 500).with_capability(Capability::MacAdmin));
+        let events_fd = writer
+            .open("/sys/kernel/security/SACK/events", OpenFlags::write_only())
+            .expect("open events node");
+        TransitionBed {
+            kernel,
+            sack,
+            reader,
+            writer,
+            events_fd,
+        }
+    }
+
+    /// Delivers one low→high→low transition pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event write fails (harness bug).
+    pub fn toggle_speed(&self) {
+        self.writer
+            .write(self.events_fd, b"high_speed\nlow_speed\n")
+            .expect("event write");
+    }
+
+    /// One unit of the measured workload: read the critical file (allowed
+    /// in the low-speed state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read fails while in the low-speed state.
+    pub fn read_critical(&self) {
+        let data = self
+            .reader
+            .read_to_vec("/etc/critical.conf")
+            .expect("low-speed read");
+        std::hint::black_box(data);
+    }
+}
+
+impl std::fmt::Debug for TransitionBed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransitionBed")
+            .field("state", &self.sack.current_state_name())
+            .finish()
+    }
+}
+
+/// The Fig. 3b policy in enhanced-AppArmor form: the critical-file rule is
+/// injected into (and retracted from) the `speedapp` profile on every
+/// transition.
+pub const SPEED_POLICY_ENHANCED: &str = r#"
+states { low_speed_state = 0; high_speed_state = 1; }
+events { high_speed; low_speed; }
+transitions {
+    low_speed_state -high_speed-> high_speed_state;
+    high_speed_state -low_speed-> low_speed_state;
+}
+initial low_speed_state;
+permissions { ACCESS_CRITICAL; }
+state_per { low_speed_state: ACCESS_CRITICAL; }
+per_rules { ACCESS_CRITICAL: allow subject=profile:speedapp /etc/critical.conf r; }
+"#;
+
+/// Fig. 3b environment in SACK-enhanced-AppArmor mode: every situation
+/// transition performs real policy work (profile patch + recompile +
+/// confinement refresh), which is where the paper's frequency-dependent
+/// overhead comes from.
+pub struct EnhancedTransitionBed {
+    /// The kernel under test.
+    pub kernel: Arc<Kernel>,
+    /// The SACK module (enhanced mode).
+    pub sack: Arc<Sack>,
+    /// Workload process, confined under the `speedapp` profile.
+    pub reader: UserContext,
+    /// Event-writer process.
+    pub writer: UserContext,
+    /// Open descriptor on the SACKfs events node.
+    pub events_fd: Fd,
+}
+
+impl EnhancedTransitionBed {
+    /// Boots the enhanced Fig. 3b environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on setup failure (fixed inputs; failure is a harness bug).
+    pub fn boot() -> EnhancedTransitionBed {
+        let db = Arc::new(sack_apparmor::PolicyDb::new());
+        // No /etc access in the base profile: the critical-file rule exists
+        // only while SACK injects it (low-speed state).
+        db.load_text("profile speedapp { /tmp/** rw, /usr/** rxm, }")
+            .expect("profile parses");
+        let apparmor = sack_apparmor::AppArmor::new(Arc::clone(&db));
+        let sack = Sack::enhanced_apparmor(SPEED_POLICY_ENHANCED, Arc::clone(&apparmor))
+            .expect("enhanced speed policy loads");
+        let kernel = KernelBuilder::new()
+            .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+            .security_module(Arc::clone(&apparmor) as Arc<dyn SecurityModule>)
+            .boot();
+        sack.attach(&kernel).expect("sackfs attach");
+        let root = kernel.spawn(Credentials::root());
+        root.write_file("/etc/critical.conf", b"speed-gated content")
+            .expect("create critical file");
+        root.exit();
+        let reader = kernel.spawn(Credentials::user(1000, 1000));
+        apparmor
+            .set_profile(reader.pid(), "speedapp")
+            .expect("confine reader");
+        let writer =
+            kernel.spawn(Credentials::user(500, 500).with_capability(Capability::MacAdmin));
+        let events_fd = writer
+            .open("/sys/kernel/security/SACK/events", OpenFlags::write_only())
+            .expect("open events node");
+        EnhancedTransitionBed {
+            kernel,
+            sack,
+            reader,
+            writer,
+            events_fd,
+        }
+    }
+
+    /// Delivers one low→high→low transition pair (each leg patches the
+    /// AppArmor profile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event write fails (harness bug).
+    pub fn toggle_speed(&self) {
+        self.writer
+            .write(self.events_fd, b"high_speed\nlow_speed\n")
+            .expect("event write");
+    }
+
+    /// One unit of the measured workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read fails while in the low-speed state.
+    pub fn read_critical(&self) {
+        let data = self
+            .reader
+            .read_to_vec("/etc/critical.conf")
+            .expect("low-speed read");
+        std::hint::black_box(data);
+    }
+}
+
+impl std::fmt::Debug for EnhancedTransitionBed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnhancedTransitionBed")
+            .field("state", &self.sack.current_state_name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transition_bed_gating_works() {
+        let bed = TransitionBed::boot();
+        bed.read_critical(); // low-speed: allowed
+        bed.writer.write(bed.events_fd, b"high_speed\n").unwrap();
+        assert!(bed.reader.read_to_vec("/etc/critical.conf").is_err());
+        bed.writer.write(bed.events_fd, b"low_speed\n").unwrap();
+        bed.read_critical();
+    }
+
+    #[test]
+    fn toggle_returns_to_low_speed() {
+        let bed = TransitionBed::boot();
+        bed.toggle_speed();
+        assert_eq!(bed.sack.current_state_name(), "low_speed_state");
+        bed.read_critical();
+    }
+
+    #[test]
+    fn enhanced_transition_bed_gating_works() {
+        let bed = EnhancedTransitionBed::boot();
+        bed.read_critical(); // low-speed: rule injected at boot
+        bed.writer.write(bed.events_fd, b"high_speed\n").unwrap();
+        let err = bed.reader.read_to_vec("/etc/critical.conf").unwrap_err();
+        assert_eq!(
+            err.context(),
+            Some("apparmor"),
+            "enhanced mode denies via AppArmor"
+        );
+        bed.writer.write(bed.events_fd, b"low_speed\n").unwrap();
+        bed.read_critical();
+        bed.toggle_speed();
+        bed.read_critical();
+    }
+
+    #[test]
+    fn sweep_fixtures_boot() {
+        boot_rule_count(10);
+        boot_state_count(5);
+        for (_, config) in table2_configs() {
+            boot_config(config);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! SACK's audit facility: a bounded in-kernel ring of denial records,
+//! readable through `/sys/kernel/security/SACK/audit`.
+//!
+//! Situation-aware denials are only debuggable if the record says *which
+//! situation* the kernel was in — a plain `EACCES` from a rule that exists
+//! only in some states would otherwise be unreproducible. Every record
+//! therefore carries the situation state at denial time.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use sack_apparmor::profile::FilePerms;
+use sack_kernel::types::Pid;
+
+/// Default ring capacity.
+pub const DEFAULT_AUDIT_CAPACITY: usize = 256;
+
+/// One denial record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Simulated time of the denial.
+    pub at: Duration,
+    /// Denied task.
+    pub pid: Pid,
+    /// Denied task's uid.
+    pub uid: u32,
+    /// Executable of the task, if it had exec'd.
+    pub exe: Option<String>,
+    /// Object path.
+    pub path: String,
+    /// Requested permissions.
+    pub requested: FilePerms,
+    /// Situation state at denial time.
+    pub state: String,
+}
+
+impl fmt::Display for AuditRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={:?} DENIED {} uid={} exe={} path={} requested={} state={}",
+            self.at,
+            self.pid,
+            self.uid,
+            self.exe.as_deref().unwrap_or("?"),
+            self.path,
+            self.requested,
+            self.state
+        )
+    }
+}
+
+/// Bounded denial ring.
+#[derive(Debug)]
+pub struct AuditLog {
+    ring: Mutex<VecDeque<AuditRecord>>,
+    capacity: usize,
+    total: std::sync::atomic::AtomicU64,
+}
+
+impl AuditLog {
+    /// Creates a log with the default capacity.
+    pub fn new() -> AuditLog {
+        AuditLog::with_capacity(DEFAULT_AUDIT_CAPACITY)
+    }
+
+    /// Creates a log bounded to `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> AuditLog {
+        assert!(capacity > 0, "audit capacity must be non-zero");
+        AuditLog {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            total: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&self, record: AuditRecord) {
+        self.total
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Snapshot of the retained records, oldest first.
+    pub fn records(&self) -> Vec<AuditRecord> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Total denials ever recorded (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// Renders the retained records as text (the `audit` node's content).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for record in self.ring.lock().iter() {
+            out.push_str(&record.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        AuditLog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: u64) -> AuditRecord {
+        AuditRecord {
+            at: Duration::from_millis(i),
+            pid: Pid(i as u32),
+            uid: 1000,
+            exe: Some("/usr/bin/app".to_string()),
+            path: format!("/dev/car/door{i}"),
+            requested: FilePerms::WRITE,
+            state: "driving".to_string(),
+        }
+    }
+
+    #[test]
+    fn push_and_snapshot() {
+        let log = AuditLog::new();
+        assert!(log.is_empty());
+        log.push(record(1));
+        log.push(record(2));
+        let records = log.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].pid, Pid(1));
+        assert_eq!(log.total(), 2);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = AuditLog::with_capacity(3);
+        for i in 0..5 {
+            log.push(record(i));
+        }
+        let records = log.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].pid, Pid(2), "oldest two evicted");
+        assert_eq!(log.total(), 5, "total counts evicted records");
+    }
+
+    #[test]
+    fn render_is_line_per_record() {
+        let log = AuditLog::new();
+        log.push(record(7));
+        let text = log.render();
+        assert!(text.contains("DENIED"));
+        assert!(text.contains("/dev/car/door7"));
+        assert!(text.contains("state=driving"));
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = AuditLog::with_capacity(0);
+    }
+}

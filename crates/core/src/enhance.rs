@@ -1,0 +1,270 @@
+//! SACK-enhanced AppArmor: the adaptive policy enforcer (APE) backend that
+//! patches AppArmor profiles when the situation state transitions
+//! (paper §III-E-3, second deployment mode).
+//!
+//! In this mode SACK performs no per-access checks of its own; instead, on
+//! every transition it rewrites the affected AppArmor profiles — removing
+//! the rules it injected for the previous state and installing the rules
+//! mapped from the new state's permissions — then refreshes task
+//! confinement so the change takes effect immediately. The per-access cost
+//! is therefore exactly AppArmor's, which is how the paper's Table II
+//! "SACK-enhanced AppArmor" column stays within noise of the baseline.
+
+use std::fmt;
+use std::sync::Arc;
+
+use sack_apparmor::profile::PathRule;
+use sack_apparmor::AppArmor;
+
+use crate::policy::CompiledPolicy;
+use crate::rules::{RuleEffect, SubjectMatch};
+use crate::situation::StateId;
+
+/// Origin tag attached to every AppArmor rule SACK injects, so they can be
+/// retracted wholesale on the next transition.
+pub const SACK_RULE_ORIGIN: &str = "sack";
+
+/// Errors applying a state's rules to AppArmor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnhanceError {
+    message: String,
+}
+
+impl EnhanceError {
+    fn new(message: impl Into<String>) -> Self {
+        EnhanceError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for EnhanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for EnhanceError {}
+
+/// The APE backend targeting AppArmor.
+pub struct AppArmorEnhancer {
+    apparmor: Arc<AppArmor>,
+}
+
+impl AppArmorEnhancer {
+    /// Creates an enhancer over a live AppArmor module.
+    pub fn new(apparmor: Arc<AppArmor>) -> Self {
+        AppArmorEnhancer { apparmor }
+    }
+
+    /// The enhanced AppArmor module.
+    pub fn apparmor(&self) -> &Arc<AppArmor> {
+        &self.apparmor
+    }
+
+    /// Applies the rules of `state`: per target profile, retracts previously
+    /// injected rules and installs the new set, then refreshes confinement.
+    ///
+    /// Only rules with a `subject=profile:<name>` selector can be attached
+    /// to a specific profile; the policy checker's enhanced-mode validation
+    /// ([`validate_for_enhancement`]) rejects policies relying on other
+    /// selectors.
+    ///
+    /// # Errors
+    ///
+    /// [`EnhanceError`] if a referenced profile is not loaded.
+    pub fn apply_state(&self, policy: &CompiledPolicy, state: StateId) -> Result<(), EnhanceError> {
+        // Collect the new rules per profile.
+        let mut per_profile: Vec<(String, Vec<PathRule>)> = Vec::new();
+        for perm in policy.permissions_of(state) {
+            for rule in policy.rules_of(*perm) {
+                let SubjectMatch::Profile(profile) = &rule.subject else {
+                    continue;
+                };
+                let path_rule = PathRule {
+                    glob: rule.object.clone(),
+                    perms: rule.perms,
+                    deny: rule.effect == RuleEffect::Deny,
+                    origin: Some(SACK_RULE_ORIGIN.to_string()),
+                };
+                match per_profile.iter_mut().find(|(name, _)| name == profile) {
+                    Some((_, rules)) => rules.push(path_rule),
+                    None => per_profile.push((profile.clone(), vec![path_rule])),
+                }
+            }
+        }
+
+        let db = self.apparmor.policy();
+        // Retract old SACK rules from every loaded profile (the previous
+        // state may have touched profiles the new one does not).
+        for name in db.profile_names() {
+            db.patch(&name, |p| {
+                p.remove_rules_with_origin(SACK_RULE_ORIGIN);
+            })
+            .map_err(|e| EnhanceError::new(e.to_string()))?;
+        }
+        // Install the new state's rules.
+        for (profile, rules) in per_profile {
+            db.patch(&profile, move |p| {
+                p.path_rules.extend(rules);
+            })
+            .map_err(|_| {
+                EnhanceError::new(format!(
+                    "SACK policy targets AppArmor profile `{profile}` which is not loaded"
+                ))
+            })?;
+        }
+        self.apparmor.refresh_confinement();
+        Ok(())
+    }
+}
+
+impl fmt::Debug for AppArmorEnhancer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AppArmorEnhancer")
+            .field("profiles", &self.apparmor.policy().len())
+            .finish()
+    }
+}
+
+/// Enhanced-mode validation: every rule must use a `profile:` subject (so
+/// it can be attached to an AppArmor profile) and every referenced profile
+/// must exist in `loaded_profiles`.
+pub fn validate_for_enhancement(
+    policy: &CompiledPolicy,
+    loaded_profiles: &[String],
+) -> Result<(), EnhanceError> {
+    for perm in policy.permissions() {
+        let id = policy
+            .permission_id(&perm.name)
+            .expect("permission from the policy itself");
+        for rule in policy.rules_of(id) {
+            match &rule.subject {
+                SubjectMatch::Profile(name) => {
+                    if !loaded_profiles.iter().any(|p| p == name) {
+                        return Err(EnhanceError::new(format!(
+                            "rule for `{}` targets profile `{name}` which is not loaded",
+                            perm.name
+                        )));
+                    }
+                }
+                other => {
+                    return Err(EnhanceError::new(format!(
+                        "rule for `{}` uses selector `{other}`; enhanced mode requires \
+                         `subject=profile:<name>`",
+                        perm.name
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::SackPolicy;
+    use sack_apparmor::profile::{FilePerms, Profile};
+    use sack_apparmor::PolicyDb;
+
+    const ENHANCED_POLICY: &str = r#"
+        states { normal = 0; emergency = 1; }
+        events { crash; rescue_done; }
+        transitions { normal -crash-> emergency; emergency -rescue_done-> normal; }
+        initial normal;
+        permissions { CONTROL_CAR_DOORS; }
+        state_per { emergency: CONTROL_CAR_DOORS; }
+        per_rules {
+            CONTROL_CAR_DOORS: allow subject=profile:rescue_daemon /dev/car/** wi;
+        }
+    "#;
+
+    fn setup() -> (
+        Arc<AppArmor>,
+        AppArmorEnhancer,
+        crate::policy::CompiledPolicy,
+    ) {
+        let db = Arc::new(PolicyDb::new());
+        db.load(Profile::new("rescue_daemon"));
+        let apparmor = AppArmor::new(db);
+        let enhancer = AppArmorEnhancer::new(Arc::clone(&apparmor));
+        let policy = SackPolicy::parse(ENHANCED_POLICY)
+            .unwrap()
+            .compile()
+            .unwrap();
+        (apparmor, enhancer, policy)
+    }
+
+    #[test]
+    fn apply_emergency_injects_rules_and_normal_retracts() {
+        let (apparmor, enhancer, policy) = setup();
+        let normal = policy.space().state_id("normal").unwrap();
+        let emergency = policy.space().state_id("emergency").unwrap();
+
+        enhancer.apply_state(&policy, emergency).unwrap();
+        let compiled = apparmor.policy().get("rescue_daemon").unwrap();
+        assert!(compiled
+            .rules()
+            .evaluate("/dev/car/door0")
+            .permits(FilePerms::WRITE | FilePerms::IOCTL));
+
+        enhancer.apply_state(&policy, normal).unwrap();
+        let compiled = apparmor.policy().get("rescue_daemon").unwrap();
+        assert!(!compiled
+            .rules()
+            .evaluate("/dev/car/door0")
+            .permits(FilePerms::WRITE));
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let (apparmor, enhancer, policy) = setup();
+        let emergency = policy.space().state_id("emergency").unwrap();
+        enhancer.apply_state(&policy, emergency).unwrap();
+        enhancer.apply_state(&policy, emergency).unwrap();
+        let compiled = apparmor.policy().get("rescue_daemon").unwrap();
+        // Rules were retracted and re-added, not duplicated.
+        assert_eq!(compiled.profile().path_rules.len(), 1);
+    }
+
+    #[test]
+    fn missing_target_profile_is_an_error() {
+        let db = Arc::new(PolicyDb::new()); // rescue_daemon NOT loaded
+        let apparmor = AppArmor::new(db);
+        let enhancer = AppArmorEnhancer::new(apparmor);
+        let policy = SackPolicy::parse(ENHANCED_POLICY)
+            .unwrap()
+            .compile()
+            .unwrap();
+        let emergency = policy.space().state_id("emergency").unwrap();
+        let err = enhancer.apply_state(&policy, emergency).unwrap_err();
+        assert!(err.to_string().contains("rescue_daemon"));
+    }
+
+    #[test]
+    fn validation_requires_profile_subjects() {
+        let policy = SackPolicy::parse(
+            r#"states { a = 0; } initial a;
+               permissions { P; }
+               state_per { a: P; }
+               per_rules { P: allow subject=* /x r; }"#,
+        )
+        .unwrap()
+        .compile()
+        .unwrap();
+        let err = validate_for_enhancement(&policy, &["p".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("enhanced mode requires"));
+    }
+
+    #[test]
+    fn validation_requires_loaded_profiles() {
+        let policy = SackPolicy::parse(ENHANCED_POLICY)
+            .unwrap()
+            .compile()
+            .unwrap();
+        assert!(validate_for_enhancement(&policy, &["rescue_daemon".to_string()]).is_ok());
+        let err = validate_for_enhancement(&policy, &[]).unwrap_err();
+        assert!(err.to_string().contains("not loaded"));
+    }
+}

@@ -1,0 +1,413 @@
+//! Policy validation — SACK's "policy-checking tools \[that\] handle errors
+//! and conflicts" (paper §III-D).
+//!
+//! The checker runs before compilation. *Errors* abort the load (undefined
+//! references, duplicates, malformed rules, conflicting transitions);
+//! *warnings* are surfaced but tolerated (unreachable states, unused
+//! permissions, shadowed rules).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use sack_apparmor::profile::FilePerms;
+
+use super::{RuleSpec, SackPolicy, SubjectSpec};
+
+/// Severity of a policy issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueSeverity {
+    /// Fatal: the policy will not load.
+    Error,
+    /// Suspicious but loadable.
+    Warning,
+}
+
+impl fmt::Display for IssueSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssueSeverity::Error => f.write_str("error"),
+            IssueSeverity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// One finding from the policy checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyIssue {
+    /// Error or warning.
+    pub severity: IssueSeverity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl PolicyIssue {
+    fn error(message: impl Into<String>) -> Self {
+        PolicyIssue {
+            severity: IssueSeverity::Error,
+            message: message.into(),
+        }
+    }
+
+    fn warning(message: impl Into<String>) -> Self {
+        PolicyIssue {
+            severity: IssueSeverity::Warning,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PolicyIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.severity, self.message)
+    }
+}
+
+fn check_rule(perm: &str, spec: &RuleSpec, issues: &mut Vec<PolicyIssue>) {
+    if let Err(e) = sack_apparmor::glob::Glob::compile(&spec.object) {
+        issues.push(PolicyIssue::error(format!(
+            "rule for `{perm}` (line {}): {e}",
+            spec.line
+        )));
+    }
+    if let SubjectSpec::Exe(glob) = &spec.subject {
+        if let Err(e) = sack_apparmor::glob::Glob::compile(glob) {
+            issues.push(PolicyIssue::error(format!(
+                "rule for `{perm}` (line {}): subject {e}",
+                spec.line
+            )));
+        }
+    }
+    match FilePerms::parse(&spec.perms) {
+        Ok(p) if p.is_empty() => issues.push(PolicyIssue::error(format!(
+            "rule for `{perm}` (line {}): empty permission set",
+            spec.line
+        ))),
+        Ok(_) => {}
+        Err(c) => issues.push(PolicyIssue::error(format!(
+            "rule for `{perm}` (line {}): unknown permission letter `{c}`",
+            spec.line
+        ))),
+    }
+}
+
+/// Validates a policy AST, returning every detected issue.
+pub fn check_policy(policy: &SackPolicy) -> Vec<PolicyIssue> {
+    let mut issues = Vec::new();
+
+    // --- States: duplicates in names and encodings -----------------------
+    let mut state_names = HashSet::new();
+    let mut encodings = HashMap::new();
+    for (name, enc) in &policy.states {
+        if !state_names.insert(name.as_str()) {
+            issues.push(PolicyIssue::error(format!("duplicate state `{name}`")));
+        }
+        if let Some(prev) = encodings.insert(*enc, name.as_str()) {
+            issues.push(PolicyIssue::error(format!(
+                "states `{prev}` and `{name}` share encoding {enc}"
+            )));
+        }
+    }
+    if policy.states.is_empty() {
+        issues.push(PolicyIssue::error("policy declares no situation states"));
+    }
+
+    // --- Events -----------------------------------------------------------
+    let mut event_names = HashSet::new();
+    for name in &policy.events {
+        if !event_names.insert(name.as_str()) {
+            issues.push(PolicyIssue::error(format!("duplicate event `{name}`")));
+        }
+    }
+
+    // --- Transitions: refs + determinism -----------------------------------
+    let mut seen_transitions: HashMap<(&str, &str), &str> = HashMap::new();
+    for (from, event, to) in &policy.transitions {
+        for state in [from, to] {
+            if !state_names.contains(state.as_str()) {
+                issues.push(PolicyIssue::error(format!(
+                    "transition references undefined state `{state}`"
+                )));
+            }
+        }
+        if !event_names.contains(event.as_str()) {
+            issues.push(PolicyIssue::error(format!(
+                "transition references undefined event `{event}`"
+            )));
+        }
+        match seen_transitions.insert((from.as_str(), event.as_str()), to.as_str()) {
+            Some(prev) if prev != to.as_str() => {
+                issues.push(PolicyIssue::error(format!(
+                    "conflicting transitions from `{from}` on `{event}`: `-> {prev}` and `-> {to}`"
+                )));
+            }
+            Some(_) => issues.push(PolicyIssue::warning(format!(
+                "duplicate transition `{from} -{event}-> {to}`"
+            ))),
+            None => {}
+        }
+    }
+
+    // --- Initial state ------------------------------------------------------
+    match &policy.initial {
+        None => issues.push(PolicyIssue::error("missing `initial <state>;`")),
+        Some(s) if !state_names.contains(s.as_str()) => {
+            issues.push(PolicyIssue::error(format!(
+                "initial state `{s}` is undefined"
+            )));
+        }
+        Some(_) => {}
+    }
+
+    // --- Permissions ---------------------------------------------------------
+    let mut perm_names = HashSet::new();
+    for name in &policy.permissions {
+        if !perm_names.insert(name.as_str()) {
+            issues.push(PolicyIssue::error(format!("duplicate permission `{name}`")));
+        }
+    }
+
+    // --- State_Per -------------------------------------------------------------
+    let mut mapped_perms: HashSet<&str> = HashSet::new();
+    let mut state_per_states: HashSet<&str> = HashSet::new();
+    for (state, perms) in &policy.state_per {
+        // `*` grants the listed permissions in every state.
+        if state != "*" && !state_names.contains(state.as_str()) {
+            issues.push(PolicyIssue::error(format!(
+                "state_per references undefined state `{state}`"
+            )));
+        }
+        if !state_per_states.insert(state.as_str()) {
+            issues.push(PolicyIssue::warning(format!(
+                "state `{state}` appears twice in state_per (entries are merged)"
+            )));
+        }
+        for perm in perms {
+            if !perm_names.contains(perm.as_str()) {
+                issues.push(PolicyIssue::error(format!(
+                    "state_per references undefined permission `{perm}`"
+                )));
+            }
+            mapped_perms.insert(perm.as_str());
+        }
+    }
+
+    // --- Per_Rules -----------------------------------------------------------
+    let mut ruled_perms: HashSet<&str> = HashSet::new();
+    for (perm, rules) in &policy.per_rules {
+        if !perm_names.contains(perm.as_str()) {
+            issues.push(PolicyIssue::error(format!(
+                "per_rules references undefined permission `{perm}`"
+            )));
+        }
+        ruled_perms.insert(perm.as_str());
+        for spec in rules {
+            check_rule(perm, spec, &mut issues);
+        }
+        // Exact allow/deny contradiction inside one permission.
+        for (i, a) in rules.iter().enumerate() {
+            for b in rules.iter().skip(i + 1) {
+                if a.subject == b.subject
+                    && a.object == b.object
+                    && a.perms == b.perms
+                    && a.effect != b.effect
+                {
+                    issues.push(PolicyIssue::warning(format!(
+                        "permission `{perm}`: contradictory allow/deny for `{}` `{}` (deny wins)",
+                        a.subject, a.object
+                    )));
+                }
+            }
+        }
+    }
+
+    // --- Cross-interface warnings ----------------------------------------------
+    for name in &policy.permissions {
+        if !mapped_perms.contains(name.as_str()) {
+            issues.push(PolicyIssue::warning(format!(
+                "permission `{name}` is never granted by any state"
+            )));
+        }
+        if !ruled_perms.contains(name.as_str()) {
+            issues.push(PolicyIssue::warning(format!(
+                "permission `{name}` has no MAC rules (grants nothing)"
+            )));
+        }
+    }
+
+    // --- Reachability (only when the machine is well-formed so far) --------------
+    if issues.iter().all(|i| i.severity != IssueSeverity::Error) {
+        if let Some(initial) = &policy.initial {
+            let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+            for (from, _, to) in &policy.transitions {
+                adj.entry(from.as_str()).or_default().push(to.as_str());
+            }
+            let mut seen: HashSet<&str> = HashSet::new();
+            let mut stack = vec![initial.as_str()];
+            seen.insert(initial.as_str());
+            while let Some(s) = stack.pop() {
+                for next in adj.get(s).into_iter().flatten() {
+                    if seen.insert(next) {
+                        stack.push(next);
+                    }
+                }
+            }
+            for (name, _) in &policy.states {
+                if !seen.contains(name.as_str()) {
+                    issues.push(PolicyIssue::warning(format!(
+                        "state `{name}` is unreachable from the initial state"
+                    )));
+                }
+            }
+        }
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::parse_policy;
+
+    fn errors(text: &str) -> Vec<String> {
+        check_policy(&parse_policy(text).unwrap())
+            .into_iter()
+            .filter(|i| i.severity == IssueSeverity::Error)
+            .map(|i| i.message)
+            .collect()
+    }
+
+    fn warnings(text: &str) -> Vec<String> {
+        check_policy(&parse_policy(text).unwrap())
+            .into_iter()
+            .filter(|i| i.severity == IssueSeverity::Warning)
+            .map(|i| i.message)
+            .collect()
+    }
+
+    const VALID: &str = r#"
+        states { a = 0; b = 1; }
+        events { e; }
+        transitions { a -e-> b; b -e-> a; }
+        initial a;
+        permissions { P; }
+        state_per { a: P; b: P; }
+        per_rules { P: allow subject=* /x rw; }
+    "#;
+
+    #[test]
+    fn valid_policy_has_no_issues() {
+        assert!(check_policy(&parse_policy(VALID).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_state_and_encoding() {
+        let errs = errors("states { a = 0; a = 1; b = 0; } initial a;");
+        assert!(errs.iter().any(|e| e.contains("duplicate state `a`")));
+        assert!(errs.iter().any(|e| e.contains("share encoding 0")));
+    }
+
+    #[test]
+    fn undefined_references_are_errors() {
+        let errs = errors(
+            r#"
+            states { a = 0; }
+            transitions { a -ghost_event-> ghost_state; }
+            initial missing;
+            state_per { other: NOPERM; }
+            per_rules { ALSO_MISSING: allow subject=* /x r; }
+            "#,
+        );
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("undefined event `ghost_event`")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("undefined state `ghost_state`")));
+        assert!(errs.iter().any(|e| e.contains("initial state `missing`")));
+        assert!(errs.iter().any(|e| e.contains("undefined state `other`")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("undefined permission `NOPERM`")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("undefined permission `ALSO_MISSING`")));
+    }
+
+    #[test]
+    fn nondeterministic_transition_is_error() {
+        let errs = errors(
+            "states { a=0; b=1; c=2; } events { e; } transitions { a -e-> b; a -e-> c; } initial a;",
+        );
+        assert!(errs.iter().any(|e| e.contains("conflicting transitions")));
+    }
+
+    #[test]
+    fn duplicate_transition_is_warning() {
+        let warns = warnings(
+            "states { a=0; b=1; } events { e; } transitions { a -e-> b; a -e-> b; } initial a;",
+        );
+        assert!(warns.iter().any(|w| w.contains("duplicate transition")));
+    }
+
+    #[test]
+    fn bad_rule_contents_are_errors() {
+        let errs = errors(
+            r#"
+            states { a = 0; } initial a;
+            permissions { P; Q; R; }
+            state_per { a: P, Q, R; }
+            per_rules {
+              P: allow subject=* /x[ r;
+              Q: allow subject=* /x zz;
+              R: allow subject=/bad[ /x r;
+            }
+            "#,
+        );
+        assert!(errs.iter().any(|e| e.contains("invalid glob")));
+        assert!(errs.iter().any(|e| e.contains("unknown permission letter")));
+        assert!(errs.iter().any(|e| e.contains("subject invalid glob")));
+    }
+
+    #[test]
+    fn unreachable_state_is_warning() {
+        let warns = warnings(
+            "states { a=0; island=1; } events { e; } transitions { a -e-> a; } initial a;",
+        );
+        assert!(warns.iter().any(|w| w.contains("unreachable")));
+    }
+
+    #[test]
+    fn unused_permission_warnings() {
+        let warns = warnings(
+            r#"states { a=0; } initial a;
+               permissions { USED; UNMAPPED; NORULE; }
+               state_per { a: USED, NORULE; }
+               per_rules { USED: allow subject=* /x r; UNMAPPED: allow subject=* /y r; }"#,
+        );
+        assert!(warns
+            .iter()
+            .any(|w| w.contains("`UNMAPPED` is never granted")));
+        assert!(warns
+            .iter()
+            .any(|w| w.contains("`NORULE` has no MAC rules")));
+    }
+
+    #[test]
+    fn contradictory_rules_are_warned() {
+        let warns = warnings(
+            r#"states { a=0; } initial a;
+               permissions { P; }
+               state_per { a: P; }
+               per_rules { P: allow subject=* /x w; deny subject=* /x w; }"#,
+        );
+        assert!(warns.iter().any(|w| w.contains("contradictory")));
+    }
+
+    #[test]
+    fn empty_policy_is_error() {
+        let errs = errors("");
+        assert!(errs.iter().any(|e| e.contains("no situation states")));
+        assert!(errs.iter().any(|e| e.contains("missing `initial")));
+    }
+}

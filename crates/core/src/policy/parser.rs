@@ -1,0 +1,579 @@
+//! Parser for the SACK policy language.
+//!
+//! ```text
+//! states      { normal = 0; emergency = 1; }
+//! events      { crash; rescue_done; }
+//! transitions { normal -crash-> emergency; emergency -rescue_done-> normal; }
+//! initial normal;
+//! permissions { NORMAL; CONTROL_CAR_DOORS; }
+//! state_per   { emergency: NORMAL, CONTROL_CAR_DOORS; }
+//! per_rules   {
+//!   CONTROL_CAR_DOORS: allow subject=/usr/bin/rescue* /dev/car/** wi;
+//! }
+//! ```
+
+use std::fmt;
+
+use crate::rules::RuleEffect;
+
+use super::{RuleSpec, SackPolicy, SubjectSpec};
+
+/// Policy syntax error with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    /// Line the error occurred on.
+    pub line: usize,
+    message: String,
+}
+
+impl ParsePolicyError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParsePolicyError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Word(String),
+    OpenBrace,
+    CloseBrace,
+    Semi,
+    Comma,
+    Colon,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Word(w) => write!(f, "`{w}`"),
+            Tok::OpenBrace => f.write_str("`{`"),
+            Tok::CloseBrace => f.write_str("`}`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Colon => f.write_str("`:`"),
+        }
+    }
+}
+
+fn tokenize(text: &str) -> Vec<(usize, Tok)> {
+    let mut tokens = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(idx) => &raw[..idx],
+            None => raw,
+        };
+        let n = lineno + 1;
+        let mut word = String::new();
+        // Depth of glob alternation braces (`/dev/{door,window}*`): while
+        // positive, `{`/`}`/`,` belong to the pattern. A `{` opens an
+        // alternation exactly when it appears mid-word; section braces are
+        // preceded by whitespace.
+        let mut glob_depth = 0usize;
+        let flush = |word: &mut String, tokens: &mut Vec<(usize, Tok)>| {
+            if !word.is_empty() {
+                // A trailing colon (`NORMAL:` or a lone `:`) splits off, but
+                // not inside path-like words (`subject=profile:rescue` has
+                // no trailing colon, paths keep any colon they contain).
+                if word.ends_with(':') && !word.contains('/') {
+                    let w = word[..word.len() - 1].to_string();
+                    if !w.is_empty() {
+                        tokens.push((n, Tok::Word(w)));
+                    }
+                    tokens.push((n, Tok::Colon));
+                } else {
+                    tokens.push((n, Tok::Word(std::mem::take(word))));
+                }
+                word.clear();
+            }
+        };
+        for ch in line.chars() {
+            match ch {
+                '{' if !word.is_empty() => {
+                    glob_depth += 1;
+                    word.push('{');
+                }
+                '}' if glob_depth > 0 => {
+                    glob_depth -= 1;
+                    word.push('}');
+                }
+                ',' if glob_depth > 0 => word.push(','),
+                '{' => {
+                    flush(&mut word, &mut tokens);
+                    glob_depth = 0;
+                    tokens.push((n, Tok::OpenBrace));
+                }
+                '}' => {
+                    flush(&mut word, &mut tokens);
+                    tokens.push((n, Tok::CloseBrace));
+                }
+                ';' => {
+                    flush(&mut word, &mut tokens);
+                    glob_depth = 0;
+                    tokens.push((n, Tok::Semi));
+                }
+                ',' => {
+                    flush(&mut word, &mut tokens);
+                    tokens.push((n, Tok::Comma));
+                }
+                c if c.is_whitespace() => {
+                    flush(&mut word, &mut tokens);
+                    glob_depth = 0;
+                }
+                c => word.push(c),
+            }
+        }
+        flush(&mut word, &mut tokens);
+    }
+    tokens
+}
+
+struct Parser {
+    tokens: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&(usize, Tok)> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<(usize, Tok)> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |(l, _)| *l)
+    }
+
+    fn expect(&mut self, want: &Tok, context: &str) -> Result<usize, ParsePolicyError> {
+        match self.bump() {
+            Some((line, t)) if t == *want => Ok(line),
+            Some((line, t)) => Err(ParsePolicyError::new(
+                line,
+                format!("expected {want} {context}, found {t}"),
+            )),
+            None => Err(ParsePolicyError::new(
+                self.here(),
+                format!("expected {want} {context}, found end of input"),
+            )),
+        }
+    }
+
+    fn expect_word(&mut self, context: &str) -> Result<(usize, String), ParsePolicyError> {
+        match self.bump() {
+            Some((line, Tok::Word(w))) => Ok((line, w)),
+            Some((line, t)) => Err(ParsePolicyError::new(
+                line,
+                format!("expected {context}, found {t}"),
+            )),
+            None => Err(ParsePolicyError::new(
+                self.here(),
+                format!("expected {context}, found end of input"),
+            )),
+        }
+    }
+
+    fn parse(&mut self) -> Result<SackPolicy, ParsePolicyError> {
+        let mut policy = SackPolicy::default();
+        while let Some((line, tok)) = self.bump() {
+            let Tok::Word(section) = tok else {
+                return Err(ParsePolicyError::new(
+                    line,
+                    format!("expected section keyword, found {tok}"),
+                ));
+            };
+            match section.as_str() {
+                "states" => self.parse_states(&mut policy)?,
+                "events" => self.parse_events(&mut policy)?,
+                "transitions" => self.parse_transitions(&mut policy)?,
+                "initial" => {
+                    let (_, state) = self.expect_word("initial state name")?;
+                    if policy.initial.is_some() {
+                        return Err(ParsePolicyError::new(line, "duplicate `initial`"));
+                    }
+                    policy.initial = Some(state);
+                    self.expect(&Tok::Semi, "after `initial`")?;
+                }
+                "permissions" => self.parse_permissions(&mut policy)?,
+                "state_per" => self.parse_state_per(&mut policy)?,
+                "per_rules" => self.parse_per_rules(&mut policy)?,
+                other => {
+                    return Err(ParsePolicyError::new(
+                        line,
+                        format!("unknown section `{other}`"),
+                    ))
+                }
+            }
+        }
+        Ok(policy)
+    }
+
+    fn parse_block<F>(&mut self, mut entry: F) -> Result<(), ParsePolicyError>
+    where
+        F: FnMut(&mut Self) -> Result<(), ParsePolicyError>,
+    {
+        self.expect(&Tok::OpenBrace, "to open section")?;
+        loop {
+            match self.peek() {
+                Some((_, Tok::CloseBrace)) => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(_) => entry(self)?,
+                None => {
+                    return Err(ParsePolicyError::new(
+                        self.here(),
+                        "unterminated section (missing `}`)",
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_states(&mut self, policy: &mut SackPolicy) -> Result<(), ParsePolicyError> {
+        self.parse_block(|p| {
+            let (line, word) = p.expect_word("state name")?;
+            // Accept `name = N ;`, `name=N ;` and `name N ;`.
+            let (name, encoding) = if let Some((n, e)) = word.split_once('=') {
+                (n.to_string(), e.to_string())
+            } else {
+                let (_, next) = p.expect_word("`=` or encoding")?;
+                if next == "=" {
+                    let (_, enc) = p.expect_word("state encoding")?;
+                    (word, enc)
+                } else if let Some(enc) = next.strip_prefix('=') {
+                    (word, enc.to_string())
+                } else {
+                    (word, next)
+                }
+            };
+            let encoding: u32 = encoding.parse().map_err(|_| {
+                ParsePolicyError::new(line, format!("invalid state encoding `{encoding}`"))
+            })?;
+            policy.states.push((name, encoding));
+            p.expect(&Tok::Semi, "after state declaration")?;
+            Ok(())
+        })
+    }
+
+    fn parse_events(&mut self, policy: &mut SackPolicy) -> Result<(), ParsePolicyError> {
+        self.parse_block(|p| {
+            let (_, name) = p.expect_word("event name")?;
+            policy.events.push(name);
+            p.expect(&Tok::Semi, "after event declaration")?;
+            Ok(())
+        })
+    }
+
+    fn parse_transitions(&mut self, policy: &mut SackPolicy) -> Result<(), ParsePolicyError> {
+        self.parse_block(|p| {
+            let (_, from) = p.expect_word("source state")?;
+            let (eline, arrow) = p.expect_word("`-event->`")?;
+            let event = arrow
+                .strip_prefix('-')
+                .and_then(|s| s.strip_suffix("->"))
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| {
+                    ParsePolicyError::new(
+                        eline,
+                        format!("expected `-event->` arrow, found `{arrow}`"),
+                    )
+                })?;
+            let (_, to) = p.expect_word("target state")?;
+            policy.transitions.push((from, event.to_string(), to));
+            p.expect(&Tok::Semi, "after transition")?;
+            Ok(())
+        })
+    }
+
+    fn parse_permissions(&mut self, policy: &mut SackPolicy) -> Result<(), ParsePolicyError> {
+        self.parse_block(|p| {
+            let (_, name) = p.expect_word("permission name")?;
+            policy.permissions.push(name);
+            p.expect(&Tok::Semi, "after permission declaration")?;
+            Ok(())
+        })
+    }
+
+    fn parse_state_per(&mut self, policy: &mut SackPolicy) -> Result<(), ParsePolicyError> {
+        self.parse_block(|p| {
+            let (_, state) = p.expect_word("state name")?;
+            p.expect(&Tok::Colon, "after state name")?;
+            let mut perms = Vec::new();
+            loop {
+                let (_, perm) = p.expect_word("permission name")?;
+                perms.push(perm);
+                match p.bump() {
+                    Some((_, Tok::Comma)) => continue,
+                    Some((_, Tok::Semi)) => break,
+                    Some((line, t)) => {
+                        return Err(ParsePolicyError::new(
+                            line,
+                            format!("expected `,` or `;` in state_per entry, found {t}"),
+                        ))
+                    }
+                    None => {
+                        return Err(ParsePolicyError::new(
+                            p.here(),
+                            "unterminated state_per entry",
+                        ))
+                    }
+                }
+            }
+            policy.state_per.push((state, perms));
+            Ok(())
+        })
+    }
+
+    fn parse_per_rules(&mut self, policy: &mut SackPolicy) -> Result<(), ParsePolicyError> {
+        self.expect(&Tok::OpenBrace, "to open section")?;
+        loop {
+            match self.peek() {
+                Some((_, Tok::CloseBrace)) => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(_) => {
+                    let (_, perm) = self.expect_word("permission name")?;
+                    self.expect(&Tok::Colon, "after permission name")?;
+                    let mut rules = Vec::new();
+                    // Rules until the next `PERM :` or `}`.
+                    loop {
+                        match self.peek() {
+                            Some((_, Tok::CloseBrace)) => break,
+                            Some((_, Tok::Word(w))) if w != "allow" && w != "deny" => {
+                                break; // next permission header
+                            }
+                            Some(_) => rules.push(self.parse_rule()?),
+                            None => {
+                                return Err(ParsePolicyError::new(
+                                    self.here(),
+                                    "unterminated per_rules section",
+                                ))
+                            }
+                        }
+                    }
+                    policy.per_rules.push((perm, rules));
+                }
+                None => {
+                    return Err(ParsePolicyError::new(
+                        self.here(),
+                        "unterminated per_rules section",
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_rule(&mut self) -> Result<RuleSpec, ParsePolicyError> {
+        let (line, effect_word) = self.expect_word("`allow` or `deny`")?;
+        let effect = match effect_word.as_str() {
+            "allow" => RuleEffect::Allow,
+            "deny" => RuleEffect::Deny,
+            other => {
+                return Err(ParsePolicyError::new(
+                    line,
+                    format!("expected `allow` or `deny`, found `{other}`"),
+                ))
+            }
+        };
+        let (sline, subject_word) = self.expect_word("subject selector")?;
+        let subject =
+            parse_subject(&subject_word).map_err(|msg| ParsePolicyError::new(sline, msg))?;
+        let (oline, object) = self.expect_word("object path pattern")?;
+        if !object.starts_with('/') {
+            return Err(ParsePolicyError::new(
+                oline,
+                format!("object pattern must be absolute, found `{object}`"),
+            ));
+        }
+        let (_, perms) = self.expect_word("permission letters")?;
+        self.expect(&Tok::Semi, "after rule")?;
+        Ok(RuleSpec {
+            effect,
+            subject,
+            object,
+            perms,
+            line,
+        })
+    }
+}
+
+fn parse_subject(word: &str) -> Result<SubjectSpec, String> {
+    if let Some(value) = word.strip_prefix("subject=") {
+        if value == "*" {
+            Ok(SubjectSpec::Any)
+        } else if let Some(profile) = value.strip_prefix("profile:") {
+            if profile.is_empty() {
+                Err("empty profile name in subject".to_string())
+            } else {
+                Ok(SubjectSpec::Profile(profile.to_string()))
+            }
+        } else if value.starts_with('/') {
+            Ok(SubjectSpec::Exe(value.to_string()))
+        } else {
+            Err(format!(
+                "subject must be `*`, an absolute path pattern, or `profile:<name>`, found `{value}`"
+            ))
+        }
+    } else if let Some(uid) = word.strip_prefix("uid=") {
+        uid.parse::<u32>()
+            .map(SubjectSpec::Uid)
+            .map_err(|_| format!("invalid uid `{uid}`"))
+    } else {
+        Err(format!(
+            "expected `subject=...` or `uid=...`, found `{word}`"
+        ))
+    }
+}
+
+/// Parses SACK policy text into an AST.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number.
+pub fn parse_policy(text: &str) -> Result<SackPolicy, ParsePolicyError> {
+    Parser {
+        tokens: tokenize(text),
+        pos: 0,
+    }
+    .parse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_sections() {
+        let policy = parse_policy(
+            r#"
+            states { normal = 0; emergency = 1; }
+            events { crash; rescue_done; }
+            transitions { normal -crash-> emergency; }
+            initial normal;
+            permissions { NORMAL; CONTROL_CAR_DOORS; }
+            state_per { emergency: NORMAL, CONTROL_CAR_DOORS; }
+            per_rules {
+              NORMAL: allow subject=* /dev/car/** r;
+              CONTROL_CAR_DOORS:
+                allow subject=/usr/bin/rescue* /dev/car/** wi;
+                deny uid=1001 /dev/car/door9 w;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            policy.states,
+            vec![("normal".into(), 0), ("emergency".into(), 1)]
+        );
+        assert_eq!(policy.events.len(), 2);
+        assert_eq!(
+            policy.transitions,
+            vec![("normal".into(), "crash".into(), "emergency".into())]
+        );
+        assert_eq!(policy.initial.as_deref(), Some("normal"));
+        assert_eq!(policy.permissions.len(), 2);
+        assert_eq!(policy.state_per[0].1.len(), 2);
+        assert_eq!(policy.per_rules.len(), 2);
+        assert_eq!(policy.per_rules[1].1.len(), 2);
+        assert_eq!(policy.per_rules[1].1[1].effect, RuleEffect::Deny);
+        assert_eq!(policy.per_rules[1].1[1].subject, SubjectSpec::Uid(1001));
+    }
+
+    #[test]
+    fn state_encoding_forms() {
+        let policy = parse_policy("states { a=0; b = 1; c 2; }").unwrap();
+        assert_eq!(
+            policy.states,
+            vec![("a".into(), 0), ("b".into(), 1), ("c".into(), 2)]
+        );
+    }
+
+    #[test]
+    fn subject_forms() {
+        assert_eq!(parse_subject("subject=*").unwrap(), SubjectSpec::Any);
+        assert_eq!(
+            parse_subject("subject=/usr/bin/x").unwrap(),
+            SubjectSpec::Exe("/usr/bin/x".into())
+        );
+        assert_eq!(parse_subject("uid=0").unwrap(), SubjectSpec::Uid(0));
+        assert_eq!(
+            parse_subject("subject=profile:rescue").unwrap(),
+            SubjectSpec::Profile("rescue".into())
+        );
+        assert!(parse_subject("subject=relative/path").is_err());
+        assert!(parse_subject("uid=abc").is_err());
+        assert!(parse_subject("who=me").is_err());
+        assert!(parse_subject("subject=profile:").is_err());
+    }
+
+    #[test]
+    fn bad_arrow_is_error() {
+        let err = parse_policy("states { a=0; } transitions { a crash a; }").unwrap_err();
+        assert!(err.to_string().contains("arrow"), "{err}");
+    }
+
+    #[test]
+    fn relative_object_is_error() {
+        let err = parse_policy("per_rules { P: allow subject=* dev/x r; }").unwrap_err();
+        assert!(err.to_string().contains("absolute"));
+    }
+
+    #[test]
+    fn unknown_section_is_error() {
+        let err = parse_policy("bogus { }").unwrap_err();
+        assert!(err.to_string().contains("unknown section"));
+    }
+
+    #[test]
+    fn duplicate_initial_is_error() {
+        let err = parse_policy("states { a=0; } initial a; initial a;").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn line_numbers_in_errors() {
+        let err = parse_policy("states {\n a=0;\n bad encoding here\n}").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn comments_and_empty_input() {
+        assert_eq!(parse_policy("# nothing\n").unwrap(), SackPolicy::default());
+        let policy = parse_policy("states { a=0; # trailing\n }").unwrap();
+        assert_eq!(policy.states.len(), 1);
+    }
+
+    #[test]
+    fn per_rules_multiple_permission_groups() {
+        let policy = parse_policy(
+            r#"per_rules {
+                A: allow subject=* /a r;
+                B: allow subject=* /b w;
+                   allow subject=* /b2 w;
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(policy.per_rules[0].1.len(), 1);
+        assert_eq!(policy.per_rules[1].1.len(), 2);
+    }
+}

@@ -1,0 +1,730 @@
+//! The SACK security module itself: situation state machine + adaptive
+//! policy enforcement, deployable as **independent SACK** (own MAC rules)
+//! or **SACK-enhanced AppArmor** (patches AppArmor's policies on situation
+//! transitions). Paper §III-E-3.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use sack_apparmor::profile::FilePerms;
+use sack_apparmor::AppArmor;
+use sack_kernel::cred::Capability;
+use sack_kernel::error::{Errno, KernelError, KernelResult};
+use sack_kernel::kernel::Kernel;
+use sack_kernel::lsm::{AccessMask, HookCtx, ObjectKind, ObjectRef, SecurityModule};
+
+use crate::audit::{AuditLog, AuditRecord};
+use crate::enhance::{validate_for_enhancement, AppArmorEnhancer, EnhanceError};
+use crate::policy::{CompiledPolicy, ParsePolicyError, PolicyIssue, SackPolicy};
+use crate::rules::SubjectCtx;
+use crate::situation::StateId;
+use crate::ssm::{Ssm, TransitionOutcome};
+
+/// Deployment mode of the SACK module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnforcementMode {
+    /// SACK checks accesses against its own per-state MAC rules.
+    Independent,
+    /// SACK patches AppArmor profiles on transitions; per-access checks are
+    /// AppArmor's alone.
+    EnhancedAppArmor,
+}
+
+impl fmt::Display for EnforcementMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnforcementMode::Independent => f.write_str("independent"),
+            EnforcementMode::EnhancedAppArmor => f.write_str("enhanced-apparmor"),
+        }
+    }
+}
+
+/// Errors raised by the SACK module.
+#[derive(Debug)]
+pub enum SackError {
+    /// Policy text did not parse.
+    Parse(ParsePolicyError),
+    /// Policy failed validation; all issues are included.
+    Invalid(Vec<PolicyIssue>),
+    /// The state machine could not be built.
+    Ssm(crate::ssm::BuildSsmError),
+    /// An event name not declared in the policy.
+    UnknownEvent(String),
+    /// Enhanced-mode policy application failed.
+    Enhance(EnhanceError),
+    /// Kernel error (securityfs registration, ...).
+    Kernel(KernelError),
+}
+
+impl fmt::Display for SackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SackError::Parse(e) => write!(f, "policy parse error: {e}"),
+            SackError::Invalid(issues) => {
+                write!(f, "policy validation failed:")?;
+                for issue in issues {
+                    write!(f, "\n  {issue}")?;
+                }
+                Ok(())
+            }
+            SackError::Ssm(e) => write!(f, "state machine error: {e}"),
+            SackError::UnknownEvent(name) => write!(f, "unknown situation event `{name}`"),
+            SackError::Enhance(e) => write!(f, "enhanced-mode error: {e}"),
+            SackError::Kernel(e) => write!(f, "kernel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SackError {}
+
+impl From<ParsePolicyError> for SackError {
+    fn from(e: ParsePolicyError) -> Self {
+        SackError::Parse(e)
+    }
+}
+
+impl From<KernelError> for SackError {
+    fn from(e: KernelError) -> Self {
+        SackError::Kernel(e)
+    }
+}
+
+/// Counters exposed through `/sys/kernel/security/SACK/stats`.
+#[derive(Debug, Default)]
+pub struct SackStats {
+    /// Access checks performed on protected objects.
+    pub checks: AtomicU64,
+    /// Denials issued.
+    pub denials: AtomicU64,
+    /// Accesses passed through because the object is unprotected.
+    pub unprotected: AtomicU64,
+    /// Checks bypassed via `CAP_MAC_OVERRIDE`.
+    pub overrides: AtomicU64,
+    /// Situation events received through SACKfs.
+    pub events_received: AtomicU64,
+    /// Events rejected as unknown.
+    pub events_unknown: AtomicU64,
+}
+
+/// A loaded policy with its running state machine; swapped atomically on
+/// policy reload.
+pub struct ActivePolicy {
+    /// The situation state machine.
+    pub ssm: Ssm,
+    /// The compiled policy.
+    pub policy: CompiledPolicy,
+}
+
+impl ActivePolicy {
+    fn from_text(text: &str) -> Result<ActivePolicy, SackError> {
+        let ast = SackPolicy::parse(text)?;
+        let policy = ast.compile().map_err(SackError::Invalid)?;
+        let ssm = Ssm::new(
+            policy.space().clone(),
+            policy.transitions(),
+            policy.initial(),
+        )
+        .map_err(SackError::Ssm)?;
+        Ok(ActivePolicy { ssm, policy })
+    }
+}
+
+impl fmt::Debug for ActivePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActivePolicy")
+            .field("current", &self.ssm.current_name())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+/// The SACK security module.
+///
+/// Construct with [`Sack::independent`] or [`Sack::enhanced_apparmor`],
+/// stack it (first!) into the kernel via
+/// [`sack_kernel::KernelBuilder::security_module`], then call
+/// [`Sack::attach`] once the kernel is booted to register the SACKfs nodes.
+pub struct Sack {
+    mode: EnforcementMode,
+    active: RwLock<Arc<ActivePolicy>>,
+    enhancer: Option<AppArmorEnhancer>,
+    /// Oracle resolving `subject=profile:` selectors in independent mode.
+    profile_oracle: RwLock<Option<Arc<AppArmor>>>,
+    stats: SackStats,
+    audit: AuditLog,
+    /// Set at [`Sack::attach`]; used to timestamp audit records.
+    kernel: RwLock<Option<std::sync::Weak<Kernel>>>,
+}
+
+impl Sack {
+    /// Builds an independent-SACK module from policy text.
+    ///
+    /// # Errors
+    ///
+    /// Parse/validation/state-machine errors.
+    pub fn independent(policy_text: &str) -> Result<Arc<Sack>, SackError> {
+        let active = ActivePolicy::from_text(policy_text)?;
+        Ok(Arc::new(Sack {
+            mode: EnforcementMode::Independent,
+            active: RwLock::new(Arc::new(active)),
+            enhancer: None,
+            profile_oracle: RwLock::new(None),
+            stats: SackStats::default(),
+            audit: AuditLog::new(),
+            kernel: RwLock::new(None),
+        }))
+    }
+
+    /// Builds a SACK-enhanced-AppArmor module: validates that every rule
+    /// targets a loaded AppArmor profile, then applies the initial state.
+    ///
+    /// # Errors
+    ///
+    /// Parse/validation errors, plus enhanced-mode validation failures.
+    pub fn enhanced_apparmor(
+        policy_text: &str,
+        apparmor: Arc<AppArmor>,
+    ) -> Result<Arc<Sack>, SackError> {
+        let active = ActivePolicy::from_text(policy_text)?;
+        validate_for_enhancement(&active.policy, &apparmor.policy().profile_names())
+            .map_err(SackError::Enhance)?;
+        let enhancer = AppArmorEnhancer::new(apparmor);
+        enhancer
+            .apply_state(&active.policy, active.ssm.current())
+            .map_err(SackError::Enhance)?;
+        Ok(Arc::new(Sack {
+            mode: EnforcementMode::EnhancedAppArmor,
+            active: RwLock::new(Arc::new(active)),
+            enhancer: Some(enhancer),
+            profile_oracle: RwLock::new(None),
+            stats: SackStats::default(),
+            audit: AuditLog::new(),
+            kernel: RwLock::new(None),
+        }))
+    }
+
+    /// The deployment mode.
+    pub fn mode(&self) -> EnforcementMode {
+        self.mode
+    }
+
+    /// Counter snapshot source.
+    pub fn stats(&self) -> &SackStats {
+        &self.stats
+    }
+
+    /// Configures the profile oracle used to resolve `subject=profile:`
+    /// selectors in independent mode.
+    pub fn set_profile_oracle(&self, apparmor: Arc<AppArmor>) {
+        *self.profile_oracle.write() = Some(apparmor);
+    }
+
+    /// Snapshot of the active policy (cheap Arc clone).
+    pub fn active(&self) -> Arc<ActivePolicy> {
+        Arc::clone(&self.active.read())
+    }
+
+    /// Name of the current situation state.
+    pub fn current_state_name(&self) -> String {
+        let active = self.active.read();
+        active.ssm.current_name().to_string()
+    }
+
+    /// Registers the SACKfs nodes (`events`, `state`, `policy`, `stats`)
+    /// under `/sys/kernel/security/SACK/`.
+    ///
+    /// # Errors
+    ///
+    /// securityfs registration errors.
+    pub fn attach(self: &Arc<Self>, kernel: &Arc<Kernel>) -> Result<(), SackError> {
+        crate::sackfs::register(self, kernel)?;
+        *self.kernel.write() = Some(Arc::downgrade(kernel));
+        Ok(())
+    }
+
+    /// The denial audit log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    fn now(&self) -> std::time::Duration {
+        self.kernel
+            .read()
+            .as_ref()
+            .and_then(std::sync::Weak::upgrade)
+            .map(|k| k.clock().now())
+            .unwrap_or(std::time::Duration::ZERO)
+    }
+
+    /// Delivers a situation event by name at simulated time `now`
+    /// (Algorithm 1 step). This is the entry point SACKfs calls for every
+    /// `write(2)` on `/sys/kernel/security/SACK/events`.
+    ///
+    /// # Errors
+    ///
+    /// [`SackError::UnknownEvent`] for undeclared events;
+    /// [`SackError::Enhance`] if enhanced-mode profile patching fails.
+    pub fn deliver_event(&self, name: &str, now: Duration) -> Result<TransitionOutcome, SackError> {
+        self.stats.events_received.fetch_add(1, Ordering::Relaxed);
+        let active = self.active();
+        let outcome = active.ssm.deliver_by_name(name, now).map_err(|unknown| {
+            self.stats.events_unknown.fetch_add(1, Ordering::Relaxed);
+            SackError::UnknownEvent(unknown)
+        })?;
+        if let TransitionOutcome::Transitioned { to, .. } = outcome {
+            if let Some(enhancer) = &self.enhancer {
+                enhancer
+                    .apply_state(&active.policy, to)
+                    .map_err(SackError::Enhance)?;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Replaces the loaded policy atomically (a SACKfs `policy` write).
+    /// The state machine restarts from the new policy's initial state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as construction; on error the old policy stays
+    /// active.
+    pub fn reload_policy(&self, text: &str) -> Result<Vec<PolicyIssue>, SackError> {
+        let next = ActivePolicy::from_text(text)?;
+        if let Some(enhancer) = &self.enhancer {
+            validate_for_enhancement(&next.policy, &enhancer.apparmor().policy().profile_names())
+                .map_err(SackError::Enhance)?;
+            enhancer
+                .apply_state(&next.policy, next.ssm.current())
+                .map_err(SackError::Enhance)?;
+        }
+        let warnings = next.policy.warnings().to_vec();
+        *self.active.write() = Arc::new(next);
+        Ok(warnings)
+    }
+
+    /// The independent-mode access check shared by the file hooks.
+    fn check_access(
+        &self,
+        ctx: &HookCtx,
+        obj: &ObjectRef<'_>,
+        requested: FilePerms,
+    ) -> KernelResult<()> {
+        if self.mode != EnforcementMode::Independent {
+            return Ok(()); // enhanced mode: AppArmor does the checking
+        }
+        // Pipes and sockets have synthetic paths; SACK mediates filesystem
+        // objects (incl. device nodes), as in the paper's case study.
+        if matches!(obj.kind, ObjectKind::Pipe | ObjectKind::Socket) {
+            return Ok(());
+        }
+        let active = self.active.read();
+        if !active.policy.protected().contains(obj.path.as_str()) {
+            self.stats.unprotected.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        if ctx.cred.capable(Capability::MacOverride) {
+            self.stats.overrides.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        self.stats.checks.fetch_add(1, Ordering::Relaxed);
+        let state: StateId = active.ssm.current();
+        let rules = active.policy.state_rules(state);
+        let profile = self
+            .profile_oracle
+            .read()
+            .as_ref()
+            .and_then(|aa| aa.current_profile(ctx.pid));
+        let subject = SubjectCtx {
+            uid: ctx.cred.uid.0,
+            exe: ctx.exe.as_ref().map(|p| p.as_str()),
+            profile: profile.as_deref(),
+        };
+        if rules.permits(&subject, obj.path.as_str(), requested) {
+            Ok(())
+        } else {
+            self.stats.denials.fetch_add(1, Ordering::Relaxed);
+            self.audit.push(AuditRecord {
+                at: self.now(),
+                pid: ctx.pid,
+                uid: ctx.cred.uid.0,
+                exe: ctx.exe.as_ref().map(|p| p.as_str().to_string()),
+                path: obj.path.as_str().to_string(),
+                requested,
+                state: active.ssm.space().state(state).name.clone(),
+            });
+            Err(KernelError::with_context(Errno::EACCES, "sack"))
+        }
+    }
+}
+
+impl SecurityModule for Sack {
+    fn name(&self) -> &'static str {
+        "sack"
+    }
+
+    fn file_open(&self, ctx: &HookCtx, obj: &ObjectRef<'_>, mask: AccessMask) -> KernelResult<()> {
+        self.check_access(ctx, obj, FilePerms::from_access_mask(mask))
+    }
+
+    fn file_permission(
+        &self,
+        ctx: &HookCtx,
+        obj: &ObjectRef<'_>,
+        mask: AccessMask,
+    ) -> KernelResult<()> {
+        self.check_access(ctx, obj, FilePerms::from_access_mask(mask))
+    }
+
+    fn file_ioctl(&self, ctx: &HookCtx, obj: &ObjectRef<'_>, _cmd: u32) -> KernelResult<()> {
+        self.check_access(ctx, obj, FilePerms::IOCTL)
+    }
+
+    fn file_mmap(&self, ctx: &HookCtx, obj: &ObjectRef<'_>, _mask: AccessMask) -> KernelResult<()> {
+        self.check_access(ctx, obj, FilePerms::MMAP)
+    }
+
+    fn inode_unlink(&self, ctx: &HookCtx, obj: &ObjectRef<'_>) -> KernelResult<()> {
+        self.check_access(ctx, obj, FilePerms::WRITE)
+    }
+
+    fn inode_rename(
+        &self,
+        ctx: &HookCtx,
+        old: &ObjectRef<'_>,
+        new: &sack_kernel::KPath,
+    ) -> KernelResult<()> {
+        self.check_access(ctx, old, FilePerms::WRITE)?;
+        let new_obj = ObjectRef {
+            path: new,
+            kind: old.kind,
+            dev: None,
+        };
+        self.check_access(ctx, &new_obj, FilePerms::WRITE)
+    }
+}
+
+impl fmt::Debug for Sack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sack")
+            .field("mode", &self.mode)
+            .field("state", &self.current_state_name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sack_kernel::cred::Credentials;
+    use sack_kernel::file::OpenFlags;
+    use sack_kernel::kernel::KernelBuilder;
+    use sack_kernel::path::KPath;
+    use sack_kernel::types::Mode;
+
+    const DOOR_POLICY: &str = r#"
+        states { normal = 0; emergency = 1; }
+        events { crash; rescue_done; }
+        transitions { normal -crash-> emergency; emergency -rescue_done-> normal; }
+        initial normal;
+        permissions { NORMAL; CONTROL_CAR_DOORS; }
+        state_per {
+            normal: NORMAL;
+            emergency: NORMAL, CONTROL_CAR_DOORS;
+        }
+        per_rules {
+            NORMAL: allow subject=* /dev/car/** r;
+            CONTROL_CAR_DOORS: allow subject=/usr/bin/rescue* /dev/car/** wi;
+        }
+    "#;
+
+    fn boot_independent() -> (Arc<Kernel>, Arc<Sack>) {
+        let sack = Sack::independent(DOOR_POLICY).unwrap();
+        let kernel = KernelBuilder::new()
+            .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+            .boot();
+        kernel
+            .vfs()
+            .mkdir_all(&KPath::new("/dev/car").unwrap())
+            .unwrap();
+        // Pre-create device files (as regular files; device semantics are
+        // exercised in the vehicle crate).
+        for name in ["door0", "window0"] {
+            kernel
+                .vfs()
+                .create_file(
+                    &KPath::new(&format!("/dev/car/{name}")).unwrap(),
+                    Mode(0o666),
+                    sack_kernel::Uid::ROOT,
+                    sack_kernel::Gid(0),
+                )
+                .unwrap();
+        }
+        for exe in ["/usr/bin/rescue_daemon", "/usr/bin/media_app"] {
+            kernel
+                .vfs()
+                .create_file(
+                    &KPath::new(exe).unwrap(),
+                    Mode::EXEC,
+                    sack_kernel::Uid::ROOT,
+                    sack_kernel::Gid(0),
+                )
+                .unwrap();
+        }
+        (kernel, sack)
+    }
+
+    #[test]
+    fn independent_mode_enforces_per_state() {
+        let (kernel, sack) = boot_independent();
+        let rescue = kernel.spawn(Credentials::user(100, 100));
+        rescue.exec("/usr/bin/rescue_daemon").unwrap();
+
+        // Normal state: write to door denied even for the rescue daemon.
+        let err = rescue
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .unwrap_err();
+        assert_eq!(err.context(), Some("sack"));
+        // Reads are fine (NORMAL permission).
+        assert!(rescue
+            .open("/dev/car/door0", OpenFlags::read_only())
+            .is_ok());
+
+        // Crash: emergency state grants CONTROL_CAR_DOORS to rescue*.
+        sack.deliver_event("crash", Duration::ZERO).unwrap();
+        assert_eq!(sack.current_state_name(), "emergency");
+        assert!(rescue
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .is_ok());
+
+        // Other apps still cannot.
+        let media = kernel.spawn(Credentials::user(200, 200));
+        media.exec("/usr/bin/media_app").unwrap();
+        assert!(media
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .is_err());
+
+        // Back to normal: permission retracted.
+        sack.deliver_event("rescue_done", Duration::ZERO).unwrap();
+        assert!(rescue
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .is_err());
+    }
+
+    #[test]
+    fn unprotected_objects_are_not_mediated() {
+        let (kernel, sack) = boot_independent();
+        let p = kernel.spawn(Credentials::user(100, 100));
+        assert!(p.write_file("/tmp/scratch", b"ok").is_ok());
+        assert!(sack.stats().unprotected.load(Ordering::Relaxed) > 0);
+        assert_eq!(sack.stats().denials.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn mac_override_bypasses_sack() {
+        let (kernel, sack) = boot_independent();
+        let privileged =
+            kernel.spawn(Credentials::user(0, 0).with_capability(Capability::MacOverride));
+        assert!(privileged
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .is_ok());
+        assert!(sack.stats().overrides.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn unknown_event_is_rejected_and_counted() {
+        let (_kernel, sack) = boot_independent();
+        let err = sack.deliver_event("meteor", Duration::ZERO).unwrap_err();
+        assert!(matches!(err, SackError::UnknownEvent(ref n) if n == "meteor"));
+        assert_eq!(sack.stats().events_unknown.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn reload_policy_swaps_atomically() {
+        let (_kernel, sack) = boot_independent();
+        sack.deliver_event("crash", Duration::ZERO).unwrap();
+        assert_eq!(sack.current_state_name(), "emergency");
+        let new_policy = r#"
+            states { idle = 0; busy = 1; }
+            events { go; halt; }
+            transitions { idle -go-> busy; busy -halt-> idle; }
+            initial idle;
+            permissions { P; }
+            state_per { busy: P; }
+            per_rules { P: allow subject=* /data/** rw; }
+        "#;
+        sack.reload_policy(new_policy).unwrap();
+        assert_eq!(sack.current_state_name(), "idle");
+        assert!(matches!(
+            sack.deliver_event("crash", Duration::ZERO),
+            Err(SackError::UnknownEvent(_))
+        ));
+        sack.deliver_event("go", Duration::ZERO).unwrap();
+        assert_eq!(sack.current_state_name(), "busy");
+    }
+
+    #[test]
+    fn reload_rejects_bad_policy_and_keeps_old() {
+        let (_kernel, sack) = boot_independent();
+        assert!(sack.reload_policy("states {").is_err());
+        assert!(sack
+            .reload_policy("states { a = 0; } initial ghost;")
+            .is_err());
+        // Old policy still live.
+        assert_eq!(sack.current_state_name(), "normal");
+        assert!(sack.deliver_event("crash", Duration::ZERO).is_ok());
+    }
+
+    #[test]
+    fn enhanced_mode_reload_reapplies_initial_state() {
+        let db = Arc::new(sack_apparmor::PolicyDb::new());
+        db.load(sack_apparmor::Profile::new("svc"));
+        let apparmor = AppArmor::new(Arc::clone(&db));
+        let policy_v1 = r#"
+            states { off = 0; on = 1; }
+            events { enable; disable; }
+            transitions { off -enable-> on; on -disable-> off; }
+            initial off;
+            permissions { P; }
+            state_per { on: P; }
+            per_rules { P: allow subject=profile:svc /v1/** rw; }
+        "#;
+        let sack = Sack::enhanced_apparmor(policy_v1, Arc::clone(&apparmor)).unwrap();
+        sack.deliver_event("enable", Duration::ZERO).unwrap();
+        assert!(db
+            .get("svc")
+            .unwrap()
+            .rules()
+            .evaluate("/v1/data")
+            .permits(FilePerms::READ));
+
+        // Reload with a different object tree; the machine restarts in its
+        // initial state (off) and the v1 rules are retracted.
+        let policy_v2 = policy_v1.replace("/v1/**", "/v2/**");
+        sack.reload_policy(&policy_v2).unwrap();
+        assert_eq!(sack.current_state_name(), "off");
+        let compiled = db.get("svc").unwrap();
+        assert!(!compiled.rules().evaluate("/v1/data").permits(FilePerms::READ));
+        assert!(!compiled.rules().evaluate("/v2/data").permits(FilePerms::READ));
+        sack.deliver_event("enable", Duration::ZERO).unwrap();
+        let compiled = db.get("svc").unwrap();
+        assert!(compiled.rules().evaluate("/v2/data").permits(FilePerms::READ));
+        assert!(!compiled.rules().evaluate("/v1/data").permits(FilePerms::READ));
+    }
+
+    #[test]
+    fn enhanced_mode_reload_rejects_unloaded_profile_targets() {
+        let db = Arc::new(sack_apparmor::PolicyDb::new());
+        db.load(sack_apparmor::Profile::new("svc"));
+        let apparmor = AppArmor::new(Arc::clone(&db));
+        let good = r#"
+            states { s = 0; } initial s;
+            permissions { P; }
+            state_per { s: P; }
+            per_rules { P: allow subject=profile:svc /x r; }
+        "#;
+        let sack = Sack::enhanced_apparmor(good, Arc::clone(&apparmor)).unwrap();
+        let bad = good.replace("profile:svc", "profile:ghost");
+        assert!(matches!(
+            sack.reload_policy(&bad),
+            Err(SackError::Enhance(_))
+        ));
+        // Old policy remains active and enforced.
+        let compiled = db.get("svc").unwrap();
+        assert!(compiled.rules().evaluate("/x").permits(FilePerms::READ));
+    }
+
+    #[test]
+    fn enhanced_mode_hooks_pass_through() {
+        let db = Arc::new(sack_apparmor::PolicyDb::new());
+        db.load(sack_apparmor::Profile::new("rescue_daemon"));
+        let apparmor = AppArmor::new(db);
+        let policy = r#"
+            states { normal = 0; emergency = 1; }
+            events { crash; }
+            transitions { normal -crash-> emergency; }
+            initial normal;
+            permissions { P; }
+            state_per { emergency: P; }
+            per_rules { P: allow subject=profile:rescue_daemon /dev/car/** wi; }
+        "#;
+        let sack = Sack::enhanced_apparmor(policy, Arc::clone(&apparmor)).unwrap();
+        assert_eq!(sack.mode(), EnforcementMode::EnhancedAppArmor);
+        let kernel = KernelBuilder::new()
+            .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+            .security_module(Arc::clone(&apparmor) as Arc<dyn SecurityModule>)
+            .boot();
+        kernel
+            .vfs()
+            .mkdir_all(&KPath::new("/dev/car").unwrap())
+            .unwrap();
+        kernel
+            .vfs()
+            .create_file(
+                &KPath::new("/dev/car/door0").unwrap(),
+                Mode(0o666),
+                sack_kernel::Uid::ROOT,
+                sack_kernel::Gid(0),
+            )
+            .unwrap();
+        let daemon = kernel.spawn(Credentials::root());
+        apparmor.set_profile(daemon.pid(), "rescue_daemon").unwrap();
+        // Normal: the profile has no rules, so the write is denied by
+        // AppArmor (not by SACK).
+        let err = daemon
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .unwrap_err();
+        assert_eq!(err.context(), Some("apparmor"));
+        // Crash: SACK injects the rule into the profile.
+        sack.deliver_event("crash", Duration::ZERO).unwrap();
+        assert!(daemon
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .is_ok());
+        // SACK itself performed no checks.
+        assert_eq!(sack.stats().checks.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn profile_oracle_resolves_profile_subjects_in_independent_mode() {
+        let policy = r#"
+            states { s = 0; } initial s;
+            permissions { P; }
+            state_per { s: P; }
+            per_rules { P: allow subject=profile:trusted /secret/** r; }
+        "#;
+        let sack = Sack::independent(policy).unwrap();
+        let db = Arc::new(sack_apparmor::PolicyDb::new());
+        db.load_text("profile trusted { /secret/** r, /tmp/** rw, }")
+            .unwrap();
+        let apparmor = AppArmor::new(db);
+        sack.set_profile_oracle(Arc::clone(&apparmor));
+        let kernel = KernelBuilder::new()
+            .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+            .security_module(Arc::clone(&apparmor) as Arc<dyn SecurityModule>)
+            .boot();
+        kernel
+            .vfs()
+            .mkdir_all(&KPath::new("/secret").unwrap())
+            .unwrap();
+        kernel
+            .vfs()
+            .create_file(
+                &KPath::new("/secret/key").unwrap(),
+                Mode(0o644),
+                sack_kernel::Uid::ROOT,
+                sack_kernel::Gid(0),
+            )
+            .unwrap();
+        // Unprivileged users: root holds CAP_MAC_OVERRIDE, which would
+        // (correctly) bypass SACK entirely.
+        let trusted = kernel.spawn(Credentials::user(100, 100));
+        apparmor.set_profile(trusted.pid(), "trusted").unwrap();
+        assert!(trusted.read_to_vec("/secret/key").is_ok());
+        let untrusted = kernel.spawn(Credentials::user(200, 200));
+        let err = untrusted.read_to_vec("/secret/key").unwrap_err();
+        assert_eq!(err.context(), Some("sack"));
+    }
+}

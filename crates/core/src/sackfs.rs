@@ -1,0 +1,383 @@
+//! SACKfs: the securityfs interface of the SACK module (paper C1).
+//!
+//! Nodes registered under `/sys/kernel/security/SACK/`:
+//!
+//! | node     | access | purpose                                             |
+//! |----------|--------|-----------------------------------------------------|
+//! | `events` | write  | situation-event delivery from the SDS               |
+//! | `state`  | read   | current situation state (`name encoding`)           |
+//! | `policy` | rw     | policy dump / live policy replacement               |
+//! | `stats`  | read   | module counters                                     |
+//!
+//! Writes to `events` and `policy` require `CAP_MAC_ADMIN`, matching the
+//! paper's threat model (attackers cannot obtain MAC capabilities, so they
+//! cannot forge situation events even after compromising an application).
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use sack_kernel::error::{Errno, KernelError, KernelResult};
+use sack_kernel::kernel::Kernel;
+use sack_kernel::lsm::HookCtx;
+use sack_kernel::securityfs::{require_mac_admin, securityfs_path, SecurityFsFile};
+use sack_kernel::types::Mode;
+
+use crate::sack::{Sack, SackError};
+
+/// securityfs directory name of the module.
+pub const SACK_DIR: &str = "SACK";
+
+fn upgrade<T>(weak: &Weak<T>) -> KernelResult<Arc<T>> {
+    weak.upgrade()
+        .ok_or_else(|| KernelError::with_context(Errno::EIO, "sackfs"))
+}
+
+struct EventsNode {
+    sack: Weak<Sack>,
+    kernel: Weak<Kernel>,
+}
+
+impl SecurityFsFile for EventsNode {
+    fn write_content(&self, ctx: &HookCtx, data: &[u8]) -> KernelResult<usize> {
+        require_mac_admin(ctx)?;
+        let sack = upgrade(&self.sack)?;
+        let now = upgrade(&self.kernel)
+            .map(|k| k.clock().now())
+            .unwrap_or(Duration::ZERO);
+        let text = std::str::from_utf8(data)
+            .map_err(|_| KernelError::with_context(Errno::EINVAL, "sackfs"))?;
+        for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            match sack.deliver_event(line, now) {
+                Ok(_) => {}
+                Err(SackError::UnknownEvent(_)) => {
+                    return Err(KernelError::with_context(Errno::EINVAL, "sackfs"))
+                }
+                Err(_) => return Err(KernelError::with_context(Errno::EIO, "sackfs")),
+            }
+        }
+        Ok(data.len())
+    }
+
+    fn mode(&self) -> Mode {
+        // World-writable node; the CAP_MAC_ADMIN check in the handler is
+        // the real gate (DAC would otherwise hide the capability check).
+        Mode(0o666)
+    }
+}
+
+struct StateNode {
+    sack: Weak<Sack>,
+}
+
+impl SecurityFsFile for StateNode {
+    fn read_content(&self, _ctx: &HookCtx) -> KernelResult<Vec<u8>> {
+        let sack = upgrade(&self.sack)?;
+        let active = sack.active();
+        let state = active.ssm.space().state(active.ssm.current());
+        Ok(format!("{} {}\n", state.name, state.encoding).into_bytes())
+    }
+
+    fn mode(&self) -> Mode {
+        Mode(0o444)
+    }
+}
+
+struct PolicyNode {
+    sack: Weak<Sack>,
+}
+
+impl SecurityFsFile for PolicyNode {
+    fn read_content(&self, _ctx: &HookCtx) -> KernelResult<Vec<u8>> {
+        let sack = upgrade(&self.sack)?;
+        let active = sack.active();
+        let space = active.ssm.space();
+        let mut out = String::new();
+        out.push_str(&format!("mode {}\n", sack.mode()));
+        out.push_str(&format!("current {}\n", active.ssm.current_name()));
+        out.push_str("states");
+        for s in space.states() {
+            out.push_str(&format!(" {}={}", s.name, s.encoding));
+        }
+        out.push('\n');
+        out.push_str("events");
+        for e in space.events() {
+            out.push_str(&format!(" {}", e.name));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "permissions {}\nrules {}\n",
+            active.policy.permissions().len(),
+            active.policy.rule_count()
+        ));
+        Ok(out.into_bytes())
+    }
+
+    fn write_content(&self, ctx: &HookCtx, data: &[u8]) -> KernelResult<usize> {
+        require_mac_admin(ctx)?;
+        let sack = upgrade(&self.sack)?;
+        let text = std::str::from_utf8(data)
+            .map_err(|_| KernelError::with_context(Errno::EINVAL, "sackfs"))?;
+        sack.reload_policy(text)
+            .map_err(|_| KernelError::with_context(Errno::EINVAL, "sackfs"))?;
+        Ok(data.len())
+    }
+
+    fn mode(&self) -> Mode {
+        Mode(0o644)
+    }
+}
+
+struct StatsNode {
+    sack: Weak<Sack>,
+}
+
+impl SecurityFsFile for StatsNode {
+    fn read_content(&self, _ctx: &HookCtx) -> KernelResult<Vec<u8>> {
+        let sack = upgrade(&self.sack)?;
+        let s = sack.stats();
+        let active = sack.active();
+        Ok(format!(
+            "checks {}\ndenials {}\nunprotected {}\noverrides {}\n\
+             events_received {}\nevents_unknown {}\ntransitions_taken {}\n",
+            s.checks.load(Ordering::Relaxed),
+            s.denials.load(Ordering::Relaxed),
+            s.unprotected.load(Ordering::Relaxed),
+            s.overrides.load(Ordering::Relaxed),
+            s.events_received.load(Ordering::Relaxed),
+            s.events_unknown.load(Ordering::Relaxed),
+            active.ssm.taken_count(),
+        )
+        .into_bytes())
+    }
+
+    fn mode(&self) -> Mode {
+        Mode(0o444)
+    }
+}
+
+struct AuditNode {
+    sack: Weak<Sack>,
+}
+
+impl SecurityFsFile for AuditNode {
+    fn read_content(&self, _ctx: &HookCtx) -> KernelResult<Vec<u8>> {
+        let sack = upgrade(&self.sack)?;
+        Ok(sack.audit().render().into_bytes())
+    }
+
+    fn mode(&self) -> Mode {
+        Mode(0o400)
+    }
+}
+
+/// Registers the SACKfs nodes for `sack` on `kernel`.
+///
+/// # Errors
+///
+/// securityfs registration errors (e.g. already attached).
+pub fn register(sack: &Arc<Sack>, kernel: &Arc<Kernel>) -> KernelResult<()> {
+    let events = securityfs_path(SACK_DIR, "events")?;
+    kernel.register_securityfs(
+        &events,
+        Arc::new(EventsNode {
+            sack: Arc::downgrade(sack),
+            kernel: Arc::downgrade(kernel),
+        }),
+    )?;
+    let state = securityfs_path(SACK_DIR, "state")?;
+    kernel.register_securityfs(
+        &state,
+        Arc::new(StateNode {
+            sack: Arc::downgrade(sack),
+        }),
+    )?;
+    let policy = securityfs_path(SACK_DIR, "policy")?;
+    kernel.register_securityfs(
+        &policy,
+        Arc::new(PolicyNode {
+            sack: Arc::downgrade(sack),
+        }),
+    )?;
+    let stats = securityfs_path(SACK_DIR, "stats")?;
+    kernel.register_securityfs(
+        &stats,
+        Arc::new(StatsNode {
+            sack: Arc::downgrade(sack),
+        }),
+    )?;
+    let audit = securityfs_path(SACK_DIR, "audit")?;
+    kernel.register_securityfs(
+        &audit,
+        Arc::new(AuditNode {
+            sack: Arc::downgrade(sack),
+        }),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sack_kernel::cred::{Capability, Credentials};
+    use sack_kernel::file::OpenFlags;
+    use sack_kernel::kernel::KernelBuilder;
+    use sack_kernel::lsm::SecurityModule;
+
+    const POLICY: &str = r#"
+        states { normal = 0; emergency = 1; }
+        events { crash; rescue_done; }
+        transitions { normal -crash-> emergency; emergency -rescue_done-> normal; }
+        initial normal;
+        permissions { P; }
+        state_per { emergency: P; }
+        per_rules { P: allow subject=* /dev/car/** wi; }
+    "#;
+
+    fn boot() -> (Arc<Kernel>, Arc<Sack>) {
+        let sack = Sack::independent(POLICY).unwrap();
+        let kernel = KernelBuilder::new()
+            .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+            .boot();
+        sack.attach(&kernel).unwrap();
+        (kernel, sack)
+    }
+
+    #[test]
+    fn event_write_transitions_state() {
+        let (kernel, sack) = boot();
+        let sds = kernel.spawn(Credentials::user(500, 500).with_capability(Capability::MacAdmin));
+        let fd = sds
+            .open("/sys/kernel/security/SACK/events", OpenFlags::write_only())
+            .unwrap();
+        sds.write(fd, b"crash\n").unwrap();
+        assert_eq!(sack.current_state_name(), "emergency");
+        sds.write(fd, b"rescue_done\n").unwrap();
+        assert_eq!(sack.current_state_name(), "normal");
+        sds.close(fd).unwrap();
+    }
+
+    #[test]
+    fn event_write_without_mac_admin_is_eperm() {
+        let (kernel, sack) = boot();
+        let attacker = kernel.spawn(Credentials::user(1000, 1000));
+        let fd = attacker
+            .open("/sys/kernel/security/SACK/events", OpenFlags::write_only())
+            .unwrap();
+        let err = attacker.write(fd, b"crash\n").unwrap_err();
+        assert_eq!(err.errno(), Errno::EPERM);
+        assert_eq!(sack.current_state_name(), "normal", "state unchanged");
+    }
+
+    #[test]
+    fn unknown_event_is_einval() {
+        let (kernel, _sack) = boot();
+        let sds = kernel.spawn(Credentials::root());
+        let fd = sds
+            .open("/sys/kernel/security/SACK/events", OpenFlags::write_only())
+            .unwrap();
+        let err = sds.write(fd, b"meteor\n").unwrap_err();
+        assert_eq!(err.errno(), Errno::EINVAL);
+    }
+
+    #[test]
+    fn state_node_reflects_current_state() {
+        let (kernel, sack) = boot();
+        let p = kernel.spawn(Credentials::root());
+        let content = p.read_to_vec("/sys/kernel/security/SACK/state").unwrap();
+        assert_eq!(content, b"normal 0\n");
+        sack.deliver_event("crash", Duration::ZERO).unwrap();
+        let content = p.read_to_vec("/sys/kernel/security/SACK/state").unwrap();
+        assert_eq!(content, b"emergency 1\n");
+    }
+
+    #[test]
+    fn policy_node_dump_and_reload() {
+        let (kernel, sack) = boot();
+        let admin = kernel.spawn(Credentials::root());
+        let dump = admin
+            .read_to_vec("/sys/kernel/security/SACK/policy")
+            .unwrap();
+        let text = String::from_utf8(dump).unwrap();
+        assert!(text.contains("mode independent"));
+        assert!(text.contains("current normal"));
+        assert!(text.contains("states normal=0 emergency=1"));
+
+        let fd = admin
+            .open("/sys/kernel/security/SACK/policy", OpenFlags::write_only())
+            .unwrap();
+        let new_policy = b"states { solo = 0; } initial solo;\n\
+                           permissions { P; } state_per { solo: P; }\n\
+                           per_rules { P: allow subject=* /x r; }";
+        admin.write(fd, new_policy).unwrap();
+        assert_eq!(sack.current_state_name(), "solo");
+        // Bad policy is rejected with EINVAL and leaves the current one.
+        let err = admin.write(fd, b"garbage {{{").unwrap_err();
+        assert_eq!(err.errno(), Errno::EINVAL);
+        assert_eq!(sack.current_state_name(), "solo");
+    }
+
+    #[test]
+    fn stats_node_reports_counters() {
+        let (kernel, sack) = boot();
+        sack.deliver_event("crash", Duration::ZERO).unwrap();
+        let p = kernel.spawn(Credentials::root());
+        let text =
+            String::from_utf8(p.read_to_vec("/sys/kernel/security/SACK/stats").unwrap()).unwrap();
+        assert!(text.contains("events_received 1"));
+        assert!(text.contains("transitions_taken 1"));
+    }
+
+    #[test]
+    fn audit_node_reports_denials() {
+        let (kernel, sack) = boot();
+        sack.deliver_event("rescue_done", Duration::ZERO).ok();
+        // Set up a protected file and provoke a denial.
+        kernel
+            .vfs()
+            .mkdir_all(&sack_kernel::KPath::new("/dev/car").unwrap())
+            .unwrap();
+        kernel
+            .vfs()
+            .create_file(
+                &sack_kernel::KPath::new("/dev/car/door0").unwrap(),
+                sack_kernel::Mode(0o666),
+                sack_kernel::Uid::ROOT,
+                sack_kernel::Gid(0),
+            )
+            .unwrap();
+        let app = kernel.spawn(Credentials::user(1000, 1000));
+        assert!(app.open("/dev/car/door0", OpenFlags::write_only()).is_err());
+        // The audit node is 0400 root-owned; only the admin can read it.
+        let admin = kernel.spawn(Credentials::root());
+        let text = String::from_utf8(
+            admin
+                .read_to_vec("/sys/kernel/security/SACK/audit")
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(text.contains("DENIED"), "{text}");
+        assert!(text.contains("/dev/car/door0"));
+        assert!(text.contains("state=normal"));
+        assert_eq!(sack.audit().total(), 1);
+    }
+
+    #[test]
+    fn double_attach_is_rejected() {
+        let (kernel, sack) = boot();
+        assert!(sack.attach(&kernel).is_err());
+    }
+
+    #[test]
+    fn multiple_events_in_one_write() {
+        let (kernel, sack) = boot();
+        let sds = kernel.spawn(Credentials::root());
+        let fd = sds
+            .open("/sys/kernel/security/SACK/events", OpenFlags::write_only())
+            .unwrap();
+        sds.write(fd, b"crash\nrescue_done\ncrash\n").unwrap();
+        assert_eq!(sack.current_state_name(), "emergency");
+        let active = sack.active();
+        assert_eq!(active.ssm.taken_count(), 3);
+    }
+}

@@ -1,0 +1,238 @@
+//! Situation states and situation events — the new security context SACK
+//! introduces into the kernel (paper §III-C).
+//!
+//! A *situation state* abstracts an environmental condition relevant to
+//! access control (`driving`, `parking_with_driver`, `emergency`, ...).
+//! A *situation event* is a detected environment change (`crash`,
+//! `driver_left`, ...) that may trigger a state transition. States carry an
+//! administrator-chosen numeric *encoding* (the `States` policy interface in
+//! Table I) so user space and kernel agree on a compact representation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a situation state within its [`StateSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub usize);
+
+/// Index of a situation event within its [`StateSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub usize);
+
+/// A named situation state with its policy-assigned encoding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SituationState {
+    /// State name (e.g. `"emergency"`).
+    pub name: String,
+    /// Numeric encoding from the `States` policy interface.
+    pub encoding: u32,
+}
+
+impl fmt::Display for SituationState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.encoding)
+    }
+}
+
+/// A named situation event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SituationEvent {
+    /// Event name (e.g. `"crash"`).
+    pub name: String,
+}
+
+impl fmt::Display for SituationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Error registering a duplicate or unknown name in a [`StateSpace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSpaceError {
+    message: String,
+}
+
+impl StateSpaceError {
+    fn new(message: impl Into<String>) -> Self {
+        StateSpaceError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StateSpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for StateSpaceError {}
+
+/// The immutable universe of states and events a policy defines.
+#[derive(Debug, Clone, Default)]
+pub struct StateSpace {
+    states: Vec<SituationState>,
+    events: Vec<SituationEvent>,
+    state_index: HashMap<String, StateId>,
+    event_index: HashMap<String, EventId>,
+}
+
+impl StateSpace {
+    /// Creates an empty space.
+    pub fn new() -> Self {
+        StateSpace::default()
+    }
+
+    /// Registers a state.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate names or duplicate encodings are rejected (the encoding is
+    /// the kernel-facing identity and must be unambiguous).
+    pub fn add_state(&mut self, name: &str, encoding: u32) -> Result<StateId, StateSpaceError> {
+        if self.state_index.contains_key(name) {
+            return Err(StateSpaceError::new(format!("duplicate state `{name}`")));
+        }
+        if self.states.iter().any(|s| s.encoding == encoding) {
+            return Err(StateSpaceError::new(format!(
+                "duplicate state encoding {encoding} (state `{name}`)"
+            )));
+        }
+        let id = StateId(self.states.len());
+        self.states.push(SituationState {
+            name: name.to_string(),
+            encoding,
+        });
+        self.state_index.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Registers an event.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate names are rejected.
+    pub fn add_event(&mut self, name: &str) -> Result<EventId, StateSpaceError> {
+        if self.event_index.contains_key(name) {
+            return Err(StateSpaceError::new(format!("duplicate event `{name}`")));
+        }
+        let id = EventId(self.events.len());
+        self.events.push(SituationEvent {
+            name: name.to_string(),
+        });
+        self.event_index.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks up a state by name.
+    pub fn state_id(&self, name: &str) -> Option<StateId> {
+        self.state_index.get(name).copied()
+    }
+
+    /// Looks up an event by name.
+    pub fn event_id(&self, name: &str) -> Option<EventId> {
+        self.event_index.get(name).copied()
+    }
+
+    /// The state record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this space.
+    pub fn state(&self, id: StateId) -> &SituationState {
+        &self.states[id.0]
+    }
+
+    /// The event record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this space.
+    pub fn event(&self, id: EventId) -> &SituationEvent {
+        &self.events[id.0]
+    }
+
+    /// All states, in registration order.
+    pub fn states(&self) -> &[SituationState] {
+        &self.states
+    }
+
+    /// All events, in registration order.
+    pub fn events(&self) -> &[SituationEvent] {
+        &self.events
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut space = StateSpace::new();
+        let normal = space.add_state("normal", 0).unwrap();
+        let emergency = space.add_state("emergency", 1).unwrap();
+        let crash = space.add_event("crash").unwrap();
+        assert_eq!(space.state_id("normal"), Some(normal));
+        assert_eq!(space.state_id("emergency"), Some(emergency));
+        assert_eq!(space.event_id("crash"), Some(crash));
+        assert_eq!(space.state(normal).encoding, 0);
+        assert_eq!(space.event(crash).name, "crash");
+        assert_eq!(space.state_count(), 2);
+        assert_eq!(space.event_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_state_name_rejected() {
+        let mut space = StateSpace::new();
+        space.add_state("normal", 0).unwrap();
+        let err = space.add_state("normal", 1).unwrap_err();
+        assert!(err.to_string().contains("duplicate state"));
+    }
+
+    #[test]
+    fn duplicate_encoding_rejected() {
+        let mut space = StateSpace::new();
+        space.add_state("a", 7).unwrap();
+        let err = space.add_state("b", 7).unwrap_err();
+        assert!(err.to_string().contains("encoding"));
+    }
+
+    #[test]
+    fn duplicate_event_rejected() {
+        let mut space = StateSpace::new();
+        space.add_event("crash").unwrap();
+        assert!(space.add_event("crash").is_err());
+    }
+
+    #[test]
+    fn unknown_lookups_return_none() {
+        let space = StateSpace::new();
+        assert_eq!(space.state_id("x"), None);
+        assert_eq!(space.event_id("y"), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = SituationState {
+            name: "driving".into(),
+            encoding: 2,
+        };
+        assert_eq!(s.to_string(), "driving=2");
+        let e = SituationEvent {
+            name: "crash".into(),
+        };
+        assert_eq!(e.to_string(), "crash");
+    }
+}

@@ -1,0 +1,288 @@
+//! Credentials: user/group ids and POSIX capabilities.
+//!
+//! SACK's threat model assumes attackers cannot obtain `CAP_MAC_ADMIN` or
+//! `CAP_MAC_OVERRIDE`; the simulated kernel enforces those capabilities on
+//! securityfs policy/event writes exactly where Linux does.
+
+use std::fmt;
+
+/// User identifier. Uid 0 is root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Uid(pub u32);
+
+impl Uid {
+    /// The superuser.
+    pub const ROOT: Uid = Uid(0);
+
+    /// True for uid 0.
+    pub fn is_root(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Uid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uid:{}", self.0)
+    }
+}
+
+/// Group identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Gid(pub u32);
+
+impl fmt::Display for Gid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gid:{}", self.0)
+    }
+}
+
+/// POSIX capabilities relevant to the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Capability {
+    /// Override DAC (discretionary) permission checks.
+    DacOverride = 1,
+    /// Allow configuring MAC policy (`CAP_MAC_ADMIN`).
+    MacAdmin = 33,
+    /// Override MAC policy (`CAP_MAC_OVERRIDE`).
+    MacOverride = 32,
+    /// Raw device access (`CAP_SYS_RAWIO`).
+    SysRawio = 17,
+    /// General administration (`CAP_SYS_ADMIN`).
+    SysAdmin = 21,
+    /// Kill arbitrary processes.
+    Kill = 5,
+    /// Bind privileged ports.
+    NetBindService = 10,
+    /// Use raw sockets.
+    NetRaw = 13,
+}
+
+impl Capability {
+    /// All capabilities known to the simulation.
+    pub const ALL: [Capability; 8] = [
+        Capability::DacOverride,
+        Capability::MacAdmin,
+        Capability::MacOverride,
+        Capability::SysRawio,
+        Capability::SysAdmin,
+        Capability::Kill,
+        Capability::NetBindService,
+        Capability::NetRaw,
+    ];
+
+    /// The kernel capability name, e.g. `"CAP_MAC_ADMIN"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Capability::DacOverride => "CAP_DAC_OVERRIDE",
+            Capability::MacAdmin => "CAP_MAC_ADMIN",
+            Capability::MacOverride => "CAP_MAC_OVERRIDE",
+            Capability::SysRawio => "CAP_SYS_RAWIO",
+            Capability::SysAdmin => "CAP_SYS_ADMIN",
+            Capability::Kill => "CAP_KILL",
+            Capability::NetBindService => "CAP_NET_BIND_SERVICE",
+            Capability::NetRaw => "CAP_NET_RAW",
+        }
+    }
+
+    /// Parses a capability from its kernel name (case-insensitive,
+    /// `CAP_` prefix optional).
+    pub fn parse(text: &str) -> Option<Capability> {
+        let t = text.trim().to_ascii_uppercase();
+        let t = t.strip_prefix("CAP_").unwrap_or(&t);
+        Capability::ALL
+            .iter()
+            .copied()
+            .find(|c| c.name().strip_prefix("CAP_") == Some(t))
+    }
+
+    fn bit(self) -> u64 {
+        1u64 << (self as u8)
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of capabilities, stored as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CapabilitySet(u64);
+
+impl CapabilitySet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        CapabilitySet(0)
+    }
+
+    /// The full set (what root gets by default).
+    pub fn full() -> Self {
+        let mut set = CapabilitySet(0);
+        for cap in Capability::ALL {
+            set.insert(cap);
+        }
+        set
+    }
+
+    /// Adds a capability.
+    pub fn insert(&mut self, cap: Capability) {
+        self.0 |= cap.bit();
+    }
+
+    /// Removes a capability.
+    pub fn remove(&mut self, cap: Capability) {
+        self.0 &= !cap.bit();
+    }
+
+    /// Membership test.
+    pub fn contains(self, cap: Capability) -> bool {
+        self.0 & cap.bit() != 0
+    }
+
+    /// True if no capability is held.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the contained capabilities.
+    pub fn iter(self) -> impl Iterator<Item = Capability> {
+        Capability::ALL
+            .into_iter()
+            .filter(move |c| self.contains(*c))
+    }
+}
+
+impl FromIterator<Capability> for CapabilitySet {
+    fn from_iter<I: IntoIterator<Item = Capability>>(iter: I) -> Self {
+        let mut set = CapabilitySet::empty();
+        for cap in iter {
+            set.insert(cap);
+        }
+        set
+    }
+}
+
+impl fmt::Display for CapabilitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for cap in self.iter() {
+            if !first {
+                f.write_str(",")?;
+            }
+            first = false;
+            f.write_str(cap.name())?;
+        }
+        if first {
+            f.write_str("(none)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A task's credentials: ids plus effective capabilities.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Credentials {
+    /// Effective user id.
+    pub uid: Uid,
+    /// Effective group id.
+    pub gid: Gid,
+    /// Effective capability set.
+    pub caps: CapabilitySet,
+}
+
+impl Credentials {
+    /// Root credentials with the full capability set.
+    pub fn root() -> Self {
+        Credentials {
+            uid: Uid::ROOT,
+            gid: Gid(0),
+            caps: CapabilitySet::full(),
+        }
+    }
+
+    /// Unprivileged user credentials with no capabilities.
+    pub fn user(uid: u32, gid: u32) -> Self {
+        Credentials {
+            uid: Uid(uid),
+            gid: Gid(gid),
+            caps: CapabilitySet::empty(),
+        }
+    }
+
+    /// Returns a copy with one extra capability (builder-style).
+    pub fn with_capability(mut self, cap: Capability) -> Self {
+        self.caps.insert(cap);
+        self
+    }
+
+    /// True if the credentials hold the capability.
+    pub fn capable(&self, cap: Capability) -> bool {
+        self.caps.contains(cap)
+    }
+}
+
+impl Default for Credentials {
+    fn default() -> Self {
+        Credentials::user(1000, 1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_all_capabilities() {
+        let root = Credentials::root();
+        for cap in Capability::ALL {
+            assert!(root.capable(cap), "root should hold {cap}");
+        }
+    }
+
+    #[test]
+    fn user_has_no_capabilities() {
+        let user = Credentials::user(1000, 1000);
+        assert!(user.caps.is_empty());
+        assert!(!user.capable(Capability::MacAdmin));
+    }
+
+    #[test]
+    fn with_capability_adds_only_that_cap() {
+        let cred = Credentials::user(1, 1).with_capability(Capability::MacAdmin);
+        assert!(cred.capable(Capability::MacAdmin));
+        assert!(!cred.capable(Capability::MacOverride));
+    }
+
+    #[test]
+    fn capability_set_insert_remove_roundtrip() {
+        let mut set = CapabilitySet::empty();
+        set.insert(Capability::Kill);
+        set.insert(Capability::NetRaw);
+        assert!(set.contains(Capability::Kill));
+        set.remove(Capability::Kill);
+        assert!(!set.contains(Capability::Kill));
+        assert!(set.contains(Capability::NetRaw));
+    }
+
+    #[test]
+    fn capability_parse_accepts_variants() {
+        assert_eq!(
+            Capability::parse("CAP_MAC_ADMIN"),
+            Some(Capability::MacAdmin)
+        );
+        assert_eq!(Capability::parse("mac_admin"), Some(Capability::MacAdmin));
+        assert_eq!(Capability::parse("net_raw"), Some(Capability::NetRaw));
+        assert_eq!(Capability::parse("bogus"), None);
+    }
+
+    #[test]
+    fn capability_set_from_iterator_and_display() {
+        let set: CapabilitySet = [Capability::Kill, Capability::NetRaw].into_iter().collect();
+        let text = set.to_string();
+        assert!(text.contains("CAP_KILL"));
+        assert!(text.contains("CAP_NET_RAW"));
+        assert_eq!(CapabilitySet::empty().to_string(), "(none)");
+    }
+}

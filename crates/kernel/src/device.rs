@@ -1,0 +1,183 @@
+//! Character-device driver interface and registry.
+//!
+//! Vehicle hardware (doors, windows, audio) is exposed to user space as
+//! char-device nodes (e.g. `/dev/car/door0`), matching how the paper's case
+//! study mediates `ioctl`/`write` on window and door devices.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Errno, KernelError, KernelResult};
+use crate::types::DeviceId;
+
+/// Driver callbacks for a character device.
+///
+/// All methods default to `ENOTTY`/`EINVAL` so drivers implement only the
+/// operations their hardware supports.
+#[allow(unused_variables)]
+pub trait CharDevice: Send + Sync {
+    /// Human-readable driver name (for diagnostics).
+    fn driver_name(&self) -> &str;
+
+    /// Reads from the device at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Defaults to `EINVAL` for write-only devices.
+    fn read(&self, buf: &mut [u8], offset: u64) -> KernelResult<usize> {
+        Err(KernelError::with_context(Errno::EINVAL, "chardev"))
+    }
+
+    /// Writes to the device at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Defaults to `EINVAL` for read-only devices.
+    fn write(&self, buf: &[u8], offset: u64) -> KernelResult<usize> {
+        Err(KernelError::with_context(Errno::EINVAL, "chardev"))
+    }
+
+    /// Device-specific control operation.
+    ///
+    /// # Errors
+    ///
+    /// Defaults to `ENOTTY` when the command is not understood.
+    fn ioctl(&self, cmd: u32, arg: u64) -> KernelResult<i64> {
+        Err(KernelError::with_context(Errno::ENOTTY, "chardev"))
+    }
+}
+
+/// Registry mapping device ids to drivers, analogous to the kernel's
+/// char-device major/minor table.
+#[derive(Default)]
+pub struct DeviceRegistry {
+    drivers: RwLock<HashMap<DeviceId, Arc<dyn CharDevice>>>,
+}
+
+impl DeviceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        DeviceRegistry::default()
+    }
+
+    /// Registers a driver for `dev`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `EBUSY` if the id is already taken.
+    pub fn register(&self, dev: DeviceId, driver: Arc<dyn CharDevice>) -> KernelResult<()> {
+        let mut map = self.drivers.write();
+        if map.contains_key(&dev) {
+            return Err(KernelError::with_context(Errno::EBUSY, "chardev"));
+        }
+        map.insert(dev, driver);
+        Ok(())
+    }
+
+    /// Looks up the driver for `dev`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `ENODEV` when no driver is registered.
+    pub fn driver(&self, dev: DeviceId) -> KernelResult<Arc<dyn CharDevice>> {
+        self.drivers
+            .read()
+            .get(&dev)
+            .cloned()
+            .ok_or_else(|| KernelError::with_context(Errno::ENODEV, "chardev"))
+    }
+
+    /// Removes a driver; returns whether one was present.
+    pub fn unregister(&self, dev: DeviceId) -> bool {
+        self.drivers.write().remove(&dev).is_some()
+    }
+
+    /// Number of registered drivers.
+    pub fn len(&self) -> usize {
+        self.drivers.read().len()
+    }
+
+    /// True if no drivers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.drivers.read().is_empty()
+    }
+}
+
+impl fmt::Debug for DeviceRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceRegistry")
+            .field("drivers", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl CharDevice for Echo {
+        fn driver_name(&self) -> &str {
+            "echo"
+        }
+        fn write(&self, buf: &[u8], _offset: u64) -> KernelResult<usize> {
+            Ok(buf.len())
+        }
+        fn ioctl(&self, cmd: u32, _arg: u64) -> KernelResult<i64> {
+            Ok(i64::from(cmd))
+        }
+    }
+
+    #[test]
+    fn register_and_dispatch() {
+        let reg = DeviceRegistry::new();
+        let dev = DeviceId::new(240, 0);
+        reg.register(dev, Arc::new(Echo)).unwrap();
+        let driver = reg.driver(dev).unwrap();
+        assert_eq!(driver.write(b"hi", 0).unwrap(), 2);
+        assert_eq!(driver.ioctl(7, 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn duplicate_registration_is_ebusy() {
+        let reg = DeviceRegistry::new();
+        let dev = DeviceId::new(240, 0);
+        reg.register(dev, Arc::new(Echo)).unwrap();
+        let err = reg.register(dev, Arc::new(Echo)).unwrap_err();
+        assert_eq!(err.errno(), Errno::EBUSY);
+    }
+
+    #[test]
+    fn missing_driver_is_enodev() {
+        let reg = DeviceRegistry::new();
+        let err = reg.driver(DeviceId::new(1, 2)).err().expect("must fail");
+        assert_eq!(err.errno(), Errno::ENODEV);
+    }
+
+    #[test]
+    fn default_ops_reject() {
+        struct Null;
+        impl CharDevice for Null {
+            fn driver_name(&self) -> &str {
+                "null"
+            }
+        }
+        let n = Null;
+        let mut buf = [0u8; 4];
+        assert_eq!(n.read(&mut buf, 0).unwrap_err().errno(), Errno::EINVAL);
+        assert_eq!(n.ioctl(1, 2).unwrap_err().errno(), Errno::ENOTTY);
+    }
+
+    #[test]
+    fn unregister_removes_driver() {
+        let reg = DeviceRegistry::new();
+        let dev = DeviceId::new(9, 9);
+        reg.register(dev, Arc::new(Echo)).unwrap();
+        assert!(reg.unregister(dev));
+        assert!(!reg.unregister(dev));
+        assert!(reg.is_empty());
+    }
+}

@@ -1,0 +1,273 @@
+//! Kernel error model: errno values and the [`KernelError`] type.
+//!
+//! Every simulated syscall returns [`KernelResult`], mirroring the Linux
+//! convention of returning a negative errno. Security modules deny access by
+//! returning an errno (typically [`Errno::EACCES`] or [`Errno::EPERM`]),
+//! which propagates out of the syscall unchanged, exactly as an LSM hook's
+//! non-zero return value would in Linux.
+
+use std::error::Error;
+use std::fmt;
+
+/// Subset of Linux errno values used by the simulated kernel.
+///
+/// The numeric discriminants match the x86-64 Linux ABI so that traces and
+/// logs are directly comparable with real-kernel output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(i32)]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM = 1,
+    /// No such file or directory.
+    ENOENT = 2,
+    /// No such process.
+    ESRCH = 3,
+    /// I/O error.
+    EIO = 5,
+    /// No such device or address.
+    ENXIO = 6,
+    /// Bad file descriptor.
+    EBADF = 9,
+    /// Try again (non-blocking operation would block).
+    EAGAIN = 11,
+    /// Out of memory.
+    ENOMEM = 12,
+    /// Permission denied.
+    EACCES = 13,
+    /// Bad address.
+    EFAULT = 14,
+    /// Device or resource busy.
+    EBUSY = 16,
+    /// File exists.
+    EEXIST = 17,
+    /// No such device.
+    ENODEV = 19,
+    /// Not a directory.
+    ENOTDIR = 20,
+    /// Is a directory.
+    EISDIR = 21,
+    /// Invalid argument.
+    EINVAL = 22,
+    /// Too many open files in system.
+    ENFILE = 23,
+    /// Too many open files.
+    EMFILE = 24,
+    /// Inappropriate ioctl for device.
+    ENOTTY = 25,
+    /// File too large.
+    EFBIG = 27,
+    /// No space left on device.
+    ENOSPC = 28,
+    /// Broken pipe.
+    EPIPE = 32,
+    /// File name too long.
+    ENAMETOOLONG = 36,
+    /// Directory not empty.
+    ENOTEMPTY = 39,
+    /// Too many symbolic links encountered.
+    ELOOP = 40,
+    /// Not a socket.
+    ENOTSOCK = 88,
+    /// Address already in use.
+    EADDRINUSE = 98,
+    /// Connection reset by peer.
+    ECONNRESET = 104,
+    /// Transport endpoint is not connected.
+    ENOTCONN = 107,
+    /// Connection refused.
+    ECONNREFUSED = 111,
+}
+
+impl Errno {
+    /// Short symbolic name, e.g. `"EACCES"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Errno::EPERM => "EPERM",
+            Errno::ENOENT => "ENOENT",
+            Errno::ESRCH => "ESRCH",
+            Errno::EIO => "EIO",
+            Errno::ENXIO => "ENXIO",
+            Errno::EBADF => "EBADF",
+            Errno::EAGAIN => "EAGAIN",
+            Errno::ENOMEM => "ENOMEM",
+            Errno::EACCES => "EACCES",
+            Errno::EFAULT => "EFAULT",
+            Errno::EBUSY => "EBUSY",
+            Errno::EEXIST => "EEXIST",
+            Errno::ENODEV => "ENODEV",
+            Errno::ENOTDIR => "ENOTDIR",
+            Errno::EISDIR => "EISDIR",
+            Errno::EINVAL => "EINVAL",
+            Errno::ENFILE => "ENFILE",
+            Errno::EMFILE => "EMFILE",
+            Errno::ENOTTY => "ENOTTY",
+            Errno::EFBIG => "EFBIG",
+            Errno::ENOSPC => "ENOSPC",
+            Errno::EPIPE => "EPIPE",
+            Errno::ENAMETOOLONG => "ENAMETOOLONG",
+            Errno::ENOTEMPTY => "ENOTEMPTY",
+            Errno::ELOOP => "ELOOP",
+            Errno::ENOTSOCK => "ENOTSOCK",
+            Errno::EADDRINUSE => "EADDRINUSE",
+            Errno::ECONNRESET => "ECONNRESET",
+            Errno::ENOTCONN => "ENOTCONN",
+            Errno::ECONNREFUSED => "ECONNREFUSED",
+        }
+    }
+
+    /// Human-readable description, matching `strerror(3)` phrasing.
+    pub fn description(self) -> &'static str {
+        match self {
+            Errno::EPERM => "operation not permitted",
+            Errno::ENOENT => "no such file or directory",
+            Errno::ESRCH => "no such process",
+            Errno::EIO => "input/output error",
+            Errno::ENXIO => "no such device or address",
+            Errno::EBADF => "bad file descriptor",
+            Errno::EAGAIN => "resource temporarily unavailable",
+            Errno::ENOMEM => "cannot allocate memory",
+            Errno::EACCES => "permission denied",
+            Errno::EFAULT => "bad address",
+            Errno::EBUSY => "device or resource busy",
+            Errno::EEXIST => "file exists",
+            Errno::ENODEV => "no such device",
+            Errno::ENOTDIR => "not a directory",
+            Errno::EISDIR => "is a directory",
+            Errno::EINVAL => "invalid argument",
+            Errno::ENFILE => "too many open files in system",
+            Errno::EMFILE => "too many open files",
+            Errno::ENOTTY => "inappropriate ioctl for device",
+            Errno::EFBIG => "file too large",
+            Errno::ENOSPC => "no space left on device",
+            Errno::EPIPE => "broken pipe",
+            Errno::ENAMETOOLONG => "file name too long",
+            Errno::ENOTEMPTY => "directory not empty",
+            Errno::ELOOP => "too many levels of symbolic links",
+            Errno::ENOTSOCK => "socket operation on non-socket",
+            Errno::EADDRINUSE => "address already in use",
+            Errno::ECONNRESET => "connection reset by peer",
+            Errno::ENOTCONN => "transport endpoint is not connected",
+            Errno::ECONNREFUSED => "connection refused",
+        }
+    }
+
+    /// The raw errno value as it would appear in the Linux ABI.
+    pub fn raw(self) -> i32 {
+        self as i32
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.description())
+    }
+}
+
+/// Error returned by simulated syscalls and LSM hooks.
+///
+/// Carries the errno plus an optional static context string identifying the
+/// subsystem that raised it (useful when several LSMs are stacked: the
+/// context records *which* module denied the access).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelError {
+    errno: Errno,
+    context: Option<&'static str>,
+}
+
+impl KernelError {
+    /// Creates an error with no context.
+    pub fn new(errno: Errno) -> Self {
+        KernelError {
+            errno,
+            context: None,
+        }
+    }
+
+    /// Creates an error attributed to a named subsystem or security module.
+    pub fn with_context(errno: Errno, context: &'static str) -> Self {
+        KernelError {
+            errno,
+            context: Some(context),
+        }
+    }
+
+    /// The errno carried by this error.
+    pub fn errno(&self) -> Errno {
+        self.errno
+    }
+
+    /// The subsystem that raised the error, if recorded.
+    pub fn context(&self) -> Option<&'static str> {
+        self.context
+    }
+
+    /// True if this error denies access (`EACCES` or `EPERM`).
+    pub fn is_access_denial(&self) -> bool {
+        matches!(self.errno, Errno::EACCES | Errno::EPERM)
+    }
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.context {
+            Some(ctx) => write!(f, "{}: {}", ctx, self.errno),
+            None => write!(f, "{}", self.errno),
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+impl From<Errno> for KernelError {
+    fn from(errno: Errno) -> Self {
+        KernelError::new(errno)
+    }
+}
+
+/// Result alias used by every simulated syscall.
+pub type KernelResult<T> = Result<T, KernelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_raw_values_match_linux_abi() {
+        assert_eq!(Errno::EPERM.raw(), 1);
+        assert_eq!(Errno::ENOENT.raw(), 2);
+        assert_eq!(Errno::EACCES.raw(), 13);
+        assert_eq!(Errno::EEXIST.raw(), 17);
+        assert_eq!(Errno::EINVAL.raw(), 22);
+        assert_eq!(Errno::ENOTTY.raw(), 25);
+        assert_eq!(Errno::EPIPE.raw(), 32);
+    }
+
+    #[test]
+    fn display_includes_context_and_description() {
+        let err = KernelError::with_context(Errno::EACCES, "sack");
+        let text = err.to_string();
+        assert!(text.contains("sack"));
+        assert!(text.contains("EACCES"));
+        assert!(text.contains("permission denied"));
+    }
+
+    #[test]
+    fn access_denial_classification() {
+        assert!(KernelError::new(Errno::EACCES).is_access_denial());
+        assert!(KernelError::new(Errno::EPERM).is_access_denial());
+        assert!(!KernelError::new(Errno::ENOENT).is_access_denial());
+    }
+
+    #[test]
+    fn from_errno_conversion() {
+        let err: KernelError = Errno::ENOENT.into();
+        assert_eq!(err.errno(), Errno::ENOENT);
+        assert_eq!(err.context(), None);
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KernelError>();
+    }
+}

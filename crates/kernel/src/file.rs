@@ -1,0 +1,383 @@
+//! Open-file objects and file descriptors.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{Errno, KernelError, KernelResult};
+use crate::ipc::{Pipe, SocketEndpoint};
+use crate::lsm::AccessMask;
+use crate::path::KPath;
+use crate::vfs::{FileData, Inode};
+
+/// `open(2)` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenFlags {
+    /// Open for reading.
+    pub read: bool,
+    /// Open for writing.
+    pub write: bool,
+    /// All writes append.
+    pub append: bool,
+    /// Create if missing.
+    pub create: bool,
+    /// Truncate on open.
+    pub truncate: bool,
+    /// With `create`: fail if the file exists.
+    pub excl: bool,
+}
+
+impl OpenFlags {
+    /// `O_RDONLY`.
+    pub fn read_only() -> Self {
+        OpenFlags {
+            read: true,
+            ..OpenFlags::default()
+        }
+    }
+
+    /// `O_WRONLY`.
+    pub fn write_only() -> Self {
+        OpenFlags {
+            write: true,
+            ..OpenFlags::default()
+        }
+    }
+
+    /// `O_RDWR`.
+    pub fn read_write() -> Self {
+        OpenFlags {
+            read: true,
+            write: true,
+            ..OpenFlags::default()
+        }
+    }
+
+    /// `O_WRONLY | O_CREAT | O_TRUNC` — the `creat(2)` shorthand.
+    pub fn create_new() -> Self {
+        OpenFlags {
+            write: true,
+            create: true,
+            truncate: true,
+            ..OpenFlags::default()
+        }
+    }
+
+    /// The access mask the LSM hooks see for this open.
+    pub fn access_mask(self) -> AccessMask {
+        let mut m = AccessMask::empty();
+        if self.read {
+            m |= AccessMask::READ;
+        }
+        if self.write {
+            m |= AccessMask::WRITE;
+        }
+        if self.append {
+            m |= AccessMask::APPEND;
+        }
+        m
+    }
+}
+
+/// What an open file refers to.
+pub enum FileBacking {
+    /// A VFS inode (regular file, directory, device, securityfs node).
+    Inode(Arc<Inode>),
+    /// Read end of a pipe.
+    PipeRead(Arc<Pipe>),
+    /// Write end of a pipe.
+    PipeWrite(Arc<Pipe>),
+    /// A connected socket endpoint.
+    Socket(Arc<SocketEndpoint>),
+}
+
+impl fmt::Debug for FileBacking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FileBacking::Inode(i) => write!(f, "Inode({})", i.id),
+            FileBacking::PipeRead(_) => f.write_str("PipeRead"),
+            FileBacking::PipeWrite(_) => f.write_str("PipeWrite"),
+            FileBacking::Socket(_) => f.write_str("Socket"),
+        }
+    }
+}
+
+/// An open file description (`struct file`).
+#[derive(Debug)]
+pub struct OpenFile {
+    /// The path this file was opened through (synthetic for pipes/sockets).
+    pub path: KPath,
+    /// What the descriptor refers to.
+    pub backing: FileBacking,
+    /// Flags from `open(2)`.
+    pub flags: OpenFlags,
+    /// Current file offset.
+    pub pos: Mutex<u64>,
+}
+
+impl OpenFile {
+    /// The inode, for inode-backed files.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for pipes/sockets.
+    pub fn inode(&self) -> KernelResult<&Arc<Inode>> {
+        match &self.backing {
+            FileBacking::Inode(node) => Ok(node),
+            _ => Err(KernelError::with_context(Errno::EBADF, "vfs")),
+        }
+    }
+}
+
+/// A memory-mapped view of a regular file.
+///
+/// Shares the file's backing buffer, so maps observe later writes —
+/// enough to express LMBench's `mmap` latency and reread benchmarks.
+#[derive(Clone)]
+pub struct MappedRegion {
+    data: FileData,
+    offset: usize,
+    len: usize,
+}
+
+impl MappedRegion {
+    pub(crate) fn new(data: FileData, offset: usize, len: usize) -> Self {
+        MappedRegion { data, offset, len }
+    }
+
+    /// Mapping length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero-length maps.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copies the mapped bytes at `offset` into `buf`, returning the number
+    /// of bytes copied (short count at end of map).
+    pub fn read(&self, offset: usize, buf: &mut [u8]) -> usize {
+        if offset >= self.len {
+            return 0;
+        }
+        let data = self.data.read();
+        let start = self.offset + offset;
+        if start >= data.len() {
+            return 0;
+        }
+        let n = buf.len().min(self.len - offset).min(data.len() - start);
+        buf[..n].copy_from_slice(&data[start..start + n]);
+        n
+    }
+
+    /// Touches one byte per `page_size` step, simulating a page-walk; returns
+    /// a checksum so the traversal cannot be optimized away.
+    pub fn touch_pages(&self, page_size: usize) -> u64 {
+        let data = self.data.read();
+        let mut sum = 0u64;
+        let mut off = self.offset;
+        let end = (self.offset + self.len).min(data.len());
+        while off < end {
+            sum = sum.wrapping_add(u64::from(data[off]));
+            off += page_size.max(1);
+        }
+        sum
+    }
+}
+
+impl fmt::Debug for MappedRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MappedRegion")
+            .field("offset", &self.offset)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// Per-task file-descriptor table.
+#[derive(Debug, Default)]
+pub struct FdTable {
+    slots: Vec<Option<Arc<OpenFile>>>,
+}
+
+/// Maximum descriptors per task (`RLIMIT_NOFILE`).
+pub const FD_MAX: usize = 1024;
+
+impl FdTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FdTable::default()
+    }
+
+    /// Installs a file in the lowest free slot.
+    ///
+    /// # Errors
+    ///
+    /// `EMFILE` when the table is full.
+    pub fn install(&mut self, file: Arc<OpenFile>) -> KernelResult<crate::types::Fd> {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(file);
+                return Ok(crate::types::Fd(i as u32));
+            }
+        }
+        if self.slots.len() >= FD_MAX {
+            return Err(KernelError::with_context(Errno::EMFILE, "vfs"));
+        }
+        self.slots.push(Some(file));
+        Ok(crate::types::Fd((self.slots.len() - 1) as u32))
+    }
+
+    /// Looks up a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for invalid or closed descriptors.
+    pub fn get(&self, fd: crate::types::Fd) -> KernelResult<Arc<OpenFile>> {
+        self.slots
+            .get(fd.0 as usize)
+            .and_then(|s| s.clone())
+            .ok_or_else(|| KernelError::with_context(Errno::EBADF, "vfs"))
+    }
+
+    /// Installs a file at a specific descriptor (for `dup2(2)`), returning
+    /// any file previously installed there.
+    ///
+    /// # Errors
+    ///
+    /// `EMFILE` when `fd` exceeds [`FD_MAX`].
+    pub fn install_at(
+        &mut self,
+        fd: crate::types::Fd,
+        file: Arc<OpenFile>,
+    ) -> KernelResult<Option<Arc<OpenFile>>> {
+        let idx = fd.0 as usize;
+        if idx >= FD_MAX {
+            return Err(KernelError::with_context(Errno::EMFILE, "vfs"));
+        }
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        Ok(self.slots[idx].replace(file))
+    }
+
+    /// Removes a descriptor, returning the file.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for invalid or closed descriptors.
+    pub fn remove(&mut self, fd: crate::types::Fd) -> KernelResult<Arc<OpenFile>> {
+        self.slots
+            .get_mut(fd.0 as usize)
+            .and_then(|s| s.take())
+            .ok_or_else(|| KernelError::with_context(Errno::EBADF, "vfs"))
+    }
+
+    /// Number of open descriptors.
+    pub fn open_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Clones the table for `fork(2)` (descriptors are shared, as on Linux).
+    pub fn fork_clone(&self) -> FdTable {
+        FdTable {
+            slots: self.slots.clone(),
+        }
+    }
+
+    /// Drains all descriptors (process exit), returning them so the caller
+    /// can run close-time bookkeeping.
+    pub fn drain(&mut self) -> Vec<Arc<OpenFile>> {
+        self.slots.drain(..).flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::RwLock;
+
+    fn dummy_file() -> Arc<OpenFile> {
+        let data: FileData = Arc::new(RwLock::new(b"hello world".to_vec()));
+        Arc::new(OpenFile {
+            path: KPath::new("/f").unwrap(),
+            backing: FileBacking::Inode(Arc::new(Inode {
+                id: crate::types::InodeId(9),
+                kind: crate::vfs::InodeKind::Regular(data),
+                mode: crate::types::Mode::REGULAR,
+                uid: crate::cred::Uid::ROOT,
+                gid: crate::cred::Gid(0),
+            })),
+            flags: OpenFlags::read_only(),
+            pos: Mutex::new(0),
+        })
+    }
+
+    #[test]
+    fn flags_to_access_mask() {
+        assert_eq!(OpenFlags::read_only().access_mask(), AccessMask::READ);
+        assert_eq!(OpenFlags::write_only().access_mask(), AccessMask::WRITE);
+        assert_eq!(
+            OpenFlags::read_write().access_mask(),
+            AccessMask::READ | AccessMask::WRITE
+        );
+        let mut f = OpenFlags::write_only();
+        f.append = true;
+        assert!(f.access_mask().contains(AccessMask::APPEND));
+    }
+
+    #[test]
+    fn fd_table_reuses_lowest_slot() {
+        let mut t = FdTable::new();
+        let a = t.install(dummy_file()).unwrap();
+        let b = t.install(dummy_file()).unwrap();
+        assert_eq!(a.0, 0);
+        assert_eq!(b.0, 1);
+        t.remove(a).unwrap();
+        let c = t.install(dummy_file()).unwrap();
+        assert_eq!(c.0, 0, "lowest free descriptor must be reused");
+        assert_eq!(t.open_count(), 2);
+    }
+
+    #[test]
+    fn fd_table_bad_descriptor() {
+        let mut t = FdTable::new();
+        assert_eq!(
+            t.get(crate::types::Fd(3)).unwrap_err().errno(),
+            Errno::EBADF
+        );
+        assert_eq!(
+            t.remove(crate::types::Fd(0)).unwrap_err().errno(),
+            Errno::EBADF
+        );
+    }
+
+    #[test]
+    fn fork_clone_shares_descriptions() {
+        let mut t = FdTable::new();
+        let fd = t.install(dummy_file()).unwrap();
+        let t2 = t.fork_clone();
+        let f1 = t.get(fd).unwrap();
+        let f2 = t2.get(fd).unwrap();
+        assert!(Arc::ptr_eq(&f1, &f2), "fork shares open file descriptions");
+    }
+
+    #[test]
+    fn mapped_region_reads_and_touches() {
+        let data: FileData = Arc::new(RwLock::new((0u8..=255).collect()));
+        let map = MappedRegion::new(Arc::clone(&data), 10, 100);
+        assert_eq!(map.len(), 100);
+        let mut buf = [0u8; 4];
+        assert_eq!(map.read(0, &mut buf), 4);
+        assert_eq!(buf, [10, 11, 12, 13]);
+        assert_eq!(map.read(98, &mut buf), 2);
+        assert_eq!(map.read(200, &mut buf), 0);
+        assert!(map.touch_pages(64) > 0);
+        // Mapping observes later writes (shared buffer).
+        data.write()[10] = 99;
+        map.read(0, &mut buf);
+        assert_eq!(buf[0], 99);
+    }
+}

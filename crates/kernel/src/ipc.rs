@@ -1,0 +1,424 @@
+//! Local IPC: pipes and stream sockets (AF_UNIX and TCP-loopback).
+//!
+//! These exist so the LMBench local-communication benchmarks (pipe,
+//! AF_UNIX, TCP bandwidth) and the context-switch benchmark (token
+//! ping-pong through pipes) run against the simulated kernel with the LSM
+//! hooks on the data path.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::error::{Errno, KernelError, KernelResult};
+use crate::lsm::SocketFamily;
+
+/// Default pipe capacity (64 KiB, as on Linux).
+pub const PIPE_CAPACITY: usize = 64 * 1024;
+
+#[derive(Debug, Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    read_closed: bool,
+    write_closed: bool,
+}
+
+/// A unidirectional byte channel with blocking reads and writes.
+#[derive(Debug)]
+pub struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+    writable: Condvar,
+    capacity: usize,
+}
+
+impl Pipe {
+    /// Creates a pipe with the default capacity.
+    pub fn new() -> Arc<Pipe> {
+        Pipe::with_capacity(PIPE_CAPACITY)
+    }
+
+    /// Creates a pipe with an explicit capacity (must be non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Arc<Pipe> {
+        assert!(capacity > 0, "pipe capacity must be non-zero");
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState::default()),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+        })
+    }
+
+    /// Writes bytes, blocking while the buffer is full.
+    ///
+    /// # Errors
+    ///
+    /// `EPIPE` once the read end is closed.
+    pub fn write(&self, data: &[u8]) -> KernelResult<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut written = 0;
+        let mut state = self.state.lock();
+        while written < data.len() {
+            if state.read_closed {
+                return Err(KernelError::with_context(Errno::EPIPE, "pipe"));
+            }
+            let room = self.capacity - state.buf.len();
+            if room == 0 {
+                self.writable.wait(&mut state);
+                continue;
+            }
+            let n = room.min(data.len() - written);
+            state.buf.extend(&data[written..written + n]);
+            written += n;
+            self.readable.notify_one();
+        }
+        Ok(written)
+    }
+
+    /// Reads bytes, blocking while the buffer is empty and the write end is
+    /// open. Returns 0 at EOF (write end closed, buffer drained).
+    pub fn read(&self, buf: &mut [u8]) -> KernelResult<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.state.lock();
+        loop {
+            if !state.buf.is_empty() {
+                let n = buf.len().min(state.buf.len());
+                for b in buf.iter_mut().take(n) {
+                    *b = state.buf.pop_front().expect("buffer length checked");
+                }
+                self.writable.notify_one();
+                return Ok(n);
+            }
+            if state.write_closed {
+                return Ok(0);
+            }
+            self.readable.wait(&mut state);
+        }
+    }
+
+    /// Marks the read end closed; subsequent writes fail with `EPIPE`.
+    pub fn close_read(&self) {
+        let mut state = self.state.lock();
+        state.read_closed = true;
+        self.writable.notify_all();
+    }
+
+    /// Marks the write end closed; readers drain the buffer then see EOF.
+    pub fn close_write(&self) {
+        let mut state = self.state.lock();
+        state.write_closed = true;
+        self.readable.notify_all();
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.state.lock().buf.len()
+    }
+}
+
+/// One end of a connected stream socket: a pair of pipes.
+pub struct SocketEndpoint {
+    /// Address family the socket was created with.
+    pub family: SocketFamily,
+    /// Peer address string (bound path or `tcp:<port>`).
+    pub peer: String,
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+}
+
+impl SocketEndpoint {
+    /// Creates a connected endpoint pair `(client, server)`.
+    pub fn pair(family: SocketFamily, addr: &str) -> (Arc<SocketEndpoint>, Arc<SocketEndpoint>) {
+        let a = Pipe::new();
+        let b = Pipe::new();
+        let client = Arc::new(SocketEndpoint {
+            family,
+            peer: addr.to_string(),
+            rx: Arc::clone(&a),
+            tx: Arc::clone(&b),
+        });
+        let server = Arc::new(SocketEndpoint {
+            family,
+            peer: addr.to_string(),
+            rx: b,
+            tx: a,
+        });
+        (client, server)
+    }
+
+    /// Sends bytes to the peer.
+    ///
+    /// # Errors
+    ///
+    /// `EPIPE` once the peer closed.
+    pub fn send(&self, data: &[u8]) -> KernelResult<usize> {
+        self.tx.write(data)
+    }
+
+    /// Receives bytes from the peer (0 at EOF).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipe errors.
+    pub fn recv(&self, buf: &mut [u8]) -> KernelResult<usize> {
+        self.rx.read(buf)
+    }
+
+    /// Shuts down both directions.
+    pub fn shutdown(&self) {
+        self.tx.close_write();
+        self.rx.close_read();
+    }
+}
+
+impl fmt::Debug for SocketEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SocketEndpoint")
+            .field("family", &self.family)
+            .field("peer", &self.peer)
+            .finish()
+    }
+}
+
+#[derive(Debug, Default)]
+struct ListenerState {
+    backlog: VecDeque<Arc<SocketEndpoint>>,
+    closed: bool,
+}
+
+/// A listening socket's accept queue.
+pub struct Listener {
+    /// Address family.
+    pub family: SocketFamily,
+    addr: String,
+    state: Mutex<ListenerState>,
+    ready: Condvar,
+}
+
+impl Listener {
+    /// The bound address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Blocks until a connection arrives and returns the server endpoint.
+    ///
+    /// # Errors
+    ///
+    /// `ECONNRESET` if the listener is closed while waiting.
+    pub fn accept(&self) -> KernelResult<Arc<SocketEndpoint>> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(ep) = state.backlog.pop_front() {
+                return Ok(ep);
+            }
+            if state.closed {
+                return Err(KernelError::with_context(Errno::ECONNRESET, "socket"));
+            }
+            self.ready.wait(&mut state);
+        }
+    }
+
+    fn push(&self, ep: Arc<SocketEndpoint>) -> KernelResult<()> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(KernelError::with_context(Errno::ECONNREFUSED, "socket"));
+        }
+        state.backlog.push_back(ep);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Closes the listener, waking blocked accepts.
+    pub fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        self.ready.notify_all();
+    }
+}
+
+impl fmt::Debug for Listener {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Listener")
+            .field("family", &self.family)
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+/// Kernel-wide table of listening sockets, keyed by address string.
+#[derive(Debug, Default)]
+pub struct ListenerTable {
+    listeners: RwLock<HashMap<String, Arc<Listener>>>,
+}
+
+impl ListenerTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ListenerTable::default()
+    }
+
+    /// Binds and listens on `addr`.
+    ///
+    /// # Errors
+    ///
+    /// `EADDRINUSE` if the address is taken.
+    pub fn listen(&self, family: SocketFamily, addr: &str) -> KernelResult<Arc<Listener>> {
+        let mut map = self.listeners.write();
+        if map.contains_key(addr) {
+            return Err(KernelError::with_context(Errno::EADDRINUSE, "socket"));
+        }
+        let listener = Arc::new(Listener {
+            family,
+            addr: addr.to_string(),
+            state: Mutex::new(ListenerState::default()),
+            ready: Condvar::new(),
+        });
+        map.insert(addr.to_string(), Arc::clone(&listener));
+        Ok(listener)
+    }
+
+    /// Connects to the listener at `addr`, returning the client endpoint.
+    ///
+    /// # Errors
+    ///
+    /// `ECONNREFUSED` when nothing is listening.
+    pub fn connect(&self, family: SocketFamily, addr: &str) -> KernelResult<Arc<SocketEndpoint>> {
+        let listener = self
+            .listeners
+            .read()
+            .get(addr)
+            .cloned()
+            .ok_or_else(|| KernelError::with_context(Errno::ECONNREFUSED, "socket"))?;
+        if listener.family != family {
+            return Err(KernelError::with_context(Errno::ECONNREFUSED, "socket"));
+        }
+        let (client, server) = SocketEndpoint::pair(family, addr);
+        listener.push(server)?;
+        Ok(client)
+    }
+
+    /// Removes a listener binding.
+    pub fn unbind(&self, addr: &str) {
+        if let Some(l) = self.listeners.write().remove(addr) {
+            l.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn pipe_roundtrip() {
+        let pipe = Pipe::new();
+        pipe.write(b"hello").unwrap();
+        let mut buf = [0u8; 8];
+        let n = pipe.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello");
+    }
+
+    #[test]
+    fn pipe_eof_after_writer_close() {
+        let pipe = Pipe::new();
+        pipe.write(b"x").unwrap();
+        pipe.close_write();
+        let mut buf = [0u8; 8];
+        assert_eq!(pipe.read(&mut buf).unwrap(), 1);
+        assert_eq!(pipe.read(&mut buf).unwrap(), 0, "EOF after drain");
+    }
+
+    #[test]
+    fn pipe_epipe_after_reader_close() {
+        let pipe = Pipe::new();
+        pipe.close_read();
+        assert_eq!(pipe.write(b"x").unwrap_err().errno(), Errno::EPIPE);
+    }
+
+    #[test]
+    fn pipe_blocking_write_wakes_on_read() {
+        let pipe = Pipe::with_capacity(4);
+        let p2 = Arc::clone(&pipe);
+        let writer = thread::spawn(move || p2.write(b"abcdefgh").unwrap());
+        let mut got = Vec::new();
+        let mut buf = [0u8; 3];
+        while got.len() < 8 {
+            let n = pipe.read(&mut buf).unwrap();
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(writer.join().unwrap(), 8);
+        assert_eq!(got, b"abcdefgh");
+    }
+
+    #[test]
+    fn socket_pair_is_full_duplex() {
+        let (client, server) = SocketEndpoint::pair(SocketFamily::Unix, "/tmp/s");
+        client.send(b"ping").unwrap();
+        let mut buf = [0u8; 8];
+        let n = server.recv(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+        server.send(b"pong").unwrap();
+        let n = client.recv(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"pong");
+    }
+
+    #[test]
+    fn listener_accept_connect() {
+        let table = ListenerTable::new();
+        let listener = table.listen(SocketFamily::Inet, "tcp:8080").unwrap();
+        let client = table.connect(SocketFamily::Inet, "tcp:8080").unwrap();
+        let server = listener.accept().unwrap();
+        client.send(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        server.recv(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+    }
+
+    #[test]
+    fn connect_without_listener_refused() {
+        let table = ListenerTable::new();
+        let err = table.connect(SocketFamily::Unix, "/none").unwrap_err();
+        assert_eq!(err.errno(), Errno::ECONNREFUSED);
+    }
+
+    #[test]
+    fn double_bind_is_eaddrinuse() {
+        let table = ListenerTable::new();
+        table.listen(SocketFamily::Unix, "/s").unwrap();
+        assert_eq!(
+            table.listen(SocketFamily::Unix, "/s").unwrap_err().errno(),
+            Errno::EADDRINUSE
+        );
+    }
+
+    #[test]
+    fn family_mismatch_refused() {
+        let table = ListenerTable::new();
+        table.listen(SocketFamily::Unix, "/s").unwrap();
+        assert_eq!(
+            table.connect(SocketFamily::Inet, "/s").unwrap_err().errno(),
+            Errno::ECONNREFUSED
+        );
+    }
+
+    #[test]
+    fn unbind_wakes_accepts() {
+        let table = Arc::new(ListenerTable::new());
+        let listener = table.listen(SocketFamily::Unix, "/s").unwrap();
+        let l2 = Arc::clone(&listener);
+        let t = thread::spawn(move || l2.accept());
+        table.unbind("/s");
+        assert_eq!(t.join().unwrap().unwrap_err().errno(), Errno::ECONNRESET);
+    }
+}

@@ -1,0 +1,257 @@
+//! Normalized absolute kernel paths.
+//!
+//! [`KPath`] is the canonical object identity used throughout the LSM layer:
+//! AppArmor-style profiles and SACK MAC rules both match on it. Paths are
+//! always absolute, `/`-separated, with no `.`/`..` components and no
+//! trailing slash (except the root itself).
+
+use std::fmt;
+
+use crate::error::{Errno, KernelError, KernelResult};
+
+/// Maximum path length accepted by the simulated VFS (Linux `PATH_MAX`).
+pub const PATH_MAX: usize = 4096;
+
+/// A normalized absolute path.
+///
+/// # Examples
+///
+/// ```
+/// use sack_kernel::path::KPath;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = KPath::new("/dev/car/door0")?;
+/// assert_eq!(p.file_name(), Some("door0"));
+/// assert_eq!(p.parent().unwrap().as_str(), "/dev/car");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KPath(String);
+
+impl KPath {
+    /// The filesystem root, `/`.
+    pub fn root() -> Self {
+        KPath("/".to_string())
+    }
+
+    /// Parses and normalizes an absolute path.
+    ///
+    /// `.` components are dropped and `..` components resolve upward
+    /// (clamped at the root, as the kernel does).
+    ///
+    /// # Errors
+    ///
+    /// Returns `EINVAL` for relative or empty paths, `ENAMETOOLONG` when the
+    /// input exceeds [`PATH_MAX`].
+    pub fn new(raw: &str) -> KernelResult<Self> {
+        if raw.len() > PATH_MAX {
+            return Err(KernelError::with_context(Errno::ENAMETOOLONG, "vfs"));
+        }
+        if !raw.starts_with('/') {
+            return Err(KernelError::with_context(Errno::EINVAL, "vfs"));
+        }
+        let mut parts: Vec<&str> = Vec::new();
+        for comp in raw.split('/') {
+            match comp {
+                "" | "." => {}
+                ".." => {
+                    parts.pop();
+                }
+                other => parts.push(other),
+            }
+        }
+        if parts.is_empty() {
+            return Ok(KPath::root());
+        }
+        let mut s = String::with_capacity(raw.len());
+        for p in &parts {
+            s.push('/');
+            s.push_str(p);
+        }
+        Ok(KPath(s))
+    }
+
+    /// Resolves `raw` against this path when `raw` is relative, otherwise
+    /// normalizes `raw` itself. Used for cwd-relative syscall arguments.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KPath::new`].
+    pub fn resolve(&self, raw: &str) -> KernelResult<Self> {
+        if raw.starts_with('/') {
+            KPath::new(raw)
+        } else {
+            let mut joined = self.0.clone();
+            if !joined.ends_with('/') {
+                joined.push('/');
+            }
+            joined.push_str(raw);
+            KPath::new(&joined)
+        }
+    }
+
+    /// The path as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True for the root path.
+    pub fn is_root(&self) -> bool {
+        self.0 == "/"
+    }
+
+    /// Iterator over path components (excluding the root).
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.0.split('/').filter(|c| !c.is_empty())
+    }
+
+    /// Number of components.
+    pub fn depth(&self) -> usize {
+        self.components().count()
+    }
+
+    /// The final component, or `None` for the root.
+    pub fn file_name(&self) -> Option<&str> {
+        if self.is_root() {
+            None
+        } else {
+            self.0.rsplit('/').next()
+        }
+    }
+
+    /// The parent directory, or `None` for the root.
+    pub fn parent(&self) -> Option<KPath> {
+        if self.is_root() {
+            return None;
+        }
+        match self.0.rfind('/') {
+            Some(0) => Some(KPath::root()),
+            Some(idx) => Some(KPath(self.0[..idx].to_string())),
+            None => None,
+        }
+    }
+
+    /// Appends one component, validating it contains no `/`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `EINVAL` if `name` is empty, `.`/`..`, or contains `/`.
+    pub fn join(&self, name: &str) -> KernelResult<KPath> {
+        if name.is_empty() || name.contains('/') || name == "." || name == ".." {
+            return Err(KernelError::with_context(Errno::EINVAL, "vfs"));
+        }
+        let mut s = if self.is_root() {
+            String::new()
+        } else {
+            self.0.clone()
+        };
+        s.push('/');
+        s.push_str(name);
+        if s.len() > PATH_MAX {
+            return Err(KernelError::with_context(Errno::ENAMETOOLONG, "vfs"));
+        }
+        Ok(KPath(s))
+    }
+
+    /// True if `self` equals `ancestor` or lies beneath it.
+    pub fn starts_with(&self, ancestor: &KPath) -> bool {
+        if ancestor.is_root() {
+            return true;
+        }
+        self.0 == ancestor.0
+            || (self.0.starts_with(&ancestor.0)
+                && self.0.as_bytes().get(ancestor.0.len()) == Some(&b'/'))
+    }
+}
+
+impl fmt::Display for KPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for KPath {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::str::FromStr for KPath {
+    type Err = KernelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        KPath::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_dot_components() {
+        assert_eq!(KPath::new("/a/./b//c").unwrap().as_str(), "/a/b/c");
+        assert_eq!(KPath::new("/a/b/../c").unwrap().as_str(), "/a/c");
+        assert_eq!(KPath::new("/../..").unwrap().as_str(), "/");
+    }
+
+    #[test]
+    fn rejects_relative_paths() {
+        assert!(KPath::new("a/b").is_err());
+        assert!(KPath::new("").is_err());
+    }
+
+    #[test]
+    fn rejects_overlong_paths() {
+        let long = format!("/{}", "x".repeat(PATH_MAX));
+        assert_eq!(KPath::new(&long).unwrap_err().errno(), Errno::ENAMETOOLONG);
+    }
+
+    #[test]
+    fn parent_and_file_name() {
+        let p = KPath::new("/dev/car/door0").unwrap();
+        assert_eq!(p.file_name(), Some("door0"));
+        assert_eq!(p.parent().unwrap().as_str(), "/dev/car");
+        assert_eq!(KPath::new("/etc").unwrap().parent().unwrap().as_str(), "/");
+        assert_eq!(KPath::root().parent(), None);
+        assert_eq!(KPath::root().file_name(), None);
+    }
+
+    #[test]
+    fn join_validates_component() {
+        let root = KPath::root();
+        assert_eq!(root.join("etc").unwrap().as_str(), "/etc");
+        assert!(root.join("a/b").is_err());
+        assert!(root.join("..").is_err());
+        assert!(root.join("").is_err());
+    }
+
+    #[test]
+    fn resolve_relative_against_cwd() {
+        let cwd = KPath::new("/home/user").unwrap();
+        assert_eq!(
+            cwd.resolve("file.txt").unwrap().as_str(),
+            "/home/user/file.txt"
+        );
+        assert_eq!(cwd.resolve("../other").unwrap().as_str(), "/home/other");
+        assert_eq!(cwd.resolve("/abs").unwrap().as_str(), "/abs");
+    }
+
+    #[test]
+    fn starts_with_respects_component_boundaries() {
+        let a = KPath::new("/dev/car").unwrap();
+        assert!(KPath::new("/dev/car/door0").unwrap().starts_with(&a));
+        assert!(KPath::new("/dev/car").unwrap().starts_with(&a));
+        assert!(!KPath::new("/dev/carx").unwrap().starts_with(&a));
+        assert!(KPath::new("/anything").unwrap().starts_with(&KPath::root()));
+    }
+
+    #[test]
+    fn components_and_depth() {
+        let p = KPath::new("/a/b/c").unwrap();
+        assert_eq!(p.components().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        assert_eq!(p.depth(), 3);
+        assert_eq!(KPath::root().depth(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! securityfs: the pseudo-filesystem security modules use to talk to user
+//! space (`/sys/kernel/security`).
+//!
+//! SACK's C1 design transmits situation events by `write(2)` into a
+//! securityfs node ("SACKfs"), inheriting the LSM framework's security and
+//! integrity guarantees. The simulation reproduces that path: modules
+//! register [`SecurityFsFile`] handlers under the securityfs root, the VFS
+//! exposes them as [`crate::lsm::ObjectKind::SecurityFs`] inodes, and reads/
+//! writes are delivered to the handler with the caller's [`HookCtx`] so the
+//! handler can apply capability checks (`CAP_MAC_ADMIN`), exactly as the
+//! paper's threat model requires.
+
+use crate::error::{Errno, KernelError, KernelResult};
+use crate::lsm::HookCtx;
+use crate::path::KPath;
+use crate::types::Mode;
+
+/// Mount point of securityfs, as on Linux.
+pub const SECURITYFS_ROOT: &str = "/sys/kernel/security";
+
+/// Handler backing one securityfs pseudo-file.
+///
+/// Unlike regular files there is no backing data: every `read(2)` calls
+/// [`SecurityFsFile::read_content`] and every `write(2)` calls
+/// [`SecurityFsFile::write_content`].
+#[allow(unused_variables)]
+pub trait SecurityFsFile: Send + Sync {
+    /// Produces the file content for a read.
+    ///
+    /// # Errors
+    ///
+    /// Defaults to `EINVAL` for write-only nodes.
+    fn read_content(&self, ctx: &HookCtx) -> KernelResult<Vec<u8>> {
+        Err(KernelError::with_context(Errno::EINVAL, "securityfs"))
+    }
+
+    /// Consumes data written to the node.
+    ///
+    /// # Errors
+    ///
+    /// Defaults to `EINVAL` for read-only nodes. Handlers performing
+    /// privileged configuration should verify `ctx.cred` holds
+    /// `CAP_MAC_ADMIN` and return `EPERM` otherwise.
+    fn write_content(&self, ctx: &HookCtx, data: &[u8]) -> KernelResult<usize> {
+        Err(KernelError::with_context(Errno::EINVAL, "securityfs"))
+    }
+
+    /// File mode shown by `stat(2)`; defaults to `0600`.
+    fn mode(&self) -> Mode {
+        Mode::PRIVATE
+    }
+}
+
+/// Returns the absolute path of a node `name` inside module directory
+/// `module` under the securityfs root, e.g. `securityfs_path("SACK",
+/// "events")` → `/sys/kernel/security/SACK/events`.
+///
+/// # Errors
+///
+/// Propagates path-validation errors from [`KPath`].
+pub fn securityfs_path(module: &str, name: &str) -> KernelResult<KPath> {
+    KPath::new(SECURITYFS_ROOT)?.join(module)?.join(name)
+}
+
+/// Requires `CAP_MAC_ADMIN`, the standard gate for securityfs configuration
+/// writes.
+///
+/// # Errors
+///
+/// Returns `EPERM` when the capability is absent.
+pub fn require_mac_admin(ctx: &HookCtx) -> KernelResult<()> {
+    if ctx.cred.capable(crate::cred::Capability::MacAdmin) {
+        Ok(())
+    } else {
+        Err(KernelError::with_context(Errno::EPERM, "securityfs"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cred::{Capability, Credentials};
+    use crate::types::Pid;
+
+    struct ReadOnly;
+    impl SecurityFsFile for ReadOnly {
+        fn read_content(&self, _ctx: &HookCtx) -> KernelResult<Vec<u8>> {
+            Ok(b"state".to_vec())
+        }
+    }
+
+    #[test]
+    fn default_ops_reject() {
+        struct Stub;
+        impl SecurityFsFile for Stub {}
+        let s = Stub;
+        let ctx = HookCtx::new(Pid(1), Credentials::root(), None);
+        assert!(s.read_content(&ctx).is_err());
+        assert!(s.write_content(&ctx, b"x").is_err());
+        assert_eq!(s.mode(), Mode::PRIVATE);
+    }
+
+    #[test]
+    fn read_only_node() {
+        let ctx = HookCtx::new(Pid(1), Credentials::root(), None);
+        assert_eq!(ReadOnly.read_content(&ctx).unwrap(), b"state");
+        assert!(ReadOnly.write_content(&ctx, b"x").is_err());
+    }
+
+    #[test]
+    fn path_helper_builds_sackfs_path() {
+        let p = securityfs_path("SACK", "events").unwrap();
+        assert_eq!(p.as_str(), "/sys/kernel/security/SACK/events");
+    }
+
+    #[test]
+    fn mac_admin_gate() {
+        let root = HookCtx::new(Pid(1), Credentials::root(), None);
+        assert!(require_mac_admin(&root).is_ok());
+        let user = HookCtx::new(Pid(2), Credentials::user(1000, 1000), None);
+        assert_eq!(require_mac_admin(&user).unwrap_err().errno(), Errno::EPERM);
+        let sds = HookCtx::new(
+            Pid(3),
+            Credentials::user(100, 100).with_capability(Capability::MacAdmin),
+            None,
+        );
+        assert!(require_mac_admin(&sds).is_ok());
+    }
+}

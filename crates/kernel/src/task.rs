@@ -1,0 +1,224 @@
+//! Tasks (processes) and the process table.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::cred::Credentials;
+use crate::error::{Errno, KernelError, KernelResult};
+use crate::file::FdTable;
+use crate::lsm::HookCtx;
+use crate::path::KPath;
+use crate::types::Pid;
+
+/// A process: identity, credentials, cwd, executable, and open files.
+pub struct Task {
+    /// Process id.
+    pub pid: Pid,
+    /// Parent process id (`Pid(0)` for kernel-spawned tasks).
+    pub parent: Pid,
+    cred: RwLock<Credentials>,
+    cwd: RwLock<KPath>,
+    exe: RwLock<Option<KPath>>,
+    /// Open file descriptors.
+    pub fds: Mutex<FdTable>,
+    alive: AtomicBool,
+}
+
+impl Task {
+    fn new(pid: Pid, parent: Pid, cred: Credentials) -> Arc<Task> {
+        Arc::new(Task {
+            pid,
+            parent,
+            cred: RwLock::new(cred),
+            cwd: RwLock::new(KPath::root()),
+            exe: RwLock::new(None),
+            fds: Mutex::new(FdTable::new()),
+            alive: AtomicBool::new(true),
+        })
+    }
+
+    /// Snapshot of the task's credentials.
+    pub fn cred(&self) -> Credentials {
+        self.cred.read().clone()
+    }
+
+    /// Replaces the task's credentials (setuid-style).
+    pub fn set_cred(&self, cred: Credentials) {
+        *self.cred.write() = cred;
+    }
+
+    /// The current working directory.
+    pub fn cwd(&self) -> KPath {
+        self.cwd.read().clone()
+    }
+
+    /// Changes the working directory (path must already be validated).
+    pub fn set_cwd(&self, path: KPath) {
+        *self.cwd.write() = path;
+    }
+
+    /// The executable path, if the task has exec'd.
+    pub fn exe(&self) -> Option<KPath> {
+        self.exe.read().clone()
+    }
+
+    pub(crate) fn set_exe(&self, path: KPath) {
+        *self.exe.write() = Some(path);
+    }
+
+    /// True until the task exits.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn mark_dead(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// Builds the LSM subject context for this task.
+    pub fn hook_ctx(&self) -> HookCtx {
+        HookCtx::new(self.pid, self.cred(), self.exe())
+    }
+}
+
+impl fmt::Debug for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Task")
+            .field("pid", &self.pid)
+            .field("parent", &self.parent)
+            .field("exe", &self.exe())
+            .field("alive", &self.is_alive())
+            .finish()
+    }
+}
+
+/// The process table.
+pub struct ProcessTable {
+    tasks: RwLock<HashMap<Pid, Arc<Task>>>,
+    next_pid: AtomicU32,
+}
+
+impl ProcessTable {
+    /// Creates an empty table; pids start at 1.
+    pub fn new() -> Self {
+        ProcessTable {
+            tasks: RwLock::new(HashMap::new()),
+            next_pid: AtomicU32::new(1),
+        }
+    }
+
+    /// Allocates a fresh task with the given parent and credentials.
+    pub fn spawn(&self, parent: Pid, cred: Credentials) -> Arc<Task> {
+        let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        let task = Task::new(pid, parent, cred);
+        self.tasks.write().insert(pid, Arc::clone(&task));
+        task
+    }
+
+    /// Inserts a forked child that copies `parent`'s cwd/exe/fd table.
+    pub fn fork_from(&self, parent: &Task) -> Arc<Task> {
+        let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        let child = Arc::new(Task {
+            pid,
+            parent: parent.pid,
+            cred: RwLock::new(parent.cred()),
+            cwd: RwLock::new(parent.cwd()),
+            exe: RwLock::new(parent.exe()),
+            fds: Mutex::new(parent.fds.lock().fork_clone()),
+            alive: AtomicBool::new(true),
+        });
+        self.tasks.write().insert(pid, Arc::clone(&child));
+        child
+    }
+
+    /// Looks up a live task.
+    ///
+    /// # Errors
+    ///
+    /// `ESRCH` for unknown or exited tasks.
+    pub fn get(&self, pid: Pid) -> KernelResult<Arc<Task>> {
+        self.tasks
+            .read()
+            .get(&pid)
+            .filter(|t| t.is_alive())
+            .cloned()
+            .ok_or_else(|| KernelError::with_context(Errno::ESRCH, "task"))
+    }
+
+    /// Removes an exited task from the table.
+    pub fn reap(&self, pid: Pid) {
+        self.tasks.write().remove(&pid);
+    }
+
+    /// Number of live tasks.
+    pub fn live_count(&self) -> usize {
+        self.tasks.read().values().filter(|t| t.is_alive()).count()
+    }
+}
+
+impl Default for ProcessTable {
+    fn default() -> Self {
+        ProcessTable::new()
+    }
+}
+
+impl fmt::Debug for ProcessTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcessTable")
+            .field("live", &self.live_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_assigns_monotonic_pids() {
+        let table = ProcessTable::new();
+        let a = table.spawn(Pid(0), Credentials::root());
+        let b = table.spawn(Pid(0), Credentials::root());
+        assert!(b.pid > a.pid);
+        assert_eq!(table.live_count(), 2);
+    }
+
+    #[test]
+    fn fork_copies_identity() {
+        let table = ProcessTable::new();
+        let parent = table.spawn(Pid(0), Credentials::user(7, 8));
+        parent.set_cwd(KPath::new("/home").unwrap());
+        parent.set_exe(KPath::new("/bin/app").unwrap());
+        let child = table.fork_from(&parent);
+        assert_eq!(child.parent, parent.pid);
+        assert_eq!(child.cred(), parent.cred());
+        assert_eq!(child.cwd(), parent.cwd());
+        assert_eq!(child.exe(), parent.exe());
+    }
+
+    #[test]
+    fn dead_tasks_are_not_found() {
+        let table = ProcessTable::new();
+        let t = table.spawn(Pid(0), Credentials::root());
+        let pid = t.pid;
+        assert!(table.get(pid).is_ok());
+        t.mark_dead();
+        assert_eq!(table.get(pid).unwrap_err().errno(), Errno::ESRCH);
+        table.reap(pid);
+        assert_eq!(table.live_count(), 0);
+    }
+
+    #[test]
+    fn hook_ctx_snapshots_cred() {
+        let table = ProcessTable::new();
+        let t = table.spawn(Pid(0), Credentials::user(42, 42));
+        let ctx = t.hook_ctx();
+        assert_eq!(ctx.pid, t.pid);
+        assert_eq!(ctx.cred.uid.0, 42);
+        assert_eq!(ctx.exe, None);
+    }
+}

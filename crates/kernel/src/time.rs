@@ -1,0 +1,85 @@
+//! Simulated monotonic clock.
+//!
+//! Benchmarks that sweep situation-state *transition frequency* (paper
+//! Fig. 3b) need a controllable notion of time: tests and benches advance
+//! [`SimClock`] explicitly, so "a transition every 1000 ms" is deterministic
+//! and independent of host scheduling.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically advancing simulated clock (nanosecond resolution).
+#[derive(Default)]
+pub struct SimClock {
+    nanos: AtomicU64,
+}
+
+impl SimClock {
+    /// Creates a clock at t = 0.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Acquire))
+    }
+
+    /// Advances the clock by `dt` and returns the new time.
+    pub fn advance(&self, dt: Duration) -> Duration {
+        let nanos = u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX);
+        let new = self
+            .nanos
+            .fetch_add(nanos, Ordering::AcqRel)
+            .saturating_add(nanos);
+        Duration::from_nanos(new)
+    }
+
+    /// Sets the clock to an absolute time, which must not move backwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time.
+    pub fn set(&self, t: Duration) {
+        let nanos = u64::try_from(t.as_nanos()).unwrap_or(u64::MAX);
+        let prev = self.nanos.swap(nanos, Ordering::AcqRel);
+        assert!(nanos >= prev, "SimClock must be monotonic");
+    }
+}
+
+impl fmt::Debug for SimClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimClock({:?})", self.now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(5));
+        clock.advance(Duration::from_micros(1));
+        assert_eq!(clock.now(), Duration::from_micros(5001));
+    }
+
+    #[test]
+    fn set_moves_forward() {
+        let clock = SimClock::new();
+        clock.set(Duration::from_secs(1));
+        assert_eq!(clock.now(), Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn set_backwards_panics() {
+        let clock = SimClock::new();
+        clock.set(Duration::from_secs(2));
+        clock.set(Duration::from_secs(1));
+    }
+}

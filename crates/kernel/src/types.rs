@@ -1,0 +1,119 @@
+//! Core identifier newtypes shared across the simulated kernel.
+
+use std::fmt;
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// Inode number within the single simulated filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InodeId(pub u64);
+
+impl fmt::Display for InodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ino:{}", self.0)
+    }
+}
+
+/// File descriptor index within a task's fd table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub u32);
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd:{}", self.0)
+    }
+}
+
+/// Character-device identity (major, minor), as in `dev_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId {
+    /// Major number, selecting the driver.
+    pub major: u32,
+    /// Minor number, selecting the device instance.
+    pub minor: u32,
+}
+
+impl DeviceId {
+    /// Creates a device id from major/minor numbers.
+    pub fn new(major: u32, minor: u32) -> Self {
+        DeviceId { major, minor }
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev:{}:{}", self.major, self.minor)
+    }
+}
+
+/// Unix permission bits (the low 12 bits of `st_mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mode(pub u16);
+
+impl Mode {
+    /// `0o644` — owner read/write, group/other read.
+    pub const REGULAR: Mode = Mode(0o644);
+    /// `0o755` — typical directory or executable mode.
+    pub const EXEC: Mode = Mode(0o755);
+    /// `0o600` — owner-only read/write (securityfs default).
+    pub const PRIVATE: Mode = Mode(0o600);
+
+    /// True if the owner-execute bit is set.
+    pub fn owner_exec(self) -> bool {
+        self.0 & 0o100 != 0
+    }
+
+    /// Permission bits for the given class: `0` = owner, `1` = group, `2` = other.
+    pub fn class_bits(self, class: u8) -> u16 {
+        debug_assert!(class < 3);
+        (self.0 >> (6 - 3 * u16::from(class))) & 0o7
+    }
+}
+
+impl Default for Mode {
+    fn default() -> Self {
+        Mode::REGULAR
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04o}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_class_bits() {
+        let m = Mode(0o754);
+        assert_eq!(m.class_bits(0), 0o7);
+        assert_eq!(m.class_bits(1), 0o5);
+        assert_eq!(m.class_bits(2), 0o4);
+    }
+
+    #[test]
+    fn mode_exec_bit() {
+        assert!(Mode::EXEC.owner_exec());
+        assert!(!Mode::REGULAR.owner_exec());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Pid(42).to_string(), "pid:42");
+        assert_eq!(InodeId(7).to_string(), "ino:7");
+        assert_eq!(Fd(3).to_string(), "fd:3");
+        assert_eq!(DeviceId::new(10, 1).to_string(), "dev:10:1");
+        assert_eq!(Mode(0o644).to_string(), "0644");
+    }
+}

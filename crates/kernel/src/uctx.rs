@@ -1,0 +1,1177 @@
+//! The syscall layer: [`UserContext`] is a user-space process handle whose
+//! methods are the simulated syscalls.
+//!
+//! Every mediated operation performs, in order: DAC (classic permission
+//! bits), then LSM hook dispatch through the kernel's [`LsmStack`] — the
+//! same ordering as `inode_permission()` → `security_file_open()` on Linux.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{Errno, KernelError, KernelResult};
+use crate::file::{FileBacking, MappedRegion, OpenFile, OpenFlags};
+use crate::ipc::{Listener, Pipe};
+use crate::kernel::Kernel;
+use crate::lsm::{AccessMask, HookCtx, LsmStack, ObjectKind, ObjectRef, SocketFamily};
+use crate::path::KPath;
+use crate::task::Task;
+use crate::types::{Fd, Mode};
+use crate::vfs::{dac_permission, InodeKind, Metadata};
+
+/// A handle to a simulated process, exposing the syscall API.
+///
+/// # Examples
+///
+/// ```
+/// use sack_kernel::kernel::Kernel;
+/// use sack_kernel::cred::Credentials;
+/// use sack_kernel::file::OpenFlags;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let kernel = Kernel::boot_default();
+/// let proc = kernel.spawn(Credentials::root());
+/// let fd = proc.open("/tmp/hello", OpenFlags::create_new())?;
+/// proc.write(fd, b"hi")?;
+/// proc.close(fd)?;
+/// assert_eq!(proc.read_to_vec("/tmp/hello")?, b"hi");
+/// # Ok(())
+/// # }
+/// ```
+pub struct UserContext {
+    kernel: Arc<Kernel>,
+    task: Arc<Task>,
+}
+
+impl UserContext {
+    pub(crate) fn new(kernel: Arc<Kernel>, task: Arc<Task>) -> Self {
+        UserContext { kernel, task }
+    }
+
+    /// The process id.
+    pub fn pid(&self) -> crate::types::Pid {
+        self.task.pid
+    }
+
+    /// The kernel this process runs on.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The underlying task.
+    pub fn task(&self) -> &Arc<Task> {
+        &self.task
+    }
+
+    fn lsm(&self) -> &LsmStack {
+        self.kernel.lsm()
+    }
+
+    fn hook_ctx(&self) -> HookCtx {
+        self.task.hook_ctx()
+    }
+
+    fn resolve_path(&self, raw: &str) -> KernelResult<KPath> {
+        self.task.cwd().resolve(raw)
+    }
+
+    /// The cheapest possible syscall (`getpid(2)`): crosses the syscall
+    /// boundary, touches the task, returns. Used by the LMBench `syscall`
+    /// row; LSM configuration does not add hooks on this path (as on Linux).
+    pub fn null_syscall(&self) -> u32 {
+        self.task.pid.0
+    }
+
+    /// `getpid(2)`.
+    pub fn getpid(&self) -> crate::types::Pid {
+        self.task.pid
+    }
+
+    /// `chdir(2)`.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT`/`ENOTDIR` if the target is not a directory.
+    pub fn chdir(&self, path: &str) -> KernelResult<()> {
+        let path = self.resolve_path(path)?;
+        let node = self.kernel.vfs().resolve(&path)?;
+        if !matches!(node.kind, InodeKind::Directory(_)) {
+            return Err(KernelError::with_context(Errno::ENOTDIR, "vfs"));
+        }
+        self.task.set_cwd(path);
+        Ok(())
+    }
+
+    /// `open(2)`.
+    ///
+    /// Applies DAC, dispatches `inode_create` when creating, and
+    /// `file_open` always.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` when missing without `create`; `EEXIST` with `create+excl`;
+    /// `EACCES` from DAC or any security module.
+    pub fn open(&self, raw_path: &str, flags: OpenFlags) -> KernelResult<Fd> {
+        let path = self.resolve_path(raw_path)?;
+        let ctx = self.hook_ctx();
+        let vfs = self.kernel.vfs();
+
+        let (node, path) = match vfs.resolve_full(&path) {
+            Ok((node, canonical)) => {
+                if flags.create && flags.excl {
+                    return Err(KernelError::with_context(Errno::EEXIST, "vfs"));
+                }
+                (node, canonical)
+            }
+            Err(e) if e.errno() == Errno::ENOENT && flags.create => {
+                let (dir, name) = vfs.resolve_parent(&path)?;
+                dac_permission(&ctx.cred, &dir, AccessMask::WRITE)?;
+                let parent = path
+                    .parent()
+                    .ok_or_else(|| KernelError::with_context(Errno::EINVAL, "vfs"))?;
+                self.lsm()
+                    .inode_create(&ctx, &parent, &name, ObjectKind::Regular)?;
+                let node = vfs.create_file(&path, Mode::REGULAR, ctx.cred.uid, ctx.cred.gid)?;
+                (node, path)
+            }
+            Err(e) => return Err(e),
+        };
+
+        if matches!(node.kind, InodeKind::Directory(_)) && flags.write {
+            return Err(KernelError::with_context(Errno::EISDIR, "vfs"));
+        }
+
+        let mask = flags.access_mask();
+        dac_permission(&ctx.cred, &node, mask)?;
+        let obj = ObjectRef {
+            path: &path,
+            kind: node.kind.object_kind(),
+            dev: node.device(),
+        };
+        self.lsm().file_open(&ctx, &obj, mask)?;
+
+        if flags.truncate {
+            if let InodeKind::Regular(_) = node.kind {
+                vfs.truncate(&node)?;
+            }
+        }
+
+        let file = Arc::new(OpenFile {
+            path,
+            backing: FileBacking::Inode(node),
+            flags,
+            pos: Mutex::new(0),
+        });
+        self.task.fds.lock().install(file)
+    }
+
+    /// `close(2)`.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for invalid descriptors.
+    pub fn close(&self, fd: Fd) -> KernelResult<()> {
+        let file = self.task.fds.lock().remove(fd)?;
+        Self::release(&file);
+        Ok(())
+    }
+
+    fn release(file: &Arc<OpenFile>) {
+        // Pipe/socket half-close happens when the last descriptor drops.
+        if Arc::strong_count(file) == 1 {
+            match &file.backing {
+                FileBacking::PipeRead(p) => p.close_read(),
+                FileBacking::PipeWrite(p) => p.close_write(),
+                FileBacking::Socket(s) => s.shutdown(),
+                FileBacking::Inode(_) => {}
+            }
+        }
+    }
+
+    fn get_file(&self, fd: Fd) -> KernelResult<Arc<OpenFile>> {
+        self.task.fds.lock().get(fd)
+    }
+
+    /// `read(2)`.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` if the descriptor is not open for reading; `EACCES` from any
+    /// security module's `file_permission` hook.
+    pub fn read(&self, fd: Fd, buf: &mut [u8]) -> KernelResult<usize> {
+        let file = self.get_file(fd)?;
+        let ctx = self.hook_ctx();
+        match &file.backing {
+            FileBacking::Inode(node) => {
+                if !file.flags.read {
+                    return Err(KernelError::with_context(Errno::EBADF, "vfs"));
+                }
+                let obj = ObjectRef {
+                    path: &file.path,
+                    kind: node.kind.object_kind(),
+                    dev: node.device(),
+                };
+                self.lsm().file_permission(&ctx, &obj, AccessMask::READ)?;
+                let mut pos = file.pos.lock();
+                let n = match &node.kind {
+                    InodeKind::CharDevice(dev) => {
+                        let driver = self.kernel.vfs().devices().driver(*dev)?;
+                        driver.read(buf, *pos)?
+                    }
+                    InodeKind::SecurityFs(ops) => {
+                        let content = ops.read_content(&ctx)?;
+                        let off = *pos as usize;
+                        if off >= content.len() {
+                            0
+                        } else {
+                            let n = buf.len().min(content.len() - off);
+                            buf[..n].copy_from_slice(&content[off..off + n]);
+                            n
+                        }
+                    }
+                    _ => self.kernel.vfs().read_at(node, buf, *pos)?,
+                };
+                *pos += n as u64;
+                Ok(n)
+            }
+            FileBacking::PipeRead(pipe) => {
+                let obj = ObjectRef {
+                    path: &file.path,
+                    kind: ObjectKind::Pipe,
+                    dev: None,
+                };
+                self.lsm().file_permission(&ctx, &obj, AccessMask::READ)?;
+                pipe.read(buf)
+            }
+            FileBacking::PipeWrite(_) => Err(KernelError::with_context(Errno::EBADF, "pipe")),
+            FileBacking::Socket(sock) => {
+                let obj = ObjectRef {
+                    path: &file.path,
+                    kind: ObjectKind::Socket,
+                    dev: None,
+                };
+                self.lsm().file_permission(&ctx, &obj, AccessMask::READ)?;
+                sock.recv(buf)
+            }
+        }
+    }
+
+    /// `write(2)`.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` if not open for writing; `EACCES` from security modules;
+    /// `EPIPE` on broken pipes.
+    pub fn write(&self, fd: Fd, data: &[u8]) -> KernelResult<usize> {
+        let file = self.get_file(fd)?;
+        let ctx = self.hook_ctx();
+        match &file.backing {
+            FileBacking::Inode(node) => {
+                if !file.flags.write {
+                    return Err(KernelError::with_context(Errno::EBADF, "vfs"));
+                }
+                let obj = ObjectRef {
+                    path: &file.path,
+                    kind: node.kind.object_kind(),
+                    dev: node.device(),
+                };
+                self.lsm().file_permission(&ctx, &obj, AccessMask::WRITE)?;
+                let mut pos = file.pos.lock();
+                if file.flags.append {
+                    *pos = node.size();
+                }
+                let n = match &node.kind {
+                    InodeKind::CharDevice(dev) => {
+                        let driver = self.kernel.vfs().devices().driver(*dev)?;
+                        driver.write(data, *pos)?
+                    }
+                    InodeKind::SecurityFs(ops) => ops.write_content(&ctx, data)?,
+                    _ => self.kernel.vfs().write_at(node, data, *pos)?,
+                };
+                *pos += n as u64;
+                Ok(n)
+            }
+            FileBacking::PipeWrite(pipe) => {
+                let obj = ObjectRef {
+                    path: &file.path,
+                    kind: ObjectKind::Pipe,
+                    dev: None,
+                };
+                self.lsm().file_permission(&ctx, &obj, AccessMask::WRITE)?;
+                pipe.write(data)
+            }
+            FileBacking::PipeRead(_) => Err(KernelError::with_context(Errno::EBADF, "pipe")),
+            FileBacking::Socket(sock) => {
+                let obj = ObjectRef {
+                    path: &file.path,
+                    kind: ObjectKind::Socket,
+                    dev: None,
+                };
+                self.lsm().file_permission(&ctx, &obj, AccessMask::WRITE)?;
+                sock.send(data)
+            }
+        }
+    }
+
+    /// `dup(2)`: duplicates a descriptor into the lowest free slot. Both
+    /// descriptors share the open file description (offset, flags).
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for invalid descriptors, `EMFILE` when the table is full.
+    pub fn dup(&self, fd: Fd) -> KernelResult<Fd> {
+        let mut fds = self.task.fds.lock();
+        let file = fds.get(fd)?;
+        fds.install(file)
+    }
+
+    /// `dup2(2)`: duplicates `old` onto `new`, closing whatever `new` was.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF`/`EMFILE` as for [`UserContext::dup`].
+    pub fn dup2(&self, old: Fd, new: Fd) -> KernelResult<Fd> {
+        if old == new {
+            // POSIX: validate old and return it unchanged.
+            self.task.fds.lock().get(old)?;
+            return Ok(new);
+        }
+        let replaced = {
+            let mut fds = self.task.fds.lock();
+            let file = fds.get(old)?;
+            fds.install_at(new, file)?
+        };
+        if let Some(replaced) = replaced {
+            Self::release(&replaced);
+        }
+        Ok(new)
+    }
+
+    /// `lseek(2)` with `SEEK_SET` semantics.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for pipes/sockets.
+    pub fn seek(&self, fd: Fd, pos: u64) -> KernelResult<()> {
+        let file = self.get_file(fd)?;
+        match &file.backing {
+            FileBacking::Inode(_) => {
+                *file.pos.lock() = pos;
+                Ok(())
+            }
+            _ => Err(KernelError::with_context(Errno::EBADF, "vfs")),
+        }
+    }
+
+    /// `ioctl(2)`.
+    ///
+    /// # Errors
+    ///
+    /// `ENOTTY` on non-device files; `EACCES` from the `file_ioctl` hook.
+    pub fn ioctl(&self, fd: Fd, cmd: u32, arg: u64) -> KernelResult<i64> {
+        let file = self.get_file(fd)?;
+        let ctx = self.hook_ctx();
+        match &file.backing {
+            FileBacking::Inode(node) => {
+                let obj = ObjectRef {
+                    path: &file.path,
+                    kind: node.kind.object_kind(),
+                    dev: node.device(),
+                };
+                self.lsm().file_ioctl(&ctx, &obj, cmd)?;
+                match &node.kind {
+                    InodeKind::CharDevice(dev) => {
+                        let driver = self.kernel.vfs().devices().driver(*dev)?;
+                        driver.ioctl(cmd, arg)
+                    }
+                    _ => Err(KernelError::with_context(Errno::ENOTTY, "vfs")),
+                }
+            }
+            _ => Err(KernelError::with_context(Errno::ENOTTY, "vfs")),
+        }
+    }
+
+    /// `stat(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors; `EACCES` from the `inode_getattr` hook.
+    pub fn stat(&self, raw_path: &str) -> KernelResult<Metadata> {
+        let path = self.resolve_path(raw_path)?;
+        let ctx = self.hook_ctx();
+        let (_, canonical) = self.kernel.vfs().resolve_full(&path)?;
+        let meta = self.kernel.vfs().metadata(&canonical)?;
+        let obj = ObjectRef {
+            path: &canonical,
+            kind: meta.kind,
+            dev: None,
+        };
+        self.lsm().inode_getattr(&ctx, &obj)?;
+        Ok(meta)
+    }
+
+    /// `fstat(2)`: metadata through an open descriptor (no path walk, no
+    /// re-resolution — the identity is the open file's).
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` for pipes/sockets; `EACCES` from the `inode_getattr` hook.
+    pub fn fstat(&self, fd: Fd) -> KernelResult<Metadata> {
+        let file = self.get_file(fd)?;
+        let node = file.inode()?;
+        let ctx = self.hook_ctx();
+        let obj = ObjectRef {
+            path: &file.path,
+            kind: node.kind.object_kind(),
+            dev: node.device(),
+        };
+        self.lsm().inode_getattr(&ctx, &obj)?;
+        Ok(Metadata {
+            ino: node.id,
+            kind: node.kind.object_kind(),
+            mode: node.mode,
+            uid: node.uid,
+            gid: node.gid,
+            size: node.size(),
+        })
+    }
+
+    /// `ftruncate(2)` to length zero (the only length the simulation
+    /// needs; `open(O_TRUNC)` covers the common case).
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` if not open for writing; `EACCES` from `file_permission`.
+    pub fn ftruncate(&self, fd: Fd) -> KernelResult<()> {
+        let file = self.get_file(fd)?;
+        if !file.flags.write {
+            return Err(KernelError::with_context(Errno::EBADF, "vfs"));
+        }
+        let node = file.inode()?;
+        let ctx = self.hook_ctx();
+        let obj = ObjectRef {
+            path: &file.path,
+            kind: node.kind.object_kind(),
+            dev: node.device(),
+        };
+        self.lsm().file_permission(&ctx, &obj, AccessMask::WRITE)?;
+        self.kernel.vfs().truncate(node)
+    }
+
+    /// `mkdir(2)`.
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` if taken; `EACCES` from DAC on the parent or from the
+    /// `inode_create` hook.
+    pub fn mkdir(&self, raw_path: &str, mode: Mode) -> KernelResult<()> {
+        let path = self.resolve_path(raw_path)?;
+        let ctx = self.hook_ctx();
+        let vfs = self.kernel.vfs();
+        let (dir, name) = vfs.resolve_parent(&path)?;
+        dac_permission(&ctx.cred, &dir, AccessMask::WRITE)?;
+        let parent = path
+            .parent()
+            .ok_or_else(|| KernelError::with_context(Errno::EINVAL, "vfs"))?;
+        self.lsm()
+            .inode_create(&ctx, &parent, &name, ObjectKind::Directory)?;
+        vfs.mkdir(&path, mode, ctx.cred.uid, ctx.cred.gid)?;
+        Ok(())
+    }
+
+    /// `unlink(2)` / `rmdir(2)`.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if missing; `ENOTEMPTY` for non-empty dirs; `EACCES` from
+    /// DAC on the parent or the `inode_unlink` hook.
+    pub fn unlink(&self, raw_path: &str) -> KernelResult<()> {
+        let path = self.resolve_path(raw_path)?;
+        let ctx = self.hook_ctx();
+        let vfs = self.kernel.vfs();
+        let (dir, _) = vfs.resolve_parent(&path)?;
+        dac_permission(&ctx.cred, &dir, AccessMask::WRITE)?;
+        // lstat semantics: unlinking a symlink removes the link itself.
+        let node = vfs.resolve_nofollow(&path)?;
+        let obj = ObjectRef {
+            path: &path,
+            kind: node.kind.object_kind(),
+            dev: node.device(),
+        };
+        self.lsm().inode_unlink(&ctx, &obj)?;
+        vfs.unlink(&path)
+    }
+
+    /// `symlink(2)`: creates a link at `raw_link` pointing to `raw_target`
+    /// (stored absolute; relative targets resolve against the link's
+    /// directory at creation time, a simplification over POSIX's lazy
+    /// resolution).
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` if the name is taken; `EACCES` from DAC on the parent or
+    /// the `inode_create` hook.
+    pub fn symlink(&self, raw_target: &str, raw_link: &str) -> KernelResult<()> {
+        let link = self.resolve_path(raw_link)?;
+        let target = if raw_target.starts_with('/') {
+            KPath::new(raw_target)?
+        } else {
+            link.parent()
+                .ok_or_else(|| KernelError::with_context(Errno::EINVAL, "vfs"))?
+                .resolve(raw_target)?
+        };
+        let ctx = self.hook_ctx();
+        let vfs = self.kernel.vfs();
+        let (dir, name) = vfs.resolve_parent(&link)?;
+        dac_permission(&ctx.cred, &dir, AccessMask::WRITE)?;
+        let parent = link
+            .parent()
+            .ok_or_else(|| KernelError::with_context(Errno::EINVAL, "vfs"))?;
+        self.lsm()
+            .inode_create(&ctx, &parent, &name, ObjectKind::Regular)?;
+        vfs.symlink(&link, target)?;
+        Ok(())
+    }
+
+    /// `readlink(2)`.
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` if the path is not a symlink.
+    pub fn readlink(&self, raw_path: &str) -> KernelResult<String> {
+        let path = self.resolve_path(raw_path)?;
+        Ok(self.kernel.vfs().readlink(&path)?.as_str().to_string())
+    }
+
+    /// `rename(2)`.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT`/`EEXIST` from the VFS; `EACCES` from DAC on either parent
+    /// directory or from the `inode_rename` hook.
+    pub fn rename(&self, raw_old: &str, raw_new: &str) -> KernelResult<()> {
+        let old = self.resolve_path(raw_old)?;
+        let new = self.resolve_path(raw_new)?;
+        let ctx = self.hook_ctx();
+        let vfs = self.kernel.vfs();
+        let node = vfs.resolve(&old)?;
+        let (old_dir, _) = vfs.resolve_parent(&old)?;
+        let (new_dir, _) = vfs.resolve_parent(&new)?;
+        dac_permission(&ctx.cred, &old_dir, AccessMask::WRITE)?;
+        dac_permission(&ctx.cred, &new_dir, AccessMask::WRITE)?;
+        let obj = ObjectRef {
+            path: &old,
+            kind: node.kind.object_kind(),
+            dev: node.device(),
+        };
+        self.lsm().inode_rename(&ctx, &obj, &new)?;
+        vfs.rename(&old, &new)
+    }
+
+    /// `execve(2)`: checks the exec bit and `bprm` hooks, then replaces the
+    /// task's program image (recorded as its `exe` path).
+    ///
+    /// # Errors
+    ///
+    /// `EACCES` if the file is not executable or a module denies the exec.
+    pub fn exec(&self, raw_path: &str) -> KernelResult<()> {
+        let path = self.resolve_path(raw_path)?;
+        let ctx = self.hook_ctx();
+        let vfs = self.kernel.vfs();
+        let node = vfs.resolve(&path)?;
+        if !matches!(node.kind, InodeKind::Regular(_)) {
+            return Err(KernelError::with_context(Errno::EACCES, "exec"));
+        }
+        dac_permission(&ctx.cred, &node, AccessMask::EXEC)?;
+        self.lsm().bprm_check(&ctx, &path)?;
+        self.task.set_exe(path.clone());
+        // Re-snapshot: committed hooks observe the new image.
+        let ctx = self.task.hook_ctx();
+        self.lsm().bprm_committed(&ctx, &path);
+        Ok(())
+    }
+
+    /// `fork(2)`: clones the task (credentials, cwd, exe, shared fd table)
+    /// after the `task_alloc` hook approves.
+    ///
+    /// # Errors
+    ///
+    /// Denials from `task_alloc`.
+    pub fn fork(&self) -> KernelResult<UserContext> {
+        let ctx = self.hook_ctx();
+        let child = self.kernel.tasks().fork_from(&self.task);
+        if let Err(e) = self.lsm().task_alloc(&ctx, child.pid) {
+            child.mark_dead();
+            self.kernel.tasks().reap(child.pid);
+            return Err(e);
+        }
+        Ok(UserContext::new(Arc::clone(&self.kernel), child))
+    }
+
+    /// `exit(2)`: closes all descriptors, notifies modules, reaps the task.
+    pub fn exit(self) {
+        let files = self.task.fds.lock().drain();
+        for file in files {
+            Self::release(&file);
+        }
+        self.task.mark_dead();
+        self.lsm().task_free(self.task.pid);
+        self.kernel.tasks().reap(self.task.pid);
+    }
+
+    /// `pipe(2)`: returns `(read_fd, write_fd)`.
+    ///
+    /// # Errors
+    ///
+    /// `EMFILE` when the fd table is full.
+    pub fn pipe(&self) -> KernelResult<(Fd, Fd)> {
+        let pipe = Pipe::new();
+        let path = KPath::new("/proc/pipe")?;
+        let read_end = Arc::new(OpenFile {
+            path: path.clone(),
+            backing: FileBacking::PipeRead(Arc::clone(&pipe)),
+            flags: OpenFlags::read_only(),
+            pos: Mutex::new(0),
+        });
+        let write_end = Arc::new(OpenFile {
+            path,
+            backing: FileBacking::PipeWrite(pipe),
+            flags: OpenFlags::write_only(),
+            pos: Mutex::new(0),
+        });
+        let mut fds = self.task.fds.lock();
+        let r = fds.install(read_end)?;
+        let w = fds.install(write_end)?;
+        Ok((r, w))
+    }
+
+    /// `socket(2)` + `bind(2)` + `listen(2)` in one step.
+    ///
+    /// # Errors
+    ///
+    /// `EADDRINUSE`; denials from `socket_create`.
+    pub fn listen(&self, family: SocketFamily, addr: &str) -> KernelResult<Arc<Listener>> {
+        let ctx = self.hook_ctx();
+        self.lsm().socket_create(&ctx, family)?;
+        self.kernel.listeners().listen(family, addr)
+    }
+
+    /// `accept(2)`: blocks for a connection and installs the endpoint.
+    ///
+    /// # Errors
+    ///
+    /// `ECONNRESET` if the listener closes.
+    pub fn accept(&self, listener: &Listener) -> KernelResult<Fd> {
+        let endpoint = listener.accept()?;
+        self.install_socket(endpoint)
+    }
+
+    /// `socket(2)` + `connect(2)`.
+    ///
+    /// # Errors
+    ///
+    /// `ECONNREFUSED`; denials from the socket hooks.
+    pub fn connect(&self, family: SocketFamily, addr: &str) -> KernelResult<Fd> {
+        let ctx = self.hook_ctx();
+        self.lsm().socket_create(&ctx, family)?;
+        self.lsm().socket_connect(&ctx, family, addr)?;
+        let endpoint = self.kernel.listeners().connect(family, addr)?;
+        self.install_socket(endpoint)
+    }
+
+    fn install_socket(&self, endpoint: Arc<crate::ipc::SocketEndpoint>) -> KernelResult<Fd> {
+        let file = Arc::new(OpenFile {
+            path: KPath::new("/proc/socket")?,
+            backing: FileBacking::Socket(endpoint),
+            flags: OpenFlags::read_write(),
+            pos: Mutex::new(0),
+        });
+        self.task.fds.lock().install(file)
+    }
+
+    /// `mmap(2)` of a regular file region.
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` for non-regular files; denials from `file_mmap`.
+    pub fn mmap(&self, fd: Fd, offset: u64, len: usize) -> KernelResult<MappedRegion> {
+        let file = self.get_file(fd)?;
+        let ctx = self.hook_ctx();
+        let node = file.inode()?;
+        let data = match &node.kind {
+            InodeKind::Regular(data) => Arc::clone(data),
+            _ => return Err(KernelError::with_context(Errno::EINVAL, "mmap")),
+        };
+        let mut mask = AccessMask::READ;
+        if file.flags.write {
+            mask |= AccessMask::WRITE;
+        }
+        let obj = ObjectRef {
+            path: &file.path,
+            kind: ObjectKind::Regular,
+            dev: None,
+        };
+        self.lsm().file_mmap(&ctx, &obj, mask)?;
+        Ok(MappedRegion::new(data, offset as usize, len))
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience wrappers (libc-style helpers, still one syscall each).
+    // ------------------------------------------------------------------
+
+    /// Reads an entire file (`open` + `read` loop + `close`).
+    ///
+    /// # Errors
+    ///
+    /// Any error from the underlying syscalls.
+    pub fn read_to_vec(&self, raw_path: &str) -> KernelResult<Vec<u8>> {
+        let fd = self.open(raw_path, OpenFlags::read_only())?;
+        let mut out = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            let n = match self.read(fd, &mut buf) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.close(fd)?;
+                    return Err(e);
+                }
+            };
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        self.close(fd)?;
+        Ok(out)
+    }
+
+    /// Creates/truncates a file and writes `data` (`open` + `write` + `close`).
+    ///
+    /// # Errors
+    ///
+    /// Any error from the underlying syscalls.
+    pub fn write_file(&self, raw_path: &str, data: &[u8]) -> KernelResult<()> {
+        let fd = self.open(raw_path, OpenFlags::create_new())?;
+        let result = self.write(fd, data);
+        self.close(fd)?;
+        result.map(|_| ())
+    }
+}
+
+impl std::fmt::Debug for UserContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UserContext")
+            .field("pid", &self.task.pid)
+            .field("exe", &self.task.exe())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cred::Credentials;
+    use crate::lsm::SecurityModule;
+
+    fn root_proc() -> UserContext {
+        Kernel::boot_default().spawn(Credentials::root())
+    }
+
+    #[test]
+    fn open_read_write_close_roundtrip() {
+        let p = root_proc();
+        let fd = p.open("/tmp/f", OpenFlags::create_new()).unwrap();
+        assert_eq!(p.write(fd, b"hello").unwrap(), 5);
+        p.close(fd).unwrap();
+        assert_eq!(p.read_to_vec("/tmp/f").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn open_missing_without_create_fails() {
+        let p = root_proc();
+        assert_eq!(
+            p.open("/tmp/none", OpenFlags::read_only())
+                .unwrap_err()
+                .errno(),
+            Errno::ENOENT
+        );
+    }
+
+    #[test]
+    fn open_excl_on_existing_fails() {
+        let p = root_proc();
+        p.write_file("/tmp/f", b"x").unwrap();
+        let mut flags = OpenFlags::create_new();
+        flags.excl = true;
+        assert_eq!(p.open("/tmp/f", flags).unwrap_err().errno(), Errno::EEXIST);
+    }
+
+    #[test]
+    fn read_requires_read_flag() {
+        let p = root_proc();
+        let fd = p.open("/tmp/f", OpenFlags::create_new()).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(p.read(fd, &mut buf).unwrap_err().errno(), Errno::EBADF);
+    }
+
+    #[test]
+    fn append_mode_appends() {
+        let p = root_proc();
+        p.write_file("/tmp/f", b"ab").unwrap();
+        let mut flags = OpenFlags::write_only();
+        flags.append = true;
+        let fd = p.open("/tmp/f", flags).unwrap();
+        p.write(fd, b"cd").unwrap();
+        p.close(fd).unwrap();
+        assert_eq!(p.read_to_vec("/tmp/f").unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn stat_reports_size_and_kind() {
+        let p = root_proc();
+        p.write_file("/tmp/f", b"12345").unwrap();
+        let meta = p.stat("/tmp/f").unwrap();
+        assert_eq!(meta.size, 5);
+        assert_eq!(meta.kind, ObjectKind::Regular);
+    }
+
+    #[test]
+    fn mkdir_unlink_cycle() {
+        let p = root_proc();
+        p.mkdir("/tmp/d", Mode::EXEC).unwrap();
+        assert!(p.stat("/tmp/d").is_ok());
+        p.unlink("/tmp/d").unwrap();
+        assert!(p.stat("/tmp/d").is_err());
+    }
+
+    #[test]
+    fn fstat_and_ftruncate() {
+        let p = root_proc();
+        p.write_file("/tmp/f", b"12345").unwrap();
+        let fd = p.open("/tmp/f", OpenFlags::read_write()).unwrap();
+        let meta = p.fstat(fd).unwrap();
+        assert_eq!(meta.size, 5);
+        assert_eq!(meta.kind, ObjectKind::Regular);
+        p.ftruncate(fd).unwrap();
+        assert_eq!(p.fstat(fd).unwrap().size, 0);
+        // Read-only descriptors cannot truncate.
+        let ro = p.open("/tmp/f", OpenFlags::read_only()).unwrap();
+        assert_eq!(p.ftruncate(ro).unwrap_err().errno(), Errno::EBADF);
+        // Pipes have no inode metadata.
+        let (r, _w) = p.pipe().unwrap();
+        assert_eq!(p.fstat(r).unwrap_err().errno(), Errno::EBADF);
+    }
+
+    #[test]
+    fn dup_shares_the_open_file_description() {
+        let p = root_proc();
+        p.write_file("/tmp/f", b"abcdef").unwrap();
+        let fd = p.open("/tmp/f", OpenFlags::read_only()).unwrap();
+        let dup = p.dup(fd).unwrap();
+        assert_ne!(fd, dup);
+        let mut buf = [0u8; 3];
+        p.read(fd, &mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+        p.read(dup, &mut buf).unwrap();
+        assert_eq!(&buf, b"def", "shared offset advances across both fds");
+        p.close(fd).unwrap();
+        // The dup stays usable after the original closes.
+        p.seek(dup, 0).unwrap();
+        p.read(dup, &mut buf).unwrap();
+        assert_eq!(&buf, b"abc");
+    }
+
+    #[test]
+    fn dup2_replaces_and_closes_target() {
+        let p = root_proc();
+        p.write_file("/tmp/a", b"A").unwrap();
+        p.write_file("/tmp/b", b"B").unwrap();
+        let a = p.open("/tmp/a", OpenFlags::read_only()).unwrap();
+        let b = p.open("/tmp/b", OpenFlags::read_only()).unwrap();
+        assert_eq!(p.dup2(a, b).unwrap(), b);
+        let mut buf = [0u8; 1];
+        p.read(b, &mut buf).unwrap();
+        assert_eq!(&buf, b"A", "b now refers to a's description");
+        // dup2 onto itself is a no-op that validates the fd.
+        assert_eq!(p.dup2(a, a).unwrap(), a);
+        assert!(p.dup2(Fd(99), Fd(3)).is_err());
+        // Far target slots are allocated on demand.
+        let far = p.dup2(a, Fd(37)).unwrap();
+        p.seek(far, 0).unwrap();
+        p.read(far, &mut buf).unwrap();
+        assert_eq!(&buf, b"A");
+    }
+
+    #[test]
+    fn symlink_resolution_and_readlink() {
+        let p = root_proc();
+        p.write_file("/tmp/real", b"payload").unwrap();
+        p.symlink("/tmp/real", "/tmp/link").unwrap();
+        assert_eq!(p.read_to_vec("/tmp/link").unwrap(), b"payload");
+        assert_eq!(p.readlink("/tmp/link").unwrap(), "/tmp/real");
+        // stat follows; metadata is the target's.
+        let meta = p.stat("/tmp/link").unwrap();
+        assert_eq!(meta.size, 7);
+        // readlink of a non-link is EINVAL.
+        assert_eq!(p.readlink("/tmp/real").unwrap_err().errno(), Errno::EINVAL);
+        // Relative target resolves against the link's directory.
+        p.symlink("real", "/tmp/rel").unwrap();
+        assert_eq!(p.read_to_vec("/tmp/rel").unwrap(), b"payload");
+    }
+
+    #[test]
+    fn symlink_chains_and_loops() {
+        let p = root_proc();
+        p.write_file("/tmp/real", b"x").unwrap();
+        p.symlink("/tmp/real", "/tmp/l1").unwrap();
+        p.symlink("/tmp/l1", "/tmp/l2").unwrap();
+        p.symlink("/tmp/l2", "/tmp/l3").unwrap();
+        assert_eq!(p.read_to_vec("/tmp/l3").unwrap(), b"x");
+        // A loop errors with ELOOP instead of hanging.
+        p.symlink("/tmp/loop_b", "/tmp/loop_a").unwrap();
+        p.symlink("/tmp/loop_a", "/tmp/loop_b").unwrap();
+        assert_eq!(
+            p.open("/tmp/loop_a", OpenFlags::read_only())
+                .unwrap_err()
+                .errno(),
+            Errno::ELOOP
+        );
+    }
+
+    #[test]
+    fn symlink_through_directories() {
+        let p = root_proc();
+        p.mkdir("/tmp/realdir", Mode::EXEC).unwrap();
+        p.write_file("/tmp/realdir/f", b"deep").unwrap();
+        p.symlink("/tmp/realdir", "/tmp/dirlink").unwrap();
+        assert_eq!(p.read_to_vec("/tmp/dirlink/f").unwrap(), b"deep");
+        // Unlinking the link leaves the directory intact.
+        p.unlink("/tmp/dirlink").unwrap();
+        assert!(p.stat("/tmp/realdir/f").is_ok());
+    }
+
+    #[test]
+    fn rename_moves_and_replaces() {
+        let p = root_proc();
+        p.write_file("/tmp/a", b"content").unwrap();
+        p.rename("/tmp/a", "/tmp/b").unwrap();
+        assert!(p.stat("/tmp/a").is_err());
+        assert_eq!(p.read_to_vec("/tmp/b").unwrap(), b"content");
+        // Replacing an existing regular file.
+        p.write_file("/tmp/c", b"old").unwrap();
+        p.rename("/tmp/b", "/tmp/c").unwrap();
+        assert_eq!(p.read_to_vec("/tmp/c").unwrap(), b"content");
+        // Renaming into a directory slot fails.
+        p.mkdir("/tmp/d", Mode::EXEC).unwrap();
+        assert_eq!(
+            p.rename("/tmp/c", "/tmp/d").unwrap_err().errno(),
+            Errno::EEXIST
+        );
+        // Renaming a directory into its own subtree fails.
+        assert_eq!(
+            p.rename("/tmp/d", "/tmp/d/x").unwrap_err().errno(),
+            Errno::EINVAL
+        );
+        // Missing source.
+        assert_eq!(
+            p.rename("/tmp/none", "/tmp/x").unwrap_err().errno(),
+            Errno::ENOENT
+        );
+    }
+
+    #[test]
+    fn rename_directory_moves_subtree() {
+        let p = root_proc();
+        p.mkdir("/tmp/src", Mode::EXEC).unwrap();
+        p.write_file("/tmp/src/f", b"x").unwrap();
+        p.rename("/tmp/src", "/tmp/dst").unwrap();
+        assert_eq!(p.read_to_vec("/tmp/dst/f").unwrap(), b"x");
+        assert!(p.stat("/tmp/src").is_err());
+    }
+
+    #[test]
+    fn exec_requires_exec_bit() {
+        let p = root_proc();
+        p.write_file("/usr/bin/app", b"#!").unwrap();
+        // Files are created 0644: exec must fail even for root (no
+        // DAC_OVERRIDE shortcut for exec without any x bit on Linux; our DAC
+        // model grants root via DacOverride, so drop to a plain user).
+        let kernel = Arc::clone(p.kernel());
+        let user = kernel.spawn(Credentials::user(1000, 1000));
+        assert!(user.exec("/usr/bin/app").is_err());
+    }
+
+    #[test]
+    fn exec_sets_exe_path() {
+        let p = root_proc();
+        p.write_file("/usr/bin/app", b"#!").unwrap();
+        // chmod: recreate with exec mode via vfs for simplicity
+        let kernel = Arc::clone(p.kernel());
+        kernel
+            .vfs()
+            .unlink(&KPath::new("/usr/bin/app").unwrap())
+            .unwrap();
+        kernel
+            .vfs()
+            .create_file(
+                &KPath::new("/usr/bin/app").unwrap(),
+                Mode::EXEC,
+                crate::cred::Uid::ROOT,
+                crate::cred::Gid(0),
+            )
+            .unwrap();
+        p.exec("/usr/bin/app").unwrap();
+        assert_eq!(p.task().exe().unwrap().as_str(), "/usr/bin/app");
+    }
+
+    #[test]
+    fn fork_child_is_independent_process() {
+        let p = root_proc();
+        let child = p.fork().unwrap();
+        assert_ne!(child.pid(), p.pid());
+        let kernel = Arc::clone(p.kernel());
+        assert_eq!(kernel.tasks().live_count(), 2);
+        child.exit();
+        assert_eq!(kernel.tasks().live_count(), 1);
+    }
+
+    #[test]
+    fn pipe_between_fork_parent_and_child() {
+        let p = root_proc();
+        let (r, w) = p.pipe().unwrap();
+        let child = p.fork().unwrap();
+        child.write(w, b"from-child").unwrap();
+        let mut buf = [0u8; 16];
+        let n = p.read(r, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"from-child");
+        child.exit();
+    }
+
+    #[test]
+    fn pipe_eof_when_all_write_ends_close() {
+        let p = root_proc();
+        let (r, w) = p.pipe().unwrap();
+        p.write(w, b"x").unwrap();
+        p.close(w).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(p.read(r, &mut buf).unwrap(), 1);
+        assert_eq!(p.read(r, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn socket_connect_and_transfer() {
+        let p = root_proc();
+        let listener = p.listen(SocketFamily::Unix, "/run/svc.sock").unwrap();
+        let client = p.fork().unwrap();
+        let cfd = client.connect(SocketFamily::Unix, "/run/svc.sock").unwrap();
+        let sfd = p.accept(&listener).unwrap();
+        client.write(cfd, b"req").unwrap();
+        let mut buf = [0u8; 3];
+        p.read(sfd, &mut buf).unwrap();
+        assert_eq!(&buf, b"req");
+        client.exit();
+    }
+
+    #[test]
+    fn mmap_shares_file_content() {
+        let p = root_proc();
+        p.write_file("/tmp/f", b"abcdef").unwrap();
+        let fd = p.open("/tmp/f", OpenFlags::read_only()).unwrap();
+        let map = p.mmap(fd, 0, 6).unwrap();
+        let mut buf = [0u8; 6];
+        assert_eq!(map.read(0, &mut buf), 6);
+        assert_eq!(&buf, b"abcdef");
+        p.close(fd).unwrap();
+    }
+
+    #[test]
+    fn dac_blocks_other_users() {
+        let kernel = Kernel::boot_default();
+        let alice = kernel.spawn(Credentials::user(100, 100));
+        let bob = kernel.spawn(Credentials::user(200, 200));
+        kernel
+            .vfs()
+            .mkdir_all(&KPath::new("/home/alice").unwrap())
+            .unwrap();
+        // Give alice a writable home dir.
+        kernel
+            .vfs()
+            .unlink(&KPath::new("/home/alice").unwrap())
+            .unwrap();
+        kernel
+            .vfs()
+            .mkdir(
+                &KPath::new("/home/alice").unwrap(),
+                Mode::EXEC,
+                crate::cred::Uid(100),
+                crate::cred::Gid(100),
+            )
+            .unwrap();
+        alice.write_file("/home/alice/secret", b"s").unwrap();
+        // Files are created 0644: others may read but not write.
+        assert_eq!(
+            bob.open("/home/alice/secret", OpenFlags::write_only())
+                .unwrap_err()
+                .errno(),
+            Errno::EACCES
+        );
+        // Nor may bob create files in alice's directory.
+        assert_eq!(
+            bob.write_file("/home/alice/planted", b"x")
+                .unwrap_err()
+                .errno(),
+            Errno::EACCES
+        );
+        assert_eq!(alice.read_to_vec("/home/alice/secret").unwrap(), b"s");
+    }
+
+    #[test]
+    fn lsm_deny_propagates_through_open() {
+        struct DenyDevice;
+        impl SecurityModule for DenyDevice {
+            fn name(&self) -> &'static str {
+                "deny-device"
+            }
+            fn file_open(
+                &self,
+                _ctx: &HookCtx,
+                obj: &ObjectRef<'_>,
+                _mask: AccessMask,
+            ) -> KernelResult<()> {
+                if obj.kind == ObjectKind::CharDevice {
+                    Err(KernelError::with_context(Errno::EACCES, "deny-device"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let kernel = crate::kernel::KernelBuilder::new()
+            .security_module(Arc::new(DenyDevice))
+            .boot();
+        let p = kernel.spawn(Credentials::root());
+        kernel
+            .vfs()
+            .mknod(
+                &KPath::new("/dev/null0").unwrap(),
+                crate::types::DeviceId::new(1, 3),
+                Mode::REGULAR,
+                crate::cred::Uid::ROOT,
+                crate::cred::Gid(0),
+            )
+            .unwrap();
+        let err = p.open("/dev/null0", OpenFlags::read_only()).unwrap_err();
+        assert_eq!(err.context(), Some("deny-device"));
+        // Regular files still open fine.
+        assert!(p.open("/tmp/ok", OpenFlags::create_new()).is_ok());
+    }
+
+    #[test]
+    fn relative_paths_resolve_against_cwd() {
+        let p = root_proc();
+        p.mkdir("/tmp/work", Mode::EXEC).unwrap();
+        p.chdir("/tmp/work").unwrap();
+        p.write_file("data.txt", b"d").unwrap();
+        assert!(p.stat("/tmp/work/data.txt").is_ok());
+        assert_eq!(p.read_to_vec("data.txt").unwrap(), b"d");
+    }
+}

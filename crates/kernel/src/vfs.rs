@@ -1,0 +1,833 @@
+//! The simulated virtual filesystem: inode table, directory tree, regular
+//! files, char-device nodes, and securityfs nodes.
+//!
+//! The VFS is pure mechanism: it performs no LSM dispatch (that happens in
+//! the syscall layer, [`crate::uctx`]) but does implement DAC (classic Unix
+//! permission bits), since the paper's baselines run with DAC enabled.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::cred::{Capability, Credentials, Gid, Uid};
+use crate::device::DeviceRegistry;
+use crate::error::{Errno, KernelError, KernelResult};
+use crate::lsm::{AccessMask, ObjectKind};
+use crate::path::KPath;
+use crate::securityfs::SecurityFsFile;
+use crate::types::{DeviceId, InodeId, Mode};
+
+/// Shared, lock-protected file contents (shared with mmap regions).
+pub type FileData = Arc<RwLock<Vec<u8>>>;
+
+/// Maximum regular-file size accepted by the simulated VFS (64 MiB).
+pub const FILE_MAX: usize = 64 << 20;
+
+/// Maximum symlink traversals during one resolution (Linux `MAXSYMLINKS`).
+pub const MAX_SYMLINKS: u32 = 40;
+
+/// What an inode is.
+pub enum InodeKind {
+    /// Regular file with shared contents.
+    Regular(FileData),
+    /// Directory with named children.
+    Directory(RwLock<BTreeMap<String, InodeId>>),
+    /// Character-device node.
+    CharDevice(DeviceId),
+    /// securityfs pseudo-file; reads/writes go to the handler.
+    SecurityFs(Arc<dyn SecurityFsFile>),
+    /// Symbolic link to an absolute target path.
+    Symlink(KPath),
+}
+
+impl InodeKind {
+    /// The LSM object class for this inode.
+    pub fn object_kind(&self) -> ObjectKind {
+        match self {
+            InodeKind::Regular(_) => ObjectKind::Regular,
+            InodeKind::Directory(_) => ObjectKind::Directory,
+            InodeKind::CharDevice(_) => ObjectKind::CharDevice,
+            InodeKind::SecurityFs(_) => ObjectKind::SecurityFs,
+            // Links are transparent to the hooks: mediation happens on the
+            // resolved final path, so the class below is only seen by
+            // no-follow operations (unlink of the link itself).
+            InodeKind::Symlink(_) => ObjectKind::Regular,
+        }
+    }
+}
+
+impl fmt::Debug for InodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InodeKind::Regular(data) => write!(f, "Regular({} bytes)", data.read().len()),
+            InodeKind::Directory(ch) => write!(f, "Directory({} entries)", ch.read().len()),
+            InodeKind::CharDevice(dev) => write!(f, "CharDevice({dev})"),
+            InodeKind::SecurityFs(_) => f.write_str("SecurityFs"),
+            InodeKind::Symlink(target) => write!(f, "Symlink({target})"),
+        }
+    }
+}
+
+/// An inode: identity plus ownership and mode.
+#[derive(Debug)]
+pub struct Inode {
+    /// Inode number.
+    pub id: InodeId,
+    /// Content/behaviour.
+    pub kind: InodeKind,
+    /// Permission bits.
+    pub mode: Mode,
+    /// Owning user.
+    pub uid: Uid,
+    /// Owning group.
+    pub gid: Gid,
+}
+
+impl Inode {
+    /// Size in bytes (0 for non-regular inodes).
+    pub fn size(&self) -> u64 {
+        match &self.kind {
+            InodeKind::Regular(data) => data.read().len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// The char-device id, if this is a device node.
+    pub fn device(&self) -> Option<DeviceId> {
+        match &self.kind {
+            InodeKind::CharDevice(dev) => Some(*dev),
+            _ => None,
+        }
+    }
+}
+
+/// `stat(2)` result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metadata {
+    /// Inode number.
+    pub ino: InodeId,
+    /// Object class.
+    pub kind: ObjectKind,
+    /// Permission bits.
+    pub mode: Mode,
+    /// Owning user.
+    pub uid: Uid,
+    /// Owning group.
+    pub gid: Gid,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// Classic Unix DAC check.
+///
+/// Selects the owner/group/other permission class for `cred` against the
+/// inode and verifies every requested access bit; `CAP_DAC_OVERRIDE`
+/// bypasses the check (as does root holding it).
+pub fn dac_permission(cred: &Credentials, inode: &Inode, mask: AccessMask) -> KernelResult<()> {
+    if cred.capable(Capability::DacOverride) {
+        return Ok(());
+    }
+    let class = if cred.uid == inode.uid {
+        0
+    } else if cred.gid == inode.gid {
+        1
+    } else {
+        2
+    };
+    let bits = inode.mode.class_bits(class);
+    let mut need = 0u16;
+    if mask.intersects(AccessMask::READ) {
+        need |= 0o4;
+    }
+    if mask.intersects(AccessMask::WRITE) || mask.intersects(AccessMask::APPEND) {
+        need |= 0o2;
+    }
+    if mask.intersects(AccessMask::EXEC) {
+        need |= 0o1;
+    }
+    if bits & need == need {
+        Ok(())
+    } else {
+        Err(KernelError::with_context(Errno::EACCES, "dac"))
+    }
+}
+
+/// The filesystem: an inode table plus the device registry.
+pub struct Vfs {
+    inodes: RwLock<BTreeMap<InodeId, Arc<Inode>>>,
+    next_id: AtomicU64,
+    root: InodeId,
+    devices: DeviceRegistry,
+}
+
+impl Vfs {
+    /// Creates a filesystem containing only the root directory (owned by
+    /// root, mode `0755`).
+    pub fn new() -> Self {
+        let root_id = InodeId(1);
+        let root = Arc::new(Inode {
+            id: root_id,
+            kind: InodeKind::Directory(RwLock::new(BTreeMap::new())),
+            mode: Mode::EXEC,
+            uid: Uid::ROOT,
+            gid: Gid(0),
+        });
+        let mut map = BTreeMap::new();
+        map.insert(root_id, root);
+        Vfs {
+            inodes: RwLock::new(map),
+            next_id: AtomicU64::new(2),
+            root: root_id,
+            devices: DeviceRegistry::new(),
+        }
+    }
+
+    /// The char-device registry.
+    pub fn devices(&self) -> &DeviceRegistry {
+        &self.devices
+    }
+
+    /// Root inode id.
+    pub fn root(&self) -> InodeId {
+        self.root
+    }
+
+    /// Number of live inodes.
+    pub fn inode_count(&self) -> usize {
+        self.inodes.read().len()
+    }
+
+    fn get(&self, id: InodeId) -> KernelResult<Arc<Inode>> {
+        self.inodes
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| KernelError::with_context(Errno::ENOENT, "vfs"))
+    }
+
+    fn alloc(&self, kind: InodeKind, mode: Mode, uid: Uid, gid: Gid) -> Arc<Inode> {
+        let id = InodeId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let inode = Arc::new(Inode {
+            id,
+            kind,
+            mode,
+            uid,
+            gid,
+        });
+        self.inodes.write().insert(id, Arc::clone(&inode));
+        inode
+    }
+
+    /// Resolves an absolute path to its inode, following symlinks.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if any component is missing, `ENOTDIR` if a non-final
+    /// component is not a directory, `ELOOP` past [`MAX_SYMLINKS`].
+    pub fn resolve(&self, path: &KPath) -> KernelResult<Arc<Inode>> {
+        Ok(self.resolve_full(path)?.0)
+    }
+
+    /// Resolves a path following symlinks, returning the inode **and the
+    /// final canonical path** — the object identity that path-based MAC
+    /// must mediate (a link alias must not dodge a rule on the target).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Vfs::resolve`].
+    pub fn resolve_full(&self, path: &KPath) -> KernelResult<(Arc<Inode>, KPath)> {
+        self.resolve_with_budget(path, &mut MAX_SYMLINKS.clone())
+    }
+
+    fn resolve_with_budget(
+        &self,
+        path: &KPath,
+        budget: &mut u32,
+    ) -> KernelResult<(Arc<Inode>, KPath)> {
+        let mut cur = self.get(self.root)?;
+        let mut cur_path = KPath::root();
+        let components: Vec<&str> = path.components().collect();
+        for (i, comp) in components.iter().enumerate() {
+            let next_id = match &cur.kind {
+                InodeKind::Directory(children) => children
+                    .read()
+                    .get(*comp)
+                    .copied()
+                    .ok_or_else(|| KernelError::with_context(Errno::ENOENT, "vfs"))?,
+                _ => return Err(KernelError::with_context(Errno::ENOTDIR, "vfs")),
+            };
+            let next = self.get(next_id)?;
+            let next_path = cur_path.join(comp)?;
+            if let InodeKind::Symlink(target) = &next.kind {
+                if *budget == 0 {
+                    return Err(KernelError::with_context(Errno::ELOOP, "vfs"));
+                }
+                *budget -= 1;
+                // Re-resolve: target plus the remaining components.
+                let mut rebased = target.clone();
+                for rest in &components[i + 1..] {
+                    rebased = rebased.join(rest)?;
+                }
+                return self.resolve_with_budget(&rebased, budget);
+            }
+            cur = next;
+            cur_path = next_path;
+        }
+        Ok((cur, cur_path))
+    }
+
+    /// Resolves without following a final-component symlink (`lstat`-style;
+    /// intermediate links are still followed).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Vfs::resolve`].
+    pub fn resolve_nofollow(&self, path: &KPath) -> KernelResult<Arc<Inode>> {
+        let parent = match path.parent() {
+            Some(parent) => parent,
+            None => return self.resolve(path),
+        };
+        let name = path
+            .file_name()
+            .ok_or_else(|| KernelError::with_context(Errno::EINVAL, "vfs"))?;
+        let (dir, _) = self.resolve_full(&parent)?;
+        match &dir.kind {
+            InodeKind::Directory(children) => {
+                let id = children
+                    .read()
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| KernelError::with_context(Errno::ENOENT, "vfs"))?;
+                self.get(id)
+            }
+            _ => Err(KernelError::with_context(Errno::ENOTDIR, "vfs")),
+        }
+    }
+
+    /// Creates a symlink at `path` pointing to absolute `target`.
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` if the name is taken; parent-resolution errors.
+    pub fn symlink(&self, path: &KPath, target: KPath) -> KernelResult<Arc<Inode>> {
+        let (dir, name) = self.resolve_parent(path)?;
+        let inode = self.alloc(InodeKind::Symlink(target), Mode(0o777), Uid::ROOT, Gid(0));
+        match self.link_child(&dir, &name, inode.id) {
+            Ok(()) => Ok(inode),
+            Err(e) => {
+                self.inodes.write().remove(&inode.id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads a symlink's target.
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` if the path is not a symlink.
+    pub fn readlink(&self, path: &KPath) -> KernelResult<KPath> {
+        match &self.resolve_nofollow(path)?.kind {
+            InodeKind::Symlink(target) => Ok(target.clone()),
+            _ => Err(KernelError::with_context(Errno::EINVAL, "vfs")),
+        }
+    }
+
+    /// True if the path resolves to an inode.
+    pub fn exists(&self, path: &KPath) -> bool {
+        self.resolve(path).is_ok()
+    }
+
+    /// Resolves the parent directory of `path` and returns it with the final
+    /// component name.
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` for the root, `ENOENT`/`ENOTDIR` from parent resolution.
+    pub fn resolve_parent(&self, path: &KPath) -> KernelResult<(Arc<Inode>, String)> {
+        let parent = path
+            .parent()
+            .ok_or_else(|| KernelError::with_context(Errno::EINVAL, "vfs"))?;
+        let name = path
+            .file_name()
+            .ok_or_else(|| KernelError::with_context(Errno::EINVAL, "vfs"))?
+            .to_string();
+        let dir = self.resolve(&parent)?;
+        if !matches!(dir.kind, InodeKind::Directory(_)) {
+            return Err(KernelError::with_context(Errno::ENOTDIR, "vfs"));
+        }
+        Ok((dir, name))
+    }
+
+    fn link_child(&self, dir: &Inode, name: &str, child: InodeId) -> KernelResult<()> {
+        match &dir.kind {
+            InodeKind::Directory(children) => {
+                let mut ch = children.write();
+                if ch.contains_key(name) {
+                    return Err(KernelError::with_context(Errno::EEXIST, "vfs"));
+                }
+                ch.insert(name.to_string(), child);
+                Ok(())
+            }
+            _ => Err(KernelError::with_context(Errno::ENOTDIR, "vfs")),
+        }
+    }
+
+    /// Creates a regular file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` if the name is taken; parent-resolution errors otherwise.
+    pub fn create_file(
+        &self,
+        path: &KPath,
+        mode: Mode,
+        uid: Uid,
+        gid: Gid,
+    ) -> KernelResult<Arc<Inode>> {
+        let (dir, name) = self.resolve_parent(path)?;
+        let inode = self.alloc(
+            InodeKind::Regular(Arc::new(RwLock::new(Vec::new()))),
+            mode,
+            uid,
+            gid,
+        );
+        match self.link_child(&dir, &name, inode.id) {
+            Ok(()) => Ok(inode),
+            Err(e) => {
+                self.inodes.write().remove(&inode.id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Creates a directory at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Vfs::create_file`].
+    pub fn mkdir(&self, path: &KPath, mode: Mode, uid: Uid, gid: Gid) -> KernelResult<Arc<Inode>> {
+        let (dir, name) = self.resolve_parent(path)?;
+        let inode = self.alloc(
+            InodeKind::Directory(RwLock::new(BTreeMap::new())),
+            mode,
+            uid,
+            gid,
+        );
+        match self.link_child(&dir, &name, inode.id) {
+            Ok(()) => Ok(inode),
+            Err(e) => {
+                self.inodes.write().remove(&inode.id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Creates every missing directory along `path` (like `mkdir -p`),
+    /// owned by root.
+    ///
+    /// # Errors
+    ///
+    /// `ENOTDIR` if an existing component is not a directory.
+    pub fn mkdir_all(&self, path: &KPath) -> KernelResult<()> {
+        let mut cur = KPath::root();
+        for comp in path.components() {
+            cur = cur.join(comp)?;
+            match self.resolve(&cur) {
+                Ok(node) => {
+                    if !matches!(node.kind, InodeKind::Directory(_)) {
+                        return Err(KernelError::with_context(Errno::ENOTDIR, "vfs"));
+                    }
+                }
+                Err(_) => {
+                    self.mkdir(&cur, Mode::EXEC, Uid::ROOT, Gid(0))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates a char-device node at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Vfs::create_file`].
+    pub fn mknod(
+        &self,
+        path: &KPath,
+        dev: DeviceId,
+        mode: Mode,
+        uid: Uid,
+        gid: Gid,
+    ) -> KernelResult<Arc<Inode>> {
+        let (dir, name) = self.resolve_parent(path)?;
+        let inode = self.alloc(InodeKind::CharDevice(dev), mode, uid, gid);
+        match self.link_child(&dir, &name, inode.id) {
+            Ok(()) => Ok(inode),
+            Err(e) => {
+                self.inodes.write().remove(&inode.id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Registers a securityfs node at `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` if the node already exists.
+    pub fn register_securityfs(
+        &self,
+        path: &KPath,
+        ops: Arc<dyn SecurityFsFile>,
+    ) -> KernelResult<Arc<Inode>> {
+        if let Some(parent) = path.parent() {
+            self.mkdir_all(&parent)?;
+        }
+        let mode = ops.mode();
+        let (dir, name) = self.resolve_parent(path)?;
+        let inode = self.alloc(InodeKind::SecurityFs(ops), mode, Uid::ROOT, Gid(0));
+        match self.link_child(&dir, &name, inode.id) {
+            Ok(()) => Ok(inode),
+            Err(e) => {
+                self.inodes.write().remove(&inode.id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Removes the object at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if missing, `ENOTEMPTY` for non-empty directories.
+    pub fn unlink(&self, path: &KPath) -> KernelResult<()> {
+        let (dir, name) = self.resolve_parent(path)?;
+        let child_id = match &dir.kind {
+            InodeKind::Directory(children) => children
+                .read()
+                .get(&name)
+                .copied()
+                .ok_or_else(|| KernelError::with_context(Errno::ENOENT, "vfs"))?,
+            _ => return Err(KernelError::with_context(Errno::ENOTDIR, "vfs")),
+        };
+        let child = self.get(child_id)?;
+        if let InodeKind::Directory(children) = &child.kind {
+            if !children.read().is_empty() {
+                return Err(KernelError::with_context(Errno::ENOTEMPTY, "vfs"));
+            }
+        }
+        if let InodeKind::Directory(children) = &dir.kind {
+            children.write().remove(&name);
+        }
+        self.inodes.write().remove(&child_id);
+        Ok(())
+    }
+
+    /// Moves the object at `old` to `new` (within the single filesystem).
+    /// An existing regular file at `new` is replaced, as POSIX requires;
+    /// directories may not be replaced.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if `old` is missing; `EEXIST` if `new` is an existing
+    /// directory; `EINVAL` for renaming a directory into itself.
+    pub fn rename(&self, old: &KPath, new: &KPath) -> KernelResult<()> {
+        if old == new {
+            return Ok(());
+        }
+        if new.starts_with(old) {
+            return Err(KernelError::with_context(Errno::EINVAL, "vfs"));
+        }
+        let moving = self.resolve(old)?;
+        let (new_dir, new_name) = self.resolve_parent(new)?;
+        // Check the target slot.
+        if let Ok(existing) = self.resolve(new) {
+            if matches!(existing.kind, InodeKind::Directory(_)) {
+                return Err(KernelError::with_context(Errno::EEXIST, "vfs"));
+            }
+        }
+        let (old_dir, old_name) = self.resolve_parent(old)?;
+        // Unlink from the old parent.
+        match &old_dir.kind {
+            InodeKind::Directory(children) => {
+                children.write().remove(&old_name);
+            }
+            _ => return Err(KernelError::with_context(Errno::ENOTDIR, "vfs")),
+        }
+        // Link into the new parent, replacing any regular file.
+        match &new_dir.kind {
+            InodeKind::Directory(children) => {
+                let mut ch = children.write();
+                if let Some(replaced) = ch.insert(new_name, moving.id) {
+                    if replaced != moving.id {
+                        self.inodes.write().remove(&replaced);
+                    }
+                }
+                Ok(())
+            }
+            _ => Err(KernelError::with_context(Errno::ENOTDIR, "vfs")),
+        }
+    }
+
+    /// Lists directory entries at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `ENOTDIR` if `path` is not a directory.
+    pub fn read_dir(&self, path: &KPath) -> KernelResult<Vec<String>> {
+        let node = self.resolve(path)?;
+        match &node.kind {
+            InodeKind::Directory(children) => Ok(children.read().keys().cloned().collect()),
+            _ => Err(KernelError::with_context(Errno::ENOTDIR, "vfs")),
+        }
+    }
+
+    /// Metadata for `path`.
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors.
+    pub fn metadata(&self, path: &KPath) -> KernelResult<Metadata> {
+        let node = self.resolve(path)?;
+        Ok(Metadata {
+            ino: node.id,
+            kind: node.kind.object_kind(),
+            mode: node.mode,
+            uid: node.uid,
+            gid: node.gid,
+            size: node.size(),
+        })
+    }
+
+    /// Reads from a regular file at `offset` into `buf`; returns bytes read.
+    ///
+    /// # Errors
+    ///
+    /// `EISDIR` for directories, `EINVAL` for other non-regular inodes.
+    pub fn read_at(&self, inode: &Inode, buf: &mut [u8], offset: u64) -> KernelResult<usize> {
+        match &inode.kind {
+            InodeKind::Regular(data) => {
+                let data = data.read();
+                let off = offset as usize;
+                if off >= data.len() {
+                    return Ok(0);
+                }
+                let n = buf.len().min(data.len() - off);
+                buf[..n].copy_from_slice(&data[off..off + n]);
+                Ok(n)
+            }
+            InodeKind::Directory(_) => Err(KernelError::with_context(Errno::EISDIR, "vfs")),
+            _ => Err(KernelError::with_context(Errno::EINVAL, "vfs")),
+        }
+    }
+
+    /// Writes into a regular file at `offset`, growing it as needed; returns
+    /// bytes written.
+    ///
+    /// # Errors
+    ///
+    /// `EISDIR`/`EINVAL` as for [`Vfs::read_at`], `EFBIG` past [`FILE_MAX`].
+    pub fn write_at(&self, inode: &Inode, buf: &[u8], offset: u64) -> KernelResult<usize> {
+        match &inode.kind {
+            InodeKind::Regular(data) => {
+                let end = offset as usize + buf.len();
+                if end > FILE_MAX {
+                    return Err(KernelError::with_context(Errno::EFBIG, "vfs"));
+                }
+                let mut data = data.write();
+                if end > data.len() {
+                    data.resize(end, 0);
+                }
+                data[offset as usize..end].copy_from_slice(buf);
+                Ok(buf.len())
+            }
+            InodeKind::Directory(_) => Err(KernelError::with_context(Errno::EISDIR, "vfs")),
+            _ => Err(KernelError::with_context(Errno::EINVAL, "vfs")),
+        }
+    }
+
+    /// Truncates a regular file to zero length.
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` for non-regular inodes.
+    pub fn truncate(&self, inode: &Inode) -> KernelResult<()> {
+        match &inode.kind {
+            InodeKind::Regular(data) => {
+                data.write().clear();
+                Ok(())
+            }
+            _ => Err(KernelError::with_context(Errno::EINVAL, "vfs")),
+        }
+    }
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Vfs::new()
+    }
+}
+
+impl fmt::Debug for Vfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vfs")
+            .field("inodes", &self.inode_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> KPath {
+        KPath::new(s).unwrap()
+    }
+
+    #[test]
+    fn create_resolve_roundtrip() {
+        let vfs = Vfs::new();
+        vfs.mkdir_all(&p("/etc")).unwrap();
+        vfs.create_file(&p("/etc/passwd"), Mode::REGULAR, Uid::ROOT, Gid(0))
+            .unwrap();
+        let node = vfs.resolve(&p("/etc/passwd")).unwrap();
+        assert!(matches!(node.kind, InodeKind::Regular(_)));
+        assert_eq!(vfs.metadata(&p("/etc/passwd")).unwrap().size, 0);
+    }
+
+    #[test]
+    fn duplicate_create_is_eexist() {
+        let vfs = Vfs::new();
+        vfs.create_file(&p("/a"), Mode::REGULAR, Uid::ROOT, Gid(0))
+            .unwrap();
+        let before = vfs.inode_count();
+        let err = vfs
+            .create_file(&p("/a"), Mode::REGULAR, Uid::ROOT, Gid(0))
+            .unwrap_err();
+        assert_eq!(err.errno(), Errno::EEXIST);
+        // Failed create must not leak an inode.
+        assert_eq!(vfs.inode_count(), before);
+    }
+
+    #[test]
+    fn read_write_at_offsets() {
+        let vfs = Vfs::new();
+        let node = vfs
+            .create_file(&p("/f"), Mode::REGULAR, Uid::ROOT, Gid(0))
+            .unwrap();
+        assert_eq!(vfs.write_at(&node, b"hello", 0).unwrap(), 5);
+        assert_eq!(vfs.write_at(&node, b"!!", 5).unwrap(), 2);
+        let mut buf = [0u8; 16];
+        let n = vfs.read_at(&node, &mut buf, 0).unwrap();
+        assert_eq!(&buf[..n], b"hello!!");
+        // Sparse write zero-fills.
+        assert_eq!(vfs.write_at(&node, b"x", 10).unwrap(), 1);
+        assert_eq!(node.size(), 11);
+        let n = vfs.read_at(&node, &mut buf, 7).unwrap();
+        assert_eq!(&buf[..n], &[0, 0, 0, b'x']);
+    }
+
+    #[test]
+    fn read_past_eof_returns_zero() {
+        let vfs = Vfs::new();
+        let node = vfs
+            .create_file(&p("/f"), Mode::REGULAR, Uid::ROOT, Gid(0))
+            .unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(vfs.read_at(&node, &mut buf, 100).unwrap(), 0);
+    }
+
+    #[test]
+    fn unlink_empty_dir_only() {
+        let vfs = Vfs::new();
+        vfs.mkdir_all(&p("/d/sub")).unwrap();
+        assert_eq!(vfs.unlink(&p("/d")).unwrap_err().errno(), Errno::ENOTEMPTY);
+        vfs.unlink(&p("/d/sub")).unwrap();
+        vfs.unlink(&p("/d")).unwrap();
+        assert!(!vfs.exists(&p("/d")));
+    }
+
+    #[test]
+    fn mknod_creates_device_node() {
+        let vfs = Vfs::new();
+        vfs.mkdir_all(&p("/dev/car")).unwrap();
+        let dev = DeviceId::new(240, 1);
+        vfs.mknod(&p("/dev/car/door0"), dev, Mode::PRIVATE, Uid::ROOT, Gid(0))
+            .unwrap();
+        let node = vfs.resolve(&p("/dev/car/door0")).unwrap();
+        assert_eq!(node.device(), Some(dev));
+        assert_eq!(node.kind.object_kind(), ObjectKind::CharDevice);
+    }
+
+    #[test]
+    fn read_dir_lists_entries() {
+        let vfs = Vfs::new();
+        vfs.mkdir_all(&p("/x")).unwrap();
+        vfs.create_file(&p("/x/a"), Mode::REGULAR, Uid::ROOT, Gid(0))
+            .unwrap();
+        vfs.create_file(&p("/x/b"), Mode::REGULAR, Uid::ROOT, Gid(0))
+            .unwrap();
+        assert_eq!(vfs.read_dir(&p("/x")).unwrap(), vec!["a", "b"]);
+        assert!(vfs.read_dir(&p("/x/a")).is_err());
+    }
+
+    #[test]
+    fn dac_owner_group_other_classes() {
+        let vfs = Vfs::new();
+        let node = vfs
+            .create_file(&p("/f"), Mode(0o640), Uid(100), Gid(200))
+            .unwrap();
+        let owner = Credentials::user(100, 1);
+        let group = Credentials::user(5, 200);
+        let other = Credentials::user(5, 5);
+        assert!(dac_permission(&owner, &node, AccessMask::READ | AccessMask::WRITE).is_ok());
+        assert!(dac_permission(&group, &node, AccessMask::READ).is_ok());
+        assert!(dac_permission(&group, &node, AccessMask::WRITE).is_err());
+        assert!(dac_permission(&other, &node, AccessMask::READ).is_err());
+        // CAP_DAC_OVERRIDE bypasses.
+        let privileged = Credentials::user(5, 5).with_capability(Capability::DacOverride);
+        assert!(dac_permission(&privileged, &node, AccessMask::WRITE).is_ok());
+    }
+
+    #[test]
+    fn truncate_clears_content() {
+        let vfs = Vfs::new();
+        let node = vfs
+            .create_file(&p("/f"), Mode::REGULAR, Uid::ROOT, Gid(0))
+            .unwrap();
+        vfs.write_at(&node, b"data", 0).unwrap();
+        vfs.truncate(&node).unwrap();
+        assert_eq!(node.size(), 0);
+    }
+
+    #[test]
+    fn resolve_through_non_directory_fails() {
+        let vfs = Vfs::new();
+        vfs.create_file(&p("/f"), Mode::REGULAR, Uid::ROOT, Gid(0))
+            .unwrap();
+        assert_eq!(
+            vfs.resolve(&p("/f/child")).unwrap_err().errno(),
+            Errno::ENOTDIR
+        );
+    }
+
+    #[test]
+    fn securityfs_registration_creates_parents() {
+        struct Node;
+        impl SecurityFsFile for Node {
+            fn read_content(&self, _ctx: &crate::lsm::HookCtx) -> KernelResult<Vec<u8>> {
+                Ok(b"ok".to_vec())
+            }
+        }
+        let vfs = Vfs::new();
+        let path = p("/sys/kernel/security/SACK/events");
+        vfs.register_securityfs(&path, Arc::new(Node)).unwrap();
+        let node = vfs.resolve(&path).unwrap();
+        assert_eq!(node.kind.object_kind(), ObjectKind::SecurityFs);
+        assert_eq!(node.mode, Mode::PRIVATE);
+    }
+}

@@ -1,0 +1,176 @@
+//! Paper-style table rendering: rows per operation, one column per LSM
+//! configuration, each non-baseline cell annotated with the performance
+//! delta (`↑` = faster/more bandwidth than baseline, `↓` = slower/less,
+//! matching the arrows in the paper's Tables II and III).
+
+use std::fmt::Write as _;
+
+use crate::suite::{LmbenchResult, Op, OpGroup};
+
+/// Formats a value in its op's unit.
+fn format_value(op: Op, value: f64) -> String {
+    if op.smaller_is_better() {
+        if value >= 1000.0 {
+            format!("{value:.1}µs")
+        } else {
+            format!("{value:.3}µs")
+        }
+    } else if value >= 1024.0 {
+        format!("{:.2}K MB/s", value / 1024.0)
+    } else {
+        format!("{value:.1} MB/s")
+    }
+}
+
+/// Formats the delta annotation for a cell vs. the baseline.
+fn format_delta(op: Op, baseline: f64, value: f64) -> String {
+    if baseline == 0.0 {
+        return String::new();
+    }
+    let better = if op.smaller_is_better() {
+        value < baseline
+    } else {
+        value > baseline
+    };
+    let pct = ((value - baseline) / baseline * 100.0).abs();
+    if pct < 0.005 {
+        " (=)".to_string()
+    } else if better {
+        format!(" (↑{pct:.2}%)")
+    } else {
+        format!(" (↓{pct:.2}%)")
+    }
+}
+
+fn group_heading(group: OpGroup) -> &'static str {
+    match group {
+        OpGroup::Processes => "Processes (times in µs - smaller is better)",
+        OpGroup::FileAccess => "File Access (in µs - smaller is better)",
+        OpGroup::Bandwidth => "Local Communication Bandwidths (in MB/s - bigger is better)",
+        OpGroup::ContextSwitch => "Context Switching (in µs - smaller is better)",
+    }
+}
+
+/// Renders a comparison table.
+///
+/// `baseline` is the first column; every other column shows its value plus
+/// the delta against the baseline. Ops missing from all columns are
+/// skipped, so the same renderer serves the full Table II and the reduced
+/// Table III row set.
+pub fn render_comparison(
+    title: &str,
+    baseline: (&str, &LmbenchResult),
+    variants: &[(&str, &LmbenchResult)],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {title} ===");
+
+    let mut labels = vec![baseline.0.to_string()];
+    labels.extend(variants.iter().map(|(l, _)| l.to_string()));
+    let name_width = Op::ALL
+        .iter()
+        .map(|op| op.name().len())
+        .max()
+        .unwrap_or(12)
+        .max("Configuration".len());
+    let col_width = 26usize;
+
+    let _ = write!(out, "{:<name_width$}", "Configuration");
+    for label in &labels {
+        let _ = write!(out, " | {label:<col_width$}");
+    }
+    let _ = writeln!(out);
+
+    let mut current_group: Option<OpGroup> = None;
+    for op in Op::ALL {
+        let base_value = baseline.1.get(op);
+        let any_value = base_value.is_some() || variants.iter().any(|(_, r)| r.get(op).is_some());
+        if !any_value {
+            continue;
+        }
+        if current_group != Some(op.group()) {
+            current_group = Some(op.group());
+            let _ = writeln!(out, "--- {} ---", group_heading(op.group()));
+        }
+        let _ = write!(out, "{:<name_width$}", op.name());
+        match base_value {
+            Some(v) => {
+                let _ = write!(out, " | {:<col_width$}", format_value(op, v));
+            }
+            None => {
+                let _ = write!(out, " | {:<col_width$}", "-");
+            }
+        }
+        for (_, result) in variants {
+            let cell = match (result.get(op), base_value) {
+                (Some(v), Some(b)) => format!("{}{}", format_value(op, v), format_delta(op, b, v)),
+                (Some(v), None) => format_value(op, v),
+                (None, _) => "-".to_string(),
+            };
+            let _ = write!(out, " | {cell:<col_width$}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a single-series sweep (Fig. 3a / Fig. 3b style): parameter value
+/// vs. mean overhead percentage against a baseline.
+pub fn render_sweep(title: &str, param_name: &str, points: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {title} ===");
+    let _ = writeln!(out, "{param_name:>16} | mean overhead vs baseline");
+    for (param, overhead) in points {
+        let pct = overhead * 100.0;
+        let bar_len = (pct.abs().min(30.0) * 2.0) as usize;
+        let bar: String = std::iter::repeat_n('#', bar_len).collect();
+        let _ = writeln!(out, "{param:>16} | {pct:+6.2}% {bar}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::Scale;
+    use crate::testbed::{LsmConfig, TestBed, TestBedOptions};
+
+    #[test]
+    fn renders_real_comparison() {
+        let base_bed = TestBed::boot(&TestBedOptions::new(LsmConfig::NoLsm));
+        let base = crate::suite::run_suite(&base_bed, Scale::quick());
+        let aa_bed = TestBed::boot(&TestBedOptions::new(LsmConfig::AppArmor));
+        let aa = crate::suite::run_suite(&aa_bed, Scale::quick());
+        let table = render_comparison("Table II", ("no-lsm", &base), &[("apparmor", &aa)]);
+        assert!(table.contains("syscall"));
+        assert!(table.contains("2p/16K ctxsw"));
+        assert!(table.contains("Processes"));
+        assert!(table.contains("MB/s"));
+    }
+
+    #[test]
+    fn delta_formatting_directions() {
+        // Latency: higher value = worse = ↓.
+        assert!(format_delta(Op::Stat, 10.0, 11.0).contains('↓'));
+        assert!(format_delta(Op::Stat, 10.0, 9.0).contains('↑'));
+        // Bandwidth: higher value = better = ↑.
+        assert!(format_delta(Op::PipeBw, 100.0, 110.0).contains('↑'));
+        assert!(format_delta(Op::PipeBw, 100.0, 90.0).contains('↓'));
+        assert_eq!(format_delta(Op::Stat, 10.0, 10.0), " (=)");
+    }
+
+    #[test]
+    fn value_formatting_units() {
+        assert!(format_value(Op::Stat, 1.234).ends_with("µs"));
+        assert!(format_value(Op::PipeBw, 2048.0).contains("K MB/s"));
+        assert!(format_value(Op::PipeBw, 512.0).ends_with("MB/s"));
+    }
+
+    #[test]
+    fn sweep_rendering() {
+        let points = vec![("1".to_string(), 0.001), ("100".to_string(), 0.018)];
+        let text = render_sweep("Fig 3a", "states", &points);
+        assert!(text.contains("states"));
+        assert!(text.contains("+1.80%"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Benchmark testbeds: a booted kernel in one of the paper's four LSM
+//! configurations, with the benchmark process and workload files prepared.
+
+use std::fmt;
+use std::sync::Arc;
+
+use sack_apparmor::{AppArmor, PolicyDb};
+use sack_core::Sack;
+use sack_kernel::cred::Credentials;
+use sack_kernel::error::KernelResult;
+use sack_kernel::kernel::{Kernel, KernelBuilder};
+use sack_kernel::lsm::SecurityModule;
+use sack_kernel::path::KPath;
+use sack_kernel::types::Mode;
+use sack_kernel::uctx::UserContext;
+use sack_kernel::{Gid, Uid};
+
+use crate::workload;
+
+/// The LSM stack configurations compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LsmConfig {
+    /// No LSM at all ("original system without LSM framework").
+    NoLsm,
+    /// AppArmor alone — the Table II baseline.
+    AppArmor,
+    /// `CONFIG_LSM="SACK,AppArmor"`, SACK in enhanced mode.
+    SackEnhancedAppArmor,
+    /// `CONFIG_LSM="SACK"`, SACK enforcing its own rules.
+    IndependentSack,
+}
+
+impl fmt::Display for LsmConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LsmConfig::NoLsm => "no-lsm",
+            LsmConfig::AppArmor => "apparmor",
+            LsmConfig::SackEnhancedAppArmor => "sack-enhanced-apparmor",
+            LsmConfig::IndependentSack => "independent-sack",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Knobs for the synthetic policy load, driving the Table III / Fig. 3
+/// sweeps.
+#[derive(Debug, Clone)]
+pub struct TestBedOptions {
+    /// LSM stack to boot.
+    pub config: LsmConfig,
+    /// Extra synthetic SACK rules (Table III sweep: 0/10/100/500/1000).
+    pub sack_rules: usize,
+    /// Number of situation states in the SACK policy (Fig. 3a sweep).
+    pub sack_states: usize,
+    /// Confine the benchmark process under the `bench` AppArmor profile so
+    /// AppArmor's matching cost is actually on the measured path.
+    pub confined: bool,
+}
+
+impl TestBedOptions {
+    /// Defaults: the paper's "default policies" setup (two situation
+    /// states, no synthetic rules, bench process confined).
+    pub fn new(config: LsmConfig) -> TestBedOptions {
+        TestBedOptions {
+            config,
+            sack_rules: 0,
+            sack_states: 2,
+            confined: true,
+        }
+    }
+
+    /// Sets the synthetic SACK rule count (builder-style).
+    pub fn with_sack_rules(mut self, rules: usize) -> TestBedOptions {
+        self.sack_rules = rules;
+        self
+    }
+
+    /// Sets the situation-state count (builder-style).
+    pub fn with_sack_states(mut self, states: usize) -> TestBedOptions {
+        self.sack_states = states.max(2);
+        self
+    }
+}
+
+/// A booted benchmark environment.
+pub struct TestBed {
+    kernel: Arc<Kernel>,
+    proc: UserContext,
+    apparmor: Option<Arc<AppArmor>>,
+    sack: Option<Arc<Sack>>,
+    config: LsmConfig,
+}
+
+impl TestBed {
+    /// Boots a testbed with the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the synthetic policies fail to load — they are generated
+    /// by this crate, so that is a harness bug, not an input error.
+    pub fn boot(options: &TestBedOptions) -> TestBed {
+        let mut builder = KernelBuilder::new();
+        let mut apparmor = None;
+        let mut sack = None;
+
+        let wants_apparmor = matches!(
+            options.config,
+            LsmConfig::AppArmor | LsmConfig::SackEnhancedAppArmor
+        );
+        let aa = if wants_apparmor {
+            let db = Arc::new(PolicyDb::new());
+            db.load_text(workload::BENCH_PROFILE)
+                .expect("generated profile parses");
+            Some(AppArmor::new(db))
+        } else {
+            None
+        };
+
+        match options.config {
+            LsmConfig::NoLsm => {}
+            LsmConfig::AppArmor => {
+                let aa = aa.expect("constructed above");
+                builder = builder.security_module(Arc::clone(&aa) as Arc<dyn SecurityModule>);
+                apparmor = Some(aa);
+            }
+            LsmConfig::SackEnhancedAppArmor => {
+                let aa = aa.expect("constructed above");
+                let policy =
+                    workload::synthetic_enhanced_policy(options.sack_states, options.sack_rules);
+                let s = Sack::enhanced_apparmor(&policy, Arc::clone(&aa))
+                    .expect("generated enhanced policy loads");
+                builder = builder
+                    .security_module(Arc::clone(&s) as Arc<dyn SecurityModule>)
+                    .security_module(Arc::clone(&aa) as Arc<dyn SecurityModule>);
+                apparmor = Some(aa);
+                sack = Some(s);
+            }
+            LsmConfig::IndependentSack => {
+                let policy =
+                    workload::synthetic_independent_policy(options.sack_states, options.sack_rules);
+                let s = Sack::independent(&policy).expect("generated policy loads");
+                builder = builder.security_module(Arc::clone(&s) as Arc<dyn SecurityModule>);
+                sack = Some(s);
+            }
+        }
+
+        let kernel = builder.boot();
+        if let Some(s) = &sack {
+            s.attach(&kernel).expect("sackfs attaches on fresh kernel");
+        }
+        Self::prepare_files(&kernel).expect("workload preparation on fresh kernel");
+
+        // The benchmark process: an unprivileged user, exec'd into
+        // /usr/bin/lmbench so profile attachment applies.
+        let proc = kernel.spawn(Credentials::user(1000, 1000));
+        proc.exec(workload::BENCH_EXE).expect("bench exe prepared");
+        if options.confined {
+            if let Some(aa) = &apparmor {
+                aa.set_profile(proc.pid(), "bench")
+                    .expect("bench profile loaded");
+            }
+        }
+
+        TestBed {
+            kernel,
+            proc,
+            apparmor,
+            sack,
+            config: options.config,
+        }
+    }
+
+    fn prepare_files(kernel: &Arc<Kernel>) -> KernelResult<()> {
+        let vfs = kernel.vfs();
+        vfs.mkdir_all(&KPath::new("/tmp/bench")?)?;
+        // World-writable bench dir for the unprivileged bench process.
+        vfs.unlink(&KPath::new("/tmp/bench")?)?;
+        vfs.mkdir(&KPath::new("/tmp/bench")?, Mode(0o777), Uid::ROOT, Gid(0))?;
+        vfs.create_file(
+            &KPath::new(workload::BENCH_EXE)?,
+            Mode::EXEC,
+            Uid::ROOT,
+            Gid(0),
+        )?;
+        vfs.create_file(&KPath::new("/usr/bin/true")?, Mode::EXEC, Uid::ROOT, Gid(0))?;
+        // Reread source file.
+        let reread = vfs.create_file(
+            &KPath::new(workload::REREAD_FILE)?,
+            Mode(0o644),
+            Uid::ROOT,
+            Gid(0),
+        )?;
+        let block = vec![0xA5u8; 64 * 1024];
+        let mut off = 0u64;
+        while off < workload::REREAD_SIZE as u64 {
+            vfs.write_at(&reread, &block, off)?;
+            off += block.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// The kernel under test.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The benchmark process.
+    pub fn proc(&self) -> &UserContext {
+        &self.proc
+    }
+
+    /// The AppArmor module, if stacked.
+    pub fn apparmor(&self) -> Option<&Arc<AppArmor>> {
+        self.apparmor.as_ref()
+    }
+
+    /// The SACK module, if stacked.
+    pub fn sack(&self) -> Option<&Arc<Sack>> {
+        self.sack.as_ref()
+    }
+
+    /// The stack configuration.
+    pub fn config(&self) -> LsmConfig {
+        self.config
+    }
+}
+
+impl fmt::Debug for TestBed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TestBed")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boots_all_configurations() {
+        for config in [
+            LsmConfig::NoLsm,
+            LsmConfig::AppArmor,
+            LsmConfig::SackEnhancedAppArmor,
+            LsmConfig::IndependentSack,
+        ] {
+            let bed = TestBed::boot(&TestBedOptions::new(config));
+            assert_eq!(bed.config(), config);
+            // The bench process can run its workload.
+            bed.proc().write_file("/tmp/bench/smoke", b"x").unwrap();
+            assert_eq!(bed.proc().read_to_vec("/tmp/bench/smoke").unwrap(), b"x");
+            bed.proc().unlink("/tmp/bench/smoke").unwrap();
+        }
+    }
+
+    #[test]
+    fn apparmor_configs_confine_bench_process() {
+        let bed = TestBed::boot(&TestBedOptions::new(LsmConfig::AppArmor));
+        let aa = bed.apparmor().unwrap();
+        assert_eq!(
+            aa.current_profile(bed.proc().pid()).as_deref(),
+            Some("bench")
+        );
+        // Confinement is real: paths outside the profile are denied.
+        assert!(bed.proc().write_file("/etc/forbidden", b"x").is_err());
+    }
+
+    #[test]
+    fn sack_sweeps_apply() {
+        let bed = TestBed::boot(
+            &TestBedOptions::new(LsmConfig::IndependentSack)
+                .with_sack_states(10)
+                .with_sack_rules(100),
+        );
+        let sack = bed.sack().unwrap();
+        let active = sack.active();
+        assert_eq!(active.ssm.space().state_count(), 10);
+        assert!(active.policy.rule_count() >= 100);
+    }
+}

@@ -1,0 +1,364 @@
+//! Situation-event detectors.
+//!
+//! Each detector watches the sensor stream for one class of situation
+//! change and emits *edge-triggered* events (SACK's C1 design: "SDS
+//! monitors situation events and only transmits them when detected" — the
+//! stream of frames is never forwarded to the kernel, only the events).
+
+use crate::sensors::SensorFrame;
+
+/// A situation-event detector over the sensor stream.
+pub trait Detector: Send {
+    /// Detector name, for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Consumes one frame; returns the situation events it detected.
+    fn observe(&mut self, frame: &SensorFrame) -> Vec<String>;
+}
+
+/// Detects vehicle crashes from the deceleration pulse and airbag flag.
+///
+/// Emits `crash` once per crash episode (re-armed when conditions clear).
+#[derive(Debug)]
+pub struct CrashDetector {
+    threshold_g: f64,
+    in_crash: bool,
+}
+
+impl CrashDetector {
+    /// NHTSA-style 8 g pulse threshold by default.
+    pub fn new() -> CrashDetector {
+        CrashDetector::with_threshold(8.0)
+    }
+
+    /// Custom pulse threshold in g.
+    pub fn with_threshold(threshold_g: f64) -> CrashDetector {
+        CrashDetector {
+            threshold_g,
+            in_crash: false,
+        }
+    }
+}
+
+impl Default for CrashDetector {
+    fn default() -> Self {
+        CrashDetector::new()
+    }
+}
+
+impl Detector for CrashDetector {
+    fn name(&self) -> &str {
+        "crash"
+    }
+
+    fn observe(&mut self, frame: &SensorFrame) -> Vec<String> {
+        let crashed = frame.airbag_deployed || frame.accel_g >= self.threshold_g;
+        if crashed && !self.in_crash {
+            self.in_crash = true;
+            vec!["crash".to_string()]
+        } else {
+            if !crashed {
+                self.in_crash = false;
+            }
+            Vec::new()
+        }
+    }
+}
+
+/// Detects high-speed / low-speed situations with hysteresis (the Fig. 3b
+/// scenario gates a critical file on speed).
+#[derive(Debug)]
+pub struct SpeedDetector {
+    high_kmh: f64,
+    low_kmh: f64,
+    is_high: bool,
+}
+
+impl SpeedDetector {
+    /// High-speed above `high_kmh`, back to low below `low_kmh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `low_kmh < high_kmh` (hysteresis band must be valid).
+    pub fn new(low_kmh: f64, high_kmh: f64) -> SpeedDetector {
+        assert!(
+            low_kmh < high_kmh,
+            "hysteresis band must satisfy low < high"
+        );
+        SpeedDetector {
+            high_kmh,
+            low_kmh,
+            is_high: false,
+        }
+    }
+}
+
+impl Detector for SpeedDetector {
+    fn name(&self) -> &str {
+        "speed"
+    }
+
+    fn observe(&mut self, frame: &SensorFrame) -> Vec<String> {
+        if !self.is_high && frame.speed_kmh >= self.high_kmh {
+            self.is_high = true;
+            vec!["high_speed".to_string()]
+        } else if self.is_high && frame.speed_kmh <= self.low_kmh {
+            self.is_high = false;
+            vec!["low_speed".to_string()]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Detects driver entry/exit (parking-with-driver vs parking-without-driver
+/// in the paper's Fig. 2 machine).
+#[derive(Debug, Default)]
+pub struct DriverPresenceDetector {
+    last_present: Option<bool>,
+}
+
+impl DriverPresenceDetector {
+    /// Creates the detector; the first frame establishes the baseline.
+    pub fn new() -> DriverPresenceDetector {
+        DriverPresenceDetector::default()
+    }
+}
+
+impl Detector for DriverPresenceDetector {
+    fn name(&self) -> &str {
+        "driver-presence"
+    }
+
+    fn observe(&mut self, frame: &SensorFrame) -> Vec<String> {
+        let events = match self.last_present {
+            Some(prev) if prev != frame.driver_present => {
+                if frame.driver_present {
+                    vec!["driver_entered".to_string()]
+                } else {
+                    vec!["driver_left".to_string()]
+                }
+            }
+            _ => Vec::new(),
+        };
+        self.last_present = Some(frame.driver_present);
+        events
+    }
+}
+
+/// Detects driving/parking transitions: `start_driving` when the vehicle
+/// moves, `park` after the vehicle has been stationary for `still_frames`
+/// consecutive frames with ignition engaged-then-off semantics relaxed.
+#[derive(Debug)]
+pub struct ParkingDetector {
+    still_frames: u32,
+    still_count: u32,
+    driving: bool,
+}
+
+impl ParkingDetector {
+    /// `still_frames` consecutive stationary frames declare a parked state.
+    pub fn new(still_frames: u32) -> ParkingDetector {
+        ParkingDetector {
+            still_frames,
+            still_count: 0,
+            driving: false,
+        }
+    }
+}
+
+impl Detector for ParkingDetector {
+    fn name(&self) -> &str {
+        "parking"
+    }
+
+    fn observe(&mut self, frame: &SensorFrame) -> Vec<String> {
+        if frame.speed_kmh > 0.5 {
+            self.still_count = 0;
+            if !self.driving {
+                self.driving = true;
+                return vec!["start_driving".to_string()];
+            }
+        } else if self.driving {
+            self.still_count += 1;
+            if self.still_count >= self.still_frames {
+                self.driving = false;
+                self.still_count = 0;
+                return vec!["park".to_string()];
+            }
+        }
+        Vec::new()
+    }
+}
+
+/// Detects entry/exit of a circular geofence (the "location" environmental
+/// attribute the paper cites for ABAC-style policies): emits
+/// `entered_<name>` / `left_<name>` on boundary crossings.
+#[derive(Debug)]
+pub struct GeofenceDetector {
+    name: String,
+    center: (f64, f64),
+    radius_deg: f64,
+    inside: Option<bool>,
+}
+
+impl GeofenceDetector {
+    /// A fence around `center` with radius given in coordinate degrees
+    /// (small-area approximation, adequate for depot/home zones).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive radii.
+    pub fn new(name: impl Into<String>, center: (f64, f64), radius_deg: f64) -> GeofenceDetector {
+        assert!(radius_deg > 0.0, "geofence radius must be positive");
+        GeofenceDetector {
+            name: name.into(),
+            center,
+            radius_deg,
+            inside: None,
+        }
+    }
+
+    fn contains(&self, gps: (f64, f64)) -> bool {
+        let d_lat = gps.0 - self.center.0;
+        let d_lon = gps.1 - self.center.1;
+        (d_lat * d_lat + d_lon * d_lon).sqrt() <= self.radius_deg
+    }
+}
+
+impl Detector for GeofenceDetector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn observe(&mut self, frame: &SensorFrame) -> Vec<String> {
+        let now_inside = self.contains(frame.gps);
+        let events = match self.inside {
+            Some(prev) if prev != now_inside => {
+                if now_inside {
+                    vec![format!("entered_{}", self.name)]
+                } else {
+                    vec![format!("left_{}", self.name)]
+                }
+            }
+            None if now_inside => vec![format!("entered_{}", self.name)],
+            _ => Vec::new(),
+        };
+        self.inside = Some(now_inside);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn frame(speed: f64) -> SensorFrame {
+        SensorFrame::parked(Duration::ZERO).with_speed(speed)
+    }
+
+    #[test]
+    fn crash_detector_edge_triggers_once() {
+        let mut d = CrashDetector::new();
+        assert!(d.observe(&frame(50.0)).is_empty());
+        let crash_frame = frame(50.0).with_accel(20.0);
+        assert_eq!(d.observe(&crash_frame), vec!["crash"]);
+        // Still crashing: no repeat event.
+        assert!(d.observe(&crash_frame).is_empty());
+        // Clears, then crashes again: new event.
+        assert!(d.observe(&frame(0.0)).is_empty());
+        assert_eq!(d.observe(&frame(0.0).with_airbag(true)), vec!["crash"]);
+    }
+
+    #[test]
+    fn crash_detector_airbag_alone_triggers() {
+        let mut d = CrashDetector::new();
+        assert_eq!(d.observe(&frame(10.0).with_airbag(true)), vec!["crash"]);
+    }
+
+    #[test]
+    fn speed_detector_hysteresis() {
+        let mut d = SpeedDetector::new(30.0, 60.0);
+        assert!(d.observe(&frame(50.0)).is_empty(), "below high threshold");
+        assert_eq!(d.observe(&frame(65.0)), vec!["high_speed"]);
+        // In the band: no flapping.
+        assert!(d.observe(&frame(45.0)).is_empty());
+        assert!(d.observe(&frame(61.0)).is_empty());
+        assert_eq!(d.observe(&frame(25.0)), vec!["low_speed"]);
+        assert!(d.observe(&frame(25.0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn speed_detector_rejects_inverted_band() {
+        let _ = SpeedDetector::new(60.0, 30.0);
+    }
+
+    #[test]
+    fn driver_presence_edges() {
+        let mut d = DriverPresenceDetector::new();
+        assert!(
+            d.observe(&frame(0.0).with_driver(true)).is_empty(),
+            "baseline"
+        );
+        assert_eq!(
+            d.observe(&frame(0.0).with_driver(false)),
+            vec!["driver_left"]
+        );
+        assert!(d.observe(&frame(0.0).with_driver(false)).is_empty());
+        assert_eq!(
+            d.observe(&frame(0.0).with_driver(true)),
+            vec!["driver_entered"]
+        );
+    }
+
+    #[test]
+    fn geofence_edges() {
+        let mut d = GeofenceDetector::new("depot", (48.0, 9.0), 0.01);
+        let mut at = |lat: f64, lon: f64| {
+            let mut f = frame(0.0);
+            f.gps = (lat, lon);
+            d.observe(&f)
+        };
+        // First frame inside announces entry (baseline is "unknown").
+        assert_eq!(at(48.0, 9.0), vec!["entered_depot"]);
+        assert!(at(48.001, 9.001).is_empty(), "still inside");
+        assert_eq!(at(48.5, 9.5), vec!["left_depot"]);
+        assert!(at(48.5, 9.5).is_empty());
+        assert_eq!(at(48.0, 9.0), vec!["entered_depot"]);
+    }
+
+    #[test]
+    fn geofence_starting_outside_stays_quiet() {
+        let mut d = GeofenceDetector::new("depot", (48.0, 9.0), 0.01);
+        let mut f = frame(0.0);
+        f.gps = (50.0, 10.0);
+        assert!(
+            d.observe(&f).is_empty(),
+            "no exit event without prior entry"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn geofence_rejects_bad_radius() {
+        let _ = GeofenceDetector::new("x", (0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn parking_detector_requires_sustained_stillness() {
+        let mut d = ParkingDetector::new(3);
+        assert_eq!(d.observe(&frame(20.0)), vec!["start_driving"]);
+        assert!(d.observe(&frame(0.0)).is_empty());
+        assert!(d.observe(&frame(0.0)).is_empty());
+        // Moves again: counter resets.
+        assert!(d.observe(&frame(5.0)).is_empty());
+        assert!(d.observe(&frame(0.0)).is_empty());
+        assert!(d.observe(&frame(0.0)).is_empty());
+        assert_eq!(d.observe(&frame(0.0)), vec!["park"]);
+        // Parked: no repeat until it drives again.
+        assert!(d.observe(&frame(0.0)).is_empty());
+        assert_eq!(d.observe(&frame(10.0)), vec!["start_driving"]);
+    }
+}

@@ -1,0 +1,39 @@
+//! # sack-sds — the situation detection service
+//!
+//! SACK's trusted user-space component (paper Fig. 1): monitors environment
+//! information, detects situation events, and transmits them to the kernel
+//! through SACKfs. This crate provides the sensor-frame model
+//! ([`sensors`]), edge-triggered detectors ([`detector`]), deterministic
+//! synthetic driving traces standing in for real road data ([`traces`]),
+//! and the service loop that writes detected events into
+//! `/sys/kernel/security/SACK/events` ([`service`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use sack_sds::detector::{CrashDetector, Detector};
+//! use sack_sds::sensors::SensorFrame;
+//! use std::time::Duration;
+//!
+//! let mut detector = CrashDetector::new();
+//! let crash = SensorFrame::parked(Duration::ZERO).with_accel(25.0);
+//! assert_eq!(detector.observe(&crash), vec!["crash"]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod detector;
+pub mod sensors;
+pub mod service;
+pub mod tracefile;
+pub mod traces;
+
+pub use detector::{
+    CrashDetector, Detector, DriverPresenceDetector, GeofenceDetector, ParkingDetector,
+    SpeedDetector,
+};
+pub use sensors::SensorFrame;
+pub use service::{standard_detectors, SdsReport, SdsService, SACK_EVENTS_PATH};
+pub use tracefile::{from_csv, to_csv, ParseTraceError};
+pub use traces::{city_drive, highway_crash, park_and_return, speed_oscillation, Trace};

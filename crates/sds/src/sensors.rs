@@ -1,0 +1,100 @@
+//! Vehicle sensor frames — the environment-information input to the SDS.
+//!
+//! The paper's SDS "monitors environment information (e.g., location,
+//! speed) and detects situation events". Real sensors are replaced by
+//! synthetic [`SensorFrame`] streams (see [`crate::traces`]); the detection
+//! logic downstream is identical either way.
+
+use std::time::Duration;
+
+/// One sample of the vehicle's environment state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorFrame {
+    /// Timestamp (simulated time).
+    pub t: Duration,
+    /// Vehicle speed in km/h.
+    pub speed_kmh: f64,
+    /// Longitudinal acceleration magnitude in g (positive = deceleration
+    /// spike; a crash pulse is tens of g).
+    pub accel_g: f64,
+    /// GPS position (latitude, longitude).
+    pub gps: (f64, f64),
+    /// Driver-seat occupancy.
+    pub driver_present: bool,
+    /// Airbag deployment flag from the restraint controller.
+    pub airbag_deployed: bool,
+    /// Ignition on/off.
+    pub ignition_on: bool,
+}
+
+impl SensorFrame {
+    /// A parked, driver-present, ignition-off frame at time `t` — the
+    /// neutral baseline the builders start from.
+    pub fn parked(t: Duration) -> SensorFrame {
+        SensorFrame {
+            t,
+            speed_kmh: 0.0,
+            accel_g: 0.0,
+            gps: (48.7758, 9.1829),
+            driver_present: true,
+            airbag_deployed: false,
+            ignition_on: false,
+        }
+    }
+
+    /// Returns the frame with the given speed (builder-style).
+    pub fn with_speed(mut self, speed_kmh: f64) -> SensorFrame {
+        self.speed_kmh = speed_kmh;
+        self.ignition_on = self.ignition_on || speed_kmh > 0.0;
+        self
+    }
+
+    /// Returns the frame with the given deceleration pulse (builder-style).
+    pub fn with_accel(mut self, accel_g: f64) -> SensorFrame {
+        self.accel_g = accel_g;
+        self
+    }
+
+    /// Returns the frame with airbag state set (builder-style).
+    pub fn with_airbag(mut self, deployed: bool) -> SensorFrame {
+        self.airbag_deployed = deployed;
+        self
+    }
+
+    /// Returns the frame with driver presence set (builder-style).
+    pub fn with_driver(mut self, present: bool) -> SensorFrame {
+        self.driver_present = present;
+        self
+    }
+
+    /// Returns the frame with ignition state set (builder-style).
+    pub fn with_ignition(mut self, on: bool) -> SensorFrame {
+        self.ignition_on = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parked_baseline() {
+        let f = SensorFrame::parked(Duration::from_secs(1));
+        assert_eq!(f.speed_kmh, 0.0);
+        assert!(f.driver_present);
+        assert!(!f.airbag_deployed);
+        assert!(!f.ignition_on);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let f = SensorFrame::parked(Duration::ZERO)
+            .with_speed(80.0)
+            .with_accel(0.3)
+            .with_driver(true);
+        assert_eq!(f.speed_kmh, 80.0);
+        assert!(f.ignition_on, "driving implies ignition");
+        assert_eq!(f.accel_g, 0.3);
+    }
+}

@@ -1,0 +1,237 @@
+//! The situation detection service (SDS) — SACK's trusted user-space half.
+//!
+//! The SDS runs as an unprivileged process holding `CAP_MAC_ADMIN` only. It
+//! feeds sensor frames through its detectors and writes each detected
+//! situation event into SACKfs (`/sys/kernel/security/SACK/events`), which
+//! is the only channel by which the kernel's situation state can change.
+
+use std::fmt;
+use std::time::Duration;
+
+use sack_kernel::cred::{Capability, Credentials};
+use sack_kernel::error::KernelResult;
+use sack_kernel::file::OpenFlags;
+use sack_kernel::kernel::Kernel;
+use sack_kernel::types::Fd;
+use sack_kernel::uctx::UserContext;
+
+use crate::detector::Detector;
+use crate::sensors::SensorFrame;
+
+/// Path of the SACKfs events node.
+pub const SACK_EVENTS_PATH: &str = "/sys/kernel/security/SACK/events";
+
+/// Summary of one trace run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SdsReport {
+    /// Frames processed.
+    pub frames: usize,
+    /// Events detected and transmitted, in order.
+    pub events: Vec<String>,
+    /// Events the kernel rejected (unknown to the loaded policy).
+    pub rejected: Vec<String>,
+}
+
+/// The SDS process: detectors plus the SACKfs writer.
+pub struct SdsService {
+    proc: UserContext,
+    events_fd: Fd,
+    detectors: Vec<Box<dyn Detector>>,
+}
+
+impl SdsService {
+    /// Spawns the SDS as a new process on `kernel` (uid 500, holding only
+    /// `CAP_MAC_ADMIN`) and opens the SACKfs events node.
+    ///
+    /// # Errors
+    ///
+    /// Fails if SACKfs is not attached ([`sack_core::Sack::attach`]).
+    pub fn spawn(
+        kernel: &std::sync::Arc<Kernel>,
+        detectors: Vec<Box<dyn Detector>>,
+    ) -> KernelResult<SdsService> {
+        let cred = Credentials::user(500, 500).with_capability(Capability::MacAdmin);
+        let proc = kernel.spawn(cred);
+        let events_fd = proc.open(SACK_EVENTS_PATH, OpenFlags::write_only())?;
+        Ok(SdsService {
+            proc,
+            events_fd,
+            detectors,
+        })
+    }
+
+    /// The SDS process handle.
+    pub fn process(&self) -> &UserContext {
+        &self.proc
+    }
+
+    /// Transmits one event by name (used directly by tests and by the
+    /// emulated "react app" in the case study).
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` if the kernel policy does not know the event.
+    pub fn send_event(&self, name: &str) -> KernelResult<()> {
+        let line = format!("{name}\n");
+        self.proc.write(self.events_fd, line.as_bytes())?;
+        Ok(())
+    }
+
+    /// Feeds one frame through every detector, transmitting each detected
+    /// event; returns the transmitted and rejected event names.
+    pub fn process_frame(&mut self, frame: &SensorFrame) -> (Vec<String>, Vec<String>) {
+        let mut sent = Vec::new();
+        let mut rejected = Vec::new();
+        let (proc, fd) = (&self.proc, self.events_fd);
+        for detector in &mut self.detectors {
+            for event in detector.observe(frame) {
+                let line = format!("{event}\n");
+                match proc.write(fd, line.as_bytes()) {
+                    Ok(_) => sent.push(event),
+                    Err(_) => rejected.push(event),
+                }
+            }
+        }
+        (sent, rejected)
+    }
+
+    /// Runs a full trace, advancing the kernel clock to each frame's
+    /// timestamp before processing it.
+    pub fn run_trace<'a>(
+        &mut self,
+        kernel: &Kernel,
+        frames: impl IntoIterator<Item = &'a SensorFrame>,
+    ) -> SdsReport {
+        let mut report = SdsReport::default();
+        for frame in frames {
+            if frame.t > kernel.clock().now() {
+                kernel.clock().set(frame.t);
+            }
+            let (sent, rejected) = self.process_frame(frame);
+            report.events.extend(sent);
+            report.rejected.extend(rejected);
+            report.frames += 1;
+        }
+        report
+    }
+
+    /// Shuts the service down, closing its descriptor and exiting the task.
+    pub fn shutdown(self) {
+        let _ = self.proc.close(self.events_fd);
+        self.proc.exit();
+    }
+}
+
+impl fmt::Debug for SdsService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SdsService")
+            .field("pid", &self.proc.pid())
+            .field("detectors", &self.detectors.len())
+            .finish()
+    }
+}
+
+/// Convenience: the standard vehicle detector set used by the examples and
+/// benchmarks (crash, speed hysteresis 30/60, driver presence, parking).
+pub fn standard_detectors() -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(crate::detector::CrashDetector::new()),
+        Box::new(crate::detector::SpeedDetector::new(30.0, 60.0)),
+        Box::new(crate::detector::DriverPresenceDetector::new()),
+        Box::new(crate::detector::ParkingDetector::new(3)),
+    ]
+}
+
+/// A no-op duration helper re-exported for trace code readability.
+pub fn seconds(s: u64) -> Duration {
+    Duration::from_secs(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sack_core::Sack;
+    use sack_kernel::kernel::KernelBuilder;
+    use sack_kernel::lsm::SecurityModule;
+    use std::sync::Arc;
+
+    const POLICY: &str = r#"
+        states { normal = 0; emergency = 1; }
+        events { crash; rescue_done; }
+        transitions { normal -crash-> emergency; emergency -rescue_done-> normal; }
+        initial normal;
+        permissions { P; }
+        state_per { emergency: P; }
+        per_rules { P: allow subject=* /dev/car/** wi; }
+    "#;
+
+    fn boot() -> (Arc<Kernel>, Arc<Sack>) {
+        let sack = Sack::independent(POLICY).unwrap();
+        let kernel = KernelBuilder::new()
+            .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+            .boot();
+        sack.attach(&kernel).unwrap();
+        (kernel, sack)
+    }
+
+    #[test]
+    fn crash_frame_flips_kernel_state() {
+        let (kernel, sack) = boot();
+        let mut sds = SdsService::spawn(&kernel, standard_detectors()).unwrap();
+        let calm = SensorFrame::parked(Duration::from_secs(1)).with_speed(50.0);
+        let crash = SensorFrame::parked(Duration::from_secs(2))
+            .with_speed(50.0)
+            .with_accel(25.0);
+        let (sent, _) = sds.process_frame(&calm);
+        assert!(sent.iter().all(|e| e != "crash"));
+        let (sent, rejected) = sds.process_frame(&crash);
+        assert!(sent.contains(&"crash".to_string()));
+        assert!(rejected.is_empty() || !rejected.contains(&"crash".to_string()));
+        assert_eq!(sack.current_state_name(), "emergency");
+        sds.shutdown();
+    }
+
+    #[test]
+    fn events_unknown_to_policy_are_rejected_not_fatal() {
+        let (kernel, sack) = boot();
+        // Speed detector emits high_speed, which this policy doesn't know.
+        let mut sds = SdsService::spawn(&kernel, standard_detectors()).unwrap();
+        let fast = SensorFrame::parked(Duration::from_secs(1)).with_speed(120.0);
+        let (sent, rejected) = sds.process_frame(&fast);
+        assert!(rejected.contains(&"high_speed".to_string()));
+        assert!(!sent.contains(&"high_speed".to_string()));
+        assert_eq!(sack.current_state_name(), "normal");
+        sds.shutdown();
+    }
+
+    #[test]
+    fn run_trace_advances_clock_and_reports() {
+        let (kernel, sack) = boot();
+        let mut sds = SdsService::spawn(
+            &kernel,
+            vec![Box::new(crate::detector::CrashDetector::new())],
+        )
+        .unwrap();
+        let frames = vec![
+            SensorFrame::parked(Duration::from_secs(1)).with_speed(40.0),
+            SensorFrame::parked(Duration::from_secs(2)).with_speed(45.0),
+            SensorFrame::parked(Duration::from_secs(3))
+                .with_speed(45.0)
+                .with_airbag(true),
+        ];
+        let report = sds.run_trace(&kernel, &frames);
+        assert_eq!(report.frames, 3);
+        assert_eq!(report.events, vec!["crash"]);
+        assert_eq!(kernel.clock().now(), Duration::from_secs(3));
+        // The kernel history records the simulated event time.
+        let active = sack.active();
+        assert_eq!(active.ssm.history()[0].at, Duration::from_secs(3));
+        sds.shutdown();
+    }
+
+    #[test]
+    fn sds_without_sackfs_fails_to_spawn() {
+        let kernel = Kernel::boot_default();
+        assert!(SdsService::spawn(&kernel, standard_detectors()).is_err());
+    }
+}

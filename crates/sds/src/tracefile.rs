@@ -1,0 +1,200 @@
+//! Trace (de)serialization: a line-oriented CSV format so recorded or
+//! hand-authored scenarios can be stored in the simulated VFS (or a real
+//! file) and replayed bit-identically.
+//!
+//! Format, one frame per line (header optional, `#` comments allowed):
+//!
+//! ```text
+//! t_ms,speed_kmh,accel_g,lat,lon,driver,airbag,ignition
+//! 0,0.0,0.0,48.7758,9.1829,1,0,0
+//! 1000,35.5,0.1,48.7760,9.1831,1,0,1
+//! ```
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::sensors::SensorFrame;
+
+/// Header line written by [`to_csv`].
+pub const CSV_HEADER: &str = "t_ms,speed_kmh,accel_g,lat,lon,driver,airbag,ignition";
+
+/// Error parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    message: String,
+}
+
+impl ParseTraceError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseTraceError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serializes frames to CSV (with header).
+pub fn to_csv<'a>(frames: impl IntoIterator<Item = &'a SensorFrame>) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for f in frames {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            f.t.as_millis(),
+            f.speed_kmh,
+            f.accel_g,
+            f.gps.0,
+            f.gps.1,
+            u8::from(f.driver_present),
+            u8::from(f.airbag_deployed),
+            u8::from(f.ignition_on),
+        ));
+    }
+    out
+}
+
+/// Parses a CSV trace. Frames must be in non-decreasing time order.
+///
+/// # Errors
+///
+/// [`ParseTraceError`] with the offending line for malformed rows, wrong
+/// field counts, or time going backwards.
+pub fn from_csv(text: &str) -> Result<Vec<SensorFrame>, ParseTraceError> {
+    let mut frames = Vec::new();
+    let mut last_t = None;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line == CSV_HEADER {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 8 {
+            return Err(ParseTraceError::new(
+                lineno,
+                format!("expected 8 fields, found {}", fields.len()),
+            ));
+        }
+        let num = |idx: usize, what: &str| -> Result<f64, ParseTraceError> {
+            fields[idx].parse::<f64>().map_err(|_| {
+                ParseTraceError::new(lineno, format!("invalid {what} `{}`", fields[idx]))
+            })
+        };
+        let flag = |idx: usize, what: &str| -> Result<bool, ParseTraceError> {
+            match fields[idx] {
+                "0" => Ok(false),
+                "1" => Ok(true),
+                other => Err(ParseTraceError::new(
+                    lineno,
+                    format!("invalid {what} `{other}` (expected 0 or 1)"),
+                )),
+            }
+        };
+        let t_ms = fields[0]
+            .parse::<u64>()
+            .map_err(|_| ParseTraceError::new(lineno, format!("invalid t_ms `{}`", fields[0])))?;
+        let t = Duration::from_millis(t_ms);
+        if let Some(prev) = last_t {
+            if t < prev {
+                return Err(ParseTraceError::new(lineno, "time goes backwards"));
+            }
+        }
+        last_t = Some(t);
+        let speed = num(1, "speed_kmh")?;
+        if speed < 0.0 {
+            return Err(ParseTraceError::new(lineno, "negative speed"));
+        }
+        frames.push(SensorFrame {
+            t,
+            speed_kmh: speed,
+            accel_g: num(2, "accel_g")?,
+            gps: (num(3, "lat")?, num(4, "lon")?),
+            driver_present: flag(5, "driver")?,
+            airbag_deployed: flag(6, "airbag")?,
+            ignition_on: flag(7, "ignition")?,
+        });
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces;
+
+    #[test]
+    fn roundtrip_generated_traces() {
+        for trace in [
+            traces::city_drive(5),
+            traces::highway_crash(8),
+            traces::park_and_return(10),
+        ] {
+            let csv = to_csv(&trace);
+            let parsed = from_csv(&csv).unwrap();
+            assert_eq!(parsed, trace);
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_header() {
+        let text = "# hand-authored\nt_ms,speed_kmh,accel_g,lat,lon,driver,airbag,ignition\n\
+                    0,0,0,48.0,9.0,1,0,0\n\n500,12.5,0.1,48.0,9.0,1,0,1\n";
+        let frames = from_csv(text).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[1].t, Duration::from_millis(500));
+        assert_eq!(frames[1].speed_kmh, 12.5);
+        assert!(frames[1].ignition_on);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert_eq!(from_csv("1,2,3").unwrap_err().line, 1);
+        assert!(from_csv("0,abc,0,0,0,1,0,0")
+            .unwrap_err()
+            .to_string()
+            .contains("speed"));
+        assert!(from_csv("0,0,0,0,0,2,0,0")
+            .unwrap_err()
+            .to_string()
+            .contains("driver"));
+        assert!(from_csv("0,-5,0,0,0,1,0,0")
+            .unwrap_err()
+            .to_string()
+            .contains("negative"));
+        let backwards = "1000,0,0,0,0,1,0,0\n500,0,0,0,0,1,0,0";
+        assert!(from_csv(backwards)
+            .unwrap_err()
+            .to_string()
+            .contains("backwards"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        assert!(from_csv("").unwrap().is_empty());
+        assert!(from_csv("# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn trace_stored_in_simulated_vfs_replays() {
+        use sack_kernel::{Credentials, Kernel};
+        let kernel = Kernel::boot_default();
+        let proc = kernel.spawn(Credentials::root());
+        let trace = traces::highway_crash(4);
+        proc.write_file("/etc/trace.csv", to_csv(&trace).as_bytes())
+            .unwrap();
+        let loaded =
+            from_csv(std::str::from_utf8(&proc.read_to_vec("/etc/trace.csv").unwrap()).unwrap())
+                .unwrap();
+        assert_eq!(loaded, trace);
+    }
+}

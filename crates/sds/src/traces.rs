@@ -1,0 +1,156 @@
+//! Synthetic driving traces.
+//!
+//! Substitutes for the road data the paper's testbed would observe. Each
+//! generator is deterministic given its parameters (and seed, where used),
+//! so scenarios replay identically across test runs and benchmarks.
+
+use std::time::Duration;
+
+use crate::sensors::SensorFrame;
+
+/// A timed sequence of sensor frames.
+pub type Trace = Vec<SensorFrame>;
+
+/// A commute: pull out, drive at city speed, park, driver leaves.
+///
+/// Frames are 1 s apart; the trace lasts `2*city_secs + 8` frames.
+pub fn city_drive(city_secs: u64) -> Trace {
+    let mut frames: Vec<SensorFrame> = Vec::new();
+    let at = |frames: &Vec<SensorFrame>| Duration::from_secs(frames.len() as u64);
+    // Parked with driver, ignition on.
+    frames.push(SensorFrame::parked(at(&frames)).with_ignition(true));
+    // Accelerate.
+    for speed in [10.0, 25.0, 40.0] {
+        frames.push(SensorFrame::parked(at(&frames)).with_speed(speed));
+    }
+    // Cruise.
+    for _ in 0..city_secs {
+        frames.push(SensorFrame::parked(at(&frames)).with_speed(45.0));
+    }
+    // Slow down and stop.
+    for speed in [30.0, 15.0, 0.0, 0.0, 0.0, 0.0] {
+        frames.push(SensorFrame::parked(at(&frames)).with_speed(speed));
+    }
+    // Driver leaves.
+    frames.push(SensorFrame::parked(at(&frames)).with_driver(false));
+    frames
+}
+
+/// A highway drive that ends in a crash at `crash_at` seconds: speeds past
+/// the high-speed threshold, then a 30 g pulse with airbag deployment.
+pub fn highway_crash(crash_at: u64) -> Trace {
+    let mut frames = Vec::new();
+    for t in 0..crash_at {
+        let speed = (20.0 + 10.0 * t as f64).min(110.0);
+        frames.push(SensorFrame::parked(Duration::from_secs(t)).with_speed(speed));
+    }
+    frames.push(
+        SensorFrame::parked(Duration::from_secs(crash_at))
+            .with_speed(0.0)
+            .with_accel(30.0)
+            .with_airbag(true),
+    );
+    // Aftermath: stationary, airbag deployed.
+    for dt in 1..=5 {
+        frames.push(SensorFrame::parked(Duration::from_secs(crash_at + dt)).with_airbag(true));
+    }
+    frames
+}
+
+/// A parking-lot scenario: driver parks, leaves, returns later.
+pub fn park_and_return(away_secs: u64) -> Trace {
+    let mut frames = Vec::new();
+    let mut t = 0u64;
+    for speed in [15.0, 8.0, 0.0, 0.0, 0.0, 0.0] {
+        frames.push(SensorFrame::parked(Duration::from_secs(t)).with_speed(speed));
+        t += 1;
+    }
+    frames.push(SensorFrame::parked(Duration::from_secs(t)).with_driver(false));
+    t += 1;
+    for _ in 0..away_secs {
+        frames.push(SensorFrame::parked(Duration::from_secs(t)).with_driver(false));
+        t += 1;
+    }
+    frames.push(SensorFrame::parked(Duration::from_secs(t)).with_driver(true));
+    frames
+}
+
+/// A square-wave speed profile oscillating across the high/low-speed
+/// thresholds with the given half-period — drives the Fig. 3b
+/// transition-frequency experiment. `period` is simulated time between
+/// consecutive situation transitions; `transitions` is how many to produce.
+pub fn speed_oscillation(period: Duration, transitions: u32) -> Trace {
+    let mut frames = Vec::new();
+    let mut now = Duration::ZERO;
+    for i in 0..transitions {
+        let fast = i % 2 == 0;
+        let speed = if fast { 90.0 } else { 10.0 };
+        frames.push(SensorFrame::parked(now).with_speed(speed));
+        now += period;
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{
+        CrashDetector, Detector, DriverPresenceDetector, ParkingDetector, SpeedDetector,
+    };
+
+    fn run_detectors(trace: &Trace) -> Vec<String> {
+        let mut detectors: Vec<Box<dyn Detector>> = vec![
+            Box::new(CrashDetector::new()),
+            Box::new(SpeedDetector::new(30.0, 60.0)),
+            Box::new(DriverPresenceDetector::new()),
+            Box::new(ParkingDetector::new(3)),
+        ];
+        let mut events = Vec::new();
+        for frame in trace {
+            for d in &mut detectors {
+                events.extend(d.observe(frame));
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn city_drive_produces_drive_park_leave() {
+        let events = run_detectors(&city_drive(5));
+        assert!(events.contains(&"start_driving".to_string()));
+        assert!(events.contains(&"park".to_string()));
+        assert!(events.contains(&"driver_left".to_string()));
+        assert!(!events.contains(&"crash".to_string()));
+    }
+
+    #[test]
+    fn highway_crash_produces_high_speed_then_crash() {
+        let events = run_detectors(&highway_crash(10));
+        let hs = events.iter().position(|e| e == "high_speed");
+        let crash = events.iter().position(|e| e == "crash");
+        assert!(hs.is_some(), "events: {events:?}");
+        assert!(crash.is_some());
+        assert!(hs < crash, "high speed precedes the crash");
+        assert_eq!(events.iter().filter(|e| *e == "crash").count(), 1);
+    }
+
+    #[test]
+    fn park_and_return_produces_presence_edges() {
+        let events = run_detectors(&park_and_return(10));
+        assert!(events.contains(&"driver_left".to_string()));
+        assert!(events.contains(&"driver_entered".to_string()));
+    }
+
+    #[test]
+    fn speed_oscillation_alternates_transitions() {
+        let trace = speed_oscillation(Duration::from_millis(100), 10);
+        assert_eq!(trace.len(), 10);
+        let events = run_detectors(&trace);
+        let highs = events.iter().filter(|e| *e == "high_speed").count();
+        let lows = events.iter().filter(|e| *e == "low_speed").count();
+        assert_eq!(highs, 5);
+        assert_eq!(lows, 5);
+        // Timestamps are `period` apart.
+        assert_eq!(trace[1].t - trace[0].t, Duration::from_millis(100));
+    }
+}

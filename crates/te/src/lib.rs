@@ -1,0 +1,51 @@
+//! # sack-te — minimal SELinux-style type enforcement
+//!
+//! A second baseline MAC model for the simulated kernel, alongside the
+//! AppArmor-style module: the paper notes that "most security modules are
+//! based on the type enforcement (TE) model" and that SACK's LSM-stacking
+//! compatibility is generic. This crate makes that claim testable: a small
+//! TE module (types, path labeling, exec domain transitions, allow rules)
+//! that stacks with SACK exactly like AppArmor does
+//! (`tests/te_stacking.rs` at the workspace root).
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sack_te::{TePolicy, TypeEnforcement};
+//! use sack_kernel::{KernelBuilder, Credentials, SecurityModule, Mode, Uid, Gid};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let policy = Arc::new(TePolicy::parse(r#"
+//!     type app_t;
+//!     type app_exec_t;
+//!     type data_t;
+//!     label /usr/bin/app app_exec_t;
+//!     label /data/** data_t;
+//!     domain_transition unconfined_t app_exec_t app_t;
+//!     allow app_t data_t { read write };
+//!     allow app_t app_exec_t { read execute };
+//! "#)?);
+//! let te = TypeEnforcement::new(policy);
+//! let kernel = KernelBuilder::new()
+//!     .security_module(te.clone() as Arc<dyn SecurityModule>)
+//!     .boot();
+//! kernel.vfs().mkdir_all(&"/data".parse()?)?;
+//! kernel.vfs().create_file(&"/usr/bin/app".parse()?, Mode::EXEC, Uid::ROOT, Gid(0))?;
+//! kernel.vfs().create_file(&"/data/file".parse()?, Mode(0o666), Uid::ROOT, Gid(0))?;
+//! let proc = kernel.spawn(Credentials::user(1000, 1000));
+//! proc.exec("/usr/bin/app")?; // enters app_t
+//! assert!(proc.read_to_vec("/data/file").is_ok());      // allowed by TE
+//! assert!(proc.write_file("/tmp/x", b"n").is_err());    // unlabeled: denied
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod module;
+pub mod policy;
+
+pub use module::TypeEnforcement;
+pub use policy::{ParseTeError, TePolicy, TypeId, UNCONFINED, UNLABELED};

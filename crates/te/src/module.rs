@@ -1,0 +1,224 @@
+//! The type-enforcement LSM: per-task domains, exec transitions, and
+//! allow-rule mediation of the file hooks.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use sack_apparmor::profile::FilePerms;
+use sack_kernel::error::{Errno, KernelError, KernelResult};
+use sack_kernel::lsm::{AccessMask, HookCtx, ObjectKind, ObjectRef, SecurityModule};
+use sack_kernel::path::KPath;
+use sack_kernel::types::Pid;
+
+use crate::policy::{TePolicy, TypeId};
+
+/// The TE security module.
+pub struct TypeEnforcement {
+    policy: Arc<TePolicy>,
+    domains: RwLock<HashMap<Pid, TypeId>>,
+}
+
+impl TypeEnforcement {
+    /// Creates the module over a parsed policy. Tasks start unconfined and
+    /// enter domains through `domain_transition` rules at exec.
+    pub fn new(policy: Arc<TePolicy>) -> Arc<TypeEnforcement> {
+        Arc::new(TypeEnforcement {
+            policy,
+            domains: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The policy.
+    pub fn policy(&self) -> &Arc<TePolicy> {
+        &self.policy
+    }
+
+    /// The domain of a task (unconfined when untracked).
+    pub fn domain_of(&self, pid: Pid) -> TypeId {
+        self.domains
+            .read()
+            .get(&pid)
+            .copied()
+            .unwrap_or(self.policy.unconfined())
+    }
+
+    /// Administratively places a task in a domain.
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` for undeclared domain names.
+    pub fn set_domain(&self, pid: Pid, domain: &str) -> KernelResult<()> {
+        let ty = self
+            .policy
+            .type_id(domain)
+            .ok_or_else(|| KernelError::with_context(Errno::EINVAL, "te"))?;
+        self.domains.write().insert(pid, ty);
+        Ok(())
+    }
+
+    fn check(&self, ctx: &HookCtx, obj: &ObjectRef<'_>, requested: FilePerms) -> KernelResult<()> {
+        if matches!(obj.kind, ObjectKind::Pipe | ObjectKind::Socket) {
+            return Ok(());
+        }
+        let subject = self.domain_of(ctx.pid);
+        if subject == self.policy.unconfined() {
+            return Ok(());
+        }
+        let object = self.policy.label_of(obj.path.as_str());
+        if self.policy.permits(subject, object, requested) {
+            Ok(())
+        } else {
+            Err(KernelError::with_context(Errno::EACCES, "te"))
+        }
+    }
+}
+
+impl SecurityModule for TypeEnforcement {
+    fn name(&self) -> &'static str {
+        "te"
+    }
+
+    fn file_open(&self, ctx: &HookCtx, obj: &ObjectRef<'_>, mask: AccessMask) -> KernelResult<()> {
+        self.check(ctx, obj, FilePerms::from_access_mask(mask))
+    }
+
+    fn file_permission(
+        &self,
+        ctx: &HookCtx,
+        obj: &ObjectRef<'_>,
+        mask: AccessMask,
+    ) -> KernelResult<()> {
+        self.check(ctx, obj, FilePerms::from_access_mask(mask))
+    }
+
+    fn file_ioctl(&self, ctx: &HookCtx, obj: &ObjectRef<'_>, _cmd: u32) -> KernelResult<()> {
+        self.check(ctx, obj, FilePerms::IOCTL)
+    }
+
+    fn file_mmap(&self, ctx: &HookCtx, obj: &ObjectRef<'_>, _mask: AccessMask) -> KernelResult<()> {
+        self.check(ctx, obj, FilePerms::MMAP)
+    }
+
+    fn bprm_committed(&self, ctx: &HookCtx, exe: &KPath) {
+        let from = self.domain_of(ctx.pid);
+        if let Some(to) = self.policy.transition_for(from, exe.as_str()) {
+            self.domains.write().insert(ctx.pid, to);
+        }
+    }
+
+    fn task_alloc(&self, ctx: &HookCtx, child: Pid) -> KernelResult<()> {
+        let domain = self.domain_of(ctx.pid);
+        if domain != self.policy.unconfined() {
+            self.domains.write().insert(child, domain);
+        }
+        Ok(())
+    }
+
+    fn task_free(&self, pid: Pid) {
+        self.domains.write().remove(&pid);
+    }
+}
+
+impl fmt::Debug for TypeEnforcement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TypeEnforcement")
+            .field("policy", &self.policy)
+            .field("confined", &self.domains.read().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sack_kernel::cred::Credentials;
+    use sack_kernel::file::OpenFlags;
+    use sack_kernel::kernel::KernelBuilder;
+    use sack_kernel::types::Mode;
+    use sack_kernel::{Gid, Uid};
+
+    const POLICY: &str = r#"
+        type media_t;
+        type media_exec_t;
+        type audio_dev_t;
+        label /usr/bin/media* media_exec_t;
+        label /dev/car/audio audio_dev_t;
+        domain_transition unconfined_t media_exec_t media_t;
+        allow media_t audio_dev_t { read write };
+        allow media_t media_exec_t { read execute };
+    "#;
+
+    fn boot() -> (Arc<sack_kernel::Kernel>, Arc<TypeEnforcement>) {
+        let policy = Arc::new(TePolicy::parse(POLICY).unwrap());
+        let te = TypeEnforcement::new(policy);
+        let kernel = KernelBuilder::new()
+            .security_module(Arc::clone(&te) as Arc<dyn SecurityModule>)
+            .boot();
+        kernel
+            .vfs()
+            .mkdir_all(&KPath::new("/dev/car").unwrap())
+            .unwrap();
+        for (path, mode) in [
+            ("/dev/car/audio", Mode(0o666)),
+            ("/dev/car/door0", Mode(0o666)),
+            ("/usr/bin/media_app", Mode::EXEC),
+        ] {
+            kernel
+                .vfs()
+                .create_file(&KPath::new(path).unwrap(), mode, Uid::ROOT, Gid(0))
+                .unwrap();
+        }
+        (kernel, te)
+    }
+
+    #[test]
+    fn exec_transitions_into_domain_and_confines() {
+        let (kernel, te) = boot();
+        let p = kernel.spawn(Credentials::user(1000, 1000));
+        assert_eq!(te.policy().type_name(te.domain_of(p.pid())), "unconfined_t");
+        p.exec("/usr/bin/media_app").unwrap();
+        assert_eq!(te.policy().type_name(te.domain_of(p.pid())), "media_t");
+        // Allowed: audio read/write.
+        assert!(p.open("/dev/car/audio", OpenFlags::read_write()).is_ok());
+        // Denied: door device (no rule for media_t on unlabeled-or-door).
+        let err = p
+            .open("/dev/car/door0", OpenFlags::read_only())
+            .unwrap_err();
+        assert_eq!(err.context(), Some("te"));
+        // Denied: everything unlabeled, including /tmp.
+        assert!(p.write_file("/tmp/x", b"1").is_err());
+    }
+
+    #[test]
+    fn fork_inherits_domain_and_exit_cleans_up() {
+        let (kernel, te) = boot();
+        let p = kernel.spawn(Credentials::user(1000, 1000));
+        p.exec("/usr/bin/media_app").unwrap();
+        let child = p.fork().unwrap();
+        assert_eq!(te.policy().type_name(te.domain_of(child.pid())), "media_t");
+        let pid = child.pid();
+        child.exit();
+        assert_eq!(te.policy().type_name(te.domain_of(pid)), "unconfined_t");
+    }
+
+    #[test]
+    fn unconfined_tasks_are_unrestricted() {
+        let (kernel, _te) = boot();
+        let p = kernel.spawn(Credentials::user(1000, 1000));
+        assert!(p.write_file("/tmp/anything", b"1").is_ok());
+        assert!(p.open("/dev/car/door0", OpenFlags::read_only()).is_ok());
+    }
+
+    #[test]
+    fn set_domain_admin_api() {
+        let (kernel, te) = boot();
+        let p = kernel.spawn(Credentials::user(1000, 1000));
+        te.set_domain(p.pid(), "media_t").unwrap();
+        assert!(p.open("/dev/car/audio", OpenFlags::read_only()).is_ok());
+        assert!(p.write_file("/tmp/x", b"1").is_err());
+        assert!(te.set_domain(p.pid(), "ghost_t").is_err());
+    }
+}

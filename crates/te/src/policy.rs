@@ -1,0 +1,379 @@
+//! Type-enforcement policy: types, labeling rules, domain transitions and
+//! allow rules, with a small SELinux-flavoured text syntax.
+//!
+//! ```text
+//! type media_t;
+//! type media_exec_t;
+//! type audio_dev_t;
+//! label /usr/bin/media* media_exec_t;
+//! label /dev/car/audio audio_dev_t;
+//! domain_transition unconfined_t media_exec_t media_t;
+//! allow media_t audio_dev_t { read write ioctl };
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sack_apparmor::glob::Glob;
+use sack_apparmor::profile::FilePerms;
+
+/// Index of a type within its policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub usize);
+
+/// The built-in subject type for unconfined tasks; allowed everything.
+pub const UNCONFINED: &str = "unconfined_t";
+
+/// The built-in object type for paths matched by no labeling rule.
+pub const UNLABELED: &str = "unlabeled_t";
+
+/// Parse error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTeError {
+    /// 1-based line.
+    pub line: usize,
+    message: String,
+}
+
+impl ParseTeError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseTeError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseTeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTeError {}
+
+/// A compiled TE policy.
+pub struct TePolicy {
+    types: Vec<String>,
+    index: HashMap<String, TypeId>,
+    labeling: Vec<(Glob, TypeId)>,
+    transitions: Vec<(TypeId, TypeId, TypeId)>,
+    allows: HashMap<(TypeId, TypeId), FilePerms>,
+}
+
+impl TePolicy {
+    /// Parses policy text.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseTeError`] for unknown statements, undeclared types, or
+    /// malformed rules.
+    pub fn parse(text: &str) -> Result<TePolicy, ParseTeError> {
+        let mut policy = TePolicy {
+            types: Vec::new(),
+            index: HashMap::new(),
+            labeling: Vec::new(),
+            transitions: Vec::new(),
+            allows: HashMap::new(),
+        };
+        policy.declare(UNCONFINED);
+        policy.declare(UNLABELED);
+
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            // Statements are `;`-terminated; several may share a line.
+            for statement in line.split(';') {
+                let line = statement.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let mut words = line.split_whitespace();
+                match words.next() {
+                    Some("type") => {
+                        let name = words
+                            .next()
+                            .ok_or_else(|| ParseTeError::new(lineno, "missing type name"))?;
+                        if policy.index.contains_key(name) {
+                            return Err(ParseTeError::new(
+                                lineno,
+                                format!("duplicate type `{name}`"),
+                            ));
+                        }
+                        policy.declare(name);
+                    }
+                    Some("label") => {
+                        let pattern = words
+                            .next()
+                            .ok_or_else(|| ParseTeError::new(lineno, "missing label pattern"))?;
+                        let ty = words
+                            .next()
+                            .ok_or_else(|| ParseTeError::new(lineno, "missing label type"))?;
+                        let ty = policy.lookup(ty, lineno)?;
+                        let glob = Glob::compile(pattern)
+                            .map_err(|e| ParseTeError::new(lineno, e.to_string()))?;
+                        policy.labeling.push((glob, ty));
+                    }
+                    Some("domain_transition") => {
+                        let from = words
+                            .next()
+                            .ok_or_else(|| ParseTeError::new(lineno, "missing source domain"))?;
+                        let entry = words
+                            .next()
+                            .ok_or_else(|| ParseTeError::new(lineno, "missing entrypoint type"))?;
+                        let to = words
+                            .next()
+                            .ok_or_else(|| ParseTeError::new(lineno, "missing target domain"))?;
+                        let from = policy.lookup(from, lineno)?;
+                        let entry = policy.lookup(entry, lineno)?;
+                        let to = policy.lookup(to, lineno)?;
+                        policy.transitions.push((from, entry, to));
+                    }
+                    Some("allow") => {
+                        let subj = words
+                            .next()
+                            .ok_or_else(|| ParseTeError::new(lineno, "missing subject type"))?;
+                        let obj = words
+                            .next()
+                            .ok_or_else(|| ParseTeError::new(lineno, "missing object type"))?;
+                        let subj = policy.lookup(subj, lineno)?;
+                        let obj = policy.lookup(obj, lineno)?;
+                        let rest: String = words.collect::<Vec<_>>().join(" ");
+                        let perms =
+                            parse_av_perms(&rest).map_err(|m| ParseTeError::new(lineno, m))?;
+                        let entry = policy
+                            .allows
+                            .entry((subj, obj))
+                            .or_insert(FilePerms::empty());
+                        *entry = entry.union(perms);
+                    }
+                    Some(other) => {
+                        return Err(ParseTeError::new(
+                            lineno,
+                            format!("unknown statement `{other}`"),
+                        ))
+                    }
+                    None => {}
+                }
+            }
+        }
+        Ok(policy)
+    }
+
+    fn declare(&mut self, name: &str) -> TypeId {
+        let id = TypeId(self.types.len());
+        self.types.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    fn lookup(&self, name: &str, line: usize) -> Result<TypeId, ParseTeError> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseTeError::new(line, format!("undeclared type `{name}`")))
+    }
+
+    /// The id of a declared type, if any.
+    pub fn type_id(&self, name: &str) -> Option<TypeId> {
+        self.index.get(name).copied()
+    }
+
+    /// Name of a type.
+    ///
+    /// # Panics
+    ///
+    /// Panics for ids from another policy.
+    pub fn type_name(&self, id: TypeId) -> &str {
+        &self.types[id.0]
+    }
+
+    /// The unconfined subject type.
+    pub fn unconfined(&self) -> TypeId {
+        self.index[UNCONFINED]
+    }
+
+    /// Labels a path: first matching labeling rule wins, else `unlabeled_t`.
+    pub fn label_of(&self, path: &str) -> TypeId {
+        self.labeling
+            .iter()
+            .find(|(glob, _)| glob.matches(path))
+            .map(|(_, ty)| *ty)
+            .unwrap_or(self.index[UNLABELED])
+    }
+
+    /// The domain a task in `from` enters when exec'ing `exe`: SELinux
+    /// semantics — the transition is keyed on the executable's *label*
+    /// (its entrypoint type), not on the path directly.
+    pub fn transition_for(&self, from: TypeId, exe: &str) -> Option<TypeId> {
+        let entry = self.label_of(exe);
+        self.transitions
+            .iter()
+            .find(|(f, e, _)| *f == from && *e == entry)
+            .map(|(_, _, to)| *to)
+    }
+
+    /// Access decision: unconfined subjects pass; everything else needs an
+    /// allow rule covering the requested permissions.
+    pub fn permits(&self, subject: TypeId, object: TypeId, requested: FilePerms) -> bool {
+        if subject == self.unconfined() {
+            return true;
+        }
+        self.allows
+            .get(&(subject, object))
+            .is_some_and(|granted| granted.contains(requested))
+    }
+
+    /// Number of declared types (including the two built-ins).
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of allow rules.
+    pub fn allow_count(&self) -> usize {
+        self.allows.len()
+    }
+}
+
+impl fmt::Debug for TePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TePolicy")
+            .field("types", &self.types.len())
+            .field("labels", &self.labeling.len())
+            .field("allows", &self.allows.len())
+            .finish()
+    }
+}
+
+/// Parses `{ read write ioctl }` (or a single bare word) into permissions.
+fn parse_av_perms(text: &str) -> Result<FilePerms, String> {
+    let inner = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .unwrap_or(text)
+        .trim();
+    if inner.is_empty() {
+        return Err("empty permission set".to_string());
+    }
+    let mut perms = FilePerms::empty();
+    for word in inner.split_whitespace() {
+        perms = perms.union(match word {
+            "read" => FilePerms::READ,
+            "write" => FilePerms::WRITE,
+            "append" => FilePerms::APPEND,
+            "execute" => FilePerms::EXEC,
+            "map" => FilePerms::MMAP,
+            "ioctl" => FilePerms::IOCTL,
+            other => return Err(format!("unknown permission `{other}`")),
+        });
+    }
+    Ok(perms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLICY: &str = r#"
+        # media player confinement
+        type media_t;
+        type media_exec_t;
+        type audio_dev_t;
+        type door_dev_t;
+        label /usr/bin/media* media_exec_t;
+        label /dev/car/audio audio_dev_t;
+        label /dev/car/door* door_dev_t;
+        domain_transition unconfined_t media_exec_t media_t;
+        allow media_t audio_dev_t { read write ioctl };
+        allow media_t door_dev_t { read };
+    "#;
+
+    #[test]
+    fn parses_and_decides() {
+        let p = TePolicy::parse(POLICY).unwrap();
+        assert_eq!(p.type_count(), 6); // 4 declared + 2 built-ins
+        assert_eq!(p.allow_count(), 2);
+        let media = p.type_id("media_t").unwrap();
+        let audio = p.label_of("/dev/car/audio");
+        let door = p.label_of("/dev/car/door0");
+        assert_eq!(p.type_name(audio), "audio_dev_t");
+        assert!(p.permits(media, audio, FilePerms::WRITE | FilePerms::IOCTL));
+        assert!(p.permits(media, door, FilePerms::READ));
+        assert!(!p.permits(media, door, FilePerms::WRITE));
+        // No rule for unlabeled objects.
+        let unlabeled = p.label_of("/etc/passwd");
+        assert_eq!(p.type_name(unlabeled), UNLABELED);
+        assert!(!p.permits(media, unlabeled, FilePerms::READ));
+        // Unconfined passes everything.
+        assert!(p.permits(p.unconfined(), door, FilePerms::all()));
+    }
+
+    #[test]
+    fn domain_transition_lookup() {
+        let p = TePolicy::parse(POLICY).unwrap();
+        let media = p.type_id("media_t").unwrap();
+        assert_eq!(
+            p.transition_for(p.unconfined(), "/usr/bin/media_app"),
+            Some(media)
+        );
+        assert_eq!(p.transition_for(p.unconfined(), "/usr/bin/other"), None);
+        assert_eq!(p.transition_for(media, "/usr/bin/media_app"), None);
+    }
+
+    #[test]
+    fn first_label_match_wins() {
+        let p = TePolicy::parse("type a_t; type b_t; label /dev/** a_t; label /dev/car/** b_t;")
+            .unwrap();
+        assert_eq!(p.type_name(p.label_of("/dev/car/door0")), "a_t");
+    }
+
+    #[test]
+    fn allow_rules_accumulate() {
+        let p =
+            TePolicy::parse("type s_t; type o_t; allow s_t o_t { read }; allow s_t o_t { write };")
+                .unwrap();
+        let s = p.type_id("s_t").unwrap();
+        let o = p.type_id("o_t").unwrap();
+        assert!(p.permits(s, o, FilePerms::READ | FilePerms::WRITE));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(TePolicy::parse("type unconfined_t;")
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
+        assert!(TePolicy::parse("label /x ghost_t;")
+            .unwrap_err()
+            .to_string()
+            .contains("undeclared"));
+        assert!(TePolicy::parse("allow a b { read };")
+            .unwrap_err()
+            .to_string()
+            .contains("undeclared"));
+        assert!(
+            TePolicy::parse("type a_t; type b_t; allow a_t b_t { fly };")
+                .unwrap_err()
+                .to_string()
+                .contains("unknown permission")
+        );
+        assert!(TePolicy::parse("frobnicate;")
+            .unwrap_err()
+            .to_string()
+            .contains("unknown statement"));
+        let err = TePolicy::parse("type ok_t;\nlabel /x[ ok_t;").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn single_bare_permission_accepted() {
+        let p = TePolicy::parse("type s_t; type o_t; allow s_t o_t read;").unwrap();
+        let s = p.type_id("s_t").unwrap();
+        let o = p.type_id("o_t").unwrap();
+        assert!(p.permits(s, o, FilePerms::READ));
+    }
+}

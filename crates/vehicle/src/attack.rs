@@ -1,0 +1,279 @@
+//! Attack simulations.
+//!
+//! [`koffee_injection`] reproduces the KOFFEE-class attack (CVE-2020-8539)
+//! the paper uses for motivation and evaluation: a compromised IVI process
+//! injects vehicle-control commands by invoking the kernel interface
+//! (ioctl/write on car devices) **directly**, never passing through the
+//! user-space permission framework. On a DAC-only or framework-only system
+//! the injection succeeds; with SACK stacked in the kernel it is denied
+//! unless the current situation state grants the permission.
+//!
+//! [`volume_max_attack`] reproduces CVE-2023-6073: forcing the cabin
+//! volume to maximum, dangerous while driving.
+
+use std::fmt;
+
+use sack_kernel::error::Errno;
+use sack_kernel::file::OpenFlags;
+use sack_kernel::uctx::UserContext;
+
+use crate::devices::{audio_ioctl, door_ioctl, window_ioctl};
+
+/// One injected command and its outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackAttempt {
+    /// What was attempted.
+    pub description: String,
+    /// Target device node.
+    pub target: String,
+    /// `None` if the injection succeeded, otherwise the errno that stopped
+    /// it and the subsystem that raised it.
+    pub blocked_by: Option<(Errno, Option<&'static str>)>,
+}
+
+impl AttackAttempt {
+    /// True if the kernel let the command through.
+    pub fn succeeded(&self) -> bool {
+        self.blocked_by.is_none()
+    }
+}
+
+impl fmt::Display for AttackAttempt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.blocked_by {
+            None => write!(f, "{} on {}: SUCCEEDED", self.description, self.target),
+            Some((errno, ctx)) => write!(
+                f,
+                "{} on {}: blocked ({errno}{})",
+                self.description,
+                self.target,
+                ctx.map(|c| format!(" by {c}")).unwrap_or_default()
+            ),
+        }
+    }
+}
+
+/// Report of an attack campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttackReport {
+    /// Every injected command, in order.
+    pub attempts: Vec<AttackAttempt>,
+}
+
+impl AttackReport {
+    /// Number of commands that reached the hardware.
+    pub fn successes(&self) -> usize {
+        self.attempts.iter().filter(|a| a.succeeded()).count()
+    }
+
+    /// Number of commands stopped in the kernel.
+    pub fn blocked(&self) -> usize {
+        self.attempts.len() - self.successes()
+    }
+
+    /// True if every command was stopped.
+    pub fn fully_contained(&self) -> bool {
+        self.successes() == 0
+    }
+}
+
+impl fmt::Display for AttackReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "attack report: {}/{} injected commands reached the hardware",
+            self.successes(),
+            self.attempts.len()
+        )?;
+        for a in &self.attempts {
+            writeln!(f, "  {a}")?;
+        }
+        Ok(())
+    }
+}
+
+fn inject_ioctl(
+    proc: &UserContext,
+    report: &mut AttackReport,
+    description: &str,
+    target: &str,
+    cmd: u32,
+    arg: u64,
+) {
+    let outcome = proc
+        .open(target, OpenFlags::read_write())
+        .and_then(|fd| {
+            let r = proc.ioctl(fd, cmd, arg);
+            proc.close(fd)?;
+            r
+        })
+        .map(|_| ())
+        .err()
+        .map(|e| (e.errno(), e.context()));
+    report.attempts.push(AttackAttempt {
+        description: description.to_string(),
+        target: target.to_string(),
+        blocked_by: outcome,
+    });
+}
+
+fn inject_write(
+    proc: &UserContext,
+    report: &mut AttackReport,
+    description: &str,
+    target: &str,
+    payload: &[u8],
+) {
+    let outcome = proc
+        .open(target, OpenFlags::write_only())
+        .and_then(|fd| {
+            let r = proc.write(fd, payload);
+            proc.close(fd)?;
+            r
+        })
+        .map(|_| ())
+        .err()
+        .map(|e| (e.errno(), e.context()));
+    report.attempts.push(AttackAttempt {
+        description: description.to_string(),
+        target: target.to_string(),
+        blocked_by: outcome,
+    });
+}
+
+/// The KOFFEE-class command-injection campaign, run from a compromised
+/// process: unlock every door, open every window, max the volume — all by
+/// direct kernel-interface calls that skip the IVI permission framework.
+pub fn koffee_injection(proc: &UserContext, doors: usize, windows: usize) -> AttackReport {
+    let mut report = AttackReport::default();
+    for i in 0..doors {
+        inject_ioctl(
+            proc,
+            &mut report,
+            "inject DOOR_UNLOCK ioctl",
+            &format!("/dev/car/door{i}"),
+            door_ioctl::UNLOCK,
+            0,
+        );
+        inject_write(
+            proc,
+            &mut report,
+            "inject `unlock` write",
+            &format!("/dev/car/door{i}"),
+            b"unlock",
+        );
+    }
+    for i in 0..windows {
+        inject_ioctl(
+            proc,
+            &mut report,
+            "inject WINDOW open ioctl",
+            &format!("/dev/car/window{i}"),
+            window_ioctl::SET_POSITION,
+            100,
+        );
+    }
+    inject_ioctl(
+        proc,
+        &mut report,
+        "inject SET_VOLUME(100) ioctl",
+        "/dev/car/audio",
+        audio_ioctl::SET_VOLUME,
+        100,
+    );
+    report
+}
+
+/// The original KOFFEE vector: injecting raw CAN frames through the bus
+/// device instead of the per-actuator nodes. One `write(2)` on `/dev/can0`
+/// carries unlock-all-doors, open-all-windows and volume-max frames.
+pub fn koffee_can_injection(proc: &UserContext, doors: usize, windows: usize) -> AttackReport {
+    use crate::can::{frame_id, CanFrame};
+    let mut wire = Vec::new();
+    for i in 0..doors.min(255) {
+        wire.extend_from_slice(&CanFrame::new(frame_id::DOOR_CONTROL, &[1, i as u8]).to_wire());
+    }
+    for i in 0..windows.min(255) {
+        wire.extend_from_slice(&CanFrame::new(frame_id::WINDOW_CONTROL, &[100, i as u8]).to_wire());
+    }
+    wire.extend_from_slice(&CanFrame::new(frame_id::AUDIO_VOLUME, &[100]).to_wire());
+
+    let mut report = AttackReport::default();
+    inject_write(
+        proc,
+        &mut report,
+        &format!(
+            "inject {} CAN frames",
+            wire.len() / crate::can::FRAME_WIRE_SIZE
+        ),
+        "/dev/can0",
+        &wire,
+    );
+    report
+}
+
+/// CVE-2023-6073 style: only the volume-to-max injection.
+pub fn volume_max_attack(proc: &UserContext) -> AttackReport {
+    let mut report = AttackReport::default();
+    inject_ioctl(
+        proc,
+        &mut report,
+        "inject SET_VOLUME(100) ioctl",
+        "/dev/car/audio",
+        audio_ioctl::SET_VOLUME,
+        100,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::car::CarHardware;
+    use sack_kernel::cred::Credentials;
+    use sack_kernel::kernel::Kernel;
+
+    #[test]
+    fn injection_succeeds_without_mac() {
+        // DAC-only kernel: the user-space framework is the only check, and
+        // the attacker skips it — every command reaches the hardware.
+        let kernel = Kernel::boot_default();
+        let hw = CarHardware::install(&kernel, 2, 1).unwrap();
+        let compromised = kernel.spawn(Credentials::user(1001, 1001));
+        let report = koffee_injection(&compromised, 2, 1);
+        assert_eq!(report.blocked(), 0);
+        assert!(!report.fully_contained());
+        assert!(!hw.all_doors_locked());
+        assert_eq!(hw.windows()[0].position(), 100);
+        assert_eq!(hw.audio().volume(), 100);
+    }
+
+    #[test]
+    fn report_formatting() {
+        let kernel = Kernel::boot_default();
+        CarHardware::install(&kernel, 1, 0).unwrap();
+        let p = kernel.spawn(Credentials::user(1, 1));
+        let report = volume_max_attack(&p);
+        let text = report.to_string();
+        assert!(text.contains("1/1"));
+        assert!(text.contains("SUCCEEDED"));
+    }
+
+    #[test]
+    fn attempt_success_classification() {
+        let ok = AttackAttempt {
+            description: "x".into(),
+            target: "/dev/car/door0".into(),
+            blocked_by: None,
+        };
+        assert!(ok.succeeded());
+        let blocked = AttackAttempt {
+            description: "x".into(),
+            target: "/dev/car/door0".into(),
+            blocked_by: Some((Errno::EACCES, Some("sack"))),
+        };
+        assert!(!blocked.succeeded());
+        assert!(blocked.to_string().contains("blocked"));
+        assert!(blocked.to_string().contains("sack"));
+    }
+}

@@ -1,0 +1,347 @@
+//! A CAN-bus model with a char-device interface (`/dev/can0`).
+//!
+//! The original KOFFEE exploit injects *CAN frames* from the compromised
+//! IVI into the vehicle bus (the micom daemon forwards them). This module
+//! closes that loop in the simulation: car ECUs subscribe to frame IDs on
+//! a [`CanBus`], and the bus is exposed to user space as a device node so
+//! frame injection is an ordinary `write(2)` — mediated, like everything
+//! else, by the LSM stack.
+//!
+//! Frame wire format on the device: 16 bytes —
+//! `id:u32 LE | len:u8 | pad:3 | data:[u8;8]`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use sack_kernel::device::CharDevice;
+use sack_kernel::error::{Errno, KernelError, KernelResult};
+
+/// Standard CAN frame IDs used by the simulated vehicle.
+pub mod frame_id {
+    /// Door control (data\[0\]: 0 = lock, 1 = unlock; data\[1\]: door index).
+    pub const DOOR_CONTROL: u32 = 0x2B0;
+    /// Window control (data\[0\]: percent; data\[1\]: window index).
+    pub const WINDOW_CONTROL: u32 = 0x2B1;
+    /// Cabin audio volume (data\[0\]: volume).
+    pub const AUDIO_VOLUME: u32 = 0x2C0;
+    /// Vehicle speed broadcast (data\[0..2\]: km/h ×10, LE).
+    pub const SPEED_BROADCAST: u32 = 0x0D0;
+}
+
+/// One CAN 2.0A frame (8-byte payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanFrame {
+    /// Arbitration ID.
+    pub id: u32,
+    /// Payload length (0..=8).
+    pub len: u8,
+    /// Payload (only `len` bytes meaningful).
+    pub data: [u8; 8],
+}
+
+/// Size of one frame in the device wire format.
+pub const FRAME_WIRE_SIZE: usize = 16;
+
+impl CanFrame {
+    /// Builds a frame from a payload slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds 8 bytes.
+    pub fn new(id: u32, payload: &[u8]) -> CanFrame {
+        assert!(payload.len() <= 8, "CAN payload is at most 8 bytes");
+        let mut data = [0u8; 8];
+        data[..payload.len()].copy_from_slice(payload);
+        CanFrame {
+            id,
+            len: payload.len() as u8,
+            data,
+        }
+    }
+
+    /// The meaningful payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.data[..usize::from(self.len.min(8))]
+    }
+
+    /// Encodes to the device wire format.
+    pub fn to_wire(&self) -> [u8; FRAME_WIRE_SIZE] {
+        let mut out = [0u8; FRAME_WIRE_SIZE];
+        out[..4].copy_from_slice(&self.id.to_le_bytes());
+        out[4] = self.len;
+        out[8..16].copy_from_slice(&self.data);
+        out
+    }
+
+    /// Decodes from the device wire format.
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` for short buffers or length > 8.
+    pub fn from_wire(bytes: &[u8]) -> KernelResult<CanFrame> {
+        if bytes.len() < FRAME_WIRE_SIZE {
+            return Err(KernelError::with_context(Errno::EINVAL, "can"));
+        }
+        let id = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let len = bytes[4];
+        if len > 8 {
+            return Err(KernelError::with_context(Errno::EINVAL, "can"));
+        }
+        let mut data = [0u8; 8];
+        data.copy_from_slice(&bytes[8..16]);
+        Ok(CanFrame { id, len, data })
+    }
+}
+
+impl fmt::Display for CanFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "can 0x{:03X} [{}]", self.id, self.len)?;
+        for b in self.payload() {
+            write!(f, " {b:02X}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ECU endpoint: receives the frames whose IDs it subscribed to.
+pub trait CanNode: Send + Sync {
+    /// Node name (diagnostics).
+    fn node_name(&self) -> &str;
+    /// Frame IDs this node listens to.
+    fn subscribed_ids(&self) -> Vec<u32>;
+    /// Frame delivery.
+    fn receive(&self, frame: &CanFrame);
+}
+
+/// The bus: fan-out to subscribed nodes plus a bounded trace log.
+pub struct CanBus {
+    nodes: Mutex<Vec<Arc<dyn CanNode>>>,
+    trace: Mutex<VecDeque<CanFrame>>,
+    trace_capacity: usize,
+}
+
+impl CanBus {
+    /// Creates a bus with a 1024-frame trace buffer.
+    pub fn new() -> Arc<CanBus> {
+        Arc::new(CanBus {
+            nodes: Mutex::new(Vec::new()),
+            trace: Mutex::new(VecDeque::new()),
+            trace_capacity: 1024,
+        })
+    }
+
+    /// Attaches an ECU.
+    pub fn attach(&self, node: Arc<dyn CanNode>) {
+        self.nodes.lock().push(node);
+    }
+
+    /// Broadcasts a frame to every subscribed node and records it in the
+    /// trace.
+    pub fn send(&self, frame: CanFrame) {
+        {
+            let mut trace = self.trace.lock();
+            if trace.len() == self.trace_capacity {
+                trace.pop_front();
+            }
+            trace.push_back(frame);
+        }
+        let nodes: Vec<Arc<dyn CanNode>> = self.nodes.lock().clone();
+        for node in nodes {
+            if node.subscribed_ids().contains(&frame.id) {
+                node.receive(&frame);
+            }
+        }
+    }
+
+    /// Snapshot of the trace, oldest first.
+    pub fn trace(&self) -> Vec<CanFrame> {
+        self.trace.lock().iter().copied().collect()
+    }
+
+    /// Number of attached nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.lock().len()
+    }
+}
+
+impl fmt::Debug for CanBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CanBus")
+            .field("nodes", &self.node_count())
+            .field("traced", &self.trace.lock().len())
+            .finish()
+    }
+}
+
+/// The char-device front-end: `write(2)` of wire-format frames transmits
+/// them on the bus; `read(2)` drains the trace (telematics-style sniffing).
+pub struct CanDevice {
+    bus: Arc<CanBus>,
+    read_cursor: Mutex<usize>,
+}
+
+impl CanDevice {
+    /// Creates the device over a bus.
+    pub fn new(bus: Arc<CanBus>) -> Arc<CanDevice> {
+        Arc::new(CanDevice {
+            bus,
+            read_cursor: Mutex::new(0),
+        })
+    }
+
+    /// The underlying bus.
+    pub fn bus(&self) -> &Arc<CanBus> {
+        &self.bus
+    }
+}
+
+impl fmt::Debug for CanDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CanDevice").field("bus", &self.bus).finish()
+    }
+}
+
+impl CharDevice for CanDevice {
+    fn driver_name(&self) -> &str {
+        "can0"
+    }
+
+    fn write(&self, buf: &[u8], _offset: u64) -> KernelResult<usize> {
+        if buf.is_empty() || !buf.len().is_multiple_of(FRAME_WIRE_SIZE) {
+            return Err(KernelError::with_context(Errno::EINVAL, "can"));
+        }
+        for chunk in buf.chunks_exact(FRAME_WIRE_SIZE) {
+            let frame = CanFrame::from_wire(chunk)?;
+            self.bus.send(frame);
+        }
+        Ok(buf.len())
+    }
+
+    fn read(&self, buf: &mut [u8], _offset: u64) -> KernelResult<usize> {
+        let trace = self.bus.trace();
+        let mut cursor = self.read_cursor.lock();
+        let mut written = 0;
+        while *cursor < trace.len() && written + FRAME_WIRE_SIZE <= buf.len() {
+            buf[written..written + FRAME_WIRE_SIZE].copy_from_slice(&trace[*cursor].to_wire());
+            *cursor += 1;
+            written += FRAME_WIRE_SIZE;
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    struct Recorder {
+        ids: Vec<u32>,
+        count: AtomicU32,
+        last: Mutex<Option<CanFrame>>,
+    }
+
+    impl CanNode for Recorder {
+        fn node_name(&self) -> &str {
+            "recorder"
+        }
+        fn subscribed_ids(&self) -> Vec<u32> {
+            self.ids.clone()
+        }
+        fn receive(&self, frame: &CanFrame) {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            *self.last.lock() = Some(*frame);
+        }
+    }
+
+    fn recorder(ids: &[u32]) -> Arc<Recorder> {
+        Arc::new(Recorder {
+            ids: ids.to_vec(),
+            count: AtomicU32::new(0),
+            last: Mutex::new(None),
+        })
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let frame = CanFrame::new(frame_id::DOOR_CONTROL, &[1, 2]);
+        let decoded = CanFrame::from_wire(&frame.to_wire()).unwrap();
+        assert_eq!(frame, decoded);
+        assert_eq!(decoded.payload(), &[1, 2]);
+    }
+
+    #[test]
+    fn from_wire_rejects_garbage() {
+        assert!(CanFrame::from_wire(&[0u8; 4]).is_err());
+        let mut bad = [0u8; FRAME_WIRE_SIZE];
+        bad[4] = 9; // len > 8
+        assert!(CanFrame::from_wire(&bad).is_err());
+    }
+
+    #[test]
+    fn bus_fans_out_by_subscription() {
+        let bus = CanBus::new();
+        let doors = recorder(&[frame_id::DOOR_CONTROL]);
+        let audio = recorder(&[frame_id::AUDIO_VOLUME]);
+        bus.attach(Arc::clone(&doors) as Arc<dyn CanNode>);
+        bus.attach(Arc::clone(&audio) as Arc<dyn CanNode>);
+        bus.send(CanFrame::new(frame_id::DOOR_CONTROL, &[1, 0]));
+        assert_eq!(doors.count.load(Ordering::Relaxed), 1);
+        assert_eq!(audio.count.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            doors.last.lock().unwrap().payload(),
+            &[1, 0],
+            "payload delivered intact"
+        );
+        assert_eq!(bus.trace().len(), 1);
+    }
+
+    #[test]
+    fn device_write_transmits_frames() {
+        let bus = CanBus::new();
+        let node = recorder(&[frame_id::WINDOW_CONTROL]);
+        bus.attach(Arc::clone(&node) as Arc<dyn CanNode>);
+        let dev = CanDevice::new(Arc::clone(&bus));
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&CanFrame::new(frame_id::WINDOW_CONTROL, &[100, 0]).to_wire());
+        wire.extend_from_slice(&CanFrame::new(frame_id::WINDOW_CONTROL, &[50, 1]).to_wire());
+        assert_eq!(dev.write(&wire, 0).unwrap(), 32);
+        assert_eq!(node.count.load(Ordering::Relaxed), 2);
+        // Partial frames rejected.
+        assert!(dev.write(&wire[..10], 0).is_err());
+    }
+
+    #[test]
+    fn device_read_drains_trace_incrementally() {
+        let bus = CanBus::new();
+        let dev = CanDevice::new(Arc::clone(&bus));
+        bus.send(CanFrame::new(0x100, &[1]));
+        bus.send(CanFrame::new(0x200, &[2]));
+        let mut buf = [0u8; FRAME_WIRE_SIZE];
+        assert_eq!(dev.read(&mut buf, 0).unwrap(), FRAME_WIRE_SIZE);
+        assert_eq!(CanFrame::from_wire(&buf).unwrap().id, 0x100);
+        assert_eq!(dev.read(&mut buf, 0).unwrap(), FRAME_WIRE_SIZE);
+        assert_eq!(CanFrame::from_wire(&buf).unwrap().id, 0x200);
+        assert_eq!(dev.read(&mut buf, 0).unwrap(), 0, "trace drained");
+    }
+
+    #[test]
+    fn trace_is_bounded() {
+        let bus = CanBus::new();
+        for i in 0..2000u32 {
+            bus.send(CanFrame::new(i, &[]));
+        }
+        let trace = bus.trace();
+        assert_eq!(trace.len(), 1024);
+        assert_eq!(trace[0].id, 2000 - 1024, "oldest evicted");
+    }
+
+    #[test]
+    fn display_format() {
+        let frame = CanFrame::new(0x2B0, &[1, 3]);
+        assert_eq!(frame.to_string(), "can 0x2B0 [2] 01 03");
+    }
+}

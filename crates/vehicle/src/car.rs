@@ -1,0 +1,282 @@
+//! Car hardware installation: device nodes under `/dev/car/`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use sack_kernel::error::KernelResult;
+use sack_kernel::kernel::Kernel;
+use sack_kernel::path::KPath;
+use sack_kernel::types::{DeviceId, Mode};
+use sack_kernel::{Gid, Uid};
+
+use crate::can::{frame_id, CanBus, CanDevice, CanFrame, CanNode};
+use crate::devices::{
+    audio_ioctl, door_ioctl, window_ioctl, AudioDevice, DoorDevice, WindowDevice,
+};
+use sack_kernel::device::CharDevice;
+
+/// Char-device major number for car hardware.
+pub const CAR_MAJOR: u32 = 240;
+
+/// Minor number of `/dev/can0` (clear of the door/window/audio range).
+pub const CAN_MINOR: u32 = 100;
+
+/// Handles to the installed car hardware, for state assertions.
+pub struct CarHardware {
+    doors: Vec<Arc<DoorDevice>>,
+    windows: Vec<Arc<WindowDevice>>,
+    audio: Arc<AudioDevice>,
+}
+
+impl CarHardware {
+    /// Creates the car's device nodes on `kernel`:
+    /// `/dev/car/door0..N`, `/dev/car/window0..M`, `/dev/car/audio`.
+    ///
+    /// Nodes are world-accessible (mode `0666`): per the paper's threat
+    /// model the gate on vehicle hardware is MAC (SACK/AppArmor), not DAC.
+    ///
+    /// # Errors
+    ///
+    /// Device registration or VFS errors (e.g. installed twice).
+    pub fn install(
+        kernel: &Arc<Kernel>,
+        doors: usize,
+        windows: usize,
+    ) -> KernelResult<CarHardware> {
+        let vfs = kernel.vfs();
+        vfs.mkdir_all(&KPath::new("/dev/car")?)?;
+        let mut hw = CarHardware {
+            doors: Vec::with_capacity(doors),
+            windows: Vec::with_capacity(windows),
+            audio: AudioDevice::new(),
+        };
+        let mut minor = 0u32;
+        let mut install_node =
+            |name: &str, driver: Arc<dyn sack_kernel::device::CharDevice>| -> KernelResult<()> {
+                let dev = DeviceId::new(CAR_MAJOR, minor);
+                minor += 1;
+                vfs.devices().register(dev, driver)?;
+                vfs.mknod(
+                    &KPath::new(&format!("/dev/car/{name}"))?,
+                    dev,
+                    Mode(0o666),
+                    Uid::ROOT,
+                    Gid(0),
+                )?;
+                Ok(())
+            };
+        for i in 0..doors {
+            let door = DoorDevice::new(format!("door{i}"));
+            install_node(&format!("door{i}"), Arc::clone(&door) as _)?;
+            hw.doors.push(door);
+        }
+        for i in 0..windows {
+            let window = WindowDevice::new(format!("window{i}"));
+            install_node(&format!("window{i}"), Arc::clone(&window) as _)?;
+            hw.windows.push(window);
+        }
+        install_node("audio", Arc::clone(&hw.audio) as _)?;
+        Ok(hw)
+    }
+
+    /// The door actuators.
+    pub fn doors(&self) -> &[Arc<DoorDevice>] {
+        &self.doors
+    }
+
+    /// Additionally installs a CAN bus: body ECUs bridging
+    /// [`frame_id::DOOR_CONTROL`]/[`frame_id::WINDOW_CONTROL`]/
+    /// [`frame_id::AUDIO_VOLUME`] frames to the same actuators, exposed to
+    /// user space as `/dev/can0` (the KOFFEE injection vector).
+    ///
+    /// # Errors
+    ///
+    /// Device registration or VFS errors.
+    pub fn install_can(&self, kernel: &Arc<Kernel>) -> KernelResult<Arc<CanBus>> {
+        let bus = CanBus::new();
+        bus.attach(Arc::new(BodyEcu {
+            doors: self.doors.clone(),
+            windows: self.windows.clone(),
+            audio: Arc::clone(&self.audio),
+        }) as Arc<dyn CanNode>);
+        let dev_id = DeviceId::new(CAR_MAJOR, CAN_MINOR);
+        kernel.vfs().devices().register(
+            dev_id,
+            CanDevice::new(Arc::clone(&bus)) as Arc<dyn CharDevice>,
+        )?;
+        kernel.vfs().mknod(
+            &KPath::new("/dev/can0")?,
+            dev_id,
+            Mode(0o666),
+            Uid::ROOT,
+            Gid(0),
+        )?;
+        Ok(bus)
+    }
+
+    /// The window actuators.
+    pub fn windows(&self) -> &[Arc<WindowDevice>] {
+        &self.windows
+    }
+
+    /// The audio device.
+    pub fn audio(&self) -> &Arc<AudioDevice> {
+        &self.audio
+    }
+
+    /// True if every door is locked.
+    pub fn all_doors_locked(&self) -> bool {
+        self.doors.iter().all(|d| d.is_locked())
+    }
+}
+
+/// The body-control ECU: translates CAN control frames into actuator
+/// operations (what the micom daemon drives in the real KOFFEE testbed).
+struct BodyEcu {
+    doors: Vec<Arc<DoorDevice>>,
+    windows: Vec<Arc<WindowDevice>>,
+    audio: Arc<AudioDevice>,
+}
+
+impl CanNode for BodyEcu {
+    fn node_name(&self) -> &str {
+        "body-ecu"
+    }
+
+    fn subscribed_ids(&self) -> Vec<u32> {
+        vec![
+            frame_id::DOOR_CONTROL,
+            frame_id::WINDOW_CONTROL,
+            frame_id::AUDIO_VOLUME,
+        ]
+    }
+
+    fn receive(&self, frame: &CanFrame) {
+        let payload = frame.payload();
+        match frame.id {
+            frame_id::DOOR_CONTROL => {
+                if let [action, index, ..] = payload {
+                    if let Some(door) = self.doors.get(usize::from(*index)) {
+                        let cmd = if *action == 1 {
+                            door_ioctl::UNLOCK
+                        } else {
+                            door_ioctl::LOCK
+                        };
+                        let _ = door.ioctl(cmd, 0);
+                    }
+                }
+            }
+            frame_id::WINDOW_CONTROL => {
+                if let [percent, index, ..] = payload {
+                    if let Some(window) = self.windows.get(usize::from(*index)) {
+                        let _ = window.ioctl(window_ioctl::SET_POSITION, u64::from(*percent));
+                    }
+                }
+            }
+            frame_id::AUDIO_VOLUME => {
+                if let [volume, ..] = payload {
+                    let _ = self
+                        .audio
+                        .ioctl(audio_ioctl::SET_VOLUME, u64::from(*volume));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Debug for CarHardware {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CarHardware")
+            .field("doors", &self.doors.len())
+            .field("windows", &self.windows.len())
+            .field("volume", &self.audio.volume())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::door_ioctl;
+    use sack_kernel::cred::Credentials;
+    use sack_kernel::file::OpenFlags;
+    use sack_kernel::kernel::Kernel;
+
+    #[test]
+    fn install_creates_nodes_and_wires_drivers() {
+        let kernel = Kernel::boot_default();
+        let hw = CarHardware::install(&kernel, 2, 2).unwrap();
+        let p = kernel.spawn(Credentials::user(1000, 1000));
+        for node in [
+            "/dev/car/door0",
+            "/dev/car/door1",
+            "/dev/car/window0",
+            "/dev/car/audio",
+        ] {
+            assert!(p.stat(node).is_ok(), "{node} missing");
+        }
+        // ioctl through the syscall layer reaches the actuator.
+        let fd = p.open("/dev/car/door1", OpenFlags::read_write()).unwrap();
+        p.ioctl(fd, door_ioctl::UNLOCK, 0).unwrap();
+        assert!(!hw.doors()[1].is_locked());
+        assert!(hw.doors()[0].is_locked());
+        assert!(!hw.all_doors_locked());
+    }
+
+    #[test]
+    fn can_frames_drive_actuators_through_dev_can0() {
+        let kernel = Kernel::boot_default();
+        let hw = CarHardware::install(&kernel, 2, 1).unwrap();
+        hw.install_can(&kernel).unwrap();
+        let p = kernel.spawn(Credentials::user(1000, 1000));
+        let fd = p.open("/dev/can0", OpenFlags::read_write()).unwrap();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(
+            &crate::can::CanFrame::new(frame_id::DOOR_CONTROL, &[1, 1]).to_wire(),
+        );
+        wire.extend_from_slice(
+            &crate::can::CanFrame::new(frame_id::WINDOW_CONTROL, &[80, 0]).to_wire(),
+        );
+        wire.extend_from_slice(&crate::can::CanFrame::new(frame_id::AUDIO_VOLUME, &[90]).to_wire());
+        p.write(fd, &wire).unwrap();
+        assert!(!hw.doors()[1].is_locked());
+        assert!(hw.doors()[0].is_locked());
+        assert_eq!(hw.windows()[0].position(), 80);
+        assert_eq!(hw.audio().volume(), 90);
+        // Sniffing the bus back through read(2).
+        let mut buf = [0u8; crate::can::FRAME_WIRE_SIZE];
+        assert_eq!(p.read(fd, &mut buf).unwrap(), buf.len());
+        assert_eq!(
+            crate::can::CanFrame::from_wire(&buf).unwrap().id,
+            frame_id::DOOR_CONTROL
+        );
+    }
+
+    #[test]
+    fn unknown_frame_ids_are_ignored() {
+        let kernel = Kernel::boot_default();
+        let hw = CarHardware::install(&kernel, 1, 1).unwrap();
+        let bus = hw.install_can(&kernel).unwrap();
+        bus.send(crate::can::CanFrame::new(0x7FF, &[1, 0]));
+        assert!(hw.doors()[0].is_locked());
+        assert_eq!(hw.windows()[0].position(), 0);
+    }
+
+    #[test]
+    fn double_install_fails_cleanly() {
+        let kernel = Kernel::boot_default();
+        CarHardware::install(&kernel, 1, 1).unwrap();
+        assert!(CarHardware::install(&kernel, 1, 1).is_err());
+    }
+
+    #[test]
+    fn write_interface_reaches_door() {
+        let kernel = Kernel::boot_default();
+        let hw = CarHardware::install(&kernel, 1, 0).unwrap();
+        let p = kernel.spawn(Credentials::user(1000, 1000));
+        let fd = p.open("/dev/car/door0", OpenFlags::write_only()).unwrap();
+        p.write(fd, b"unlock").unwrap();
+        assert!(!hw.doors()[0].is_locked());
+    }
+}

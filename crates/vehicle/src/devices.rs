@@ -1,0 +1,274 @@
+//! Car hardware as character devices.
+//!
+//! The paper's case study mediates `ioctl`/`write` on window and door
+//! devices; CVE-2023-6073 concerns the audio volume. These drivers give
+//! those devices real state and real command sets so a granted access has
+//! an observable physical effect (doors unlock, windows open, volume
+//! changes) that tests and examples can assert on.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use sack_kernel::device::CharDevice;
+use sack_kernel::error::{Errno, KernelError, KernelResult};
+
+/// ioctl commands understood by [`DoorDevice`].
+pub mod door_ioctl {
+    /// Lock the door.
+    pub const LOCK: u32 = 0x4400;
+    /// Unlock the door.
+    pub const UNLOCK: u32 = 0x4401;
+    /// Query state: returns 1 if locked.
+    pub const STATUS: u32 = 0x4402;
+}
+
+/// ioctl commands understood by [`WindowDevice`].
+pub mod window_ioctl {
+    /// Set position (arg = percent open, 0-100).
+    pub const SET_POSITION: u32 = 0x5700;
+    /// Query position.
+    pub const GET_POSITION: u32 = 0x5701;
+}
+
+/// ioctl commands understood by [`AudioDevice`].
+pub mod audio_ioctl {
+    /// Set volume (arg = 0-100).
+    pub const SET_VOLUME: u32 = 0x4100;
+    /// Query volume.
+    pub const GET_VOLUME: u32 = 0x4101;
+}
+
+/// A door actuator: locked/unlocked with an action log.
+#[derive(Debug)]
+pub struct DoorDevice {
+    label: String,
+    locked: Mutex<bool>,
+    log: Mutex<Vec<&'static str>>,
+}
+
+impl DoorDevice {
+    /// Creates a locked door.
+    pub fn new(label: impl Into<String>) -> Arc<DoorDevice> {
+        Arc::new(DoorDevice {
+            label: label.into(),
+            locked: Mutex::new(true),
+            log: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// True if the door is locked.
+    pub fn is_locked(&self) -> bool {
+        *self.locked.lock()
+    }
+
+    /// Actions performed on the actuator, in order.
+    pub fn action_log(&self) -> Vec<&'static str> {
+        self.log.lock().clone()
+    }
+}
+
+impl CharDevice for DoorDevice {
+    fn driver_name(&self) -> &str {
+        &self.label
+    }
+
+    fn read(&self, buf: &mut [u8], offset: u64) -> KernelResult<usize> {
+        // Honour the file offset so `read` loops terminate at EOF.
+        let state: &[u8] = if self.is_locked() {
+            b"locked\n"
+        } else {
+            b"unlocked\n"
+        };
+        let off = offset as usize;
+        if off >= state.len() {
+            return Ok(0);
+        }
+        let n = buf.len().min(state.len() - off);
+        buf[..n].copy_from_slice(&state[off..off + n]);
+        Ok(n)
+    }
+
+    fn write(&self, buf: &[u8], _offset: u64) -> KernelResult<usize> {
+        match std::str::from_utf8(buf).map(str::trim) {
+            Ok("lock") => {
+                *self.locked.lock() = true;
+                self.log.lock().push("lock");
+                Ok(buf.len())
+            }
+            Ok("unlock") => {
+                *self.locked.lock() = false;
+                self.log.lock().push("unlock");
+                Ok(buf.len())
+            }
+            _ => Err(KernelError::with_context(Errno::EINVAL, "door")),
+        }
+    }
+
+    fn ioctl(&self, cmd: u32, _arg: u64) -> KernelResult<i64> {
+        match cmd {
+            door_ioctl::LOCK => {
+                *self.locked.lock() = true;
+                self.log.lock().push("lock");
+                Ok(0)
+            }
+            door_ioctl::UNLOCK => {
+                *self.locked.lock() = false;
+                self.log.lock().push("unlock");
+                Ok(0)
+            }
+            door_ioctl::STATUS => Ok(i64::from(self.is_locked())),
+            _ => Err(KernelError::with_context(Errno::ENOTTY, "door")),
+        }
+    }
+}
+
+/// A window actuator: position 0 (closed) to 100 (open).
+#[derive(Debug)]
+pub struct WindowDevice {
+    label: String,
+    position: Mutex<u8>,
+}
+
+impl WindowDevice {
+    /// Creates a closed window.
+    pub fn new(label: impl Into<String>) -> Arc<WindowDevice> {
+        Arc::new(WindowDevice {
+            label: label.into(),
+            position: Mutex::new(0),
+        })
+    }
+
+    /// Percent open.
+    pub fn position(&self) -> u8 {
+        *self.position.lock()
+    }
+}
+
+impl CharDevice for WindowDevice {
+    fn driver_name(&self) -> &str {
+        &self.label
+    }
+
+    fn ioctl(&self, cmd: u32, arg: u64) -> KernelResult<i64> {
+        match cmd {
+            window_ioctl::SET_POSITION => {
+                if arg > 100 {
+                    return Err(KernelError::with_context(Errno::EINVAL, "window"));
+                }
+                *self.position.lock() = arg as u8;
+                Ok(0)
+            }
+            window_ioctl::GET_POSITION => Ok(i64::from(self.position())),
+            _ => Err(KernelError::with_context(Errno::ENOTTY, "window")),
+        }
+    }
+}
+
+/// The cabin audio device (CVE-2023-6073's target): volume 0-100.
+#[derive(Debug)]
+pub struct AudioDevice {
+    volume: Mutex<u8>,
+}
+
+impl AudioDevice {
+    /// Creates the device at a comfortable volume (30).
+    pub fn new() -> Arc<AudioDevice> {
+        Arc::new(AudioDevice {
+            volume: Mutex::new(30),
+        })
+    }
+
+    /// Current volume.
+    pub fn volume(&self) -> u8 {
+        *self.volume.lock()
+    }
+}
+
+impl CharDevice for AudioDevice {
+    fn driver_name(&self) -> &str {
+        "audio"
+    }
+
+    fn ioctl(&self, cmd: u32, arg: u64) -> KernelResult<i64> {
+        match cmd {
+            audio_ioctl::SET_VOLUME => {
+                if arg > 100 {
+                    return Err(KernelError::with_context(Errno::EINVAL, "audio"));
+                }
+                *self.volume.lock() = arg as u8;
+                Ok(0)
+            }
+            audio_ioctl::GET_VOLUME => Ok(i64::from(self.volume())),
+            _ => Err(KernelError::with_context(Errno::ENOTTY, "audio")),
+        }
+    }
+}
+
+impl fmt::Display for DoorDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}",
+            self.label,
+            if self.is_locked() {
+                "locked"
+            } else {
+                "unlocked"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn door_ioctl_cycle() {
+        let door = DoorDevice::new("door0");
+        assert!(door.is_locked());
+        assert_eq!(door.ioctl(door_ioctl::UNLOCK, 0).unwrap(), 0);
+        assert!(!door.is_locked());
+        assert_eq!(door.ioctl(door_ioctl::STATUS, 0).unwrap(), 0);
+        door.ioctl(door_ioctl::LOCK, 0).unwrap();
+        assert_eq!(door.ioctl(door_ioctl::STATUS, 0).unwrap(), 1);
+        assert_eq!(door.action_log(), vec!["unlock", "lock"]);
+    }
+
+    #[test]
+    fn door_write_commands() {
+        let door = DoorDevice::new("door0");
+        door.write(b"unlock\n", 0).unwrap();
+        assert!(!door.is_locked());
+        assert!(door.write(b"explode", 0).is_err());
+        let mut buf = [0u8; 16];
+        let n = door.read(&mut buf, 0).unwrap();
+        assert_eq!(&buf[..n], b"unlocked\n");
+    }
+
+    #[test]
+    fn window_position_bounds() {
+        let w = WindowDevice::new("window0");
+        w.ioctl(window_ioctl::SET_POSITION, 70).unwrap();
+        assert_eq!(w.position(), 70);
+        assert_eq!(w.ioctl(window_ioctl::GET_POSITION, 0).unwrap(), 70);
+        assert_eq!(
+            w.ioctl(window_ioctl::SET_POSITION, 150)
+                .unwrap_err()
+                .errno(),
+            Errno::EINVAL
+        );
+    }
+
+    #[test]
+    fn audio_volume() {
+        let a = AudioDevice::new();
+        assert_eq!(a.volume(), 30);
+        a.ioctl(audio_ioctl::SET_VOLUME, 100).unwrap();
+        assert_eq!(a.volume(), 100);
+        assert!(a.ioctl(audio_ioctl::SET_VOLUME, 101).is_err());
+        assert!(a.ioctl(0xdead, 0).is_err());
+    }
+}

@@ -1,0 +1,387 @@
+//! The in-vehicle infotainment (IVI) emulator.
+//!
+//! Modelled on the KOFFEE testbed the paper uses: applications run under a
+//! *user-space permission framework* that checks an app's manifest before
+//! forwarding hardware requests. That framework is exactly the layer the
+//! paper shows to be bypassable — [`crate::attack`] drives the same
+//! hardware interfaces without consulting it, which only in-kernel
+//! mediation (SACK) stops.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use sack_kernel::cred::Credentials;
+use sack_kernel::error::{KernelError, KernelResult};
+use sack_kernel::file::OpenFlags;
+use sack_kernel::kernel::Kernel;
+use sack_kernel::path::KPath;
+use sack_kernel::types::Mode;
+use sack_kernel::uctx::UserContext;
+use sack_kernel::{Gid, Uid};
+
+use crate::devices::{audio_ioctl, door_ioctl, window_ioctl};
+
+/// User-space permissions an IVI app can hold in its manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IviPermission {
+    /// Lock/unlock doors.
+    ControlCarDoors,
+    /// Open/close windows.
+    ControlWindows,
+    /// Change audio volume.
+    SetVolume,
+    /// Read vehicle state (door status, window position).
+    ReadVehicleState,
+}
+
+impl fmt::Display for IviPermission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IviPermission::ControlCarDoors => "CONTROL_CAR_DOORS",
+            IviPermission::ControlWindows => "CONTROL_WINDOWS",
+            IviPermission::SetVolume => "SET_VOLUME",
+            IviPermission::ReadVehicleState => "READ_VEHICLE_STATE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An application manifest: identity plus granted user-space permissions.
+#[derive(Debug, Clone)]
+pub struct AppManifest {
+    /// Application name.
+    pub name: String,
+    /// Executable path (profiles attach here).
+    pub exe: String,
+    /// Uid the app runs as.
+    pub uid: u32,
+    /// Granted user-space permissions.
+    pub granted: Vec<IviPermission>,
+}
+
+impl AppManifest {
+    /// Creates a manifest with no permissions.
+    pub fn new(name: &str, exe: &str, uid: u32) -> AppManifest {
+        AppManifest {
+            name: name.to_string(),
+            exe: exe.to_string(),
+            uid,
+            granted: Vec::new(),
+        }
+    }
+
+    /// Grants a permission (builder-style).
+    pub fn grant(mut self, perm: IviPermission) -> AppManifest {
+        self.granted.push(perm);
+        self
+    }
+}
+
+/// Error from the user-space permission framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IviError {
+    /// The framework denied the request (manifest lacks the permission).
+    PermissionDenied(IviPermission),
+    /// The kernel denied or failed the hardware operation.
+    Kernel(KernelError),
+}
+
+impl fmt::Display for IviError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IviError::PermissionDenied(p) => {
+                write!(f, "IVI framework: permission {p} not granted")
+            }
+            IviError::Kernel(e) => write!(f, "kernel: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IviError {}
+
+impl From<KernelError> for IviError {
+    fn from(e: KernelError) -> Self {
+        IviError::Kernel(e)
+    }
+}
+
+/// Framework audit record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IviAudit {
+    /// App name.
+    pub app: String,
+    /// Requested operation.
+    pub operation: String,
+    /// Whether the user-space check passed.
+    pub framework_allowed: bool,
+}
+
+/// A running IVI application.
+pub struct IviApp {
+    manifest: AppManifest,
+    proc: UserContext,
+    audit: Arc<Mutex<Vec<IviAudit>>>,
+}
+
+impl IviApp {
+    /// The app's manifest.
+    pub fn manifest(&self) -> &AppManifest {
+        &self.manifest
+    }
+
+    /// The app's process — note that any code in the process (or an
+    /// attacker controlling it) can use this handle *directly*, skipping
+    /// every check below. That is the paper's motivation.
+    pub fn process(&self) -> &UserContext {
+        &self.proc
+    }
+
+    fn framework_check(&self, perm: IviPermission, operation: &str) -> Result<(), IviError> {
+        let allowed = self.manifest.granted.contains(&perm);
+        self.audit.lock().push(IviAudit {
+            app: self.manifest.name.clone(),
+            operation: operation.to_string(),
+            framework_allowed: allowed,
+        });
+        if allowed {
+            Ok(())
+        } else {
+            Err(IviError::PermissionDenied(perm))
+        }
+    }
+
+    fn device_ioctl(&self, node: &str, cmd: u32, arg: u64) -> Result<i64, IviError> {
+        let fd = self.proc.open(node, OpenFlags::read_write())?;
+        let result = self.proc.ioctl(fd, cmd, arg);
+        self.proc.close(fd)?;
+        Ok(result?)
+    }
+
+    /// Unlocks a door through the framework (user-space check first).
+    ///
+    /// # Errors
+    ///
+    /// Framework denial or kernel denial.
+    pub fn unlock_door(&self, index: usize) -> Result<(), IviError> {
+        self.framework_check(IviPermission::ControlCarDoors, "unlock_door")?;
+        self.device_ioctl(&format!("/dev/car/door{index}"), door_ioctl::UNLOCK, 0)?;
+        Ok(())
+    }
+
+    /// Opens a window to `percent` through the framework.
+    ///
+    /// # Errors
+    ///
+    /// Framework denial or kernel denial.
+    pub fn open_window(&self, index: usize, percent: u8) -> Result<(), IviError> {
+        self.framework_check(IviPermission::ControlWindows, "open_window")?;
+        self.device_ioctl(
+            &format!("/dev/car/window{index}"),
+            window_ioctl::SET_POSITION,
+            u64::from(percent),
+        )?;
+        Ok(())
+    }
+
+    /// Sets the cabin volume through the framework.
+    ///
+    /// # Errors
+    ///
+    /// Framework denial or kernel denial.
+    pub fn set_volume(&self, volume: u8) -> Result<(), IviError> {
+        self.framework_check(IviPermission::SetVolume, "set_volume")?;
+        self.device_ioctl("/dev/car/audio", audio_ioctl::SET_VOLUME, u64::from(volume))?;
+        Ok(())
+    }
+
+    /// Reads a door's lock status through the framework.
+    ///
+    /// # Errors
+    ///
+    /// Framework denial or kernel denial.
+    pub fn door_locked(&self, index: usize) -> Result<bool, IviError> {
+        self.framework_check(IviPermission::ReadVehicleState, "door_status")?;
+        let status = self.device_ioctl(&format!("/dev/car/door{index}"), door_ioctl::STATUS, 0)?;
+        Ok(status == 1)
+    }
+}
+
+impl fmt::Debug for IviApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IviApp")
+            .field("name", &self.manifest.name)
+            .field("pid", &self.proc.pid())
+            .finish()
+    }
+}
+
+/// The IVI system: installs apps and holds the shared framework audit log.
+pub struct IviSystem {
+    kernel: Arc<Kernel>,
+    audit: Arc<Mutex<Vec<IviAudit>>>,
+    apps: Vec<String>,
+}
+
+impl IviSystem {
+    /// Creates the IVI system on a booted kernel.
+    pub fn new(kernel: Arc<Kernel>) -> IviSystem {
+        IviSystem {
+            kernel,
+            audit: Arc::new(Mutex::new(Vec::new())),
+            apps: Vec::new(),
+        }
+    }
+
+    /// Installs and launches an app: creates its executable, spawns its
+    /// process, and execs it (triggering any profile attachment).
+    ///
+    /// # Errors
+    ///
+    /// VFS or exec errors.
+    pub fn install_app(&mut self, manifest: AppManifest) -> KernelResult<IviApp> {
+        let exe = KPath::new(&manifest.exe)?;
+        if let Some(parent) = exe.parent() {
+            self.kernel.vfs().mkdir_all(&parent)?;
+        }
+        if !self.kernel.vfs().exists(&exe) {
+            self.kernel
+                .vfs()
+                .create_file(&exe, Mode::EXEC, Uid::ROOT, Gid(0))?;
+        }
+        let proc = self
+            .kernel
+            .spawn(Credentials::user(manifest.uid, manifest.uid));
+        proc.exec(&manifest.exe)?;
+        self.apps.push(manifest.name.clone());
+        Ok(IviApp {
+            manifest,
+            proc,
+            audit: Arc::clone(&self.audit),
+        })
+    }
+
+    /// The framework audit log.
+    pub fn audit_log(&self) -> Vec<IviAudit> {
+        self.audit.lock().clone()
+    }
+
+    /// Names of installed apps.
+    pub fn app_names(&self) -> &[String] {
+        &self.apps
+    }
+
+    /// The kernel the IVI runs on.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+}
+
+impl fmt::Debug for IviSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IviSystem")
+            .field("apps", &self.apps)
+            .finish()
+    }
+}
+
+/// Builds the standard demo app set used by examples and tests:
+/// a media app (volume only), a navi app (read-only), and the privileged
+/// rescue daemon (doors + windows).
+pub fn standard_manifests() -> Vec<AppManifest> {
+    vec![
+        AppManifest::new("media_app", "/usr/bin/media_app", 1001).grant(IviPermission::SetVolume),
+        AppManifest::new("navi_app", "/usr/bin/navi_app", 1002)
+            .grant(IviPermission::ReadVehicleState),
+        AppManifest::new("rescue_daemon", "/usr/bin/rescue_daemon", 900)
+            .grant(IviPermission::ControlCarDoors)
+            .grant(IviPermission::ControlWindows)
+            .grant(IviPermission::ReadVehicleState),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::car::CarHardware;
+
+    fn setup() -> (Arc<Kernel>, CarHardware, IviSystem) {
+        let kernel = Kernel::boot_default();
+        let hw = CarHardware::install(&kernel, 2, 2).unwrap();
+        let ivi = IviSystem::new(Arc::clone(&kernel));
+        (kernel, hw, ivi)
+    }
+
+    #[test]
+    fn framework_grants_manifest_permissions() {
+        let (_kernel, hw, mut ivi) = setup();
+        let rescue = ivi
+            .install_app(
+                AppManifest::new("rescue", "/usr/bin/rescue", 900)
+                    .grant(IviPermission::ControlCarDoors),
+            )
+            .unwrap();
+        rescue.unlock_door(0).unwrap();
+        assert!(!hw.doors()[0].is_locked());
+    }
+
+    #[test]
+    fn framework_denies_missing_permissions() {
+        let (_kernel, hw, mut ivi) = setup();
+        let media = ivi
+            .install_app(
+                AppManifest::new("media", "/usr/bin/media", 1001).grant(IviPermission::SetVolume),
+            )
+            .unwrap();
+        let err = media.unlock_door(0).unwrap_err();
+        assert_eq!(
+            err,
+            IviError::PermissionDenied(IviPermission::ControlCarDoors)
+        );
+        assert!(hw.doors()[0].is_locked(), "denied request has no effect");
+        media.set_volume(55).unwrap();
+        assert_eq!(hw.audio().volume(), 55);
+        // Audit log recorded both decisions.
+        let log = ivi.audit_log();
+        assert_eq!(log.len(), 2);
+        assert!(!log[0].framework_allowed);
+        assert!(log[1].framework_allowed);
+    }
+
+    #[test]
+    fn exec_sets_app_identity() {
+        let (_kernel, _hw, mut ivi) = setup();
+        let app = ivi
+            .install_app(AppManifest::new("navi", "/usr/bin/navi", 1002))
+            .unwrap();
+        assert_eq!(
+            app.process().task().exe().unwrap().as_str(),
+            "/usr/bin/navi"
+        );
+    }
+
+    #[test]
+    fn read_vehicle_state() {
+        let (_kernel, _hw, mut ivi) = setup();
+        let navi = ivi
+            .install_app(
+                AppManifest::new("navi", "/usr/bin/navi", 1002)
+                    .grant(IviPermission::ReadVehicleState),
+            )
+            .unwrap();
+        assert!(navi.door_locked(0).unwrap());
+    }
+
+    #[test]
+    fn standard_manifests_shape() {
+        let manifests = standard_manifests();
+        assert_eq!(manifests.len(), 3);
+        assert!(manifests[2]
+            .granted
+            .contains(&IviPermission::ControlCarDoors));
+        assert!(!manifests[0]
+            .granted
+            .contains(&IviPermission::ControlCarDoors));
+    }
+}

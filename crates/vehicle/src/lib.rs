@@ -1,0 +1,53 @@
+//! # sack-vehicle — the CAV substrate
+//!
+//! Everything vehicle-shaped the paper's evaluation needs, built on the
+//! simulated kernel:
+//!
+//! * car hardware as char devices with real actuator state
+//!   ([`devices`], [`car`]): doors, windows, cabin audio;
+//! * an IVI emulator with the bypassable user-space permission framework
+//!   ([`ivi`]);
+//! * KOFFEE-class command injection and the CVE-2023-6073 volume attack
+//!   ([`attack`]);
+//! * the canonical vehicle policies used across examples, tests and
+//!   benchmarks ([`policies`]).
+//!
+//! ## Example: an attack that skips the user-space framework
+//!
+//! ```
+//! use sack_kernel::{Kernel, Credentials};
+//! use sack_vehicle::car::CarHardware;
+//! use sack_vehicle::attack::koffee_injection;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let kernel = Kernel::boot_default(); // DAC only, no MAC
+//! let hw = CarHardware::install(&kernel, 2, 2)?;
+//! let compromised = kernel.spawn(Credentials::user(1001, 1001));
+//! let report = koffee_injection(&compromised, 2, 2);
+//! // Without in-kernel mediation, every injected command lands.
+//! assert_eq!(report.blocked(), 0);
+//! assert!(!hw.all_doors_locked());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attack;
+pub mod can;
+pub mod car;
+pub mod devices;
+pub mod ivi;
+pub mod policies;
+pub mod telemetry;
+
+pub use attack::{
+    koffee_can_injection, koffee_injection, volume_max_attack, AttackAttempt, AttackReport,
+};
+pub use can::{CanBus, CanDevice, CanFrame, CanNode};
+pub use car::{CarHardware, CAN_MINOR, CAR_MAJOR};
+pub use devices::{AudioDevice, DoorDevice, WindowDevice};
+pub use ivi::{standard_manifests, AppManifest, IviApp, IviError, IviPermission, IviSystem};
+pub use policies::{VEHICLE_APPARMOR_PROFILES, VEHICLE_ENHANCED_POLICY, VEHICLE_SACK_POLICY};
+pub use telemetry::{decode_speed, CanTelemetry, SpeedBroadcaster};

@@ -1,0 +1,154 @@
+//! Canonical vehicle policies — the running example of the paper (Fig. 1
+//! and the §IV-C case study), shared by examples, tests and benchmarks.
+
+/// The Fig. 2 situation state machine plus the Fig. 1 permission mapping:
+/// door/window control only in emergencies, volume-to-max only when not
+/// driving, reads always allowed.
+pub const VEHICLE_SACK_POLICY: &str = r#"
+# SACK vehicle policy (paper Fig. 1 / Fig. 2).
+states {
+    driving = 0;
+    parking_with_driver = 1;
+    parking_without_driver = 2;
+    emergency = 3;
+}
+events {
+    crash;
+    park;
+    start_driving;
+    driver_left;
+    driver_entered;
+    emergency_resolved;
+}
+transitions {
+    driving -crash-> emergency;
+    driving -park-> parking_with_driver;
+    parking_with_driver -start_driving-> driving;
+    parking_with_driver -driver_left-> parking_without_driver;
+    parking_without_driver -driver_entered-> parking_with_driver;
+    parking_with_driver -crash-> emergency;
+    emergency -emergency_resolved-> parking_with_driver;
+}
+initial parking_with_driver;
+permissions {
+    NORMAL;
+    CONTROL_CAR_DOORS;
+    SET_VOLUME_FREE;
+}
+state_per {
+    driving: NORMAL;
+    parking_with_driver: NORMAL, SET_VOLUME_FREE;
+    parking_without_driver: NORMAL;
+    emergency: NORMAL, CONTROL_CAR_DOORS;
+}
+per_rules {
+    # Reads of vehicle state are always fine; volume changes are bounded
+    # by the audio driver, but *any* write to the audio device is treated
+    # as situation-sensitive while driving (CVE-2023-6073).
+    NORMAL:
+        allow subject=* /dev/car/** r;
+        allow subject=* /dev/can0 r;
+    CONTROL_CAR_DOORS:
+        allow subject=/usr/bin/rescue* /dev/car/door* wi;
+        allow subject=/usr/bin/rescue* /dev/car/window* wi;
+        allow subject=/usr/bin/rescue* /dev/can0 wi;
+    SET_VOLUME_FREE: allow subject=* /dev/car/audio wi;
+}
+"#;
+
+/// The same mapping for SACK-enhanced AppArmor: rules target profiles
+/// rather than executables.
+pub const VEHICLE_ENHANCED_POLICY: &str = r#"
+states {
+    driving = 0;
+    parking_with_driver = 1;
+    parking_without_driver = 2;
+    emergency = 3;
+}
+events {
+    crash;
+    park;
+    start_driving;
+    driver_left;
+    driver_entered;
+    emergency_resolved;
+}
+transitions {
+    driving -crash-> emergency;
+    driving -park-> parking_with_driver;
+    parking_with_driver -start_driving-> driving;
+    parking_with_driver -driver_left-> parking_without_driver;
+    parking_without_driver -driver_entered-> parking_with_driver;
+    parking_with_driver -crash-> emergency;
+    emergency -emergency_resolved-> parking_with_driver;
+}
+initial parking_with_driver;
+permissions {
+    CONTROL_CAR_DOORS;
+    SET_VOLUME_FREE;
+}
+state_per {
+    parking_with_driver: SET_VOLUME_FREE;
+    emergency: CONTROL_CAR_DOORS;
+}
+per_rules {
+    CONTROL_CAR_DOORS:
+        allow subject=profile:rescue_daemon /dev/car/door* wi;
+        allow subject=profile:rescue_daemon /dev/car/window* wi;
+    SET_VOLUME_FREE: allow subject=profile:media_app /dev/car/audio wi;
+}
+"#;
+
+/// Baseline AppArmor profiles for the demo apps (without SACK's
+/// situation-sensitive rules — those are injected by the enhancer).
+pub const VEHICLE_APPARMOR_PROFILES: &str = r#"
+profile media_app /usr/bin/media_app {
+    /usr/bin/media_app rx,
+    /usr/lib/** rm,
+    /dev/car/** r,
+    /tmp/** rw,
+}
+profile navi_app /usr/bin/navi_app {
+    /usr/bin/navi_app rx,
+    /usr/lib/** rm,
+    /dev/car/** r,
+    /tmp/** rw,
+}
+profile rescue_daemon /usr/bin/rescue_daemon {
+    /usr/bin/rescue_daemon rx,
+    /usr/lib/** rm,
+    /dev/car/** r,
+    /tmp/** rw,
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use sack_core::SackPolicy;
+
+    #[test]
+    fn vehicle_sack_policy_compiles_cleanly() {
+        let compiled = SackPolicy::parse(super::VEHICLE_SACK_POLICY)
+            .unwrap()
+            .compile()
+            .unwrap();
+        assert_eq!(compiled.space().state_count(), 4);
+        assert_eq!(compiled.space().event_count(), 6);
+        assert!(compiled.warnings().is_empty(), "{:?}", compiled.warnings());
+    }
+
+    #[test]
+    fn enhanced_policy_compiles_cleanly() {
+        let compiled = SackPolicy::parse(super::VEHICLE_ENHANCED_POLICY)
+            .unwrap()
+            .compile()
+            .unwrap();
+        assert!(compiled.warnings().is_empty(), "{:?}", compiled.warnings());
+    }
+
+    #[test]
+    fn apparmor_profiles_parse() {
+        let profiles = sack_apparmor::parse_profiles(super::VEHICLE_APPARMOR_PROFILES).unwrap();
+        assert_eq!(profiles.len(), 3);
+    }
+}

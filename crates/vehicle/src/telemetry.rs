@@ -1,0 +1,221 @@
+//! CAN telemetry: speed broadcasts on the vehicle bus as an SDS sensor
+//! source.
+//!
+//! In a real vehicle the SDS does not get a magic `speed_kmh` float — it
+//! listens to periodic CAN broadcasts from the powertrain ECU. This module
+//! provides both ends: [`SpeedBroadcaster`] encodes speed onto the bus
+//! (`frame_id::SPEED_BROADCAST`, km/h ×10 little-endian in bytes 0..2),
+//! and [`CanTelemetry`] is a bus node that decodes broadcasts back into
+//! [`SensorFrame`]s for [`sack_sds::SdsService`].
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use sack_kernel::kernel::Kernel;
+use sack_sds::sensors::SensorFrame;
+
+use crate::can::{frame_id, CanBus, CanFrame, CanNode};
+
+/// Encodes vehicle speed as a CAN broadcast.
+#[derive(Debug)]
+pub struct SpeedBroadcaster {
+    bus: Arc<CanBus>,
+}
+
+impl SpeedBroadcaster {
+    /// Creates a broadcaster on `bus`.
+    pub fn new(bus: Arc<CanBus>) -> SpeedBroadcaster {
+        SpeedBroadcaster { bus }
+    }
+
+    /// Broadcasts the current speed (km/h; clamped to 0..=6553.5).
+    pub fn broadcast(&self, speed_kmh: f64) {
+        let decikmh = (speed_kmh.clamp(0.0, 6553.5) * 10.0).round() as u16;
+        let bytes = decikmh.to_le_bytes();
+        self.bus.send(CanFrame::new(
+            frame_id::SPEED_BROADCAST,
+            &[bytes[0], bytes[1]],
+        ));
+    }
+}
+
+/// Decodes a speed broadcast payload back to km/h.
+///
+/// Returns `None` for frames that are not speed broadcasts or carry short
+/// payloads.
+pub fn decode_speed(frame: &CanFrame) -> Option<f64> {
+    if frame.id != frame_id::SPEED_BROADCAST {
+        return None;
+    }
+    let payload = frame.payload();
+    if payload.len() < 2 {
+        return None;
+    }
+    Some(f64::from(u16::from_le_bytes([payload[0], payload[1]])) / 10.0)
+}
+
+/// A bus node that turns speed broadcasts into SDS sensor frames,
+/// timestamped with the kernel's simulated clock.
+pub struct CanTelemetry {
+    kernel: Weak<Kernel>,
+    pending: Mutex<VecDeque<SensorFrame>>,
+}
+
+impl CanTelemetry {
+    /// Creates the telemetry node and attaches it to `bus`.
+    pub fn attach(bus: &CanBus, kernel: &Arc<Kernel>) -> Arc<CanTelemetry> {
+        let node = Arc::new(CanTelemetry {
+            kernel: Arc::downgrade(kernel),
+            pending: Mutex::new(VecDeque::new()),
+        });
+        bus.attach(Arc::clone(&node) as Arc<dyn CanNode>);
+        node
+    }
+
+    /// Drains the sensor frames decoded since the last call.
+    pub fn drain(&self) -> Vec<SensorFrame> {
+        self.pending.lock().drain(..).collect()
+    }
+
+    /// Number of queued frames.
+    pub fn pending_count(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+impl CanNode for CanTelemetry {
+    fn node_name(&self) -> &str {
+        "can-telemetry"
+    }
+
+    fn subscribed_ids(&self) -> Vec<u32> {
+        vec![frame_id::SPEED_BROADCAST]
+    }
+
+    fn receive(&self, frame: &CanFrame) {
+        let Some(speed) = decode_speed(frame) else {
+            return;
+        };
+        let now = self
+            .kernel
+            .upgrade()
+            .map(|k| k.clock().now())
+            .unwrap_or_default();
+        self.pending
+            .lock()
+            .push_back(SensorFrame::parked(now).with_speed(speed));
+    }
+}
+
+impl fmt::Debug for CanTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CanTelemetry")
+            .field("pending", &self.pending_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn broadcast_decode_roundtrip() {
+        let bus = CanBus::new();
+        let tx = SpeedBroadcaster::new(Arc::clone(&bus));
+        tx.broadcast(87.3);
+        let frame = bus.trace()[0];
+        assert_eq!(decode_speed(&frame), Some(87.3));
+        // Non-speed frames decode to None.
+        assert_eq!(decode_speed(&CanFrame::new(0x123, &[1, 2])), None);
+        assert_eq!(
+            decode_speed(&CanFrame::new(frame_id::SPEED_BROADCAST, &[1])),
+            None
+        );
+    }
+
+    #[test]
+    fn broadcast_clamps_extremes() {
+        let bus = CanBus::new();
+        let tx = SpeedBroadcaster::new(Arc::clone(&bus));
+        tx.broadcast(-10.0);
+        tx.broadcast(99999.0);
+        let trace = bus.trace();
+        assert_eq!(decode_speed(&trace[0]), Some(0.0));
+        assert_eq!(decode_speed(&trace[1]), Some(6553.5));
+    }
+
+    #[test]
+    fn telemetry_stamps_with_kernel_time() {
+        let kernel = sack_kernel::Kernel::boot_default();
+        let bus = CanBus::new();
+        let telemetry = CanTelemetry::attach(&bus, &kernel);
+        let tx = SpeedBroadcaster::new(Arc::clone(&bus));
+        kernel.clock().set(Duration::from_secs(5));
+        tx.broadcast(42.0);
+        kernel.clock().set(Duration::from_secs(6));
+        tx.broadcast(43.5);
+        let frames = telemetry.drain();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].t, Duration::from_secs(5));
+        assert_eq!(frames[0].speed_kmh, 42.0);
+        assert_eq!(frames[1].t, Duration::from_secs(6));
+        assert!(frames[1].ignition_on, "moving vehicle implies ignition");
+        assert_eq!(telemetry.pending_count(), 0, "drain empties the queue");
+    }
+
+    /// The full loop: ECU broadcast -> bus -> telemetry -> SDS detectors ->
+    /// SACKfs -> situation state.
+    #[test]
+    fn speed_broadcasts_drive_the_situation_state() {
+        use sack_core::Sack;
+        use sack_kernel::kernel::KernelBuilder;
+        use sack_kernel::lsm::SecurityModule;
+        use sack_sds::service::SdsService;
+
+        let policy = r#"
+            states { low = 0; high = 1; }
+            events { high_speed; low_speed; }
+            transitions { low -high_speed-> high; high -low_speed-> low; }
+            initial low;
+            permissions { P; }
+            state_per { low: P; }
+            per_rules { P: allow subject=* /etc/critical r; }
+        "#;
+        let sack = Sack::independent(policy).unwrap();
+        let kernel = KernelBuilder::new()
+            .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+            .boot();
+        sack.attach(&kernel).unwrap();
+
+        let bus = CanBus::new();
+        let telemetry = CanTelemetry::attach(&bus, &kernel);
+        let tx = SpeedBroadcaster::new(Arc::clone(&bus));
+        let mut sds = SdsService::spawn(
+            &kernel,
+            vec![Box::new(sack_sds::detector::SpeedDetector::new(30.0, 60.0))],
+        )
+        .unwrap();
+
+        // Accelerate past the high-speed threshold.
+        for speed in [20.0, 45.0, 70.0, 90.0] {
+            tx.broadcast(speed);
+        }
+        for frame in telemetry.drain() {
+            sds.process_frame(&frame);
+        }
+        assert_eq!(sack.current_state_name(), "high");
+
+        // Slow back down.
+        tx.broadcast(10.0);
+        for frame in telemetry.drain() {
+            sds.process_frame(&frame);
+        }
+        assert_eq!(sack.current_state_name(), "low");
+        sds.shutdown();
+    }
+}

@@ -1,0 +1,73 @@
+//! The raw-CAN variant of the KOFFEE attack: a single `write(2)` on
+//! `/dev/can0` carrying unlock/open/volume frames for the body ECU —
+//! exactly the injection path of CVE-2020-8539, where the compromised IVI
+//! writes frames the micom daemon forwards to the vehicle bus.
+//!
+//! Run with: `cargo run --example can_injection`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use sack_core::Sack;
+use sack_kernel::cred::Credentials;
+use sack_kernel::kernel::{Kernel, KernelBuilder};
+use sack_kernel::lsm::SecurityModule;
+use sack_sds::service::{standard_detectors, SdsService};
+use sack_vehicle::attack::koffee_can_injection;
+use sack_vehicle::car::CarHardware;
+use sack_vehicle::policies::VEHICLE_SACK_POLICY;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // --- Without in-kernel mediation -----------------------------------
+    println!("--- DAC-only kernel ---");
+    let kernel = Kernel::boot_default();
+    let hw = CarHardware::install(&kernel, 2, 2)?;
+    let bus = hw.install_can(&kernel)?;
+    let attacker = kernel.spawn(Credentials::user(1001, 1001));
+    let report = koffee_can_injection(&attacker, 2, 2);
+    print!("{report}");
+    println!("frames on the bus:");
+    for frame in bus.trace() {
+        println!("  {frame}");
+    }
+    println!(
+        "doors locked: {}, window0: {}%, volume: {}",
+        hw.all_doors_locked(),
+        hw.windows()[0].position(),
+        hw.audio().volume()
+    );
+    assert!(!hw.all_doors_locked());
+
+    // --- With SACK -------------------------------------------------------
+    println!("\n--- independent SACK, driving situation ---");
+    let sack = Sack::independent(VEHICLE_SACK_POLICY)?;
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel)?;
+    let hw = CarHardware::install(&kernel, 2, 2)?;
+    let bus = hw.install_can(&kernel)?;
+    let sds = SdsService::spawn(&kernel, standard_detectors())?;
+    sds.send_event("start_driving")?;
+
+    let attacker = kernel.spawn(Credentials::user(1001, 1001));
+    let report = koffee_can_injection(&attacker, 2, 2);
+    print!("{report}");
+    println!(
+        "frames on the bus: {} (doors locked: {})",
+        bus.trace().len(),
+        hw.all_doors_locked()
+    );
+    assert!(report.fully_contained());
+    assert!(bus.trace().is_empty());
+
+    // The audit log tells the operator exactly what was tried, and in
+    // which situation.
+    println!("\nSACK audit log:");
+    for record in sack.audit().records() {
+        println!("  {record}");
+    }
+
+    sds.shutdown();
+    Ok(())
+}

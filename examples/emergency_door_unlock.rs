@@ -1,0 +1,91 @@
+//! The paper's §IV-C case study (Fig. 4): *allow unlock car door only in
+//! emergencies* — end to end, with real device actuators, the IVI
+//! emulator, the SDS consuming a crash trace, and independent SACK in the
+//! kernel.
+//!
+//! Run with: `cargo run --example emergency_door_unlock`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use sack_core::Sack;
+use sack_kernel::kernel::KernelBuilder;
+use sack_kernel::lsm::SecurityModule;
+use sack_sds::service::{standard_detectors, SdsService};
+use sack_sds::traces::highway_crash;
+use sack_vehicle::car::CarHardware;
+use sack_vehicle::ivi::{standard_manifests, IviSystem};
+use sack_vehicle::policies::VEHICLE_SACK_POLICY;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Boot: CONFIG_LSM="SACK", vehicle policy (Fig. 2 state machine).
+    let sack = Sack::independent(VEHICLE_SACK_POLICY)?;
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel)?;
+
+    // Car hardware and the IVI stack.
+    let hw = CarHardware::install(&kernel, 4, 4)?;
+    let mut ivi = IviSystem::new(Arc::clone(&kernel));
+    let mut apps = Vec::new();
+    for manifest in standard_manifests() {
+        apps.push(ivi.install_app(manifest)?);
+    }
+    let rescue = &apps[2]; // rescue_daemon: has CONTROL_CAR_DOORS in user space
+
+    println!("situation: {}", sack.current_state_name());
+    println!("doors locked: {}", hw.all_doors_locked());
+
+    // Even the *privileged* rescue daemon cannot unlock doors in a normal
+    // situation — its user-space permission is not enough, the kernel
+    // denies the ioctl (principle of least privilege).
+    println!("\n[normal] rescue daemon tries to unlock door 0:");
+    match rescue.unlock_door(0) {
+        Ok(()) => println!("  unlocked (unexpected!)"),
+        Err(e) => println!("  denied in the kernel -> {e}"),
+    }
+    assert!(hw.doors()[0].is_locked());
+
+    // The SDS watches the sensor stream; the vehicle drives, then crashes.
+    let mut sds = SdsService::spawn(&kernel, standard_detectors())?;
+    println!("\n[driving] replaying highway trace with a crash at t=10s ...");
+    let report = sds.run_trace(&kernel, &highway_crash(10));
+    println!(
+        "  SDS transmitted events: {:?} (rejected: {:?})",
+        report.events, report.rejected
+    );
+    println!("  situation: {}", sack.current_state_name());
+    assert_eq!(sack.current_state_name(), "emergency");
+
+    // Break-the-glass: the rescue daemon can now open doors and windows so
+    // passengers can evacuate and rescuers can reach the cabin.
+    println!("\n[emergency] rescue daemon unlocks doors and opens windows:");
+    for i in 0..hw.doors().len() {
+        rescue.unlock_door(i)?;
+    }
+    for i in 0..hw.windows().len() {
+        rescue.open_window(i, 100)?;
+    }
+    println!("  all doors unlocked: {}", !hw.all_doors_locked());
+    println!("  window 0 position: {}%", hw.windows()[0].position());
+    assert!(!hw.all_doors_locked());
+
+    // Media app still cannot touch the doors, emergency or not.
+    println!("\n[emergency] media app tries the same:");
+    match apps[0].unlock_door(1) {
+        Ok(()) => println!("  unlocked (unexpected!)"),
+        Err(e) => println!("  denied -> {e}"),
+    }
+
+    // The emergency is resolved; permissions snap back.
+    sds.send_event("emergency_resolved")?;
+    println!("\nsituation: {}", sack.current_state_name());
+    match rescue.unlock_door(0) {
+        Ok(()) => println!("rescue daemon door unlock: allowed (unexpected!)"),
+        Err(e) => println!("rescue daemon door unlock: denied again -> {e}"),
+    }
+
+    sds.shutdown();
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! SACK-enhanced AppArmor (the paper's second prototype): SACK performs no
+//! per-access checks of its own — on every situation transition it patches
+//! the AppArmor profiles, so the per-access cost is exactly AppArmor's.
+//!
+//! Run with: `cargo run --example enhanced_apparmor`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use sack_apparmor::{AppArmor, PolicyDb};
+use sack_core::Sack;
+use sack_kernel::kernel::KernelBuilder;
+use sack_kernel::lsm::SecurityModule;
+use sack_sds::service::{standard_detectors, SdsService};
+use sack_vehicle::car::CarHardware;
+use sack_vehicle::ivi::{standard_manifests, IviSystem};
+use sack_vehicle::policies::{VEHICLE_APPARMOR_PROFILES, VEHICLE_ENHANCED_POLICY};
+
+fn print_profile(apparmor: &AppArmor, name: &str) {
+    let compiled = apparmor.policy().get(name).expect("profile loaded");
+    println!(
+        "  profile {name} ({} rules):",
+        compiled.profile().path_rules.len()
+    );
+    for rule in &compiled.profile().path_rules {
+        let origin = rule
+            .origin
+            .as_deref()
+            .map(|o| format!("   [origin: {o}]"))
+            .unwrap_or_default();
+        println!("    {rule}{origin}");
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Load the stock AppArmor vehicle profiles.
+    let db = Arc::new(PolicyDb::new());
+    db.load_text(VEHICLE_APPARMOR_PROFILES)?;
+    let apparmor = AppArmor::new(db);
+
+    // Build SACK in enhanced mode over that AppArmor instance, then boot
+    // with the stacking order CONFIG_LSM="SACK,AppArmor".
+    let sack = Sack::enhanced_apparmor(VEHICLE_ENHANCED_POLICY, Arc::clone(&apparmor))?;
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .security_module(Arc::clone(&apparmor) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel)?;
+    println!(
+        "LSM stacking order: {:?} (SACK checks first, as in the paper)",
+        kernel.lsm().module_names()
+    );
+
+    let hw = CarHardware::install(&kernel, 2, 2)?;
+    let mut ivi = IviSystem::new(Arc::clone(&kernel));
+    let mut apps = Vec::new();
+    for manifest in standard_manifests() {
+        apps.push(ivi.install_app(manifest)?);
+    }
+    let rescue = &apps[2];
+    println!(
+        "rescue daemon confined under: {:?}",
+        apparmor.current_profile(rescue.process().pid())
+    );
+
+    println!(
+        "\nsituation: {} — rescue_daemon profile:",
+        sack.current_state_name()
+    );
+    print_profile(&apparmor, "rescue_daemon");
+    match rescue.unlock_door(0) {
+        Ok(()) => println!("door unlock: ALLOWED (unexpected!)"),
+        Err(e) => println!("door unlock: denied by AppArmor -> {e}"),
+    }
+
+    // Crash: SACK injects the CONTROL_CAR_DOORS rules into the profile.
+    let sds = SdsService::spawn(&kernel, standard_detectors())?;
+    sds.send_event("crash")?;
+    println!(
+        "\nsituation: {} — rescue_daemon profile after SACK patch:",
+        sack.current_state_name()
+    );
+    print_profile(&apparmor, "rescue_daemon");
+    rescue.unlock_door(0)?;
+    println!(
+        "door unlock: ALLOWED (door0 locked: {})",
+        hw.doors()[0].is_locked()
+    );
+    assert!(!hw.doors()[0].is_locked());
+
+    // Resolve: the injected rules are retracted wholesale by origin tag.
+    sds.send_event("emergency_resolved")?;
+    println!(
+        "\nsituation: {} — profile after retraction:",
+        sack.current_state_name()
+    );
+    print_profile(&apparmor, "rescue_daemon");
+    match rescue.unlock_door(1) {
+        Ok(()) => println!("door unlock: ALLOWED (unexpected!)"),
+        Err(e) => println!("door unlock: denied again -> {e}"),
+    }
+
+    println!(
+        "\nSACK performed {} access checks of its own (enhanced mode is pass-through)",
+        sack.stats()
+            .checks
+            .load(std::sync::atomic::Ordering::Relaxed)
+    );
+
+    sds.shutdown();
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! The KOFFEE-class command-injection attack (CVE-2020-8539), run against
+//! three systems side by side:
+//!
+//! 1. a DAC-only kernel with the user-space permission framework — the
+//!    attack bypasses the framework and every command lands;
+//! 2. AppArmor with the stock vehicle profiles — blocked because profiles
+//!    never grant device writes (but so is the legitimate rescue flow);
+//! 3. independent SACK — blocked in normal situations, while the emergency
+//!    break-the-glass path still works.
+//!
+//! Run with: `cargo run --example koffee_attack`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use sack_apparmor::{AppArmor, PolicyDb};
+use sack_core::Sack;
+use sack_kernel::kernel::{Kernel, KernelBuilder};
+use sack_kernel::lsm::SecurityModule;
+use sack_sds::service::{standard_detectors, SdsService};
+use sack_vehicle::attack::koffee_injection;
+use sack_vehicle::car::CarHardware;
+use sack_vehicle::ivi::{AppManifest, IviPermission, IviSystem};
+use sack_vehicle::policies::{VEHICLE_APPARMOR_PROFILES, VEHICLE_SACK_POLICY};
+
+/// Installs hardware + a compromised media app, runs the injection, and
+/// prints the outcome.
+fn run_attack(label: &str, kernel: Arc<Kernel>) -> Result<usize, Box<dyn Error>> {
+    let hw = CarHardware::install(&kernel, 2, 2)?;
+    let mut ivi = IviSystem::new(Arc::clone(&kernel));
+    // The media app legitimately holds only SET_VOLUME in user space.
+    let media = ivi.install_app(
+        AppManifest::new("media_app", "/usr/bin/media_app", 1001).grant(IviPermission::SetVolume),
+    )?;
+
+    println!("--- {label} ---");
+    // The attacker controls the media app's process and injects commands
+    // directly at the kernel interface, skipping the IVI framework.
+    let report = koffee_injection(media.process(), 2, 2);
+    print!("{report}");
+    println!(
+        "physical state: doors locked={}, window0={}%, volume={}",
+        hw.all_doors_locked(),
+        hw.windows()[0].position(),
+        hw.audio().volume()
+    );
+    println!();
+    Ok(report.successes())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. DAC-only: the framework is the only line of defence, and the
+    //    attack never visits it.
+    let landed = run_attack(
+        "DAC only (user-space framework bypassed)",
+        Kernel::boot_default(),
+    )?;
+    assert!(landed > 0);
+
+    // 2. AppArmor with the stock vehicle profiles.
+    let db = Arc::new(PolicyDb::new());
+    db.load_text(VEHICLE_APPARMOR_PROFILES)?;
+    let apparmor = AppArmor::new(db);
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&apparmor) as Arc<dyn SecurityModule>)
+        .boot();
+    let landed = run_attack("AppArmor (static profiles)", kernel)?;
+    assert_eq!(landed, 0);
+
+    // 3. Independent SACK with the situation-aware vehicle policy. The
+    //    vehicle is *driving* when the attack hits — the highest-risk
+    //    situation, in which the policy grants nothing but reads.
+    let sack = Sack::independent(VEHICLE_SACK_POLICY)?;
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel)?;
+    let sds = SdsService::spawn(&kernel, standard_detectors())?;
+    sds.send_event("start_driving")?;
+    let landed = run_attack(
+        &format!(
+            "independent SACK (situation: {})",
+            sack.current_state_name()
+        ),
+        Arc::clone(&kernel),
+    )?;
+    assert_eq!(landed, 0);
+
+    // ... and unlike the static-profile world, the emergency flow still
+    // works: after a crash the rescue daemon can open the doors.
+    sds.send_event("crash")?;
+    println!(
+        "after a crash the situation is `{}` — the rescue daemon's door \
+         control now succeeds (see emergency_door_unlock example)",
+        sack.current_state_name()
+    );
+    sds.shutdown();
+
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! The offline policy simulator: answer "who can do what, in which
+//! situation?" for a SACK policy without booting anything — the CI-side
+//! counterpart of the in-kernel enforcement.
+//!
+//! Run with: `cargo run --example policy_simulator`
+
+use std::error::Error;
+
+use sack_apparmor::profile::FilePerms;
+use sack_core::simulate::{AccessQuery, PolicySimulator, Step};
+use sack_vehicle::policies::VEHICLE_SACK_POLICY;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let sim = PolicySimulator::new(VEHICLE_SACK_POLICY)?;
+
+    // 1. A scripted what-if timeline.
+    println!("== timeline: crash during a drive ==");
+    let script = vec![
+        Step::Access(AccessQuery::from_exe(
+            "/usr/bin/rescue_daemon",
+            "/dev/car/door0",
+            FilePerms::WRITE | FilePerms::IOCTL,
+        )),
+        Step::Event("start_driving".into()),
+        Step::Access(AccessQuery::from_exe(
+            "/usr/bin/media_app",
+            "/dev/car/audio",
+            FilePerms::WRITE,
+        )),
+        Step::Event("crash".into()),
+        Step::Access(AccessQuery::from_exe(
+            "/usr/bin/rescue_daemon",
+            "/dev/car/door0",
+            FilePerms::WRITE | FilePerms::IOCTL,
+        )),
+        Step::Event("emergency_resolved".into()),
+    ];
+    for result in sim.run(&script) {
+        println!("  {result}");
+    }
+
+    // 2. Exhaustive per-state answers for the sensitive permission.
+    println!("\n== door control across every reachable state ==");
+    let door = AccessQuery::from_exe(
+        "/usr/bin/rescue_daemon",
+        "/dev/car/door0",
+        FilePerms::WRITE | FilePerms::IOCTL,
+    );
+    for (state, allowed) in sim.query_all_reachable_states(&door) {
+        println!("  {state:<24} {}", if allowed { "ALLOW" } else { "DENY" });
+    }
+
+    // 3. The machine itself, for documentation (paper Fig. 2).
+    println!("\n== state machine (Graphviz) ==");
+    let active = sack_core::Sack::independent(VEHICLE_SACK_POLICY)?.active();
+    println!("{}", active.ssm.to_dot());
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Authoring a baseline AppArmor profile for a new IVI application with
+//! complain-mode learning (the `aa-logprof` workflow): run the app's real
+//! behaviour under a `complain` profile, distill the audit log into rules,
+//! apply them, switch to `enforce`.
+//!
+//! Run with: `cargo run --example profile_learning`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use sack_apparmor::logprof;
+use sack_apparmor::{AppArmor, PolicyDb, Profile, ProfileMode};
+use sack_kernel::cred::Credentials;
+use sack_kernel::kernel::KernelBuilder;
+use sack_kernel::lsm::{SecurityModule, SocketFamily};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let db = Arc::new(PolicyDb::new());
+    db.load(Profile::new("climate_app").complain());
+    let apparmor = AppArmor::new(Arc::clone(&db));
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&apparmor) as Arc<dyn SecurityModule>)
+        .boot();
+
+    // A service the app talks to.
+    let svc = kernel.spawn(Credentials::root());
+    let listener = svc.listen(SocketFamily::Unix, "/run/climate.sock")?;
+
+    // Run the app's normal behaviour under complain mode.
+    let app = kernel.spawn(Credentials::user(1200, 1200));
+    apparmor.set_profile(app.pid(), "climate_app")?;
+    println!("phase 1: exercising the app under complain mode ...");
+    app.write_file("/tmp/climate.cache", b"22.5C")?;
+    app.read_to_vec("/tmp/climate.cache")?;
+    let sock = app.connect(SocketFamily::Unix, "/run/climate.sock")?;
+    app.write(sock, b"get-temp")?;
+    let _server_side = svc.accept(&listener)?;
+    app.close(sock)?;
+
+    // Learn from the log.
+    let log = apparmor.take_audit_log();
+    println!("phase 2: {} audit events collected", log.len());
+    let suggestions = logprof::suggest(&log);
+    println!("suggested profile additions:\n{}", suggestions.render());
+    let applied = logprof::apply(&db, &suggestions)?;
+    println!("applied {applied} rules; switching to enforce mode\n");
+    db.patch("climate_app", |p| p.mode = ProfileMode::Enforce)?;
+    apparmor.refresh_confinement();
+
+    // Enforce: learned behaviour passes, novel behaviour is denied.
+    println!("phase 3: enforcing");
+    println!(
+        "  cache read:        {}",
+        verdict(app.read_to_vec("/tmp/climate.cache").map(|_| ()))
+    );
+    println!(
+        "  socket connect:    {}",
+        verdict(
+            app.connect(SocketFamily::Unix, "/run/climate.sock")
+                .map(|_| ())
+        )
+    );
+    println!(
+        "  novel file write:  {}",
+        // DAC would allow /tmp/hijack (mode 1777); only the learned
+        // profile stands in the way.
+        verdict(app.write_file("/tmp/hijack", b"x").map(|_| ()))
+    );
+    println!(
+        "\nfinal profile:\n{}",
+        db.get("climate_app").unwrap().profile()
+    );
+    Ok(())
+}
+
+fn verdict(r: Result<(), sack_kernel::KernelError>) -> String {
+    match r {
+        Ok(()) => "allowed".to_string(),
+        Err(e) => format!("denied ({e})"),
+    }
+}

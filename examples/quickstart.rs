@@ -1,0 +1,92 @@
+//! Quickstart: boot a simulated kernel with independent SACK, watch a
+//! situation event change what a process may do.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use sack_core::Sack;
+use sack_kernel::cred::{Capability, Credentials};
+use sack_kernel::file::OpenFlags;
+use sack_kernel::kernel::KernelBuilder;
+use sack_kernel::lsm::SecurityModule;
+
+const POLICY: &str = r#"
+# Door control is an emergency-only permission.
+states { normal = 0; emergency = 1; }
+events { crash; rescue_done; }
+transitions {
+    normal -crash-> emergency;
+    emergency -rescue_done-> normal;
+}
+initial normal;
+permissions { NORMAL; CONTROL_CAR_DOORS; }
+state_per {
+    normal: NORMAL;
+    emergency: NORMAL, CONTROL_CAR_DOORS;
+}
+per_rules {
+    NORMAL: allow subject=* /dev/car/** r;
+    CONTROL_CAR_DOORS: allow subject=* /dev/car/** wi;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Build the SACK module from policy text and boot a kernel with it
+    //    stacked (CONFIG_LSM="SACK").
+    let sack = Sack::independent(POLICY)?;
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel)?; // registers /sys/kernel/security/SACK/*
+
+    // 2. Create the protected device file.
+    kernel.vfs().mkdir_all(&"/dev/car".parse()?)?;
+    kernel.vfs().create_file(
+        &"/dev/car/door0".parse()?,
+        sack_kernel::Mode(0o666),
+        sack_kernel::Uid::ROOT,
+        sack_kernel::Gid(0),
+    )?;
+
+    // 3. An application process (unprivileged).
+    let app = kernel.spawn(Credentials::user(1000, 1000));
+    // 4. The situation detection service: unprivileged + CAP_MAC_ADMIN.
+    let sds = kernel.spawn(Credentials::user(500, 500).with_capability(Capability::MacAdmin));
+
+    println!("current situation: {}", sack.current_state_name());
+    match app.open("/dev/car/door0", OpenFlags::write_only()) {
+        Ok(_) => println!("  door write: ALLOWED (unexpected!)"),
+        Err(e) => println!("  door write: denied -> {e}"),
+    }
+
+    // 5. A crash is detected; the SDS reports it through SACKfs.
+    let fd = sds.open("/sys/kernel/security/SACK/events", OpenFlags::write_only())?;
+    sds.write(fd, b"crash\n")?;
+    println!(
+        "SDS reported `crash`; situation: {}",
+        sack.current_state_name()
+    );
+
+    match app.open("/dev/car/door0", OpenFlags::write_only()) {
+        Ok(door) => {
+            println!("  door write: ALLOWED — emergency grants CONTROL_CAR_DOORS");
+            app.close(door)?;
+        }
+        Err(e) => println!("  door write: denied -> {e} (unexpected!)"),
+    }
+
+    // 6. Emergency over: the permission is retracted automatically.
+    sds.write(fd, b"rescue_done\n")?;
+    println!(
+        "SDS reported `rescue_done`; situation: {}",
+        sack.current_state_name()
+    );
+    match app.open("/dev/car/door0", OpenFlags::write_only()) {
+        Ok(_) => println!("  door write: ALLOWED (unexpected!)"),
+        Err(e) => println!("  door write: denied again -> {e}"),
+    }
+
+    Ok(())
+}

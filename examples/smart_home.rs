@@ -1,0 +1,147 @@
+//! Generality demo (paper §V: "SACK is a general solution ... applicable
+//! to scenarios such as the smartphone, IoT and medical"): the same
+//! framework, unmodified, enforcing *smart-home* situation policies —
+//! optimistic access control à la Malkin et al. (cited by the paper):
+//! restrictive by default, break-the-glass in emergencies.
+//!
+//! Situations: occupied / empty / fire_emergency.
+//! * The cloud app may stream the indoor camera only while the home is
+//!   empty (privacy while occupied).
+//! * Door unlocking is local-panel-only — except during a fire, when the
+//!   evacuation daemon may unlock everything.
+//!
+//! Run with: `cargo run --example smart_home`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use sack_core::Sack;
+use sack_kernel::cred::{Capability, Credentials};
+use sack_kernel::file::OpenFlags;
+use sack_kernel::kernel::KernelBuilder;
+use sack_kernel::lsm::SecurityModule;
+
+const HOME_POLICY: &str = r#"
+states { occupied = 0; empty = 1; fire_emergency = 2; }
+events { everyone_left; someone_home; smoke_detected; fire_cleared; }
+transitions {
+    occupied -everyone_left-> empty;
+    empty -someone_home-> occupied;
+    occupied -smoke_detected-> fire_emergency;
+    empty -smoke_detected-> fire_emergency;
+    fire_emergency -fire_cleared-> occupied;
+}
+initial occupied;
+permissions {
+    LOCAL_PANEL;
+    CAMERA_STREAM;
+    EVACUATE;
+}
+state_per {
+    occupied: LOCAL_PANEL;
+    empty: LOCAL_PANEL, CAMERA_STREAM;
+    fire_emergency: LOCAL_PANEL, EVACUATE;
+}
+per_rules {
+    LOCAL_PANEL: allow subject=/usr/bin/wall_panel /dev/home/** rwi;
+    CAMERA_STREAM: allow subject=/usr/bin/cloud_agent /dev/home/camera r;
+    EVACUATE: allow subject=/usr/bin/evac_daemon /dev/home/lock* wi;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let sack = Sack::independent(HOME_POLICY)?;
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel)?;
+
+    // Home devices (plain files here; the vehicle crate shows the full
+    // char-device treatment — the policy layer is identical).
+    kernel.vfs().mkdir_all(&"/dev/home".parse()?)?;
+    for node in ["lock_front", "lock_back", "camera", "thermostat"] {
+        kernel.vfs().create_file(
+            &format!("/dev/home/{node}").parse()?,
+            sack_kernel::Mode(0o666),
+            sack_kernel::Uid::ROOT,
+            sack_kernel::Gid(0),
+        )?;
+    }
+
+    let spawn_app = |exe: &str, uid| -> Result<sack_kernel::UserContext, Box<dyn Error>> {
+        kernel.vfs().create_file(
+            &exe.parse()?,
+            sack_kernel::Mode::EXEC,
+            sack_kernel::Uid::ROOT,
+            sack_kernel::Gid(0),
+        )?;
+        let proc = kernel.spawn(Credentials::user(uid, uid));
+        proc.exec(exe)?;
+        Ok(proc)
+    };
+    let panel = spawn_app("/usr/bin/wall_panel", 100)?;
+    let cloud = spawn_app("/usr/bin/cloud_agent", 200)?;
+    let evac = spawn_app("/usr/bin/evac_daemon", 300)?;
+    let sds = kernel.spawn(Credentials::user(500, 500).with_capability(Capability::MacAdmin));
+    let events = sds.open("/sys/kernel/security/SACK/events", OpenFlags::write_only())?;
+
+    let try_access =
+        |who: &sack_kernel::UserContext, what: &str, flags: OpenFlags| -> &'static str {
+            match who.open(what, flags) {
+                Ok(fd) => {
+                    who.close(fd).expect("close");
+                    "ALLOW"
+                }
+                Err(_) => "deny",
+            }
+        };
+    let report = |label: &str| {
+        println!("[{label}] situation: {}", sack.current_state_name());
+        println!(
+            "  wall panel -> front lock (w):   {}",
+            try_access(&panel, "/dev/home/lock_front", OpenFlags::write_only())
+        );
+        println!(
+            "  cloud agent -> camera (r):      {}",
+            try_access(&cloud, "/dev/home/camera", OpenFlags::read_only())
+        );
+        println!(
+            "  evac daemon -> front lock (w):  {}",
+            try_access(&evac, "/dev/home/lock_front", OpenFlags::write_only())
+        );
+    };
+
+    report("family at home");
+    assert_eq!(
+        try_access(&cloud, "/dev/home/camera", OpenFlags::read_only()),
+        "deny"
+    );
+
+    sds.write(events, b"everyone_left\n")?;
+    report("everyone left");
+    assert_eq!(
+        try_access(&cloud, "/dev/home/camera", OpenFlags::read_only()),
+        "ALLOW"
+    );
+    assert_eq!(
+        try_access(&evac, "/dev/home/lock_front", OpenFlags::write_only()),
+        "deny"
+    );
+
+    sds.write(events, b"smoke_detected\n")?;
+    report("smoke detected");
+    assert_eq!(
+        try_access(&evac, "/dev/home/lock_front", OpenFlags::write_only()),
+        "ALLOW"
+    );
+    assert_eq!(
+        try_access(&cloud, "/dev/home/camera", OpenFlags::read_only()),
+        "deny",
+        "privacy holds even during the fire: only evacuation is break-the-glass"
+    );
+
+    sds.write(events, b"fire_cleared\n")?;
+    report("fire cleared");
+    println!("\nsame kernel, same module, same policy language — different domain.");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! CVE-2023-6073 scenario from the paper's introduction: an attacker sets
+//! the cabin volume to maximum. Dangerous while driving (distracts the
+//! driver), harmless while parked — exactly the kind of *situation-
+//! dependent* risk SACK expresses directly in policy.
+//!
+//! Run with: `cargo run --example speed_sensitive_volume`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use sack_core::Sack;
+use sack_kernel::kernel::KernelBuilder;
+use sack_kernel::lsm::SecurityModule;
+use sack_sds::sensors::SensorFrame;
+use sack_sds::service::{standard_detectors, SdsService};
+use sack_vehicle::attack::volume_max_attack;
+use sack_vehicle::car::CarHardware;
+use sack_vehicle::ivi::{AppManifest, IviPermission, IviSystem};
+use sack_vehicle::policies::VEHICLE_SACK_POLICY;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let sack = Sack::independent(VEHICLE_SACK_POLICY)?;
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel)?;
+    let hw = CarHardware::install(&kernel, 2, 2)?;
+
+    let mut ivi = IviSystem::new(Arc::clone(&kernel));
+    let media = ivi.install_app(
+        AppManifest::new("media_app", "/usr/bin/media_app", 1001).grant(IviPermission::SetVolume),
+    )?;
+    let mut sds = SdsService::spawn(&kernel, standard_detectors())?;
+
+    // Parked with the driver: volume changes are permitted
+    // (SET_VOLUME_FREE is granted in parking_with_driver).
+    println!("situation: {}", sack.current_state_name());
+    let report = volume_max_attack(media.process());
+    println!(
+        "volume injection while parked: {} of 1 landed",
+        report.successes()
+    );
+    println!("  cabin volume now: {}", hw.audio().volume());
+    assert_eq!(report.successes(), 1);
+
+    // Restore a sane volume, then start driving.
+    media.set_volume(30)?;
+    let driving = SensorFrame::parked(Duration::from_secs(10)).with_speed(50.0);
+    sds.process_frame(&driving);
+    println!("\nvehicle moving; situation: {}", sack.current_state_name());
+    assert_eq!(sack.current_state_name(), "driving");
+
+    // Same injection while driving: the write/ioctl on /dev/car/audio is
+    // no longer mapped by any active permission — denied in the kernel.
+    let report = volume_max_attack(media.process());
+    println!(
+        "volume injection while driving: {} of 1 landed",
+        report.successes()
+    );
+    print!("{report}");
+    println!("  cabin volume still: {}", hw.audio().volume());
+    assert_eq!(report.successes(), 0);
+    assert_eq!(hw.audio().volume(), 30);
+
+    // Park again: the legitimate volume flow returns.
+    for t in 11..18 {
+        let frame = SensorFrame::parked(Duration::from_secs(t));
+        sds.process_frame(&frame);
+    }
+    println!("\nparked again; situation: {}", sack.current_state_name());
+    media.set_volume(45)?;
+    println!(
+        "media app set volume to {} through the framework",
+        hw.audio().volume()
+    );
+
+    sds.shutdown();
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! # sack-suite — umbrella crate for the SACK reproduction
+//!
+//! Re-exports every workspace crate so examples and integration tests can
+//! reach the full system through one dependency. See `README.md` for the
+//! tour, `DESIGN.md` for the architecture and experiment index, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use sack_apparmor as apparmor;
+pub use sack_core as core;
+pub use sack_kernel as kernel;
+pub use sack_lmbench as lmbench;
+pub use sack_sds as sds;
+pub use sack_te as te;
+pub use sack_vehicle as vehicle;

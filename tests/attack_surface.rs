@@ -1,0 +1,247 @@
+//! Integration test: the security-enhancement claims (paper Q2) — KOFFEE
+//! command injection and the CVE-2023-6073 volume attack under each
+//! defence configuration and situation state.
+
+use std::sync::Arc;
+
+use sack_apparmor::{AppArmor, PolicyDb};
+use sack_core::Sack;
+use sack_kernel::cred::{Capability, Credentials};
+use sack_kernel::device::CharDevice;
+use sack_kernel::kernel::{Kernel, KernelBuilder};
+use sack_kernel::lsm::SecurityModule;
+use sack_sds::service::{standard_detectors, SdsService};
+use sack_vehicle::attack::{koffee_injection, volume_max_attack};
+use sack_vehicle::car::CarHardware;
+use sack_vehicle::ivi::{AppManifest, IviPermission, IviSystem};
+use sack_vehicle::policies::{VEHICLE_APPARMOR_PROFILES, VEHICLE_SACK_POLICY};
+
+fn compromised_app(kernel: &Arc<Kernel>) -> sack_vehicle::ivi::IviApp {
+    let mut ivi = IviSystem::new(Arc::clone(kernel));
+    ivi.install_app(
+        AppManifest::new("media_app", "/usr/bin/media_app", 1001).grant(IviPermission::SetVolume),
+    )
+    .unwrap()
+}
+
+#[test]
+fn injection_fully_succeeds_on_dac_only_kernel() {
+    let kernel = Kernel::boot_default();
+    let hw = CarHardware::install(&kernel, 2, 2).unwrap();
+    let app = compromised_app(&kernel);
+    let report = koffee_injection(app.process(), 2, 2);
+    assert_eq!(report.blocked(), 0, "{report}");
+    assert!(!hw.all_doors_locked());
+}
+
+#[test]
+fn injection_fully_blocked_while_driving_under_sack() {
+    let sack = Sack::independent(VEHICLE_SACK_POLICY).unwrap();
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    let hw = CarHardware::install(&kernel, 2, 2).unwrap();
+    let sds = SdsService::spawn(&kernel, standard_detectors()).unwrap();
+    sds.send_event("start_driving").unwrap();
+
+    let app = compromised_app(&kernel);
+    let report = koffee_injection(app.process(), 2, 2);
+    assert!(report.fully_contained(), "{report}");
+    // Every denial came from SACK specifically.
+    for attempt in &report.attempts {
+        assert_eq!(attempt.blocked_by.as_ref().unwrap().1, Some("sack"));
+    }
+    assert!(hw.all_doors_locked());
+    assert_eq!(hw.audio().volume(), 30);
+    sds.shutdown();
+}
+
+#[test]
+fn can_frame_injection_blocked_by_sack_while_driving() {
+    let sack = Sack::independent(VEHICLE_SACK_POLICY).unwrap();
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    let hw = CarHardware::install(&kernel, 2, 2).unwrap();
+    let bus = hw.install_can(&kernel).unwrap();
+    let sds = SdsService::spawn(&kernel, standard_detectors()).unwrap();
+    sds.send_event("start_driving").unwrap();
+
+    let app = compromised_app(&kernel);
+    let report = sack_vehicle::attack::koffee_can_injection(app.process(), 2, 2);
+    assert!(report.fully_contained(), "{report}");
+    assert!(hw.all_doors_locked());
+    assert!(bus.trace().is_empty(), "no frame reached the bus");
+
+    // Without MAC the same write floods the bus and moves the hardware.
+    let bare = Kernel::boot_default();
+    let hw2 = CarHardware::install(&bare, 2, 2).unwrap();
+    let bus2 = hw2.install_can(&bare).unwrap();
+    let attacker = bare.spawn(Credentials::user(1001, 1001));
+    let report = sack_vehicle::attack::koffee_can_injection(&attacker, 2, 2);
+    assert_eq!(report.blocked(), 0);
+    assert_eq!(bus2.trace().len(), 5);
+    assert!(!hw2.all_doors_locked());
+    assert_eq!(hw2.audio().volume(), 100);
+    sds.shutdown();
+}
+
+#[test]
+fn volume_attack_is_situation_dependent() {
+    let sack = Sack::independent(VEHICLE_SACK_POLICY).unwrap();
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    let hw = CarHardware::install(&kernel, 1, 1).unwrap();
+    let sds = SdsService::spawn(&kernel, standard_detectors()).unwrap();
+    let app = compromised_app(&kernel);
+
+    // Parked with driver: volume writes are mapped -> attack lands.
+    assert_eq!(sack.current_state_name(), "parking_with_driver");
+    assert_eq!(volume_max_attack(app.process()).successes(), 1);
+    assert_eq!(hw.audio().volume(), 100);
+
+    // Reset and drive: the same injection is denied in the kernel.
+    hw.audio()
+        .ioctl(sack_vehicle::devices::audio_ioctl::SET_VOLUME, 30)
+        .unwrap();
+    sds.send_event("start_driving").unwrap();
+    assert_eq!(volume_max_attack(app.process()).successes(), 0);
+    assert_eq!(hw.audio().volume(), 30);
+    sds.shutdown();
+}
+
+#[test]
+fn even_emergency_only_helps_the_rescue_daemon() {
+    // During an emergency the door permission exists, but it is bound to
+    // the rescue executable; the compromised media app still gets nothing.
+    let sack = Sack::independent(VEHICLE_SACK_POLICY).unwrap();
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    let hw = CarHardware::install(&kernel, 2, 2).unwrap();
+    let sds = SdsService::spawn(&kernel, standard_detectors()).unwrap();
+    sds.send_event("crash").unwrap();
+    assert_eq!(sack.current_state_name(), "emergency");
+
+    let app = compromised_app(&kernel);
+    let report = koffee_injection(app.process(), 2, 2);
+    // Doors/windows blocked (wrong subject); volume blocked (permission
+    // not granted in emergency).
+    assert!(report.fully_contained(), "{report}");
+    assert!(hw.all_doors_locked());
+    sds.shutdown();
+}
+
+#[test]
+fn attacker_cannot_forge_situation_events() {
+    // The attack that *would* work: flip the situation to emergency first,
+    // then use the break-the-glass permission. SACKfs requires
+    // CAP_MAC_ADMIN, which the threat model denies to attackers.
+    let sack = Sack::independent(VEHICLE_SACK_POLICY).unwrap();
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    CarHardware::install(&kernel, 1, 1).unwrap();
+    let app = compromised_app(&kernel);
+
+    let fd = app
+        .process()
+        .open(
+            "/sys/kernel/security/SACK/events",
+            sack_kernel::file::OpenFlags::write_only(),
+        )
+        .unwrap();
+    let err = app.process().write(fd, b"crash\n").unwrap_err();
+    assert_eq!(err.errno(), sack_kernel::Errno::EPERM);
+    assert_eq!(sack.current_state_name(), "parking_with_driver");
+}
+
+#[test]
+fn attacker_cannot_rewrite_sack_policy() {
+    let sack = Sack::independent(VEHICLE_SACK_POLICY).unwrap();
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    let permissive = b"states { s = 0; } initial s; permissions { P; } \
+                       state_per { s: P; } \
+                       per_rules { P: allow subject=* /** rw; }";
+
+    // An unprivileged attacker is already stopped by DAC (the node is
+    // 0644, root-owned).
+    let attacker = kernel.spawn(Credentials::user(1001, 1001));
+    let err = attacker
+        .open(
+            "/sys/kernel/security/SACK/policy",
+            sack_kernel::file::OpenFlags::write_only(),
+        )
+        .unwrap_err();
+    assert_eq!(err.errno(), sack_kernel::Errno::EACCES);
+
+    // A uid-0 process *without* CAP_MAC_ADMIN (capabilities dropped) opens
+    // the node but the handler's capability check rejects the write.
+    let depriv = kernel.spawn(Credentials {
+        uid: sack_kernel::Uid::ROOT,
+        gid: sack_kernel::Gid(0),
+        caps: sack_kernel::CapabilitySet::empty(),
+    });
+    let fd = depriv
+        .open(
+            "/sys/kernel/security/SACK/policy",
+            sack_kernel::file::OpenFlags::write_only(),
+        )
+        .unwrap();
+    let err = depriv.write(fd, permissive).unwrap_err();
+    assert_eq!(err.errno(), sack_kernel::Errno::EPERM);
+    // Policy unchanged.
+    assert_eq!(sack.current_state_name(), "parking_with_driver");
+}
+
+#[test]
+fn mac_override_capability_is_honoured_but_gated() {
+    // A process that *does* hold CAP_MAC_OVERRIDE (e.g. a recovery shell)
+    // bypasses SACK — that is Linux MAC semantics — but such a capability
+    // is exactly what the threat model says attackers cannot obtain.
+    let sack = Sack::independent(VEHICLE_SACK_POLICY).unwrap();
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    let hw = CarHardware::install(&kernel, 1, 0).unwrap();
+    let recovery = kernel.spawn(Credentials::user(0, 0).with_capability(Capability::MacOverride));
+    let report = koffee_injection(&recovery, 1, 0);
+    assert_eq!(report.blocked(), 0);
+    assert!(!hw.all_doors_locked());
+}
+
+#[test]
+fn apparmor_alone_blocks_but_cannot_adapt() {
+    // Static profiles stop the attack but also stop the legitimate
+    // emergency flow — the flexibility SACK adds (paper motivation).
+    let db = Arc::new(PolicyDb::new());
+    db.load_text(VEHICLE_APPARMOR_PROFILES).unwrap();
+    let apparmor = AppArmor::new(db);
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&apparmor) as Arc<dyn SecurityModule>)
+        .boot();
+    let hw = CarHardware::install(&kernel, 1, 0).unwrap();
+    let mut ivi = IviSystem::new(Arc::clone(&kernel));
+    let rescue = ivi
+        .install_app(
+            AppManifest::new("rescue_daemon", "/usr/bin/rescue_daemon", 900)
+                .grant(IviPermission::ControlCarDoors),
+        )
+        .unwrap();
+    // Attack blocked...
+    let report = koffee_injection(rescue.process(), 1, 0);
+    assert!(report.fully_contained());
+    // ...but the legitimate rescue flow is blocked too, emergency or not.
+    assert!(rescue.unlock_door(0).is_err());
+    assert!(hw.all_doors_locked());
+}

@@ -1,0 +1,187 @@
+//! Failure injection: a security module that denies pseudo-randomly, to
+//! verify the kernel stays consistent when hooks fail at awkward moments —
+//! no leaked descriptors, no leaked tasks, no half-created files, no
+//! poisoned locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sack_kernel::cred::Credentials;
+use sack_kernel::error::{Errno, KernelError, KernelResult};
+use sack_kernel::file::OpenFlags;
+use sack_kernel::kernel::{Kernel, KernelBuilder};
+use sack_kernel::lsm::{AccessMask, HookCtx, ObjectKind, ObjectRef, SecurityModule};
+use sack_kernel::path::KPath;
+use sack_kernel::types::Pid;
+
+/// Denies every `period`-th mediated call, deterministically.
+struct Chaos {
+    calls: AtomicU64,
+    denials: AtomicU64,
+    period: u64,
+}
+
+impl Chaos {
+    fn new(period: u64) -> Arc<Chaos> {
+        Arc::new(Chaos {
+            calls: AtomicU64::new(0),
+            denials: AtomicU64::new(0),
+            period,
+        })
+    }
+
+    fn gate(&self) -> KernelResult<()> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        if n % self.period == self.period - 1 {
+            self.denials.fetch_add(1, Ordering::Relaxed);
+            Err(KernelError::with_context(Errno::EACCES, "chaos"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl SecurityModule for Chaos {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+    fn file_open(&self, _: &HookCtx, _: &ObjectRef<'_>, _: AccessMask) -> KernelResult<()> {
+        self.gate()
+    }
+    fn file_permission(&self, _: &HookCtx, _: &ObjectRef<'_>, _: AccessMask) -> KernelResult<()> {
+        self.gate()
+    }
+    fn inode_create(&self, _: &HookCtx, _: &KPath, _: &str, _: ObjectKind) -> KernelResult<()> {
+        self.gate()
+    }
+    fn inode_unlink(&self, _: &HookCtx, _: &ObjectRef<'_>) -> KernelResult<()> {
+        self.gate()
+    }
+    fn task_alloc(&self, _: &HookCtx, _: Pid) -> KernelResult<()> {
+        self.gate()
+    }
+}
+
+fn boot(period: u64) -> (Arc<Kernel>, Arc<Chaos>) {
+    let chaos = Chaos::new(period);
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&chaos) as Arc<dyn SecurityModule>)
+        .boot();
+    (kernel, chaos)
+}
+
+#[test]
+fn file_workload_survives_intermittent_denials() {
+    let (kernel, chaos) = boot(7);
+    let p = kernel.spawn(Credentials::root());
+    let mut successes = 0u32;
+    let mut failures = 0u32;
+    for i in 0..500 {
+        let path = format!("/tmp/chaos_{i}");
+        // Any step may fail; cleanup must still leave the world sane.
+        let outcome: KernelResult<()> = (|| {
+            let fd = p.open(&path, OpenFlags::create_new())?;
+            let write_result = p.write(fd, b"data");
+            p.close(fd)?;
+            write_result?;
+            let fd = p.open(&path, OpenFlags::read_only())?;
+            let mut buf = [0u8; 4];
+            let read_result = p.read(fd, &mut buf);
+            p.close(fd)?;
+            read_result?;
+            Ok(())
+        })();
+        match outcome {
+            Ok(()) => successes += 1,
+            Err(e) => {
+                assert_eq!(e.errno(), Errno::EACCES, "only injected denials expected");
+                failures += 1;
+            }
+        }
+        let _ = p.unlink(&path);
+    }
+    assert!(successes > 0, "some iterations must succeed");
+    assert!(
+        failures > 0,
+        "some iterations must fail (period 7 over 7 hooks/iter)"
+    );
+    assert!(chaos.denials.load(Ordering::Relaxed) > 0);
+    // Invariant: no descriptor leaks despite mid-sequence failures.
+    assert_eq!(p.task().fds.lock().open_count(), 0);
+}
+
+#[test]
+fn denied_fork_leaves_no_zombie() {
+    let (kernel, _chaos) = boot(2); // every second call denied
+    let p = kernel.spawn(Credentials::root());
+    let mut spawned = 0;
+    let mut denied = 0;
+    for _ in 0..50 {
+        match p.fork() {
+            Ok(child) => {
+                spawned += 1;
+                child.exit();
+            }
+            Err(e) => {
+                assert_eq!(e.context(), Some("chaos"));
+                denied += 1;
+            }
+        }
+    }
+    assert!(spawned > 0 && denied > 0);
+    assert_eq!(kernel.tasks().live_count(), 1, "only the parent survives");
+}
+
+#[test]
+fn denied_create_does_not_leave_a_file() {
+    // Deny *every* inode_create; opens of existing files still work.
+    struct DenyCreate;
+    impl SecurityModule for DenyCreate {
+        fn name(&self) -> &'static str {
+            "deny-create"
+        }
+        fn inode_create(&self, _: &HookCtx, _: &KPath, _: &str, _: ObjectKind) -> KernelResult<()> {
+            Err(KernelError::with_context(Errno::EACCES, "deny-create"))
+        }
+    }
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::new(DenyCreate) as Arc<dyn SecurityModule>)
+        .boot();
+    let p = kernel.spawn(Credentials::root());
+    let before = kernel.vfs().inode_count();
+    assert!(p.open("/tmp/forbidden", OpenFlags::create_new()).is_err());
+    assert_eq!(kernel.vfs().inode_count(), before, "no inode leaked");
+    assert!(p.stat("/tmp/forbidden").is_err(), "file must not exist");
+    assert!(p.mkdir("/tmp/dir", sack_kernel::Mode::EXEC).is_err());
+    assert!(p.symlink("/tmp/x", "/tmp/link").is_err());
+}
+
+#[test]
+fn concurrent_chaos_does_not_poison_the_kernel() {
+    let (kernel, _chaos) = boot(13);
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let kernel = Arc::clone(&kernel);
+            scope.spawn(move || {
+                let p = kernel.spawn(Credentials::root());
+                for i in 0..200 {
+                    let path = format!("/tmp/t{t}_{i}");
+                    let _ = p.write_file(&path, b"x");
+                    let _ = p.read_to_vec(&path);
+                    let _ = p.unlink(&path);
+                }
+                p.exit();
+            });
+        }
+    });
+    // The kernel is still fully functional afterwards.
+    let p = kernel.spawn(Credentials::root());
+    let mut ok = false;
+    for _ in 0..20 {
+        if p.write_file("/tmp/after", b"fine").is_ok() {
+            ok = true;
+            break;
+        }
+    }
+    assert!(ok, "kernel wedged after concurrent chaos");
+}

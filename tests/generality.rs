@@ -1,0 +1,177 @@
+//! Generality tests (paper §V): the framework is not vehicle-specific.
+//! Two non-automotive deployments — a smart home and a hospital
+//! infusion-pump ward — expressed purely as policies, exercising optimistic
+//! access control (restrictive default, break-the-glass) in each.
+
+use std::sync::Arc;
+
+use sack_apparmor::profile::FilePerms;
+use sack_core::simulate::{AccessQuery, PolicySimulator};
+use sack_core::Sack;
+use sack_kernel::cred::{Capability, Credentials};
+use sack_kernel::file::OpenFlags;
+use sack_kernel::kernel::KernelBuilder;
+use sack_kernel::lsm::SecurityModule;
+
+const HOME_POLICY: &str = r#"
+states { occupied = 0; empty = 1; fire = 2; }
+events { everyone_left; someone_home; smoke; cleared; }
+transitions {
+    occupied -everyone_left-> empty;
+    empty -someone_home-> occupied;
+    occupied -smoke-> fire;
+    empty -smoke-> fire;
+    fire -cleared-> occupied;
+}
+initial occupied;
+permissions { PANEL; CAMERA; EVACUATE; }
+state_per {
+    *: PANEL;
+    empty: CAMERA;
+    fire: EVACUATE;
+}
+per_rules {
+    PANEL: allow subject=/usr/bin/wall_panel /dev/home/** rwi;
+    CAMERA: allow subject=/usr/bin/cloud_agent /dev/home/camera r;
+    EVACUATE: allow subject=/usr/bin/evac_daemon /dev/home/lock* wi;
+}
+"#;
+
+const WARD_POLICY: &str = r#"
+# Hospital ward: infusion pumps accept remote dose changes only while a
+# clinician is present; during a code-blue, the crash-cart tablet gets
+# full pump control (break the glass).
+states { unattended = 0; clinician_present = 1; code_blue = 2; }
+events { badge_in; badge_out; code_blue_called; code_blue_cleared; }
+transitions {
+    unattended -badge_in-> clinician_present;
+    clinician_present -badge_out-> unattended;
+    unattended -code_blue_called-> code_blue;
+    clinician_present -code_blue_called-> code_blue;
+    code_blue -code_blue_cleared-> clinician_present;
+}
+initial unattended;
+permissions { MONITOR; ADJUST_DOSE; CRASH_CART; }
+state_per {
+    *: MONITOR;
+    clinician_present: ADJUST_DOSE;
+    code_blue: ADJUST_DOSE, CRASH_CART;
+}
+per_rules {
+    MONITOR: allow subject=* /dev/ward/pump* r;
+    ADJUST_DOSE: allow subject=/usr/bin/emr_console /dev/ward/pump* wi;
+    CRASH_CART: allow subject=/usr/bin/crash_cart /dev/ward/** rwi;
+}
+"#;
+
+#[test]
+fn home_policy_matrix() {
+    let sim = PolicySimulator::new(HOME_POLICY).unwrap();
+    let camera = AccessQuery::from_exe("/usr/bin/cloud_agent", "/dev/home/camera", FilePerms::READ);
+    for (state, allowed) in sim.query_all_reachable_states(&camera) {
+        assert_eq!(allowed, state == "empty", "camera privacy wrong in {state}");
+    }
+    let evac = AccessQuery::from_exe(
+        "/usr/bin/evac_daemon",
+        "/dev/home/lock_front",
+        FilePerms::WRITE,
+    );
+    for (state, allowed) in sim.query_all_reachable_states(&evac) {
+        assert_eq!(allowed, state == "fire", "evacuation wrong in {state}");
+    }
+    // The panel works everywhere (wildcard grant).
+    let panel = AccessQuery::from_exe(
+        "/usr/bin/wall_panel",
+        "/dev/home/lock_front",
+        FilePerms::WRITE,
+    );
+    assert!(sim
+        .query_all_reachable_states(&panel)
+        .iter()
+        .all(|(_, allowed)| *allowed));
+}
+
+#[test]
+fn ward_code_blue_breaks_the_glass_live() {
+    let sack = Sack::independent(WARD_POLICY).unwrap();
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    kernel
+        .vfs()
+        .mkdir_all(&"/dev/ward".parse().unwrap())
+        .unwrap();
+    for node in ["pump0", "pump1", "defib"] {
+        kernel
+            .vfs()
+            .create_file(
+                &format!("/dev/ward/{node}").parse().unwrap(),
+                sack_kernel::Mode(0o666),
+                sack_kernel::Uid::ROOT,
+                sack_kernel::Gid(0),
+            )
+            .unwrap();
+    }
+    let spawn = |exe: &str, uid| {
+        kernel
+            .vfs()
+            .create_file(
+                &exe.parse().unwrap(),
+                sack_kernel::Mode::EXEC,
+                sack_kernel::Uid::ROOT,
+                sack_kernel::Gid(0),
+            )
+            .unwrap();
+        let p = kernel.spawn(Credentials::user(uid, uid));
+        p.exec(exe).unwrap();
+        p
+    };
+    let emr = spawn("/usr/bin/emr_console", 100);
+    let cart = spawn("/usr/bin/crash_cart", 200);
+    let badge_system =
+        kernel.spawn(Credentials::user(500, 500).with_capability(Capability::MacAdmin));
+    let events = badge_system
+        .open("/sys/kernel/security/SACK/events", OpenFlags::write_only())
+        .unwrap();
+
+    // Unattended: even the EMR console cannot change doses; reads work.
+    assert!(emr
+        .open("/dev/ward/pump0", OpenFlags::write_only())
+        .is_err());
+    assert!(emr.open("/dev/ward/pump0", OpenFlags::read_only()).is_ok());
+
+    // Clinician badges in: dose adjustment allowed, crash cart still not.
+    badge_system.write(events, b"badge_in\n").unwrap();
+    assert!(emr.open("/dev/ward/pump0", OpenFlags::write_only()).is_ok());
+    assert!(cart
+        .open("/dev/ward/defib", OpenFlags::write_only())
+        .is_err());
+
+    // Code blue: the crash cart gets everything, immediately.
+    badge_system.write(events, b"code_blue_called\n").unwrap();
+    assert!(cart
+        .open("/dev/ward/defib", OpenFlags::write_only())
+        .is_ok());
+    assert!(cart
+        .open("/dev/ward/pump1", OpenFlags::write_only())
+        .is_ok());
+
+    // Cleared: back to clinician-present rules.
+    badge_system.write(events, b"code_blue_cleared\n").unwrap();
+    assert!(cart
+        .open("/dev/ward/defib", OpenFlags::write_only())
+        .is_err());
+    assert!(emr.open("/dev/ward/pump0", OpenFlags::write_only()).is_ok());
+}
+
+#[test]
+fn both_policies_are_clean() {
+    for policy in [HOME_POLICY, WARD_POLICY] {
+        let compiled = sack_core::SackPolicy::parse(policy)
+            .unwrap()
+            .compile()
+            .unwrap();
+        assert!(compiled.warnings().is_empty(), "{:?}", compiled.warnings());
+    }
+}

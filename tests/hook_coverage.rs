@@ -1,0 +1,264 @@
+//! Hook-coverage tests: every mediated syscall dispatches exactly the LSM
+//! hooks its Linux counterpart would, exactly once per module. This pins
+//! the substrate's fidelity — overheads measured by the benchmarks are
+//! meaningless if hooks silently double-fire or get skipped.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use sack_kernel::cred::{Capability, Credentials};
+use sack_kernel::error::KernelResult;
+use sack_kernel::file::OpenFlags;
+use sack_kernel::kernel::{Kernel, KernelBuilder};
+use sack_kernel::lsm::{AccessMask, HookCtx, ObjectKind, ObjectRef, SecurityModule, SocketFamily};
+use sack_kernel::path::KPath;
+use sack_kernel::types::Pid;
+
+/// Records every hook invocation.
+#[derive(Default)]
+struct Recorder {
+    counts: Mutex<HashMap<&'static str, u64>>,
+}
+
+impl Recorder {
+    fn bump(&self, hook: &'static str) {
+        *self.counts.lock().entry(hook).or_insert(0) += 1;
+    }
+
+    fn take(&self) -> HashMap<&'static str, u64> {
+        std::mem::take(&mut self.counts.lock())
+    }
+}
+
+impl SecurityModule for Recorder {
+    fn name(&self) -> &'static str {
+        "recorder"
+    }
+    fn file_open(&self, _: &HookCtx, _: &ObjectRef<'_>, _: AccessMask) -> KernelResult<()> {
+        self.bump("file_open");
+        Ok(())
+    }
+    fn file_permission(&self, _: &HookCtx, _: &ObjectRef<'_>, _: AccessMask) -> KernelResult<()> {
+        self.bump("file_permission");
+        Ok(())
+    }
+    fn file_ioctl(&self, _: &HookCtx, _: &ObjectRef<'_>, _: u32) -> KernelResult<()> {
+        self.bump("file_ioctl");
+        Ok(())
+    }
+    fn file_mmap(&self, _: &HookCtx, _: &ObjectRef<'_>, _: AccessMask) -> KernelResult<()> {
+        self.bump("file_mmap");
+        Ok(())
+    }
+    fn inode_create(&self, _: &HookCtx, _: &KPath, _: &str, _: ObjectKind) -> KernelResult<()> {
+        self.bump("inode_create");
+        Ok(())
+    }
+    fn inode_unlink(&self, _: &HookCtx, _: &ObjectRef<'_>) -> KernelResult<()> {
+        self.bump("inode_unlink");
+        Ok(())
+    }
+    fn inode_rename(&self, _: &HookCtx, _: &ObjectRef<'_>, _: &KPath) -> KernelResult<()> {
+        self.bump("inode_rename");
+        Ok(())
+    }
+    fn inode_getattr(&self, _: &HookCtx, _: &ObjectRef<'_>) -> KernelResult<()> {
+        self.bump("inode_getattr");
+        Ok(())
+    }
+    fn bprm_check(&self, _: &HookCtx, _: &KPath) -> KernelResult<()> {
+        self.bump("bprm_check");
+        Ok(())
+    }
+    fn bprm_committed(&self, _: &HookCtx, _: &KPath) {
+        self.bump("bprm_committed");
+    }
+    fn task_alloc(&self, _: &HookCtx, _: Pid) -> KernelResult<()> {
+        self.bump("task_alloc");
+        Ok(())
+    }
+    fn task_free(&self, _: Pid) {
+        self.bump("task_free");
+    }
+    fn capable(&self, _: &HookCtx, _: Capability) -> KernelResult<()> {
+        self.bump("capable");
+        Ok(())
+    }
+    fn socket_create(&self, _: &HookCtx, _: SocketFamily) -> KernelResult<()> {
+        self.bump("socket_create");
+        Ok(())
+    }
+    fn socket_connect(&self, _: &HookCtx, _: SocketFamily, _: &str) -> KernelResult<()> {
+        self.bump("socket_connect");
+        Ok(())
+    }
+}
+
+fn boot() -> (Arc<Kernel>, Arc<Recorder>) {
+    let recorder = Arc::new(Recorder::default());
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&recorder) as Arc<dyn SecurityModule>)
+        .boot();
+    (kernel, recorder)
+}
+
+#[test]
+fn open_existing_fires_file_open_once() {
+    let (kernel, rec) = boot();
+    let p = kernel.spawn(Credentials::root());
+    p.write_file("/tmp/f", b"x").unwrap();
+    rec.take();
+    let fd = p.open("/tmp/f", OpenFlags::read_only()).unwrap();
+    let counts = rec.take();
+    assert_eq!(counts.get("file_open"), Some(&1));
+    assert_eq!(counts.get("inode_create"), None, "no create on plain open");
+    assert_eq!(counts.get("file_permission"), None, "open is not a read");
+    p.close(fd).unwrap();
+    assert!(rec.take().is_empty(), "close dispatches no hooks");
+}
+
+#[test]
+fn creating_open_fires_create_then_open() {
+    let (kernel, rec) = boot();
+    let p = kernel.spawn(Credentials::root());
+    rec.take();
+    p.open("/tmp/new", OpenFlags::create_new()).unwrap();
+    let counts = rec.take();
+    assert_eq!(counts.get("inode_create"), Some(&1));
+    assert_eq!(counts.get("file_open"), Some(&1));
+}
+
+#[test]
+fn each_read_and_write_fires_file_permission() {
+    let (kernel, rec) = boot();
+    let p = kernel.spawn(Credentials::root());
+    p.write_file("/tmp/f", b"abc").unwrap();
+    let fd = p.open("/tmp/f", OpenFlags::read_write()).unwrap();
+    rec.take();
+    let mut buf = [0u8; 1];
+    for _ in 0..3 {
+        p.read(fd, &mut buf).unwrap();
+    }
+    p.write(fd, b"z").unwrap();
+    let counts = rec.take();
+    assert_eq!(counts.get("file_permission"), Some(&4), "3 reads + 1 write");
+}
+
+#[test]
+fn ioctl_mmap_stat_unlink_rename_fire_their_hooks() {
+    let (kernel, rec) = boot();
+    let p = kernel.spawn(Credentials::root());
+    p.write_file("/tmp/f", b"abc").unwrap();
+    let fd = p.open("/tmp/f", OpenFlags::read_only()).unwrap();
+    rec.take();
+
+    let _ = p.ioctl(fd, 1, 2); // ENOTTY on a regular file, but mediated first
+    assert_eq!(rec.take().get("file_ioctl"), Some(&1));
+
+    p.mmap(fd, 0, 3).unwrap();
+    assert_eq!(rec.take().get("file_mmap"), Some(&1));
+
+    p.stat("/tmp/f").unwrap();
+    assert_eq!(rec.take().get("inode_getattr"), Some(&1));
+
+    p.fstat(fd).unwrap();
+    assert_eq!(rec.take().get("inode_getattr"), Some(&1));
+
+    p.rename("/tmp/f", "/tmp/g").unwrap();
+    assert_eq!(rec.take().get("inode_rename"), Some(&1));
+
+    p.unlink("/tmp/g").unwrap();
+    assert_eq!(rec.take().get("inode_unlink"), Some(&1));
+}
+
+#[test]
+fn fork_exec_exit_lifecycle_hooks() {
+    let (kernel, rec) = boot();
+    kernel
+        .vfs()
+        .create_file(
+            &KPath::new("/usr/bin/true").unwrap(),
+            sack_kernel::Mode::EXEC,
+            sack_kernel::Uid::ROOT,
+            sack_kernel::Gid(0),
+        )
+        .unwrap();
+    let p = kernel.spawn(Credentials::root());
+    rec.take();
+
+    let child = p.fork().unwrap();
+    assert_eq!(rec.take().get("task_alloc"), Some(&1));
+
+    child.exec("/usr/bin/true").unwrap();
+    let counts = rec.take();
+    assert_eq!(counts.get("bprm_check"), Some(&1));
+    assert_eq!(counts.get("bprm_committed"), Some(&1));
+
+    child.exit();
+    assert_eq!(rec.take().get("task_free"), Some(&1));
+}
+
+#[test]
+fn socket_lifecycle_hooks() {
+    let (kernel, rec) = boot();
+    let server = kernel.spawn(Credentials::root());
+    let client = kernel.spawn(Credentials::root());
+    rec.take();
+    let listener = server.listen(SocketFamily::Unix, "/run/x").unwrap();
+    assert_eq!(rec.take().get("socket_create"), Some(&1));
+    let cfd = client.connect(SocketFamily::Unix, "/run/x").unwrap();
+    let counts = rec.take();
+    assert_eq!(counts.get("socket_create"), Some(&1));
+    assert_eq!(counts.get("socket_connect"), Some(&1));
+    let sfd = server.accept(&listener).unwrap();
+    // Data transfer is mediated as file_permission on sockets.
+    client.write(cfd, b"x").unwrap();
+    let mut buf = [0u8; 1];
+    server.read(sfd, &mut buf).unwrap();
+    let counts = rec.take();
+    assert_eq!(counts.get("file_permission"), Some(&2));
+}
+
+#[test]
+fn capability_checks_are_mediated() {
+    let (kernel, rec) = boot();
+    let p = kernel.spawn(Credentials::root());
+    rec.take();
+    let task = kernel.tasks().get(p.pid()).unwrap();
+    kernel
+        .capable(&task.hook_ctx(), Capability::MacAdmin)
+        .unwrap();
+    assert_eq!(rec.take().get("capable"), Some(&1));
+}
+
+#[test]
+fn null_syscall_dispatches_nothing() {
+    let (kernel, rec) = boot();
+    let p = kernel.spawn(Credentials::root());
+    rec.take();
+    for _ in 0..100 {
+        p.null_syscall();
+    }
+    assert!(
+        rec.take().is_empty(),
+        "getpid has no LSM hooks, as on Linux"
+    );
+}
+
+#[test]
+fn symlink_resolution_mediates_the_target_path_once() {
+    let (kernel, rec) = boot();
+    let p = kernel.spawn(Credentials::root());
+    p.write_file("/tmp/real", b"x").unwrap();
+    p.symlink("/tmp/real", "/tmp/link").unwrap();
+    rec.take();
+    p.open("/tmp/link", OpenFlags::read_only()).unwrap();
+    let counts = rec.take();
+    assert_eq!(
+        counts.get("file_open"),
+        Some(&1),
+        "one open hook, on the canonical path"
+    );
+}

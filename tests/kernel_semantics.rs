@@ -1,0 +1,357 @@
+//! Integration test: cross-crate kernel semantics — that the simulated
+//! substrate behaves like the Linux facilities SACK's design depends on
+//! (hook ordering, confinement inheritance, securityfs protection,
+//! DAC-before-MAC, fd sharing across fork).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use sack_apparmor::{AppArmor, PolicyDb};
+use sack_core::Sack;
+use sack_kernel::cred::{Capability, Credentials};
+use sack_kernel::file::OpenFlags;
+use sack_kernel::kernel::KernelBuilder;
+use sack_kernel::lsm::SecurityModule;
+use sack_kernel::path::KPath;
+use sack_kernel::types::Mode;
+
+const GATE_POLICY: &str = r#"
+states { closed = 0; open = 1; }
+events { open_up; close_down; }
+transitions { closed -open_up-> open; open -close_down-> closed; }
+initial closed;
+permissions { GATE; }
+state_per { open: GATE; }
+per_rules { GATE: allow subject=* /gated/** rw; }
+"#;
+
+#[test]
+fn dac_denies_before_mac_is_consulted() {
+    let sack = Sack::independent(GATE_POLICY).unwrap();
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    kernel
+        .vfs()
+        .mkdir_all(&KPath::new("/gated").unwrap())
+        .unwrap();
+    // 0600 root-owned file inside the gated tree.
+    kernel
+        .vfs()
+        .create_file(
+            &KPath::new("/gated/private").unwrap(),
+            Mode(0o600),
+            sack_kernel::Uid::ROOT,
+            sack_kernel::Gid(0),
+        )
+        .unwrap();
+    let user = kernel.spawn(Credentials::user(1000, 1000));
+    let before = sack.stats().checks.load(Ordering::Relaxed);
+    let err = user
+        .open("/gated/private", OpenFlags::read_only())
+        .unwrap_err();
+    // DAC answered; SACK's check counter did not move.
+    assert_eq!(err.context(), Some("dac"));
+    assert_eq!(sack.stats().checks.load(Ordering::Relaxed), before);
+}
+
+#[test]
+fn open_time_allow_does_not_survive_situation_change_for_new_opens() {
+    // A descriptor opened during the "open" state keeps working at the
+    // file_permission level only if the state still allows it — SACK
+    // checks *every* read/write, so closing the gate cuts off even
+    // already-open descriptors (stronger than open-time-only checking).
+    let sack = Sack::independent(GATE_POLICY).unwrap();
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    kernel
+        .vfs()
+        .mkdir_all(&KPath::new("/gated").unwrap())
+        .unwrap();
+    kernel
+        .vfs()
+        .create_file(
+            &KPath::new("/gated/data").unwrap(),
+            Mode(0o666),
+            sack_kernel::Uid::ROOT,
+            sack_kernel::Gid(0),
+        )
+        .unwrap();
+    let user = kernel.spawn(Credentials::user(1000, 1000));
+    sack.deliver_event("open_up", std::time::Duration::ZERO)
+        .unwrap();
+    let fd = user.open("/gated/data", OpenFlags::read_write()).unwrap();
+    assert!(user.write(fd, b"while-open").is_ok());
+
+    sack.deliver_event("close_down", std::time::Duration::ZERO)
+        .unwrap();
+    let err = user.write(fd, b"after-close").unwrap_err();
+    assert_eq!(err.context(), Some("sack"));
+    // Reopening is denied too, of course.
+    assert!(user.open("/gated/data", OpenFlags::read_only()).is_err());
+}
+
+#[test]
+fn confinement_inherits_across_fork_chains() {
+    let db = Arc::new(PolicyDb::new());
+    db.load_text("profile app /usr/bin/app { /usr/bin/** rxm, /tmp/** rw, }")
+        .unwrap();
+    let apparmor = AppArmor::new(db);
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&apparmor) as Arc<dyn SecurityModule>)
+        .boot();
+    kernel
+        .vfs()
+        .create_file(
+            &KPath::new("/usr/bin/app").unwrap(),
+            Mode::EXEC,
+            sack_kernel::Uid::ROOT,
+            sack_kernel::Gid(0),
+        )
+        .unwrap();
+    let p = kernel.spawn(Credentials::user(1000, 1000));
+    p.exec("/usr/bin/app").unwrap();
+    let c1 = p.fork().unwrap();
+    let c2 = c1.fork().unwrap();
+    let c3 = c2.fork().unwrap();
+    for (i, proc) in [&c1, &c2, &c3].into_iter().enumerate() {
+        assert_eq!(
+            apparmor.current_profile(proc.pid()).as_deref(),
+            Some("app"),
+            "generation {i}"
+        );
+        assert!(
+            proc.write_file("/etc/nope", b"x").is_err(),
+            "generation {i}"
+        );
+    }
+    // Exit cleans up confinement bookkeeping.
+    let pid3 = c3.pid();
+    c3.exit();
+    assert_eq!(apparmor.current_profile(pid3), None);
+    assert_eq!(apparmor.confined_count(), 3); // p, c1, c2
+}
+
+#[test]
+fn shared_descriptor_offset_after_fork() {
+    // POSIX: a forked child shares the open file description, including
+    // the offset — security modules must not be confused by that.
+    let kernel = sack_kernel::Kernel::boot_default();
+    let p = kernel.spawn(Credentials::root());
+    p.write_file("/tmp/shared", b"abcdef").unwrap();
+    let fd = p.open("/tmp/shared", OpenFlags::read_only()).unwrap();
+    let mut buf = [0u8; 2];
+    p.read(fd, &mut buf).unwrap();
+    assert_eq!(&buf, b"ab");
+    let child = p.fork().unwrap();
+    child.read(fd, &mut buf).unwrap();
+    assert_eq!(&buf, b"cd", "child continues at the shared offset");
+    p.read(fd, &mut buf).unwrap();
+    assert_eq!(&buf, b"ef", "parent sees the child's progress");
+    child.exit();
+}
+
+#[test]
+fn securityfs_nodes_visible_via_normal_vfs() {
+    // securityfs "looks from user space like part of sysfs" — directory
+    // listing and stat must work through ordinary syscalls.
+    let sack = Sack::independent(GATE_POLICY).unwrap();
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    let p = kernel.spawn(Credentials::root());
+    let entries = kernel
+        .vfs()
+        .read_dir(&KPath::new("/sys/kernel/security/SACK").unwrap())
+        .unwrap();
+    assert_eq!(entries, vec!["audit", "events", "policy", "state", "stats"]);
+    let meta = p.stat("/sys/kernel/security/SACK/state").unwrap();
+    assert_eq!(meta.kind, sack_kernel::ObjectKind::SecurityFs);
+}
+
+#[test]
+fn sds_capability_is_the_minimal_grant() {
+    // CAP_MAC_ADMIN alone is enough for event transmission, and nothing
+    // about it grants access to protected objects.
+    let sack = Sack::independent(GATE_POLICY).unwrap();
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    kernel
+        .vfs()
+        .mkdir_all(&KPath::new("/gated").unwrap())
+        .unwrap();
+    kernel
+        .vfs()
+        .create_file(
+            &KPath::new("/gated/data").unwrap(),
+            Mode(0o666),
+            sack_kernel::Uid::ROOT,
+            sack_kernel::Gid(0),
+        )
+        .unwrap();
+    let sds = kernel.spawn(Credentials::user(500, 500).with_capability(Capability::MacAdmin));
+    let fd = sds
+        .open("/sys/kernel/security/SACK/events", OpenFlags::write_only())
+        .unwrap();
+    sds.write(fd, b"open_up\n").unwrap(); // allowed: has CAP_MAC_ADMIN
+    sds.write(fd, b"close_down\n").unwrap();
+    // But the gate being closed applies to the SDS too.
+    assert!(sds.open("/gated/data", OpenFlags::read_only()).is_err());
+}
+
+#[test]
+fn symlink_alias_cannot_bypass_path_based_mac() {
+    // The classic path-based-MAC attack: create /tmp/benign -> protected
+    // object, access the alias. Resolution canonicalizes before the hooks,
+    // so SACK mediates the real path.
+    let sack = Sack::independent(GATE_POLICY).unwrap();
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    kernel
+        .vfs()
+        .mkdir_all(&KPath::new("/gated").unwrap())
+        .unwrap();
+    kernel
+        .vfs()
+        .create_file(
+            &KPath::new("/gated/data").unwrap(),
+            Mode(0o666),
+            sack_kernel::Uid::ROOT,
+            sack_kernel::Gid(0),
+        )
+        .unwrap();
+    let attacker = kernel.spawn(Credentials::user(1000, 1000));
+    attacker.symlink("/gated/data", "/tmp/benign").unwrap();
+    let err = attacker
+        .open("/tmp/benign", OpenFlags::read_only())
+        .unwrap_err();
+    assert_eq!(err.context(), Some("sack"), "alias must hit the real rule");
+    // The same alias works once the gate opens — it is mediated as the
+    // target, in both directions.
+    sack.deliver_event("open_up", std::time::Duration::ZERO)
+        .unwrap();
+    assert!(attacker.open("/tmp/benign", OpenFlags::read_only()).is_ok());
+    // And the SACK audit log names the canonical object.
+    let log = sack.audit().records();
+    assert_eq!(log[0].path, "/gated/data");
+}
+
+#[test]
+fn symlink_alias_cannot_bypass_apparmor_profiles() {
+    let db = Arc::new(PolicyDb::new());
+    db.load_text("profile app { /tmp/** rw, }").unwrap();
+    let apparmor = AppArmor::new(db);
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&apparmor) as Arc<dyn SecurityModule>)
+        .boot();
+    let root = kernel.spawn(Credentials::root());
+    root.write_file("/etc/secret.conf", b"s").unwrap();
+    // The confined app plants a link inside its writable area...
+    let app = kernel.spawn(Credentials::root());
+    apparmor.set_profile(app.pid(), "app").unwrap();
+    app.symlink("/etc/secret.conf", "/tmp/alias").unwrap();
+    // ...but opening it is mediated as /etc/secret.conf and denied.
+    let err = app.open("/tmp/alias", OpenFlags::read_only()).unwrap_err();
+    assert_eq!(err.context(), Some("apparmor"));
+}
+
+#[test]
+fn rename_cannot_smuggle_objects_out_of_protection() {
+    // A rename is a write to both names: moving a protected file to an
+    // unprotected path (to dodge SACK) must itself be denied.
+    let sack = Sack::independent(GATE_POLICY).unwrap();
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    kernel
+        .vfs()
+        .mkdir_all(&KPath::new("/gated").unwrap())
+        .unwrap();
+    kernel
+        .vfs()
+        .create_file(
+            &KPath::new("/gated/data").unwrap(),
+            Mode(0o666),
+            sack_kernel::Uid::ROOT,
+            sack_kernel::Gid(0),
+        )
+        .unwrap();
+    let user = kernel.spawn(Credentials::user(0, 0));
+    let mut cred = sack_kernel::Credentials::user(0, 0);
+    cred.caps.insert(Capability::DacOverride);
+    user.task().set_cred(cred);
+    // Gate closed: the rename out of the protected tree is denied by SACK.
+    let err = user.rename("/gated/data", "/tmp/loot").unwrap_err();
+    assert_eq!(err.context(), Some("sack"));
+    // Gate open: allowed (the state grants rw on /gated/**)... but only the
+    // source is protected; the new path is unprotected, so it passes.
+    sack.deliver_event("open_up", std::time::Duration::ZERO)
+        .unwrap();
+    user.rename("/gated/data", "/tmp/loot").unwrap();
+    assert!(user.stat("/tmp/loot").is_ok());
+}
+
+#[test]
+fn apparmor_rename_needs_write_on_both_ends() {
+    let db = Arc::new(PolicyDb::new());
+    db.load_text("profile app { /tmp/** rw, /srv/inbox/* r, }")
+        .unwrap();
+    let apparmor = AppArmor::new(db);
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&apparmor) as Arc<dyn SecurityModule>)
+        .boot();
+    kernel
+        .vfs()
+        .mkdir_all(&KPath::new("/srv/inbox").unwrap())
+        .unwrap();
+    let root = kernel.spawn(Credentials::root());
+    root.write_file("/tmp/mine", b"x").unwrap();
+    root.write_file("/srv/inbox/readonly", b"y").unwrap();
+    apparmor.set_profile(root.pid(), "app").unwrap();
+    // Within /tmp: both ends writable -> allowed.
+    root.rename("/tmp/mine", "/tmp/mine2").unwrap();
+    // Source readable but not writable -> denied by AppArmor.
+    let err = root
+        .rename("/srv/inbox/readonly", "/tmp/stolen")
+        .unwrap_err();
+    assert_eq!(err.context(), Some("apparmor"));
+    // Destination outside the profile -> denied too.
+    let err = root.rename("/tmp/mine2", "/srv/inbox/out").unwrap_err();
+    assert_eq!(err.context(), Some("apparmor"));
+}
+
+#[test]
+fn exec_denied_by_module_leaves_old_image() {
+    let db = Arc::new(PolicyDb::new());
+    db.load_text("profile app /usr/bin/app { /usr/bin/app rx, /tmp/** rw, }")
+        .unwrap();
+    let apparmor = AppArmor::new(db);
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&apparmor) as Arc<dyn SecurityModule>)
+        .boot();
+    for exe in ["/usr/bin/app", "/usr/bin/other"] {
+        kernel
+            .vfs()
+            .create_file(
+                &KPath::new(exe).unwrap(),
+                Mode::EXEC,
+                sack_kernel::Uid::ROOT,
+                sack_kernel::Gid(0),
+            )
+            .unwrap();
+    }
+    let p = kernel.spawn(Credentials::user(1000, 1000));
+    p.exec("/usr/bin/app").unwrap();
+    // The profile does not grant x on /usr/bin/other.
+    assert!(p.exec("/usr/bin/other").is_err());
+    assert_eq!(p.task().exe().unwrap().as_str(), "/usr/bin/app");
+}

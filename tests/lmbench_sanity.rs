@@ -1,0 +1,103 @@
+//! Sanity checks on the benchmark harness itself: the quick-scale suite
+//! must produce complete, plausible results in every configuration, and
+//! the overhead bookkeeping must be self-consistent. (Precise numbers are
+//! the criterion benches' job; these tests guard the harness.)
+
+use sack_lmbench::suite::{run_suite, LmbenchResult, Op, Scale};
+use sack_lmbench::testbed::{LsmConfig, TestBed, TestBedOptions};
+
+fn quick(config: LsmConfig) -> LmbenchResult {
+    let bed = TestBed::boot(&TestBedOptions::new(config));
+    run_suite(&bed, Scale::quick())
+}
+
+/// Best-of-two quick runs: the sanity bounds must hold even when the test
+/// binary's other tests run in parallel and steal CPU.
+fn quick_best(options: &TestBedOptions) -> LmbenchResult {
+    let bed = TestBed::boot(options);
+    let mut best = run_suite(&bed, Scale::quick());
+    best.merge_best(&run_suite(&bed, Scale::quick()));
+    best
+}
+
+#[test]
+fn all_rows_present_in_all_configs() {
+    for config in [
+        LsmConfig::NoLsm,
+        LsmConfig::AppArmor,
+        LsmConfig::SackEnhancedAppArmor,
+        LsmConfig::IndependentSack,
+    ] {
+        let result = quick(config);
+        for op in Op::ALL {
+            let v = result
+                .get(op)
+                .unwrap_or_else(|| panic!("{config}: {op} missing"));
+            assert!(v.is_finite() && v > 0.0, "{config}: {op} = {v}");
+        }
+    }
+}
+
+#[test]
+fn latencies_and_bandwidths_are_in_plausible_ranges() {
+    let result = quick(LsmConfig::AppArmor);
+    // Latency ops: between 1 ns and 10 ms per op on any sane machine.
+    for op in Op::ALL.into_iter().filter(|o| o.smaller_is_better()) {
+        let us = result.get(op).unwrap();
+        assert!((0.0001..10_000.0).contains(&us), "{op} = {us}µs");
+    }
+    // Bandwidths: between 1 MB/s and 1 TB/s.
+    for op in Op::ALL.into_iter().filter(|o| !o.smaller_is_better()) {
+        let mbps = result.get(op).unwrap();
+        assert!((1.0..1_000_000.0).contains(&mbps), "{op} = {mbps} MB/s");
+    }
+    // Ordering facts that must hold regardless of machine: a 10K create
+    // writes more than a 0K create; fork does more than a null syscall.
+    assert!(result.get(Op::FileCreate10k) > result.get(Op::FileCreate0k));
+    assert!(result.get(Op::Fork) > result.get(Op::Syscall));
+}
+
+#[test]
+fn overheads_are_self_consistent() {
+    let base = quick(LsmConfig::NoLsm);
+    let same = base.clone();
+    for op in Op::ALL {
+        assert_eq!(same.overhead_vs(&base, op), Some(0.0));
+    }
+    assert_eq!(same.mean_overhead_vs(&base), 0.0);
+}
+
+#[test]
+fn rule_count_sweep_does_not_blow_up_unrelated_ops() {
+    // The heart of Table III: 1000 SACK rules must not visibly change the
+    // cost of operations on unprotected paths. Quick scale is noisy, so
+    // the bound is generous — this guards against O(rules) scans on the
+    // hot path, which would show up as multiples, not percentages.
+    let small = quick_best(&TestBedOptions::new(LsmConfig::IndependentSack).with_sack_rules(0));
+    let large = quick_best(&TestBedOptions::new(LsmConfig::IndependentSack).with_sack_rules(1000));
+    for op in [Op::Io, Op::Stat, Op::OpenClose] {
+        let a = small.get(op).unwrap();
+        let b = large.get(op).unwrap();
+        // An O(rules) scan would be a 10-100x blowup; 8x absorbs scheduler
+        // noise from parallel tests while still catching regressions.
+        assert!(
+            b < a * 8.0,
+            "{op}: 1000 rules made it {a} -> {b} µs (O(rules) scan on the hot path?)"
+        );
+    }
+}
+
+#[test]
+fn state_count_sweep_does_not_blow_up_file_ops() {
+    // Fig. 3a guard, same reasoning.
+    let few = quick_best(&TestBedOptions::new(LsmConfig::IndependentSack).with_sack_states(2));
+    let many = quick_best(&TestBedOptions::new(LsmConfig::IndependentSack).with_sack_states(100));
+    for op in [Op::Io, Op::OpenClose] {
+        let a = few.get(op).unwrap();
+        let b = many.get(op).unwrap();
+        assert!(
+            b < a * 8.0,
+            "{op}: 100 states made it {a} -> {b} µs (per-state cost on the hot path?)"
+        );
+    }
+}

@@ -1,0 +1,381 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: glob matching vs a reference implementation, path
+//! normalization, the permission algebra, the SSM, the rule index, and the
+//! policy pipeline's robustness to arbitrary input.
+
+use proptest::prelude::*;
+
+use sack_apparmor::glob::Glob;
+use sack_apparmor::profile::{FilePerms, PathRule};
+use sack_apparmor::CompiledRules;
+use sack_core::rules::{MacRule, ProtectedSet, StateRuleSet, SubjectCtx};
+use sack_core::situation::StateSpace;
+use sack_core::ssm::{Ssm, TransitionRule};
+use sack_core::SackPolicy;
+use sack_kernel::path::KPath;
+
+// ---------------------------------------------------------------------
+// Reference glob matcher: simple recursive implementation with the same
+// semantics (`*` not crossing `/`, `**` crossing, `?` single non-`/`).
+// ---------------------------------------------------------------------
+
+fn ref_match(pat: &[u8], text: &[u8]) -> bool {
+    match pat.first() {
+        None => text.is_empty(),
+        Some(b'*') => {
+            if pat.get(1) == Some(&b'*') {
+                // `**`
+                (0..=text.len()).any(|i| ref_match(&pat[2..], &text[i..]))
+            } else {
+                (0..=text.len())
+                    .take_while(|&i| i == 0 || text[i - 1] != b'/')
+                    .any(|i| ref_match(&pat[1..], &text[i..]))
+            }
+        }
+        Some(b'?') => !text.is_empty() && text[0] != b'/' && ref_match(&pat[1..], &text[1..]),
+        Some(&c) => !text.is_empty() && text[0] == c && ref_match(&pat[1..], &text[1..]),
+    }
+}
+
+/// Pattern fragments made only of literals and wildcards (no classes or
+/// braces, which the reference matcher doesn't implement).
+fn simple_pattern() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => prop_oneof![Just("a"), Just("b"), Just("dir"), Just("x1")].prop_map(String::from),
+            2 => Just("/".to_string()),
+            2 => Just("*".to_string()),
+            1 => Just("**".to_string()),
+            1 => Just("?".to_string()),
+        ],
+        1..8,
+    )
+    .prop_map(|parts| format!("/{}", parts.concat()))
+}
+
+fn path_under_test() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("a"),
+            Just("b"),
+            Just("ab"),
+            Just("dir"),
+            Just("x1"),
+            Just("q")
+        ],
+        1..6,
+    )
+    .prop_map(|parts| format!("/{}", parts.join("/")))
+}
+
+proptest! {
+    #[test]
+    fn glob_matches_reference_semantics(pat in simple_pattern(), path in path_under_test()) {
+        if let Ok(glob) = Glob::compile(&pat) {
+            let expected = ref_match(pat.as_bytes(), path.as_bytes());
+            prop_assert_eq!(
+                glob.matches(&path), expected,
+                "pattern `{}` vs path `{}`", pat, path
+            );
+        }
+    }
+
+    #[test]
+    fn glob_literal_prefix_never_causes_false_negatives(
+        pat in simple_pattern(),
+        path in path_under_test()
+    ) {
+        if let Ok(glob) = Glob::compile(&pat) {
+            if ref_match(pat.as_bytes(), path.as_bytes()) {
+                prop_assert!(glob.matches(&path));
+            }
+        }
+    }
+
+    #[test]
+    fn glob_compile_never_panics(pat in "\\PC{0,40}") {
+        let _ = Glob::compile(&pat);
+    }
+
+    #[test]
+    fn kpath_normalization_is_idempotent(raw in "(/[a-z.]{0,6}){0,6}/?") {
+        if let Ok(p) = KPath::new(&raw) {
+            let again = KPath::new(p.as_str()).unwrap();
+            prop_assert_eq!(p.as_str(), again.as_str());
+            // Invariants: absolute, no empty/dot components.
+            prop_assert!(p.as_str().starts_with('/'));
+            for comp in p.components() {
+                prop_assert!(!comp.is_empty());
+                prop_assert!(comp != "." && comp != "..");
+            }
+        }
+    }
+
+    #[test]
+    fn kpath_parent_join_roundtrip(raw in "(/[a-z]{1,5}){1,5}") {
+        let p = KPath::new(&raw).unwrap();
+        if let (Some(parent), Some(name)) = (p.parent(), p.file_name()) {
+            prop_assert_eq!(parent.join(name).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn file_perms_parse_display_roundtrip(bits in 0u8..64) {
+        // Build a perm set from bits, render, re-parse.
+        let mut perms = FilePerms::empty();
+        for (i, p) in [
+            FilePerms::READ, FilePerms::WRITE, FilePerms::APPEND,
+            FilePerms::EXEC, FilePerms::MMAP, FilePerms::IOCTL,
+        ].into_iter().enumerate() {
+            if bits & (1 << i) != 0 {
+                perms = perms.union(p);
+            }
+        }
+        if perms.is_empty() {
+            prop_assert_eq!(perms.to_string(), "-");
+        } else {
+            let reparsed = FilePerms::parse(&perms.to_string()).unwrap();
+            prop_assert_eq!(reparsed, perms);
+        }
+    }
+
+    #[test]
+    fn file_perms_algebra(a in 0u8..64, b in 0u8..64) {
+        fn from_bits(bits: u8) -> FilePerms {
+            let mut perms = FilePerms::empty();
+            for (i, p) in [
+                FilePerms::READ, FilePerms::WRITE, FilePerms::APPEND,
+                FilePerms::EXEC, FilePerms::MMAP, FilePerms::IOCTL,
+            ].into_iter().enumerate() {
+                if bits & (1 << i) != 0 {
+                    perms = perms.union(p);
+                }
+            }
+            perms
+        }
+        let (pa, pb) = (from_bits(a), from_bits(b));
+        let union = pa.union(pb);
+        prop_assert!(union.contains(pa) && union.contains(pb));
+        let diff = pa.difference(pb);
+        prop_assert!(!diff.intersects(pb));
+        prop_assert!(pa.contains(diff));
+        // union = diff(pa,pb) ∪ pb ∪ (pa ∩ pb) — sanity via contains:
+        prop_assert_eq!(union.contains(diff.union(pb)), true);
+    }
+
+    #[test]
+    fn compiled_rules_index_equals_scan(
+        specs in proptest::collection::vec(
+            (simple_pattern(), 1u8..64, any::<bool>()), 0..12),
+        path in path_under_test()
+    ) {
+        let rules: Vec<PathRule> = specs.iter().filter_map(|(pat, bits, deny)| {
+            let perms = FilePerms::parse(
+                &format!("{}", {
+                    let mut p = FilePerms::empty();
+                    for (i, fp) in [FilePerms::READ, FilePerms::WRITE, FilePerms::APPEND,
+                                    FilePerms::EXEC, FilePerms::MMAP, FilePerms::IOCTL]
+                        .into_iter().enumerate() {
+                        if bits & (1 << i) != 0 { p = p.union(fp); }
+                    }
+                    if p.is_empty() { FilePerms::READ } else { p }
+                })
+            ).ok()?;
+            if *deny {
+                PathRule::deny(pat, perms).ok()
+            } else {
+                PathRule::allow(pat, perms).ok()
+            }
+        }).collect();
+        let compiled = CompiledRules::build(&rules);
+        prop_assert_eq!(compiled.evaluate(&path), compiled.evaluate_scan(&path));
+    }
+
+    #[test]
+    fn protected_set_equals_naive_union(
+        pats in proptest::collection::vec(simple_pattern(), 0..10),
+        path in path_under_test()
+    ) {
+        let globs: Vec<Glob> = pats.iter().filter_map(|p| Glob::compile(p).ok()).collect();
+        let set = ProtectedSet::build(globs.iter());
+        let naive = globs.iter().any(|g| g.matches(&path));
+        prop_assert_eq!(set.contains(&path), naive);
+    }
+
+    #[test]
+    fn ssm_random_walk_stays_consistent(
+        n_states in 2usize..8,
+        rules in proptest::collection::vec((0usize..8, 0usize..5, 0usize..8), 0..20),
+        walk in proptest::collection::vec(0usize..5, 0..50)
+    ) {
+        let mut space = StateSpace::new();
+        for i in 0..n_states {
+            space.add_state(&format!("s{i}"), i as u32).unwrap();
+        }
+        for e in 0..5 {
+            space.add_event(&format!("e{e}")).unwrap();
+        }
+        // Deduplicate rules by (from, event), keeping the first target.
+        let mut seen = std::collections::HashSet::new();
+        let rules: Vec<TransitionRule> = rules.into_iter().filter_map(|(f, e, t)| {
+            let from = sack_core::StateId(f % n_states);
+            let event = sack_core::EventId(e);
+            let to = sack_core::StateId(t % n_states);
+            seen.insert((from, event)).then_some(TransitionRule { from, event, to })
+        }).collect();
+        let ssm = Ssm::new(space, &rules, sack_core::StateId(0)).unwrap();
+
+        let mut expected = sack_core::StateId(0);
+        for step in walk {
+            let event = sack_core::EventId(step);
+            let outcome = ssm.deliver(event, std::time::Duration::ZERO);
+            // Recompute what should have happened from the rule list.
+            let target = rules.iter()
+                .find(|r| r.from == expected && r.event == event)
+                .map(|r| r.to);
+            match (outcome.transitioned(), target) {
+                (true, Some(t)) => expected = t,
+                (false, None) => {}
+                (got, want) => prop_assert!(false, "outcome {got:?} vs rule {want:?}"),
+            }
+            prop_assert_eq!(ssm.current(), expected);
+        }
+        prop_assert_eq!(ssm.history().len() as u64, ssm.taken_count());
+    }
+
+    #[test]
+    fn policy_parser_never_panics(text in "\\PC{0,200}") {
+        let _ = SackPolicy::parse(&text);
+    }
+
+    #[test]
+    fn profile_parser_never_panics(text in "\\PC{0,200}") {
+        let _ = sack_apparmor::parse_profiles(&text);
+    }
+
+    #[test]
+    fn profile_parser_never_panics_on_structured_soup(
+        parts in proptest::collection::vec(prop_oneof![
+            Just("profile"), Just("p"), Just("{"), Just("}"), Just(","),
+            Just("/a/*"), Just("rw"), Just("deny"), Just("capability"),
+            Just("network"), Just("unix"), Just("flags=(complain)"),
+        ], 0..30)
+    ) {
+        let text = parts.join(" ");
+        if let Ok(profiles) = sack_apparmor::parse_profiles(&text) {
+            // Anything that parses must also render and re-parse.
+            for p in profiles {
+                let rendered = p.to_string();
+                prop_assert!(sack_apparmor::parse_profiles(&rendered).is_ok(), "{}", rendered);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_display_roundtrips_for_valid_asts(
+        n_states in 1usize..5,
+        n_perms in 1usize..4,
+    ) {
+        // Build a small synthetic AST directly and round-trip it.
+        let mut ast = SackPolicy::default();
+        for i in 0..n_states {
+            ast.states.push((format!("st{i}"), i as u32));
+        }
+        ast.events.push("go".to_string());
+        if n_states > 1 {
+            ast.transitions.push(("st0".into(), "go".into(), "st1".into()));
+        }
+        ast.initial = Some("st0".to_string());
+        for p in 0..n_perms {
+            ast.permissions.push(format!("PERM{p}"));
+        }
+        ast.state_per.push(("st0".to_string(), ast.permissions.clone()));
+        ast.per_rules.push((
+            "PERM0".to_string(),
+            vec![sack_core::policy::RuleSpec {
+                effect: sack_core::RuleEffect::Allow,
+                subject: sack_core::policy::SubjectSpec::Any,
+                object: "/x/**".to_string(),
+                perms: "rw".to_string(),
+                line: 0,
+            }],
+        ));
+        let rendered = ast.to_string();
+        let mut reparsed = SackPolicy::parse(&rendered).unwrap();
+        // Line numbers are positional metadata, not semantics.
+        for (_, rules) in &mut reparsed.per_rules {
+            for r in rules {
+                r.line = 0;
+            }
+        }
+        prop_assert_eq!(ast, reparsed);
+    }
+
+    #[test]
+    fn policy_pipeline_never_panics_on_parsed_input(
+        text in "(states \\{ [a-z]{1,4} = [0-9]; \\} )?(initial [a-z]{1,4};)?"
+    ) {
+        if let Ok(ast) = SackPolicy::parse(&text) {
+            // compile() must either succeed or return issues, never panic.
+            let _ = ast.compile();
+        }
+    }
+
+    #[test]
+    fn trace_csv_roundtrips(
+        frames in proptest::collection::vec(
+            (0u64..1_000_000, 0.0f64..300.0, 0.0f64..50.0,
+             -90.0f64..90.0, -180.0f64..180.0,
+             any::<bool>(), any::<bool>(), any::<bool>()),
+            0..20
+        )
+    ) {
+        use sack_sds::sensors::SensorFrame;
+        let mut t_acc = 0u64;
+        let trace: Vec<SensorFrame> = frames.into_iter().map(
+            |(dt, speed, accel, lat, lon, driver, airbag, ignition)| {
+                t_acc += dt; // non-decreasing timestamps
+                SensorFrame {
+                    t: std::time::Duration::from_millis(t_acc),
+                    speed_kmh: speed,
+                    accel_g: accel,
+                    gps: (lat, lon),
+                    driver_present: driver,
+                    airbag_deployed: airbag,
+                    ignition_on: ignition,
+                }
+            }).collect();
+        let csv = sack_sds::tracefile::to_csv(&trace);
+        let parsed = sack_sds::tracefile::from_csv(&csv).unwrap();
+        prop_assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn state_rule_set_deny_always_wins(
+        perm_bits in 1u8..64,
+        path in path_under_test()
+    ) {
+        let mut perms = FilePerms::empty();
+        for (i, fp) in [FilePerms::READ, FilePerms::WRITE, FilePerms::APPEND,
+                        FilePerms::EXEC, FilePerms::MMAP, FilePerms::IOCTL]
+            .into_iter().enumerate() {
+            if perm_bits & (1 << i) != 0 { perms = perms.union(fp); }
+        }
+        let allow = MacRule::allow_any("/**", FilePerms::all()).unwrap();
+        let deny = MacRule {
+            subject: sack_core::SubjectMatch::Any,
+            object: Glob::compile("/**").unwrap(),
+            perms,
+            effect: sack_core::RuleEffect::Deny,
+        };
+        let set = StateRuleSet::build([&allow, &deny]);
+        let subject = SubjectCtx { uid: 0, exe: None, profile: None };
+        // Anything intersecting the denied set is refused...
+        prop_assert!(!set.permits(&subject, &path, perms));
+        // ...while the complement is still granted by the broad allow.
+        let rest = FilePerms::all().difference(perms);
+        if !rest.is_empty() {
+            prop_assert!(set.permits(&subject, &path, rest));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! SACK stacked with a *type-enforcement* module (paper §II-A-4: "most
+//! security modules are based on the type enforcement model") — the
+//! compatibility claim generalized beyond AppArmor: SACK first, TE second,
+//! white-list combination, and independent SACK resolving nothing about
+//! types (clean separation of models).
+
+use std::sync::Arc;
+
+use sack_core::Sack;
+use sack_kernel::cred::{Capability, Credentials};
+use sack_kernel::file::OpenFlags;
+use sack_kernel::kernel::KernelBuilder;
+use sack_kernel::lsm::SecurityModule;
+use sack_kernel::path::KPath;
+use sack_kernel::types::Mode;
+use sack_te::{TePolicy, TypeEnforcement};
+
+const SACK_POLICY: &str = r#"
+states { normal = 0; emergency = 1; }
+events { crash; resolved; }
+transitions { normal -crash-> emergency; emergency -resolved-> normal; }
+initial normal;
+permissions { NORMAL; DOORS; }
+state_per {
+    *: NORMAL;
+    emergency: DOORS;
+}
+per_rules {
+    NORMAL: allow subject=* /dev/car/** r;
+    DOORS: allow subject=* /dev/car/door* wi;
+}
+"#;
+
+const TE_POLICY: &str = r#"
+type rescue_t;
+type rescue_exec_t;
+type car_dev_t;
+label /usr/bin/rescue_daemon rescue_exec_t;
+label /dev/car/** car_dev_t;
+domain_transition unconfined_t rescue_exec_t rescue_t;
+allow rescue_t car_dev_t { read write ioctl };
+allow rescue_t rescue_exec_t { read execute };
+"#;
+
+fn boot() -> (Arc<sack_kernel::Kernel>, Arc<Sack>, Arc<TypeEnforcement>) {
+    let sack = Sack::independent(SACK_POLICY).unwrap();
+    let te = TypeEnforcement::new(Arc::new(TePolicy::parse(TE_POLICY).unwrap()));
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .security_module(Arc::clone(&te) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    kernel
+        .vfs()
+        .mkdir_all(&KPath::new("/dev/car").unwrap())
+        .unwrap();
+    for (path, mode) in [
+        ("/dev/car/door0", Mode(0o666)),
+        ("/usr/bin/rescue_daemon", Mode::EXEC),
+    ] {
+        kernel
+            .vfs()
+            .create_file(
+                &KPath::new(path).unwrap(),
+                mode,
+                sack_kernel::Uid::ROOT,
+                sack_kernel::Gid(0),
+            )
+            .unwrap();
+    }
+    (kernel, sack, te)
+}
+
+#[test]
+fn stacking_order_and_names() {
+    let (kernel, _sack, _te) = boot();
+    assert_eq!(kernel.lsm().module_names(), vec!["sack", "te"]);
+}
+
+#[test]
+fn both_modules_must_allow() {
+    let (kernel, sack, te) = boot();
+    let rescue = kernel.spawn(Credentials::user(900, 900));
+    rescue.exec("/usr/bin/rescue_daemon").unwrap();
+    assert_eq!(
+        te.policy().type_name(te.domain_of(rescue.pid())),
+        "rescue_t"
+    );
+
+    // Normal situation: TE would allow the write (rescue_t has the AV
+    // rule), but SACK's situation policy denies it — SACK answers first.
+    let err = rescue
+        .open("/dev/car/door0", OpenFlags::write_only())
+        .unwrap_err();
+    assert_eq!(err.context(), Some("sack"));
+
+    // Emergency: SACK now allows, and TE (also allowing) lets it through.
+    sack.deliver_event("crash", std::time::Duration::ZERO)
+        .unwrap();
+    assert!(rescue
+        .open("/dev/car/door0", OpenFlags::write_only())
+        .is_ok());
+
+    // A different confined domain is stopped by TE even though SACK allows:
+    // the emergency grant is not a bypass of the other module.
+    let intruder = kernel.spawn(Credentials::user(1000, 1000));
+    te.set_domain(intruder.pid(), "rescue_t").unwrap();
+    // rescue_t may write car devices, so craft the failing case the other
+    // way: an unconfined-but-SACK-denied path after reverting to normal.
+    sack.deliver_event("resolved", std::time::Duration::ZERO)
+        .unwrap();
+    let err = intruder
+        .open("/dev/car/door0", OpenFlags::write_only())
+        .unwrap_err();
+    assert_eq!(err.context(), Some("sack"));
+}
+
+#[test]
+fn te_denial_after_sack_allow() {
+    let (kernel, sack, te) = boot();
+    sack.deliver_event("crash", std::time::Duration::ZERO)
+        .unwrap();
+    // A task confined to a domain with no AV rules at all.
+    let policy = te.policy();
+    assert!(policy.type_id("rescue_t").is_some());
+    let jailed = kernel.spawn(Credentials::user(1000, 1000));
+    // Place it in car_dev_t-as-domain (an object type with no allow rules):
+    // everything it touches is denied by TE, including what SACK allows.
+    te.set_domain(jailed.pid(), "car_dev_t").unwrap();
+    let err = jailed
+        .open("/dev/car/door0", OpenFlags::read_only())
+        .unwrap_err();
+    assert_eq!(
+        err.context(),
+        Some("te"),
+        "SACK allowed (NORMAL read), TE denied"
+    );
+}
+
+#[test]
+fn triple_stack_sack_apparmor_te() {
+    // The full zoo: SACK, AppArmor and TE all stacked, all consulted.
+    use sack_apparmor::{AppArmor, PolicyDb};
+    let sack = Sack::independent(SACK_POLICY).unwrap();
+    let db = Arc::new(PolicyDb::new());
+    db.load_text("profile everything { /** rwxmi, }").unwrap();
+    let apparmor = AppArmor::new(Arc::clone(&db));
+    let te = TypeEnforcement::new(Arc::new(TePolicy::parse(TE_POLICY).unwrap()));
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .security_module(Arc::clone(&apparmor) as Arc<dyn SecurityModule>)
+        .security_module(Arc::clone(&te) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    assert_eq!(kernel.lsm().module_names(), vec!["sack", "apparmor", "te"]);
+    kernel
+        .vfs()
+        .mkdir_all(&KPath::new("/dev/car").unwrap())
+        .unwrap();
+    kernel
+        .vfs()
+        .create_file(
+            &KPath::new("/dev/car/door0").unwrap(),
+            Mode(0o666),
+            sack_kernel::Uid::ROOT,
+            sack_kernel::Gid(0),
+        )
+        .unwrap();
+    let p = kernel.spawn(Credentials::user(1000, 1000));
+    apparmor.set_profile(p.pid(), "everything").unwrap();
+    // Unconfined in TE, permissive AppArmor profile, SACK grants reads.
+    assert!(p.open("/dev/car/door0", OpenFlags::read_only()).is_ok());
+    // SACK still gates writes in the normal situation, ahead of both.
+    let err = p
+        .open("/dev/car/door0", OpenFlags::write_only())
+        .unwrap_err();
+    assert_eq!(err.context(), Some("sack"));
+    // SDS flips the situation; all three modules then concur.
+    let sds = kernel.spawn(Credentials::user(500, 500).with_capability(Capability::MacAdmin));
+    let fd = sds
+        .open("/sys/kernel/security/SACK/events", OpenFlags::write_only())
+        .unwrap();
+    sds.write(fd, b"crash\n").unwrap();
+    assert!(p.open("/dev/car/door0", OpenFlags::write_only()).is_ok());
+}
