@@ -14,12 +14,13 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 use sack_kernel::cred::Capability;
 use sack_kernel::error::{Errno, KernelError, KernelResult};
 use sack_kernel::lsm::{AccessMask, HookCtx, ObjectKind, ObjectRef, SecurityModule, SocketFamily};
 use sack_kernel::path::KPath;
+use sack_kernel::sync::Rcu;
 use sack_kernel::types::Pid;
 
 use crate::policy::{CompiledProfile, PolicyDb};
@@ -48,7 +49,10 @@ pub struct AuditEvent {
 /// The AppArmor LSM.
 pub struct AppArmor {
     policy: Arc<PolicyDb>,
-    confinement: RwLock<HashMap<Pid, Arc<CompiledProfile>>>,
+    /// Pid → compiled-profile snapshot, RCU-published copy-on-write: hook
+    /// reads are wait-free `Rcu::read` snapshots; the (rare) confinement
+    /// mutations on fork/exec/exit swap in a whole rebuilt map.
+    confinement: Rcu<HashMap<Pid, Arc<CompiledProfile>>>,
     audit: Mutex<Vec<AuditEvent>>,
 }
 
@@ -57,7 +61,7 @@ impl AppArmor {
     pub fn new(policy: Arc<PolicyDb>) -> Arc<AppArmor> {
         Arc::new(AppArmor {
             policy,
-            confinement: RwLock::new(HashMap::new()),
+            confinement: Rcu::new(HashMap::new()),
             audit: Mutex::new(Vec::new()),
         })
     }
@@ -65,6 +69,14 @@ impl AppArmor {
     /// The policy database.
     pub fn policy(&self) -> &Arc<PolicyDb> {
         &self.policy
+    }
+
+    /// Generation counter of the confinement map: bumps every time any
+    /// task's confinement (or compiled-profile snapshot) changes. SACK's
+    /// decision cache folds this into its key so cached profile-oracle
+    /// answers self-invalidate.
+    pub fn confinement_generation(&self) -> u64 {
+        self.confinement.generation() as u64
     }
 
     /// Confines `pid` under the named profile immediately (the
@@ -78,13 +90,21 @@ impl AppArmor {
             .policy
             .get(name)
             .ok_or_else(|| KernelError::with_context(Errno::EINVAL, "apparmor"))?;
-        self.confinement.write().insert(pid, profile);
+        self.confinement.update(|map| {
+            let mut next = map.clone();
+            next.insert(pid, profile);
+            (next, ())
+        });
         Ok(())
     }
 
     /// Removes confinement from `pid`.
     pub fn unconfine(&self, pid: Pid) {
-        self.confinement.write().remove(&pid);
+        self.confinement.update(|map| {
+            let mut next = map.clone();
+            next.remove(&pid);
+            (next, ())
+        });
     }
 
     /// The name of the profile confining `pid`, if any.
@@ -109,12 +129,19 @@ impl AppArmor {
     /// database. Called by SACK's adaptive policy enforcer after patching
     /// profiles so confined tasks pick up the new rules.
     pub fn refresh_confinement(&self) {
-        let mut map = self.confinement.write();
-        for compiled in map.values_mut() {
-            if let Some(fresh) = self.policy.get(&compiled.profile().name) {
-                *compiled = fresh;
-            }
-        }
+        self.confinement.update(|map| {
+            let next = map
+                .iter()
+                .map(|(pid, compiled)| {
+                    let fresh = self
+                        .policy
+                        .get(&compiled.profile().name)
+                        .unwrap_or_else(|| Arc::clone(compiled));
+                    (*pid, fresh)
+                })
+                .collect();
+            (next, ())
+        });
     }
 
     fn confining(&self, pid: Pid) -> Option<Arc<CompiledProfile>> {
@@ -252,19 +279,35 @@ impl SecurityModule for AppArmor {
     fn bprm_committed(&self, ctx: &HookCtx, exe: &KPath) {
         // Domain transition: attach the profile matching the new image.
         if let Some(profile) = self.policy.find_by_attachment(exe.as_str()) {
-            self.confinement.write().insert(ctx.pid, profile);
+            self.confinement.update(|map| {
+                let mut next = map.clone();
+                next.insert(ctx.pid, profile);
+                (next, ())
+            });
         }
     }
 
     fn task_alloc(&self, ctx: &HookCtx, child: Pid) -> KernelResult<()> {
         if let Some(profile) = self.confining(ctx.pid) {
-            self.confinement.write().insert(child, profile);
+            self.confinement.update(|map| {
+                let mut next = map.clone();
+                next.insert(child, profile);
+                (next, ())
+            });
         }
         Ok(())
     }
 
     fn task_free(&self, pid: Pid) {
-        self.confinement.write().remove(&pid);
+        // Skip the copy-and-swap when the task was never confined: exit of
+        // unconfined tasks must not invalidate SACK's cached oracle answers.
+        if self.confinement.read().contains_key(&pid) {
+            self.confinement.update(|map| {
+                let mut next = map.clone();
+                next.remove(&pid);
+                (next, ())
+            });
+        }
     }
 
     fn capable(&self, ctx: &HookCtx, cap: Capability) -> KernelResult<()> {

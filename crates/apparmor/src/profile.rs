@@ -34,6 +34,12 @@ impl FilePerms {
         FilePerms(0)
     }
 
+    /// The raw bit representation (stable across a process; used as a
+    /// compact hash-key component by SACK's decision cache).
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
     /// Every permission.
     pub fn all() -> Self {
         FilePerms(0b111111)

@@ -1,0 +1,181 @@
+//! **Ablation (DESIGN.md §5.3)** — epoch-tagged per-task decision caching
+//! on the SACK hook hot path: warm-cache hook latency versus the uncached
+//! evaluation (protected-set match + per-state rule walk + profile-oracle
+//! lookup) on the same policy.
+//!
+//! Drives the LSM hooks directly with a fabricated [`HookCtx`] so the
+//! numbers isolate the module's decision cost from VFS bookkeeping. The
+//! final section boots a full kernel and dumps the module's sackfs `stats`
+//! node, whose `cache_hits`/`cache_misses` counters feed
+//! `scripts/bench_gate.sh`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sack_core::{Sack, SackPolicy};
+use sack_kernel::cred::Credentials;
+use sack_kernel::lsm::{AccessMask, HookCtx, ObjectRef, SecurityModule};
+use sack_kernel::path::KPath;
+use sack_kernel::types::Pid;
+use sack_lmbench::workload::synthetic_independent_policy;
+
+/// Acceptance configuration from the issue: a 100-rule policy.
+const STATES: usize = 4;
+const RULES: usize = 100;
+
+fn build_sack() -> Arc<Sack> {
+    let text = synthetic_independent_policy(STATES, RULES);
+    assert!(
+        SackPolicy::parse(&text).unwrap().compile().unwrap().rule_count() >= RULES,
+        "workload must generate at least {RULES} rules"
+    );
+    Sack::independent(&text).unwrap()
+}
+
+fn hook_ctx(pid: u32) -> HookCtx {
+    HookCtx::new(
+        Pid(pid),
+        Credentials::user(1000, 1000),
+        Some(KPath::new("/usr/bin/app").unwrap()),
+    )
+}
+
+/// One protected path per cached decision; `/protected/area0/s0/**` is
+/// granted `rw` in the initial state `s0`.
+fn protected_path(i: usize) -> KPath {
+    KPath::new(&format!("/protected/area0/s0/devices/dev{i}")).unwrap()
+}
+
+fn bench_single_path(c: &mut Criterion) {
+    let ctx = hook_ctx(4242);
+    let path = protected_path(0);
+    let obj = ObjectRef::regular(&path);
+
+    let mut group = c.benchmark_group(format!("ablation_cache/{RULES}rules_single"));
+    {
+        let sack = build_sack();
+        sack.set_decision_cache_enabled(true);
+        sack.file_open(&ctx, &obj, AccessMask::READ).unwrap(); // warm
+        group.bench_with_input(BenchmarkId::from_parameter("warm-cache"), &sack, |b, s| {
+            b.iter(|| criterion::black_box(s.file_open(&ctx, &obj, AccessMask::READ)).unwrap());
+        });
+    }
+    {
+        let sack = build_sack();
+        sack.set_decision_cache_enabled(false);
+        group.bench_with_input(
+            BenchmarkId::from_parameter("uncached-scan"),
+            &sack,
+            |b, s| {
+                b.iter(|| criterion::black_box(s.file_open(&ctx, &obj, AccessMask::READ)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A task touching a working set of distinct files (all cacheable): the
+/// realistic shape of the paper's door/window device loop.
+fn bench_working_set(c: &mut Criterion) {
+    const SET: usize = 64;
+    let ctx = hook_ctx(4243);
+    let paths: Vec<KPath> = (0..SET).map(protected_path).collect();
+
+    let mut group = c.benchmark_group(format!("ablation_cache/{RULES}rules_wset{SET}"));
+    {
+        let sack = build_sack();
+        sack.set_decision_cache_enabled(true);
+        for path in &paths {
+            sack.file_open(&ctx, &ObjectRef::regular(path), AccessMask::READ)
+                .unwrap();
+        }
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter("warm-cache"), &sack, |b, s| {
+            b.iter(|| {
+                let obj = ObjectRef::regular(&paths[i % SET]);
+                i = i.wrapping_add(1);
+                criterion::black_box(s.file_open(&ctx, &obj, AccessMask::READ)).unwrap();
+            });
+        });
+        let hits = sack.stats().cache_hits.load(std::sync::atomic::Ordering::Relaxed);
+        let misses = sack
+            .stats()
+            .cache_misses
+            .load(std::sync::atomic::Ordering::Relaxed);
+        // Parsed by scripts/bench_gate.sh.
+        println!(
+            "cache_hit_rate {:.6}",
+            hits as f64 / (hits + misses).max(1) as f64
+        );
+    }
+    {
+        let sack = build_sack();
+        sack.set_decision_cache_enabled(false);
+        let mut i = 0usize;
+        group.bench_with_input(
+            BenchmarkId::from_parameter("uncached-scan"),
+            &sack,
+            |b, s| {
+                b.iter(|| {
+                    let obj = ObjectRef::regular(&paths[i % SET]);
+                    i = i.wrapping_add(1);
+                    criterion::black_box(s.file_open(&ctx, &obj, AccessMask::READ)).unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// End-to-end sanity: the counters surface through the sackfs `stats` node
+/// of a booted kernel, and the cache keeps real syscall decisions intact.
+fn dump_sackfs_stats() {
+    let sack = build_sack();
+    let kernel = sack_kernel::KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).unwrap();
+    kernel
+        .vfs()
+        .mkdir_all(&KPath::new("/protected/area0/s0").unwrap())
+        .unwrap();
+    kernel
+        .vfs()
+        .create_file(
+            &KPath::new("/protected/area0/s0/devices").unwrap(),
+            sack_kernel::Mode(0o666),
+            sack_kernel::Uid::ROOT,
+            sack_kernel::Gid(0),
+        )
+        .unwrap();
+    let task = kernel.spawn(Credentials::user(1000, 1000));
+    for _ in 0..100 {
+        task.read_to_vec("/protected/area0/s0/devices").unwrap();
+    }
+    let stats = task
+        .read_to_vec("/sys/kernel/security/SACK/stats")
+        .unwrap();
+    print!("{}", String::from_utf8_lossy(&stats));
+}
+
+fn bench_decision_cache(c: &mut Criterion) {
+    bench_single_path(c);
+    bench_working_set(c);
+    dump_sackfs_stats();
+}
+
+fn config_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = ablation_cache;
+    config = config_criterion();
+    targets = bench_decision_cache
+}
+criterion_main!(ablation_cache);

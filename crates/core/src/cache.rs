@@ -1,0 +1,333 @@
+//! Epoch-tagged per-task decision cache for the SACK hook hot path.
+//!
+//! Modelled on AppArmor's DFA/label caching: the full access check
+//! (`ProtectedSet::contains` + `StateRuleSet::permits` + the profile-oracle
+//! lookup) is memoised per task in a small direct-mapped table keyed by a
+//! hash of *everything the decision depends on* — the policy epoch, the
+//! AppArmor confinement generation, the current situation state, the
+//! subject's identity (uid, exe, `CAP_MAC_OVERRIDE`), the object path, and
+//! the requested permissions.
+//!
+//! Invalidation is implicit: any policy reload bumps the epoch and any
+//! situation transition changes the state id, so stale entries simply never
+//! match again — they are overwritten lazily by new insertions
+//! ("self-invalidating" epoch tags, no stop-the-world flush).
+//!
+//! Only *grant* outcomes are cached ([`CachedOutcome`]): denials always take
+//! the slow path so the denial counter and the audit log record every single
+//! refusal exactly as an uncached module would. Grant outcomes still bump
+//! the same per-outcome counters on a hit, keeping `sackfs` stats identical
+//! with the cache on or off.
+//!
+//! Each slot is a pair of `AtomicU64`s (tag + payload) written without any
+//! lock; a torn read across the pair can only produce a *verifier* mismatch
+//! — a spurious miss — never a wrong outcome (the payload embeds a second,
+//! independently-mixed hash of the same key).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Slot count per task. Must be a power of two. 512 slots × 16 bytes = 8 KiB
+/// per task — two pages — while covering far more distinct (path, perms)
+/// pairs than a task touches in practice.
+const SLOTS: usize = 512;
+
+/// A decision the cache may replay without re-evaluating the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachedOutcome {
+    /// Object not in the protected set: pass through, count `unprotected`.
+    Unprotected = 1,
+    /// Subject holds `CAP_MAC_OVERRIDE`: pass through, count `overrides`.
+    Override = 2,
+    /// Per-state rules grant the access: allow, count `checks`.
+    Allow = 3,
+}
+
+impl CachedOutcome {
+    fn from_code(code: u64) -> Option<CachedOutcome> {
+        match code {
+            1 => Some(CachedOutcome::Unprotected),
+            2 => Some(CachedOutcome::Override),
+            3 => Some(CachedOutcome::Allow),
+            _ => None,
+        }
+    }
+}
+
+/// The full set of inputs a SACK access decision depends on. Hashing this
+/// (twice, independently) yields the cache tag and verifier.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionKey<'a> {
+    /// Global policy epoch (bumped on reload and situation transition).
+    pub epoch: u64,
+    /// AppArmor confinement-map generation (0 when no oracle is wired).
+    pub confinement_gen: u64,
+    /// Current situation state.
+    pub state: usize,
+    /// Subject uid.
+    pub uid: u32,
+    /// Subject holds `CAP_MAC_OVERRIDE`.
+    pub mac_override: bool,
+    /// Subject executable path, if any.
+    pub exe: Option<&'a str>,
+    /// Object path.
+    pub path: &'a str,
+    /// Requested permission bits.
+    pub perms: u8,
+}
+
+impl DecisionKey<'_> {
+    /// Two independent 64-bit hashes of the key: `(tag, verifier)`. The tag
+    /// selects and guards the slot; the verifier is stored in the payload
+    /// word so a torn slot read cannot be mistaken for a hit. Both are
+    /// computed in a single word-at-a-time pass (the hook hot path runs
+    /// this on every mediated access, so it must stay in the tens of ns).
+    pub fn hashes(&self) -> (u64, u64) {
+        let mut h = Mix2::new();
+        h.word(self.epoch ^ self.confinement_gen.rotate_left(32));
+        h.word(
+            (self.state as u64) << 41
+                | u64::from(self.uid) << 9
+                | u64::from(self.mac_override) << 8
+                | u64::from(self.perms),
+        );
+        match self.exe {
+            Some(exe) => h.bytes(exe.as_bytes()),
+            None => h.word(0x5EED),
+        }
+        h.bytes(self.path.as_bytes());
+        let (tag, verifier) = h.finish();
+        // Tag 0 marks an empty slot; remap to keep the encoding unambiguous.
+        (if tag == 0 { 1 } else { tag }, verifier)
+    }
+}
+
+/// Two multiply-xorshift accumulators with different odd multipliers fed by
+/// one pass over the input words — effectively two independent hash
+/// families for the price of one traversal (wyhash-style mixing).
+struct Mix2 {
+    a: u64,
+    b: u64,
+}
+
+impl Mix2 {
+    fn new() -> Mix2 {
+        Mix2 {
+            a: 0x9E37_79B9_7F4A_7C15,
+            b: 0xC2B2_AE3D_27D4_EB4F,
+        }
+    }
+
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.a = (self.a ^ w).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        self.a ^= self.a >> 29;
+        self.b = (self.b ^ w).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        self.b ^= self.b >> 31;
+    }
+
+    #[inline]
+    fn bytes(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.word(u64::from_le_bytes(buf));
+        }
+        // Length terminator so "ab"+"c" ≠ "a"+"bc" across field boundaries.
+        self.word(bytes.len() as u64 ^ 0xA076_1D64_78BD_642F);
+    }
+
+    fn finish(&self) -> (u64, u64) {
+        (splitmix(self.a), splitmix(self.b))
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One direct-mapped slot: `tag` full key hash (0 = empty), `payload` the
+/// verifier hash (top 62 bits) packed with the outcome code (low 2 bits).
+#[derive(Debug, Default)]
+struct Slot {
+    tag: AtomicU64,
+    payload: AtomicU64,
+}
+
+/// A fixed-size, lock-free, direct-mapped decision cache for one task.
+#[derive(Debug)]
+pub struct DecisionCache {
+    slots: Box<[Slot]>,
+}
+
+impl Default for DecisionCache {
+    fn default() -> DecisionCache {
+        DecisionCache::new()
+    }
+}
+
+impl DecisionCache {
+    /// Creates an empty cache.
+    pub fn new() -> DecisionCache {
+        DecisionCache {
+            slots: (0..SLOTS).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    /// Looks up a decision. `None` is a miss (never a denial — denials are
+    /// not cached). Four-way associative: a key may live in any slot of its
+    /// home group, so up to four hot keys hashing to the same group coexist
+    /// without evicting each other.
+    pub fn lookup(&self, key: &DecisionKey<'_>) -> Option<CachedOutcome> {
+        let (tag, verifier) = key.hashes();
+        let home = (tag as usize) & (SLOTS - 1);
+        for way in 0..4 {
+            let slot = &self.slots[home ^ way];
+            if slot.tag.load(Ordering::Acquire) != tag {
+                continue;
+            }
+            let payload = slot.payload.load(Ordering::Acquire);
+            if payload >> 2 != verifier >> 2 {
+                continue; // stale or torn entry: treat as a miss
+            }
+            return CachedOutcome::from_code(payload & 0b11);
+        }
+        None
+    }
+
+    /// Records a grant outcome for `key`. Prefers the way already holding
+    /// the tag, then an empty way; otherwise the victim way is chosen by
+    /// key-derived bits, so conflicting keys tend to pick *different*
+    /// victims and ping-pong eviction cycles cannot form.
+    pub fn insert(&self, key: &DecisionKey<'_>, outcome: CachedOutcome) {
+        let (tag, verifier) = key.hashes();
+        let home = (tag as usize) & (SLOTS - 1);
+        let idx = (0..4)
+            .map(|way| home ^ way)
+            .find(|&idx| {
+                let t = self.slots[idx].tag.load(Ordering::Acquire);
+                t == tag || t == 0
+            })
+            .unwrap_or_else(|| home ^ ((verifier >> 32) as usize & 0b11));
+        let slot = &self.slots[idx];
+        // Payload first, then tag (Release): a reader that sees the new tag
+        // sees the new payload or fails the verifier check — either way no
+        // stale outcome is ever returned under a matching tag+verifier.
+        slot.payload
+            .store((verifier & !0b11) | outcome as u64, Ordering::Release);
+        slot.tag.store(tag, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key<'a>(epoch: u64, state: usize, path: &'a str, perms: u8) -> DecisionKey<'a> {
+        DecisionKey {
+            epoch,
+            confinement_gen: 0,
+            state,
+            uid: 1000,
+            mac_override: false,
+            exe: Some("/usr/bin/app"),
+            path,
+            perms,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let cache = DecisionCache::new();
+        let k = key(1, 0, "/dev/car/door0", 0b10);
+        assert_eq!(cache.lookup(&k), None);
+        cache.insert(&k, CachedOutcome::Allow);
+        assert_eq!(cache.lookup(&k), Some(CachedOutcome::Allow));
+    }
+
+    #[test]
+    fn epoch_and_state_changes_invalidate() {
+        let cache = DecisionCache::new();
+        let k = key(1, 0, "/dev/car/door0", 0b10);
+        cache.insert(&k, CachedOutcome::Allow);
+        assert_eq!(cache.lookup(&key(2, 0, "/dev/car/door0", 0b10)), None);
+        assert_eq!(cache.lookup(&key(1, 1, "/dev/car/door0", 0b10)), None);
+        assert_eq!(cache.lookup(&key(1, 0, "/dev/car/door0", 0b01)), None);
+        assert_eq!(cache.lookup(&key(1, 0, "/dev/car/door1", 0b10)), None);
+        // The original entry is still intact (different slots or verifier
+        // mismatch only on the perturbed keys).
+        assert_eq!(cache.lookup(&k), Some(CachedOutcome::Allow));
+    }
+
+    #[test]
+    fn distinct_outcomes_roundtrip() {
+        let cache = DecisionCache::new();
+        for (i, outcome) in [
+            CachedOutcome::Unprotected,
+            CachedOutcome::Override,
+            CachedOutcome::Allow,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let k = key(7, i, "/tmp/x", 1);
+            cache.insert(&k, outcome);
+            assert_eq!(cache.lookup(&k), Some(outcome));
+        }
+    }
+
+    #[test]
+    fn subject_identity_is_part_of_the_key() {
+        let cache = DecisionCache::new();
+        let k = key(1, 0, "/dev/car/door0", 0b10);
+        cache.insert(&k, CachedOutcome::Allow);
+        let other_uid = DecisionKey { uid: 0, ..k };
+        assert_eq!(cache.lookup(&other_uid), None);
+        let with_override = DecisionKey {
+            mac_override: true,
+            ..k
+        };
+        assert_eq!(cache.lookup(&with_override), None);
+        let other_exe = DecisionKey {
+            exe: Some("/usr/bin/other"),
+            ..k
+        };
+        assert_eq!(cache.lookup(&other_exe), None);
+        let no_exe = DecisionKey { exe: None, ..k };
+        assert_eq!(cache.lookup(&no_exe), None);
+    }
+
+    #[test]
+    fn warmed_working_set_replays_without_misses() {
+        let cache = DecisionCache::new();
+        let paths: Vec<String> = (0..64)
+            .map(|i| format!("/protected/area0/s0/devices/dev{i}"))
+            .collect();
+        for p in &paths {
+            cache.insert(&key(0, 0, p, 1), CachedOutcome::Allow);
+        }
+        let mut misses = 0;
+        for i in 0..64_000usize {
+            if cache.lookup(&key(0, 0, &paths[i % 64], 1)).is_none() {
+                misses += 1;
+            }
+        }
+        assert_eq!(misses, 0, "a warmed 64-entry working set must not thrash");
+    }
+
+    #[test]
+    fn many_keys_low_false_hit_rate() {
+        // Insert 10k keys with one outcome, then probe 10k *different* keys:
+        // every probe must miss (tag+verifier is 126 bits of discrimination).
+        let cache = DecisionCache::new();
+        for i in 0..10_000usize {
+            let path = format!("/data/file{i}");
+            cache.insert(&key(1, 0, &path, 1), CachedOutcome::Allow);
+        }
+        for i in 10_000..20_000usize {
+            let path = format!("/data/file{i}");
+            assert_eq!(cache.lookup(&key(1, 0, &path, 1)), None);
+        }
+    }
+}

@@ -62,6 +62,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod audit;
+pub mod cache;
 pub mod enhance;
 pub mod policy;
 pub mod rules;
@@ -72,6 +73,7 @@ pub mod situation;
 pub mod ssm;
 
 pub use audit::{AuditLog, AuditRecord};
+pub use cache::{CachedOutcome, DecisionCache, DecisionKey};
 pub use enhance::{AppArmorEnhancer, EnhanceError, SACK_RULE_ORIGIN};
 pub use policy::{CompiledPolicy, IssueSeverity, PolicyIssue, SackPolicy};
 pub use rules::{MacRule, Permission, PermissionId, RuleEffect, StateRuleSet, SubjectMatch};

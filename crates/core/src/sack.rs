@@ -3,12 +3,11 @@
 //! or **SACK-enhanced AppArmor** (patches AppArmor's policies on situation
 //! transitions). Paper §III-E-3.
 
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-
-use parking_lot::RwLock;
 
 use sack_apparmor::profile::FilePerms;
 use sack_apparmor::AppArmor;
@@ -16,8 +15,11 @@ use sack_kernel::cred::Capability;
 use sack_kernel::error::{Errno, KernelError, KernelResult};
 use sack_kernel::kernel::Kernel;
 use sack_kernel::lsm::{AccessMask, HookCtx, ObjectKind, ObjectRef, SecurityModule};
+use sack_kernel::sync::Rcu;
+use sack_kernel::types::Pid;
 
 use crate::audit::{AuditLog, AuditRecord};
+use crate::cache::{CachedOutcome, DecisionCache, DecisionKey};
 use crate::enhance::{validate_for_enhancement, AppArmorEnhancer, EnhanceError};
 use crate::policy::{CompiledPolicy, ParsePolicyError, PolicyIssue, SackPolicy};
 use crate::rules::SubjectCtx;
@@ -108,6 +110,10 @@ pub struct SackStats {
     pub events_received: AtomicU64,
     /// Events rejected as unknown.
     pub events_unknown: AtomicU64,
+    /// Decision-cache hits (access granted without re-evaluating rules).
+    pub cache_hits: AtomicU64,
+    /// Decision-cache misses (full evaluation performed).
+    pub cache_misses: AtomicU64,
 }
 
 /// A loaded policy with its running state machine; swapped atomically on
@@ -150,14 +156,25 @@ impl fmt::Debug for ActivePolicy {
 /// [`Sack::attach`] once the kernel is booted to register the SACKfs nodes.
 pub struct Sack {
     mode: EnforcementMode,
-    active: RwLock<Arc<ActivePolicy>>,
+    /// RCU-published policy snapshot: hot-path hooks read it wait-free; a
+    /// reload swaps in a whole new [`ActivePolicy`].
+    active: Rcu<ActivePolicy>,
     enhancer: Option<AppArmorEnhancer>,
     /// Oracle resolving `subject=profile:` selectors in independent mode.
-    profile_oracle: RwLock<Option<Arc<AppArmor>>>,
+    profile_oracle: Rcu<Option<Arc<AppArmor>>>,
     stats: SackStats,
     audit: AuditLog,
     /// Set at [`Sack::attach`]; used to timestamp audit records.
-    kernel: RwLock<Option<std::sync::Weak<Kernel>>>,
+    kernel: Rcu<Option<std::sync::Weak<Kernel>>>,
+    /// Global decision epoch: bumped on policy reload, oracle rewiring and
+    /// situation transitions. Folded into every [`DecisionKey`], so cached
+    /// decisions from before any such change self-invalidate.
+    policy_epoch: AtomicU64,
+    /// Ablation/debug switch for the decision cache (default on).
+    cache_enabled: AtomicBool,
+    /// Per-task decision caches, RCU-published copy-on-write (entries are
+    /// added on a task's first mediated access and dropped on `task_free`).
+    caches: Rcu<HashMap<Pid, Arc<DecisionCache>>>,
 }
 
 impl Sack {
@@ -170,12 +187,15 @@ impl Sack {
         let active = ActivePolicy::from_text(policy_text)?;
         Ok(Arc::new(Sack {
             mode: EnforcementMode::Independent,
-            active: RwLock::new(Arc::new(active)),
+            active: Rcu::new(active),
             enhancer: None,
-            profile_oracle: RwLock::new(None),
+            profile_oracle: Rcu::new(None),
             stats: SackStats::default(),
             audit: AuditLog::new(),
-            kernel: RwLock::new(None),
+            kernel: Rcu::new(None),
+            policy_epoch: AtomicU64::new(0),
+            cache_enabled: AtomicBool::new(true),
+            caches: Rcu::new(HashMap::new()),
         }))
     }
 
@@ -198,12 +218,15 @@ impl Sack {
             .map_err(SackError::Enhance)?;
         Ok(Arc::new(Sack {
             mode: EnforcementMode::EnhancedAppArmor,
-            active: RwLock::new(Arc::new(active)),
+            active: Rcu::new(active),
             enhancer: Some(enhancer),
-            profile_oracle: RwLock::new(None),
+            profile_oracle: Rcu::new(None),
             stats: SackStats::default(),
             audit: AuditLog::new(),
-            kernel: RwLock::new(None),
+            kernel: Rcu::new(None),
+            policy_epoch: AtomicU64::new(0),
+            cache_enabled: AtomicBool::new(true),
+            caches: Rcu::new(HashMap::new()),
         }))
     }
 
@@ -220,18 +243,41 @@ impl Sack {
     /// Configures the profile oracle used to resolve `subject=profile:`
     /// selectors in independent mode.
     pub fn set_profile_oracle(&self, apparmor: Arc<AppArmor>) {
-        *self.profile_oracle.write() = Some(apparmor);
+        self.profile_oracle.store(Some(apparmor));
+        self.policy_epoch.fetch_add(1, Ordering::SeqCst);
     }
 
-    /// Snapshot of the active policy (cheap Arc clone).
+    /// Snapshot of the active policy (wait-free RCU read).
     pub fn active(&self) -> Arc<ActivePolicy> {
-        Arc::clone(&self.active.read())
+        self.active.read()
     }
 
     /// Name of the current situation state.
     pub fn current_state_name(&self) -> String {
         let active = self.active.read();
         active.ssm.current_name().to_string()
+    }
+
+    /// The current decision epoch (telemetry for tests and stats).
+    pub fn policy_epoch(&self) -> u64 {
+        self.policy_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Enables or disables the per-task decision cache (enabled by
+    /// default). Used by the ablation benchmarks; disabling never changes
+    /// decisions, only the cost of reaching them.
+    pub fn set_decision_cache_enabled(&self, enabled: bool) {
+        self.cache_enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// True if the decision cache is enabled.
+    pub fn decision_cache_enabled(&self) -> bool {
+        self.cache_enabled.load(Ordering::SeqCst)
+    }
+
+    /// Number of tasks currently holding a decision cache.
+    pub fn cached_task_count(&self) -> usize {
+        self.caches.read().len()
     }
 
     /// Registers the SACKfs nodes (`events`, `state`, `policy`, `stats`)
@@ -242,7 +288,7 @@ impl Sack {
     /// securityfs registration errors.
     pub fn attach(self: &Arc<Self>, kernel: &Arc<Kernel>) -> Result<(), SackError> {
         crate::sackfs::register(self, kernel)?;
-        *self.kernel.write() = Some(Arc::downgrade(kernel));
+        self.kernel.store(Some(Arc::downgrade(kernel)));
         Ok(())
     }
 
@@ -252,12 +298,28 @@ impl Sack {
     }
 
     fn now(&self) -> std::time::Duration {
-        self.kernel
-            .read()
+        (*self.kernel.read())
             .as_ref()
             .and_then(std::sync::Weak::upgrade)
             .map(|k| k.clock().now())
             .unwrap_or(std::time::Duration::ZERO)
+    }
+
+    /// The decision cache for `pid`, created on first use.
+    fn task_cache(&self, pid: Pid) -> Arc<DecisionCache> {
+        if let Some(cache) = self.caches.read().get(&pid) {
+            return Arc::clone(cache);
+        }
+        self.caches.update(|map| match map.get(&pid) {
+            // Lost a race with another hook of the same task: reuse.
+            Some(cache) => (map.clone(), Arc::clone(cache)),
+            None => {
+                let cache = Arc::new(DecisionCache::new());
+                let mut next = map.clone();
+                next.insert(pid, Arc::clone(&cache));
+                (next, cache)
+            }
+        })
     }
 
     /// Delivers a situation event by name at simulated time `now`
@@ -281,6 +343,11 @@ impl Sack {
                     .apply_state(&active.policy, to)
                     .map_err(SackError::Enhance)?;
             }
+            // The situation changed: retire every cached decision. (The
+            // state id already keys the cache; the epoch bump additionally
+            // covers enhanced-mode profile patches and keeps transition
+            // semantics uniform across modes.)
+            self.policy_epoch.fetch_add(1, Ordering::SeqCst);
         }
         Ok(outcome)
     }
@@ -302,11 +369,22 @@ impl Sack {
                 .map_err(SackError::Enhance)?;
         }
         let warnings = next.policy.warnings().to_vec();
-        *self.active.write() = Arc::new(next);
+        // Publish first, then bump the epoch: a hook that observes the new
+        // epoch is guaranteed (SeqCst) to also observe the new policy, so no
+        // cache entry can pair a new epoch with an old-policy decision.
+        self.active.store(next);
+        self.policy_epoch.fetch_add(1, Ordering::SeqCst);
         Ok(warnings)
     }
 
     /// The independent-mode access check shared by the file hooks.
+    ///
+    /// Fast path: an epoch-tagged per-task cache replays previous *grant*
+    /// decisions without touching the protected set, the rule index or the
+    /// profile oracle. Denials are deliberately never cached — every
+    /// refusal takes the slow path so the denial counter and the audit log
+    /// stay exact. Counter semantics are identical with the cache on or
+    /// off: a hit bumps the same counter the slow path would have.
     fn check_access(
         &self,
         ctx: &HookCtx,
@@ -321,21 +399,62 @@ impl Sack {
         if matches!(obj.kind, ObjectKind::Pipe | ObjectKind::Socket) {
             return Ok(());
         }
+        // Epoch before snapshot: seeing an epoch implies (SeqCst) seeing at
+        // least the policy/oracle state published before that epoch, so an
+        // entry tagged with it can never replay an older policy's decision.
+        let epoch = self.policy_epoch.load(Ordering::SeqCst);
+        let oracle = self.profile_oracle.read();
+        let confinement_gen = (*oracle)
+            .as_ref()
+            .map_or(0, |aa| aa.confinement_generation());
         let active = self.active.read();
+        let state: StateId = active.ssm.current();
+        let mac_override = ctx.cred.capable(Capability::MacOverride);
+        let key = DecisionKey {
+            epoch,
+            confinement_gen,
+            state: state.0,
+            uid: ctx.cred.uid.0,
+            mac_override,
+            exe: ctx.exe.as_ref().map(|p| p.as_str()),
+            path: obj.path.as_str(),
+            perms: requested.bits(),
+        };
+        let cache = self
+            .cache_enabled
+            .load(Ordering::Relaxed)
+            .then(|| self.task_cache(ctx.pid));
+        if let Some(cache) = &cache {
+            if let Some(outcome) = cache.lookup(&key) {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                let counter = match outcome {
+                    CachedOutcome::Unprotected => &self.stats.unprotected,
+                    CachedOutcome::Override => &self.stats.overrides,
+                    CachedOutcome::Allow => &self.stats.checks,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let record = |outcome: CachedOutcome| {
+            if let Some(cache) = &cache {
+                cache.insert(&key, outcome);
+            }
+        };
         if !active.policy.protected().contains(obj.path.as_str()) {
             self.stats.unprotected.fetch_add(1, Ordering::Relaxed);
+            record(CachedOutcome::Unprotected);
             return Ok(());
         }
-        if ctx.cred.capable(Capability::MacOverride) {
+        if mac_override {
             self.stats.overrides.fetch_add(1, Ordering::Relaxed);
+            record(CachedOutcome::Override);
             return Ok(());
         }
         self.stats.checks.fetch_add(1, Ordering::Relaxed);
-        let state: StateId = active.ssm.current();
         let rules = active.policy.state_rules(state);
-        let profile = self
-            .profile_oracle
-            .read()
+        let profile = (*oracle)
             .as_ref()
             .and_then(|aa| aa.current_profile(ctx.pid));
         let subject = SubjectCtx {
@@ -344,6 +463,7 @@ impl Sack {
             profile: profile.as_deref(),
         };
         if rules.permits(&subject, obj.path.as_str(), requested) {
+            record(CachedOutcome::Allow);
             Ok(())
         } else {
             self.stats.denials.fetch_add(1, Ordering::Relaxed);
@@ -404,6 +524,18 @@ impl SecurityModule for Sack {
             dev: None,
         };
         self.check_access(ctx, &new_obj, FilePerms::WRITE)
+    }
+
+    fn task_free(&self, pid: Pid) {
+        // Drop the task's decision cache; skip the copy-and-swap for tasks
+        // that never triggered a mediated access.
+        if self.caches.read().contains_key(&pid) {
+            self.caches.update(|map| {
+                let mut next = map.clone();
+                next.remove(&pid);
+                (next, ())
+            });
+        }
     }
 }
 
@@ -685,6 +817,144 @@ mod tests {
             .is_ok());
         // SACK itself performed no checks.
         assert_eq!(sack.stats().checks.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn decision_cache_hits_and_invalidates_on_transition() {
+        let (kernel, sack) = boot_independent();
+        let rescue = kernel.spawn(Credentials::user(100, 100));
+        rescue.exec("/usr/bin/rescue_daemon").unwrap();
+
+        // Warm the cache on the read decision, then replay it.
+        for _ in 0..5 {
+            assert!(rescue
+                .open("/dev/car/door0", OpenFlags::read_only())
+                .is_ok());
+        }
+        let hits = sack.stats().cache_hits.load(Ordering::Relaxed);
+        assert!(hits > 0, "repeated identical accesses must hit the cache");
+
+        // Transition mid-stream: the very next decision must reflect the
+        // new state, not the cached normal-state one.
+        assert!(rescue
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .is_err());
+        sack.deliver_event("crash", Duration::ZERO).unwrap();
+        assert!(rescue
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .is_ok());
+        // And back: the emergency-state grant must not survive either.
+        sack.deliver_event("rescue_done", Duration::ZERO).unwrap();
+        assert!(rescue
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .is_err());
+    }
+
+    #[test]
+    fn decision_cache_invalidates_on_policy_reload() {
+        let (kernel, sack) = boot_independent();
+        let rescue = kernel.spawn(Credentials::user(100, 100));
+        rescue.exec("/usr/bin/rescue_daemon").unwrap();
+        for _ in 0..3 {
+            assert!(rescue
+                .open("/dev/car/door0", OpenFlags::read_only())
+                .is_ok());
+        }
+        // Swap in a policy that still protects /dev/car/** but grants
+        // nothing: the warmed allow-read decision must die with the reload.
+        sack.reload_policy(
+            r#"
+            states { lockdown = 0; } initial lockdown;
+            permissions { NONE; }
+            state_per { lockdown: NONE; }
+            per_rules { NONE: deny subject=* /dev/car/** rwaxmi; }
+        "#,
+        )
+        .unwrap();
+        let err = rescue
+            .open("/dev/car/door0", OpenFlags::read_only())
+            .unwrap_err();
+        assert_eq!(err.context(), Some("sack"));
+    }
+
+    #[test]
+    fn decision_cache_invalidates_on_confinement_change() {
+        let policy = r#"
+            states { s = 0; } initial s;
+            permissions { P; }
+            state_per { s: P; }
+            per_rules { P: allow subject=profile:trusted /secret/** r; }
+        "#;
+        let sack = Sack::independent(policy).unwrap();
+        let db = Arc::new(sack_apparmor::PolicyDb::new());
+        db.load_text("profile trusted { /secret/** r, }").unwrap();
+        let apparmor = AppArmor::new(db);
+        sack.set_profile_oracle(Arc::clone(&apparmor));
+        let kernel = KernelBuilder::new()
+            .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+            .security_module(Arc::clone(&apparmor) as Arc<dyn SecurityModule>)
+            .boot();
+        kernel
+            .vfs()
+            .mkdir_all(&KPath::new("/secret").unwrap())
+            .unwrap();
+        kernel
+            .vfs()
+            .create_file(
+                &KPath::new("/secret/key").unwrap(),
+                Mode(0o644),
+                sack_kernel::Uid::ROOT,
+                sack_kernel::Gid(0),
+            )
+            .unwrap();
+        let task = kernel.spawn(Credentials::user(100, 100));
+        apparmor.set_profile(task.pid(), "trusted").unwrap();
+        // Warm the profile-dependent allow decision.
+        for _ in 0..3 {
+            assert!(task.read_to_vec("/secret/key").is_ok());
+        }
+        // Unconfining bumps the confinement generation: the cached oracle
+        // answer ("task is profile `trusted`") must not be replayed.
+        apparmor.unconfine(task.pid());
+        let err = task.read_to_vec("/secret/key").unwrap_err();
+        assert_eq!(err.context(), Some("sack"));
+    }
+
+    #[test]
+    fn decision_cache_disabled_keeps_decisions_and_counters() {
+        let (kernel, sack) = boot_independent();
+        sack.set_decision_cache_enabled(false);
+        assert!(!sack.decision_cache_enabled());
+        let rescue = kernel.spawn(Credentials::user(100, 100));
+        rescue.exec("/usr/bin/rescue_daemon").unwrap();
+        for _ in 0..5 {
+            assert!(rescue
+                .open("/dev/car/door0", OpenFlags::read_only())
+                .is_ok());
+        }
+        assert_eq!(sack.stats().cache_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(sack.stats().cache_misses.load(Ordering::Relaxed), 0);
+        assert!(sack.stats().checks.load(Ordering::Relaxed) >= 5);
+        sack.deliver_event("crash", Duration::ZERO).unwrap();
+        assert!(rescue
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .is_ok());
+    }
+
+    #[test]
+    fn task_exit_drops_decision_cache_entry() {
+        let (kernel, sack) = boot_independent();
+        let p = kernel.spawn(Credentials::user(100, 100));
+        assert!(p.open("/dev/car/door0", OpenFlags::read_only()).is_ok());
+        assert!(sack.stats().cache_misses.load(Ordering::Relaxed) > 0);
+        let with_task = sack.cached_task_count();
+        assert!(with_task >= 1);
+        p.exit();
+        assert_eq!(
+            sack.cached_task_count(),
+            with_task - 1,
+            "task_free must drop the per-task cache"
+        );
     }
 
     #[test]

@@ -139,7 +139,8 @@ impl SecurityFsFile for StatsNode {
         let active = sack.active();
         Ok(format!(
             "checks {}\ndenials {}\nunprotected {}\noverrides {}\n\
-             events_received {}\nevents_unknown {}\ntransitions_taken {}\n",
+             events_received {}\nevents_unknown {}\ntransitions_taken {}\n\
+             cache_hits {}\ncache_misses {}\npolicy_epoch {}\n",
             s.checks.load(Ordering::Relaxed),
             s.denials.load(Ordering::Relaxed),
             s.unprotected.load(Ordering::Relaxed),
@@ -147,6 +148,9 @@ impl SecurityFsFile for StatsNode {
             s.events_received.load(Ordering::Relaxed),
             s.events_unknown.load(Ordering::Relaxed),
             active.ssm.taken_count(),
+            s.cache_hits.load(Ordering::Relaxed),
+            s.cache_misses.load(Ordering::Relaxed),
+            sack.policy_epoch(),
         )
         .into_bytes())
     }

@@ -39,6 +39,7 @@ pub mod lsm;
 pub mod path;
 pub mod sched;
 pub mod securityfs;
+pub mod sync;
 pub mod task;
 pub mod time;
 pub mod types;
@@ -50,5 +51,6 @@ pub use error::{Errno, KernelError, KernelResult};
 pub use kernel::{Kernel, KernelBuilder};
 pub use lsm::{AccessMask, HookCtx, ObjectKind, ObjectRef, SecurityModule, SocketFamily};
 pub use path::KPath;
+pub use sync::Rcu;
 pub use types::{DeviceId, Fd, InodeId, Mode, Pid};
 pub use uctx::UserContext;

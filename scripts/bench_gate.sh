@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Benchmark gate for the hook hot path (DESIGN.md §5.3).
+#
+# Runs the decision-cache ablation in quick mode, extracts the warm-cache
+# and uncached-scan medians plus the steady-state cache hit rate, writes
+# them to BENCH_hook_latency.json at the repo root, and fails if the
+# warm-cache hook is not at least MIN_SPEEDUP× faster than the uncached
+# scan on the 100-rule policy (the acceptance bar for the epoch-tagged
+# decision cache).
+#
+# Usage: scripts/bench_gate.sh [--full]
+#   --full  drop --quick and use criterion's full sample counts.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
+MIN_HIT_RATE="${MIN_HIT_RATE:-0.95}"
+OUT_JSON="${OUT_JSON:-BENCH_hook_latency.json}"
+
+QUICK="--quick"
+if [[ "${1:-}" == "--full" ]]; then
+    QUICK=""
+fi
+
+TMP_JSON="$(mktemp)"
+TMP_LOG="$(mktemp)"
+trap 'rm -f "$TMP_JSON" "$TMP_LOG"' EXIT
+
+echo "== bench_gate: running ablation_decision_cache ${QUICK:+(quick mode)}" >&2
+BENCH_JSON_OUT="$TMP_JSON" \
+    cargo bench --offline -p sack-bench --bench ablation_decision_cache -- $QUICK \
+    | tee "$TMP_LOG"
+
+median_of() {
+    # Pull "median_ns" for the record whose name contains $1.
+    grep -F "$1" "$TMP_JSON" | sed -n 's/.*"median_ns": \([0-9.]*\).*/\1/p' | head -1
+}
+
+WARM_SINGLE="$(median_of '100rules_single/warm-cache')"
+SCAN_SINGLE="$(median_of '100rules_single/uncached-scan')"
+WARM_WSET="$(median_of '100rules_wset64/warm-cache')"
+SCAN_WSET="$(median_of '100rules_wset64/uncached-scan')"
+HIT_RATE="$(sed -n 's/^cache_hit_rate \([0-9.]*\)$/\1/p' "$TMP_LOG" | head -1)"
+
+for v in WARM_SINGLE SCAN_SINGLE WARM_WSET SCAN_WSET HIT_RATE; do
+    if [[ -z "${!v}" ]]; then
+        echo "bench_gate: FAILED to extract $v from benchmark output" >&2
+        exit 1
+    fi
+done
+
+SPEEDUP_SINGLE="$(awk -v a="$SCAN_SINGLE" -v b="$WARM_SINGLE" 'BEGIN { printf "%.2f", a / b }')"
+SPEEDUP_WSET="$(awk -v a="$SCAN_WSET" -v b="$WARM_WSET" 'BEGIN { printf "%.2f", a / b }')"
+
+cat > "$OUT_JSON" <<EOF
+{
+  "bench": "ablation_decision_cache",
+  "policy_rules": 100,
+  "single_path": {
+    "warm_cache_median_ns": $WARM_SINGLE,
+    "uncached_scan_median_ns": $SCAN_SINGLE,
+    "speedup": $SPEEDUP_SINGLE
+  },
+  "working_set_64": {
+    "warm_cache_median_ns": $WARM_WSET,
+    "uncached_scan_median_ns": $SCAN_WSET,
+    "speedup": $SPEEDUP_WSET,
+    "cache_hit_rate": $HIT_RATE
+  },
+  "gate": {
+    "min_speedup": $MIN_SPEEDUP,
+    "min_hit_rate": $MIN_HIT_RATE
+  }
+}
+EOF
+
+echo "== bench_gate: wrote $OUT_JSON" >&2
+echo "   single-path speedup:  ${SPEEDUP_SINGLE}x (warm $WARM_SINGLE ns vs scan $SCAN_SINGLE ns)" >&2
+echo "   working-set speedup:  ${SPEEDUP_WSET}x (warm $WARM_WSET ns vs scan $SCAN_WSET ns)" >&2
+echo "   working-set hit rate: $HIT_RATE" >&2
+
+fail=0
+if awk -v s="$SPEEDUP_SINGLE" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
+    echo "bench_gate: FAIL — single-path speedup ${SPEEDUP_SINGLE}x < required ${MIN_SPEEDUP}x" >&2
+    fail=1
+fi
+if awk -v s="$SPEEDUP_WSET" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
+    echo "bench_gate: FAIL — working-set speedup ${SPEEDUP_WSET}x < required ${MIN_SPEEDUP}x" >&2
+    fail=1
+fi
+if awk -v h="$HIT_RATE" -v m="$MIN_HIT_RATE" 'BEGIN { exit !(h < m) }'; then
+    echo "bench_gate: FAIL — working-set hit rate $HIT_RATE < required $MIN_HIT_RATE" >&2
+    fail=1
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+    exit 1
+fi
+echo "== bench_gate: PASS" >&2

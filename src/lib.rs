@@ -5,6 +5,8 @@
 //! tour, `DESIGN.md` for the architecture and experiment index, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
 
+pub mod prop;
+
 pub use sack_apparmor as apparmor;
 pub use sack_core as core;
 pub use sack_kernel as kernel;

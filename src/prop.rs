@@ -1,0 +1,186 @@
+//! Minimal property-testing harness.
+//!
+//! The build environment has no registry access, so instead of `proptest`
+//! the suite's property tests run on this hand-rolled harness: a
+//! deterministic xorshift PRNG, a few combinators for generating structured
+//! values, and a [`for_cases`] runner that replays a fixed seed sequence so
+//! failures are reproducible (the failing case index and seed are part of
+//! the panic message).
+
+/// Deterministic xorshift64* PRNG — no external randomness, so every run of
+/// a property test sees exactly the same case sequence.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a non-zero seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng {
+            state: seed.max(1),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    /// Picks one element of a slice.
+    pub fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.below(options.len())]
+    }
+
+    /// Picks an element with integer weights (like `prop_oneof!` weights).
+    pub fn pick_weighted<'a, T>(&mut self, options: &'a [(u32, T)]) -> &'a T {
+        let total: u32 = options.iter().map(|(w, _)| *w).sum();
+        let mut roll = self.below(total as usize) as u32;
+        for (w, v) in options {
+            if roll < *w {
+                return v;
+            }
+            roll -= w;
+        }
+        &options[options.len() - 1].1
+    }
+
+    /// A string built by sampling `parts` between `min` and `max` times.
+    pub fn concat_parts(&mut self, parts: &[(u32, &str)], min: usize, max: usize) -> String {
+        let n = self.range(min, max + 1);
+        (0..n).map(|_| *self.pick_weighted(parts)).collect()
+    }
+
+    /// An arbitrary printable-ish string of length `< max_len`, including
+    /// unicode, braces, and policy metacharacters — fuzz fodder for parsers.
+    pub fn soup(&mut self, max_len: usize) -> String {
+        let n = self.below(max_len + 1);
+        (0..n)
+            .map(|_| {
+                let c = match self.below(8) {
+                    0 => char::from_u32(self.range(0x20, 0x7f) as u32).unwrap(),
+                    1 => *self.pick(&['{', '}', ';', ':', ',', '/', '*', '?', '[', ']']),
+                    2 => *self.pick(&['\n', '\t', ' ']),
+                    3 => char::from_u32(self.range(0xa1, 0x2ff) as u32).unwrap_or('¿'),
+                    _ => char::from_u32(self.range(b'a' as usize, b'z' as usize + 1) as u32)
+                        .unwrap(),
+                };
+                c
+            })
+            .collect()
+    }
+}
+
+/// Number of cases each property runs (proptest's default is 256).
+pub const DEFAULT_CASES: usize = 256;
+
+/// Runs `body` for `cases` generated cases. Each case gets its own
+/// deterministically-seeded [`Rng`]; a panic inside `body` is annotated with
+/// the case index and seed so it can be replayed in isolation.
+pub fn for_cases(cases: usize, mut body: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        // Seeds are fixed per (case index); splitmix the index so seeds
+        // differ in many bits.
+        let mut z = (case as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let seed = z ^ (z >> 31);
+        let mut rng = Rng::new(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            panic!("property failed at case {case} (seed {seed:#x}): {msg}");
+        }
+    }
+}
+
+/// Runs [`for_cases`] with [`DEFAULT_CASES`].
+pub fn check(body: impl FnMut(&mut Rng)) {
+    for_cases(DEFAULT_CASES, body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Rng::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+            let x = rng.range(5, 9);
+            assert!((5..9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pick_weighted_only_returns_positive_weight_options() {
+        let mut rng = Rng::new(3);
+        for _ in 0..500 {
+            let v = *rng.pick_weighted(&[(3, "a"), (0, "never"), (1, "b")]);
+            assert_ne!(v, "never");
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_case_and_seed() {
+        let err = std::panic::catch_unwind(|| {
+            for_cases(10, |rng| {
+                assert!(rng.below(100) < 101, "impossible");
+                panic!("boom");
+            })
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("case 0"), "{msg}");
+        assert!(msg.contains("seed"), "{msg}");
+    }
+
+    #[test]
+    fn soup_respects_length_budget() {
+        let mut rng = Rng::new(11);
+        for _ in 0..100 {
+            assert!(rng.soup(40).chars().count() <= 40);
+        }
+    }
+}

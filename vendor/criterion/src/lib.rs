@@ -1,0 +1,360 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal benchmark harness with criterion's surface API: `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `criterion_group!` and
+//! `criterion_main!`. Timing is wall-clock (`Instant`): each sample runs the
+//! closure in a batch sized to fill `measurement_time / sample_size`, and
+//! the reported figure is the median ns/iteration across samples.
+//!
+//! Extras for CI tooling:
+//!
+//! * `--quick` (or `--test`) on the command line collapses warm-up and
+//!   sampling to a fast smoke run;
+//! * a substring argument filters which benchmarks run (like criterion);
+//! * if `BENCH_JSON_OUT` is set in the environment, a JSON array of
+//!   `{"name": ..., "median_ns": ...}` records is written there when the
+//!   binary exits (used by `scripts/bench_gate.sh`).
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement, kept for the optional JSON dump.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark id (`group/function` style).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Snapshot of every measurement recorded so far in this process.
+pub fn collected_results() -> Vec<BenchRecord> {
+    RESULTS.lock().unwrap().clone()
+}
+
+/// Writes the collected results to `$BENCH_JSON_OUT` (if set). Called by the
+/// `criterion_main!`-generated `main` after all groups have run.
+pub fn finalize() {
+    let Ok(path) = std::env::var("BENCH_JSON_OUT") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"median_ns\": {:.1}}}{comma}\n",
+            r.name.replace('"', "'"),
+            r.median_ns
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: cannot write {path}: {e}");
+    }
+}
+
+fn cli() -> (bool, Option<String>) {
+    let mut quick = false;
+    let mut filter = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" | "--test" => quick = true,
+            "--bench" => {}
+            s if s.starts_with("--") => {} // ignore unknown criterion flags
+            s => filter = Some(s.to_string()),
+        }
+    }
+    (quick, filter)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id that is just the parameter (used inside a named group).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` `self.iters` times, recording total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark configuration and entry point (criterion's main type).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let (quick, filter) = cli();
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            samples: 20,
+            quick,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the target total measurement time.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: None,
+        }
+    }
+
+    /// Measures a standalone benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        let name = name.into();
+        self.run_one(&name, self.samples, f);
+        self
+    }
+
+    fn skipped(&self, name: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !name.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, name: &str, samples: usize, mut f: F) {
+        if self.skipped(name) {
+            return;
+        }
+        let (warm_up, measurement, samples) = if self.quick {
+            (Duration::from_millis(20), Duration::from_millis(60), 5)
+        } else {
+            (self.warm_up, self.measurement, samples)
+        };
+
+        // Warm-up: also calibrates iterations/sample so that each sample
+        // lasts roughly measurement/samples.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut warm_elapsed = Duration::ZERO;
+        while warm_start.elapsed() < warm_up {
+            f(&mut bencher);
+            warm_iters += bencher.iters;
+            warm_elapsed += bencher.elapsed;
+            if bencher.elapsed < Duration::from_micros(50) {
+                bencher.iters = (bencher.iters * 2).min(1 << 30);
+            }
+        }
+        let per_iter_ns = if warm_iters == 0 {
+            1.0
+        } else {
+            (warm_elapsed.as_nanos() as f64 / warm_iters as f64).max(0.1)
+        };
+        let sample_budget_ns = measurement.as_nanos() as f64 / samples as f64;
+        let iters = ((sample_budget_ns / per_iter_ns) as u64).clamp(1, 1 << 32);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            bencher.iters = iters;
+            f(&mut bencher);
+            per_iter.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = per_iter[per_iter.len() / 2];
+
+        println!("{name:<60} {median:>12.1} ns/iter  ({samples} samples x {iters} iters)");
+        RESULTS.lock().unwrap().push(BenchRecord {
+            name: name.to_string(),
+            median_ns: median,
+        });
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(2));
+        self
+    }
+
+    /// Measures one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{id}", self.name);
+        let samples = self.samples.unwrap_or(self.criterion.samples);
+        self.criterion.run_one(&name, samples, |b| f(b, input));
+        self
+    }
+
+    /// Measures one benchmark without an input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{id}", self.name);
+        let samples = self.samples.unwrap_or(self.criterion.samples);
+        self.criterion.run_one(&name, samples, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)*) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        c.quick = true;
+        c.filter = None;
+        c.bench_function("shim/smoke", |b| b.iter(|| black_box(2 + 2)));
+        let results = collected_results();
+        assert!(results.iter().any(|r| r.name == "shim/smoke"));
+        let r = results.iter().find(|r| r.name == "shim/smoke").unwrap();
+        assert!(r.median_ns > 0.0);
+    }
+
+    #[test]
+    fn group_ids_are_prefixed() {
+        let mut c = Criterion::default();
+        c.quick = true;
+        c.filter = None;
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter("p1"), &7u32, |b, v| {
+            b.iter(|| black_box(*v * 2))
+        });
+        group.finish();
+        assert!(collected_results().iter().any(|r| r.name == "grp/p1"));
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion::default();
+        c.quick = true;
+        c.filter = Some("only-this".to_string());
+        c.bench_function("something-else", |b| b.iter(|| black_box(1)));
+        assert!(!collected_results()
+            .iter()
+            .any(|r| r.name == "something-else"));
+    }
+}
