@@ -1,0 +1,224 @@
+//! Structured diagnostics and reports.
+//!
+//! A [`Diagnostic`] is one finding: a severity, a stable kebab-case check
+//! id (machine-matchable), a human-readable message, and — for rule-level
+//! findings — the provenance of the offending rule. A [`Report`] is the
+//! ordered collection produced by one analyzer run, renderable as text or
+//! JSON.
+
+use std::fmt;
+
+use sack_core::policy::{IssueSeverity, PolicyIssue, RuleProvenance};
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error (would abort a load) or warning.
+    pub severity: IssueSeverity,
+    /// Stable kebab-case check id, e.g. `shadowed-rule` or
+    /// `stacked-profile-wide-open`.
+    pub check: String,
+    /// Human-readable description.
+    pub message: String,
+    /// The rule this finding is anchored to, when applicable.
+    pub provenance: Option<RuleProvenance>,
+}
+
+impl Diagnostic {
+    /// Builds a warning-severity diagnostic.
+    pub fn warning(check: &str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: IssueSeverity::Warning,
+            check: check.to_string(),
+            message: message.into(),
+            provenance: None,
+        }
+    }
+
+    /// Attaches rule provenance.
+    #[must_use]
+    pub fn with_provenance(mut self, provenance: RuleProvenance) -> Diagnostic {
+        self.provenance = Some(provenance);
+        self
+    }
+}
+
+impl From<PolicyIssue> for Diagnostic {
+    fn from(issue: PolicyIssue) -> Diagnostic {
+        Diagnostic {
+            severity: issue.severity,
+            check: issue.kind.id().to_string(),
+            message: issue.message,
+            provenance: issue.provenance,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.severity, self.check, self.message)?;
+        if let Some(prov) = &self.provenance {
+            write!(
+                f,
+                "\n    --> permission `{}`, line {}: `{}`",
+                prov.permission, prov.line, prov.rule
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one analyzer run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Findings in detection order (core checks first, stacking last).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == IssueSeverity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == IssueSeverity::Warning)
+            .count()
+    }
+
+    /// True when nothing was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings matching a check id.
+    pub fn by_check<'r>(&'r self, check: &'r str) -> impl Iterator<Item = &'r Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.check == check)
+    }
+
+    /// Renders the report as human-readable text, one finding per block.
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            return "no findings\n".to_string();
+        }
+        let mut out = String::new();
+        for diag in &self.diagnostics {
+            out.push_str(&diag.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s)\n",
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+
+    /// Renders the report as machine-readable JSON.
+    ///
+    /// Shape:
+    ///
+    /// ```json
+    /// {
+    ///   "errors": 0,
+    ///   "warnings": 1,
+    ///   "diagnostics": [
+    ///     {
+    ///       "severity": "warning",
+    ///       "check": "shadowed-rule",
+    ///       "message": "...",
+    ///       "provenance": {"permission": "P", "line": 4, "rule": "..."}
+    ///     }
+    ///   ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            self.error_count(),
+            self.warning_count()
+        ));
+        for (i, diag) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":\"{}\",\"check\":\"{}\",\"message\":\"{}\"",
+                diag.severity,
+                json_escape(&diag.check),
+                json_escape(&diag.message)
+            ));
+            if let Some(prov) = &diag.provenance {
+                out.push_str(&format!(
+                    ",\"provenance\":{{\"permission\":\"{}\",\"line\":{},\"rule\":\"{}\"}}",
+                    json_escape(&prov.permission),
+                    prov.line,
+                    json_escape(&prov.rule)
+                ));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn report_counts_and_render() {
+        let report = Report {
+            diagnostics: vec![Diagnostic::warning("shadowed-rule", "rule x is shadowed")],
+        };
+        assert_eq!(report.error_count(), 0);
+        assert_eq!(report.warning_count(), 1);
+        assert!(!report.is_clean());
+        assert!(report.render().contains("[shadowed-rule]"));
+        let json = report.to_json();
+        assert!(json.contains("\"check\":\"shadowed-rule\""));
+        assert!(json.contains("\"warnings\":1"));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let report = Report::default();
+        assert!(report.is_clean());
+        assert_eq!(report.render(), "no findings\n");
+        assert_eq!(
+            report.to_json(),
+            "{\"errors\":0,\"warnings\":0,\"diagnostics\":[]}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! `sack-analyze` — pre-deployment correctness tooling for SACK policy
+//! bundles and the lock-free hot path.
+//!
+//! Two pillars:
+//!
+//! 1. **Static policy/SSM analysis** ([`analyzer`]): aggregates the core
+//!    checker's per-policy diagnostics (reachability, dead states, events
+//!    that never fire, shadowed rules, allow/deny conflicts) and layers on
+//!    cross-layer checks that only make sense with the whole bundle in
+//!    view — privilege widening across situations, SACK-protected paths
+//!    left wide open in a stacked AppArmor profile, and TE policies that
+//!    statically allow what SACK gates behind a situation. Findings are
+//!    [`diag::Diagnostic`]s with severity, stable check ids, and rule
+//!    provenance, renderable as text or a machine-readable JSON
+//!    [`diag::Report`].
+//! 2. **Bounded interleaving checking** ([`interleave`], [`models`]): a
+//!    deterministic loom-style explorer that exhaustively enumerates every
+//!    schedule of small thread programs modelling the hand-rolled
+//!    `Rcu<T>` hazard-slot reclamation and the epoch-tagged decision
+//!    cache, asserting memory safety and linearizability of grant/deny
+//!    outcomes. Known-bad mutations (skip the tag verifier, skip the
+//!    hazard scan) are caught with a concrete interleaving trace.
+//!
+//! The `sack-analyze` binary wires the static pillar to the command line;
+//! `PolicySimulator` and `Sack::reload_policy` run the per-policy subset
+//! automatically at load time.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analyzer;
+pub mod diag;
+pub mod interleave;
+pub mod models;
+
+pub use analyzer::Analyzer;
+pub use diag::{Diagnostic, Report};
+pub use interleave::{explore, Exploration, Model, Violation};
+pub use models::{CacheConfig, CacheModel, RcuConfig, RcuModel};

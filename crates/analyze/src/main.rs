@@ -1,0 +1,127 @@
+//! `sack-analyze` — command-line front end for the static policy
+//! analyzer.
+//!
+//! ```text
+//! sack-analyze <policy.sack> [--profiles <profiles.aa>] [--te <policy.te>]
+//!              [--json] [--strict]
+//! ```
+//!
+//! Exit codes: `0` clean (warnings allowed unless `--strict`), `1`
+//! findings that should block deployment, `2` usage / I/O / parse
+//! errors.
+
+use std::process::ExitCode;
+
+use sack_analyze::Analyzer;
+use sack_apparmor::parser::parse_profiles;
+use sack_apparmor::profile::Profile;
+use sack_core::SackPolicy;
+use sack_te::TePolicy;
+
+const USAGE: &str = "usage: sack-analyze <policy.sack> [--profiles <profiles.aa>] \
+                     [--te <policy.te>] [--json] [--strict]";
+
+struct Options {
+    policy_path: String,
+    profiles_path: Option<String>,
+    te_path: Option<String>,
+    json: bool,
+    strict: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut policy_path = None;
+    let mut profiles_path = None;
+    let mut te_path = None;
+    let mut json = false;
+    let mut strict = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--profiles" => {
+                profiles_path = Some(
+                    iter.next()
+                        .ok_or("--profiles requires a file argument")?
+                        .clone(),
+                );
+            }
+            "--te" => {
+                te_path = Some(iter.next().ok_or("--te requires a file argument")?.clone());
+            }
+            "--json" => json = true,
+            "--strict" => strict = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+            }
+            path => {
+                if policy_path.replace(path.to_string()).is_some() {
+                    return Err(format!("more than one policy file given\n{USAGE}"));
+                }
+            }
+        }
+    }
+    Ok(Options {
+        policy_path: policy_path.ok_or_else(|| format!("no policy file given\n{USAGE}"))?,
+        profiles_path,
+        te_path,
+        json,
+        strict,
+    })
+}
+
+fn run(options: &Options) -> Result<ExitCode, String> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|err| format!("cannot read `{path}`: {err}"))
+    };
+
+    let policy_text = read(&options.policy_path)?;
+    let policy =
+        SackPolicy::parse(&policy_text).map_err(|err| format!("{}: {err}", options.policy_path))?;
+
+    let profiles: Vec<Profile> = match &options.profiles_path {
+        Some(path) => parse_profiles(&read(path)?).map_err(|err| format!("{path}: {err}"))?,
+        None => Vec::new(),
+    };
+    let te = match &options.te_path {
+        Some(path) => Some(TePolicy::parse(&read(path)?).map_err(|err| format!("{path}: {err}"))?),
+        None => None,
+    };
+
+    let mut analyzer = Analyzer::new(&policy).with_profiles(&profiles);
+    if let Some(te) = &te {
+        analyzer = analyzer.with_te(te);
+    }
+    let report = analyzer.run();
+
+    if options.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+
+    let blocking = report.error_count() > 0 || (options.strict && report.warning_count() > 0);
+    Ok(if blocking {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&options) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("sack-analyze: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

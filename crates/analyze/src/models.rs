@@ -1,0 +1,615 @@
+//! Bounded models of the lock-free hot path, for [`crate::explore`].
+//!
+//! Two models cover the two lock-free structures the hook dispatch path
+//! relies on:
+//!
+//! * [`RcuModel`] — the hazard-pointer `Rcu<T>` from `sack-kernel`'s
+//!   `sync` module: readers run the announce/validate protocol, the
+//!   writer retires the old version, scans the hazard slots and frees
+//!   only unannounced retirees. The checked property is memory safety
+//!   (no reader ever acquires a freed version) plus the bounded-graveyard
+//!   invariant.
+//! * [`CacheModel`] — the epoch-tagged decision cache from `sack-core`'s
+//!   `cache` module stacked on a policy reload: a writer publishes a new
+//!   policy then bumps the epoch while readers consult the cache and
+//!   fall back to evaluation. The checked property is linearizability of
+//!   grant/deny outcomes: every reader's answer must be producible by
+//!   *some* atomic placement of its query before or after the reload.
+//!
+//! Both models carry `skip_*` switches that disable one load-bearing
+//! ingredient of the real algorithm (the reader's validate loop, the
+//! writer's hazard scan, the cache's verifier check). Exploration must
+//! find a violation with any switch on and prove the model with all
+//! switches off — that asymmetry is what demonstrates the checker has
+//! teeth.
+
+use crate::interleave::Model;
+
+/// Configuration for [`RcuModel`].
+#[derive(Debug, Clone, Copy)]
+pub struct RcuConfig {
+    /// Number of reader threads (the model gives each its own hazard
+    /// slot, mirroring the common case of distinct preferred slots).
+    pub readers: usize,
+    /// Number of version updates the writer performs.
+    pub writes: usize,
+    /// Known-bad mutation: readers announce and acquire without
+    /// re-validating that the announced pointer is still current.
+    pub skip_validation: bool,
+    /// Known-bad mutation: the writer frees retired versions without
+    /// scanning the hazard slots.
+    pub skip_hazard_scan: bool,
+}
+
+impl RcuConfig {
+    /// The faithful algorithm with `readers` readers and `writes`
+    /// updates.
+    pub fn correct(readers: usize, writes: usize) -> RcuConfig {
+        RcuConfig {
+            readers,
+            writes,
+            skip_validation: false,
+            skip_hazard_scan: false,
+        }
+    }
+}
+
+/// Per-reader program counter for [`RcuModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RcuReaderPc {
+    /// Load the current version pointer.
+    Load,
+    /// Store the loaded pointer into the hazard slot.
+    Announce,
+    /// Reload `current` and compare with the announced pointer.
+    Validate,
+    /// Comparison failed: re-announce the newly loaded pointer.
+    Reannounce,
+    /// Take a reference to the announced version (checks liveness).
+    Acquire,
+    /// Clear the hazard slot.
+    Clear,
+    /// Finished.
+    Done,
+}
+
+/// Per-writer program counter for [`RcuModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RcuWriterPc {
+    /// Swap in the next version and push the old one onto the graveyard.
+    Publish,
+    /// Read one hazard slot into the announced snapshot.
+    Scan,
+    /// Free every retired version absent from the announced snapshot.
+    Free,
+    /// Finished all writes.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RcuReader {
+    pc: RcuReaderPc,
+    /// The version id this reader has loaded / announced.
+    p: u8,
+}
+
+/// Bounded model of the hazard-pointer `Rcu<T>`.
+///
+/// Versions are small integers `0..=writes`; version 0 is the initial
+/// value and the writer publishes `1, 2, …` in order. `freed` and
+/// `announced` are bitmasks over version ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RcuModel {
+    readers: Vec<RcuReader>,
+    writer_pc: RcuWriterPc,
+    /// Index of the *next* version to publish (also: writes completed).
+    next_version: u8,
+    total_writes: u8,
+    /// Currently published version id.
+    current: u8,
+    /// Bitmask of freed version ids.
+    freed: u16,
+    /// One hazard slot per reader; `None` = empty.
+    hazards: Vec<Option<u8>>,
+    /// Retired-but-not-freed version ids.
+    graveyard: Vec<u8>,
+    /// Writer's snapshot of announced versions (bitmask), rebuilt each
+    /// scan.
+    announced: u16,
+    /// Next hazard slot the writer will scan.
+    scan_idx: u8,
+    skip_validation: bool,
+    skip_hazard_scan: bool,
+}
+
+impl RcuModel {
+    /// Builds the initial state for `config`.
+    pub fn new(config: RcuConfig) -> RcuModel {
+        assert!(config.writes < 15, "version ids are 4-bit in this model");
+        RcuModel {
+            readers: vec![
+                RcuReader {
+                    pc: RcuReaderPc::Load,
+                    p: 0,
+                };
+                config.readers
+            ],
+            writer_pc: if config.writes == 0 {
+                RcuWriterPc::Done
+            } else {
+                RcuWriterPc::Publish
+            },
+            next_version: 1,
+            total_writes: config.writes as u8,
+            current: 0,
+            freed: 0,
+            hazards: vec![None; config.readers],
+            graveyard: Vec::new(),
+            announced: 0,
+            scan_idx: 0,
+            skip_validation: config.skip_validation,
+            skip_hazard_scan: config.skip_hazard_scan,
+        }
+    }
+
+    fn is_freed(&self, version: u8) -> bool {
+        self.freed & (1 << version) != 0
+    }
+
+    fn writer_step(&mut self) {
+        match self.writer_pc {
+            RcuWriterPc::Publish => {
+                self.graveyard.push(self.current);
+                self.current = self.next_version;
+                self.announced = 0;
+                self.scan_idx = 0;
+                self.writer_pc = if self.skip_hazard_scan || self.hazards.is_empty() {
+                    RcuWriterPc::Free
+                } else {
+                    RcuWriterPc::Scan
+                };
+            }
+            RcuWriterPc::Scan => {
+                if let Some(v) = self.hazards[self.scan_idx as usize] {
+                    self.announced |= 1 << v;
+                }
+                self.scan_idx += 1;
+                if self.scan_idx as usize == self.hazards.len() {
+                    self.writer_pc = RcuWriterPc::Free;
+                }
+            }
+            RcuWriterPc::Free => {
+                let announced = self.announced;
+                let freed = &mut self.freed;
+                self.graveyard.retain(|&v| {
+                    if announced & (1 << v) != 0 {
+                        true
+                    } else {
+                        *freed |= 1 << v;
+                        false
+                    }
+                });
+                self.next_version += 1;
+                self.writer_pc = if self.next_version > self.total_writes {
+                    RcuWriterPc::Done
+                } else {
+                    RcuWriterPc::Publish
+                };
+            }
+            RcuWriterPc::Done => unreachable!(),
+        }
+    }
+
+    fn reader_step(&mut self, i: usize) -> Result<(), String> {
+        let reader = self.readers[i];
+        match reader.pc {
+            RcuReaderPc::Load => {
+                self.readers[i].p = self.current;
+                self.readers[i].pc = RcuReaderPc::Announce;
+            }
+            RcuReaderPc::Announce => {
+                self.hazards[i] = Some(reader.p);
+                self.readers[i].pc = if self.skip_validation {
+                    RcuReaderPc::Acquire
+                } else {
+                    RcuReaderPc::Validate
+                };
+            }
+            RcuReaderPc::Validate => {
+                if self.current == reader.p {
+                    self.readers[i].pc = RcuReaderPc::Acquire;
+                } else {
+                    self.readers[i].p = self.current;
+                    self.readers[i].pc = RcuReaderPc::Reannounce;
+                }
+            }
+            RcuReaderPc::Reannounce => {
+                self.hazards[i] = Some(reader.p);
+                self.readers[i].pc = RcuReaderPc::Validate;
+            }
+            RcuReaderPc::Acquire => {
+                if self.is_freed(reader.p) {
+                    return Err(format!(
+                        "use-after-free: reader {i} acquired version {} after it was freed",
+                        reader.p
+                    ));
+                }
+                self.readers[i].pc = RcuReaderPc::Clear;
+            }
+            RcuReaderPc::Clear => {
+                self.hazards[i] = None;
+                self.readers[i].pc = RcuReaderPc::Done;
+            }
+            RcuReaderPc::Done => unreachable!(),
+        }
+        Ok(())
+    }
+}
+
+impl Model for RcuModel {
+    fn threads(&self) -> usize {
+        self.readers.len() + 1
+    }
+
+    fn enabled(&self, thread: usize) -> bool {
+        if thread < self.readers.len() {
+            self.readers[thread].pc != RcuReaderPc::Done
+        } else {
+            self.writer_pc != RcuWriterPc::Done
+        }
+    }
+
+    fn step(&mut self, thread: usize) -> Result<(), String> {
+        if thread < self.readers.len() {
+            self.reader_step(thread)
+        } else {
+            self.writer_step();
+            Ok(())
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.writer_pc == RcuWriterPc::Done
+            && self.readers.iter().all(|r| r.pc == RcuReaderPc::Done)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // The reclamation invariant from `sack_kernel::sync`: the
+        // graveyard holds at most one entry per hazard slot plus the
+        // in-flight retiree of the current update.
+        let bound = self.hazards.len() + 1;
+        if self.graveyard.len() > bound {
+            return Err(format!(
+                "graveyard unbounded: {} retired versions with only {} hazard slots",
+                self.graveyard.len(),
+                self.hazards.len()
+            ));
+        }
+        // The published version must never be freed.
+        if self.is_freed(self.current) {
+            return Err(format!("current version {} was freed", self.current));
+        }
+        Ok(())
+    }
+}
+
+/// A grant/deny outcome in [`CacheModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Access granted.
+    Allow,
+    /// Access denied.
+    Deny,
+}
+
+impl Outcome {
+    fn bit(self) -> u8 {
+        match self {
+            Outcome::Allow => 0b01,
+            Outcome::Deny => 0b10,
+        }
+    }
+}
+
+/// Configuration for [`CacheModel`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Number of reader threads performing one access check each.
+    pub readers: usize,
+    /// Known-bad mutation: the reader trusts a tag match without
+    /// checking the payload verifier — exactly the check that makes the
+    /// deliberate tag collision across epochs harmless in the real
+    /// cache.
+    pub skip_verifier: bool,
+}
+
+impl CacheConfig {
+    /// The faithful algorithm with `readers` readers.
+    pub fn correct(readers: usize) -> CacheConfig {
+        CacheConfig {
+            readers,
+            skip_verifier: false,
+        }
+    }
+}
+
+/// The cache tag every key hashes to in this model. Making the tag
+/// *identical across epochs* is deliberate: the real cache derives the
+/// tag from a hash that includes the epoch, but a collision is always
+/// possible, so the model forces the worst case and relies on the
+/// verifier (which here is the epoch itself) to reject stale entries.
+const TAG: u8 = 7;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CacheReaderPc {
+    /// Read the policy epoch.
+    Start,
+    /// Load the slot tag.
+    LoadTag,
+    /// Load the slot payload and check the verifier.
+    LoadPayload,
+    /// Cache miss: evaluate the live policy.
+    Eval,
+    /// Store the payload word of a new grant entry.
+    StorePayload,
+    /// Store the tag word of a new grant entry.
+    StoreTag,
+    /// Finished.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheReader {
+    pc: CacheReaderPc,
+    /// Epoch observed at start.
+    e: u8,
+    /// The outcome this reader will report.
+    outcome: Option<Outcome>,
+    /// Bitmask of outcomes a linearizable execution may return, updated
+    /// as the reload proceeds while this reader is in flight.
+    valid: u8,
+}
+
+/// Writer progress through the reload: publish the new policy, then
+/// bump the epoch. Between the two steps the system is mid-reload —
+/// readers may still serialise before it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ReloadPc {
+    /// About to publish the new policy.
+    Publish,
+    /// Policy published; about to bump the epoch.
+    Bump,
+    /// Reload complete.
+    Done,
+}
+
+/// Bounded model of the epoch-tagged decision cache across one policy
+/// reload.
+///
+/// One access key exists; the old policy (version 0) grants it, the new
+/// policy (version 1) denies it. Readers follow the real lookup
+/// protocol (tag load, payload load + verifier check, miss fallback to
+/// evaluation, payload-then-tag insertion of grant outcomes). The
+/// writer publishes the new policy and then bumps the epoch, mirroring
+/// `Rcu` publication followed by the epoch counter increment.
+///
+/// Linearizability bookkeeping: a reader that completes strictly before
+/// the reload starts must report Allow; strictly after it completes,
+/// Deny; overlapping the reload, either. The `valid` mask on each
+/// in-flight reader is widened when the publish step executes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheModel {
+    readers: Vec<CacheReader>,
+    reload: ReloadPc,
+    /// Live policy version: 0 grants, 1 denies.
+    policy: u8,
+    /// Epoch counter readers key the cache by.
+    epoch: u8,
+    /// Slot tag word (`None` = empty slot).
+    slot_tag: Option<u8>,
+    /// Slot payload word: (verifier, outcome).
+    slot_payload: Option<(u8, Outcome)>,
+    skip_verifier: bool,
+}
+
+impl CacheModel {
+    /// Builds the initial state for `config`.
+    pub fn new(config: CacheConfig) -> CacheModel {
+        CacheModel {
+            readers: vec![
+                CacheReader {
+                    pc: CacheReaderPc::Start,
+                    e: 0,
+                    outcome: None,
+                    valid: 0,
+                };
+                config.readers
+            ],
+            reload: ReloadPc::Publish,
+            policy: 0,
+            epoch: 0,
+            slot_tag: None,
+            slot_payload: None,
+            skip_verifier: config.skip_verifier,
+        }
+    }
+
+    fn eval(policy: u8) -> Outcome {
+        if policy == 0 {
+            Outcome::Allow
+        } else {
+            Outcome::Deny
+        }
+    }
+
+    fn finish_reader(&mut self, i: usize, outcome: Outcome) -> Result<(), String> {
+        self.readers[i].outcome = Some(outcome);
+        self.readers[i].pc = CacheReaderPc::Done;
+        if self.readers[i].valid & outcome.bit() == 0 {
+            return Err(format!(
+                "linearizability violation: reader {i} returned {outcome:?} but no \
+                 atomic placement of its check relative to the reload produces it"
+            ));
+        }
+        Ok(())
+    }
+
+    fn reader_step(&mut self, i: usize) -> Result<(), String> {
+        let reader = self.readers[i];
+        match reader.pc {
+            CacheReaderPc::Start => {
+                self.readers[i].e = self.epoch;
+                self.readers[i].valid = match self.reload {
+                    // Reload not begun: the old outcome is valid now; the
+                    // publish step widens this if it happens in-flight.
+                    ReloadPc::Publish => Self::eval(0).bit(),
+                    // Mid-reload: the reader may serialise on either side.
+                    ReloadPc::Bump => Self::eval(0).bit() | Self::eval(1).bit(),
+                    // Reload complete before this check began.
+                    ReloadPc::Done => Self::eval(1).bit(),
+                };
+                self.readers[i].pc = CacheReaderPc::LoadTag;
+            }
+            CacheReaderPc::LoadTag => {
+                self.readers[i].pc = if self.slot_tag == Some(TAG) {
+                    CacheReaderPc::LoadPayload
+                } else {
+                    CacheReaderPc::Eval
+                };
+            }
+            CacheReaderPc::LoadPayload => match self.slot_payload {
+                Some((verifier, outcome)) if self.skip_verifier || verifier == reader.e => {
+                    return self.finish_reader(i, outcome);
+                }
+                _ => self.readers[i].pc = CacheReaderPc::Eval,
+            },
+            CacheReaderPc::Eval => {
+                let outcome = Self::eval(self.policy);
+                if outcome == Outcome::Allow {
+                    // Only grants are cached; remember what to insert.
+                    self.readers[i].outcome = Some(outcome);
+                    self.readers[i].pc = CacheReaderPc::StorePayload;
+                } else {
+                    return self.finish_reader(i, outcome);
+                }
+            }
+            CacheReaderPc::StorePayload => {
+                self.slot_payload = Some((reader.e, Outcome::Allow));
+                self.readers[i].pc = CacheReaderPc::StoreTag;
+            }
+            CacheReaderPc::StoreTag => {
+                self.slot_tag = Some(TAG);
+                return self.finish_reader(i, Outcome::Allow);
+            }
+            CacheReaderPc::Done => unreachable!(),
+        }
+        Ok(())
+    }
+
+    fn writer_step(&mut self) {
+        match self.reload {
+            ReloadPc::Publish => {
+                self.policy = 1;
+                // Every in-flight reader overlaps the reload from here
+                // on, so the new outcome becomes a valid answer for it.
+                for reader in &mut self.readers {
+                    if reader.pc != CacheReaderPc::Start && reader.pc != CacheReaderPc::Done {
+                        reader.valid |= Self::eval(1).bit();
+                    }
+                }
+                self.reload = ReloadPc::Bump;
+            }
+            ReloadPc::Bump => {
+                self.epoch = 1;
+                self.reload = ReloadPc::Done;
+            }
+            ReloadPc::Done => unreachable!(),
+        }
+    }
+}
+
+impl Model for CacheModel {
+    fn threads(&self) -> usize {
+        self.readers.len() + 1
+    }
+
+    fn enabled(&self, thread: usize) -> bool {
+        if thread < self.readers.len() {
+            self.readers[thread].pc != CacheReaderPc::Done
+        } else {
+            self.reload != ReloadPc::Done
+        }
+    }
+
+    fn step(&mut self, thread: usize) -> Result<(), String> {
+        if thread < self.readers.len() {
+            self.reader_step(thread)
+        } else {
+            self.writer_step();
+            Ok(())
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.reload == ReloadPc::Done && self.readers.iter().all(|r| r.pc == CacheReaderPc::Done)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // Insertion order is payload-then-tag, so a visible tag implies
+        // a fully written payload.
+        if self.slot_tag.is_some() && self.slot_payload.is_none() {
+            return Err("slot tag visible before payload".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interleave::explore;
+
+    #[test]
+    fn rcu_correct_algorithm_is_exhaustively_safe() {
+        let stats = explore(&RcuModel::new(RcuConfig::correct(2, 2)), 64).unwrap();
+        assert!(stats.complete_schedules > 0);
+        assert!(stats.states > 100, "model should be non-trivial");
+    }
+
+    #[test]
+    fn rcu_skipping_validation_is_caught() {
+        let config = RcuConfig {
+            skip_validation: true,
+            ..RcuConfig::correct(1, 1)
+        };
+        let violation = explore(&RcuModel::new(config), 64).unwrap_err();
+        assert!(violation.message.contains("use-after-free"), "{violation}");
+    }
+
+    #[test]
+    fn rcu_skipping_the_hazard_scan_is_caught() {
+        let config = RcuConfig {
+            skip_hazard_scan: true,
+            ..RcuConfig::correct(1, 1)
+        };
+        let violation = explore(&RcuModel::new(config), 64).unwrap_err();
+        assert!(violation.message.contains("use-after-free"), "{violation}");
+    }
+
+    #[test]
+    fn cache_correct_algorithm_is_exhaustively_linearizable() {
+        let stats = explore(&CacheModel::new(CacheConfig::correct(2)), 64).unwrap();
+        assert!(stats.complete_schedules > 0);
+        assert!(stats.states > 100, "model should be non-trivial");
+    }
+
+    #[test]
+    fn cache_skipping_the_verifier_is_caught() {
+        let config = CacheConfig {
+            readers: 2,
+            skip_verifier: true,
+        };
+        let violation = explore(&CacheModel::new(config), 64).unwrap_err();
+        assert!(violation.message.contains("linearizability"), "{violation}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Exhaustive interleaving checks over the lock-free hot-path models,
+//! at the scale the issue's acceptance bar demands: at least two
+//! readers, one writer, and a policy-epoch bump — proven over *every*
+//! schedule, with known-bad mutations producing concrete
+//! counterexamples.
+
+use sack_analyze::{explore, CacheConfig, CacheModel, Model, RcuConfig, RcuModel};
+
+const DEPTH: usize = 96;
+
+#[test]
+fn rcu_two_readers_one_writer_two_updates_is_safe() {
+    let stats = explore(&RcuModel::new(RcuConfig::correct(2, 2)), DEPTH)
+        .unwrap_or_else(|v| panic!("counterexample found: {v}"));
+    assert!(stats.complete_schedules > 0);
+}
+
+#[test]
+fn rcu_three_readers_exhaust_without_violation() {
+    let stats = explore(&RcuModel::new(RcuConfig::correct(3, 1)), DEPTH)
+        .unwrap_or_else(|v| panic!("counterexample found: {v}"));
+    assert!(stats.complete_schedules > 0);
+}
+
+#[test]
+fn rcu_without_validation_has_a_use_after_free_schedule() {
+    let config = RcuConfig {
+        skip_validation: true,
+        ..RcuConfig::correct(2, 2)
+    };
+    let violation =
+        explore(&RcuModel::new(config), DEPTH).expect_err("mutated model must be caught");
+    assert!(violation.message.contains("use-after-free"), "{violation}");
+    assert!(!violation.schedule.is_empty(), "trace must be replayable");
+}
+
+#[test]
+fn rcu_without_hazard_scan_has_a_use_after_free_schedule() {
+    let config = RcuConfig {
+        skip_hazard_scan: true,
+        ..RcuConfig::correct(2, 2)
+    };
+    let violation =
+        explore(&RcuModel::new(config), DEPTH).expect_err("mutated model must be caught");
+    assert!(violation.message.contains("use-after-free"), "{violation}");
+}
+
+#[test]
+fn rcu_counterexample_replays_deterministically() {
+    let config = RcuConfig {
+        skip_hazard_scan: true,
+        ..RcuConfig::correct(2, 2)
+    };
+    let violation = explore(&RcuModel::new(config), DEPTH).unwrap_err();
+    // Replay the reported schedule step by step from the initial state:
+    // the final step must reproduce exactly the reported violation.
+    let mut model = RcuModel::new(config);
+    let (last, prefix) = violation.schedule.split_last().unwrap();
+    for &thread in prefix {
+        assert!(model.enabled(thread), "schedule must stay enabled");
+        model.step(thread).expect("violation only at the last step");
+    }
+    let err = model.step(*last).expect_err("last step must violate");
+    assert_eq!(err, violation.message);
+}
+
+#[test]
+fn cache_two_readers_across_epoch_bump_is_linearizable() {
+    let stats = explore(&CacheModel::new(CacheConfig::correct(2)), DEPTH)
+        .unwrap_or_else(|v| panic!("counterexample found: {v}"));
+    assert!(stats.complete_schedules > 0);
+    // The search is genuinely exhaustive, not a lucky corner: well over
+    // a hundred distinct states survive memoisation for two readers
+    // plus the reloading writer.
+    assert!(stats.states > 100, "only {} states explored", stats.states);
+}
+
+#[test]
+fn cache_three_readers_across_epoch_bump_is_linearizable() {
+    explore(&CacheModel::new(CacheConfig::correct(3)), DEPTH)
+        .unwrap_or_else(|v| panic!("counterexample found: {v}"));
+}
+
+#[test]
+fn cache_without_verifier_serves_a_stale_grant() {
+    let config = CacheConfig {
+        readers: 2,
+        skip_verifier: true,
+    };
+    let violation =
+        explore(&CacheModel::new(config), DEPTH).expect_err("mutated model must be caught");
+    assert!(violation.message.contains("linearizability"), "{violation}");
+    assert!(!violation.schedule.is_empty());
+}

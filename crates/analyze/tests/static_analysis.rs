@@ -1,0 +1,300 @@
+//! Seeded-defect detection and zero-false-positive guarantees for the
+//! static analyzer.
+//!
+//! Each `detects_*` test plants exactly one defect class in an
+//! otherwise-clean policy and asserts the analyzer reports it (and only
+//! it). The `shipped_*` tests run the analyzer over the real vehicle
+//! bundle from `sack-vehicle` and require a completely clean report —
+//! the zero-false-positive bar from the paper's tooling claims.
+
+use sack_analyze::analyzer::{
+    CHECK_PRIVILEGE_WIDENING, CHECK_PROFILE_WIDE_OPEN, CHECK_TE_WIDE_OPEN, CHECK_UNKNOWN_PROFILE,
+};
+use sack_analyze::{Analyzer, Report};
+use sack_apparmor::parser::parse_profiles;
+use sack_core::SackPolicy;
+use sack_te::TePolicy;
+use sack_vehicle::policies::{
+    VEHICLE_APPARMOR_PROFILES, VEHICLE_ENHANCED_POLICY, VEHICLE_SACK_POLICY,
+};
+
+fn analyze(policy: &str) -> Report {
+    let policy = SackPolicy::parse(policy).expect("test policy must parse");
+    Analyzer::new(&policy).run()
+}
+
+fn analyze_stacked(policy: &str, profiles: &str) -> Report {
+    let policy = SackPolicy::parse(policy).expect("test policy must parse");
+    let profiles = parse_profiles(profiles).expect("test profiles must parse");
+    Analyzer::new(&policy).with_profiles(&profiles).run()
+}
+
+/// A minimal clean scaffold the defect tests perturb.
+const CLEAN: &str = r#"
+states { normal = 0; emergency = 1; }
+events { crash; resolved; }
+transitions {
+    normal -crash-> emergency;
+    emergency -resolved-> normal;
+}
+initial normal;
+permissions { READ; RESCUE; }
+state_per {
+    normal: READ;
+    emergency: READ, RESCUE;
+}
+per_rules {
+    READ: allow subject=* /dev/car/** r;
+    RESCUE: allow subject=/usr/bin/rescue* /dev/car/door* wi;
+}
+"#;
+
+#[test]
+fn clean_scaffold_is_clean() {
+    let report = analyze(CLEAN);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn detects_unreachable_ssm_state() {
+    // `limp_home` has transitions out but none in, and is not initial.
+    let report = analyze(
+        r#"
+states { normal = 0; emergency = 1; limp_home = 2; }
+events { crash; resolved; }
+transitions {
+    normal -crash-> emergency;
+    emergency -resolved-> normal;
+    limp_home -resolved-> normal;
+}
+initial normal;
+permissions { READ; }
+state_per { *: READ; }
+per_rules { READ: allow subject=* /dev/car/** r; }
+"#,
+    );
+    let hits: Vec<_> = report.by_check("unreachable-state").collect();
+    assert_eq!(hits.len(), 1, "{}", report.render());
+    assert!(hits[0].message.contains("limp_home"));
+}
+
+#[test]
+fn detects_shadowed_mac_rule() {
+    // The broad rw rule makes the later, narrower door rule dead.
+    let report = analyze(
+        r#"
+states { normal = 0; emergency = 1; }
+events { crash; resolved; }
+transitions {
+    normal -crash-> emergency;
+    emergency -resolved-> normal;
+}
+initial normal;
+permissions { READ; }
+state_per { *: READ; }
+per_rules {
+    READ:
+        allow subject=* /dev/car/** rw;
+        allow subject=* /dev/car/door* r;
+}
+"#,
+    );
+    let hits: Vec<_> = report.by_check("shadowed-rule").collect();
+    assert_eq!(hits.len(), 1, "{}", report.render());
+    let provenance = hits[0]
+        .provenance
+        .as_ref()
+        .expect("shadowing has provenance");
+    assert!(provenance.rule.contains("/dev/car/door*"));
+}
+
+#[test]
+fn detects_allow_deny_conflict_on_overlapping_globs() {
+    let report = analyze(
+        r#"
+states { normal = 0; emergency = 1; }
+events { crash; resolved; }
+transitions {
+    normal -crash-> emergency;
+    emergency -resolved-> normal;
+}
+initial normal;
+permissions { READ; }
+state_per { *: READ; }
+per_rules {
+    READ:
+        allow subject=* /dev/car/door* w;
+        deny subject=* /dev/car/** w;
+}
+"#,
+    );
+    let hits: Vec<_> = report.by_check("allow-deny-overlap").collect();
+    assert_eq!(hits.len(), 1, "{}", report.render());
+}
+
+#[test]
+fn detects_stacking_hole_in_apparmor_profile() {
+    // RESCUE is emergency-gated on door writes, but the stacked profile
+    // statically allows rw on all of /dev/car/** — SACK's gate is moot
+    // for tasks confined by that profile.
+    let profiles = r#"
+profile media_app /usr/bin/media_app {
+    /usr/bin/media_app rx,
+    /dev/car/** rw,
+}
+"#;
+    let report = analyze_stacked(CLEAN, profiles);
+    let hits: Vec<_> = report.by_check(CHECK_PROFILE_WIDE_OPEN).collect();
+    assert_eq!(hits.len(), 1, "{}", report.render());
+    assert!(hits[0].message.contains("media_app"));
+    assert!(hits[0].message.contains("emergency"));
+
+    // A blanket same-profile deny closes the hole.
+    let fenced = r#"
+profile media_app /usr/bin/media_app {
+    /usr/bin/media_app rx,
+    /dev/car/** rw,
+    deny /dev/car/** w,
+}
+"#;
+    let report = analyze_stacked(CLEAN, fenced);
+    assert!(
+        report.by_check(CHECK_PROFILE_WIDE_OPEN).count() == 0,
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn read_only_profiles_are_not_stacking_holes() {
+    // r-only access to a wi-gated path shares no permission: no finding.
+    let profiles = r#"
+profile media_app /usr/bin/media_app {
+    /dev/car/** r,
+}
+"#;
+    let report = analyze_stacked(CLEAN, profiles);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn detects_privilege_widening() {
+    // WIPE is granted to *any* subject, but only in emergency — a
+    // situation flip hands every task write access it never had.
+    let report = analyze(
+        r#"
+states { normal = 0; emergency = 1; }
+events { crash; resolved; }
+transitions {
+    normal -crash-> emergency;
+    emergency -resolved-> normal;
+}
+initial normal;
+permissions { READ; WIPE; }
+state_per {
+    normal: READ;
+    emergency: READ, WIPE;
+}
+per_rules {
+    READ: allow subject=* /dev/car/** r;
+    WIPE: allow subject=* /dev/car/** w;
+}
+"#,
+    );
+    let hits: Vec<_> = report.by_check(CHECK_PRIVILEGE_WIDENING).collect();
+    assert_eq!(hits.len(), 1, "{}", report.render());
+    assert!(hits[0].message.contains("WIPE"));
+    // The subject-scoped RESCUE-style grant in CLEAN is exempt.
+    assert!(analyze(CLEAN).by_check(CHECK_PRIVILEGE_WIDENING).count() == 0);
+}
+
+#[test]
+fn detects_te_stacking_hole() {
+    let policy = SackPolicy::parse(CLEAN).unwrap();
+    let te = TePolicy::parse(
+        r#"
+type media_t;
+type car_dev_t;
+label /dev/car/** car_dev_t;
+allow media_t car_dev_t { read write ioctl };
+"#,
+    )
+    .unwrap();
+    let report = Analyzer::new(&policy).with_te(&te).run();
+    let hits: Vec<_> = report.by_check(CHECK_TE_WIDE_OPEN).collect();
+    assert_eq!(hits.len(), 1, "{}", report.render());
+    assert!(hits[0].message.contains("media_t"));
+
+    // Read-only TE access to the gated path is fine.
+    let te = TePolicy::parse(
+        r#"
+type media_t;
+type car_dev_t;
+label /dev/car/** car_dev_t;
+allow media_t car_dev_t { read };
+"#,
+    )
+    .unwrap();
+    let report = Analyzer::new(&policy).with_te(&te).run();
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn detects_unknown_stacked_profile() {
+    let policy = r#"
+states { normal = 0; emergency = 1; }
+events { crash; resolved; }
+transitions {
+    normal -crash-> emergency;
+    emergency -resolved-> normal;
+}
+initial normal;
+permissions { RESCUE; }
+state_per { emergency: RESCUE; }
+per_rules {
+    RESCUE: allow subject=profile:resuce_daemon /dev/car/door* wi;
+}
+"#;
+    let report = analyze_stacked(policy, VEHICLE_APPARMOR_PROFILES);
+    let hits: Vec<_> = report.by_check(CHECK_UNKNOWN_PROFILE).collect();
+    assert_eq!(hits.len(), 1, "{}", report.render());
+    assert!(hits[0].message.contains("resuce_daemon"), "typo is named");
+}
+
+#[test]
+fn report_json_carries_check_ids_and_provenance() {
+    let profiles = r#"
+profile media_app /usr/bin/media_app {
+    /dev/car/** rw,
+}
+"#;
+    let report = analyze_stacked(CLEAN, profiles);
+    let json = report.to_json();
+    assert!(json.contains("\"check\":\"stacked-profile-wide-open\""));
+    assert!(json.contains("\"provenance\""));
+    assert!(json.contains("\"warnings\":1"));
+}
+
+// --- zero false positives on the shipped bundles -------------------------
+
+#[test]
+fn shipped_vehicle_policy_is_clean_standalone() {
+    let report = analyze(VEHICLE_SACK_POLICY);
+    assert!(report.is_clean(), "false positives:\n{}", report.render());
+}
+
+#[test]
+fn shipped_vehicle_bundle_is_clean_fully_stacked() {
+    let policy = SackPolicy::parse(VEHICLE_SACK_POLICY).unwrap();
+    let profiles = parse_profiles(VEHICLE_APPARMOR_PROFILES).unwrap();
+    let report = Analyzer::new(&policy).with_profiles(&profiles).run();
+    assert!(report.is_clean(), "false positives:\n{}", report.render());
+}
+
+#[test]
+fn shipped_enhanced_bundle_is_clean() {
+    let policy = SackPolicy::parse(VEHICLE_ENHANCED_POLICY).unwrap();
+    let profiles = parse_profiles(VEHICLE_APPARMOR_PROFILES).unwrap();
+    let report = Analyzer::new(&policy).with_profiles(&profiles).run();
+    assert!(report.is_clean(), "false positives:\n{}", report.render());
+}

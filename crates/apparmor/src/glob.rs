@@ -319,6 +319,204 @@ impl Glob {
         }
         self.patterns.iter().any(|p| p.matches(bytes))
     }
+
+    /// True if some path is matched by **both** globs (language
+    /// intersection is non-empty).
+    ///
+    /// Decided exactly by a breadth-first search over pairs of NFA state
+    /// sets — no sampling, no heuristics. Used by the policy analyzer to
+    /// find allow/deny conflicts and cross-layer stacking holes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sack_apparmor::glob::Glob;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let wide = Glob::compile("/dev/car/**")?;
+    /// let door = Glob::compile("/dev/car/door*")?;
+    /// assert!(wide.overlaps(&door));
+    /// assert!(!door.overlaps(&Glob::compile("/tmp/*")?));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn overlaps(&self, other: &Glob) -> bool {
+        let a = Nfa::from_glob(self);
+        let b = Nfa::from_glob(other);
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![(a.start_set(), b.start_set())];
+        while let Some((sa, sb)) = stack.pop() {
+            if !seen.insert((sa.clone(), sb.clone())) {
+                continue;
+            }
+            if a.accepting(&sa) && b.accepting(&sb) {
+                return true;
+            }
+            for byte in 0..=255u8 {
+                let na = a.step(&sa, byte);
+                if no_bits(&na) {
+                    continue;
+                }
+                let nb = b.step(&sb, byte);
+                if no_bits(&nb) {
+                    continue;
+                }
+                if !seen.contains(&(na.clone(), nb.clone())) {
+                    stack.push((na, nb));
+                }
+            }
+        }
+        false
+    }
+
+    /// True if every path matched by `other` is also matched by `self`
+    /// (language containment: `other ⊆ self`).
+    ///
+    /// Decided exactly by determinising both NFAs on the fly and searching
+    /// for a path accepted by `other` but not by `self`. Used by the
+    /// policy analyzer to detect rules shadowed by an earlier, broader
+    /// rule.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sack_apparmor::glob::Glob;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let wide = Glob::compile("/dev/car/**")?;
+    /// let door = Glob::compile("/dev/car/door*")?;
+    /// assert!(wide.covers(&door));
+    /// assert!(!door.covers(&wide));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn covers(&self, other: &Glob) -> bool {
+        let sup = Nfa::from_glob(self);
+        let sub = Nfa::from_glob(other);
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![(sub.start_set(), sup.start_set())];
+        while let Some((ss, sp)) = stack.pop() {
+            if !seen.insert((ss.clone(), sp.clone())) {
+                continue;
+            }
+            // A witness: `other` accepts here but `self` does not.
+            if sub.accepting(&ss) && !sup.accepting(&sp) {
+                return false;
+            }
+            for byte in 0..=255u8 {
+                let ns = sub.step(&ss, byte);
+                if no_bits(&ns) {
+                    // `other` rejects every extension along this byte.
+                    continue;
+                }
+                // `self`'s set may go empty — keep exploring: any word
+                // `other` still accepts from here is a counterexample.
+                let np = sup.step(&sp, byte);
+                if !seen.contains(&(ns.clone(), np.clone())) {
+                    stack.push((ns, np));
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A set of NFA positions, packed as a bitmask.
+type PosSet = Vec<u64>;
+
+fn set_bit(set: &mut PosSet, i: usize) {
+    set[i / 64] |= 1 << (i % 64);
+}
+
+fn get_bit(set: &PosSet, i: usize) -> bool {
+    set[i / 64] & (1 << (i % 64)) != 0
+}
+
+fn no_bits(set: &PosSet) -> bool {
+    set.iter().all(|word| *word == 0)
+}
+
+/// Position-based NFA over the union of a glob's brace alternates.
+///
+/// Each alternate's token list contributes `len + 1` positions: one per
+/// token plus an accepting end marker (`None`). Wildcard tokens add an
+/// epsilon edge to the next position (match empty) and a self-loop that
+/// consumes a byte (`*` refuses `/`, `**` does not).
+struct Nfa<'a> {
+    /// `Some(tok)` consumes input at this position; `None` is an
+    /// alternate's accepting end.
+    positions: Vec<Option<&'a Token>>,
+    starts: Vec<usize>,
+}
+
+impl<'a> Nfa<'a> {
+    fn from_glob(glob: &'a Glob) -> Nfa<'a> {
+        let mut positions = Vec::new();
+        let mut starts = Vec::new();
+        for pattern in &glob.patterns {
+            starts.push(positions.len());
+            positions.extend(pattern.tokens.iter().map(Some));
+            positions.push(None);
+        }
+        Nfa { positions, starts }
+    }
+
+    fn empty_set(&self) -> PosSet {
+        vec![0u64; self.positions.len().div_ceil(64)]
+    }
+
+    fn start_set(&self) -> PosSet {
+        let mut set = self.empty_set();
+        for &s in &self.starts {
+            set_bit(&mut set, s);
+        }
+        self.close(&mut set);
+        set
+    }
+
+    /// Epsilon closure: wildcards may match the empty string, so a set
+    /// containing a wildcard position also contains the position after it.
+    fn close(&self, set: &mut PosSet) {
+        loop {
+            let mut changed = false;
+            for i in 0..self.positions.len() {
+                if get_bit(set, i)
+                    && matches!(self.positions[i], Some(Token::Star | Token::DoubleStar))
+                    && !get_bit(set, i + 1)
+                {
+                    set_bit(set, i + 1);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// All positions reachable by consuming `byte`, epsilon-closed.
+    fn step(&self, set: &PosSet, byte: u8) -> PosSet {
+        let mut out = self.empty_set();
+        for i in 0..self.positions.len() {
+            if !get_bit(set, i) {
+                continue;
+            }
+            match self.positions[i] {
+                None => {}
+                Some(Token::Star) if byte != b'/' => set_bit(&mut out, i),
+                Some(Token::Star) => {}
+                Some(Token::DoubleStar) => set_bit(&mut out, i),
+                Some(tok) if token_matches(tok, byte) => set_bit(&mut out, i + 1),
+                Some(_) => {}
+            }
+        }
+        self.close(&mut out);
+        out
+    }
+
+    fn accepting(&self, set: &PosSet) -> bool {
+        (0..self.positions.len()).any(|i| get_bit(set, i) && self.positions[i].is_none())
+    }
 }
 
 impl fmt::Display for Glob {
@@ -485,5 +683,84 @@ mod tests {
         let g: Glob = "/dev/*".parse().unwrap();
         assert_eq!(g.to_string(), "/dev/*");
         assert_eq!(g.source(), "/dev/*");
+    }
+
+    fn g(pat: &str) -> Glob {
+        Glob::compile(pat).unwrap()
+    }
+
+    #[test]
+    fn overlaps_basic() {
+        assert!(g("/dev/car/**").overlaps(&g("/dev/car/door*")));
+        assert!(g("/dev/car/door*").overlaps(&g("/dev/car/**")));
+        assert!(!g("/tmp/*").overlaps(&g("/dev/*")));
+        assert!(g("/etc/passwd").overlaps(&g("/etc/passwd")));
+        assert!(!g("/etc/passwd").overlaps(&g("/etc/shadow")));
+    }
+
+    #[test]
+    fn overlaps_wildcard_interleavings() {
+        // Common witness `/ayx`: matched by both.
+        assert!(g("/a*x").overlaps(&g("/ay*")));
+        // `*` cannot cross `/`, so the only candidates disagree.
+        assert!(!g("/a/*").overlaps(&g("/a/b/*")));
+        assert!(g("/a/**").overlaps(&g("/a/b/*")));
+        assert!(g("/**").overlaps(&g("/dev/car/door0")));
+    }
+
+    #[test]
+    fn overlaps_classes() {
+        assert!(g("/door[0-3]").overlaps(&g("/door[3-9]")));
+        assert!(!g("/door[0-3]").overlaps(&g("/door[4-9]")));
+        assert!(!g("/door[^0-9]").overlaps(&g("/door[0-9]")));
+        assert!(g("/door?").overlaps(&g("/door[0-9]")));
+    }
+
+    #[test]
+    fn overlaps_braces() {
+        assert!(g("/dev/car/{door,window}*").overlaps(&g("/dev/car/window1")));
+        assert!(!g("/dev/car/{door,window}*").overlaps(&g("/dev/car/audio")));
+    }
+
+    #[test]
+    fn covers_basic() {
+        assert!(g("/dev/**").covers(&g("/dev/car/door*")));
+        assert!(!g("/dev/car/door*").covers(&g("/dev/**")));
+        assert!(g("/dev/car/door*").covers(&g("/dev/car/door*")));
+        assert!(g("/dev/car/door*").covers(&g("/dev/car/door[0-3]")));
+        assert!(!g("/dev/car/door[0-3]").covers(&g("/dev/car/door*")));
+    }
+
+    #[test]
+    fn covers_respects_component_boundaries() {
+        // `*` stays within one component, `**` crosses: `/dev/*` misses
+        // `/dev/car/x`, so it cannot cover `/dev/**`.
+        assert!(!g("/dev/*").covers(&g("/dev/**")));
+        assert!(g("/dev/**").covers(&g("/dev/*")));
+        assert!(!g("/dev/*").covers(&g("/dev/car/*")));
+    }
+
+    #[test]
+    fn covers_braces_and_classes() {
+        assert!(g("/{a,b}/*").covers(&g("/a/*")));
+        assert!(!g("/a/*").covers(&g("/{a,b}/*")));
+        assert!(g("/dev/tty?").covers(&g("/dev/tty[0-9]")));
+        assert!(!g("/dev/tty[0-9]").covers(&g("/dev/tty?")));
+    }
+
+    #[test]
+    fn overlap_and_containment_agree_with_matching() {
+        // Spot-check the decision procedures against concrete matches.
+        let cases = [
+            ("/dev/car/**", "/dev/car/door0"),
+            ("/a/**/z", "/a/b/z"),
+            ("/tmp/*.txt", "/tmp/a.txt"),
+        ];
+        for (pat, path) in cases {
+            let exact = g(path);
+            assert!(g(pat).matches(path));
+            assert!(g(pat).overlaps(&exact), "{pat} should overlap {path}");
+            assert!(g(pat).covers(&exact), "{pat} should cover {path}");
+        }
     }
 }

@@ -65,6 +65,11 @@ impl FilePerms {
         FilePerms(self.0 | other.0)
     }
 
+    /// Set intersection.
+    pub fn intersect(self, other: FilePerms) -> FilePerms {
+        FilePerms(self.0 & other.0)
+    }
+
     /// Set difference (`self` minus `other`).
     pub fn difference(self, other: FilePerms) -> FilePerms {
         FilePerms(self.0 & !other.0)

@@ -28,7 +28,12 @@ const RULES: usize = 100;
 fn build_sack() -> Arc<Sack> {
     let text = synthetic_independent_policy(STATES, RULES);
     assert!(
-        SackPolicy::parse(&text).unwrap().compile().unwrap().rule_count() >= RULES,
+        SackPolicy::parse(&text)
+            .unwrap()
+            .compile()
+            .unwrap()
+            .rule_count()
+            >= RULES,
         "workload must generate at least {RULES} rules"
     );
     Sack::independent(&text).unwrap()
@@ -99,7 +104,10 @@ fn bench_working_set(c: &mut Criterion) {
                 criterion::black_box(s.file_open(&ctx, &obj, AccessMask::READ)).unwrap();
             });
         });
-        let hits = sack.stats().cache_hits.load(std::sync::atomic::Ordering::Relaxed);
+        let hits = sack
+            .stats()
+            .cache_hits
+            .load(std::sync::atomic::Ordering::Relaxed);
         let misses = sack
             .stats()
             .cache_misses
@@ -154,9 +162,7 @@ fn dump_sackfs_stats() {
     for _ in 0..100 {
         task.read_to_vec("/protected/area0/s0/devices").unwrap();
     }
-    let stats = task
-        .read_to_vec("/sys/kernel/security/SACK/stats")
-        .unwrap();
+    let stats = task.read_to_vec("/sys/kernel/security/SACK/stats").unwrap();
     print!("{}", String::from_utf8_lossy(&stats));
 }
 

@@ -209,7 +209,7 @@ impl DecisionCache {
                 let t = self.slots[idx].tag.load(Ordering::Acquire);
                 t == tag || t == 0
             })
-            .unwrap_or_else(|| home ^ ((verifier >> 32) as usize & 0b11));
+            .unwrap_or(home ^ ((verifier >> 32) as usize & 0b11));
         let slot = &self.slots[idx];
         // Payload first, then tag (Release): a reader that sees the new tag
         // sees the new payload or fails the verifier check — either way no

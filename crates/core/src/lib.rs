@@ -75,7 +75,9 @@ pub mod ssm;
 pub use audit::{AuditLog, AuditRecord};
 pub use cache::{CachedOutcome, DecisionCache, DecisionKey};
 pub use enhance::{AppArmorEnhancer, EnhanceError, SACK_RULE_ORIGIN};
-pub use policy::{CompiledPolicy, IssueSeverity, PolicyIssue, SackPolicy};
+pub use policy::{
+    CompiledPolicy, IssueKind, IssueSeverity, PolicyIssue, RuleProvenance, SackPolicy,
+};
 pub use rules::{MacRule, Permission, PermissionId, RuleEffect, StateRuleSet, SubjectMatch};
 pub use sack::{ActivePolicy, EnforcementMode, Sack, SackError, SackStats};
 pub use simulate::{AccessQuery, PolicySimulator, Step, StepResult};

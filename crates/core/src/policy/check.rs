@@ -1,15 +1,26 @@
 //! Policy validation — SACK's "policy-checking tools \[that\] handle errors
 //! and conflicts" (paper §III-D).
 //!
-//! The checker runs before compilation. *Errors* abort the load (undefined
+//! The checker runs before compilation (and therefore at every policy-load
+//! site, including [`crate::simulate::PolicySimulator`] and
+//! [`crate::Sack::reload_policy`]). *Errors* abort the load (undefined
 //! references, duplicates, malformed rules, conflicting transitions);
-//! *warnings* are surfaced but tolerated (unreachable states, unused
-//! permissions, shadowed rules).
+//! *warnings* are surfaced but tolerated (unreachable or absorbing states,
+//! events that can never fire, unused permissions, shadowed rules,
+//! allow/deny conflicts on overlapping matches).
+//!
+//! Every issue carries a machine-readable [`IssueKind`] and, for rule-level
+//! findings, a [`RuleProvenance`] naming the permission, source line, and
+//! rule text. The `sack-analyze` crate layers cross-policy checks (AppArmor
+//! and TE stacking, privilege widening) on top of these diagnostics.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
+use sack_apparmor::glob::Glob;
 use sack_apparmor::profile::FilePerms;
+
+use crate::rules::RuleEffect;
 
 use super::{RuleSpec, SackPolicy, SubjectSpec};
 
@@ -31,28 +42,133 @@ impl fmt::Display for IssueSeverity {
     }
 }
 
+/// Machine-readable classification of a policy issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum IssueKind {
+    /// Two states share a name.
+    DuplicateState,
+    /// Two states share an integer encoding.
+    SharedEncoding,
+    /// The policy declares no states at all.
+    NoStates,
+    /// Two events share a name.
+    DuplicateEvent,
+    /// A transition, `state_per`, or rule references an unknown name.
+    UndefinedReference,
+    /// Two transitions from the same state on the same event disagree.
+    ConflictingTransitions,
+    /// A transition is written twice verbatim.
+    DuplicateTransition,
+    /// `initial` is missing or names an unknown state.
+    BadInitial,
+    /// Two permissions share a name.
+    DuplicatePermission,
+    /// A state appears twice in `state_per`.
+    DuplicateStatePer,
+    /// A rule has a malformed glob, empty or unknown permission letters.
+    InvalidRule,
+    /// Exact allow/deny contradiction on the same subject/object/perms.
+    ContradictoryRules,
+    /// A permission is never granted by any state.
+    UnmappedPermission,
+    /// A permission has no MAC rules.
+    UnruledPermission,
+    /// A state cannot be reached from the initial state.
+    UnreachableState,
+    /// A reachable state has no outgoing transitions (absorbing).
+    DeadState,
+    /// An event is unused, or used only from unreachable states.
+    NeverFiringEvent,
+    /// A rule is subsumed by an earlier rule with the same effect.
+    ShadowedRule,
+    /// An allow and a deny rule overlap without being identical.
+    AllowDenyOverlap,
+}
+
+impl IssueKind {
+    /// Stable kebab-case identifier, used in JSON reports.
+    pub fn id(&self) -> &'static str {
+        match self {
+            IssueKind::DuplicateState => "duplicate-state",
+            IssueKind::SharedEncoding => "shared-encoding",
+            IssueKind::NoStates => "no-states",
+            IssueKind::DuplicateEvent => "duplicate-event",
+            IssueKind::UndefinedReference => "undefined-reference",
+            IssueKind::ConflictingTransitions => "conflicting-transitions",
+            IssueKind::DuplicateTransition => "duplicate-transition",
+            IssueKind::BadInitial => "bad-initial",
+            IssueKind::DuplicatePermission => "duplicate-permission",
+            IssueKind::DuplicateStatePer => "duplicate-state-per",
+            IssueKind::InvalidRule => "invalid-rule",
+            IssueKind::ContradictoryRules => "contradictory-rules",
+            IssueKind::UnmappedPermission => "unmapped-permission",
+            IssueKind::UnruledPermission => "unruled-permission",
+            IssueKind::UnreachableState => "unreachable-state",
+            IssueKind::DeadState => "dead-state",
+            IssueKind::NeverFiringEvent => "never-firing-event",
+            IssueKind::ShadowedRule => "shadowed-rule",
+            IssueKind::AllowDenyOverlap => "allow-deny-overlap",
+        }
+    }
+}
+
+impl fmt::Display for IssueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Where a rule-level finding came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleProvenance {
+    /// The permission block the rule belongs to.
+    pub permission: String,
+    /// Source line of the rule in the policy text.
+    pub line: usize,
+    /// The rule, re-rendered in canonical policy syntax.
+    pub rule: String,
+}
+
 /// One finding from the policy checker.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PolicyIssue {
     /// Error or warning.
     pub severity: IssueSeverity,
+    /// Machine-readable classification.
+    pub kind: IssueKind,
     /// Human-readable description.
     pub message: String,
+    /// For rule-level findings: the offending rule.
+    pub provenance: Option<RuleProvenance>,
 }
 
 impl PolicyIssue {
-    fn error(message: impl Into<String>) -> Self {
+    fn error(kind: IssueKind, message: impl Into<String>) -> Self {
         PolicyIssue {
             severity: IssueSeverity::Error,
+            kind,
             message: message.into(),
+            provenance: None,
         }
     }
 
-    fn warning(message: impl Into<String>) -> Self {
+    fn warning(kind: IssueKind, message: impl Into<String>) -> Self {
         PolicyIssue {
             severity: IssueSeverity::Warning,
+            kind,
             message: message.into(),
+            provenance: None,
         }
+    }
+
+    fn for_rule(mut self, perm: &str, spec: &RuleSpec) -> Self {
+        self.provenance = Some(RuleProvenance {
+            permission: perm.to_string(),
+            line: spec.line,
+            rule: render_rule(spec),
+        });
+        self
     }
 }
 
@@ -62,31 +178,95 @@ impl fmt::Display for PolicyIssue {
     }
 }
 
+/// Renders a rule back to canonical policy syntax (for provenance and
+/// analyzer diagnostics).
+pub fn render_rule(spec: &RuleSpec) -> String {
+    let effect = match spec.effect {
+        RuleEffect::Allow => "allow",
+        RuleEffect::Deny => "deny",
+    };
+    format!("{effect} {} {} {}", spec.subject, spec.object, spec.perms)
+}
+
 fn check_rule(perm: &str, spec: &RuleSpec, issues: &mut Vec<PolicyIssue>) {
-    if let Err(e) = sack_apparmor::glob::Glob::compile(&spec.object) {
-        issues.push(PolicyIssue::error(format!(
-            "rule for `{perm}` (line {}): {e}",
-            spec.line
-        )));
+    if let Err(e) = Glob::compile(&spec.object) {
+        issues.push(
+            PolicyIssue::error(
+                IssueKind::InvalidRule,
+                format!("rule for `{perm}` (line {}): {e}", spec.line),
+            )
+            .for_rule(perm, spec),
+        );
     }
     if let SubjectSpec::Exe(glob) = &spec.subject {
-        if let Err(e) = sack_apparmor::glob::Glob::compile(glob) {
-            issues.push(PolicyIssue::error(format!(
-                "rule for `{perm}` (line {}): subject {e}",
-                spec.line
-            )));
+        if let Err(e) = Glob::compile(glob) {
+            issues.push(
+                PolicyIssue::error(
+                    IssueKind::InvalidRule,
+                    format!("rule for `{perm}` (line {}): subject {e}", spec.line),
+                )
+                .for_rule(perm, spec),
+            );
         }
     }
     match FilePerms::parse(&spec.perms) {
-        Ok(p) if p.is_empty() => issues.push(PolicyIssue::error(format!(
-            "rule for `{perm}` (line {}): empty permission set",
-            spec.line
-        ))),
+        Ok(p) if p.is_empty() => issues.push(
+            PolicyIssue::error(
+                IssueKind::InvalidRule,
+                format!(
+                    "rule for `{perm}` (line {}): empty permission set",
+                    spec.line
+                ),
+            )
+            .for_rule(perm, spec),
+        ),
         Ok(_) => {}
-        Err(c) => issues.push(PolicyIssue::error(format!(
-            "rule for `{perm}` (line {}): unknown permission letter `{c}`",
-            spec.line
-        ))),
+        Err(c) => issues.push(
+            PolicyIssue::error(
+                IssueKind::InvalidRule,
+                format!(
+                    "rule for `{perm}` (line {}): unknown permission letter `{c}`",
+                    spec.line
+                ),
+            )
+            .for_rule(perm, spec),
+        ),
+    }
+}
+
+/// True if every subject matched by `b` is also matched by `a`.
+fn subject_covers(a: &SubjectSpec, b: &SubjectSpec) -> bool {
+    match (a, b) {
+        (SubjectSpec::Any, _) => true,
+        (SubjectSpec::Exe(ga), SubjectSpec::Exe(gb)) => {
+            match (Glob::compile(ga), Glob::compile(gb)) {
+                (Ok(ga), Ok(gb)) => ga.covers(&gb),
+                _ => false,
+            }
+        }
+        (SubjectSpec::Uid(a), SubjectSpec::Uid(b)) => a == b,
+        (SubjectSpec::Profile(a), SubjectSpec::Profile(b)) => a == b,
+        _ => false,
+    }
+}
+
+/// True if some subject can be matched by both selectors.
+///
+/// Selectors of different kinds (exe glob vs uid vs profile) always
+/// overlap: a single task has an executable, a uid, and possibly a
+/// profile attachment at the same time.
+fn subjects_overlap(a: &SubjectSpec, b: &SubjectSpec) -> bool {
+    match (a, b) {
+        (SubjectSpec::Any, _) | (_, SubjectSpec::Any) => true,
+        (SubjectSpec::Exe(ga), SubjectSpec::Exe(gb)) => {
+            match (Glob::compile(ga), Glob::compile(gb)) {
+                (Ok(ga), Ok(gb)) => ga.overlaps(&gb),
+                _ => false,
+            }
+        }
+        (SubjectSpec::Uid(a), SubjectSpec::Uid(b)) => a == b,
+        (SubjectSpec::Profile(a), SubjectSpec::Profile(b)) => a == b,
+        _ => true,
     }
 }
 
@@ -99,23 +279,33 @@ pub fn check_policy(policy: &SackPolicy) -> Vec<PolicyIssue> {
     let mut encodings = HashMap::new();
     for (name, enc) in &policy.states {
         if !state_names.insert(name.as_str()) {
-            issues.push(PolicyIssue::error(format!("duplicate state `{name}`")));
+            issues.push(PolicyIssue::error(
+                IssueKind::DuplicateState,
+                format!("duplicate state `{name}`"),
+            ));
         }
         if let Some(prev) = encodings.insert(*enc, name.as_str()) {
-            issues.push(PolicyIssue::error(format!(
-                "states `{prev}` and `{name}` share encoding {enc}"
-            )));
+            issues.push(PolicyIssue::error(
+                IssueKind::SharedEncoding,
+                format!("states `{prev}` and `{name}` share encoding {enc}"),
+            ));
         }
     }
     if policy.states.is_empty() {
-        issues.push(PolicyIssue::error("policy declares no situation states"));
+        issues.push(PolicyIssue::error(
+            IssueKind::NoStates,
+            "policy declares no situation states",
+        ));
     }
 
     // --- Events -----------------------------------------------------------
     let mut event_names = HashSet::new();
     for name in &policy.events {
         if !event_names.insert(name.as_str()) {
-            issues.push(PolicyIssue::error(format!("duplicate event `{name}`")));
+            issues.push(PolicyIssue::error(
+                IssueKind::DuplicateEvent,
+                format!("duplicate event `{name}`"),
+            ));
         }
     }
 
@@ -124,36 +314,46 @@ pub fn check_policy(policy: &SackPolicy) -> Vec<PolicyIssue> {
     for (from, event, to) in &policy.transitions {
         for state in [from, to] {
             if !state_names.contains(state.as_str()) {
-                issues.push(PolicyIssue::error(format!(
-                    "transition references undefined state `{state}`"
-                )));
+                issues.push(PolicyIssue::error(
+                    IssueKind::UndefinedReference,
+                    format!("transition references undefined state `{state}`"),
+                ));
             }
         }
         if !event_names.contains(event.as_str()) {
-            issues.push(PolicyIssue::error(format!(
-                "transition references undefined event `{event}`"
-            )));
+            issues.push(PolicyIssue::error(
+                IssueKind::UndefinedReference,
+                format!("transition references undefined event `{event}`"),
+            ));
         }
         match seen_transitions.insert((from.as_str(), event.as_str()), to.as_str()) {
             Some(prev) if prev != to.as_str() => {
-                issues.push(PolicyIssue::error(format!(
-                    "conflicting transitions from `{from}` on `{event}`: `-> {prev}` and `-> {to}`"
-                )));
+                issues.push(PolicyIssue::error(
+                    IssueKind::ConflictingTransitions,
+                    format!(
+                        "conflicting transitions from `{from}` on `{event}`: `-> {prev}` and `-> {to}`"
+                    ),
+                ));
             }
-            Some(_) => issues.push(PolicyIssue::warning(format!(
-                "duplicate transition `{from} -{event}-> {to}`"
-            ))),
+            Some(_) => issues.push(PolicyIssue::warning(
+                IssueKind::DuplicateTransition,
+                format!("duplicate transition `{from} -{event}-> {to}`"),
+            )),
             None => {}
         }
     }
 
     // --- Initial state ------------------------------------------------------
     match &policy.initial {
-        None => issues.push(PolicyIssue::error("missing `initial <state>;`")),
+        None => issues.push(PolicyIssue::error(
+            IssueKind::BadInitial,
+            "missing `initial <state>;`",
+        )),
         Some(s) if !state_names.contains(s.as_str()) => {
-            issues.push(PolicyIssue::error(format!(
-                "initial state `{s}` is undefined"
-            )));
+            issues.push(PolicyIssue::error(
+                IssueKind::BadInitial,
+                format!("initial state `{s}` is undefined"),
+            ));
         }
         Some(_) => {}
     }
@@ -162,7 +362,10 @@ pub fn check_policy(policy: &SackPolicy) -> Vec<PolicyIssue> {
     let mut perm_names = HashSet::new();
     for name in &policy.permissions {
         if !perm_names.insert(name.as_str()) {
-            issues.push(PolicyIssue::error(format!("duplicate permission `{name}`")));
+            issues.push(PolicyIssue::error(
+                IssueKind::DuplicatePermission,
+                format!("duplicate permission `{name}`"),
+            ));
         }
     }
 
@@ -172,20 +375,23 @@ pub fn check_policy(policy: &SackPolicy) -> Vec<PolicyIssue> {
     for (state, perms) in &policy.state_per {
         // `*` grants the listed permissions in every state.
         if state != "*" && !state_names.contains(state.as_str()) {
-            issues.push(PolicyIssue::error(format!(
-                "state_per references undefined state `{state}`"
-            )));
+            issues.push(PolicyIssue::error(
+                IssueKind::UndefinedReference,
+                format!("state_per references undefined state `{state}`"),
+            ));
         }
         if !state_per_states.insert(state.as_str()) {
-            issues.push(PolicyIssue::warning(format!(
-                "state `{state}` appears twice in state_per (entries are merged)"
-            )));
+            issues.push(PolicyIssue::warning(
+                IssueKind::DuplicateStatePer,
+                format!("state `{state}` appears twice in state_per (entries are merged)"),
+            ));
         }
         for perm in perms {
             if !perm_names.contains(perm.as_str()) {
-                issues.push(PolicyIssue::error(format!(
-                    "state_per references undefined permission `{perm}`"
-                )));
+                issues.push(PolicyIssue::error(
+                    IssueKind::UndefinedReference,
+                    format!("state_per references undefined permission `{perm}`"),
+                ));
             }
             mapped_perms.insert(perm.as_str());
         }
@@ -195,9 +401,10 @@ pub fn check_policy(policy: &SackPolicy) -> Vec<PolicyIssue> {
     let mut ruled_perms: HashSet<&str> = HashSet::new();
     for (perm, rules) in &policy.per_rules {
         if !perm_names.contains(perm.as_str()) {
-            issues.push(PolicyIssue::error(format!(
-                "per_rules references undefined permission `{perm}`"
-            )));
+            issues.push(PolicyIssue::error(
+                IssueKind::UndefinedReference,
+                format!("per_rules references undefined permission `{perm}`"),
+            ));
         }
         ruled_perms.insert(perm.as_str());
         for spec in rules {
@@ -211,10 +418,16 @@ pub fn check_policy(policy: &SackPolicy) -> Vec<PolicyIssue> {
                     && a.perms == b.perms
                     && a.effect != b.effect
                 {
-                    issues.push(PolicyIssue::warning(format!(
-                        "permission `{perm}`: contradictory allow/deny for `{}` `{}` (deny wins)",
-                        a.subject, a.object
-                    )));
+                    issues.push(
+                        PolicyIssue::warning(
+                            IssueKind::ContradictoryRules,
+                            format!(
+                                "permission `{perm}`: contradictory allow/deny for `{}` `{}` (deny wins)",
+                                a.subject, a.object
+                            ),
+                        )
+                        .for_rule(perm, b),
+                    );
                 }
             }
         }
@@ -223,45 +436,254 @@ pub fn check_policy(policy: &SackPolicy) -> Vec<PolicyIssue> {
     // --- Cross-interface warnings ----------------------------------------------
     for name in &policy.permissions {
         if !mapped_perms.contains(name.as_str()) {
-            issues.push(PolicyIssue::warning(format!(
-                "permission `{name}` is never granted by any state"
-            )));
+            issues.push(PolicyIssue::warning(
+                IssueKind::UnmappedPermission,
+                format!("permission `{name}` is never granted by any state"),
+            ));
         }
         if !ruled_perms.contains(name.as_str()) {
-            issues.push(PolicyIssue::warning(format!(
-                "permission `{name}` has no MAC rules (grants nothing)"
-            )));
+            issues.push(PolicyIssue::warning(
+                IssueKind::UnruledPermission,
+                format!("permission `{name}` has no MAC rules (grants nothing)"),
+            ));
         }
     }
 
-    // --- Reachability (only when the machine is well-formed so far) --------------
+    // --- Deep lints (only when the policy is well-formed so far) ----------------
     if issues.iter().all(|i| i.severity != IssueSeverity::Error) {
-        if let Some(initial) = &policy.initial {
-            let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
-            for (from, _, to) in &policy.transitions {
-                adj.entry(from.as_str()).or_default().push(to.as_str());
-            }
-            let mut seen: HashSet<&str> = HashSet::new();
-            let mut stack = vec![initial.as_str()];
-            seen.insert(initial.as_str());
-            while let Some(s) = stack.pop() {
-                for next in adj.get(s).into_iter().flatten() {
-                    if seen.insert(next) {
-                        stack.push(next);
-                    }
-                }
-            }
-            for (name, _) in &policy.states {
-                if !seen.contains(name.as_str()) {
-                    issues.push(PolicyIssue::warning(format!(
-                        "state `{name}` is unreachable from the initial state"
-                    )));
-                }
-            }
-        }
+        lint_state_machine(policy, &mut issues);
+        lint_rules(policy, &mut issues);
     }
 
     issues
+}
+
+/// States reachable from the initial state via declared transitions.
+fn reachable_states(policy: &SackPolicy) -> HashSet<&str> {
+    let mut seen: HashSet<&str> = HashSet::new();
+    let Some(initial) = &policy.initial else {
+        return seen;
+    };
+    let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (from, _, to) in &policy.transitions {
+        adj.entry(from.as_str()).or_default().push(to.as_str());
+    }
+    let mut stack = vec![initial.as_str()];
+    seen.insert(initial.as_str());
+    while let Some(s) = stack.pop() {
+        for next in adj.get(s).into_iter().flatten() {
+            if seen.insert(next) {
+                stack.push(next);
+            }
+        }
+    }
+    seen
+}
+
+/// SSM reachability lints: unreachable states, absorbing (dead) states,
+/// events that can never fire.
+fn lint_state_machine(policy: &SackPolicy, issues: &mut Vec<PolicyIssue>) {
+    let reachable = reachable_states(policy);
+    if reachable.is_empty() {
+        return;
+    }
+
+    for (name, _) in &policy.states {
+        if !reachable.contains(name.as_str()) {
+            issues.push(PolicyIssue::warning(
+                IssueKind::UnreachableState,
+                format!("state `{name}` is unreachable from the initial state"),
+            ));
+        }
+    }
+
+    // Absorbing states. A policy with no transitions at all is a static
+    // (single-situation) configuration, not a broken machine — skip.
+    if !policy.transitions.is_empty() {
+        let mut has_exit: HashSet<&str> = HashSet::new();
+        for (from, _, _) in &policy.transitions {
+            has_exit.insert(from.as_str());
+        }
+        for (name, _) in &policy.states {
+            if reachable.contains(name.as_str()) && !has_exit.contains(name.as_str()) {
+                issues.push(PolicyIssue::warning(
+                    IssueKind::DeadState,
+                    format!(
+                        "state `{name}` has no outgoing transitions: once entered, \
+                         no event can ever leave it"
+                    ),
+                ));
+            }
+        }
+    }
+
+    for event in &policy.events {
+        let uses: Vec<&(String, String, String)> = policy
+            .transitions
+            .iter()
+            .filter(|(_, e, _)| e == event)
+            .collect();
+        if uses.is_empty() {
+            issues.push(PolicyIssue::warning(
+                IssueKind::NeverFiringEvent,
+                format!("event `{event}` is not used by any transition"),
+            ));
+        } else if uses
+            .iter()
+            .all(|(from, _, _)| !reachable.contains(from.as_str()))
+        {
+            issues.push(PolicyIssue::warning(
+                IssueKind::NeverFiringEvent,
+                format!(
+                    "event `{event}` can never fire: all of its transitions \
+                     start in unreachable states"
+                ),
+            ));
+        }
+    }
+}
+
+/// MAC-rule lints: shadowed rules and overlapping allow/deny conflicts.
+fn lint_rules(policy: &SackPolicy, issues: &mut Vec<PolicyIssue>) {
+    // Pre-compile object globs; rules that fail to compile were already
+    // reported as errors and this pass does not run.
+    let compiled: HashMap<(usize, usize), (Glob, FilePerms)> = policy
+        .per_rules
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, (_, rules))| {
+            rules.iter().enumerate().filter_map(move |(ri, spec)| {
+                let glob = Glob::compile(&spec.object).ok()?;
+                let perms = FilePerms::parse(&spec.perms).ok()?;
+                Some(((pi, ri), (glob, perms)))
+            })
+        })
+        .collect();
+
+    // Shadowing: within one permission block, a later rule subsumed by an
+    // earlier rule with the same effect never changes the outcome.
+    for (pi, (perm, rules)) in policy.per_rules.iter().enumerate() {
+        for ri in 1..rules.len() {
+            let Some((later_glob, later_perms)) = compiled.get(&(pi, ri)) else {
+                continue;
+            };
+            for ei in 0..ri {
+                let Some((earlier_glob, earlier_perms)) = compiled.get(&(pi, ei)) else {
+                    continue;
+                };
+                let earlier = &rules[ei];
+                let later = &rules[ri];
+                if earlier.effect == later.effect
+                    && subject_covers(&earlier.subject, &later.subject)
+                    && earlier_glob.covers(later_glob)
+                    && earlier_perms.contains(*later_perms)
+                {
+                    issues.push(
+                        PolicyIssue::warning(
+                            IssueKind::ShadowedRule,
+                            format!(
+                                "permission `{perm}`: rule `{}` (line {}) is shadowed by \
+                                 broader rule `{}` (line {})",
+                                render_rule(later),
+                                later.line,
+                                render_rule(earlier),
+                                earlier.line
+                            ),
+                        )
+                        .for_rule(perm, later),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    // Allow/deny conflicts on *overlapping* (not identical) matches. Rules
+    // from different permissions conflict too when some state grants both
+    // permissions: the per-state rule set is the union, and deny wins.
+    let granted_states = resolve_state_per(policy);
+    let all_rules: Vec<(usize, &str, usize, &RuleSpec)> = policy
+        .per_rules
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, (perm, rules))| {
+            rules
+                .iter()
+                .enumerate()
+                .map(move |(ri, spec)| (pi, perm.as_str(), ri, spec))
+        })
+        .collect();
+    for (i, &(pa, perm_a, ra, rule_a)) in all_rules.iter().enumerate() {
+        for &(pb, perm_b, rb, rule_b) in all_rules.iter().skip(i + 1) {
+            if rule_a.effect == rule_b.effect {
+                continue;
+            }
+            // The exact-triple case is already reported as ContradictoryRules.
+            if rule_a.subject == rule_b.subject
+                && rule_a.object == rule_b.object
+                && rule_a.perms == rule_b.perms
+            {
+                continue;
+            }
+            // Both rules must be active together in at least one state.
+            let coactive = perm_a == perm_b
+                || granted_states.get(perm_a).is_some_and(|sa| {
+                    granted_states
+                        .get(perm_b)
+                        .is_some_and(|sb| sa.intersection(sb).next().is_some())
+                });
+            if !coactive {
+                continue;
+            }
+            let (Some((glob_a, perms_a)), Some((glob_b, perms_b))) =
+                (compiled.get(&(pa, ra)), compiled.get(&(pb, rb)))
+            else {
+                continue;
+            };
+            if perms_a.intersects(*perms_b)
+                && subjects_overlap(&rule_a.subject, &rule_b.subject)
+                && glob_a.overlaps(glob_b)
+            {
+                let (allow, deny) = match rule_a.effect {
+                    RuleEffect::Allow => ((perm_a, rule_a), (perm_b, rule_b)),
+                    RuleEffect::Deny => ((perm_b, rule_b), (perm_a, rule_a)),
+                };
+                issues.push(
+                    PolicyIssue::warning(
+                        IssueKind::AllowDenyOverlap,
+                        format!(
+                            "allow rule `{}` (permission `{}`, line {}) overlaps deny rule \
+                             `{}` (permission `{}`, line {}): the deny wins wherever both match",
+                            render_rule(allow.1),
+                            allow.0,
+                            allow.1.line,
+                            render_rule(deny.1),
+                            deny.0,
+                            deny.1.line
+                        ),
+                    )
+                    .for_rule(allow.0, allow.1),
+                );
+            }
+        }
+    }
+}
+
+/// Resolves `state_per` into permission → set of granting states, expanding
+/// the `*` wildcard entry.
+pub(crate) fn resolve_state_per(policy: &SackPolicy) -> HashMap<&str, HashSet<&str>> {
+    let mut granted: HashMap<&str, HashSet<&str>> = HashMap::new();
+    for (state, perms) in &policy.state_per {
+        for perm in perms {
+            let entry = granted.entry(perm.as_str()).or_default();
+            if state == "*" {
+                entry.extend(policy.states.iter().map(|(n, _)| n.as_str()));
+            } else {
+                entry.insert(state.as_str());
+            }
+        }
+    }
+    granted
 }
 
 #[cfg(test)]
@@ -277,11 +699,10 @@ mod tests {
             .collect()
     }
 
-    fn warnings(text: &str) -> Vec<String> {
+    fn warnings(text: &str) -> Vec<PolicyIssue> {
         check_policy(&parse_policy(text).unwrap())
             .into_iter()
             .filter(|i| i.severity == IssueSeverity::Warning)
-            .map(|i| i.message)
             .collect()
     }
 
@@ -347,7 +768,9 @@ mod tests {
         let warns = warnings(
             "states { a=0; b=1; } events { e; } transitions { a -e-> b; a -e-> b; } initial a;",
         );
-        assert!(warns.iter().any(|w| w.contains("duplicate transition")));
+        assert!(warns
+            .iter()
+            .any(|w| w.kind == IssueKind::DuplicateTransition));
     }
 
     #[test]
@@ -374,7 +797,7 @@ mod tests {
         let warns = warnings(
             "states { a=0; island=1; } events { e; } transitions { a -e-> a; } initial a;",
         );
-        assert!(warns.iter().any(|w| w.contains("unreachable")));
+        assert!(warns.iter().any(|w| w.kind == IssueKind::UnreachableState));
     }
 
     #[test]
@@ -387,10 +810,10 @@ mod tests {
         );
         assert!(warns
             .iter()
-            .any(|w| w.contains("`UNMAPPED` is never granted")));
+            .any(|w| w.message.contains("`UNMAPPED` is never granted")));
         assert!(warns
             .iter()
-            .any(|w| w.contains("`NORULE` has no MAC rules")));
+            .any(|w| w.message.contains("`NORULE` has no MAC rules")));
     }
 
     #[test]
@@ -401,7 +824,11 @@ mod tests {
                state_per { a: P; }
                per_rules { P: allow subject=* /x w; deny subject=* /x w; }"#,
         );
-        assert!(warns.iter().any(|w| w.contains("contradictory")));
+        assert!(warns
+            .iter()
+            .any(|w| w.kind == IssueKind::ContradictoryRules));
+        // The exact triple must NOT additionally fire the overlap lint.
+        assert!(!warns.iter().any(|w| w.kind == IssueKind::AllowDenyOverlap));
     }
 
     #[test]
@@ -409,5 +836,158 @@ mod tests {
         let errs = errors("");
         assert!(errs.iter().any(|e| e.contains("no situation states")));
         assert!(errs.iter().any(|e| e.contains("missing `initial")));
+    }
+
+    #[test]
+    fn dead_state_is_warning() {
+        let warns = warnings(
+            "states { a=0; pit=1; } events { fall; } transitions { a -fall-> pit; } initial a;",
+        );
+        let dead: Vec<_> = warns
+            .iter()
+            .filter(|w| w.kind == IssueKind::DeadState)
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert!(dead[0].message.contains("`pit`"));
+    }
+
+    #[test]
+    fn transitionless_policy_has_no_dead_state_warning() {
+        let warns = warnings("states { a=0; } initial a;");
+        assert!(!warns.iter().any(|w| w.kind == IssueKind::DeadState));
+    }
+
+    #[test]
+    fn self_loop_counts_as_an_outgoing_transition() {
+        // A state whose only exit is a self-loop is not "dead": its event
+        // can still fire there (re-entry renotifies enforcers).
+        let warns = warnings(
+            "states { a=0; b=1; } events { go; ping; } \
+             transitions { a -go-> b; b -ping-> b; } initial a;",
+        );
+        assert!(
+            !warns.iter().any(|w| w.kind == IssueKind::DeadState),
+            "{warns:?}"
+        );
+        assert!(!warns.iter().any(|w| w.kind == IssueKind::NeverFiringEvent));
+    }
+
+    #[test]
+    fn never_firing_events_are_warned() {
+        let warns = warnings(
+            r#"states { a=0; island=1; } events { unused; islander; loop_e; }
+               transitions { a -loop_e-> a; island -islander-> a; }
+               initial a;"#,
+        );
+        let fires: Vec<_> = warns
+            .iter()
+            .filter(|w| w.kind == IssueKind::NeverFiringEvent)
+            .collect();
+        assert_eq!(fires.len(), 2);
+        assert!(fires
+            .iter()
+            .any(|w| w.message.contains("`unused` is not used")));
+        assert!(fires
+            .iter()
+            .any(|w| w.message.contains("`islander` can never fire")));
+    }
+
+    #[test]
+    fn shadowed_rule_is_warned_with_provenance() {
+        let warns = warnings(
+            r#"states { a=0; } initial a;
+               permissions { P; }
+               state_per { a: P; }
+               per_rules { P:
+                 allow subject=* /dev/car/** rw;
+                 allow subject=/usr/bin/app /dev/car/door* r;
+               }"#,
+        );
+        let shadowed: Vec<_> = warns
+            .iter()
+            .filter(|w| w.kind == IssueKind::ShadowedRule)
+            .collect();
+        assert_eq!(shadowed.len(), 1);
+        let prov = shadowed[0].provenance.as_ref().unwrap();
+        assert_eq!(prov.permission, "P");
+        assert!(prov.rule.contains("/dev/car/door*"));
+    }
+
+    #[test]
+    fn narrower_earlier_rule_does_not_shadow() {
+        let warns = warnings(
+            r#"states { a=0; } initial a;
+               permissions { P; }
+               state_per { a: P; }
+               per_rules { P:
+                 allow subject=* /dev/car/door* r;
+                 allow subject=* /dev/car/** rw;
+               }"#,
+        );
+        assert!(!warns.iter().any(|w| w.kind == IssueKind::ShadowedRule));
+    }
+
+    #[test]
+    fn overlapping_allow_deny_is_warned() {
+        let warns = warnings(
+            r#"states { a=0; } initial a;
+               permissions { P; }
+               state_per { a: P; }
+               per_rules { P:
+                 allow subject=* /dev/car/** rw;
+                 deny subject=* /dev/car/door* w;
+               }"#,
+        );
+        let conflicts: Vec<_> = warns
+            .iter()
+            .filter(|w| w.kind == IssueKind::AllowDenyOverlap)
+            .collect();
+        assert_eq!(conflicts.len(), 1);
+        assert!(conflicts[0].message.contains("deny wins"));
+    }
+
+    #[test]
+    fn cross_permission_conflict_requires_shared_state() {
+        // P active in a, Q active only in b: never coactive, no conflict.
+        let disjoint = warnings(
+            r#"states { a=0; b=1; } events { e; } transitions { a -e-> b; b -e-> a; }
+               initial a;
+               permissions { P; Q; }
+               state_per { a: P; b: Q; }
+               per_rules {
+                 P: allow subject=* /dev/x* w;
+                 Q: deny subject=* /dev/x0 w;
+               }"#,
+        );
+        assert!(!disjoint
+            .iter()
+            .any(|w| w.kind == IssueKind::AllowDenyOverlap));
+
+        // Same rules, both active in `a`: conflict.
+        let shared = warnings(
+            r#"states { a=0; b=1; } events { e; } transitions { a -e-> b; b -e-> a; }
+               initial a;
+               permissions { P; Q; }
+               state_per { a: P, Q; b: Q; }
+               per_rules {
+                 P: allow subject=* /dev/x* w;
+                 Q: deny subject=* /dev/x0 w;
+               }"#,
+        );
+        assert!(shared.iter().any(|w| w.kind == IssueKind::AllowDenyOverlap));
+    }
+
+    #[test]
+    fn disjoint_subjects_do_not_conflict() {
+        let warns = warnings(
+            r#"states { a=0; } initial a;
+               permissions { P; }
+               state_per { a: P; }
+               per_rules { P:
+                 allow uid=1000 /dev/x* w;
+                 deny uid=2000 /dev/x* w;
+               }"#,
+        );
+        assert!(!warns.iter().any(|w| w.kind == IssueKind::AllowDenyOverlap));
     }
 }

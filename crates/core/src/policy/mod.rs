@@ -31,7 +31,7 @@ use crate::rules::{
 use crate::situation::{StateId, StateSpace};
 use crate::ssm::TransitionRule;
 
-pub use check::{check_policy, IssueSeverity, PolicyIssue};
+pub use check::{check_policy, render_rule, IssueKind, IssueSeverity, PolicyIssue, RuleProvenance};
 pub use parser::{parse_policy, ParsePolicyError};
 
 /// Raw subject selector as written in policy text.

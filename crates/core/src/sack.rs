@@ -739,12 +739,24 @@ mod tests {
         sack.reload_policy(&policy_v2).unwrap();
         assert_eq!(sack.current_state_name(), "off");
         let compiled = db.get("svc").unwrap();
-        assert!(!compiled.rules().evaluate("/v1/data").permits(FilePerms::READ));
-        assert!(!compiled.rules().evaluate("/v2/data").permits(FilePerms::READ));
+        assert!(!compiled
+            .rules()
+            .evaluate("/v1/data")
+            .permits(FilePerms::READ));
+        assert!(!compiled
+            .rules()
+            .evaluate("/v2/data")
+            .permits(FilePerms::READ));
         sack.deliver_event("enable", Duration::ZERO).unwrap();
         let compiled = db.get("svc").unwrap();
-        assert!(compiled.rules().evaluate("/v2/data").permits(FilePerms::READ));
-        assert!(!compiled.rules().evaluate("/v1/data").permits(FilePerms::READ));
+        assert!(compiled
+            .rules()
+            .evaluate("/v2/data")
+            .permits(FilePerms::READ));
+        assert!(!compiled
+            .rules()
+            .evaluate("/v1/data")
+            .permits(FilePerms::READ));
     }
 
     #[test]

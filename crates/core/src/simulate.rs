@@ -163,6 +163,17 @@ impl PolicySimulator {
         &self.policy
     }
 
+    /// Diagnostics from the static analysis that runs automatically when
+    /// the policy is loaded: SSM reachability (unreachable and dead
+    /// states, events that can never fire) and MAC-rule lints (shadowed
+    /// rules, allow/deny conflicts on overlapping matches). Errors abort
+    /// [`PolicySimulator::new`]; everything surfaced here is advisory,
+    /// and `sack-analyze` renders the same issues (plus cross-layer
+    /// stacking checks) on the command line.
+    pub fn load_diagnostics(&self) -> &[crate::policy::PolicyIssue] {
+        self.policy.warnings()
+    }
+
     /// The current simulated situation state name.
     pub fn state(&self) -> &str {
         self.ssm.current_name()
@@ -368,5 +379,31 @@ mod tests {
     #[test]
     fn rejects_invalid_policy() {
         assert!(PolicySimulator::new("states {").is_err());
+    }
+
+    #[test]
+    fn load_runs_the_static_analysis_by_default() {
+        let sim = PolicySimulator::new(POLICY).unwrap();
+        assert!(sim.load_diagnostics().is_empty());
+
+        // A policy with a shadowed rule loads (warnings are advisory)
+        // but the diagnostic is already waiting on the simulator.
+        let shadowed = r#"
+            states { normal = 0; }
+            events { noop; }
+            transitions { }
+            initial normal;
+            permissions { NORMAL; }
+            state_per { normal: NORMAL; }
+            per_rules {
+                NORMAL:
+                    allow subject=* /dev/car/** rw;
+                    allow subject=* /dev/car/door* r;
+            }
+        "#;
+        let sim = PolicySimulator::new(shadowed).unwrap();
+        let diags = sim.load_diagnostics();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].kind, crate::policy::IssueKind::ShadowedRule);
     }
 }

@@ -470,6 +470,54 @@ mod tests {
     }
 
     #[test]
+    fn self_loop_rule_is_a_real_transition() {
+        // `(a, e) -> a` is legal and counts as a *taken* transition: it
+        // lands in the history and renotifies listeners (enforcers may
+        // rely on re-entry to refresh derived state), even though the
+        // current state is unchanged.
+        struct CountListener(Counter);
+        impl TransitionListener for CountListener {
+            fn on_transition(&self, from: StateId, to: StateId) {
+                assert_eq!(from, to);
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut space = StateSpace::new();
+        let a = space.add_state("a", 0).unwrap();
+        let e = space.add_event("ping").unwrap();
+        let rules = [TransitionRule {
+            from: a,
+            event: e,
+            to: a,
+        }];
+        let ssm = Ssm::new(space, &rules, a).unwrap();
+        let listener = Arc::new(CountListener(Counter::new(0)));
+        ssm.add_listener(Arc::clone(&listener) as Arc<dyn TransitionListener>);
+
+        let out = ssm.deliver(e, Duration::from_secs(1));
+        assert_eq!(out, TransitionOutcome::Transitioned { from: a, to: a });
+        assert_eq!(ssm.current(), a);
+        assert_eq!(ssm.taken_count(), 1);
+        assert_eq!(ssm.history().len(), 1);
+        assert_eq!(listener.0.load(Ordering::Relaxed), 1);
+        // The self-loop shows up as a dot edge a -> a.
+        assert!(ssm.to_dot().contains("s0 -> s0 [label=\"ping\"]"));
+    }
+
+    #[test]
+    fn out_of_range_event_id_is_a_no_match() {
+        // Defensive path: a raw EventId beyond the table width (e.g. from
+        // a stale handle across a reload) must not panic — it is treated
+        // like any event with no rule for the current state.
+        let ssm = fig2();
+        let out = ssm.deliver(EventId(999), Duration::ZERO);
+        assert!(!out.transitioned());
+        assert_eq!(ssm.current_name(), "driving");
+        assert_eq!(ssm.delivered_count(), 1);
+        assert_eq!(ssm.taken_count(), 0);
+    }
+
+    #[test]
     fn out_of_range_rule_rejected() {
         let mut space = StateSpace::new();
         let a = space.add_state("a", 0).unwrap();

@@ -4,40 +4,96 @@
 //! on the kernel's `rcu_dereference`/`rcu_assign_pointer` pattern (and on
 //! userspace's `arc-swap`): readers take a snapshot of an `Arc<T>` without
 //! ever acquiring a lock, while writers publish a replacement atomically and
-//! reclaim the old snapshot only after a grace period in which no reader can
-//! still be dereferencing it.
+//! reclaim the old snapshot only once no reader can still be dereferencing
+//! it.
 //!
-//! This is what makes LSM hook dispatch wait-free on the read side: hot-path
-//! hooks (`file_open`, `file_permission`) call [`Rcu::read`] — two atomic
-//! RMWs and an atomic load — instead of taking the `RwLock` that policy
-//! reloads and SSM transitions would otherwise contend on.
+//! This is what makes LSM hook dispatch lock-free on the read side: hot-path
+//! hooks (`file_open`, `file_permission`) call [`Rcu::read`] — a handful of
+//! uncontended atomic operations — instead of taking the `RwLock` that
+//! policy reloads and SSM transitions would otherwise contend on.
+//!
+//! # Reclamation invariant (hazard announcements)
+//!
+//! Readers announce the pointer they are about to take in one of
+//! [`HAZARD_SLOTS`] *hazard slots*, then re-validate that the pointer is
+//! still current before touching its strong count. Writers retire the old
+//! snapshot into a graveyard and free exactly the graveyard entries that are
+//! **not announced in any slot** at scan time (the scan runs under the
+//! writer mutex, after the retiring swap). This yields two guarantees:
+//!
+//! 1. **Safety.** A reader acquires a snapshot only after validating
+//!    `current == announced` *while announced*. A writer frees a retired
+//!    pointer only after the retiring swap and a scan that did not see it
+//!    announced. If the reader's validation succeeded, either its
+//!    announcement preceded the scan (the scan sees it → not freed) or its
+//!    validating load ran after the swap (validation fails → the reader
+//!    retries with the new pointer). Under the `SeqCst` total order, a freed
+//!    pointer can therefore never be acquired.
+//! 2. **Bounded graveyard.** After every reclamation pass, each surviving
+//!    graveyard entry is announced in some slot, so the graveyard never
+//!    holds more than [`HAZARD_SLOTS`] retired snapshots — even under a
+//!    reader that is stalled inside [`Rcu::read`] forever. A stuck reader
+//!    pins at most the single snapshot it announced. (The previous
+//!    reader-counter design deferred *all* reclamation while any reader was
+//!    pinned, so one stuck reader grew the graveyard without bound.)
+//!
+//! ABA on the validating load is benign: if a freed address is reused by a
+//! newer snapshot that is current again, the reader acquires that newer,
+//! live snapshot — address equality implies liveness here, not staleness.
 
+use std::cell::Cell;
 use std::fmt;
+use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
 
+/// Number of hazard announcement slots per cell — the maximum number of
+/// readers that can be simultaneously inside the pointer-load window of
+/// [`Rcu::read`] without falling back to the writer mutex, and the upper
+/// bound on retired-but-unreclaimed snapshots.
+pub const HAZARD_SLOTS: usize = 64;
+
+/// Hands each thread a stable starting slot so uncontended readers on
+/// different threads do not fight over the same cache line.
+fn preferred_slot() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HINT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    HINT.with(|hint| {
+        if hint.get() == usize::MAX {
+            hint.set(NEXT.fetch_add(1, SeqCst));
+        }
+        hint.get() % HAZARD_SLOTS
+    })
+}
+
 /// A read-copy-update cell holding an `Arc<T>` snapshot.
 ///
-/// * [`read`](Rcu::read) is wait-free and lock-free: it pins the current
-///   snapshot with a reader counter, bumps its strong count, and returns an
-///   owned `Arc<T>`. No reader ever blocks a writer or another reader.
+/// * [`read`](Rcu::read) is lock-free: it claims a hazard slot, announces
+///   the snapshot pointer, validates it is still current, and returns an
+///   owned `Arc<T>`. Readers never block writers; a reader retries its
+///   validation only when a writer published in the middle of its window.
+///   If all [`HAZARD_SLOTS`] slots are occupied the reader falls back to a
+///   brief acquisition of the writer mutex (which also makes the snapshot
+///   stable), so `read` succeeds under any load.
 /// * [`store`](Rcu::store) / [`update`](Rcu::update) serialise writers on an
 ///   internal mutex, swap the snapshot pointer atomically, and *retire* the
-///   previous snapshot instead of dropping it inline. Retired snapshots are
-///   reclaimed once a writer observes the reader counter at zero **after**
-///   the swap — the moment no thread can still be between "loaded the old
-///   pointer" and "bumped its strong count" (the grace period).
+///   previous snapshot instead of dropping it inline. Each writer then
+///   scans the hazard slots and frees every retired snapshot that no reader
+///   has announced — see the module docs for the invariant.
 ///
 /// Readers that already hold a returned `Arc<T>` keep it alive through its
-/// own strong count; the grace period only protects the pointer-load window
-/// inside [`read`] itself.
+/// own strong count; hazard announcements only protect the pointer-load
+/// window inside [`read`] itself.
 pub struct Rcu<T> {
     /// Current snapshot, produced by `Arc::into_raw`. Never null.
     current: AtomicPtr<T>,
-    /// Number of readers inside the load window of [`Rcu::read`].
-    readers: AtomicUsize,
-    /// Serialises writers; holds snapshots retired while readers were
-    /// pinned, awaiting a quiescent state.
+    /// Hazard announcement slots. Null = free; non-null = some reader is
+    /// inside its load window and may be about to take this pointer.
+    hazards: [AtomicPtr<T>; HAZARD_SLOTS],
+    /// Serialises writers; holds snapshots retired while still announced in
+    /// a hazard slot, awaiting a later writer's scan (or `Drop`).
     writer: Mutex<Vec<*const T>>,
     /// Count of snapshots swapped in over the cell's lifetime (telemetry
     /// for tests and stats dumps; the initial value counts as 0).
@@ -60,26 +116,59 @@ impl<T> Rcu<T> {
     pub fn from_arc(value: Arc<T>) -> Rcu<T> {
         Rcu {
             current: AtomicPtr::new(Arc::into_raw(value) as *mut T),
-            readers: AtomicUsize::new(0),
+            hazards: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
             writer: Mutex::new(Vec::new()),
             generation: AtomicUsize::new(0),
         }
     }
 
-    /// Returns the current snapshot. Wait-free: two atomic RMWs and one
-    /// atomic load, no locks, regardless of concurrent writers.
+    /// Returns the current snapshot. Lock-free: claims a hazard slot,
+    /// announces the pointer, validates it is still current, and bumps its
+    /// strong count — no locks unless every slot is occupied.
     pub fn read(&self) -> Arc<T> {
-        // Pin: a writer that swaps the pointer after this increment cannot
-        // reclaim the snapshot we are about to load until we unpin.
-        self.readers.fetch_add(1, SeqCst);
-        let ptr = self.current.load(SeqCst);
-        // SAFETY: `ptr` came from `Arc::into_raw` and its strong count is
-        // held by the cell (or its graveyard) — reclamation is deferred
-        // while `readers > 0`, so the count cannot reach zero here.
-        unsafe { Arc::increment_strong_count(ptr) };
-        self.readers.fetch_sub(1, SeqCst);
+        let start = preferred_slot();
+        for i in 0..HAZARD_SLOTS {
+            let slot = &self.hazards[(start + i) % HAZARD_SLOTS];
+            let mut p = self.current.load(SeqCst);
+            // Claim the slot by announcing the pointer we intend to take.
+            // A failed exchange means another reader owns this slot.
+            if slot
+                .compare_exchange(ptr::null_mut(), p, SeqCst, SeqCst)
+                .is_err()
+            {
+                continue;
+            }
+            loop {
+                // Validate *after* announcing: if the pointer is still
+                // current, no writer scan can have missed our announcement
+                // before retiring it (see module docs).
+                let cur = self.current.load(SeqCst);
+                if cur == p {
+                    // SAFETY: `p` is announced and validated current, so no
+                    // writer has freed it (writers free only unannounced
+                    // retired pointers); its strong count is still owned by
+                    // the cell or its graveyard.
+                    unsafe { Arc::increment_strong_count(p) };
+                    slot.store(ptr::null_mut(), SeqCst);
+                    // SAFETY: we own the strong count incremented above.
+                    return unsafe { Arc::from_raw(p) };
+                }
+                // A writer published meanwhile; re-announce the new pointer
+                // and validate again.
+                p = cur;
+                slot.store(p, SeqCst);
+            }
+        }
+        // Every slot is occupied by an in-flight reader: fall back to the
+        // writer mutex. Writers swap and reclaim only under this mutex, so
+        // while we hold it the current snapshot cannot be retired.
+        let _graveyard = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let p = self.current.load(SeqCst);
+        // SAFETY: the writer mutex is held, so `p` is current and its strong
+        // count is owned by the cell.
+        unsafe { Arc::increment_strong_count(p) };
         // SAFETY: we own the strong count incremented above.
-        unsafe { Arc::from_raw(ptr) }
+        unsafe { Arc::from_raw(p) }
     }
 
     /// Publishes `value` as the new snapshot.
@@ -89,11 +178,21 @@ impl<T> Rcu<T> {
 
     /// Publishes an existing `Arc` as the new snapshot.
     pub fn store_arc(&self, value: Arc<T>) {
-        let mut graveyard = self.writer.lock().unwrap_or_else(|p| p.into_inner());
-        let old = self.current.swap(Arc::into_raw(value) as *mut T, SeqCst);
-        self.generation.fetch_add(1, SeqCst);
-        graveyard.push(old as *const T);
-        self.reclaim(&mut graveyard);
+        let unprotected = {
+            let mut graveyard = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+            let old = self.current.swap(Arc::into_raw(value) as *mut T, SeqCst);
+            self.generation.fetch_add(1, SeqCst);
+            graveyard.push(old as *const T);
+            self.take_unprotected(&mut graveyard)
+        };
+        // Drop outside the lock: `T::drop` may be arbitrary user code (it
+        // could even call `read` on this very cell's fallback path).
+        for p in unprotected {
+            // SAFETY: each retired pointer owns exactly the one strong count
+            // transferred by `Arc::into_raw` at publish time, and the scan
+            // above proved no reader announced it after it was retired.
+            unsafe { drop(Arc::from_raw(p)) };
+        }
     }
 
     /// Read-copy-update: builds a replacement from the current snapshot and
@@ -101,15 +200,24 @@ impl<T> Rcu<T> {
     /// `update`s serialise and never lose each other's changes; readers are
     /// unaffected and see either the old or the new snapshot.
     pub fn update<R>(&self, f: impl FnOnce(&T) -> (T, R)) -> R {
-        let mut graveyard = self.writer.lock().unwrap_or_else(|p| p.into_inner());
-        // SAFETY: the writer lock is held, so no other writer can retire the
-        // current pointer while we borrow it.
-        let cur = unsafe { &*self.current.load(SeqCst) };
-        let (next, out) = f(cur);
-        let old = self.current.swap(Arc::into_raw(Arc::new(next)) as *mut T, SeqCst);
-        self.generation.fetch_add(1, SeqCst);
-        graveyard.push(old as *const T);
-        self.reclaim(&mut graveyard);
+        let (out, unprotected) = {
+            let mut graveyard = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+            // SAFETY: the writer lock is held, so no other writer can retire
+            // the current pointer while we borrow it.
+            let cur = unsafe { &*self.current.load(SeqCst) };
+            let (next, out) = f(cur);
+            let old = self
+                .current
+                .swap(Arc::into_raw(Arc::new(next)) as *mut T, SeqCst);
+            self.generation.fetch_add(1, SeqCst);
+            graveyard.push(old as *const T);
+            let unprotected = self.take_unprotected(&mut graveyard);
+            (out, unprotected)
+        };
+        for p in unprotected {
+            // SAFETY: as in `store_arc`.
+            unsafe { drop(Arc::from_raw(p)) };
+        }
         out
     }
 
@@ -118,24 +226,66 @@ impl<T> Rcu<T> {
         self.generation.load(SeqCst)
     }
 
-    /// Drops retired snapshots if the grace period has elapsed.
-    ///
-    /// Called with the writer lock held, after the swap that retired the
-    /// newest entry. If `readers == 0` *now*, every in-flight `read` began
-    /// after some swap already made the retired pointers unreachable, so no
-    /// reader can still be inside the load window holding one of them.
-    /// Otherwise the pointers stay in the graveyard for a later writer (or
-    /// `Drop`) to reclaim — reclamation is deferred, never unsafe.
-    fn reclaim(&self, graveyard: &mut Vec<*const T>) {
-        if self.readers.load(SeqCst) == 0 {
-            for ptr in graveyard.drain(..) {
-                // SAFETY: retired pointers each own exactly the one strong
-                // count transferred by `Arc::into_raw` at publish time, and
-                // no reader is pinned (checked above) nor can newly pin them
-                // (they were swapped out before entering the graveyard).
-                unsafe { drop(Arc::from_raw(ptr)) };
+    /// Number of retired snapshots awaiting reclamation. Bounded by
+    /// [`HAZARD_SLOTS`] after every write — telemetry for tests and stats.
+    pub fn retired_count(&self) -> usize {
+        self.writer.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Splits the graveyard into entries announced in some hazard slot
+    /// (kept) and the rest (returned for the caller to free outside the
+    /// lock). Must be called with the writer lock held, after the swap that
+    /// retired the newest entry.
+    fn take_unprotected(&self, graveyard: &mut Vec<*const T>) -> Vec<*const T> {
+        let announced: Vec<*const T> = self
+            .hazards
+            .iter()
+            .map(|slot| slot.load(SeqCst) as *const T)
+            .filter(|p| !p.is_null())
+            .collect();
+        let mut unprotected = Vec::new();
+        graveyard.retain(|p| {
+            if announced.contains(p) {
+                true
+            } else {
+                unprotected.push(*p);
+                false
+            }
+        });
+        // The reclamation invariant: everything still retired is announced.
+        debug_assert!(
+            graveyard.len() <= HAZARD_SLOTS,
+            "graveyard exceeded hazard-slot bound: {} > {HAZARD_SLOTS}",
+            graveyard.len()
+        );
+        unprotected
+    }
+
+    /// Test hook: performs the announce-and-validate half of [`read`]
+    /// without taking a snapshot, simulating a reader stalled inside its
+    /// load window forever. Returns the claimed slot index.
+    #[cfg(test)]
+    fn test_pin_current(&self) -> usize {
+        loop {
+            for (i, slot) in self.hazards.iter().enumerate() {
+                let p = self.current.load(SeqCst);
+                if slot
+                    .compare_exchange(ptr::null_mut(), p, SeqCst, SeqCst)
+                    .is_ok()
+                {
+                    if self.current.load(SeqCst) == p {
+                        return i;
+                    }
+                    slot.store(ptr::null_mut(), SeqCst);
+                }
             }
         }
+    }
+
+    /// Test hook: releases a slot claimed by [`Rcu::test_pin_current`].
+    #[cfg(test)]
+    fn test_unpin(&self, slot: usize) {
+        self.hazards[slot].store(ptr::null_mut(), SeqCst);
     }
 }
 
@@ -157,12 +307,13 @@ impl<T: fmt::Debug> fmt::Debug for Rcu<T> {
 impl<T> Drop for Rcu<T> {
     fn drop(&mut self) {
         // `&mut self` proves no thread is inside `read` (that would require
-        // a live `&self` borrow), so both the graveyard and the current
-        // snapshot can be released unconditionally.
+        // a live `&self` borrow), so no hazard slot is owned by a reader and
+        // both the graveyard and the current snapshot can be released
+        // unconditionally.
         let graveyard = self.writer.get_mut().unwrap_or_else(|p| p.into_inner());
         for ptr in graveyard.drain(..) {
-            // SAFETY: as in `reclaim`, each retired pointer owns one strong
-            // count and no readers exist.
+            // SAFETY: each retired pointer owns one strong count and no
+            // readers exist.
             unsafe { drop(Arc::from_raw(ptr)) };
         }
         // SAFETY: the current pointer owns the strong count transferred at
@@ -251,15 +402,15 @@ mod tests {
         }
     }
 
+    struct Counted(Arc<AtomicUsize>);
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, SeqCst);
+        }
+    }
+
     #[test]
     fn retired_snapshots_are_reclaimed() {
-        struct Counted(Arc<AtomicUsize>);
-        impl Drop for Counted {
-            fn drop(&mut self) {
-                self.0.fetch_add(1, SeqCst);
-            }
-        }
-
         let drops = Arc::new(AtomicUsize::new(0));
         let cell = Rcu::new(Counted(Arc::clone(&drops)));
         for _ in 0..100 {
@@ -270,6 +421,46 @@ mod tests {
         assert_eq!(drops.load(SeqCst), 100);
         drop(cell);
         assert_eq!(drops.load(SeqCst), 101);
+    }
+
+    #[test]
+    fn graveyard_is_bounded_under_a_reader_that_never_unpins() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = Rcu::new(Counted(Arc::clone(&drops)));
+        // A reader stalled inside `read` forever: it announced the current
+        // snapshot and will never clear its hazard slot.
+        let slot = cell.test_pin_current();
+
+        for _ in 0..1000 {
+            cell.store(Counted(Arc::clone(&drops)));
+        }
+        // Only the announced snapshot survives in the graveyard; every
+        // other retired snapshot was reclaimed despite the stuck reader.
+        assert_eq!(cell.retired_count(), 1);
+        assert_eq!(drops.load(SeqCst), 999);
+
+        // Once the reader finally goes away, the next write drains it.
+        cell.test_unpin(slot);
+        cell.store(Counted(Arc::clone(&drops)));
+        assert_eq!(cell.retired_count(), 0);
+        assert_eq!(drops.load(SeqCst), 1001);
+    }
+
+    #[test]
+    fn read_falls_back_when_every_hazard_slot_is_occupied() {
+        let cell = Rcu::new(7u32);
+        let slots: Vec<usize> = (0..HAZARD_SLOTS).map(|_| cell.test_pin_current()).collect();
+        assert_eq!(slots.len(), HAZARD_SLOTS);
+
+        // All slots busy: `read` takes the mutex fallback and still works,
+        // before and after a store.
+        assert_eq!(*cell.read(), 7);
+        cell.store(8);
+        assert_eq!(*cell.read(), 8);
+
+        for slot in slots {
+            cell.test_unpin(slot);
+        }
     }
 
     #[test]

@@ -236,6 +236,21 @@ impl TePolicy {
     pub fn allow_count(&self) -> usize {
         self.allows.len()
     }
+
+    /// Iterates the labeling rules in match order (first match wins).
+    ///
+    /// Static analyzers use this to reason about which object types a path
+    /// pattern can carry without enumerating concrete paths.
+    pub fn labeling_rules(&self) -> impl Iterator<Item = (&Glob, TypeId)> {
+        self.labeling.iter().map(|(glob, ty)| (glob, *ty))
+    }
+
+    /// Iterates the allow rules as `(subject, object, granted)` triples.
+    pub fn allow_rules(&self) -> impl Iterator<Item = (TypeId, TypeId, FilePerms)> + '_ {
+        self.allows
+            .iter()
+            .map(|((subj, obj), perms)| (*subj, *obj, *perms))
+    }
 }
 
 impl fmt::Debug for TePolicy {

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# One-shot CI gate: everything that must be green before a change ships.
+#
+#   1. cargo fmt --check          — formatting is canonical
+#   2. cargo clippy -D warnings   — lint-clean across every target
+#   3. cargo build --release      — the tier-1 build
+#   4. cargo test -q              — the full test suite (unit, integration,
+#                                   property, interleaving exhaustion)
+#   5. scripts/bench_gate.sh      — the hook-latency performance gate
+#
+# Usage: scripts/check.sh [--no-bench]
+#   --no-bench  skip the benchmark gate (useful on loaded machines where
+#               timing gates are noisy; the functional gates still run).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUN_BENCH=1
+if [[ "${1:-}" == "--no-bench" ]]; then
+    RUN_BENCH=0
+fi
+
+step() {
+    echo
+    echo "==> $*"
+}
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q"
+cargo test -q
+
+if [[ "$RUN_BENCH" == 1 ]]; then
+    step "scripts/bench_gate.sh"
+    scripts/bench_gate.sh
+else
+    step "bench gate skipped (--no-bench)"
+fi
+
+echo
+echo "check.sh: all gates green"

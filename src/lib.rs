@@ -7,6 +7,7 @@
 
 pub mod prop;
 
+pub use sack_analyze as analyze;
 pub use sack_apparmor as apparmor;
 pub use sack_core as core;
 pub use sack_kernel as kernel;

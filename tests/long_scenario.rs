@@ -115,17 +115,16 @@ fn full_day_scenario_holds_invariants_at_every_frame() {
     // Compose the day from the trace generators, re-based in time.
     let mut day: Vec<SensorFrame> = Vec::new();
     let mut offset = Duration::ZERO;
-    let append =
-        |day: &mut Vec<SensorFrame>, offset: &mut Duration, trace: Vec<SensorFrame>| {
-            let base = *offset;
-            let mut last = Duration::ZERO;
-            for mut frame in trace {
-                last = frame.t + Duration::from_secs(1);
-                frame.t += base;
-                day.push(frame);
-            }
-            *offset = base + last;
-        };
+    let append = |day: &mut Vec<SensorFrame>, offset: &mut Duration, trace: Vec<SensorFrame>| {
+        let base = *offset;
+        let mut last = Duration::ZERO;
+        for mut frame in trace {
+            last = frame.t + Duration::from_secs(1);
+            frame.t += base;
+            day.push(frame);
+        }
+        *offset = base + last;
+    };
     // city_drive ends with the driver leaving (parking_without_driver);
     // park_and_return brings them back (parking_with_driver), so the
     // highway leg starts from a state that has the crash transition.

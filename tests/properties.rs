@@ -43,6 +43,10 @@ fn ref_match(pat: &[u8], text: &[u8]) -> bool {
 
 /// Pattern fragments made only of literals and wildcards (no classes or
 /// braces, which the reference matcher doesn't implement).
+// The derefs on `rng.pick` are required: without them inference unifies
+// `T` with `str` and the call fails to compile, so clippy's auto-deref
+// suggestion is a false positive here.
+#[allow(clippy::explicit_auto_deref)]
 fn simple_pattern(rng: &mut Rng) -> String {
     let n = rng.range(1, 8);
     let mut out = String::from("/");
@@ -60,6 +64,7 @@ fn simple_pattern(rng: &mut Rng) -> String {
 
 /// Richer patterns for index-vs-scan equivalence: adds character classes
 /// and brace alternations, which the rule index must also bucket correctly.
+#[allow(clippy::explicit_auto_deref)] // same inference false positive
 fn rich_pattern(rng: &mut Rng) -> String {
     let n = rng.range(1, 8);
     let mut out = String::from("/");
@@ -461,6 +466,56 @@ fn trace_csv_roundtrips() {
         let csv = sack_sds::tracefile::to_csv(&trace);
         let parsed = sack_sds::tracefile::from_csv(&csv).unwrap();
         assert_eq!(parsed, trace);
+    });
+}
+
+/// The decision cache's whole invalidation story is the epoch tag: a
+/// reload bumps the epoch, and every entry inserted under the old epoch
+/// must be unreachable afterwards — no flush, just keys that never match
+/// again. The property drives random working sets, states and permission
+/// bits, and checks both directions: immediate hits under the inserting
+/// epoch, guaranteed misses under any bumped epoch, in arbitrary lookup
+/// order.
+#[test]
+fn cached_grant_is_never_served_across_an_epoch_bump() {
+    use sack_core::{CachedOutcome, DecisionCache, DecisionKey};
+    prop::check(|rng| {
+        let cache = DecisionCache::new();
+        let old_epoch = rng.next_u64();
+        let bump = rng.range(1, 1000) as u64;
+        let new_epoch = old_epoch.wrapping_add(bump);
+        fn make_key(epoch: u64, path: &str, state: usize, perms: u8) -> DecisionKey<'_> {
+            DecisionKey {
+                epoch,
+                confinement_gen: 0,
+                state,
+                uid: 1000,
+                mac_override: false,
+                exe: Some("/usr/bin/app"),
+                path,
+                perms,
+            }
+        }
+        let mut entries: Vec<(String, usize, u8)> = (0..rng.range(1, 40))
+            .map(|_| (rich_path(rng), rng.below(8), rng.range(1, 64) as u8))
+            .collect();
+        for (path, state, perms) in &entries {
+            let key = make_key(old_epoch, path, *state, *perms);
+            cache.insert(&key, CachedOutcome::Allow);
+            assert_eq!(
+                cache.lookup(&key),
+                Some(CachedOutcome::Allow),
+                "freshly inserted grant must hit under its own epoch"
+            );
+        }
+        rng.shuffle(&mut entries);
+        for (path, state, perms) in &entries {
+            assert_eq!(
+                cache.lookup(&make_key(new_epoch, path, *state, *perms)),
+                None,
+                "stale grant served across epoch bump (+{bump}) for `{path}`"
+            );
+        }
     });
 }
 
