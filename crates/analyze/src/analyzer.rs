@@ -27,10 +27,10 @@ use std::collections::{HashMap, HashSet};
 use sack_apparmor::glob::Glob;
 use sack_apparmor::profile::{FilePerms, Profile};
 use sack_core::policy::{check_policy, IssueSeverity, RuleProvenance, SackPolicy, SubjectSpec};
-use sack_core::RuleEffect;
+use sack_core::{RuleEffect, StateId};
 use sack_te::TePolicy;
 
-use crate::diag::{Diagnostic, Report};
+use crate::diag::{DfaSize, Diagnostic, Report};
 
 /// Origin tag on profile rules injected by SACK's enhancer; such rules are
 /// SACK's own and never count as stacking holes.
@@ -45,6 +45,12 @@ pub const CHECK_PROFILE_WIDE_OPEN: &str = "stacked-profile-wide-open";
 pub const CHECK_TE_WIDE_OPEN: &str = "stacked-te-wide-open";
 /// Check id: `subject=profile:` rule naming an unknown profile.
 pub const CHECK_UNKNOWN_PROFILE: &str = "unknown-stacked-profile";
+/// Check id: a per-state DFA matcher exceeded the state-count budget.
+pub const CHECK_DFA_STATE_BLOWUP: &str = "dfa-state-blowup";
+
+/// State-count budget per compiled matcher; beyond this the table no
+/// longer looks like something a kernel should pin, so the analyzer warns.
+const DFA_STATE_BUDGET: usize = 64 * 1024;
 
 /// Static analyzer over a SACK policy and its stacked MAC layers.
 #[derive(Debug)]
@@ -93,7 +99,39 @@ impl<'a> Analyzer<'a> {
         self.check_privilege_widening(&mut report);
         self.check_profile_stacking(&mut report);
         self.check_te_stacking(&mut report);
+        self.collect_dfa_sizes(&mut report);
         report
+    }
+
+    /// Compiles the policy and records the unified per-state DFA matcher
+    /// sizes, warning when a table blows past the state budget.
+    fn collect_dfa_sizes(&self, report: &mut Report) {
+        let Ok(compiled) = self.policy.compile() else {
+            return; // compile issues are already reported by the checker
+        };
+        for (index, state) in compiled.space().states().iter().enumerate() {
+            let dfa = compiled.state_dfa(StateId(index));
+            let stats = dfa.stats();
+            report.dfa.push(DfaSize {
+                state: state.name.clone(),
+                states: stats.states,
+                transitions: stats.transitions,
+                classes: stats.classes,
+                residual_rules: dfa.residual_rule_count(),
+            });
+            if stats.states > DFA_STATE_BUDGET {
+                report.diagnostics.push(Diagnostic::warning(
+                    CHECK_DFA_STATE_BLOWUP,
+                    format!(
+                        "situation `{}`: compiled DFA matcher has {} states \
+                         (budget {DFA_STATE_BUDGET}) — the rule set's globs \
+                         explode under determinization; simplify overlapping \
+                         patterns or split the permission",
+                        state.name, stats.states,
+                    ),
+                ));
+            }
+        }
     }
 
     /// Permission → states granting it, with `*` entries expanded.

@@ -68,11 +68,28 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Compiled matcher size for one situation state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfaSize {
+    /// Situation state name.
+    pub state: String,
+    /// Number of DFA states in the unified per-state matcher.
+    pub states: usize,
+    /// Number of live (non-dead) transitions in its table.
+    pub transitions: usize,
+    /// Byte equivalence classes in the compressed alphabet.
+    pub classes: usize,
+    /// Subject-scoped rules left on the residual scan path.
+    pub residual_rules: usize,
+}
+
 /// The outcome of one analyzer run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Report {
     /// Findings in detection order (core checks first, stacking last).
     pub diagnostics: Vec<Diagnostic>,
+    /// Per-state DFA matcher sizes, when the policy compiled cleanly.
+    pub dfa: Vec<DfaSize>,
 }
 
 impl Report {
@@ -102,21 +119,33 @@ impl Report {
         self.diagnostics.iter().filter(move |d| d.check == check)
     }
 
-    /// Renders the report as human-readable text, one finding per block.
+    /// Renders the report as human-readable text, one finding per block,
+    /// followed by the per-state DFA matcher sizes when available.
     pub fn render(&self) -> String {
-        if self.is_clean() {
-            return "no findings\n".to_string();
-        }
         let mut out = String::new();
-        for diag in &self.diagnostics {
-            out.push_str(&diag.to_string());
-            out.push('\n');
+        if self.is_clean() {
+            out.push_str("no findings\n");
+        } else {
+            for diag in &self.diagnostics {
+                out.push_str(&diag.to_string());
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "{} error(s), {} warning(s)\n",
+                self.error_count(),
+                self.warning_count()
+            ));
         }
-        out.push_str(&format!(
-            "{} error(s), {} warning(s)\n",
-            self.error_count(),
-            self.warning_count()
-        ));
+        if !self.dfa.is_empty() {
+            out.push_str("per-state DFA matcher:\n");
+            for size in &self.dfa {
+                out.push_str(&format!(
+                    "  {}: {} states, {} transitions, {} byte classes, \
+                     {} residual rule(s)\n",
+                    size.state, size.states, size.transitions, size.classes, size.residual_rules
+                ));
+            }
+        }
         out
     }
 
@@ -135,9 +164,16 @@ impl Report {
     ///       "message": "...",
     ///       "provenance": {"permission": "P", "line": 4, "rule": "..."}
     ///     }
+    ///   ],
+    ///   "dfa": [
+    ///     {"state": "normal", "states": 12, "transitions": 40,
+    ///      "classes": 7, "residual_rules": 0}
     ///   ]
     /// }
     /// ```
+    ///
+    /// The `dfa` key is present only when the policy compiled cleanly and
+    /// matcher sizes were collected.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!(
@@ -165,7 +201,26 @@ impl Report {
             }
             out.push('}');
         }
-        out.push_str("]}");
+        out.push(']');
+        if !self.dfa.is_empty() {
+            out.push_str(",\"dfa\":[");
+            for (i, size) in self.dfa.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"state\":\"{}\",\"states\":{},\"transitions\":{},\
+                     \"classes\":{},\"residual_rules\":{}}}",
+                    json_escape(&size.state),
+                    size.states,
+                    size.transitions,
+                    size.classes,
+                    size.residual_rules
+                ));
+            }
+            out.push(']');
+        }
+        out.push('}');
         out
     }
 }
@@ -201,6 +256,7 @@ mod tests {
     fn report_counts_and_render() {
         let report = Report {
             diagnostics: vec![Diagnostic::warning("shadowed-rule", "rule x is shadowed")],
+            dfa: Vec::new(),
         };
         assert_eq!(report.error_count(), 0);
         assert_eq!(report.warning_count(), 1);

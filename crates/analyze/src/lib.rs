@@ -34,6 +34,6 @@ pub mod interleave;
 pub mod models;
 
 pub use analyzer::Analyzer;
-pub use diag::{Diagnostic, Report};
+pub use diag::{DfaSize, Diagnostic, Report};
 pub use interleave::{explore, Exploration, Model, Violation};
 pub use models::{CacheConfig, CacheModel, RcuConfig, RcuModel};

@@ -275,6 +275,46 @@ profile media_app /usr/bin/media_app {
     assert!(json.contains("\"warnings\":1"));
 }
 
+#[test]
+fn report_carries_per_state_dfa_sizes() {
+    let report = analyze(CLEAN);
+    assert_eq!(report.dfa.len(), 2, "one entry per situation state");
+    let normal = &report.dfa[0];
+    assert_eq!(normal.state, "normal");
+    assert!(normal.states > 1, "matcher must have a real table");
+    assert!(normal.transitions > 0);
+    // The emergency matcher also folds in the exe-scoped RESCUE rule,
+    // which stays on the residual scan path.
+    let emergency = &report.dfa[1];
+    assert_eq!(emergency.state, "emergency");
+    assert_eq!(emergency.residual_rules, 1);
+    assert_eq!(normal.residual_rules, 0);
+
+    let text = report.render();
+    assert!(text.contains("per-state DFA matcher:"), "{text}");
+    assert!(text.contains("normal:"), "{text}");
+    let json = report.to_json();
+    assert!(json.contains("\"dfa\":[{\"state\":\"normal\""), "{json}");
+    assert!(json.contains("\"residual_rules\":1"), "{json}");
+}
+
+#[test]
+fn dfa_sizes_are_omitted_when_the_policy_does_not_compile() {
+    // An undefined permission in state_per fails compile(): the checker
+    // reports it and no sizes are collected.
+    let report = analyze(
+        r#"
+states { s = 0; } initial s;
+permissions { P; }
+state_per { s: P, GHOST; }
+per_rules { P: allow subject=* /x r; }
+"#,
+    );
+    assert!(report.error_count() > 0);
+    assert!(report.dfa.is_empty());
+    assert!(!report.to_json().contains("\"dfa\""));
+}
+
 // --- zero false positives on the shipped bundles -------------------------
 
 #[test]

@@ -1,0 +1,467 @@
+//! Unified multi-glob DFA matcher.
+//!
+//! Real AppArmor compiles every path rule in a profile into one DFA so a
+//! single pass over the path answers "which rules match" regardless of how
+//! many rules the profile holds. This module does the same for our glob
+//! dialect: [`DfaBuilder`] collects rule globs (each tagged with a caller
+//! chosen `u32`), builds a combined position NFA re-using the token
+//! semantics of [`crate::glob`], determinizes it by subset construction
+//! over a compressed byte alphabet, and minimizes the result with Moore's
+//! partition refinement. Accepting states are annotated at *build time* by
+//! folding the set of matching rule tags into a caller-defined annotation
+//! (e.g. a [`crate::matcher::RuleDecision`] union, or a first-match type
+//! label for TE), so evaluation is a single O(|path|) table walk with the
+//! rule resolution already baked in.
+//!
+//! The annotation fold runs during construction only; [`Dfa::eval`] never
+//! allocates and touches one `u32` table cell per input byte.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::glob::{token_matches, Glob, Token};
+
+/// Sentinel transition target: no live NFA position remains.
+const DEAD: u32 = u32::MAX;
+
+/// Size statistics for a compiled [`Dfa`], surfaced by `sack-analyze`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfaStats {
+    /// Number of (minimized) DFA states.
+    pub states: usize,
+    /// Number of live (non-dead) transitions in the table.
+    pub transitions: usize,
+    /// Number of byte-equivalence classes the alphabet compressed to.
+    pub classes: usize,
+}
+
+/// Accumulates tagged globs and compiles them into a single [`Dfa`].
+#[derive(Debug, Default)]
+pub struct DfaBuilder {
+    /// Flattened NFA positions; `Some(tok)` consumes input, `None` accepts.
+    positions: Vec<Option<Token>>,
+    /// The tag of the glob that owns each position.
+    tag_of: Vec<u32>,
+    /// First position of every brace-alternate.
+    starts: Vec<u32>,
+}
+
+impl DfaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> DfaBuilder {
+        DfaBuilder::default()
+    }
+
+    /// Adds one glob under `tag`. Tags need not be unique; every accepting
+    /// position remembers its tag so the build-time fold can resolve
+    /// overlapping rules.
+    pub fn add_glob(&mut self, glob: &Glob, tag: u32) {
+        for pat in glob.alternates() {
+            self.starts.push(self.positions.len() as u32);
+            for tok in &pat.tokens {
+                self.positions.push(Some(tok.clone()));
+                self.tag_of.push(tag);
+            }
+            self.positions.push(None);
+            self.tag_of.push(tag);
+        }
+    }
+
+    /// True if no globs have been added.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Epsilon closure: a wildcard position may be skipped, so position `i`
+    /// implies `i + 1`. Keeps the set sorted and deduplicated (the set is
+    /// the subset-construction hash key).
+    fn close(&self, set: &mut Vec<u32>) {
+        let mut i = 0;
+        while i < set.len() {
+            let p = set[i] as usize;
+            if matches!(
+                self.positions[p],
+                Some(Token::Star) | Some(Token::DoubleStar)
+            ) {
+                let next = set[i] + 1;
+                if !set.contains(&next) {
+                    set.push(next);
+                }
+            }
+            i += 1;
+        }
+        set.sort_unstable();
+        set.dedup();
+    }
+
+    /// One NFA step on `byte`: wildcards self-loop (a `*` only off `/`),
+    /// consuming tokens advance — exactly the transition relation of
+    /// `glob::Nfa::step`.
+    fn step(&self, set: &[u32], byte: u8) -> Vec<u32> {
+        let mut out = Vec::with_capacity(set.len());
+        for &p in set {
+            match &self.positions[p as usize] {
+                None => {}
+                Some(Token::Star) if byte != b'/' => out.push(p),
+                Some(Token::Star) => {}
+                Some(Token::DoubleStar) => out.push(p),
+                Some(tok) if token_matches(tok, byte) => out.push(p + 1),
+                Some(_) => {}
+            }
+        }
+        self.close(&mut out);
+        out
+    }
+
+    /// Sorted, deduplicated tags of the accepting positions in `set`.
+    fn accepting_tags(&self, set: &[u32]) -> Vec<u32> {
+        let mut tags: Vec<u32> = set
+            .iter()
+            .filter(|&&p| self.positions[p as usize].is_none())
+            .map(|&p| self.tag_of[p as usize])
+            .collect();
+        tags.sort_unstable();
+        tags.dedup();
+        tags
+    }
+
+    /// Partitions the byte alphabet into equivalence classes: two bytes are
+    /// interchangeable when every distinct consuming token (and the `/`
+    /// test the wildcards use) treats them identically. Transition tables
+    /// then need one column per class instead of 256.
+    fn byte_classes(&self) -> (Box<[u16; 256]>, usize) {
+        let mut discr: Vec<&Token> = Vec::new();
+        for tok in self.positions.iter().flatten() {
+            // `**` matches every byte; it never discriminates.
+            if !matches!(tok, Token::DoubleStar) && !discr.contains(&tok) {
+                discr.push(tok);
+            }
+        }
+        let mut sig_to_class: HashMap<Vec<bool>, u16> = HashMap::new();
+        let mut classes = Box::new([0u16; 256]);
+        for b in 0..=255u8 {
+            let mut sig = Vec::with_capacity(discr.len() + 1);
+            sig.push(b == b'/');
+            for tok in &discr {
+                sig.push(match tok {
+                    Token::Star => b != b'/',
+                    other => token_matches(other, b),
+                });
+            }
+            let next = sig_to_class.len() as u16;
+            classes[b as usize] = *sig_to_class.entry(sig).or_insert(next);
+        }
+        let count = sig_to_class.len();
+        (classes, count)
+    }
+
+    /// Determinizes and minimizes the accumulated globs. `fold` maps the
+    /// set of rule tags accepting in a state to that state's annotation;
+    /// `fold(&[])` is the annotation of non-accepting (and dead) states.
+    pub fn build<A, F>(&self, fold: F) -> Dfa<A>
+    where
+        A: Clone + Eq + Hash,
+        F: Fn(&[u32]) -> A,
+    {
+        let (classes, class_count) = self.byte_classes();
+        // One representative byte per class, for stepping the NFA.
+        let mut rep = vec![0u8; class_count];
+        for b in (0..=255u8).rev() {
+            rep[classes[b as usize] as usize] = b;
+        }
+
+        let mut start_set: Vec<u32> = self.starts.clone();
+        self.close(&mut start_set);
+
+        let mut index: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut sets: Vec<Vec<u32>> = Vec::new();
+        index.insert(start_set.clone(), 0);
+        sets.push(start_set);
+
+        let mut table: Vec<u32> = Vec::new();
+        let mut accepts: Vec<A> = Vec::new();
+
+        let mut next = 0usize;
+        while next < sets.len() {
+            let set = sets[next].clone();
+            accepts.push(fold(&self.accepting_tags(&set)));
+            for &rep_byte in &rep {
+                let out = self.step(&set, rep_byte);
+                if out.is_empty() {
+                    table.push(DEAD);
+                    continue;
+                }
+                let id = match index.get(&out) {
+                    Some(&id) => id,
+                    None => {
+                        let id = sets.len() as u32;
+                        index.insert(out.clone(), id);
+                        sets.push(out);
+                        id
+                    }
+                };
+                table.push(id);
+            }
+            next += 1;
+        }
+
+        let empty = fold(&[]);
+        let dfa = Dfa {
+            classes,
+            class_count,
+            table,
+            accepts,
+            start: 0,
+            empty,
+        };
+        minimize(dfa)
+    }
+}
+
+/// Moore partition refinement: start from blocks of annotation-equal
+/// states, split until transition structure agrees, then rebuild the table
+/// over blocks. Language and annotations are preserved exactly.
+fn minimize<A: Clone + Eq + Hash>(dfa: Dfa<A>) -> Dfa<A> {
+    let n = dfa.accepts.len();
+    let c = dfa.class_count;
+
+    let mut block: Vec<u32> = Vec::with_capacity(n);
+    let mut annot_ids: HashMap<&A, u32> = HashMap::new();
+    for a in &dfa.accepts {
+        let next = annot_ids.len() as u32;
+        block.push(*annot_ids.entry(a).or_insert(next));
+    }
+    let mut block_count = annot_ids.len();
+
+    loop {
+        let mut sig_ids: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+        let mut next_block = Vec::with_capacity(n);
+        for s in 0..n {
+            let sig: Vec<u32> = (0..c)
+                .map(|cl| {
+                    let t = dfa.table[s * c + cl];
+                    if t == DEAD {
+                        DEAD
+                    } else {
+                        block[t as usize]
+                    }
+                })
+                .collect();
+            let next = sig_ids.len() as u32;
+            next_block.push(*sig_ids.entry((block[s], sig)).or_insert(next));
+        }
+        let next_count = sig_ids.len();
+        block = next_block;
+        if next_count == block_count {
+            break;
+        }
+        block_count = next_count;
+    }
+
+    let mut table = vec![DEAD; block_count * c];
+    let mut accepts: Vec<Option<A>> = vec![None; block_count];
+    for s in 0..n {
+        let b = block[s] as usize;
+        if accepts[b].is_none() {
+            accepts[b] = Some(dfa.accepts[s].clone());
+            for cl in 0..c {
+                let t = dfa.table[s * c + cl];
+                table[b * c + cl] = if t == DEAD { DEAD } else { block[t as usize] };
+            }
+        }
+    }
+
+    Dfa {
+        classes: dfa.classes,
+        class_count: c,
+        table,
+        accepts: accepts
+            .into_iter()
+            .map(|a| a.expect("block member"))
+            .collect(),
+        start: block[dfa.start as usize],
+        empty: dfa.empty,
+    }
+}
+
+/// A compiled, minimized DFA with per-state annotations of type `A`.
+///
+/// Evaluation walks one table cell per input byte; the annotation of the
+/// final state is the pre-resolved answer for every path reaching it.
+#[derive(Debug, Clone)]
+pub struct Dfa<A> {
+    /// byte → equivalence class.
+    classes: Box<[u16; 256]>,
+    class_count: usize,
+    /// `table[state * class_count + class]` → next state or [`DEAD`].
+    table: Vec<u32>,
+    /// Per-state annotation (`fold` of the accepting rule tags).
+    accepts: Vec<A>,
+    start: u32,
+    /// Annotation of the dead state — `fold(&[])`.
+    empty: A,
+}
+
+impl<A> Dfa<A> {
+    /// Walks the table over `path` and returns the reached state's
+    /// annotation; falling off the table yields the no-match annotation.
+    pub fn eval(&self, path: &str) -> &A {
+        let mut state = self.start as usize;
+        for &b in path.as_bytes() {
+            let class = self.classes[b as usize] as usize;
+            let next = self.table[state * self.class_count + class];
+            if next == DEAD {
+                return &self.empty;
+            }
+            state = next as usize;
+        }
+        &self.accepts[state]
+    }
+
+    /// The no-match annotation (`fold(&[])`).
+    pub fn empty_annotation(&self) -> &A {
+        &self.empty
+    }
+
+    /// Iterates over every reachable state's annotation. With a fold that
+    /// preserves the tag sets this turns language questions into set
+    /// questions: glob `b` is *covered* by glob `a` iff every annotation
+    /// containing `b`'s tag also contains `a`'s, and two globs *overlap*
+    /// iff some annotation contains both tags.
+    pub fn annotations(&self) -> impl Iterator<Item = &A> {
+        self.accepts.iter()
+    }
+
+    /// Number of minimized states.
+    pub fn state_count(&self) -> usize {
+        self.accepts.len()
+    }
+
+    /// Number of live transitions in the table.
+    pub fn transition_count(&self) -> usize {
+        self.table.iter().filter(|&&t| t != DEAD).count()
+    }
+
+    /// Size statistics for diagnostics.
+    pub fn stats(&self) -> DfaStats {
+        DfaStats {
+            states: self.state_count(),
+            transitions: self.transition_count(),
+            classes: self.class_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single(pat: &str) -> Dfa<bool> {
+        let mut b = DfaBuilder::new();
+        b.add_glob(&Glob::compile(pat).unwrap(), 0);
+        b.build(|tags| !tags.is_empty())
+    }
+
+    #[test]
+    fn literal_paths() {
+        let dfa = single("/dev/car/door0");
+        assert!(dfa.eval("/dev/car/door0"));
+        assert!(!dfa.eval("/dev/car/door1"));
+        assert!(!dfa.eval("/dev/car/door0/x"));
+        assert!(!dfa.eval("/dev/car/door"));
+    }
+
+    #[test]
+    fn star_does_not_cross_slash() {
+        let dfa = single("/dev/car/*");
+        assert!(dfa.eval("/dev/car/door0"));
+        assert!(!dfa.eval("/dev/car/sub/door0"));
+        assert!(dfa.eval("/dev/car/"));
+    }
+
+    #[test]
+    fn double_star_crosses_slash() {
+        let dfa = single("/dev/**");
+        assert!(dfa.eval("/dev/car/sub/door0"));
+        assert!(dfa.eval("/dev/"));
+        assert!(!dfa.eval("/sys/dev/"));
+    }
+
+    #[test]
+    fn classes_and_braces() {
+        let dfa = single("/dev/{door,window}[0-3]");
+        assert!(dfa.eval("/dev/door2"));
+        assert!(dfa.eval("/dev/window0"));
+        assert!(!dfa.eval("/dev/door4"));
+        assert!(!dfa.eval("/dev/hatch1"));
+    }
+
+    #[test]
+    fn agrees_with_glob_matches_on_a_corpus() {
+        let pats = [
+            "/a/*", "/a/**", "/a/?", "/a/[bc]d", "/a/[^b]*", "/{a,b}/c", "/a/b\\*", "/***",
+            "/a*b/c", "/**/",
+        ];
+        let texts = [
+            "", "/", "/a", "/a/", "/a/b", "/a/bd", "/a/cd", "/a/dd", "/a/b/c", "/b/c", "/a/b*",
+            "/a/xb/c", "/axb/c", "/a/a", "/ab", "/a/b/", "/a//",
+        ];
+        for pat in pats {
+            let glob = Glob::compile(pat).unwrap();
+            let mut b = DfaBuilder::new();
+            b.add_glob(&glob, 7);
+            let dfa = b.build(|t| !t.is_empty());
+            for text in texts {
+                assert_eq!(
+                    *dfa.eval(text),
+                    glob.matches(text),
+                    "pattern `{pat}` text `{text}`"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tags_fold_over_all_matching_rules() {
+        let mut b = DfaBuilder::new();
+        b.add_glob(&Glob::compile("/dev/**").unwrap(), 1);
+        b.add_glob(&Glob::compile("/dev/door*").unwrap(), 2);
+        b.add_glob(&Glob::compile("/sys/*").unwrap(), 4);
+        let dfa = b.build(|tags| tags.iter().sum::<u32>());
+        assert_eq!(*dfa.eval("/dev/door0"), 3);
+        assert_eq!(*dfa.eval("/dev/audio"), 1);
+        assert_eq!(*dfa.eval("/sys/kernel"), 4);
+        assert_eq!(*dfa.eval("/proc/1"), 0);
+        assert_eq!(*dfa.empty_annotation(), 0);
+    }
+
+    #[test]
+    fn empty_builder_matches_nothing() {
+        let b = DfaBuilder::new();
+        let dfa = b.build(|t| !t.is_empty());
+        assert!(!dfa.eval("/anything"));
+        assert!(!dfa.eval(""));
+        assert_eq!(dfa.state_count(), 1);
+    }
+
+    #[test]
+    fn minimization_merges_equivalent_suffixes() {
+        // Both arms end in the same `/s/**` tail; the minimized DFA must
+        // share it rather than duplicating per rule.
+        let mut merged = DfaBuilder::new();
+        merged.add_glob(&Glob::compile("/a/s/**").unwrap(), 0);
+        merged.add_glob(&Glob::compile("/b/s/**").unwrap(), 0);
+        let merged = merged.build(|t| !t.is_empty());
+
+        let mut solo = DfaBuilder::new();
+        solo.add_glob(&Glob::compile("/a/s/**").unwrap(), 0);
+        let solo = solo.build(|t| !t.is_empty());
+
+        // The merged machine only pays one extra branch state, not a
+        // duplicated suffix chain.
+        assert!(merged.state_count() <= solo.state_count() + 1);
+        assert!(merged.eval("/a/s/x/y"));
+        assert!(merged.eval("/b/s/x"));
+        assert!(!merged.eval("/c/s/x"));
+    }
+}

@@ -36,7 +36,7 @@ impl fmt::Display for ParseGlobError {
 impl std::error::Error for ParseGlobError {}
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Token {
+pub(crate) enum Token {
     Lit(u8),
     /// `*`: any run not containing `/`.
     Star,
@@ -52,8 +52,8 @@ enum Token {
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Pattern {
-    tokens: Vec<Token>,
+pub(crate) struct Pattern {
+    pub(crate) tokens: Vec<Token>,
 }
 
 impl Pattern {
@@ -62,7 +62,7 @@ impl Pattern {
     }
 }
 
-fn token_matches(tok: &Token, b: u8) -> bool {
+pub(crate) fn token_matches(tok: &Token, b: u8) -> bool {
     match tok {
         Token::Lit(c) => *c == b,
         Token::AnyChar => b != b'/',
@@ -304,6 +304,11 @@ impl Glob {
     /// The longest literal prefix (used for bucketing in rule indexes).
     pub fn literal_prefix(&self) -> &str {
         &self.literal_prefix
+    }
+
+    /// The compiled brace-alternates, for the crate-internal DFA builder.
+    pub(crate) fn alternates(&self) -> &[Pattern] {
+        &self.patterns
     }
 
     /// True if the pattern contains no wildcards at all (exact match).

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dfa;
 pub mod glob;
 pub mod logprof;
 pub mod matcher;
@@ -42,6 +43,7 @@ pub mod parser;
 pub mod policy;
 pub mod profile;
 
+pub use dfa::{Dfa, DfaBuilder, DfaStats};
 pub use glob::Glob;
 pub use logprof::Suggestions;
 pub use matcher::{CompiledRules, RuleDecision};

@@ -6,10 +6,17 @@
 //! accessed path plus the (usually tiny) list of fully-wildcarded rules.
 //! [`CompiledRules::evaluate_scan`] keeps the naive scan-everything path for
 //! the ablation benchmark (`ablation_path_matcher`).
+//!
+//! Both the bucketed index and the scan are O(rules); the build also
+//! compiles every rule into one unified [`crate::dfa::Dfa`] whose accepting
+//! states carry the pre-folded [`RuleDecision`], so
+//! [`CompiledRules::evaluate_dfa`] answers in O(|path|) regardless of rule
+//! count. The index and scan are kept as differential-testing oracles.
 
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::dfa::{Dfa, DfaBuilder, DfaStats};
 use crate::profile::{FilePerms, PathRule};
 
 /// One compiled rule.
@@ -21,7 +28,7 @@ struct CompiledRule {
 }
 
 /// Outcome of evaluating rules for a path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct RuleDecision {
     /// Union of permissions from matching allow rules.
     pub allowed: FilePerms,
@@ -50,6 +57,9 @@ pub struct CompiledRules {
     buckets: HashMap<String, Vec<CompiledRule>>,
     /// Rules whose pattern has no literal first component (`/**`, `/*`…).
     global: Vec<CompiledRule>,
+    /// All rules merged into one minimized DFA; accepting states carry the
+    /// union `RuleDecision` resolved at build time.
+    dfa: Dfa<RuleDecision>,
     len: usize,
 }
 
@@ -68,7 +78,9 @@ impl CompiledRules {
     pub fn build(rules: &[PathRule]) -> CompiledRules {
         let mut buckets: HashMap<String, Vec<CompiledRule>> = HashMap::new();
         let mut global = Vec::new();
-        for rule in rules {
+        let mut builder = DfaBuilder::new();
+        for (tag, rule) in rules.iter().enumerate() {
+            builder.add_glob(&rule.glob, tag as u32);
             let compiled = CompiledRule {
                 glob: rule.glob.clone(),
                 perms: rule.perms,
@@ -79,9 +91,22 @@ impl CompiledRules {
                 None => global.push(compiled),
             }
         }
+        let dfa = builder.build(|tags| {
+            let mut decision = RuleDecision::default();
+            for &tag in tags {
+                let rule = &rules[tag as usize];
+                if rule.deny {
+                    decision.denied = decision.denied.union(rule.perms);
+                } else {
+                    decision.allowed = decision.allowed.union(rule.perms);
+                }
+            }
+            decision
+        });
         CompiledRules {
             buckets,
             global,
+            dfa,
             len: rules.len(),
         }
     }
@@ -134,6 +159,18 @@ impl CompiledRules {
         }
         Self::accumulate(&mut decision, &self.global, path);
         decision
+    }
+
+    /// Evaluates `path` with a single walk of the unified DFA — O(|path|)
+    /// independent of rule count. Produces the same decision as
+    /// [`CompiledRules::evaluate`] and [`CompiledRules::evaluate_scan`].
+    pub fn evaluate_dfa(&self, path: &str) -> RuleDecision {
+        *self.dfa.eval(path)
+    }
+
+    /// Size statistics of the compiled DFA, for diagnostics.
+    pub fn dfa_stats(&self) -> DfaStats {
+        self.dfa.stats()
     }
 }
 
@@ -213,7 +250,23 @@ mod tests {
             "/a/b/c",
         ] {
             assert_eq!(c.evaluate(path), c.evaluate_scan(path), "path {path}");
+            assert_eq!(c.evaluate(path), c.evaluate_dfa(path), "dfa path {path}");
         }
+    }
+
+    #[test]
+    fn dfa_resolves_deny_at_build_time() {
+        let c = CompiledRules::build(&rules(&[
+            ("/dev/**", "rwi", false),
+            ("/dev/car/door*", "wi", true),
+        ]));
+        let d = c.evaluate_dfa("/dev/car/door0");
+        assert_eq!(d, c.evaluate("/dev/car/door0"));
+        assert!(!d.permits(FilePerms::WRITE));
+        assert!(d.permits(FilePerms::READ));
+        assert!(c.evaluate_dfa("/dev/audio").permits(FilePerms::WRITE));
+        assert!(!c.evaluate_dfa("/sys/x").permits(FilePerms::READ));
+        assert!(c.dfa_stats().states > 0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! **Ablation (DESIGN.md §5.3)** — epoch-tagged per-task decision caching
-//! on the SACK hook hot path: warm-cache hook latency versus the uncached
-//! evaluation (protected-set match + per-state rule walk + profile-oracle
-//! lookup) on the same policy.
+//! **Ablation (DESIGN.md §5.3, §7)** — the SACK hook hot path three ways
+//! on the same policy: warm epoch-tagged cache, uncached unified per-state
+//! DFA walk, and uncached linear scan (protected-set match + per-state
+//! rule walk), plus a 100/1k/10k rule-count sweep pitting the DFA cold
+//! path against the scan.
 //!
 //! Drives the LSM hooks directly with a fabricated [`HookCtx`] so the
 //! numbers isolate the module's decision cost from VFS bookkeeping. The
@@ -71,6 +72,14 @@ fn bench_single_path(c: &mut Criterion) {
         let sack = build_sack();
         sack.set_decision_cache_enabled(false);
         group.bench_with_input(
+            BenchmarkId::from_parameter("uncached-dfa"),
+            &sack,
+            |b, s| {
+                b.iter(|| criterion::black_box(s.file_open(&ctx, &obj, AccessMask::READ)).unwrap());
+            },
+        );
+        sack.set_dfa_matcher_enabled(false);
+        group.bench_with_input(
             BenchmarkId::from_parameter("uncached-scan"),
             &sack,
             |b, s| {
@@ -121,6 +130,7 @@ fn bench_working_set(c: &mut Criterion) {
     {
         let sack = build_sack();
         sack.set_decision_cache_enabled(false);
+        sack.set_dfa_matcher_enabled(false);
         let mut i = 0usize;
         group.bench_with_input(
             BenchmarkId::from_parameter("uncached-scan"),
@@ -135,6 +145,47 @@ fn bench_working_set(c: &mut Criterion) {
         );
     }
     group.finish();
+}
+
+/// The tentpole measurement: uncached DFA walk versus uncached linear scan
+/// as the rule count grows 100 → 1k → 10k. One policy bed per rule count;
+/// the two arms toggle the matcher on the same module instance so they see
+/// identical policy objects. Group names (`sweepNrules`) are chosen so the
+/// gate's substring matching cannot collide across counts.
+fn bench_rule_sweep(c: &mut Criterion) {
+    let ctx = hook_ctx(4244);
+
+    for rules in [100usize, 1_000, 10_000] {
+        let text = synthetic_independent_policy(STATES, rules);
+        let sack = Sack::independent(&text).unwrap();
+        sack.set_decision_cache_enabled(false);
+
+        // Probe the *median* rule of the active state's block: a first-rule
+        // path lets the linear scan short-circuit immediately and would
+        // flatter it; the DFA walk costs the same wherever the rule sits.
+        let median_area = rules / STATES / 2;
+        let path = KPath::new(&format!("/protected/area{median_area}/s0/devices/dev0")).unwrap();
+        let obj = ObjectRef::regular(&path);
+
+        let mut group = c.benchmark_group(format!("ablation_cache/sweep{rules}rules"));
+        sack.set_dfa_matcher_enabled(true);
+        group.bench_with_input(
+            BenchmarkId::from_parameter("uncached-dfa"),
+            &sack,
+            |b, s| {
+                b.iter(|| criterion::black_box(s.file_open(&ctx, &obj, AccessMask::READ)).unwrap());
+            },
+        );
+        sack.set_dfa_matcher_enabled(false);
+        group.bench_with_input(
+            BenchmarkId::from_parameter("uncached-scan"),
+            &sack,
+            |b, s| {
+                b.iter(|| criterion::black_box(s.file_open(&ctx, &obj, AccessMask::READ)).unwrap());
+            },
+        );
+        group.finish();
+    }
 }
 
 /// End-to-end sanity: the counters surface through the sackfs `stats` node
@@ -169,6 +220,7 @@ fn dump_sackfs_stats() {
 fn bench_decision_cache(c: &mut Criterion) {
     bench_single_path(c);
     bench_working_set(c);
+    bench_rule_sweep(c);
     dump_sackfs_stats();
 }
 

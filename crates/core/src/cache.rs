@@ -13,11 +13,14 @@
 //! match again — they are overwritten lazily by new insertions
 //! ("self-invalidating" epoch tags, no stop-the-world flush).
 //!
-//! Only *grant* outcomes are cached ([`CachedOutcome`]): denials always take
-//! the slow path so the denial counter and the audit log record every single
-//! refusal exactly as an uncached module would. Grant outcomes still bump
-//! the same per-outcome counters on a hit, keeping `sackfs` stats identical
-//! with the cache on or off.
+//! By default only *grant* outcomes are cached ([`CachedOutcome`]): denials
+//! take the slow path so the denial counter and the audit log record every
+//! single refusal exactly as an uncached module would. Grant outcomes still
+//! bump the same per-outcome counters on a hit, keeping `sackfs` stats
+//! identical with the cache on or off. Negative (denial) caching is
+//! opt-in (`Sack::set_negative_cache_enabled`): a replayed denial still
+//! increments the denial counter, but the audit record is emitted only by
+//! the first, uncached evaluation — exactly once per distinct decision.
 //!
 //! Each slot is a pair of `AtomicU64`s (tag + payload) written without any
 //! lock; a torn read across the pair can only produce a *verifier* mismatch
@@ -40,6 +43,9 @@ pub enum CachedOutcome {
     Override = 2,
     /// Per-state rules grant the access: allow, count `checks`.
     Allow = 3,
+    /// Per-state rules refuse the access: deny, count `checks` and
+    /// `denials`. Only inserted when negative caching is opted in.
+    Deny = 4,
 }
 
 impl CachedOutcome {
@@ -48,6 +54,7 @@ impl CachedOutcome {
             1 => Some(CachedOutcome::Unprotected),
             2 => Some(CachedOutcome::Override),
             3 => Some(CachedOutcome::Allow),
+            4 => Some(CachedOutcome::Deny),
             _ => None,
         }
     }
@@ -148,7 +155,7 @@ fn splitmix(mut z: u64) -> u64 {
 }
 
 /// One direct-mapped slot: `tag` full key hash (0 = empty), `payload` the
-/// verifier hash (top 62 bits) packed with the outcome code (low 2 bits).
+/// verifier hash (top 61 bits) packed with the outcome code (low 3 bits).
 #[derive(Debug, Default)]
 struct Slot {
     tag: AtomicU64,
@@ -175,10 +182,10 @@ impl DecisionCache {
         }
     }
 
-    /// Looks up a decision. `None` is a miss (never a denial — denials are
-    /// not cached). Four-way associative: a key may live in any slot of its
-    /// home group, so up to four hot keys hashing to the same group coexist
-    /// without evicting each other.
+    /// Looks up a decision (a denial only ever appears when negative
+    /// caching is enabled). Four-way associative: a key may live in any
+    /// slot of its home group, so up to four hot keys hashing to the same
+    /// group coexist without evicting each other.
     pub fn lookup(&self, key: &DecisionKey<'_>) -> Option<CachedOutcome> {
         let (tag, verifier) = key.hashes();
         let home = (tag as usize) & (SLOTS - 1);
@@ -188,15 +195,15 @@ impl DecisionCache {
                 continue;
             }
             let payload = slot.payload.load(Ordering::Acquire);
-            if payload >> 2 != verifier >> 2 {
+            if payload >> 3 != verifier >> 3 {
                 continue; // stale or torn entry: treat as a miss
             }
-            return CachedOutcome::from_code(payload & 0b11);
+            return CachedOutcome::from_code(payload & 0b111);
         }
         None
     }
 
-    /// Records a grant outcome for `key`. Prefers the way already holding
+    /// Records an outcome for `key`. Prefers the way already holding
     /// the tag, then an empty way; otherwise the victim way is chosen by
     /// key-derived bits, so conflicting keys tend to pick *different*
     /// victims and ping-pong eviction cycles cannot form.
@@ -215,7 +222,7 @@ impl DecisionCache {
         // sees the new payload or fails the verifier check — either way no
         // stale outcome is ever returned under a matching tag+verifier.
         slot.payload
-            .store((verifier & !0b11) | outcome as u64, Ordering::Release);
+            .store((verifier & !0b111) | outcome as u64, Ordering::Release);
         slot.tag.store(tag, Ordering::Release);
     }
 }
@@ -267,6 +274,7 @@ mod tests {
             CachedOutcome::Unprotected,
             CachedOutcome::Override,
             CachedOutcome::Allow,
+            CachedOutcome::Deny,
         ]
         .into_iter()
         .enumerate()
@@ -319,7 +327,7 @@ mod tests {
     #[test]
     fn many_keys_low_false_hit_rate() {
         // Insert 10k keys with one outcome, then probe 10k *different* keys:
-        // every probe must miss (tag+verifier is 126 bits of discrimination).
+        // every probe must miss (tag+verifier is 125 bits of discrimination).
         let cache = DecisionCache::new();
         for i in 0..10_000usize {
             let path = format!("/data/file{i}");

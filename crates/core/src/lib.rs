@@ -71,6 +71,8 @@ pub mod sackfs;
 pub mod simulate;
 pub mod situation;
 pub mod ssm;
+pub mod statedfa;
+pub mod stats;
 
 pub use audit::{AuditLog, AuditRecord};
 pub use cache::{CachedOutcome, DecisionCache, DecisionKey};
@@ -83,3 +85,5 @@ pub use sack::{ActivePolicy, EnforcementMode, Sack, SackError, SackStats};
 pub use simulate::{AccessQuery, PolicySimulator, Step, StepResult};
 pub use situation::{EventId, SituationEvent, SituationState, StateId, StateSpace};
 pub use ssm::{Ssm, TransitionListener, TransitionOutcome, TransitionRecord, TransitionRule};
+pub use statedfa::{StateDecision, StateDfa};
+pub use stats::ShardedCounter;

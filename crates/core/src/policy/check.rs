@@ -19,6 +19,7 @@ use std::fmt;
 
 use sack_apparmor::glob::Glob;
 use sack_apparmor::profile::FilePerms;
+use sack_apparmor::DfaBuilder;
 
 use crate::rules::RuleEffect;
 
@@ -410,26 +411,32 @@ pub fn check_policy(policy: &SackPolicy) -> Vec<PolicyIssue> {
         for spec in rules {
             check_rule(perm, spec, &mut issues);
         }
-        // Exact allow/deny contradiction inside one permission.
-        for (i, a) in rules.iter().enumerate() {
-            for b in rules.iter().skip(i + 1) {
-                if a.subject == b.subject
-                    && a.object == b.object
-                    && a.perms == b.perms
-                    && a.effect != b.effect
-                {
-                    issues.push(
-                        PolicyIssue::warning(
-                            IssueKind::ContradictoryRules,
-                            format!(
-                                "permission `{perm}`: contradictory allow/deny for `{}` `{}` (deny wins)",
-                                a.subject, a.object
-                            ),
-                        )
-                        .for_rule(perm, b),
-                    );
-                }
+        // Exact allow/deny contradiction inside one permission. Grouped by
+        // the (subject, object, perms) triple so the pass stays linear in
+        // the rule count; one warning fires per contradicting pair, on the
+        // later rule, exactly as the pairwise scan would.
+        let mut seen: HashMap<(&SubjectSpec, &str, &str), [usize; 2]> = HashMap::new();
+        for spec in rules {
+            let counts = seen
+                .entry((&spec.subject, spec.object.as_str(), spec.perms.as_str()))
+                .or_default();
+            let (own, opposite) = match spec.effect {
+                RuleEffect::Allow => (0, counts[1]),
+                RuleEffect::Deny => (1, counts[0]),
+            };
+            for _ in 0..opposite {
+                issues.push(
+                    PolicyIssue::warning(
+                        IssueKind::ContradictoryRules,
+                        format!(
+                            "permission `{perm}`: contradictory allow/deny for `{}` `{}` (deny wins)",
+                            spec.subject, spec.object
+                        ),
+                    )
+                    .for_rule(perm, spec),
+                );
             }
+            counts[own] += 1;
         }
     }
 
@@ -544,6 +551,14 @@ fn lint_state_machine(policy: &SackPolicy, issues: &mut Vec<PolicyIssue>) {
 }
 
 /// MAC-rule lints: shadowed rules and overlapping allow/deny conflicts.
+///
+/// Both lints reason about glob *languages* (`covers`, `overlaps`), but
+/// instead of the quadratic pairwise NFA procedures they build one tagged
+/// DFA per question and read the answers off the accepting-state tag sets
+/// (`Dfa::annotations`): glob `b` is covered by glob `a` iff every tag
+/// set containing `b` also contains `a`, and two globs overlap iff some
+/// tag set contains both. This keeps policy load near-linear in the rule
+/// count where the pairwise checks took minutes beyond ~1k rules.
 fn lint_rules(policy: &SackPolicy, issues: &mut Vec<PolicyIssue>) {
     // Pre-compile object globs; rules that fail to compile were already
     // reported as errors and this pass does not run.
@@ -563,19 +578,44 @@ fn lint_rules(policy: &SackPolicy, issues: &mut Vec<PolicyIssue>) {
     // Shadowing: within one permission block, a later rule subsumed by an
     // earlier rule with the same effect never changes the outcome.
     for (pi, (perm, rules)) in policy.per_rules.iter().enumerate() {
+        if rules.len() < 2 {
+            continue;
+        }
+        let mut builder = DfaBuilder::new();
+        for ri in 0..rules.len() {
+            if let Some((glob, _)) = compiled.get(&(pi, ri)) {
+                builder.add_glob(glob, ri as u32);
+            }
+        }
+        let dfa = builder.build(|tags| tags.to_vec());
+        // coverers[ri] = tags present in every accepting set holding ri,
+        // i.e. the rules whose globs cover rule ri's glob. `None` means
+        // rule ri matches no path at all (trivially covered by anything).
+        let mut coverers: Vec<Option<Vec<u32>>> = vec![None; rules.len()];
+        for set in dfa.annotations() {
+            for &tag in set {
+                match &mut coverers[tag as usize] {
+                    slot @ None => *slot = Some(set.clone()),
+                    Some(cur) => cur.retain(|t| set.binary_search(t).is_ok()),
+                }
+            }
+        }
         for ri in 1..rules.len() {
-            let Some((later_glob, later_perms)) = compiled.get(&(pi, ri)) else {
+            let Some((_, later_perms)) = compiled.get(&(pi, ri)) else {
                 continue;
             };
-            for ei in 0..ri {
-                let Some((earlier_glob, earlier_perms)) = compiled.get(&(pi, ei)) else {
+            let later = &rules[ri];
+            for (ei, earlier) in rules.iter().enumerate().take(ri) {
+                let Some((_, earlier_perms)) = compiled.get(&(pi, ei)) else {
                     continue;
                 };
-                let earlier = &rules[ei];
-                let later = &rules[ri];
-                if earlier.effect == later.effect
+                let covers = match &coverers[ri] {
+                    Some(set) => set.binary_search(&(ei as u32)).is_ok(),
+                    None => true,
+                };
+                if covers
+                    && earlier.effect == later.effect
                     && subject_covers(&earlier.subject, &later.subject)
-                    && earlier_glob.covers(later_glob)
                     && earlier_perms.contains(*later_perms)
                 {
                     issues.push(
@@ -613,58 +653,81 @@ fn lint_rules(policy: &SackPolicy, issues: &mut Vec<PolicyIssue>) {
                 .map(move |(ri, spec)| (pi, perm.as_str(), ri, spec))
         })
         .collect();
-    for (i, &(pa, perm_a, ra, rule_a)) in all_rules.iter().enumerate() {
-        for &(pb, perm_b, rb, rule_b) in all_rules.iter().skip(i + 1) {
-            if rule_a.effect == rule_b.effect {
-                continue;
+    // One DFA over every rule glob, tagged by global rule index; a mixed
+    // allow/deny tag set pins an overlapping pair.
+    let mut builder = DfaBuilder::new();
+    for (gi, &(pa, _, ra, _)) in all_rules.iter().enumerate() {
+        if let Some((glob, _)) = compiled.get(&(pa, ra)) {
+            builder.add_glob(glob, gi as u32);
+        }
+    }
+    let dfa = builder.build(|tags| tags.to_vec());
+    let mut overlapping: HashSet<(u32, u32)> = HashSet::new();
+    for set in dfa.annotations() {
+        if set.len() < 2 {
+            continue;
+        }
+        let (mut allows, mut denies) = (Vec::new(), Vec::new());
+        for &tag in set {
+            match all_rules[tag as usize].3.effect {
+                RuleEffect::Allow => allows.push(tag),
+                RuleEffect::Deny => denies.push(tag),
             }
-            // The exact-triple case is already reported as ContradictoryRules.
-            if rule_a.subject == rule_b.subject
-                && rule_a.object == rule_b.object
-                && rule_a.perms == rule_b.perms
-            {
-                continue;
+        }
+        for &a in &allows {
+            for &d in &denies {
+                overlapping.insert((a.min(d), a.max(d)));
             }
-            // Both rules must be active together in at least one state.
-            let coactive = perm_a == perm_b
-                || granted_states.get(perm_a).is_some_and(|sa| {
-                    granted_states
-                        .get(perm_b)
-                        .is_some_and(|sb| sa.intersection(sb).next().is_some())
-                });
-            if !coactive {
-                continue;
-            }
-            let (Some((glob_a, perms_a)), Some((glob_b, perms_b))) =
-                (compiled.get(&(pa, ra)), compiled.get(&(pb, rb)))
-            else {
-                continue;
+        }
+    }
+    let mut overlapping: Vec<(u32, u32)> = overlapping.into_iter().collect();
+    overlapping.sort_unstable();
+    for (i, j) in overlapping {
+        let (pa, perm_a, ra, rule_a) = all_rules[i as usize];
+        let (pb, perm_b, rb, rule_b) = all_rules[j as usize];
+        // The exact-triple case is already reported as ContradictoryRules.
+        if rule_a.subject == rule_b.subject
+            && rule_a.object == rule_b.object
+            && rule_a.perms == rule_b.perms
+        {
+            continue;
+        }
+        // Both rules must be active together in at least one state.
+        let coactive = perm_a == perm_b
+            || granted_states.get(perm_a).is_some_and(|sa| {
+                granted_states
+                    .get(perm_b)
+                    .is_some_and(|sb| sa.intersection(sb).next().is_some())
+            });
+        if !coactive {
+            continue;
+        }
+        let (Some((_, perms_a)), Some((_, perms_b))) =
+            (compiled.get(&(pa, ra)), compiled.get(&(pb, rb)))
+        else {
+            continue;
+        };
+        if perms_a.intersects(*perms_b) && subjects_overlap(&rule_a.subject, &rule_b.subject) {
+            let (allow, deny) = match rule_a.effect {
+                RuleEffect::Allow => ((perm_a, rule_a), (perm_b, rule_b)),
+                RuleEffect::Deny => ((perm_b, rule_b), (perm_a, rule_a)),
             };
-            if perms_a.intersects(*perms_b)
-                && subjects_overlap(&rule_a.subject, &rule_b.subject)
-                && glob_a.overlaps(glob_b)
-            {
-                let (allow, deny) = match rule_a.effect {
-                    RuleEffect::Allow => ((perm_a, rule_a), (perm_b, rule_b)),
-                    RuleEffect::Deny => ((perm_b, rule_b), (perm_a, rule_a)),
-                };
-                issues.push(
-                    PolicyIssue::warning(
-                        IssueKind::AllowDenyOverlap,
-                        format!(
-                            "allow rule `{}` (permission `{}`, line {}) overlaps deny rule \
-                             `{}` (permission `{}`, line {}): the deny wins wherever both match",
-                            render_rule(allow.1),
-                            allow.0,
-                            allow.1.line,
-                            render_rule(deny.1),
-                            deny.0,
-                            deny.1.line
-                        ),
-                    )
-                    .for_rule(allow.0, allow.1),
-                );
-            }
+            issues.push(
+                PolicyIssue::warning(
+                    IssueKind::AllowDenyOverlap,
+                    format!(
+                        "allow rule `{}` (permission `{}`, line {}) overlaps deny rule \
+                         `{}` (permission `{}`, line {}): the deny wins wherever both match",
+                        render_rule(allow.1),
+                        allow.0,
+                        allow.1.line,
+                        render_rule(deny.1),
+                        deny.0,
+                        deny.1.line
+                    ),
+                )
+                .for_rule(allow.0, allow.1),
+            );
         }
     }
 }

@@ -30,12 +30,13 @@ use crate::rules::{
 };
 use crate::situation::{StateId, StateSpace};
 use crate::ssm::TransitionRule;
+use crate::statedfa::StateDfa;
 
 pub use check::{check_policy, render_rule, IssueKind, IssueSeverity, PolicyIssue, RuleProvenance};
 pub use parser::{parse_policy, ParsePolicyError};
 
 /// Raw subject selector as written in policy text.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum SubjectSpec {
     /// `subject=*`
     Any,
@@ -250,6 +251,22 @@ impl SackPolicy {
                 .flat_map(|rules| rules.iter().map(|r| &r.object)),
         );
 
+        // Unified per-state DFA tables: every state's rules plus the
+        // whole policy's object globs (the protected-set markers) merged
+        // into one minimized matcher, rebuilt from scratch at every
+        // compile so a reload can never serve stale tables.
+        let state_dfas: Vec<Arc<StateDfa>> = state_perms
+            .iter()
+            .map(|perms| {
+                Arc::new(StateDfa::build(
+                    perms.iter().flat_map(|pid| perm_rules[pid.0].iter()),
+                    perm_rules
+                        .iter()
+                        .flat_map(|rules| rules.iter().map(|r| &r.object)),
+                ))
+            })
+            .collect();
+
         Ok(CompiledPolicy {
             space,
             transitions,
@@ -258,6 +275,7 @@ impl SackPolicy {
             state_perms,
             perm_rules,
             state_rules,
+            state_dfas,
             protected,
             warnings,
         })
@@ -293,6 +311,7 @@ pub struct CompiledPolicy {
     state_perms: Vec<Vec<PermissionId>>,
     perm_rules: Vec<Vec<MacRule>>,
     state_rules: Vec<Arc<StateRuleSet>>,
+    state_dfas: Vec<Arc<StateDfa>>,
     protected: ProtectedSet,
     warnings: Vec<PolicyIssue>,
 }
@@ -339,6 +358,11 @@ impl CompiledPolicy {
     /// The precompiled rule set for a state (`g(f(SS_i))`).
     pub fn state_rules(&self, state: StateId) -> &Arc<StateRuleSet> {
         &self.state_rules[state.0]
+    }
+
+    /// The unified decision DFA compiled for a state.
+    pub fn state_dfa(&self, state: StateId) -> &Arc<StateDfa> {
+        &self.state_dfas[state.0]
     }
 
     /// The protected-object set.

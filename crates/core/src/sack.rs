@@ -25,6 +25,7 @@ use crate::policy::{CompiledPolicy, ParsePolicyError, PolicyIssue, SackPolicy};
 use crate::rules::SubjectCtx;
 use crate::situation::StateId;
 use crate::ssm::{Ssm, TransitionOutcome};
+use crate::stats::ShardedCounter;
 
 /// Deployment mode of the SACK module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,24 +97,29 @@ impl From<KernelError> for SackError {
 }
 
 /// Counters exposed through `/sys/kernel/security/SACK/stats`.
+///
+/// Each counter is striped across cache-line-padded per-thread shards
+/// ([`ShardedCounter`]) so concurrent hooks increment without bouncing a
+/// shared line; `load` folds the stripes, so readers (the securityfs
+/// `stats` node, tests) still see exact totals.
 #[derive(Debug, Default)]
 pub struct SackStats {
     /// Access checks performed on protected objects.
-    pub checks: AtomicU64,
+    pub checks: ShardedCounter,
     /// Denials issued.
-    pub denials: AtomicU64,
+    pub denials: ShardedCounter,
     /// Accesses passed through because the object is unprotected.
-    pub unprotected: AtomicU64,
+    pub unprotected: ShardedCounter,
     /// Checks bypassed via `CAP_MAC_OVERRIDE`.
-    pub overrides: AtomicU64,
+    pub overrides: ShardedCounter,
     /// Situation events received through SACKfs.
-    pub events_received: AtomicU64,
+    pub events_received: ShardedCounter,
     /// Events rejected as unknown.
-    pub events_unknown: AtomicU64,
+    pub events_unknown: ShardedCounter,
     /// Decision-cache hits (access granted without re-evaluating rules).
-    pub cache_hits: AtomicU64,
+    pub cache_hits: ShardedCounter,
     /// Decision-cache misses (full evaluation performed).
-    pub cache_misses: AtomicU64,
+    pub cache_misses: ShardedCounter,
 }
 
 /// A loaded policy with its running state machine; swapped atomically on
@@ -172,6 +178,12 @@ pub struct Sack {
     policy_epoch: AtomicU64,
     /// Ablation/debug switch for the decision cache (default on).
     cache_enabled: AtomicBool,
+    /// Ablation/debug switch for the unified per-state DFA matcher on the
+    /// cache-miss path (default on; off falls back to the linear scan).
+    dfa_enabled: AtomicBool,
+    /// Opt-in negative (denial) caching (default off): replayed denials
+    /// still count, but the audit record is emitted only once.
+    negative_cache_enabled: AtomicBool,
     /// Per-task decision caches, RCU-published copy-on-write (entries are
     /// added on a task's first mediated access and dropped on `task_free`).
     caches: Rcu<HashMap<Pid, Arc<DecisionCache>>>,
@@ -195,6 +207,8 @@ impl Sack {
             kernel: Rcu::new(None),
             policy_epoch: AtomicU64::new(0),
             cache_enabled: AtomicBool::new(true),
+            dfa_enabled: AtomicBool::new(true),
+            negative_cache_enabled: AtomicBool::new(false),
             caches: Rcu::new(HashMap::new()),
         }))
     }
@@ -226,6 +240,8 @@ impl Sack {
             kernel: Rcu::new(None),
             policy_epoch: AtomicU64::new(0),
             cache_enabled: AtomicBool::new(true),
+            dfa_enabled: AtomicBool::new(true),
+            negative_cache_enabled: AtomicBool::new(false),
             caches: Rcu::new(HashMap::new()),
         }))
     }
@@ -273,6 +289,35 @@ impl Sack {
     /// True if the decision cache is enabled.
     pub fn decision_cache_enabled(&self) -> bool {
         self.cache_enabled.load(Ordering::SeqCst)
+    }
+
+    /// Enables or disables the unified per-state DFA matcher on the
+    /// cache-miss path (enabled by default). Disabled, the cold path falls
+    /// back to the O(rules) protected-set + rule-scan pipeline; decisions
+    /// are identical either way (the scan is the DFA's differential
+    /// oracle), only the cost changes. Used by the ablation benchmarks.
+    pub fn set_dfa_matcher_enabled(&self, enabled: bool) {
+        self.dfa_enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// True if the unified DFA matcher is enabled.
+    pub fn dfa_matcher_enabled(&self) -> bool {
+        self.dfa_enabled.load(Ordering::SeqCst)
+    }
+
+    /// Opts in (or back out of) negative decision caching: with it on,
+    /// denials are cached and replayed like grants — the denial counter
+    /// still increments on every refusal, but the audit log receives the
+    /// record only from the first, uncached evaluation (exactly once per
+    /// distinct decision). Off (the default), every denial takes the slow
+    /// path and is audited individually.
+    pub fn set_negative_cache_enabled(&self, enabled: bool) {
+        self.negative_cache_enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// True if negative (denial) caching is opted in.
+    pub fn negative_cache_enabled(&self) -> bool {
+        self.negative_cache_enabled.load(Ordering::SeqCst)
     }
 
     /// Number of tasks currently holding a decision cache.
@@ -379,12 +424,20 @@ impl Sack {
 
     /// The independent-mode access check shared by the file hooks.
     ///
-    /// Fast path: an epoch-tagged per-task cache replays previous *grant*
-    /// decisions without touching the protected set, the rule index or the
-    /// profile oracle. Denials are deliberately never cached — every
-    /// refusal takes the slow path so the denial counter and the audit log
-    /// stay exact. Counter semantics are identical with the cache on or
-    /// off: a hit bumps the same counter the slow path would have.
+    /// Fast path: an epoch-tagged per-task cache replays previous
+    /// decisions without touching the protected set, the rule tables or
+    /// the profile oracle. Denials are not cached unless negative caching
+    /// is opted in — by default every refusal takes the slow path so the
+    /// denial counter and the audit log stay exact; with negative caching
+    /// on, a replayed denial still counts but is audited only once.
+    /// Counter semantics are identical with the cache on or off: a hit
+    /// bumps the same counters the slow path would have.
+    ///
+    /// Cold path: one walk of the state's unified DFA answers both the
+    /// protected-set membership and the rule decision in O(|path|)
+    /// independent of rule count; `set_dfa_matcher_enabled(false)` falls
+    /// back to the original O(rules) scan pipeline (the differential
+    /// oracle), which must decide identically.
     fn check_access(
         &self,
         ctx: &HookCtx,
@@ -430,9 +483,16 @@ impl Sack {
                 let counter = match outcome {
                     CachedOutcome::Unprotected => &self.stats.unprotected,
                     CachedOutcome::Override => &self.stats.overrides,
-                    CachedOutcome::Allow => &self.stats.checks,
+                    CachedOutcome::Allow | CachedOutcome::Deny => &self.stats.checks,
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
+                if outcome == CachedOutcome::Deny {
+                    // Replayed denial: counted like the slow path, but the
+                    // audit record was already emitted by the first
+                    // (uncached) evaluation — exactly once per decision.
+                    self.stats.denials.fetch_add(1, Ordering::Relaxed);
+                    return Err(KernelError::with_context(Errno::EACCES, "sack"));
+                }
                 return Ok(());
             }
             self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -442,7 +502,43 @@ impl Sack {
                 cache.insert(&key, outcome);
             }
         };
-        if !active.policy.protected().contains(obj.path.as_str()) {
+        // Cold path: one unified-DFA walk answers protected-set membership
+        // and the rule decision together; the legacy pipeline re-derives
+        // both with O(rules) scans when the matcher is toggled off.
+        let (protected, permitted) = if self.dfa_enabled.load(Ordering::Relaxed) {
+            let profile = (*oracle)
+                .as_ref()
+                .and_then(|aa| aa.current_profile(ctx.pid));
+            let subject = SubjectCtx {
+                uid: ctx.cred.uid.0,
+                exe: ctx.exe.as_ref().map(|p| p.as_str()),
+                profile: profile.as_deref(),
+            };
+            let decision =
+                active
+                    .policy
+                    .state_dfa(state)
+                    .decide(&subject, obj.path.as_str(), requested);
+            (decision.protected, decision.permitted)
+        } else {
+            let protected = active.policy.protected().contains(obj.path.as_str());
+            let permitted = protected && !mac_override && {
+                let profile = (*oracle)
+                    .as_ref()
+                    .and_then(|aa| aa.current_profile(ctx.pid));
+                let subject = SubjectCtx {
+                    uid: ctx.cred.uid.0,
+                    exe: ctx.exe.as_ref().map(|p| p.as_str()),
+                    profile: profile.as_deref(),
+                };
+                active
+                    .policy
+                    .state_rules(state)
+                    .permits(&subject, obj.path.as_str(), requested)
+            };
+            (protected, permitted)
+        };
+        if !protected {
             self.stats.unprotected.fetch_add(1, Ordering::Relaxed);
             record(CachedOutcome::Unprotected);
             return Ok(());
@@ -453,16 +549,7 @@ impl Sack {
             return Ok(());
         }
         self.stats.checks.fetch_add(1, Ordering::Relaxed);
-        let rules = active.policy.state_rules(state);
-        let profile = (*oracle)
-            .as_ref()
-            .and_then(|aa| aa.current_profile(ctx.pid));
-        let subject = SubjectCtx {
-            uid: ctx.cred.uid.0,
-            exe: ctx.exe.as_ref().map(|p| p.as_str()),
-            profile: profile.as_deref(),
-        };
-        if rules.permits(&subject, obj.path.as_str(), requested) {
+        if permitted {
             record(CachedOutcome::Allow);
             Ok(())
         } else {
@@ -476,6 +563,9 @@ impl Sack {
                 requested,
                 state: active.ssm.space().state(state).name.clone(),
             });
+            if self.negative_cache_enabled.load(Ordering::Relaxed) {
+                record(CachedOutcome::Deny);
+            }
             Err(KernelError::with_context(Errno::EACCES, "sack"))
         }
     }
@@ -1008,5 +1098,100 @@ mod tests {
         let untrusted = kernel.spawn(Credentials::user(200, 200));
         let err = untrusted.read_to_vec("/secret/key").unwrap_err();
         assert_eq!(err.context(), Some("sack"));
+    }
+
+    #[test]
+    fn negative_cache_replays_denials_without_duplicate_audit() {
+        let (kernel, sack) = boot_independent();
+        sack.set_negative_cache_enabled(true);
+        assert!(sack.negative_cache_enabled());
+        let media = kernel.spawn(Credentials::user(200, 200));
+        media.exec("/usr/bin/media_app").unwrap();
+        for _ in 0..5 {
+            let err = media
+                .open("/dev/car/door0", OpenFlags::write_only())
+                .unwrap_err();
+            assert_eq!(err.context(), Some("sack"));
+        }
+        // Every refusal is counted, but the audit record is emitted exactly
+        // once, by the first (uncached) evaluation.
+        assert_eq!(sack.stats().denials.load(Ordering::Relaxed), 5);
+        assert_eq!(
+            sack.audit().total(),
+            1,
+            "a replayed cached denial must not be re-audited"
+        );
+        assert!(sack.stats().cache_hits.load(Ordering::Relaxed) >= 4);
+
+        // The cached denial dies with the epoch: after a transition the
+        // decision is re-evaluated (and, still denied, re-audited once).
+        sack.deliver_event("crash", Duration::ZERO).unwrap();
+        assert!(media
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .is_err());
+        assert_eq!(sack.audit().total(), 2);
+    }
+
+    #[test]
+    fn negative_cache_off_audits_every_denial() {
+        let (kernel, sack) = boot_independent();
+        assert!(!sack.negative_cache_enabled());
+        let media = kernel.spawn(Credentials::user(200, 200));
+        media.exec("/usr/bin/media_app").unwrap();
+        for _ in 0..5 {
+            assert!(media
+                .open("/dev/car/door0", OpenFlags::write_only())
+                .is_err());
+        }
+        assert_eq!(sack.stats().denials.load(Ordering::Relaxed), 5);
+        assert_eq!(sack.audit().total(), 5);
+    }
+
+    #[test]
+    fn scan_fallback_agrees_with_dfa_matcher() {
+        let (kernel, sack) = boot_independent();
+        // Force every decision down the legacy O(rules) scan path and
+        // replay the per-state scenario: outcomes must be identical.
+        sack.set_dfa_matcher_enabled(false);
+        sack.set_decision_cache_enabled(false);
+        assert!(!sack.dfa_matcher_enabled());
+        let rescue = kernel.spawn(Credentials::user(100, 100));
+        rescue.exec("/usr/bin/rescue_daemon").unwrap();
+        assert!(rescue
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .is_err());
+        assert!(rescue
+            .open("/dev/car/door0", OpenFlags::read_only())
+            .is_ok());
+        sack.deliver_event("crash", Duration::ZERO).unwrap();
+        assert!(rescue
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .is_ok());
+        let media = kernel.spawn(Credentials::user(200, 200));
+        media.exec("/usr/bin/media_app").unwrap();
+        assert!(media
+            .open("/dev/car/door0", OpenFlags::write_only())
+            .is_err());
+        assert!(rescue.write_file("/tmp/scratch", b"ok").is_ok());
+        assert!(sack.stats().unprotected.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn reload_rebuilds_state_dfa_tables() {
+        let (_kernel, sack) = boot_independent();
+        let epoch = sack.policy_epoch();
+        // Hold the old snapshot alive so a rebuilt table cannot land on a
+        // recycled allocation and alias the old pointer.
+        let active_before = sack.active();
+        let before = Arc::as_ptr(active_before.policy.state_dfa(StateId(0)));
+        // Reloading the *same* text must still rebuild the tables.
+        sack.reload_policy(DOOR_POLICY).unwrap();
+        let active_after = sack.active();
+        let after = Arc::as_ptr(active_after.policy.state_dfa(StateId(0)));
+        assert_ne!(
+            before, after,
+            "reload must rebuild per-state DFA tables, not reuse them"
+        );
+        assert!(sack.policy_epoch() > epoch);
     }
 }

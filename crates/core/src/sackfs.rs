@@ -333,6 +333,33 @@ mod tests {
     }
 
     #[test]
+    fn stats_node_folds_sharded_counters_across_threads() {
+        let (kernel, sack) = boot();
+        // Bump a striped counter from many threads; the stats node must
+        // report the folded total, not a single stripe.
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let sack = Arc::clone(&sack);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        sack.stats().checks.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let p = kernel.spawn(Credentials::root());
+        let text =
+            String::from_utf8(p.read_to_vec("/sys/kernel/security/SACK/stats").unwrap()).unwrap();
+        assert!(
+            text.contains("checks 8000"),
+            "stats node must fold all stripes: {text}"
+        );
+    }
+
+    #[test]
     fn audit_node_reports_denials() {
         let (kernel, sack) = boot();
         sack.deliver_event("rescue_done", Duration::ZERO).ok();

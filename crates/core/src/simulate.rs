@@ -391,7 +391,7 @@ mod tests {
         let shadowed = r#"
             states { normal = 0; }
             events { noop; }
-            transitions { }
+            transitions { normal -noop-> normal; }
             initial normal;
             permissions { NORMAL; }
             state_per { normal: NORMAL; }

@@ -1,0 +1,109 @@
+//! Striped (per-thread sharded) statistics counters.
+//!
+//! The hook-path counters in [`crate::SackStats`] used to be single
+//! `AtomicU64`s: correct, but every concurrent task bounced the same cache
+//! line on every `file_permission` call. A [`ShardedCounter`] spreads the
+//! increments over [`STRIPES`] cache-line-padded atomics — each thread
+//! hashes to a stable stripe — and folds them on read. Reads (the
+//! securityfs `stats` node, tests) are rare and tolerate the fold cost;
+//! writes are the hot path and now touch a line shared with ~1/16th of the
+//! threads instead of all of them.
+//!
+//! The API deliberately mirrors the `AtomicU64` subset the call sites used
+//! (`fetch_add` / `load`), so swapping the field type did not change any
+//! increment or read site.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of stripes; a power of two so thread ids fold with a mask.
+pub const STRIPES: usize = 16;
+
+/// One cache-line-padded stripe.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Stripe(AtomicU64);
+
+/// Monotonic id source for thread → stripe assignment.
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Stable per-thread stripe index.
+    static STRIPE: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+}
+
+/// A monotonically increasing counter striped across cache lines.
+#[derive(Debug, Default)]
+pub struct ShardedCounter {
+    stripes: [Stripe; STRIPES],
+}
+
+impl ShardedCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> ShardedCounter {
+        ShardedCounter::default()
+    }
+
+    /// Adds `val` to the calling thread's stripe. Returns the previous
+    /// value of *that stripe* (mirroring `AtomicU64::fetch_add`; callers
+    /// on the hook path discard it).
+    pub fn fetch_add(&self, val: u64, order: Ordering) -> u64 {
+        let idx = STRIPE.try_with(|s| *s).unwrap_or(0);
+        self.stripes[idx].0.fetch_add(val, order)
+    }
+
+    /// Folds all stripes into the counter's total.
+    pub fn load(&self, order: Ordering) -> u64 {
+        self.stripes.iter().map(|stripe| stripe.0.load(order)).sum()
+    }
+
+    /// Resets every stripe to zero (test support).
+    pub fn store(&self, val: u64, order: Ordering) {
+        for (i, stripe) in self.stripes.iter().enumerate() {
+            stripe.0.store(if i == 0 { val } else { 0 }, order);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn folds_to_the_total() {
+        let c = ShardedCounter::new();
+        for _ in 0..100 {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let c = Arc::new(ShardedCounter::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 80_000);
+    }
+
+    #[test]
+    fn store_resets() {
+        let c = ShardedCounter::new();
+        c.fetch_add(7, Ordering::Relaxed);
+        c.store(0, Ordering::Relaxed);
+        assert_eq!(c.load(Ordering::Relaxed), 0);
+        c.store(3, Ordering::Relaxed);
+        assert_eq!(c.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! Scaling probe: parse/check/compile timings for the synthetic policy at a
+//! given rule count, plus the resulting per-state DFA sizes.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let text = sack_lmbench::workload::synthetic_independent_policy(4, n);
+    let t0 = std::time::Instant::now();
+    let ast = sack_core::SackPolicy::parse(&text).unwrap();
+    let parse_t = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let issues = sack_core::policy::check_policy(&ast);
+    let check_t = t1.elapsed();
+    let t2 = std::time::Instant::now();
+    let compiled = ast.compile().unwrap();
+    let compile_t = t2.elapsed();
+    let stats = compiled.state_dfa(sack_core::StateId(0)).stats();
+    println!(
+        "{n} rules: parse {parse_t:?} check {check_t:?} ({} issues) compile {compile_t:?} dfa(s0)={{states:{}, transitions:{}, classes:{}}}",
+        issues.len(), stats.states, stats.transitions, stats.classes
+    );
+}

@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use sack_apparmor::dfa::{Dfa, DfaBuilder, DfaStats};
 use sack_apparmor::glob::Glob;
 use sack_apparmor::profile::FilePerms;
 
@@ -57,6 +58,10 @@ pub struct TePolicy {
     types: Vec<String>,
     index: HashMap<String, TypeId>,
     labeling: Vec<(Glob, TypeId)>,
+    /// All labeling globs merged into one DFA (built by the same
+    /// `sack-apparmor` builder the MAC matchers use); accepting states
+    /// carry the first-match type resolved at parse time.
+    label_dfa: Dfa<TypeId>,
     transitions: Vec<(TypeId, TypeId, TypeId)>,
     allows: HashMap<(TypeId, TypeId), FilePerms>,
 }
@@ -73,6 +78,7 @@ impl TePolicy {
             types: Vec::new(),
             index: HashMap::new(),
             labeling: Vec::new(),
+            label_dfa: DfaBuilder::new().build(|_| TypeId(0)),
             transitions: Vec::new(),
             allows: HashMap::new(),
         };
@@ -160,6 +166,19 @@ impl TePolicy {
                 }
             }
         }
+        // Compile the labeling rules into one unified DFA. Labeling is
+        // first-match-wins, and accepting tags arrive sorted by rule
+        // index, so the lowest tag is the winning rule.
+        let unlabeled = policy.index[UNLABELED];
+        let mut builder = DfaBuilder::new();
+        for (tag, (glob, _)) in policy.labeling.iter().enumerate() {
+            builder.add_glob(glob, tag as u32);
+        }
+        policy.label_dfa = builder.build(|tags| {
+            tags.first()
+                .map(|&tag| policy.labeling[tag as usize].1)
+                .unwrap_or(unlabeled)
+        });
         Ok(policy)
     }
 
@@ -197,12 +216,26 @@ impl TePolicy {
     }
 
     /// Labels a path: first matching labeling rule wins, else `unlabeled_t`.
+    ///
+    /// Resolved by one walk of the pre-compiled labeling DFA — O(|path|)
+    /// independent of how many labeling rules the policy holds.
     pub fn label_of(&self, path: &str) -> TypeId {
+        *self.label_dfa.eval(path)
+    }
+
+    /// Labels a path with the original linear scan, kept as the
+    /// differential-testing oracle for [`TePolicy::label_of`].
+    pub fn label_of_scan(&self, path: &str) -> TypeId {
         self.labeling
             .iter()
             .find(|(glob, _)| glob.matches(path))
             .map(|(_, ty)| *ty)
             .unwrap_or(self.index[UNLABELED])
+    }
+
+    /// Size statistics of the labeling DFA, for diagnostics.
+    pub fn label_dfa_stats(&self) -> DfaStats {
+        self.label_dfa.stats()
     }
 
     /// The domain a task in `from` enters when exec'ing `exe`: SELinux
@@ -344,6 +377,24 @@ mod tests {
         let p = TePolicy::parse("type a_t; type b_t; label /dev/** a_t; label /dev/car/** b_t;")
             .unwrap();
         assert_eq!(p.type_name(p.label_of("/dev/car/door0")), "a_t");
+    }
+
+    #[test]
+    fn label_dfa_agrees_with_scan() {
+        let p = TePolicy::parse(POLICY).unwrap();
+        for path in [
+            "/usr/bin/mediaplayer",
+            "/usr/bin/media",
+            "/dev/car/audio",
+            "/dev/car/door0",
+            "/dev/car/door",
+            "/dev/car/window0",
+            "/etc/passwd",
+            "",
+        ] {
+            assert_eq!(p.label_of(path), p.label_of_scan(path), "path `{path}`");
+        }
+        assert!(p.label_dfa_stats().states > 1);
     }
 
     #[test]

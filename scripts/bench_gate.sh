@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Benchmark gate for the hook hot path (DESIGN.md §5.3).
+# Benchmark gate for the hook hot path (DESIGN.md §5.3, §7).
 #
-# Runs the decision-cache ablation in quick mode, extracts the warm-cache
-# and uncached-scan medians plus the steady-state cache hit rate, writes
-# them to BENCH_hook_latency.json at the repo root, and fails if the
-# warm-cache hook is not at least MIN_SPEEDUP× faster than the uncached
-# scan on the 100-rule policy (the acceptance bar for the epoch-tagged
-# decision cache).
+# Runs the decision-cache ablation in quick mode, extracts the warm-cache,
+# uncached-DFA, and uncached-scan medians plus the steady-state cache hit
+# rate and the 100/1k/10k rule-count sweep, writes them to
+# BENCH_hook_latency.json at the repo root, and fails if:
+#   * the warm cache is not at least MIN_SPEEDUP x faster than the
+#     uncached scan on the 100-rule policy (epoch-tagged decision cache);
+#   * the uncached DFA walk is not at least MIN_DFA_SPEEDUP x faster than
+#     the uncached scan on the 1k-rule policy (unified per-state DFA);
+#   * the DFA cold path degrades by more than MAX_DFA_DEGRADATION x
+#     between the 100-rule and 10k-rule policies (O(|path|) flatness).
 #
 # Usage: scripts/bench_gate.sh [--full]
 #   --full  drop --quick and use criterion's full sample counts.
@@ -17,6 +21,8 @@ cd "$(dirname "$0")/.."
 
 MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
 MIN_HIT_RATE="${MIN_HIT_RATE:-0.95}"
+MIN_DFA_SPEEDUP="${MIN_DFA_SPEEDUP:-3.0}"
+MAX_DFA_DEGRADATION="${MAX_DFA_DEGRADATION:-1.5}"
 OUT_JSON="${OUT_JSON:-BENCH_hook_latency.json}"
 
 QUICK="--quick"
@@ -39,12 +45,20 @@ median_of() {
 }
 
 WARM_SINGLE="$(median_of '100rules_single/warm-cache')"
+DFA_SINGLE="$(median_of '100rules_single/uncached-dfa')"
 SCAN_SINGLE="$(median_of '100rules_single/uncached-scan')"
 WARM_WSET="$(median_of '100rules_wset64/warm-cache')"
 SCAN_WSET="$(median_of '100rules_wset64/uncached-scan')"
 HIT_RATE="$(sed -n 's/^cache_hit_rate \([0-9.]*\)$/\1/p' "$TMP_LOG" | head -1)"
+DFA_100="$(median_of 'sweep100rules/uncached-dfa')"
+SCAN_100="$(median_of 'sweep100rules/uncached-scan')"
+DFA_1K="$(median_of 'sweep1000rules/uncached-dfa')"
+SCAN_1K="$(median_of 'sweep1000rules/uncached-scan')"
+DFA_10K="$(median_of 'sweep10000rules/uncached-dfa')"
+SCAN_10K="$(median_of 'sweep10000rules/uncached-scan')"
 
-for v in WARM_SINGLE SCAN_SINGLE WARM_WSET SCAN_WSET HIT_RATE; do
+for v in WARM_SINGLE DFA_SINGLE SCAN_SINGLE WARM_WSET SCAN_WSET HIT_RATE \
+         DFA_100 SCAN_100 DFA_1K SCAN_1K DFA_10K SCAN_10K; do
     if [[ -z "${!v}" ]]; then
         echo "bench_gate: FAILED to extract $v from benchmark output" >&2
         exit 1
@@ -53,6 +67,8 @@ done
 
 SPEEDUP_SINGLE="$(awk -v a="$SCAN_SINGLE" -v b="$WARM_SINGLE" 'BEGIN { printf "%.2f", a / b }')"
 SPEEDUP_WSET="$(awk -v a="$SCAN_WSET" -v b="$WARM_WSET" 'BEGIN { printf "%.2f", a / b }')"
+DFA_SPEEDUP_1K="$(awk -v a="$SCAN_1K" -v b="$DFA_1K" 'BEGIN { printf "%.2f", a / b }')"
+DFA_DEGRADATION="$(awk -v a="$DFA_10K" -v b="$DFA_100" 'BEGIN { printf "%.2f", a / b }')"
 
 cat > "$OUT_JSON" <<EOF
 {
@@ -60,6 +76,7 @@ cat > "$OUT_JSON" <<EOF
   "policy_rules": 100,
   "single_path": {
     "warm_cache_median_ns": $WARM_SINGLE,
+    "uncached_dfa_median_ns": $DFA_SINGLE,
     "uncached_scan_median_ns": $SCAN_SINGLE,
     "speedup": $SPEEDUP_SINGLE
   },
@@ -69,9 +86,18 @@ cat > "$OUT_JSON" <<EOF
     "speedup": $SPEEDUP_WSET,
     "cache_hit_rate": $HIT_RATE
   },
+  "rule_sweep": {
+    "rules_100": { "uncached_dfa_median_ns": $DFA_100, "uncached_scan_median_ns": $SCAN_100 },
+    "rules_1000": { "uncached_dfa_median_ns": $DFA_1K, "uncached_scan_median_ns": $SCAN_1K },
+    "rules_10000": { "uncached_dfa_median_ns": $DFA_10K, "uncached_scan_median_ns": $SCAN_10K },
+    "dfa_speedup_1k": $DFA_SPEEDUP_1K,
+    "dfa_degradation_100_to_10k": $DFA_DEGRADATION
+  },
   "gate": {
     "min_speedup": $MIN_SPEEDUP,
-    "min_hit_rate": $MIN_HIT_RATE
+    "min_hit_rate": $MIN_HIT_RATE,
+    "min_dfa_speedup_1k": $MIN_DFA_SPEEDUP,
+    "max_dfa_degradation": $MAX_DFA_DEGRADATION
   }
 }
 EOF
@@ -80,6 +106,8 @@ echo "== bench_gate: wrote $OUT_JSON" >&2
 echo "   single-path speedup:  ${SPEEDUP_SINGLE}x (warm $WARM_SINGLE ns vs scan $SCAN_SINGLE ns)" >&2
 echo "   working-set speedup:  ${SPEEDUP_WSET}x (warm $WARM_WSET ns vs scan $SCAN_WSET ns)" >&2
 echo "   working-set hit rate: $HIT_RATE" >&2
+echo "   DFA vs scan @1k:      ${DFA_SPEEDUP_1K}x (dfa $DFA_1K ns vs scan $SCAN_1K ns)" >&2
+echo "   DFA 100 -> 10k:       ${DFA_DEGRADATION}x (dfa $DFA_100 ns -> $DFA_10K ns)" >&2
 
 fail=0
 if awk -v s="$SPEEDUP_SINGLE" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
@@ -92,6 +120,14 @@ if awk -v s="$SPEEDUP_WSET" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
 fi
 if awk -v h="$HIT_RATE" -v m="$MIN_HIT_RATE" 'BEGIN { exit !(h < m) }'; then
     echo "bench_gate: FAIL — working-set hit rate $HIT_RATE < required $MIN_HIT_RATE" >&2
+    fail=1
+fi
+if awk -v s="$DFA_SPEEDUP_1K" -v m="$MIN_DFA_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
+    echo "bench_gate: FAIL — DFA speedup at 1k rules ${DFA_SPEEDUP_1K}x < required ${MIN_DFA_SPEEDUP}x" >&2
+    fail=1
+fi
+if awk -v d="$DFA_DEGRADATION" -v m="$MAX_DFA_DEGRADATION" 'BEGIN { exit !(d > m) }'; then
+    echo "bench_gate: FAIL — DFA cold path degrades ${DFA_DEGRADATION}x from 100 to 10k rules (max ${MAX_DFA_DEGRADATION}x)" >&2
     fail=1
 fi
 

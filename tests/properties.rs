@@ -7,16 +7,22 @@
 //! of `proptest`: the build environment is offline, and a fixed seed
 //! sequence keeps failures reproducible by case index.
 
+use std::sync::atomic::Ordering;
+
 use sack_suite::prop::{self, Rng};
 
 use sack_apparmor::glob::Glob;
 use sack_apparmor::profile::{FilePerms, PathRule};
-use sack_apparmor::CompiledRules;
+use sack_apparmor::{CompiledRules, DfaBuilder};
 use sack_core::rules::{MacRule, ProtectedSet, StateRuleSet, SubjectCtx};
 use sack_core::situation::StateSpace;
 use sack_core::ssm::{Ssm, TransitionRule};
-use sack_core::SackPolicy;
+use sack_core::{RuleEffect, Sack, SackPolicy, StateDfa, SubjectMatch};
+use sack_kernel::cred::Credentials;
+use sack_kernel::lsm::{AccessMask, HookCtx, ObjectRef, SecurityModule};
 use sack_kernel::path::KPath;
+use sack_kernel::types::Pid;
+use sack_vehicle::{VEHICLE_APPARMOR_PROFILES, VEHICLE_ENHANCED_POLICY, VEHICLE_SACK_POLICY};
 
 // ---------------------------------------------------------------------
 // Reference glob matcher: simple recursive implementation with the same
@@ -227,13 +233,14 @@ fn file_perms_algebra() {
     });
 }
 
-/// Satellite invariant for the indexed fast path: `CompiledRules::evaluate`
-/// (first-component buckets) and `CompiledRules::evaluate_scan` (naive
-/// scan-everything baseline) must return identical `RuleDecision`s — for
-/// every generated rule set, including classes and brace alternations, and
-/// for several probe paths per set.
+/// Tentpole differential: the three `CompiledRules` evaluation strategies —
+/// `evaluate` (first-component buckets), `evaluate_scan` (naive
+/// scan-everything baseline), and `evaluate_dfa` (unified minimized DFA
+/// with build-time-resolved decisions) — must return identical
+/// `RuleDecision`s for every generated rule set, including classes and
+/// brace alternations, and for several probe paths per set.
 #[test]
-fn compiled_rules_index_equals_scan() {
+fn compiled_rules_dfa_index_and_scan_agree() {
     prop::check(|rng| {
         let n_rules = rng.below(13);
         let rules: Vec<PathRule> = (0..n_rules)
@@ -257,12 +264,132 @@ fn compiled_rules_index_equals_scan() {
         let compiled = CompiledRules::build(&rules);
         for _ in 0..4 {
             let path = rich_path(rng);
+            let scan = compiled.evaluate_scan(&path);
             assert_eq!(
                 compiled.evaluate(&path),
-                compiled.evaluate_scan(&path),
+                scan,
                 "rule index diverged from scan on `{path}` over {rules:?}"
             );
+            assert_eq!(
+                compiled.evaluate_dfa(&path),
+                scan,
+                "DFA matcher diverged from scan on `{path}` over {rules:?}"
+            );
         }
+    });
+}
+
+/// The unified per-state table must reproduce the legacy cold path bit for
+/// bit: one `StateDfa::decide` walk equals `ProtectedSet::contains` plus
+/// `StateRuleSet::permits` for arbitrary rule sets (mixed effects, mixed
+/// subject selectors — subject-scoped rules land in the residual scan
+/// lists) and arbitrary subjects, paths and requested permissions.
+#[test]
+fn state_dfa_walk_agrees_with_protected_set_and_rule_scan() {
+    prop::check(|rng| {
+        let n_rules = rng.below(12);
+        let rules: Vec<MacRule> = (0..n_rules)
+            .filter_map(|_| {
+                let object = Glob::compile(&rich_pattern(rng)).ok()?;
+                let subject = match *rng.pick_weighted(&[(4, 0u8), (1, 1), (1, 2)]) {
+                    0 => SubjectMatch::Any,
+                    1 => SubjectMatch::Uid(if rng.bool() { 0 } else { 1000 }),
+                    _ => SubjectMatch::ExeGlob(Glob::compile("/usr/bin/*").unwrap()),
+                };
+                Some(MacRule {
+                    subject,
+                    object,
+                    perms: perms_from_bits(rng.range(1, 64) as u8),
+                    effect: if rng.bool() {
+                        RuleEffect::Allow
+                    } else {
+                        RuleEffect::Deny
+                    },
+                })
+            })
+            .collect();
+        let set = StateRuleSet::build(rules.iter());
+        let protected = ProtectedSet::build(rules.iter().map(|r| &r.object));
+        let dfa = StateDfa::build(rules.iter(), rules.iter().map(|r| &r.object));
+        let subjects = [
+            SubjectCtx {
+                uid: 0,
+                exe: None,
+                profile: None,
+            },
+            SubjectCtx {
+                uid: 1000,
+                exe: Some("/usr/bin/app"),
+                profile: None,
+            },
+            SubjectCtx {
+                uid: 1000,
+                exe: Some("/sbin/init"),
+                profile: None,
+            },
+        ];
+        for _ in 0..4 {
+            let path = rich_path(rng);
+            let requested = perms_from_bits(rng.range(1, 64) as u8);
+            for subject in &subjects {
+                let decision = dfa.decide(subject, &path, requested);
+                assert_eq!(
+                    decision.protected,
+                    protected.contains(&path),
+                    "protected-set membership diverged on `{path}` over {rules:?}"
+                );
+                assert_eq!(
+                    decision.permitted,
+                    set.permits(subject, &path, requested),
+                    "uid={} exe={:?} path=`{path}` perms={requested} over {rules:?}",
+                    subject.uid,
+                    subject.exe
+                );
+            }
+        }
+    });
+}
+
+/// The policy linter's coverage/overlap analysis reads language facts off
+/// the merged DFA's tag sets (`dfa.annotations()`): glob `a` covers glob
+/// `b` iff every annotation containing `b`'s tag also contains `a`'s, and
+/// the two overlap iff some annotation contains both. Those set questions
+/// must agree with the pairwise NFA product procedures (`Glob::covers`,
+/// `Glob::overlaps`) they replaced in the O(rules) lint loop.
+#[test]
+fn dfa_tag_sets_agree_with_nfa_cover_and_overlap() {
+    prop::check(|rng| {
+        let pat_a = simple_pattern(rng);
+        let pat_b = simple_pattern(rng);
+        let (Ok(glob_a), Ok(glob_b)) = (Glob::compile(&pat_a), Glob::compile(&pat_b)) else {
+            return;
+        };
+        let mut builder = DfaBuilder::new();
+        builder.add_glob(&glob_a, 0);
+        builder.add_glob(&glob_b, 1);
+        let dfa = builder.build(|tags| tags.to_vec());
+        let (mut a_covers_b, mut b_covers_a, mut overlap) = (true, true, false);
+        for tags in dfa.annotations() {
+            let (has_a, has_b) = (tags.contains(&0), tags.contains(&1));
+            a_covers_b &= !has_b || has_a;
+            b_covers_a &= !has_a || has_b;
+            overlap |= has_a && has_b;
+        }
+        assert_eq!(
+            a_covers_b,
+            glob_a.covers(&glob_b),
+            "covers(`{pat_a}`, `{pat_b}`)"
+        );
+        assert_eq!(
+            b_covers_a,
+            glob_b.covers(&glob_a),
+            "covers(`{pat_b}`, `{pat_a}`)"
+        );
+        assert_eq!(
+            overlap,
+            glob_a.overlaps(&glob_b),
+            "overlaps(`{pat_a}`, `{pat_b}`)"
+        );
     });
 }
 
@@ -516,6 +643,156 @@ fn cached_grant_is_never_served_across_an_epoch_bump() {
                 "stale grant served across epoch bump (+{bump}) for `{path}`"
             );
         }
+    });
+}
+
+/// Probe paths biased toward the vehicle bundles' namespace (`/dev/car`,
+/// `/dev/can0`, `/usr/bin`, `/tmp`) plus generic noise paths.
+#[allow(clippy::explicit_auto_deref)] // same inference false positive
+fn vehicle_path(rng: &mut Rng) -> String {
+    if rng.bool() {
+        (*rng.pick(&[
+            "/dev/car/door0",
+            "/dev/car/door3",
+            "/dev/car/window0",
+            "/dev/car/audio",
+            "/dev/car/engine/rpm",
+            "/dev/can0",
+            "/dev/can1",
+            "/usr/bin/media_app",
+            "/usr/bin/rescue_daemon",
+            "/usr/lib/libc.so",
+            "/tmp/scratch",
+            "/etc/passwd",
+        ]))
+        .to_string()
+    } else {
+        rich_path(rng)
+    }
+}
+
+/// Acceptance sweep over the shipped vehicle bundles: in every situation
+/// state of `VEHICLE_SACK_POLICY` and `VEHICLE_ENHANCED_POLICY`, the
+/// published `StateDfa` table must agree with the legacy protected-set +
+/// rule-scan pipeline for randomized subjects, paths, and permissions.
+#[test]
+fn vehicle_bundle_state_dfas_agree_with_scan() {
+    for text in [VEHICLE_SACK_POLICY, VEHICLE_ENHANCED_POLICY] {
+        let compiled = SackPolicy::parse(text).unwrap().compile().unwrap();
+        prop::check(|rng| {
+            let path = vehicle_path(rng);
+            let requested = perms_from_bits(rng.range(1, 64) as u8);
+            let subject = SubjectCtx {
+                uid: if rng.bool() { 0 } else { 1000 },
+                exe: *rng.pick(&[
+                    None,
+                    Some("/usr/bin/media_app"),
+                    Some("/usr/bin/rescue_daemon"),
+                ]),
+                profile: *rng.pick(&[None, Some("media_app"), Some("rescue_daemon")]),
+            };
+            for index in 0..compiled.space().state_count() {
+                let state = sack_core::StateId(index);
+                let decision = compiled.state_dfa(state).decide(&subject, &path, requested);
+                assert_eq!(
+                    decision.protected,
+                    compiled.protected().contains(&path),
+                    "protected-set membership diverged on `{path}`"
+                );
+                assert_eq!(
+                    decision.permitted,
+                    compiled
+                        .state_rules(state)
+                        .permits(&subject, &path, requested),
+                    "state {index} diverged on `{path}` perms={requested} exe={:?} profile={:?}",
+                    subject.exe,
+                    subject.profile
+                );
+            }
+        });
+    }
+}
+
+/// The same three-way agreement over the shipped AppArmor bundle: every
+/// profile's compiled rule set must label paths identically through the
+/// bucketed index, the naive scan, and the DFA matcher.
+#[test]
+fn vehicle_profiles_dfa_index_and_scan_agree() {
+    let profiles = sack_apparmor::parse_profiles(VEHICLE_APPARMOR_PROFILES).unwrap();
+    assert!(!profiles.is_empty());
+    for profile in &profiles {
+        let compiled = CompiledRules::build(&profile.path_rules);
+        prop::check(|rng| {
+            let path = vehicle_path(rng);
+            let scan = compiled.evaluate_scan(&path);
+            assert_eq!(
+                compiled.evaluate(&path),
+                scan,
+                "profile {} index diverged on `{path}`",
+                profile.name
+            );
+            assert_eq!(
+                compiled.evaluate_dfa(&path),
+                scan,
+                "profile {} DFA diverged on `{path}`",
+                profile.name
+            );
+        });
+    }
+}
+
+/// Satellite invariant for the opt-in negative cache: a denial is counted
+/// on every refusal, but the audit record for a given (path, perms,
+/// subject, state) decision is emitted exactly once — replays are served
+/// from the cache without re-auditing. Protected-but-unwritable paths
+/// under a read-only grant exercise the default-deny denial path.
+#[test]
+fn negative_cache_audits_each_distinct_denial_exactly_once() {
+    const READONLY_POLICY: &str = r#"
+        states { locked = 0; }
+        events { noop; }
+        transitions { locked -noop-> locked; }
+        initial locked;
+        permissions { P; }
+        state_per { locked: P; }
+        per_rules { P: allow subject=* /locked/** r; }
+    "#;
+    prop::check(|rng| {
+        let sack = Sack::independent(READONLY_POLICY).unwrap();
+        sack.set_negative_cache_enabled(true);
+        let ctx = HookCtx::new(
+            Pid(9),
+            Credentials::user(1000, 1000),
+            Some(KPath::new("/usr/bin/app").unwrap()),
+        );
+        let n_paths = rng.range(1, 5);
+        let paths: Vec<KPath> = (0..n_paths)
+            .map(|i| KPath::new(&format!("/locked/f{i}")).unwrap())
+            .collect();
+        let probes = rng.range(n_paths, 24);
+        for k in 0..probes {
+            // Visit every path once up front, then replay at random.
+            let i = if k < n_paths { k } else { rng.below(n_paths) };
+            let obj = ObjectRef::regular(&paths[i]);
+            assert!(
+                sack.file_open(&ctx, &obj, AccessMask::WRITE).is_err(),
+                "write into the read-only grant must be refused"
+            );
+        }
+        assert_eq!(
+            sack.stats().denials.load(Ordering::Relaxed),
+            probes as u64,
+            "every refusal is counted"
+        );
+        assert_eq!(
+            sack.audit().total(),
+            n_paths as u64,
+            "each distinct denied decision is audited exactly once"
+        );
+        assert!(
+            sack.stats().cache_hits.load(Ordering::Relaxed) >= (probes - n_paths) as u64,
+            "replayed denials must come from the cache"
+        );
     });
 }
 

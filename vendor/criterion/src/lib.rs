@@ -335,9 +335,11 @@ mod tests {
 
     #[test]
     fn group_ids_are_prefixed() {
-        let mut c = Criterion::default();
-        c.quick = true;
-        c.filter = None;
+        let mut c = Criterion {
+            quick: true,
+            filter: None,
+            ..Default::default()
+        };
         let mut group = c.benchmark_group("grp");
         group.sample_size(2);
         group.bench_with_input(BenchmarkId::from_parameter("p1"), &7u32, |b, v| {
@@ -349,9 +351,11 @@ mod tests {
 
     #[test]
     fn filter_skips_non_matching() {
-        let mut c = Criterion::default();
-        c.quick = true;
-        c.filter = Some("only-this".to_string());
+        let mut c = Criterion {
+            quick: true,
+            filter: Some("only-this".to_string()),
+            ..Default::default()
+        };
         c.bench_function("something-else", |b| b.iter(|| black_box(1)));
         assert!(!collected_results()
             .iter()
