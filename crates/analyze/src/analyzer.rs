@@ -30,7 +30,7 @@ use sack_core::policy::{check_policy, IssueSeverity, RuleProvenance, SackPolicy,
 use sack_core::{RuleEffect, StateId};
 use sack_te::TePolicy;
 
-use crate::diag::{DfaSize, Diagnostic, Report};
+use crate::diag::{DfaSize, Diagnostic, ProfileDfaSize, Report};
 
 /// Origin tag on profile rules injected by SACK's enhancer; such rules are
 /// SACK's own and never count as stacking holes.
@@ -100,6 +100,7 @@ impl<'a> Analyzer<'a> {
         self.check_profile_stacking(&mut report);
         self.check_te_stacking(&mut report);
         self.collect_dfa_sizes(&mut report);
+        self.collect_profile_dfa_sizes(&mut report);
         report
     }
 
@@ -131,6 +132,41 @@ impl<'a> Analyzer<'a> {
                     ),
                 ));
             }
+        }
+    }
+
+    /// Loads the stacked profiles through a scratch `PolicyDb` — the same
+    /// shared-alphabet compile path the kernel module uses — and records
+    /// each profile's compiled matcher size. Compile-time load
+    /// diagnostics (duplicate rules, per-profile DFA blowup) surface in
+    /// the report verbatim, so `sack-analyze` flags them before a bundle
+    /// ever reaches a vehicle.
+    fn collect_profile_dfa_sizes(&self, report: &mut Report) {
+        if self.profiles.is_empty() {
+            return;
+        }
+        let db = sack_apparmor::PolicyDb::new();
+        for profile in self.profiles {
+            db.load(profile.clone());
+        }
+        for diag in db.take_load_diagnostics() {
+            report.diagnostics.push(Diagnostic::warning(
+                diag.check,
+                format!("profile `{}`: {}", diag.profile, diag.message),
+            ));
+        }
+        for profile in self.profiles {
+            let Some(compiled) = db.get(&profile.name) else {
+                continue;
+            };
+            let stats = compiled.rules().dfa_stats();
+            report.profile_dfa.push(ProfileDfaSize {
+                profile: profile.name.clone(),
+                rules: compiled.rules().len(),
+                states: stats.states,
+                transitions: stats.transitions,
+                classes: stats.classes,
+            });
         }
     }
 

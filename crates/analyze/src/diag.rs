@@ -83,6 +83,21 @@ pub struct DfaSize {
     pub residual_rules: usize,
 }
 
+/// Compiled matcher size for one stacked AppArmor profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileDfaSize {
+    /// Profile name.
+    pub profile: String,
+    /// Number of path rules the profile compiles.
+    pub rules: usize,
+    /// Number of DFA states in the profile's compiled matcher.
+    pub states: usize,
+    /// Number of live (non-dead) transitions in its table.
+    pub transitions: usize,
+    /// Byte equivalence classes in the (namespace-shared) alphabet.
+    pub classes: usize,
+}
+
 /// The outcome of one analyzer run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Report {
@@ -90,6 +105,9 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Per-state DFA matcher sizes, when the policy compiled cleanly.
     pub dfa: Vec<DfaSize>,
+    /// Per-profile DFA matcher sizes for the stacked AppArmor profiles,
+    /// compiled through the same `PolicyDb` path the kernel module uses.
+    pub profile_dfa: Vec<ProfileDfaSize>,
 }
 
 impl Report {
@@ -146,6 +164,16 @@ impl Report {
                 ));
             }
         }
+        if !self.profile_dfa.is_empty() {
+            out.push_str("per-profile DFA matcher:\n");
+            for size in &self.profile_dfa {
+                out.push_str(&format!(
+                    "  {}: {} rule(s), {} states, {} transitions, \
+                     {} byte classes\n",
+                    size.profile, size.rules, size.states, size.transitions, size.classes
+                ));
+            }
+        }
         out
     }
 
@@ -173,7 +201,9 @@ impl Report {
     /// ```
     ///
     /// The `dfa` key is present only when the policy compiled cleanly and
-    /// matcher sizes were collected.
+    /// matcher sizes were collected. A `profile_dfa` key with the same
+    /// shape (keyed by `profile` and including the `rules` count) is
+    /// present when stacked AppArmor profiles were supplied.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!(
@@ -220,6 +250,24 @@ impl Report {
             }
             out.push(']');
         }
+        if !self.profile_dfa.is_empty() {
+            out.push_str(",\"profile_dfa\":[");
+            for (i, size) in self.profile_dfa.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"profile\":\"{}\",\"rules\":{},\"states\":{},\
+                     \"transitions\":{},\"classes\":{}}}",
+                    json_escape(&size.profile),
+                    size.rules,
+                    size.states,
+                    size.transitions,
+                    size.classes
+                ));
+            }
+            out.push(']');
+        }
         out.push('}');
         out
     }
@@ -256,7 +304,7 @@ mod tests {
     fn report_counts_and_render() {
         let report = Report {
             diagnostics: vec![Diagnostic::warning("shadowed-rule", "rule x is shadowed")],
-            dfa: Vec::new(),
+            ..Report::default()
         };
         assert_eq!(report.error_count(), 0);
         assert_eq!(report.warning_count(), 1);

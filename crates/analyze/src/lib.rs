@@ -36,4 +36,6 @@ pub mod models;
 pub use analyzer::Analyzer;
 pub use diag::{DfaSize, Diagnostic, Report};
 pub use interleave::{explore, Exploration, Model, Violation};
-pub use models::{CacheConfig, CacheModel, RcuConfig, RcuModel};
+pub use models::{
+    CacheConfig, CacheModel, ProfileTableConfig, RcuConfig, RcuModel, RcuProfileTableModel,
+};

@@ -1,6 +1,6 @@
 //! Bounded models of the lock-free hot path, for [`crate::explore`].
 //!
-//! Two models cover the two lock-free structures the hook dispatch path
+//! Three models cover the lock-free structures the hook dispatch path
 //! relies on:
 //!
 //! * [`RcuModel`] — the hazard-pointer `Rcu<T>` from `sack-kernel`'s
@@ -15,13 +15,19 @@
 //!   fall back to evaluation. The checked property is linearizability of
 //!   grant/deny outcomes: every reader's answer must be producible by
 //!   *some* atomic placement of its query before or after the reload.
+//! * [`RcuProfileTableModel`] — the AppArmor `PolicyDb` profile replace
+//!   (`Rcu<ProfileTable>`) raced against concurrent hook reads and the
+//!   decision-cache epoch bump. The checked properties are that a hook
+//!   never observes a torn profile table (rules from one snapshot,
+//!   shared alphabet from another) and that no stale grant survives a
+//!   completed replace.
 //!
-//! Both models carry `skip_*` switches that disable one load-bearing
+//! All models carry mutation switches that disable one load-bearing
 //! ingredient of the real algorithm (the reader's validate loop, the
-//! writer's hazard scan, the cache's verifier check). Exploration must
-//! find a violation with any switch on and prove the model with all
-//! switches off — that asymmetry is what demonstrates the checker has
-//! teeth.
+//! writer's hazard scan, the cache's verifier check, the single-snapshot
+//! publish, the epoch bump). Exploration must find a violation with any
+//! switch on and prove the model with all switches off — that asymmetry
+//! is what demonstrates the checker has teeth.
 
 use crate::interleave::Model;
 
@@ -564,6 +570,323 @@ impl Model for CacheModel {
     }
 }
 
+/// Configuration for [`RcuProfileTableModel`].
+///
+/// At most one mutation switch may be on at a time.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileTableConfig {
+    /// Number of hook threads performing one access check each.
+    pub readers: usize,
+    /// Known-bad mutation: the replace publishes the recompiled profile
+    /// rules and the shared alphabet as two separate stores instead of
+    /// one `Rcu<ProfileTable>` snapshot — a concurrent hook can evaluate
+    /// rules from one version against byte classes from the other.
+    pub split_publish: bool,
+    /// Known-bad mutation: the replace swaps the table but never moves
+    /// the decision-cache epoch, so grants cached before the replace
+    /// keep verifying afterwards.
+    pub skip_epoch_bump: bool,
+    /// Known-bad mutation: the epoch moves *before* the table is
+    /// published, so a hook running in the gap caches a pre-replace
+    /// grant under the post-replace epoch.
+    pub epoch_before_publish: bool,
+}
+
+impl ProfileTableConfig {
+    /// The faithful algorithm with `readers` hook threads.
+    pub fn correct(readers: usize) -> ProfileTableConfig {
+        ProfileTableConfig {
+            readers,
+            split_publish: false,
+            skip_epoch_bump: false,
+            epoch_before_publish: false,
+        }
+    }
+}
+
+/// One atomic writer action in [`RcuProfileTableModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ReplaceStep {
+    /// Publish rules and alphabet together (the real single `Rcu` store).
+    Publish,
+    /// Publish only the recompiled rules (first half of the torn split).
+    PublishRules,
+    /// Publish only the shared alphabet (second half of the torn split).
+    PublishAlphabet,
+    /// Bump the decision-cache epoch (confinement generation).
+    Bump,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TableReaderPc {
+    /// Read the decision-cache epoch.
+    Start,
+    /// Load the cache slot tag.
+    LoadTag,
+    /// Load the slot payload and check the verifier.
+    LoadPayload,
+    /// Cache miss: walk the profile's compiled DFA.
+    Eval,
+    /// Store the payload word of a new grant entry.
+    StorePayload,
+    /// Store the tag word of a new grant entry.
+    StoreTag,
+    /// Finished.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TableReader {
+    pc: TableReaderPc,
+    /// Epoch observed at start.
+    e: u8,
+    /// The outcome this reader will report.
+    outcome: Option<Outcome>,
+    /// Bitmask of outcomes a linearizable execution may return.
+    valid: u8,
+}
+
+/// Bounded model of an AppArmor profile replace over `Rcu<ProfileTable>`
+/// raced against hook reads and the decision-cache epoch bump.
+///
+/// One access key exists; profile-table version 0 grants it and version 1
+/// (the replaced profile) denies it. The table is a pair
+/// `(rules, alphabet)` because a compiled profile is only meaningful
+/// against the byte-class alphabet it was compiled with: hooks must
+/// observe the pair atomically, which the real implementation guarantees
+/// by publishing both inside one `Rcu` snapshot. Readers follow the
+/// decision-cache protocol of [`CacheModel`] (tag load, payload verifier,
+/// miss fallback to evaluation, payload-then-tag insertion of grants),
+/// keyed by the epoch the replace bumps after publishing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RcuProfileTableModel {
+    readers: Vec<TableReader>,
+    /// Index of the next writer step in the replace program.
+    writer_pc: u8,
+    /// Published profile-rules version: 0 grants, 1 denies.
+    rules: u8,
+    /// Published shared-alphabet version.
+    alphabet: u8,
+    /// Decision-cache epoch (the confinement generation).
+    epoch: u8,
+    /// Cache slot tag word (`None` = empty slot).
+    slot_tag: Option<u8>,
+    /// Cache slot payload word: (verifier, outcome).
+    slot_payload: Option<(u8, Outcome)>,
+    split_publish: bool,
+    skip_epoch_bump: bool,
+    epoch_before_publish: bool,
+}
+
+impl RcuProfileTableModel {
+    /// Builds the initial state for `config`.
+    pub fn new(config: ProfileTableConfig) -> RcuProfileTableModel {
+        let mutations = [
+            config.split_publish,
+            config.skip_epoch_bump,
+            config.epoch_before_publish,
+        ]
+        .iter()
+        .filter(|&&m| m)
+        .count();
+        assert!(mutations <= 1, "at most one mutation switch at a time");
+        RcuProfileTableModel {
+            readers: vec![
+                TableReader {
+                    pc: TableReaderPc::Start,
+                    e: 0,
+                    outcome: None,
+                    valid: 0,
+                };
+                config.readers
+            ],
+            writer_pc: 0,
+            rules: 0,
+            alphabet: 0,
+            epoch: 0,
+            slot_tag: None,
+            slot_payload: None,
+            split_publish: config.split_publish,
+            skip_epoch_bump: config.skip_epoch_bump,
+            epoch_before_publish: config.epoch_before_publish,
+        }
+    }
+
+    /// The replace program the writer executes, one atomic step per entry.
+    fn program(&self) -> &'static [ReplaceStep] {
+        if self.split_publish {
+            &[
+                ReplaceStep::PublishRules,
+                ReplaceStep::PublishAlphabet,
+                ReplaceStep::Bump,
+            ]
+        } else if self.skip_epoch_bump {
+            &[ReplaceStep::Publish]
+        } else if self.epoch_before_publish {
+            &[ReplaceStep::Bump, ReplaceStep::Publish]
+        } else {
+            &[ReplaceStep::Publish, ReplaceStep::Bump]
+        }
+    }
+
+    fn writer_done(&self) -> bool {
+        self.writer_pc as usize >= self.program().len()
+    }
+
+    fn eval(rules: u8) -> Outcome {
+        if rules == 0 {
+            Outcome::Allow
+        } else {
+            Outcome::Deny
+        }
+    }
+
+    fn finish_reader(&mut self, i: usize, outcome: Outcome) -> Result<(), String> {
+        self.readers[i].outcome = Some(outcome);
+        self.readers[i].pc = TableReaderPc::Done;
+        if self.readers[i].valid & outcome.bit() == 0 {
+            return Err(format!(
+                "linearizability violation: reader {i} returned {outcome:?} but no \
+                 atomic placement of its check relative to the profile replace \
+                 produces it (stale grant survived the replace)"
+            ));
+        }
+        Ok(())
+    }
+
+    fn reader_step(&mut self, i: usize) -> Result<(), String> {
+        let reader = self.readers[i];
+        match reader.pc {
+            TableReaderPc::Start => {
+                self.readers[i].e = self.epoch;
+                self.readers[i].valid = if self.writer_pc == 0 {
+                    // Replace not begun: the old outcome is valid now; the
+                    // publish step widens this if it happens in-flight.
+                    Self::eval(0).bit()
+                } else if self.writer_done() {
+                    // Replace complete before this check began.
+                    Self::eval(1).bit()
+                } else {
+                    // Mid-replace: the check may serialise on either side.
+                    Self::eval(0).bit() | Self::eval(1).bit()
+                };
+                self.readers[i].pc = TableReaderPc::LoadTag;
+            }
+            TableReaderPc::LoadTag => {
+                self.readers[i].pc = if self.slot_tag == Some(TAG) {
+                    TableReaderPc::LoadPayload
+                } else {
+                    TableReaderPc::Eval
+                };
+            }
+            TableReaderPc::LoadPayload => match self.slot_payload {
+                Some((verifier, outcome)) if verifier == reader.e => {
+                    return self.finish_reader(i, outcome);
+                }
+                _ => self.readers[i].pc = TableReaderPc::Eval,
+            },
+            TableReaderPc::Eval => {
+                // The hook follows one snapshot handle to both the rules
+                // and the alphabet; observing different versions means the
+                // table was published in pieces.
+                if self.rules != self.alphabet {
+                    return Err(format!(
+                        "torn profile-table read: reader {i} evaluated rules v{} \
+                         against shared alphabet v{}",
+                        self.rules, self.alphabet
+                    ));
+                }
+                let outcome = Self::eval(self.rules);
+                if outcome == Outcome::Allow {
+                    // Only grants are cached; remember what to insert.
+                    self.readers[i].outcome = Some(outcome);
+                    self.readers[i].pc = TableReaderPc::StorePayload;
+                } else {
+                    return self.finish_reader(i, outcome);
+                }
+            }
+            TableReaderPc::StorePayload => {
+                self.slot_payload = Some((reader.e, Outcome::Allow));
+                self.readers[i].pc = TableReaderPc::StoreTag;
+            }
+            TableReaderPc::StoreTag => {
+                self.slot_tag = Some(TAG);
+                return self.finish_reader(i, Outcome::Allow);
+            }
+            TableReaderPc::Done => unreachable!(),
+        }
+        Ok(())
+    }
+
+    fn writer_step(&mut self) {
+        let step = self.program()[self.writer_pc as usize];
+        match step {
+            ReplaceStep::Publish => {
+                self.rules = 1;
+                self.alphabet = 1;
+                self.widen_in_flight();
+            }
+            ReplaceStep::PublishRules => {
+                self.rules = 1;
+                self.widen_in_flight();
+            }
+            ReplaceStep::PublishAlphabet => {
+                self.alphabet = 1;
+            }
+            ReplaceStep::Bump => {
+                self.epoch = 1;
+            }
+        }
+        self.writer_pc += 1;
+    }
+
+    /// Once the replaced rules are visible, every in-flight check
+    /// overlaps the replace and may serialise after it.
+    fn widen_in_flight(&mut self) {
+        for reader in &mut self.readers {
+            if reader.pc != TableReaderPc::Start && reader.pc != TableReaderPc::Done {
+                reader.valid |= Self::eval(1).bit();
+            }
+        }
+    }
+}
+
+impl Model for RcuProfileTableModel {
+    fn threads(&self) -> usize {
+        self.readers.len() + 1
+    }
+
+    fn enabled(&self, thread: usize) -> bool {
+        if thread < self.readers.len() {
+            self.readers[thread].pc != TableReaderPc::Done
+        } else {
+            !self.writer_done()
+        }
+    }
+
+    fn step(&mut self, thread: usize) -> Result<(), String> {
+        if thread < self.readers.len() {
+            self.reader_step(thread)
+        } else {
+            self.writer_step();
+            Ok(())
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.writer_done() && self.readers.iter().all(|r| r.pc == TableReaderPc::Done)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // Insertion order is payload-then-tag, so a visible tag implies
+        // a fully written payload.
+        if self.slot_tag.is_some() && self.slot_payload.is_none() {
+            return Err("slot tag visible before payload".to_string());
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -610,6 +933,47 @@ mod tests {
             skip_verifier: true,
         };
         let violation = explore(&CacheModel::new(config), 64).unwrap_err();
+        assert!(violation.message.contains("linearizability"), "{violation}");
+    }
+
+    #[test]
+    fn profile_table_correct_replace_is_exhaustively_safe() {
+        let model = RcuProfileTableModel::new(ProfileTableConfig::correct(2));
+        let stats = explore(&model, 64).unwrap();
+        assert!(stats.complete_schedules > 0);
+        assert!(stats.states > 100, "model should be non-trivial");
+    }
+
+    #[test]
+    fn profile_table_split_publish_is_caught_as_torn_read() {
+        let config = ProfileTableConfig {
+            split_publish: true,
+            ..ProfileTableConfig::correct(1)
+        };
+        let violation = explore(&RcuProfileTableModel::new(config), 64).unwrap_err();
+        assert!(
+            violation.message.contains("torn profile-table read"),
+            "{violation}"
+        );
+    }
+
+    #[test]
+    fn profile_table_skipping_the_epoch_bump_is_caught() {
+        let config = ProfileTableConfig {
+            skip_epoch_bump: true,
+            ..ProfileTableConfig::correct(2)
+        };
+        let violation = explore(&RcuProfileTableModel::new(config), 64).unwrap_err();
+        assert!(violation.message.contains("linearizability"), "{violation}");
+    }
+
+    #[test]
+    fn profile_table_bumping_the_epoch_early_is_caught() {
+        let config = ProfileTableConfig {
+            epoch_before_publish: true,
+            ..ProfileTableConfig::correct(2)
+        };
+        let violation = explore(&RcuProfileTableModel::new(config), 64).unwrap_err();
         assert!(violation.message.contains("linearizability"), "{violation}");
     }
 }

@@ -4,7 +4,10 @@
 //! schedule, with known-bad mutations producing concrete
 //! counterexamples.
 
-use sack_analyze::{explore, CacheConfig, CacheModel, Model, RcuConfig, RcuModel};
+use sack_analyze::{
+    explore, CacheConfig, CacheModel, Model, ProfileTableConfig, RcuConfig, RcuModel,
+    RcuProfileTableModel,
+};
 
 const DEPTH: usize = 96;
 
@@ -91,4 +94,72 @@ fn cache_without_verifier_serves_a_stale_grant() {
         explore(&CacheModel::new(config), DEPTH).expect_err("mutated model must be caught");
     assert!(violation.message.contains("linearizability"), "{violation}");
     assert!(!violation.schedule.is_empty());
+}
+
+#[test]
+fn profile_table_replace_with_two_hooks_is_safe() {
+    let model = RcuProfileTableModel::new(ProfileTableConfig::correct(2));
+    let stats = explore(&model, DEPTH).unwrap_or_else(|v| panic!("counterexample found: {v}"));
+    assert!(stats.complete_schedules > 0);
+    assert!(stats.states > 100, "only {} states explored", stats.states);
+}
+
+#[test]
+fn profile_table_replace_with_three_hooks_is_safe() {
+    let model = RcuProfileTableModel::new(ProfileTableConfig::correct(3));
+    explore(&model, DEPTH).unwrap_or_else(|v| panic!("counterexample found: {v}"));
+}
+
+#[test]
+fn profile_table_split_publish_tears_a_hook_read() {
+    let config = ProfileTableConfig {
+        split_publish: true,
+        ..ProfileTableConfig::correct(2)
+    };
+    let violation = explore(&RcuProfileTableModel::new(config), DEPTH)
+        .expect_err("mutated model must be caught");
+    assert!(
+        violation.message.contains("torn profile-table read"),
+        "{violation}"
+    );
+    assert!(!violation.schedule.is_empty());
+}
+
+#[test]
+fn profile_table_without_epoch_bump_serves_a_stale_grant() {
+    let config = ProfileTableConfig {
+        skip_epoch_bump: true,
+        ..ProfileTableConfig::correct(2)
+    };
+    let violation = explore(&RcuProfileTableModel::new(config), DEPTH)
+        .expect_err("mutated model must be caught");
+    assert!(violation.message.contains("linearizability"), "{violation}");
+}
+
+#[test]
+fn profile_table_early_epoch_bump_caches_a_pre_replace_grant() {
+    let config = ProfileTableConfig {
+        epoch_before_publish: true,
+        ..ProfileTableConfig::correct(2)
+    };
+    let violation = explore(&RcuProfileTableModel::new(config), DEPTH)
+        .expect_err("mutated model must be caught");
+    assert!(violation.message.contains("linearizability"), "{violation}");
+}
+
+#[test]
+fn profile_table_counterexample_replays_deterministically() {
+    let config = ProfileTableConfig {
+        skip_epoch_bump: true,
+        ..ProfileTableConfig::correct(2)
+    };
+    let violation = explore(&RcuProfileTableModel::new(config), DEPTH).unwrap_err();
+    let mut model = RcuProfileTableModel::new(config);
+    let (last, prefix) = violation.schedule.split_last().unwrap();
+    for &thread in prefix {
+        assert!(model.enabled(thread), "schedule must stay enabled");
+        model.step(thread).expect("violation only at the last step");
+    }
+    let err = model.step(*last).expect_err("last step must violate");
+    assert_eq!(err, violation.message);
 }

@@ -315,6 +315,55 @@ per_rules { P: allow subject=* /x r; }
     assert!(!report.to_json().contains("\"dfa\""));
 }
 
+#[test]
+fn report_carries_per_profile_dfa_sizes() {
+    let policy = SackPolicy::parse(VEHICLE_SACK_POLICY).unwrap();
+    let profiles = parse_profiles(VEHICLE_APPARMOR_PROFILES).unwrap();
+    let report = Analyzer::new(&policy).with_profiles(&profiles).run();
+    assert_eq!(
+        report.profile_dfa.len(),
+        profiles.len(),
+        "one entry per stacked profile"
+    );
+    for (size, profile) in report.profile_dfa.iter().zip(&profiles) {
+        assert_eq!(size.profile, profile.name);
+        assert_eq!(size.rules, profile.path_rules.len());
+        assert!(
+            size.states > 1,
+            "{}: matcher must have a real table",
+            size.profile
+        );
+        assert!(size.transitions > 0, "{}", size.profile);
+    }
+    // All profiles compile against one namespace alphabet, so the class
+    // counts agree across every entry.
+    let classes = report.profile_dfa[0].classes;
+    assert!(report.profile_dfa.iter().all(|s| s.classes == classes));
+
+    let text = report.render();
+    assert!(text.contains("per-profile DFA matcher:"), "{text}");
+    let json = report.to_json();
+    assert!(json.contains("\"profile_dfa\":[{\"profile\":\""), "{json}");
+}
+
+#[test]
+fn profile_load_diagnostics_surface_in_the_report() {
+    let profiles = r#"
+profile sloppy /usr/bin/sloppy {
+    /data/file r,
+    /data/file r,
+}
+"#;
+    let report = analyze_stacked(CLEAN, profiles);
+    assert!(
+        report
+            .by_check("duplicate-path-rule")
+            .any(|d| d.message.contains("sloppy")),
+        "compile-path lint missing:\n{}",
+        report.render()
+    );
+}
+
 // --- zero false positives on the shipped bundles -------------------------
 
 #[test]

@@ -18,11 +18,139 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::Arc;
 
 use crate::glob::{token_matches, Glob, Token};
 
 /// Sentinel transition target: no live NFA position remains.
 const DEAD: u32 = u32::MAX;
+
+/// A byte-equivalence partition of the 256-byte alphabet.
+///
+/// Two bytes are interchangeable when every distinct consuming token (and
+/// the `/` test the wildcards use) treats them identically; transition
+/// tables then need one column per class instead of 256. An alphabet built
+/// from a *superset* of a machine's tokens is merely finer than necessary —
+/// refinement preserves the transition relation — so one table can be
+/// shared across every profile of a namespace and across every
+/// [`crate::dfa::Dfa`] built from it (real AppArmor shares `equiv` tables
+/// the same way). Sharing via `Arc` also makes the shared-alphabet
+/// invariant checkable with `Arc::ptr_eq`.
+#[derive(Debug, Clone)]
+pub struct Alphabet {
+    /// Distinct discriminating tokens the partition was derived from
+    /// (`**` excluded — it matches every byte and never discriminates).
+    discr: Vec<Token>,
+    /// byte → equivalence class.
+    classes: Box<[u16; 256]>,
+    class_count: usize,
+}
+
+impl Alphabet {
+    /// Builds the partition for a set of discriminating tokens.
+    fn from_tokens(discr: Vec<Token>) -> Alphabet {
+        let mut sig_to_class: HashMap<Vec<bool>, u16> = HashMap::new();
+        let mut classes = Box::new([0u16; 256]);
+        for b in 0..=255u8 {
+            let mut sig = Vec::with_capacity(discr.len() + 1);
+            sig.push(b == b'/');
+            for tok in &discr {
+                sig.push(match tok {
+                    Token::Star => b != b'/',
+                    other => token_matches(other, b),
+                });
+            }
+            let next = sig_to_class.len() as u16;
+            classes[b as usize] = *sig_to_class.entry(sig).or_insert(next);
+        }
+        let class_count = sig_to_class.len();
+        Alphabet {
+            discr,
+            classes,
+            class_count,
+        }
+    }
+
+    /// Collects the distinct discriminating tokens of `globs` into `out`.
+    fn collect_tokens<'a>(globs: impl IntoIterator<Item = &'a Glob>, out: &mut Vec<Token>) {
+        for glob in globs {
+            for pat in glob.alternates() {
+                for tok in &pat.tokens {
+                    if !matches!(tok, Token::DoubleStar) && !out.contains(tok) {
+                        out.push(tok.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the shared alphabet for a set of globs (e.g. every path rule
+    /// of every profile in a namespace).
+    pub fn for_globs<'a>(globs: impl IntoIterator<Item = &'a Glob>) -> Alphabet {
+        let mut discr = Vec::new();
+        Self::collect_tokens(globs, &mut discr);
+        Alphabet::from_tokens(discr)
+    }
+
+    /// The empty-token alphabet: `/` vs everything else.
+    pub fn minimal() -> Alphabet {
+        Alphabet::from_tokens(Vec::new())
+    }
+
+    /// Number of equivalence classes.
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// The equivalence class of `byte`.
+    pub fn class_of(&self, byte: u8) -> u16 {
+        self.classes[byte as usize]
+    }
+
+    /// True if compiling `globs` against this alphabet would need a finer
+    /// partition — i.e. some new token distinguishes two bytes currently in
+    /// the same class. When this returns `false` the existing table can be
+    /// reused as-is (the common case for rule edits that only recombine
+    /// bytes the table already separates).
+    pub fn would_split<'a>(&self, globs: impl IntoIterator<Item = &'a Glob>) -> bool {
+        let mut candidates = Vec::new();
+        Self::collect_tokens(globs, &mut candidates);
+        self.tokens_would_split(&candidates)
+    }
+
+    /// Core of [`Alphabet::would_split`]: do any of `candidates` separate
+    /// two bytes the partition currently merges?
+    fn tokens_would_split(&self, candidates: &[Token]) -> bool {
+        let candidates: Vec<&Token> = candidates
+            .iter()
+            .filter(|tok| !self.discr.contains(tok))
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        // A representative byte per class, then check every byte agrees
+        // with its representative under every candidate token.
+        let mut rep: Vec<Option<u8>> = vec![None; self.class_count];
+        for b in 0..=255u8 {
+            let class = self.classes[b as usize] as usize;
+            match rep[class] {
+                None => rep[class] = Some(b),
+                Some(r) => {
+                    for tok in &candidates {
+                        let matches = |b| match tok {
+                            Token::Star => b != b'/',
+                            other => token_matches(other, b),
+                        };
+                        if matches(b) != matches(r) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
 
 /// Size statistics for a compiled [`Dfa`], surfaced by `sack-analyze`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,34 +253,23 @@ impl DfaBuilder {
         tags
     }
 
-    /// Partitions the byte alphabet into equivalence classes: two bytes are
-    /// interchangeable when every distinct consuming token (and the `/`
-    /// test the wildcards use) treats them identically. Transition tables
-    /// then need one column per class instead of 256.
-    fn byte_classes(&self) -> (Box<[u16; 256]>, usize) {
-        let mut discr: Vec<&Token> = Vec::new();
+    /// The distinct discriminating tokens of the accumulated globs.
+    fn discriminating_tokens(&self) -> Vec<Token> {
+        let mut discr: Vec<Token> = Vec::new();
         for tok in self.positions.iter().flatten() {
             // `**` matches every byte; it never discriminates.
-            if !matches!(tok, Token::DoubleStar) && !discr.contains(&tok) {
-                discr.push(tok);
+            if !matches!(tok, Token::DoubleStar) && !discr.contains(tok) {
+                discr.push(tok.clone());
             }
         }
-        let mut sig_to_class: HashMap<Vec<bool>, u16> = HashMap::new();
-        let mut classes = Box::new([0u16; 256]);
-        for b in 0..=255u8 {
-            let mut sig = Vec::with_capacity(discr.len() + 1);
-            sig.push(b == b'/');
-            for tok in &discr {
-                sig.push(match tok {
-                    Token::Star => b != b'/',
-                    other => token_matches(other, b),
-                });
-            }
-            let next = sig_to_class.len() as u16;
-            classes[b as usize] = *sig_to_class.entry(sig).or_insert(next);
-        }
-        let count = sig_to_class.len();
-        (classes, count)
+        discr
+    }
+
+    /// The byte-equivalence alphabet induced by the accumulated globs
+    /// alone. [`DfaBuilder::build`] uses this; multi-machine callers build
+    /// a shared [`Alphabet`] over all their globs instead.
+    pub fn alphabet(&self) -> Alphabet {
+        Alphabet::from_tokens(self.discriminating_tokens())
     }
 
     /// Determinizes and minimizes the accumulated globs. `fold` maps the
@@ -163,11 +280,30 @@ impl DfaBuilder {
         A: Clone + Eq + Hash,
         F: Fn(&[u32]) -> A,
     {
-        let (classes, class_count) = self.byte_classes();
+        self.build_with_alphabet(&Arc::new(self.alphabet()), fold)
+    }
+
+    /// [`DfaBuilder::build`] against a caller-supplied shared alphabet.
+    ///
+    /// The alphabet must refine this machine's own partition — i.e. built
+    /// from a superset of its globs, or from a partition that
+    /// [`Alphabet::would_split`] reports as not split by them. A finer
+    /// partition only adds redundant columns; it never changes the language
+    /// or the annotations.
+    pub fn build_with_alphabet<A, F>(&self, alphabet: &Arc<Alphabet>, fold: F) -> Dfa<A>
+    where
+        A: Clone + Eq + Hash,
+        F: Fn(&[u32]) -> A,
+    {
+        debug_assert!(
+            !alphabet.tokens_would_split(&self.discriminating_tokens()),
+            "shared alphabet is coarser than this machine's tokens require"
+        );
+        let class_count = alphabet.class_count;
         // One representative byte per class, for stepping the NFA.
         let mut rep = vec![0u8; class_count];
         for b in (0..=255u8).rev() {
-            rep[classes[b as usize] as usize] = b;
+            rep[alphabet.classes[b as usize] as usize] = b;
         }
 
         let mut start_set: Vec<u32> = self.starts.clone();
@@ -207,8 +343,7 @@ impl DfaBuilder {
 
         let empty = fold(&[]);
         let dfa = Dfa {
-            classes,
-            class_count,
+            alphabet: Arc::clone(alphabet),
             table,
             accepts,
             start: 0,
@@ -223,7 +358,7 @@ impl DfaBuilder {
 /// over blocks. Language and annotations are preserved exactly.
 fn minimize<A: Clone + Eq + Hash>(dfa: Dfa<A>) -> Dfa<A> {
     let n = dfa.accepts.len();
-    let c = dfa.class_count;
+    let c = dfa.alphabet.class_count;
 
     let mut block: Vec<u32> = Vec::with_capacity(n);
     let mut annot_ids: HashMap<&A, u32> = HashMap::new();
@@ -272,8 +407,7 @@ fn minimize<A: Clone + Eq + Hash>(dfa: Dfa<A>) -> Dfa<A> {
     }
 
     Dfa {
-        classes: dfa.classes,
-        class_count: c,
+        alphabet: dfa.alphabet,
         table,
         accepts: accepts
             .into_iter()
@@ -290,9 +424,8 @@ fn minimize<A: Clone + Eq + Hash>(dfa: Dfa<A>) -> Dfa<A> {
 /// final state is the pre-resolved answer for every path reaching it.
 #[derive(Debug, Clone)]
 pub struct Dfa<A> {
-    /// byte → equivalence class.
-    classes: Box<[u16; 256]>,
-    class_count: usize,
+    /// The (possibly shared) byte-equivalence partition.
+    alphabet: Arc<Alphabet>,
     /// `table[state * class_count + class]` → next state or [`DEAD`].
     table: Vec<u32>,
     /// Per-state annotation (`fold` of the accepting rule tags).
@@ -307,15 +440,21 @@ impl<A> Dfa<A> {
     /// annotation; falling off the table yields the no-match annotation.
     pub fn eval(&self, path: &str) -> &A {
         let mut state = self.start as usize;
+        let class_count = self.alphabet.class_count;
         for &b in path.as_bytes() {
-            let class = self.classes[b as usize] as usize;
-            let next = self.table[state * self.class_count + class];
+            let class = self.alphabet.classes[b as usize] as usize;
+            let next = self.table[state * class_count + class];
             if next == DEAD {
                 return &self.empty;
             }
             state = next as usize;
         }
         &self.accepts[state]
+    }
+
+    /// The byte-class alphabet this machine was compiled against.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
     }
 
     /// The no-match annotation (`fold(&[])`).
@@ -347,7 +486,7 @@ impl<A> Dfa<A> {
         DfaStats {
             states: self.state_count(),
             transitions: self.transition_count(),
-            classes: self.class_count,
+            classes: self.alphabet.class_count,
         }
     }
 }
@@ -442,6 +581,60 @@ mod tests {
         assert!(!dfa.eval("/anything"));
         assert!(!dfa.eval(""));
         assert_eq!(dfa.state_count(), 1);
+    }
+
+    #[test]
+    fn shared_alphabet_preserves_language() {
+        // One union alphabet over both machines' globs; each machine built
+        // against it must decide exactly as its privately-compiled twin.
+        let a = Glob::compile("/dev/car/door[0-3]").unwrap();
+        let b = Glob::compile("/sys/{kernel,fs}/**").unwrap();
+        let shared = Arc::new(Alphabet::for_globs([&a, &b]));
+        for glob in [&a, &b] {
+            let mut builder = DfaBuilder::new();
+            builder.add_glob(glob, 0);
+            let shared_dfa = builder.build_with_alphabet(&shared, |t| !t.is_empty());
+            let solo_dfa = builder.build(|t| !t.is_empty());
+            assert!(Arc::ptr_eq(shared_dfa.alphabet(), &shared));
+            for text in [
+                "/dev/car/door0",
+                "/dev/car/door4",
+                "/sys/kernel/x/y",
+                "/sys/fs/",
+                "/sys/other",
+                "",
+            ] {
+                assert_eq!(shared_dfa.eval(text), solo_dfa.eval(text), "text `{text}`");
+            }
+        }
+    }
+
+    #[test]
+    fn would_split_detects_new_discriminating_bytes() {
+        let base = Glob::compile("/dev/car/*").unwrap();
+        let alphabet = Alphabet::for_globs([&base]);
+        // Same byte vocabulary: no split needed.
+        let same = Glob::compile("/dev/rac/*").unwrap();
+        assert!(!alphabet.would_split([&same]));
+        // `**` never discriminates.
+        let doublestar = Glob::compile("/dev/**").unwrap();
+        assert!(!alphabet.would_split([&doublestar]));
+        // A byte the base never mentions lives in the catch-all class and
+        // must split it.
+        let novel = Glob::compile("/dev/ca%").unwrap();
+        assert!(alphabet.would_split([&novel]));
+        // And after rebuilding with it, no further split is needed.
+        let rebuilt = Alphabet::for_globs([&base, &novel]);
+        assert!(!rebuilt.would_split([&novel]));
+        assert!(rebuilt.class_count() > alphabet.class_count());
+    }
+
+    #[test]
+    fn minimal_alphabet_splits_slash_only() {
+        let minimal = Alphabet::minimal();
+        assert_eq!(minimal.class_count(), 2);
+        assert_ne!(minimal.class_of(b'/'), minimal.class_of(b'a'));
+        assert_eq!(minimal.class_of(b'a'), minimal.class_of(b'z'));
     }
 
     #[test]

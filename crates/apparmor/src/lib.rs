@@ -43,11 +43,11 @@ pub mod parser;
 pub mod policy;
 pub mod profile;
 
-pub use dfa::{Dfa, DfaBuilder, DfaStats};
+pub use dfa::{Alphabet, Dfa, DfaBuilder, DfaStats};
 pub use glob::Glob;
 pub use logprof::Suggestions;
 pub use matcher::{CompiledRules, RuleDecision};
 pub use module::{AppArmor, AuditEvent};
 pub use parser::{parse_profiles, ParseProfileError};
-pub use policy::{CompiledProfile, PolicyDb, UnknownProfileError};
+pub use policy::{CompiledProfile, LoadDiagnostic, PolicyDb, UnknownProfileError};
 pub use profile::{FilePerms, PathRule, Profile, ProfileMode};

@@ -290,6 +290,40 @@ mod tests {
         assert!(rendered.contains("network unix,"));
     }
 
+    /// Regression: logprof promotions used to bypass the `PolicyDb`
+    /// compile diagnostics. `apply` now funnels through the same compile
+    /// path as `load`, so re-promoting an already-learned rule trips the
+    /// duplicate-rule lint instead of silently growing the profile.
+    #[test]
+    fn reapplied_suggestions_trip_load_diagnostics() {
+        use crate::policy::CHECK_DUPLICATE_PATH_RULE;
+
+        let db = PolicyDb::new();
+        db.load(Profile::new("app"));
+        let mut s = Suggestions::default();
+        s.file_rules
+            .entry("app".into())
+            .or_default()
+            .insert("/data/file".into(), FilePerms::READ);
+
+        assert_eq!(apply(&db, &s).unwrap(), 1);
+        assert!(
+            db.take_load_diagnostics().is_empty(),
+            "first promotion is clean"
+        );
+
+        // An operator re-running logprof on a stale log re-applies the
+        // same suggestion; the compile-path lint must flag it.
+        assert_eq!(apply(&db, &s).unwrap(), 1);
+        let diags = db.take_load_diagnostics();
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.check == CHECK_DUPLICATE_PATH_RULE && d.profile == "app"),
+            "duplicate-rule lint did not fire: {diags:?}"
+        );
+    }
+
     #[test]
     fn apply_to_unknown_profile_errors() {
         let db = PolicyDb::new();

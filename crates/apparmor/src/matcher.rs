@@ -15,8 +15,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use crate::dfa::{Dfa, DfaBuilder, DfaStats};
+use crate::dfa::{Alphabet, Dfa, DfaBuilder, DfaStats};
 use crate::profile::{FilePerms, PathRule};
 
 /// One compiled rule.
@@ -74,8 +75,26 @@ fn literal_first_component(prefix: &str) -> Option<&str> {
 }
 
 impl CompiledRules {
-    /// Compiles a rule list into the index.
+    /// Compiles a rule list into the index, deriving a private alphabet
+    /// from the rules alone.
     pub fn build(rules: &[PathRule]) -> CompiledRules {
+        let mut builder = DfaBuilder::new();
+        for (tag, rule) in rules.iter().enumerate() {
+            builder.add_glob(&rule.glob, tag as u32);
+        }
+        Self::build_inner(rules, &Arc::new(builder.alphabet()))
+    }
+
+    /// Compiles a rule list against a shared byte-class alphabet (one table
+    /// for every profile of a namespace). The alphabet must refine what the
+    /// rules require — the `PolicyDb` guarantees this by rebuilding the
+    /// shared table whenever [`Alphabet::would_split`] says a new rule
+    /// separates bytes it currently merges.
+    pub fn build_with_alphabet(rules: &[PathRule], alphabet: &Arc<Alphabet>) -> CompiledRules {
+        Self::build_inner(rules, alphabet)
+    }
+
+    fn build_inner(rules: &[PathRule], alphabet: &Arc<Alphabet>) -> CompiledRules {
         let mut buckets: HashMap<String, Vec<CompiledRule>> = HashMap::new();
         let mut global = Vec::new();
         let mut builder = DfaBuilder::new();
@@ -91,7 +110,7 @@ impl CompiledRules {
                 None => global.push(compiled),
             }
         }
-        let dfa = builder.build(|tags| {
+        let dfa = builder.build_with_alphabet(alphabet, |tags| {
             let mut decision = RuleDecision::default();
             for &tag in tags {
                 let rule = &rules[tag as usize];
@@ -109,6 +128,11 @@ impl CompiledRules {
             dfa,
             len: rules.len(),
         }
+    }
+
+    /// The byte-class alphabet the unified DFA was compiled against.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        self.dfa.alphabet()
     }
 
     /// Number of rules.

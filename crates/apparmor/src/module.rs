@@ -184,7 +184,11 @@ impl AppArmor {
         let Some(profile) = self.confining(ctx.pid) else {
             return Ok(());
         };
-        let decision = profile.rules().evaluate(obj.path.as_str());
+        let decision = if self.policy.dfa_matcher_enabled() {
+            profile.rules().evaluate_dfa(obj.path.as_str())
+        } else {
+            profile.rules().evaluate(obj.path.as_str())
+        };
         if decision.permits(requested) {
             return Ok(());
         }
@@ -259,7 +263,11 @@ impl SecurityModule for AppArmor {
         let Some(profile) = self.confining(ctx.pid) else {
             return Ok(());
         };
-        let decision = profile.rules().evaluate(exe.as_str());
+        let decision = if self.policy.dfa_matcher_enabled() {
+            profile.rules().evaluate_dfa(exe.as_str())
+        } else {
+            profile.rules().evaluate(exe.as_str())
+        };
         if decision.permits(FilePerms::EXEC) || profile.profile().mode == ProfileMode::Complain {
             Ok(())
         } else {

@@ -5,17 +5,62 @@
 //! SACK-enhanced AppArmor builds on: when the situation state transitions,
 //! the adaptive policy enforcer patches the affected profiles and the new
 //! compiled form is swapped in atomically.
+//!
+//! The whole profile table is published as one [`Rcu`] snapshot
+//! ([`ProfileTable`]): hook-side lookups are wait-free `Arc` reads, while
+//! load/replace/remove serialize on the `Rcu` writer lock and swap in a new
+//! table. All profiles of the table share a single byte-class
+//! [`Alphabet`]; a rule edit recompiles only the touched profile, and the
+//! shared alphabet is rebuilt (with a world recompile) only when the new
+//! rules actually split a byte class — both events are counted so tests can
+//! pin the incremental behaviour.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::Mutex;
+use sack_kernel::Rcu;
 
+use crate::dfa::Alphabet;
 use crate::matcher::CompiledRules;
 use crate::parser::{parse_profiles, ParseProfileError};
 use crate::profile::Profile;
+
+/// Diagnostic check name: a profile's unified DFA exceeded the state
+/// budget (pathological rule sets; enforcement still works but the table
+/// is large).
+pub const CHECK_PROFILE_DFA_BLOWUP: &str = "profile-dfa-state-blowup";
+
+/// Diagnostic check name: the same glob/perms/deny rule appears twice in
+/// one profile (harmless but usually a sign of a bad merge or a logprof
+/// promotion that re-added an existing rule).
+pub const CHECK_DUPLICATE_PATH_RULE: &str = "duplicate-path-rule";
+
+/// State budget for [`CHECK_PROFILE_DFA_BLOWUP`].
+pub const PROFILE_DFA_STATE_BUDGET: usize = 64 * 1024;
+
+/// A lint produced while compiling a profile into the database.
+///
+/// Every path that compiles a profile — `load`, `load_text`, `patch`, and
+/// therefore also `logprof` promotion — funnels through the same compile
+/// routine, so the diagnostics fire uniformly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadDiagnostic {
+    /// Name of the profile the diagnostic is about.
+    pub profile: String,
+    /// Stable check identifier (e.g. [`CHECK_DUPLICATE_PATH_RULE`]).
+    pub check: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LoadDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.profile, self.check, self.message)
+    }
+}
 
 /// A profile together with its compiled rule index.
 pub struct CompiledProfile {
@@ -24,9 +69,17 @@ pub struct CompiledProfile {
 }
 
 impl CompiledProfile {
-    /// Compiles a profile.
+    /// Compiles a profile against a private alphabet derived from its own
+    /// rules.
     pub fn compile(profile: Profile) -> CompiledProfile {
         let rules = CompiledRules::build(&profile.path_rules);
+        CompiledProfile { profile, rules }
+    }
+
+    /// Compiles a profile against a shared byte-class alphabet (the
+    /// namespace-wide table maintained by [`PolicyDb`]).
+    pub fn compile_with_alphabet(profile: Profile, alphabet: &Arc<Alphabet>) -> CompiledProfile {
+        let rules = CompiledRules::build_with_alphabet(&profile.path_rules, alphabet);
         CompiledProfile { profile, rules }
     }
 
@@ -65,11 +118,59 @@ impl fmt::Display for UnknownProfileError {
 
 impl std::error::Error for UnknownProfileError {}
 
+/// One immutable snapshot of the loaded-profile table.
+///
+/// Cloning is shallow (`Arc` handles), so the copy-on-write updates in
+/// [`PolicyDb`] cost O(profiles) pointer clones, not recompiles.
+#[derive(Clone)]
+pub struct ProfileTable {
+    profiles: HashMap<String, Arc<CompiledProfile>>,
+    alphabet: Arc<Alphabet>,
+}
+
+impl ProfileTable {
+    fn empty() -> ProfileTable {
+        ProfileTable {
+            profiles: HashMap::new(),
+            alphabet: Arc::new(Alphabet::minimal()),
+        }
+    }
+}
+
+impl fmt::Debug for ProfileTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProfileTable")
+            .field("profiles", &self.profiles.len())
+            .field("classes", &self.alphabet.class_count())
+            .finish()
+    }
+}
+
 /// The loaded-policy database.
-#[derive(Default)]
 pub struct PolicyDb {
-    profiles: RwLock<HashMap<String, Arc<CompiledProfile>>>,
+    table: Rcu<ProfileTable>,
     revision: AtomicU64,
+    /// Routes hook evaluation through the unified per-profile DFA; off, the
+    /// bucketed index scan serves as the differential-testing oracle.
+    dfa_enabled: AtomicBool,
+    /// Number of profile compiles performed (incremental-recompile pin).
+    profile_compiles: AtomicU64,
+    /// Number of shared-alphabet rebuilds (world recompiles).
+    alphabet_rebuilds: AtomicU64,
+    diagnostics: Mutex<Vec<LoadDiagnostic>>,
+}
+
+impl Default for PolicyDb {
+    fn default() -> Self {
+        PolicyDb {
+            table: Rcu::new(ProfileTable::empty()),
+            revision: AtomicU64::new(0),
+            dfa_enabled: AtomicBool::new(true),
+            profile_compiles: AtomicU64::new(0),
+            alphabet_rebuilds: AtomicU64::new(0),
+            diagnostics: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl PolicyDb {
@@ -78,16 +179,97 @@ impl PolicyDb {
         PolicyDb::default()
     }
 
-    /// Loads (or replaces) a profile.
-    pub fn load(&self, profile: Profile) -> Arc<CompiledProfile> {
-        let name = profile.name.clone();
-        let compiled = Arc::new(CompiledProfile::compile(profile));
-        self.profiles.write().insert(name, Arc::clone(&compiled));
-        self.revision.fetch_add(1, Ordering::Release);
-        compiled
+    /// Compiles `profile` into `table`, reusing the shared alphabet when
+    /// the new rules do not split any byte class and rebuilding it (plus a
+    /// world recompile) when they do. Returns the next table and the new
+    /// compiled handle.
+    fn install_many(
+        &self,
+        table: &ProfileTable,
+        incoming: Vec<Profile>,
+    ) -> (ProfileTable, Vec<Arc<CompiledProfile>>) {
+        let splits = table
+            .alphabet
+            .would_split(incoming.iter().flat_map(Profile::globs));
+        let (alphabet, mut profiles) = if splits {
+            // Some new rule separates bytes the current table merges:
+            // rebuild the namespace alphabet over everything and recompile
+            // the world against it. Profiles about to be replaced by
+            // `incoming` are skipped — their fresh form compiles below.
+            let replaced: HashSet<&str> = incoming.iter().map(|p| p.name.as_str()).collect();
+            let alphabet = Arc::new(Alphabet::for_globs(
+                table
+                    .profiles
+                    .values()
+                    .filter(|p| !replaced.contains(p.profile().name.as_str()))
+                    .flat_map(|p| p.profile().globs())
+                    .chain(incoming.iter().flat_map(Profile::globs)),
+            ));
+            self.alphabet_rebuilds.fetch_add(1, Ordering::Relaxed);
+            let profiles = table
+                .profiles
+                .iter()
+                .filter(|(name, _)| !replaced.contains(name.as_str()))
+                .map(|(name, p)| {
+                    self.profile_compiles.fetch_add(1, Ordering::Relaxed);
+                    let compiled =
+                        CompiledProfile::compile_with_alphabet(p.profile().clone(), &alphabet);
+                    (name.clone(), Arc::new(compiled))
+                })
+                .collect();
+            (alphabet, profiles)
+        } else {
+            (Arc::clone(&table.alphabet), table.profiles.clone())
+        };
+        let mut handles = Vec::with_capacity(incoming.len());
+        for profile in incoming {
+            self.lint(&profile);
+            self.profile_compiles.fetch_add(1, Ordering::Relaxed);
+            let compiled = Arc::new(CompiledProfile::compile_with_alphabet(profile, &alphabet));
+            let stats = compiled.rules().dfa_stats();
+            if stats.states > PROFILE_DFA_STATE_BUDGET {
+                self.diagnostics.lock().push(LoadDiagnostic {
+                    profile: compiled.profile().name.clone(),
+                    check: CHECK_PROFILE_DFA_BLOWUP,
+                    message: format!(
+                        "compiled DFA has {} states (budget {PROFILE_DFA_STATE_BUDGET})",
+                        stats.states
+                    ),
+                });
+            }
+            profiles.insert(compiled.profile().name.clone(), Arc::clone(&compiled));
+            handles.push(compiled);
+        }
+        (ProfileTable { profiles, alphabet }, handles)
     }
 
-    /// Parses profile-language text and loads every profile in it.
+    /// Source-level lints that do not need the compiled form.
+    fn lint(&self, profile: &Profile) {
+        let mut seen: HashSet<(String, u8, bool)> = HashSet::new();
+        for rule in &profile.path_rules {
+            let key = (rule.glob.to_string(), rule.perms.bits(), rule.deny);
+            if !seen.insert(key) {
+                self.diagnostics.lock().push(LoadDiagnostic {
+                    profile: profile.name.clone(),
+                    check: CHECK_DUPLICATE_PATH_RULE,
+                    message: format!("rule `{}` appears more than once", rule.glob),
+                });
+            }
+        }
+    }
+
+    /// Loads (or replaces) a profile.
+    pub fn load(&self, profile: Profile) -> Arc<CompiledProfile> {
+        let handle = self.table.update(|table| {
+            let (next, mut handles) = self.install_many(table, vec![profile]);
+            (next, handles.pop().expect("one profile installed"))
+        });
+        self.revision.fetch_add(1, Ordering::Release);
+        handle
+    }
+
+    /// Parses profile-language text and loads every profile in it as one
+    /// atomic table swap (one alphabet check for the whole bundle).
     ///
     /// # Errors
     ///
@@ -95,30 +277,44 @@ impl PolicyDb {
     pub fn load_text(&self, text: &str) -> Result<usize, ParseProfileError> {
         let profiles = parse_profiles(text)?;
         let n = profiles.len();
-        for p in profiles {
-            self.load(p);
+        if n > 0 {
+            self.table
+                .update(|table| (self.install_many(table, profiles).0, ()));
+            self.revision.fetch_add(1, Ordering::Release);
         }
         Ok(n)
     }
 
     /// Removes a profile; returns whether it existed.
+    ///
+    /// The shared alphabet is *not* rebuilt on remove: a finer-than-needed
+    /// partition stays correct for every remaining profile, so removal is
+    /// always a cheap copy-on-write of the name map.
     pub fn remove(&self, name: &str) -> bool {
-        let removed = self.profiles.write().remove(name).is_some();
+        let removed = self.table.update(|table| {
+            if !table.profiles.contains_key(name) {
+                return (table.clone(), false);
+            }
+            let mut next = table.clone();
+            next.profiles.remove(name);
+            (next, true)
+        });
         if removed {
             self.revision.fetch_add(1, Ordering::Release);
         }
         removed
     }
 
-    /// Looks up a compiled profile by name.
+    /// Looks up a compiled profile by name (wait-free snapshot read).
     pub fn get(&self, name: &str) -> Option<Arc<CompiledProfile>> {
-        self.profiles.read().get(name).cloned()
+        self.table.read().profiles.get(name).cloned()
     }
 
     /// Finds the profile attached to executables at `exe_path`.
     pub fn find_by_attachment(&self, exe_path: &str) -> Option<Arc<CompiledProfile>> {
-        self.profiles
+        self.table
             .read()
+            .profiles
             .values()
             .find(|p| p.profile().attaches_to(exe_path))
             .cloned()
@@ -126,6 +322,12 @@ impl PolicyDb {
 
     /// Applies `patch` to the named profile and atomically swaps in the
     /// recompiled result. This models `apparmor_parser -r`.
+    ///
+    /// Only the patched profile is recompiled (the shared alphabet is
+    /// rebuilt only if the edit splits a byte class), and a patch that
+    /// leaves the profile unchanged returns the existing handle without
+    /// recompiling or bumping the revision — retract loops over unaffected
+    /// profiles cost a comparison, not a compile.
     ///
     /// # Errors
     ///
@@ -138,38 +340,96 @@ impl PolicyDb {
     where
         F: FnOnce(&mut Profile),
     {
-        let mut profiles = self.profiles.write();
-        let current = profiles.get(name).ok_or_else(|| UnknownProfileError {
-            name: name.to_string(),
-        })?;
-        let mut profile = current.profile().clone();
-        patch(&mut profile);
-        let compiled = Arc::new(CompiledProfile::compile(profile));
-        profiles.insert(name.to_string(), Arc::clone(&compiled));
-        self.revision.fetch_add(1, Ordering::Release);
-        Ok(compiled)
+        enum Outcome {
+            Installed(Arc<CompiledProfile>),
+            Unchanged(Arc<CompiledProfile>),
+            Missing,
+        }
+        let outcome = self.table.update(|table| {
+            let Some(current) = table.profiles.get(name) else {
+                return (table.clone(), Outcome::Missing);
+            };
+            let mut profile = current.profile().clone();
+            patch(&mut profile);
+            if profile == *current.profile() {
+                return (table.clone(), Outcome::Unchanged(Arc::clone(current)));
+            }
+            let (next, mut handles) = self.install_many(table, vec![profile]);
+            (
+                next,
+                Outcome::Installed(handles.pop().expect("one profile installed")),
+            )
+        });
+        match outcome {
+            Outcome::Installed(handle) => {
+                self.revision.fetch_add(1, Ordering::Release);
+                Ok(handle)
+            }
+            Outcome::Unchanged(handle) => Ok(handle),
+            Outcome::Missing => Err(UnknownProfileError {
+                name: name.to_string(),
+            }),
+        }
     }
 
-    /// Monotonic policy revision; bumps on every load/remove/patch.
+    /// Monotonic policy revision; bumps on every effective load/remove/
+    /// patch (a no-op patch does not count). The table is always published
+    /// before the revision moves, mirroring the publish-before-bump
+    /// ordering of SACK's `ActivePolicy` swap.
     pub fn revision(&self) -> u64 {
         self.revision.load(Ordering::Acquire)
     }
 
     /// Names of loaded profiles (sorted).
     pub fn profile_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.profiles.read().keys().cloned().collect();
+        let mut names: Vec<String> = self.table.read().profiles.keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Number of loaded profiles.
     pub fn len(&self) -> usize {
-        self.profiles.read().len()
+        self.table.read().profiles.len()
     }
 
     /// True if no profiles are loaded.
     pub fn is_empty(&self) -> bool {
-        self.profiles.read().is_empty()
+        self.table.read().profiles.is_empty()
+    }
+
+    /// The shared byte-class alphabet of the current table snapshot.
+    pub fn alphabet(&self) -> Arc<Alphabet> {
+        Arc::clone(&self.table.read().alphabet)
+    }
+
+    /// Routes hook evaluation through the per-profile DFA (`true`, the
+    /// default) or the legacy bucketed scan (`false`) — the differential-
+    /// testing oracle switch.
+    pub fn set_dfa_matcher_enabled(&self, enabled: bool) {
+        self.dfa_enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// True if hooks evaluate through the per-profile DFA.
+    pub fn dfa_matcher_enabled(&self) -> bool {
+        self.dfa_enabled.load(Ordering::SeqCst)
+    }
+
+    /// Total profile compiles since creation. Incremental recompilation is
+    /// pinned by this counter: a single-profile edit moves it by exactly
+    /// one unless the shared alphabet had to be rebuilt.
+    pub fn compile_count(&self) -> u64 {
+        self.profile_compiles.load(Ordering::Relaxed)
+    }
+
+    /// Number of shared-alphabet rebuilds (each implies a world recompile).
+    pub fn alphabet_rebuild_count(&self) -> u64 {
+        self.alphabet_rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Drains the accumulated load diagnostics (lints fire on every
+    /// compile path, including `logprof` promotions).
+    pub fn take_load_diagnostics(&self) -> Vec<LoadDiagnostic> {
+        std::mem::take(&mut *self.diagnostics.lock())
     }
 }
 
@@ -270,5 +530,155 @@ mod tests {
             .rules()
             .evaluate("/old")
             .permits(FilePerms::READ));
+    }
+
+    #[test]
+    fn profiles_share_one_alphabet() {
+        let db = PolicyDb::new();
+        db.load_text(
+            "profile x { /dev/car/* rw, }\n\
+             profile y { /sys/kernel/** r, }\n\
+             profile z { /tmp/[a-z]* w, }",
+        )
+        .unwrap();
+        let shared = db.alphabet();
+        for name in db.profile_names() {
+            let compiled = db.get(&name).unwrap();
+            assert!(
+                Arc::ptr_eq(compiled.rules().alphabet(), &shared),
+                "profile {name} compiled against a private alphabet"
+            );
+        }
+    }
+
+    #[test]
+    fn patch_without_class_split_recompiles_only_touched_profile() {
+        let db = PolicyDb::new();
+        db.load_text("profile x { /dev/car/* rw, }\nprofile y { /dev/can0 r, }")
+            .unwrap();
+        let untouched = db.get("y").unwrap();
+        let compiles = db.compile_count();
+        let rebuilds = db.alphabet_rebuild_count();
+        // `/dev/racecar` reuses only bytes the alphabet already separates
+        // (`r a c e` all occur in the loaded rules), so no class splits.
+        db.patch("x", |p| {
+            p.path_rules
+                .push(PathRule::allow("/dev/racecar", FilePerms::READ).unwrap());
+        })
+        .unwrap();
+        assert_eq!(db.alphabet_rebuild_count(), rebuilds, "no class split");
+        assert_eq!(db.compile_count(), compiles + 1, "only `x` recompiled");
+        assert!(
+            Arc::ptr_eq(&db.get("y").unwrap(), &untouched),
+            "untouched profile was rebuilt"
+        );
+    }
+
+    #[test]
+    fn class_splitting_patch_rebuilds_alphabet_and_world() {
+        let db = PolicyDb::new();
+        db.load_text("profile x { /dev/car/* rw, }\nprofile y { /dev/can0 r, }")
+            .unwrap();
+        let compiles = db.compile_count();
+        let rebuilds = db.alphabet_rebuild_count();
+        // `%` is not a byte any loaded rule discriminates; it must split
+        // the catch-all class and trigger a world recompile.
+        db.patch("x", |p| {
+            p.path_rules
+                .push(PathRule::allow("/dev/c%r", FilePerms::READ).unwrap());
+        })
+        .unwrap();
+        assert_eq!(db.alphabet_rebuild_count(), rebuilds + 1);
+        // The untouched profile recompiled once, plus the patched one.
+        assert_eq!(db.compile_count(), compiles + 2);
+        let shared = db.alphabet();
+        for name in db.profile_names() {
+            assert!(Arc::ptr_eq(
+                db.get(&name).unwrap().rules().alphabet(),
+                &shared
+            ));
+        }
+    }
+
+    #[test]
+    fn noop_patch_skips_recompile_and_revision() {
+        let db = PolicyDb::new();
+        db.load(Profile::new("d").with_rule(PathRule::allow("/a", FilePerms::READ).unwrap()));
+        let before = db.get("d").unwrap();
+        let r0 = db.revision();
+        let compiles = db.compile_count();
+        let handle = db
+            .patch("d", |p| {
+                p.remove_rules_with_origin("sack");
+            })
+            .unwrap();
+        assert!(Arc::ptr_eq(&handle, &before), "handle must be reused");
+        assert_eq!(db.revision(), r0, "no-op patch must not bump revision");
+        assert_eq!(db.compile_count(), compiles);
+    }
+
+    #[test]
+    fn remove_keeps_finer_alphabet_without_rebuild() {
+        let db = PolicyDb::new();
+        db.load_text("profile x { /dev/car/* rw, }\nprofile y { /sys/** r, }")
+            .unwrap();
+        let rebuilds = db.alphabet_rebuild_count();
+        let alphabet = db.alphabet();
+        assert!(db.remove("x"));
+        assert_eq!(db.alphabet_rebuild_count(), rebuilds);
+        assert!(Arc::ptr_eq(&db.alphabet(), &alphabet));
+        // The remaining profile still decides correctly on the finer table.
+        assert!(db
+            .get("y")
+            .unwrap()
+            .rules()
+            .evaluate_dfa("/sys/kernel")
+            .permits(FilePerms::READ));
+    }
+
+    #[test]
+    fn dfa_matcher_toggle_defaults_on() {
+        let db = PolicyDb::new();
+        assert!(db.dfa_matcher_enabled());
+        db.set_dfa_matcher_enabled(false);
+        assert!(!db.dfa_matcher_enabled());
+    }
+
+    #[test]
+    fn duplicate_rule_lint_fires_on_every_compile_path() {
+        let db = PolicyDb::new();
+        db.load(
+            Profile::new("d")
+                .with_rule(PathRule::allow("/a", FilePerms::READ).unwrap())
+                .with_rule(PathRule::allow("/a", FilePerms::READ).unwrap()),
+        );
+        let diags = db.take_load_diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].check, CHECK_DUPLICATE_PATH_RULE);
+        assert_eq!(diags[0].profile, "d");
+        assert!(db.take_load_diagnostics().is_empty(), "drained");
+        // The same lint fires through patch (the logprof promotion path).
+        db.patch("d", |p| {
+            p.path_rules
+                .push(PathRule::allow("/b", FilePerms::WRITE).unwrap());
+        })
+        .unwrap();
+        let diags = db.take_load_diagnostics();
+        assert_eq!(diags.len(), 1, "duplicate survived the patch: {diags:?}");
+    }
+
+    #[test]
+    fn bulk_load_checks_alphabet_once() {
+        let db = PolicyDb::new();
+        db.load_text(
+            "profile a { /x/[0-9]* r, }\n\
+             profile b { /y/{u,v}w w, }\n\
+             profile c { /z/?q rw, }",
+        )
+        .unwrap();
+        // The initial bundle needs at most one rebuild regardless of how
+        // many profiles introduce new byte classes.
+        assert!(db.alphabet_rebuild_count() <= 1);
+        assert_eq!(db.compile_count(), 3);
     }
 }

@@ -225,7 +225,11 @@ impl fmt::Display for ProfileMode {
 }
 
 /// A security profile: a named domain with its rules.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full source form (rules including origin tags,
+/// capabilities, networks, mode, attachment); the `PolicyDb` uses it to
+/// turn patches that change nothing into no-ops.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
     /// Profile name.
     pub name: String,
@@ -294,6 +298,12 @@ impl Profile {
         self.attachment
             .as_ref()
             .is_some_and(|g| g.matches(exe_path))
+    }
+
+    /// The globs of every path rule, in declaration order — the byte
+    /// vocabulary a shared DFA alphabet must cover for this profile.
+    pub fn globs(&self) -> impl Iterator<Item = &Glob> {
+        self.path_rules.iter().map(|r| &r.glob)
     }
 
     /// Removes every rule tagged with `origin`; returns how many were

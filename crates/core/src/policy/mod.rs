@@ -254,15 +254,24 @@ impl SackPolicy {
         // Unified per-state DFA tables: every state's rules plus the
         // whole policy's object globs (the protected-set markers) merged
         // into one minimized matcher, rebuilt from scratch at every
-        // compile so a reload can never serve stale tables.
+        // compile so a reload can never serve stale tables. All states
+        // share one byte-class alphabet: the marker set already spans every
+        // object glob of the policy, so the union partition fits each state
+        // exactly and the 256-byte class table is built once, not per state.
+        let shared_alphabet = Arc::new(sack_apparmor::dfa::Alphabet::for_globs(
+            perm_rules
+                .iter()
+                .flat_map(|rules| rules.iter().map(|r| &r.object)),
+        ));
         let state_dfas: Vec<Arc<StateDfa>> = state_perms
             .iter()
             .map(|perms| {
-                Arc::new(StateDfa::build(
+                Arc::new(StateDfa::build_with_alphabet(
                     perms.iter().flat_map(|pid| perm_rules[pid.0].iter()),
                     perm_rules
                         .iter()
                         .flat_map(|rules| rules.iter().map(|r| &r.object)),
+                    &shared_alphabet,
                 ))
             })
             .collect();
@@ -436,6 +445,19 @@ mod tests {
         assert_eq!(compiled.permissions().len(), 2);
         assert_eq!(compiled.rule_count(), 2);
         assert_eq!(compiled.space().state(compiled.initial()).name, "normal");
+    }
+
+    #[test]
+    fn state_dfas_share_one_alphabet() {
+        let compiled = SackPolicy::parse(DOOR_POLICY).unwrap().compile().unwrap();
+        assert!(compiled.space().state_count() > 1);
+        let first = compiled.state_dfa(StateId(0)).alphabet();
+        for index in 1..compiled.space().state_count() {
+            assert!(
+                Arc::ptr_eq(compiled.state_dfa(StateId(index)).alphabet(), first),
+                "state {index} compiled against a private alphabet"
+            );
+        }
     }
 
     #[test]

@@ -296,8 +296,22 @@ impl Sack {
     /// back to the O(rules) protected-set + rule-scan pipeline; decisions
     /// are identical either way (the scan is the DFA's differential
     /// oracle), only the cost changes. Used by the ablation benchmarks.
+    ///
+    /// The switch governs the whole stacked path: any enhanced or oracle
+    /// AppArmor layer wired to this instance has its `PolicyDb` profile
+    /// DFAs toggled in the same call, so a differential run compares pure
+    /// DFA stacks against pure scan stacks.
     pub fn set_dfa_matcher_enabled(&self, enabled: bool) {
         self.dfa_enabled.store(enabled, Ordering::SeqCst);
+        if let Some(enhancer) = &self.enhancer {
+            enhancer
+                .apparmor()
+                .policy()
+                .set_dfa_matcher_enabled(enabled);
+        }
+        if let Some(oracle) = (*self.profile_oracle.read()).as_ref() {
+            oracle.policy().set_dfa_matcher_enabled(enabled);
+        }
     }
 
     /// True if the unified DFA matcher is enabled.

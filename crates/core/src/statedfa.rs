@@ -20,7 +20,9 @@
 //! transition swaps them atomically together with the rule sets
 //! (see `DESIGN.md` §7).
 
-use sack_apparmor::dfa::{Dfa, DfaBuilder, DfaStats};
+use std::sync::Arc;
+
+use sack_apparmor::dfa::{Alphabet, Dfa, DfaBuilder, DfaStats};
 use sack_apparmor::matcher::RuleDecision;
 use sack_apparmor::Glob;
 
@@ -60,10 +62,31 @@ pub struct StateDfa {
 
 impl StateDfa {
     /// Compiles the table from this state's active rules plus every object
-    /// glob in the policy (the protected-set markers).
+    /// glob in the policy (the protected-set markers), deriving a private
+    /// byte-class alphabet.
     pub fn build<'a>(
         rules: impl IntoIterator<Item = &'a MacRule>,
         all_globs: impl IntoIterator<Item = &'a Glob>,
+    ) -> StateDfa {
+        Self::build_inner(rules, all_globs, None)
+    }
+
+    /// [`StateDfa::build`] against a shared byte-class alphabet. Since
+    /// every state's marker set spans the whole policy's object globs, one
+    /// alphabet built from those globs fits all states exactly;
+    /// `SackPolicy::compile` builds it once and shares the table.
+    pub fn build_with_alphabet<'a>(
+        rules: impl IntoIterator<Item = &'a MacRule>,
+        all_globs: impl IntoIterator<Item = &'a Glob>,
+        alphabet: &Arc<Alphabet>,
+    ) -> StateDfa {
+        Self::build_inner(rules, all_globs, Some(alphabet))
+    }
+
+    fn build_inner<'a>(
+        rules: impl IntoIterator<Item = &'a MacRule>,
+        all_globs: impl IntoIterator<Item = &'a Glob>,
+        alphabet: Option<&Arc<Alphabet>>,
     ) -> StateDfa {
         let mut builder = DfaBuilder::new();
         let mut folded: Vec<&MacRule> = Vec::new();
@@ -83,7 +106,15 @@ impl StateDfa {
         for glob in all_globs {
             builder.add_glob(glob, MARKER);
         }
-        let dfa = builder.build(|tags| {
+        let shared;
+        let alphabet = match alphabet {
+            Some(alphabet) => alphabet,
+            None => {
+                shared = Arc::new(builder.alphabet());
+                &shared
+            }
+        };
+        let dfa = builder.build_with_alphabet(alphabet, |tags| {
             let mut annot = StateAnnot {
                 protected: !tags.is_empty(),
                 decision: RuleDecision::default(),
@@ -171,6 +202,12 @@ impl StateDfa {
     /// Size statistics of the compiled table, surfaced by `sack-analyze`.
     pub fn stats(&self) -> DfaStats {
         self.dfa.stats()
+    }
+
+    /// The byte-class alphabet the table was compiled against (shared
+    /// across all states of one compiled policy).
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        self.dfa.alphabet()
     }
 
     /// Number of subject-scoped rules left to the residual scan.

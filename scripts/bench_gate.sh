@@ -12,6 +12,13 @@
 #   * the DFA cold path degrades by more than MAX_DFA_DEGRADATION x
 #     between the 100-rule and 10k-rule policies (O(|path|) flatness).
 #
+# Also runs the AppArmor profile-table bench and fails if:
+#   * the compiled profile DFA is not at least MIN_AA_DFA_SPEEDUP x
+#     faster than the legacy scan on a 1000-rule profile;
+#   * an incremental single-profile recompile is not at least
+#     MIN_INCR_RECOMPILE_SPEEDUP x faster than a full 100-profile
+#     table rebuild.
+#
 # Usage: scripts/bench_gate.sh [--full]
 #   --full  drop --quick and use criterion's full sample counts.
 
@@ -23,6 +30,8 @@ MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
 MIN_HIT_RATE="${MIN_HIT_RATE:-0.95}"
 MIN_DFA_SPEEDUP="${MIN_DFA_SPEEDUP:-3.0}"
 MAX_DFA_DEGRADATION="${MAX_DFA_DEGRADATION:-1.5}"
+MIN_AA_DFA_SPEEDUP="${MIN_AA_DFA_SPEEDUP:-3.0}"
+MIN_INCR_RECOMPILE_SPEEDUP="${MIN_INCR_RECOMPILE_SPEEDUP:-10.0}"
 OUT_JSON="${OUT_JSON:-BENCH_hook_latency.json}"
 
 QUICK="--quick"
@@ -32,7 +41,8 @@ fi
 
 TMP_JSON="$(mktemp)"
 TMP_LOG="$(mktemp)"
-trap 'rm -f "$TMP_JSON" "$TMP_LOG"' EXIT
+TMP_JSON_PT="$(mktemp)"
+trap 'rm -f "$TMP_JSON" "$TMP_LOG" "$TMP_JSON_PT"' EXIT
 
 echo "== bench_gate: running ablation_decision_cache ${QUICK:+(quick mode)}" >&2
 BENCH_JSON_OUT="$TMP_JSON" \
@@ -57,8 +67,24 @@ SCAN_1K="$(median_of 'sweep1000rules/uncached-scan')"
 DFA_10K="$(median_of 'sweep10000rules/uncached-dfa')"
 SCAN_10K="$(median_of 'sweep10000rules/uncached-scan')"
 
+# The shim truncates BENCH_JSON_OUT per run, so the profile-table bench
+# gets its own capture file.
+echo "== bench_gate: running apparmor_profile_table ${QUICK:+(quick mode)}" >&2
+BENCH_JSON_OUT="$TMP_JSON_PT" \
+    cargo bench --offline -p sack-bench --bench apparmor_profile_table -- $QUICK
+
+median_of_pt() {
+    grep -F "$1" "$TMP_JSON_PT" | sed -n 's/.*"median_ns": \([0-9.]*\).*/\1/p' | head -1
+}
+
+AA_DFA="$(median_of_pt 'profile_table_1000rules/dfa')"
+AA_SCAN="$(median_of_pt 'profile_table_1000rules/scan')"
+RECOMPILE_INCR="$(median_of_pt 'recompile_100profiles/incremental')"
+RECOMPILE_FULL="$(median_of_pt 'recompile_100profiles/full')"
+
 for v in WARM_SINGLE DFA_SINGLE SCAN_SINGLE WARM_WSET SCAN_WSET HIT_RATE \
-         DFA_100 SCAN_100 DFA_1K SCAN_1K DFA_10K SCAN_10K; do
+         DFA_100 SCAN_100 DFA_1K SCAN_1K DFA_10K SCAN_10K \
+         AA_DFA AA_SCAN RECOMPILE_INCR RECOMPILE_FULL; do
     if [[ -z "${!v}" ]]; then
         echo "bench_gate: FAILED to extract $v from benchmark output" >&2
         exit 1
@@ -69,6 +95,8 @@ SPEEDUP_SINGLE="$(awk -v a="$SCAN_SINGLE" -v b="$WARM_SINGLE" 'BEGIN { printf "%
 SPEEDUP_WSET="$(awk -v a="$SCAN_WSET" -v b="$WARM_WSET" 'BEGIN { printf "%.2f", a / b }')"
 DFA_SPEEDUP_1K="$(awk -v a="$SCAN_1K" -v b="$DFA_1K" 'BEGIN { printf "%.2f", a / b }')"
 DFA_DEGRADATION="$(awk -v a="$DFA_10K" -v b="$DFA_100" 'BEGIN { printf "%.2f", a / b }')"
+AA_DFA_SPEEDUP="$(awk -v a="$AA_SCAN" -v b="$AA_DFA" 'BEGIN { printf "%.2f", a / b }')"
+INCR_SPEEDUP="$(awk -v a="$RECOMPILE_FULL" -v b="$RECOMPILE_INCR" 'BEGIN { printf "%.2f", a / b }')"
 
 cat > "$OUT_JSON" <<EOF
 {
@@ -93,11 +121,23 @@ cat > "$OUT_JSON" <<EOF
     "dfa_speedup_1k": $DFA_SPEEDUP_1K,
     "dfa_degradation_100_to_10k": $DFA_DEGRADATION
   },
+  "apparmor_profile_table": {
+    "profile_rules": 1000,
+    "dfa_median_ns": $AA_DFA,
+    "scan_median_ns": $AA_SCAN,
+    "dfa_speedup": $AA_DFA_SPEEDUP,
+    "table_profiles": 100,
+    "incremental_recompile_median_ns": $RECOMPILE_INCR,
+    "full_rebuild_median_ns": $RECOMPILE_FULL,
+    "incremental_speedup": $INCR_SPEEDUP
+  },
   "gate": {
     "min_speedup": $MIN_SPEEDUP,
     "min_hit_rate": $MIN_HIT_RATE,
     "min_dfa_speedup_1k": $MIN_DFA_SPEEDUP,
-    "max_dfa_degradation": $MAX_DFA_DEGRADATION
+    "max_dfa_degradation": $MAX_DFA_DEGRADATION,
+    "min_aa_dfa_speedup": $MIN_AA_DFA_SPEEDUP,
+    "min_incr_recompile_speedup": $MIN_INCR_RECOMPILE_SPEEDUP
   }
 }
 EOF
@@ -108,6 +148,8 @@ echo "   working-set speedup:  ${SPEEDUP_WSET}x (warm $WARM_WSET ns vs scan $SCA
 echo "   working-set hit rate: $HIT_RATE" >&2
 echo "   DFA vs scan @1k:      ${DFA_SPEEDUP_1K}x (dfa $DFA_1K ns vs scan $SCAN_1K ns)" >&2
 echo "   DFA 100 -> 10k:       ${DFA_DEGRADATION}x (dfa $DFA_100 ns -> $DFA_10K ns)" >&2
+echo "   profile DFA @1k:      ${AA_DFA_SPEEDUP}x (dfa $AA_DFA ns vs scan $AA_SCAN ns)" >&2
+echo "   incr recompile @100:  ${INCR_SPEEDUP}x (incr $RECOMPILE_INCR ns vs full $RECOMPILE_FULL ns)" >&2
 
 fail=0
 if awk -v s="$SPEEDUP_SINGLE" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
@@ -128,6 +170,14 @@ if awk -v s="$DFA_SPEEDUP_1K" -v m="$MIN_DFA_SPEEDUP" 'BEGIN { exit !(s < m) }';
 fi
 if awk -v d="$DFA_DEGRADATION" -v m="$MAX_DFA_DEGRADATION" 'BEGIN { exit !(d > m) }'; then
     echo "bench_gate: FAIL — DFA cold path degrades ${DFA_DEGRADATION}x from 100 to 10k rules (max ${MAX_DFA_DEGRADATION}x)" >&2
+    fail=1
+fi
+if awk -v s="$AA_DFA_SPEEDUP" -v m="$MIN_AA_DFA_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
+    echo "bench_gate: FAIL — profile DFA speedup ${AA_DFA_SPEEDUP}x < required ${MIN_AA_DFA_SPEEDUP}x at 1k rules" >&2
+    fail=1
+fi
+if awk -v s="$INCR_SPEEDUP" -v m="$MIN_INCR_RECOMPILE_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
+    echo "bench_gate: FAIL — incremental recompile speedup ${INCR_SPEEDUP}x < required ${MIN_INCR_RECOMPILE_SPEEDUP}x on a 100-profile table" >&2
     fail=1
 fi
 

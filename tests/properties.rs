@@ -8,12 +8,13 @@
 //! sequence keeps failures reproducible by case index.
 
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use sack_suite::prop::{self, Rng};
 
 use sack_apparmor::glob::Glob;
-use sack_apparmor::profile::{FilePerms, PathRule};
-use sack_apparmor::{CompiledRules, DfaBuilder};
+use sack_apparmor::profile::{FilePerms, PathRule, Profile};
+use sack_apparmor::{AppArmor, CompiledRules, DfaBuilder, PolicyDb};
 use sack_core::rules::{MacRule, ProtectedSet, StateRuleSet, SubjectCtx};
 use sack_core::situation::StateSpace;
 use sack_core::ssm::{Ssm, TransitionRule};
@@ -739,6 +740,244 @@ fn vehicle_profiles_dfa_index_and_scan_agree() {
             );
         });
     }
+}
+
+/// A random [`PathRule`] over the rich pattern vocabulary.
+fn random_path_rule(rng: &mut Rng) -> Option<PathRule> {
+    let pat = rich_pattern(rng);
+    let perms = {
+        let p = perms_from_bits(rng.range(1, 64) as u8);
+        if p.is_empty() {
+            FilePerms::READ
+        } else {
+            p
+        }
+    };
+    if rng.bool() {
+        PathRule::deny(&pat, perms).ok()
+    } else {
+        PathRule::allow(&pat, perms).ok()
+    }
+}
+
+/// Differential over the `PolicyDb` load path: profiles compiled through
+/// the database — i.e. against the *namespace-shared* byte-class alphabet
+/// rather than a private one — must still agree with the naive scan and
+/// the bucketed index on every probe, and every profile's matcher must
+/// literally share the database's alphabet (`Arc` identity, not just
+/// equal classes).
+#[test]
+fn policy_db_profiles_share_the_alphabet_and_agree_with_scan() {
+    prop::check(|rng| {
+        let db = PolicyDb::new();
+        let n_profiles = rng.range(1, 5);
+        for i in 0..n_profiles {
+            let mut profile = Profile::new(format!("p{i}"));
+            for _ in 0..rng.below(8) {
+                if let Some(rule) = random_path_rule(rng) {
+                    profile.path_rules.push(rule);
+                }
+            }
+            db.load(profile);
+        }
+        let alphabet = db.alphabet();
+        for name in db.profile_names() {
+            let compiled = db.get(&name).unwrap();
+            assert!(
+                Arc::ptr_eq(compiled.rules().alphabet(), &alphabet),
+                "profile {name} compiled against a private alphabet"
+            );
+            for _ in 0..3 {
+                let path = rich_path(rng);
+                let scan = compiled.rules().evaluate_scan(&path);
+                assert_eq!(
+                    compiled.rules().evaluate(&path),
+                    scan,
+                    "profile {name} index diverged on `{path}`"
+                );
+                assert_eq!(
+                    compiled.rules().evaluate_dfa(&path),
+                    scan,
+                    "profile {name} DFA diverged on `{path}`"
+                );
+            }
+        }
+    });
+}
+
+/// The shipped AppArmor bundle loaded through the real `PolicyDb` text
+/// path: shared-alphabet compilation must not change a single verdict
+/// relative to the naive scan, on vehicle-shaped and noise paths alike.
+#[test]
+fn vehicle_bundle_through_policy_db_agrees_with_scan() {
+    let db = PolicyDb::new();
+    let loaded = db.load_text(VEHICLE_APPARMOR_PROFILES).unwrap();
+    assert!(loaded > 0);
+    let alphabet = db.alphabet();
+    prop::check(|rng| {
+        let path = vehicle_path(rng);
+        for name in db.profile_names() {
+            let compiled = db.get(&name).unwrap();
+            assert!(Arc::ptr_eq(compiled.rules().alphabet(), &alphabet));
+            let scan = compiled.rules().evaluate_scan(&path);
+            assert_eq!(
+                compiled.rules().evaluate_dfa(&path),
+                scan,
+                "profile {name} DFA diverged on `{path}`"
+            );
+            assert_eq!(
+                compiled.rules().evaluate(&path),
+                scan,
+                "profile {name} index diverged on `{path}`"
+            );
+        }
+    });
+}
+
+/// The end-to-end stacked verdict — SACK's situation gate plus the
+/// AppArmor profile hook, sharing one `Sack::set_dfa_matcher_enabled`
+/// switch — must be bit-identical with the DFA matchers on and off,
+/// across random situation walks, subjects, paths, and access masks.
+/// The decision cache is disabled so every probe reaches the matchers.
+#[test]
+#[allow(clippy::explicit_auto_deref)] // same inference false positive
+fn stacked_sack_apparmor_verdict_is_identical_with_dfa_on_and_off() {
+    let sack = Sack::independent(VEHICLE_SACK_POLICY).unwrap();
+    let db = Arc::new(PolicyDb::new());
+    db.load_text(VEHICLE_APPARMOR_PROFILES).unwrap();
+    let apparmor = AppArmor::new(Arc::clone(&db));
+    sack.set_profile_oracle(Arc::clone(&apparmor));
+    sack.set_decision_cache_enabled(false);
+    let confined = Pid(9);
+    apparmor.set_profile(confined, "media_app").unwrap();
+    let unconfined = Pid(10);
+    prop::check(|rng| {
+        let event = *rng.pick(&[
+            "crash",
+            "park",
+            "start_driving",
+            "driver_left",
+            "driver_entered",
+            "emergency_resolved",
+        ]);
+        let _ = sack.deliver_event(event, std::time::Duration::ZERO);
+        let pid = if rng.bool() { confined } else { unconfined };
+        let ctx = HookCtx::new(
+            pid,
+            Credentials::user(1000, 1000),
+            Some(KPath::new(*rng.pick(&["/usr/bin/media_app", "/usr/bin/rescue_daemon"])).unwrap()),
+        );
+        let path = KPath::new(&vehicle_path(rng)).unwrap();
+        let obj = ObjectRef::regular(&path);
+        let mask = *rng.pick(&[
+            AccessMask::READ,
+            AccessMask::WRITE,
+            AccessMask::EXEC,
+            AccessMask::APPEND,
+        ]);
+        let verdict = |dfa: bool| {
+            sack.set_dfa_matcher_enabled(dfa);
+            (
+                sack.file_open(&ctx, &obj, mask).is_ok(),
+                apparmor.file_open(&ctx, &obj, mask).is_ok(),
+            )
+        };
+        let with_dfa = verdict(true);
+        let with_scan = verdict(false);
+        assert_eq!(
+            with_dfa,
+            with_scan,
+            "stacked verdict diverged in state `{}` for pid={pid:?} \
+             path=`{path}` mask={mask:?}",
+            sack.current_state_name()
+        );
+    });
+}
+
+/// Incremental recompilation differential: after every random edit the
+/// whole table still agrees with the naive scan, the edited profile is
+/// the *only* one recompiled unless the edit genuinely split a byte
+/// class (checked via the database's own counters), and untouched
+/// profiles keep their exact `Arc` — the compiler never even looked at
+/// them.
+#[test]
+fn incremental_recompile_preserves_equivalence_and_pins_untouched_profiles() {
+    prop::check(|rng| {
+        let db = PolicyDb::new();
+        let n_profiles = rng.range(2, 5);
+        for i in 0..n_profiles {
+            let mut profile = Profile::new(format!("p{i}"));
+            for _ in 0..rng.range(1, 6) {
+                if let Some(rule) = random_path_rule(rng) {
+                    profile.path_rules.push(rule);
+                }
+            }
+            db.load(profile);
+        }
+        for _ in 0..rng.range(1, 5) {
+            let target = format!("p{}", rng.below(n_profiles));
+            let before: Vec<(String, Arc<sack_apparmor::CompiledProfile>)> = db
+                .profile_names()
+                .into_iter()
+                .map(|name| {
+                    let compiled = db.get(&name).unwrap();
+                    (name, compiled)
+                })
+                .collect();
+            let compiles_before = db.compile_count();
+            let rebuilds_before = db.alphabet_rebuild_count();
+            let push = rng.bool();
+            let new_rule = random_path_rule(rng);
+            db.patch(&target, |p| {
+                if push || p.path_rules.is_empty() {
+                    if let Some(rule) = new_rule.clone() {
+                        p.path_rules.push(rule);
+                    }
+                } else {
+                    p.path_rules.pop();
+                }
+            })
+            .unwrap();
+            let changed = db.compile_count() > compiles_before;
+            let rebuilt = db.alphabet_rebuild_count() > rebuilds_before;
+            if changed {
+                let expected = if rebuilt { n_profiles as u64 } else { 1 };
+                assert_eq!(
+                    db.compile_count() - compiles_before,
+                    expected,
+                    "a single-profile edit must recompile only that profile \
+                     (or the world exactly once on a genuine class split)"
+                );
+            }
+            if !rebuilt {
+                for (name, old) in &before {
+                    if *name != target {
+                        assert!(
+                            Arc::ptr_eq(old, &db.get(name).unwrap()),
+                            "untouched profile {name} was rebuilt"
+                        );
+                    }
+                }
+            }
+            let alphabet = db.alphabet();
+            for name in db.profile_names() {
+                let compiled = db.get(&name).unwrap();
+                assert!(
+                    Arc::ptr_eq(compiled.rules().alphabet(), &alphabet),
+                    "profile {name} lost the shared alphabet after an edit"
+                );
+                for _ in 0..2 {
+                    let path = rich_path(rng);
+                    let scan = compiled.rules().evaluate_scan(&path);
+                    assert_eq!(
+                        compiled.rules().evaluate_dfa(&path),
+                        scan,
+                        "profile {name} DFA diverged on `{path}` after an edit"
+                    );
+                }
+            }
+        }
+    });
 }
 
 /// Satellite invariant for the opt-in negative cache: a denial is counted
