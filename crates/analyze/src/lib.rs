@@ -1,7 +1,7 @@
 //! `sack-analyze` — pre-deployment correctness tooling for SACK policy
 //! bundles and the lock-free hot path.
 //!
-//! Two pillars:
+//! Three pillars:
 //!
 //! 1. **Static policy/SSM analysis** ([`analyzer`]): aggregates the core
 //!    checker's per-policy diagnostics (reachability, dead states, events
@@ -13,7 +13,13 @@
 //!    [`diag::Diagnostic`]s with severity, stable check ids, and rule
 //!    provenance, renderable as text or a machine-readable JSON
 //!    [`diag::Report`].
-//! 2. **Bounded interleaving checking** ([`interleave`], [`models`]): a
+//! 2. **Trace forensics** ([`trace`]): a parser and linter for the
+//!    sack-trace flight-recorder dumps exported at
+//!    `/sys/kernel/security/SACK/tracing/flight`, plus a Prometheus
+//!    exposition validator for the `tracing/metrics` node and an
+//!    end-to-end `--self-check` that boots an in-memory stacked kernel
+//!    and proves the whole observability path (`sack-analyze trace`).
+//! 3. **Bounded interleaving checking** ([`interleave`], [`models`]): a
 //!    deterministic loom-style explorer that exhaustively enumerates every
 //!    schedule of small thread programs modelling the hand-rolled
 //!    `Rcu<T>` hazard-slot reclamation and the epoch-tagged decision
@@ -32,10 +38,15 @@ pub mod analyzer;
 pub mod diag;
 pub mod interleave;
 pub mod models;
+pub mod trace;
 
 pub use analyzer::Analyzer;
 pub use diag::{DfaSize, Diagnostic, Report};
 pub use interleave::{explore, Exploration, Model, Violation};
 pub use models::{
     CacheConfig, CacheModel, ProfileTableConfig, RcuConfig, RcuModel, RcuProfileTableModel,
+};
+pub use trace::{
+    lint_flight, lint_metrics, parse_flight, render_report, self_check, validate_prometheus,
+    Anomaly, FlightDump, FlightRecord,
 };

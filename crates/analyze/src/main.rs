@@ -1,25 +1,30 @@
 //! `sack-analyze` — command-line front end for the static policy
-//! analyzer.
+//! analyzer and the sack-trace flight-dump reader.
 //!
 //! ```text
 //! sack-analyze <policy.sack> [--profiles <profiles.aa>] [--te <policy.te>]
 //!              [--json] [--strict]
+//! sack-analyze trace (--self-check | <flight-dump>)
+//!              [--metrics <metrics.json>] [--strict]
 //! ```
 //!
 //! Exit codes: `0` clean (warnings allowed unless `--strict`), `1`
-//! findings that should block deployment, `2` usage / I/O / parse
-//! errors.
+//! findings/anomalies that should block deployment, `2` usage / I/O /
+//! parse errors.
 
 use std::process::ExitCode;
 
 use sack_analyze::Analyzer;
 use sack_apparmor::parser::parse_profiles;
 use sack_apparmor::profile::Profile;
+use sack_core::IssueSeverity;
 use sack_core::SackPolicy;
 use sack_te::TePolicy;
 
 const USAGE: &str = "usage: sack-analyze <policy.sack> [--profiles <profiles.aa>] \
-                     [--te <policy.te>] [--json] [--strict]";
+                     [--te <policy.te>] [--json] [--strict]\n       \
+                     sack-analyze trace (--self-check | <flight-dump>) \
+                     [--metrics <metrics.json>] [--strict]";
 
 struct Options {
     policy_path: String,
@@ -108,8 +113,98 @@ fn run(options: &Options) -> Result<ExitCode, String> {
     })
 }
 
+struct TraceOptions {
+    self_check: bool,
+    flight_path: Option<String>,
+    metrics_path: Option<String>,
+    strict: bool,
+}
+
+fn parse_trace_args(args: &[String]) -> Result<TraceOptions, String> {
+    let mut self_check = false;
+    let mut flight_path = None;
+    let mut metrics_path = None;
+    let mut strict = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--self-check" => self_check = true,
+            "--metrics" => {
+                metrics_path = Some(
+                    iter.next()
+                        .ok_or("--metrics requires a file argument")?
+                        .clone(),
+                );
+            }
+            "--strict" => strict = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+            }
+            path => {
+                if flight_path.replace(path.to_string()).is_some() {
+                    return Err(format!("more than one flight dump given\n{USAGE}"));
+                }
+            }
+        }
+    }
+    if !self_check && flight_path.is_none() {
+        return Err(format!(
+            "trace needs --self-check or a flight dump\n{USAGE}"
+        ));
+    }
+    Ok(TraceOptions {
+        self_check,
+        flight_path,
+        metrics_path,
+        strict,
+    })
+}
+
+fn run_trace(options: &TraceOptions) -> Result<ExitCode, String> {
+    if options.self_check {
+        print!("{}", sack_analyze::self_check()?);
+        return Ok(ExitCode::SUCCESS);
+    }
+    let path = options.flight_path.as_deref().expect("checked by parser");
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|err| format!("cannot read `{path}`: {err}"))
+    };
+    let dump = sack_analyze::parse_flight(&read(path)?).map_err(|err| format!("{path}: {err}"))?;
+    let mut anomalies = sack_analyze::lint_flight(&dump);
+    if let Some(metrics_path) = &options.metrics_path {
+        anomalies.extend(sack_analyze::lint_metrics(&read(metrics_path)?));
+    }
+    print!("{}", sack_analyze::render_report(&dump, &anomalies));
+    let blocking = anomalies.iter().any(|a| {
+        a.severity == IssueSeverity::Error
+            || (options.strict && a.severity == IssueSeverity::Warning)
+    });
+    Ok(if blocking {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        let options = match parse_trace_args(&args[1..]) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::from(2);
+            }
+        };
+        return match run_trace(&options) {
+            Ok(code) => code,
+            Err(message) => {
+                eprintln!("sack-analyze: {message}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let options = match parse_args(&args) {
         Ok(options) => options,
         Err(message) => {

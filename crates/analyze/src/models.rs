@@ -25,9 +25,18 @@
 //! All models carry mutation switches that disable one load-bearing
 //! ingredient of the real algorithm (the reader's validate loop, the
 //! writer's hazard scan, the cache's verifier check, the single-snapshot
-//! publish, the epoch bump). Exploration must find a violation with any
-//! switch on and prove the model with all switches off — that asymmetry
-//! is what demonstrates the checker has teeth.
+//! publish, the epoch bump, the once-per-bump `cache_invalidate` trace
+//! emission). Exploration must find a violation with any switch on and
+//! prove the model with all switches off — that asymmetry is what
+//! demonstrates the checker has teeth.
+//!
+//! [`CacheModel`] additionally models the `cache_invalidate` tracepoint:
+//! the writer emits it exactly once after the epoch bump. The
+//! `invalidate_per_slot` mutation makes the writer emit one event per
+//! cache slot instead — the buggy-but-tempting loop shape — and the
+//! invariant that catches it is the observability contract the securityfs
+//! `tracing/events` node documents: one `cache_invalidate` per
+//! `rcu_epoch_bump`.
 
 use crate::interleave::Model;
 
@@ -327,6 +336,15 @@ pub struct CacheConfig {
     /// deliberate tag collision across epochs harmless in the real
     /// cache.
     pub skip_verifier: bool,
+    /// Number of decision-cache slots the epoch bump conceptually
+    /// retires. The correct invalidation never walks them (the bump
+    /// alone retires every slot), so this only scales the damage of
+    /// [`CacheConfig::invalidate_per_slot`].
+    pub trace_slots: usize,
+    /// Known-bad mutation: the writer emits one `cache_invalidate`
+    /// trace event *per retired slot* instead of exactly one per epoch
+    /// bump — the over-reporting bug the sack-trace contract rules out.
+    pub invalidate_per_slot: bool,
 }
 
 impl CacheConfig {
@@ -335,6 +353,8 @@ impl CacheConfig {
         CacheConfig {
             readers,
             skip_verifier: false,
+            trace_slots: 2,
+            invalidate_per_slot: false,
         }
     }
 }
@@ -376,15 +396,20 @@ struct CacheReader {
     valid: u8,
 }
 
-/// Writer progress through the reload: publish the new policy, then
-/// bump the epoch. Between the two steps the system is mid-reload —
-/// readers may still serialise before it.
+/// Writer progress through the reload: publish the new policy, bump the
+/// epoch, then emit the `cache_invalidate` trace event(s). Between
+/// publish and bump the system is mid-reload — readers may still
+/// serialise before it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum ReloadPc {
     /// About to publish the new policy.
     Publish,
     /// Policy published; about to bump the epoch.
     Bump,
+    /// Epoch bumped; emitting `cache_invalidate` trace events (one
+    /// atomic emission per step, matching the real `trace_emit` call
+    /// that runs after the `fetch_add`).
+    EmitInvalidate,
     /// Reload complete.
     Done,
 }
@@ -415,7 +440,15 @@ pub struct CacheModel {
     slot_tag: Option<u8>,
     /// Slot payload word: (verifier, outcome).
     slot_payload: Option<(u8, Outcome)>,
+    /// Epoch bumps performed by the writer.
+    epoch_bumps: u8,
+    /// `cache_invalidate` trace events emitted so far.
+    invalidate_emits: u8,
+    /// Emissions the writer still owes for the current bump.
+    emits_pending: u8,
+    trace_slots: u8,
     skip_verifier: bool,
+    invalidate_per_slot: bool,
 }
 
 impl CacheModel {
@@ -436,7 +469,12 @@ impl CacheModel {
             epoch: 0,
             slot_tag: None,
             slot_payload: None,
+            epoch_bumps: 0,
+            invalidate_emits: 0,
+            emits_pending: 0,
+            trace_slots: config.trace_slots as u8,
             skip_verifier: config.skip_verifier,
+            invalidate_per_slot: config.invalidate_per_slot,
         }
     }
 
@@ -471,8 +509,10 @@ impl CacheModel {
                     ReloadPc::Publish => Self::eval(0).bit(),
                     // Mid-reload: the reader may serialise on either side.
                     ReloadPc::Bump => Self::eval(0).bit() | Self::eval(1).bit(),
-                    // Reload complete before this check began.
-                    ReloadPc::Done => Self::eval(1).bit(),
+                    // Publish and bump are both complete before this
+                    // check began — only the trailing trace emission is
+                    // outstanding, and it does not affect visibility.
+                    ReloadPc::EmitInvalidate | ReloadPc::Done => Self::eval(1).bit(),
                 };
                 self.readers[i].pc = CacheReaderPc::LoadTag;
             }
@@ -527,7 +567,23 @@ impl CacheModel {
             }
             ReloadPc::Bump => {
                 self.epoch = 1;
-                self.reload = ReloadPc::Done;
+                self.epoch_bumps += 1;
+                // The faithful writer owes exactly one `cache_invalidate`
+                // for this bump; the mutated one walks the slots and emits
+                // once per slot.
+                self.emits_pending = if self.invalidate_per_slot {
+                    self.trace_slots
+                } else {
+                    1
+                };
+                self.reload = ReloadPc::EmitInvalidate;
+            }
+            ReloadPc::EmitInvalidate => {
+                self.invalidate_emits += 1;
+                self.emits_pending -= 1;
+                if self.emits_pending == 0 {
+                    self.reload = ReloadPc::Done;
+                }
             }
             ReloadPc::Done => unreachable!(),
         }
@@ -565,6 +621,24 @@ impl Model for CacheModel {
         // a fully written payload.
         if self.slot_tag.is_some() && self.slot_payload.is_none() {
             return Err("slot tag visible before payload".to_string());
+        }
+        // The sack-trace contract: `cache_invalidate` fires exactly once
+        // per epoch bump, never once per retired slot. Over-emission is
+        // visible the moment the second event for one bump lands;
+        // under-emission is visible at quiescence.
+        if self.invalidate_emits > self.epoch_bumps {
+            return Err(format!(
+                "cache_invalidate fired {} times across {} epoch bump(s): \
+                 the tracepoint must fire exactly once per bump, not per slot",
+                self.invalidate_emits, self.epoch_bumps
+            ));
+        }
+        if self.done() && self.invalidate_emits != self.epoch_bumps {
+            return Err(format!(
+                "cache_invalidate fired {} times across {} epoch bump(s) at \
+                 quiescence: the tracepoint must fire exactly once per bump",
+                self.invalidate_emits, self.epoch_bumps
+            ));
         }
         Ok(())
     }
@@ -929,11 +1003,30 @@ mod tests {
     #[test]
     fn cache_skipping_the_verifier_is_caught() {
         let config = CacheConfig {
-            readers: 2,
             skip_verifier: true,
+            ..CacheConfig::correct(2)
         };
         let violation = explore(&CacheModel::new(config), 64).unwrap_err();
         assert!(violation.message.contains("linearizability"), "{violation}");
+    }
+
+    #[test]
+    fn cache_invalidate_fires_once_per_bump_in_the_correct_model() {
+        let stats = explore(&CacheModel::new(CacheConfig::correct(2)), 64).unwrap();
+        assert!(stats.complete_schedules > 0);
+    }
+
+    #[test]
+    fn cache_invalidate_per_slot_is_caught() {
+        let config = CacheConfig {
+            invalidate_per_slot: true,
+            ..CacheConfig::correct(1)
+        };
+        let violation = explore(&CacheModel::new(config), 64).unwrap_err();
+        assert!(
+            violation.message.contains("exactly once per bump"),
+            "{violation}"
+        );
     }
 
     #[test]

@@ -87,13 +87,40 @@ fn cache_three_readers_across_epoch_bump_is_linearizable() {
 #[test]
 fn cache_without_verifier_serves_a_stale_grant() {
     let config = CacheConfig {
-        readers: 2,
         skip_verifier: true,
+        ..CacheConfig::correct(2)
     };
     let violation =
         explore(&CacheModel::new(config), DEPTH).expect_err("mutated model must be caught");
     assert!(violation.message.contains("linearizability"), "{violation}");
     assert!(!violation.schedule.is_empty());
+}
+
+#[test]
+fn cache_invalidate_traces_once_per_epoch_bump_over_every_schedule() {
+    // The faithful writer emits exactly one `cache_invalidate` after the
+    // bump; this holds on every interleaving with concurrent readers.
+    let stats = explore(&CacheModel::new(CacheConfig::correct(2)), DEPTH)
+        .unwrap_or_else(|v| panic!("counterexample found: {v}"));
+    assert!(stats.complete_schedules > 0);
+}
+
+#[test]
+fn cache_invalidate_per_slot_over_emission_is_caught() {
+    let config = CacheConfig {
+        invalidate_per_slot: true,
+        trace_slots: 3,
+        ..CacheConfig::correct(2)
+    };
+    let violation =
+        explore(&CacheModel::new(config), DEPTH).expect_err("mutated model must be caught");
+    assert!(
+        violation
+            .message
+            .contains("exactly once per bump, not per slot"),
+        "{violation}"
+    );
+    assert!(!violation.schedule.is_empty(), "trace must be replayable");
 }
 
 #[test]

@@ -18,9 +18,10 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
+use sack_kernel::trace::{TraceEvent, TraceHub};
 use sack_kernel::Rcu;
 
 use crate::dfa::Alphabet;
@@ -158,6 +159,10 @@ pub struct PolicyDb {
     /// Number of shared-alphabet rebuilds (world recompiles).
     alphabet_rebuilds: AtomicU64,
     diagnostics: Mutex<Vec<LoadDiagnostic>>,
+    /// Tracepoint hub for `profile_recompile` events. Set once when tracing
+    /// is installed on the owning [`Sack`](../../sack_core/struct.Sack.html);
+    /// a `OnceLock` keeps the untraced cost to one load + branch.
+    trace: OnceLock<Arc<TraceHub>>,
 }
 
 impl Default for PolicyDb {
@@ -169,6 +174,7 @@ impl Default for PolicyDb {
             profile_compiles: AtomicU64::new(0),
             alphabet_rebuilds: AtomicU64::new(0),
             diagnostics: Mutex::new(Vec::new()),
+            trace: OnceLock::new(),
         }
     }
 }
@@ -177,6 +183,23 @@ impl PolicyDb {
     /// Creates an empty database.
     pub fn new() -> Self {
         PolicyDb::default()
+    }
+
+    /// Connects the database to a tracepoint hub so every profile compile
+    /// emits a `profile_recompile` event. Idempotent: the first hub wins
+    /// (matching the attach-once lifecycle of SACK tracing); later calls
+    /// with a different hub are ignored.
+    pub fn set_trace_hub(&self, hub: Arc<TraceHub>) {
+        let _ = self.trace.set(hub);
+    }
+
+    #[inline]
+    fn trace_emit(&self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(hub) = self.trace.get() {
+            if hub.enabled() {
+                hub.emit(&build());
+            }
+        }
     }
 
     /// Compiles `profile` into `table`, reusing the shared alphabet when
@@ -212,6 +235,10 @@ impl PolicyDb {
                 .filter(|(name, _)| !replaced.contains(name.as_str()))
                 .map(|(name, p)| {
                     self.profile_compiles.fetch_add(1, Ordering::Relaxed);
+                    self.trace_emit(|| TraceEvent::ProfileRecompile {
+                        profile: name.clone(),
+                        full_rebuild: true,
+                    });
                     let compiled =
                         CompiledProfile::compile_with_alphabet(p.profile().clone(), &alphabet);
                     (name.clone(), Arc::new(compiled))
@@ -225,6 +252,10 @@ impl PolicyDb {
         for profile in incoming {
             self.lint(&profile);
             self.profile_compiles.fetch_add(1, Ordering::Relaxed);
+            self.trace_emit(|| TraceEvent::ProfileRecompile {
+                profile: profile.name.clone(),
+                full_rebuild: splits,
+            });
             let compiled = Arc::new(CompiledProfile::compile_with_alphabet(profile, &alphabet));
             let stats = compiled.rules().dfa_stats();
             if stats.states > PROFILE_DFA_STATE_BUDGET {

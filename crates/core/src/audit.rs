@@ -21,6 +21,12 @@ pub const DEFAULT_AUDIT_CAPACITY: usize = 256;
 /// One denial record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditRecord {
+    /// Monotonic sequence number, assigned by [`AuditLog::push`] (the value
+    /// passed in is overwritten). Readers detect dropped denials by gaps:
+    /// retained records always have contiguous sequence numbers, so a
+    /// `seq_first` greater than 0 means the first `seq_first` records were
+    /// evicted.
+    pub seq: u64,
     /// Simulated time of the denial.
     pub at: Duration,
     /// Denied task.
@@ -41,7 +47,8 @@ impl fmt::Display for AuditRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "t={:?} DENIED {} uid={} exe={} path={} requested={} state={}",
+            "seq={} t={:?} DENIED {} uid={} exe={} path={} requested={} state={}",
+            self.seq,
             self.at,
             self.pid,
             self.uid,
@@ -59,6 +66,7 @@ pub struct AuditLog {
     ring: Mutex<VecDeque<AuditRecord>>,
     capacity: usize,
     total: std::sync::atomic::AtomicU64,
+    lost: std::sync::atomic::AtomicU64,
 }
 
 impl AuditLog {
@@ -78,18 +86,26 @@ impl AuditLog {
             ring: Mutex::new(VecDeque::with_capacity(capacity)),
             capacity,
             total: std::sync::atomic::AtomicU64::new(0),
+            lost: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
-    /// Appends a record, evicting the oldest when full.
-    pub fn push(&self, record: AuditRecord) {
-        self.total
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    /// Appends a record, evicting the oldest when full. Assigns and returns
+    /// the record's monotonic sequence number; the sequence is allocated
+    /// under the ring lock so retained records are always seq-ordered and
+    /// contiguous.
+    pub fn push(&self, mut record: AuditRecord) -> u64 {
         let mut ring = self.ring.lock();
+        let seq = self
+            .total
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        record.seq = seq;
         if ring.len() == self.capacity {
             ring.pop_front();
+            self.lost.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         ring.push_back(record);
+        seq
     }
 
     /// Snapshot of the retained records, oldest first.
@@ -100,6 +116,11 @@ impl AuditLog {
     /// Total denials ever recorded (including evicted ones).
     pub fn total(&self) -> u64 {
         self.total.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Records evicted from the ring before anyone could read them.
+    pub fn lost_records(&self) -> u64 {
+        self.lost.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Number of retained records.
@@ -113,9 +134,25 @@ impl AuditLog {
     }
 
     /// Renders the retained records as text (the `audit` node's content).
+    ///
+    /// The first line is a header surfacing the overflow accounting, so a
+    /// reader can tell whether the window it sees is complete:
+    /// `# audit total=<N> lost=<M> seq_first=<a> seq_last=<b>`
+    /// (`seq_first`/`seq_last` are `-` while the ring is empty).
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        for record in self.ring.lock().iter() {
+        let ring = self.ring.lock();
+        let (first, last) = match (ring.front(), ring.back()) {
+            (Some(f), Some(l)) => (f.seq.to_string(), l.seq.to_string()),
+            _ => ("-".to_string(), "-".to_string()),
+        };
+        let mut out = format!(
+            "# audit total={} lost={} seq_first={} seq_last={}\n",
+            self.total(),
+            self.lost_records(),
+            first,
+            last
+        );
+        for record in ring.iter() {
             out.push_str(&record.to_string());
             out.push('\n');
         }
@@ -135,6 +172,7 @@ mod tests {
 
     fn record(i: u64) -> AuditRecord {
         AuditRecord {
+            seq: 0, // assigned by push
             at: Duration::from_millis(i),
             pid: Pid(i as u32),
             uid: 1000,
@@ -167,17 +205,58 @@ mod tests {
         assert_eq!(records.len(), 3);
         assert_eq!(records[0].pid, Pid(2), "oldest two evicted");
         assert_eq!(log.total(), 5, "total counts evicted records");
+        assert_eq!(log.lost_records(), 2, "evictions counted as lost");
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "retained seqs stay contiguous");
     }
 
     #[test]
-    fn render_is_line_per_record() {
+    fn push_assigns_monotonic_seqs() {
+        let log = AuditLog::new();
+        assert_eq!(log.push(record(1)), 0);
+        assert_eq!(log.push(record(2)), 1);
+        let records = log.records();
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[1].seq, 1);
+        assert_eq!(log.lost_records(), 0);
+    }
+
+    #[test]
+    fn render_is_header_plus_line_per_record() {
         let log = AuditLog::new();
         log.push(record(7));
         let text = log.render();
         assert!(text.contains("DENIED"));
         assert!(text.contains("/dev/car/door7"));
         assert!(text.contains("state=driving"));
-        assert_eq!(text.lines().count(), 1);
+        assert_eq!(text.lines().count(), 2, "header + one record");
+        assert_eq!(
+            text.lines().next().unwrap(),
+            "# audit total=1 lost=0 seq_first=0 seq_last=0"
+        );
+        assert!(text.lines().nth(1).unwrap().starts_with("seq=0 "));
+    }
+
+    #[test]
+    fn render_header_reports_losses() {
+        let log = AuditLog::with_capacity(2);
+        for i in 0..5 {
+            log.push(record(i));
+        }
+        let text = log.render();
+        assert_eq!(
+            text.lines().next().unwrap(),
+            "# audit total=5 lost=3 seq_first=3 seq_last=4"
+        );
+    }
+
+    #[test]
+    fn empty_render_has_placeholder_header() {
+        let log = AuditLog::new();
+        assert_eq!(
+            log.render(),
+            "# audit total=0 lost=0 seq_first=- seq_last=-\n"
+        );
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub mod situation;
 pub mod ssm;
 pub mod statedfa;
 pub mod stats;
+pub mod trace;
 
 pub use audit::{AuditLog, AuditRecord};
 pub use cache::{CachedOutcome, DecisionCache, DecisionKey};
@@ -86,4 +87,5 @@ pub use simulate::{AccessQuery, PolicySimulator, Step, StepResult};
 pub use situation::{EventId, SituationEvent, SituationState, StateId, StateSpace};
 pub use ssm::{Ssm, TransitionListener, TransitionOutcome, TransitionRecord, TransitionRule};
 pub use statedfa::{StateDecision, StateDfa};
-pub use stats::ShardedCounter;
+pub use stats::{HistogramSnapshot, LatencyHistogram, ShardedCounter};
+pub use trace::{CacheFlag, FlightEntry, FlightRecorder, SackTracing};

@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use sack_apparmor::profile::FilePerms;
@@ -16,6 +16,7 @@ use sack_kernel::error::{Errno, KernelError, KernelResult};
 use sack_kernel::kernel::Kernel;
 use sack_kernel::lsm::{AccessMask, HookCtx, ObjectKind, ObjectRef, SecurityModule};
 use sack_kernel::sync::Rcu;
+use sack_kernel::trace::{TraceEvent, TraceHub};
 use sack_kernel::types::Pid;
 
 use crate::audit::{AuditLog, AuditRecord};
@@ -26,6 +27,7 @@ use crate::rules::SubjectCtx;
 use crate::situation::StateId;
 use crate::ssm::{Ssm, TransitionOutcome};
 use crate::stats::ShardedCounter;
+use crate::trace::SackTracing;
 
 /// Deployment mode of the SACK module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,6 +189,11 @@ pub struct Sack {
     /// Per-task decision caches, RCU-published copy-on-write (entries are
     /// added on a task's first mediated access and dropped on `task_free`).
     caches: Rcu<HashMap<Pid, Arc<DecisionCache>>>,
+    /// sack-trace recorder, wired once at [`Sack::attach`] (or explicitly
+    /// via [`Sack::install_tracing`]). A `OnceLock` rather than an `Rcu`
+    /// because the hot path reads it on every check: the untraced cost must
+    /// stay at one acquire load + branch.
+    tracing: OnceLock<Arc<SackTracing>>,
 }
 
 impl Sack {
@@ -210,6 +217,7 @@ impl Sack {
             dfa_enabled: AtomicBool::new(true),
             negative_cache_enabled: AtomicBool::new(false),
             caches: Rcu::new(HashMap::new()),
+            tracing: OnceLock::new(),
         }))
     }
 
@@ -243,6 +251,7 @@ impl Sack {
             dfa_enabled: AtomicBool::new(true),
             negative_cache_enabled: AtomicBool::new(false),
             caches: Rcu::new(HashMap::new()),
+            tracing: OnceLock::new(),
         }))
     }
 
@@ -259,8 +268,13 @@ impl Sack {
     /// Configures the profile oracle used to resolve `subject=profile:`
     /// selectors in independent mode.
     pub fn set_profile_oracle(&self, apparmor: Arc<AppArmor>) {
+        if let Some(tracing) = self.tracing.get() {
+            apparmor.policy().set_trace_hub(Arc::clone(tracing.hub()));
+        }
         self.profile_oracle.store(Some(apparmor));
-        self.policy_epoch.fetch_add(1, Ordering::SeqCst);
+        let epoch = self.policy_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        self.trace_emit(|| TraceEvent::RcuEpochBump { epoch });
+        self.trace_emit(|| TraceEvent::CacheInvalidate { epoch });
     }
 
     /// Snapshot of the active policy (wait-free RCU read).
@@ -346,9 +360,49 @@ impl Sack {
     ///
     /// securityfs registration errors.
     pub fn attach(self: &Arc<Self>, kernel: &Arc<Kernel>) -> Result<(), SackError> {
+        self.install_tracing(Arc::clone(kernel.trace()));
         crate::sackfs::register(self, kernel)?;
         self.kernel.store(Some(Arc::downgrade(kernel)));
         Ok(())
+    }
+
+    /// Wires the sack-trace recorder to `hub`: attaches the histogram +
+    /// flight-recorder consumer and forwards the hub to every AppArmor
+    /// policy layer this instance drives (for `profile_recompile` events).
+    ///
+    /// Called by [`Sack::attach`] with the booted kernel's hub; benches and
+    /// tests that drive hooks without a kernel call it directly. Idempotent:
+    /// the first hub wins and later calls return the existing recorder.
+    pub fn install_tracing(&self, hub: Arc<TraceHub>) -> Arc<SackTracing> {
+        let tracing = self.tracing.get_or_init(|| SackTracing::attach(hub));
+        if let Some(enhancer) = &self.enhancer {
+            enhancer
+                .apparmor()
+                .policy()
+                .set_trace_hub(Arc::clone(tracing.hub()));
+        }
+        if let Some(oracle) = (*self.profile_oracle.read()).as_ref() {
+            oracle.policy().set_trace_hub(Arc::clone(tracing.hub()));
+        }
+        Arc::clone(tracing)
+    }
+
+    /// The attached sack-trace recorder, if tracing has been wired.
+    pub fn tracing(&self) -> Option<&Arc<SackTracing>> {
+        self.tracing.get()
+    }
+
+    /// Emits a trace event if (and only if) tracing is wired *and* enabled.
+    /// `build` runs only on the enabled path, so disabled probes never
+    /// construct the event. Untraced cost: one `OnceLock` load + branch.
+    #[inline]
+    fn trace_emit(&self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(tracing) = self.tracing.get() {
+            let hub = tracing.hub();
+            if hub.enabled() {
+                hub.emit(&build());
+            }
+        }
     }
 
     /// The denial audit log.
@@ -396,17 +450,29 @@ impl Sack {
             self.stats.events_unknown.fetch_add(1, Ordering::Relaxed);
             SackError::UnknownEvent(unknown)
         })?;
-        if let TransitionOutcome::Transitioned { to, .. } = outcome {
+        if let TransitionOutcome::Transitioned { from, to } = outcome {
             if let Some(enhancer) = &self.enhancer {
                 enhancer
                     .apply_state(&active.policy, to)
                     .map_err(SackError::Enhance)?;
             }
+            self.trace_emit(|| {
+                let space = active.ssm.space();
+                TraceEvent::SsmTransition {
+                    from: space.state(from).name.clone(),
+                    to: space.state(to).name.clone(),
+                    event: name.to_string(),
+                }
+            });
             // The situation changed: retire every cached decision. (The
             // state id already keys the cache; the epoch bump additionally
             // covers enhanced-mode profile patches and keeps transition
             // semantics uniform across modes.)
-            self.policy_epoch.fetch_add(1, Ordering::SeqCst);
+            let epoch = self.policy_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+            self.trace_emit(|| TraceEvent::RcuEpochBump { epoch });
+            // Exactly one invalidate per bump — never one per cache slot;
+            // the interleaving model in sack-analyze pins this down.
+            self.trace_emit(|| TraceEvent::CacheInvalidate { epoch });
         }
         Ok(outcome)
     }
@@ -432,7 +498,10 @@ impl Sack {
         // epoch is guaranteed (SeqCst) to also observe the new policy, so no
         // cache entry can pair a new epoch with an old-policy decision.
         self.active.store(next);
-        self.policy_epoch.fetch_add(1, Ordering::SeqCst);
+        let epoch = self.policy_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        self.trace_emit(|| TraceEvent::PolicyPublish { epoch });
+        self.trace_emit(|| TraceEvent::RcuEpochBump { epoch });
+        self.trace_emit(|| TraceEvent::CacheInvalidate { epoch });
         Ok(warnings)
     }
 
@@ -494,6 +563,7 @@ impl Sack {
         if let Some(cache) = &cache {
             if let Some(outcome) = cache.lookup(&key) {
                 self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.trace_emit(|| TraceEvent::CacheHit);
                 let counter = match outcome {
                     CachedOutcome::Unprotected => &self.stats.unprotected,
                     CachedOutcome::Override => &self.stats.overrides,
@@ -510,6 +580,7 @@ impl Sack {
                 return Ok(());
             }
             self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.trace_emit(|| TraceEvent::CacheMiss);
         }
         let record = |outcome: CachedOutcome| {
             if let Some(cache) = &cache {
@@ -568,7 +639,8 @@ impl Sack {
             Ok(())
         } else {
             self.stats.denials.fetch_add(1, Ordering::Relaxed);
-            self.audit.push(AuditRecord {
+            let seq = self.audit.push(AuditRecord {
+                seq: 0, // assigned by push
                 at: self.now(),
                 pid: ctx.pid,
                 uid: ctx.cred.uid.0,
@@ -577,6 +649,7 @@ impl Sack {
                 requested,
                 state: active.ssm.space().state(state).name.clone(),
             });
+            self.trace_emit(|| TraceEvent::AuditEmit { seq });
             if self.negative_cache_enabled.load(Ordering::Relaxed) {
                 record(CachedOutcome::Deny);
             }

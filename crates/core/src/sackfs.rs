@@ -2,17 +2,25 @@
 //!
 //! Nodes registered under `/sys/kernel/security/SACK/`:
 //!
-//! | node     | access | purpose                                             |
-//! |----------|--------|-----------------------------------------------------|
-//! | `events` | write  | situation-event delivery from the SDS               |
-//! | `state`  | read   | current situation state (`name encoding`)           |
-//! | `policy` | rw     | policy dump / live policy replacement               |
-//! | `stats`  | read   | module counters                                     |
+//! | node                   | access | purpose                                    |
+//! |------------------------|--------|--------------------------------------------|
+//! | `events`               | write  | situation-event delivery from the SDS      |
+//! | `state`                | read   | current situation state (`name encoding`)  |
+//! | `policy`               | rw     | policy dump / live policy replacement      |
+//! | `stats`                | read   | module counters                            |
+//! | `audit`                | read   | denial ring with overflow accounting       |
+//! | `tracing/enable`       | rw     | tracepoint master switch (`0`/`1`)         |
+//! | `tracing/events`       | read   | per-tracepoint fired counts                |
+//! | `tracing/flight`       | read   | flight-recorder dump (last N events)       |
+//! | `tracing/metrics`      | read   | Prometheus text exposition                 |
+//! | `tracing/metrics_json` | read   | the same metrics as one JSON object        |
 //!
-//! Writes to `events` and `policy` require `CAP_MAC_ADMIN`, matching the
-//! paper's threat model (attackers cannot obtain MAC capabilities, so they
-//! cannot forge situation events even after compromising an application).
+//! Writes to `events`, `policy` and `tracing/enable` require
+//! `CAP_MAC_ADMIN`, matching the paper's threat model (attackers cannot
+//! obtain MAC capabilities, so they cannot forge situation events even
+//! after compromising an application).
 
+use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Weak};
 use std::time::Duration;
@@ -21,9 +29,12 @@ use sack_kernel::error::{Errno, KernelError, KernelResult};
 use sack_kernel::kernel::Kernel;
 use sack_kernel::lsm::HookCtx;
 use sack_kernel::securityfs::{require_mac_admin, securityfs_path, SecurityFsFile};
+use sack_kernel::trace::Tracepoint;
 use sack_kernel::types::Mode;
 
 use crate::sack::{Sack, SackError};
+use crate::stats::ShardedCounter;
+use crate::trace::SackTracing;
 
 /// securityfs directory name of the module.
 pub const SACK_DIR: &str = "SACK";
@@ -132,27 +143,42 @@ struct StatsNode {
     sack: Weak<Sack>,
 }
 
+/// The exported module counters, in node order, paired with their labels.
+/// One table serves the `stats` node, the Prometheus exposition and the
+/// JSON metrics, so the three can never drift apart.
+fn stat_counters(s: &crate::sack::SackStats) -> [(&'static str, &ShardedCounter); 8] {
+    [
+        ("checks", &s.checks),
+        ("denials", &s.denials),
+        ("unprotected", &s.unprotected),
+        ("overrides", &s.overrides),
+        ("events_received", &s.events_received),
+        ("events_unknown", &s.events_unknown),
+        ("cache_hits", &s.cache_hits),
+        ("cache_misses", &s.cache_misses),
+    ]
+}
+
 impl SecurityFsFile for StatsNode {
     fn read_content(&self, _ctx: &HookCtx) -> KernelResult<Vec<u8>> {
         let sack = upgrade(&self.sack)?;
-        let s = sack.stats();
         let active = sack.active();
-        Ok(format!(
-            "checks {}\ndenials {}\nunprotected {}\noverrides {}\n\
-             events_received {}\nevents_unknown {}\ntransitions_taken {}\n\
-             cache_hits {}\ncache_misses {}\npolicy_epoch {}\n",
-            s.checks.load(Ordering::Relaxed),
-            s.denials.load(Ordering::Relaxed),
-            s.unprotected.load(Ordering::Relaxed),
-            s.overrides.load(Ordering::Relaxed),
-            s.events_received.load(Ordering::Relaxed),
-            s.events_unknown.load(Ordering::Relaxed),
-            active.ssm.taken_count(),
-            s.cache_hits.load(Ordering::Relaxed),
-            s.cache_misses.load(Ordering::Relaxed),
-            sack.policy_epoch(),
-        )
-        .into_bytes())
+        // One stripe-major fold over every counter instead of eight
+        // independent per-counter folds.
+        let table = stat_counters(sack.stats());
+        let refs: Vec<&ShardedCounter> = table.iter().map(|(_, c)| *c).collect();
+        let totals = ShardedCounter::snapshot_all(&refs, Ordering::Relaxed);
+        let mut out = String::new();
+        for ((name, _), total) in table.iter().zip(&totals) {
+            // `transitions_taken` sorts between the event and cache
+            // counters to keep the historical node layout stable.
+            if *name == "cache_hits" {
+                let _ = writeln!(out, "transitions_taken {}", active.ssm.taken_count());
+            }
+            let _ = writeln!(out, "{name} {total}");
+        }
+        let _ = writeln!(out, "policy_epoch {}", sack.policy_epoch());
+        Ok(out.into_bytes())
     }
 
     fn mode(&self) -> Mode {
@@ -172,6 +198,274 @@ impl SecurityFsFile for AuditNode {
 
     fn mode(&self) -> Mode {
         Mode(0o400)
+    }
+}
+
+fn tracing(sack: &Arc<Sack>) -> KernelResult<Arc<SackTracing>> {
+    sack.tracing()
+        .cloned()
+        .ok_or_else(|| KernelError::with_context(Errno::EIO, "sackfs"))
+}
+
+/// `tracing/enable`: the tracepoint master switch, mirroring tracefs'
+/// `tracing_on`. Reads return `0`/`1`; writes of `0`/`1` (MAC-admin-gated)
+/// flip every tracepoint at once through the hub's single atomic.
+struct TracingEnableNode {
+    sack: Weak<Sack>,
+}
+
+impl SecurityFsFile for TracingEnableNode {
+    fn read_content(&self, _ctx: &HookCtx) -> KernelResult<Vec<u8>> {
+        let sack = upgrade(&self.sack)?;
+        let tracing = tracing(&sack)?;
+        Ok(if tracing.hub().enabled() {
+            b"1\n"
+        } else {
+            b"0\n"
+        }
+        .to_vec())
+    }
+
+    fn write_content(&self, ctx: &HookCtx, data: &[u8]) -> KernelResult<usize> {
+        require_mac_admin(ctx)?;
+        let sack = upgrade(&self.sack)?;
+        let tracing = tracing(&sack)?;
+        let text = std::str::from_utf8(data)
+            .map_err(|_| KernelError::with_context(Errno::EINVAL, "sackfs"))?;
+        match text.trim() {
+            "0" => tracing.hub().set_enabled(false),
+            "1" => tracing.hub().set_enabled(true),
+            _ => return Err(KernelError::with_context(Errno::EINVAL, "sackfs")),
+        }
+        Ok(data.len())
+    }
+
+    fn mode(&self) -> Mode {
+        // Like `events`: world-writable at the DAC layer, the
+        // CAP_MAC_ADMIN check in the handler is the real gate.
+        Mode(0o666)
+    }
+}
+
+/// `tracing/events`: per-tracepoint fired counts.
+struct TracingEventsNode {
+    sack: Weak<Sack>,
+}
+
+impl SecurityFsFile for TracingEventsNode {
+    fn read_content(&self, _ctx: &HookCtx) -> KernelResult<Vec<u8>> {
+        let sack = upgrade(&self.sack)?;
+        Ok(tracing(&sack)?.render_events().into_bytes())
+    }
+
+    fn mode(&self) -> Mode {
+        Mode(0o444)
+    }
+}
+
+/// `tracing/flight`: the flight-recorder dump. Root-only like `audit`: the
+/// ring replays denials with the situation history that led to them.
+struct TracingFlightNode {
+    sack: Weak<Sack>,
+}
+
+impl SecurityFsFile for TracingFlightNode {
+    fn read_content(&self, _ctx: &HookCtx) -> KernelResult<Vec<u8>> {
+        let sack = upgrade(&self.sack)?;
+        Ok(tracing(&sack)?.flight().render().into_bytes())
+    }
+
+    fn mode(&self) -> Mode {
+        Mode(0o400)
+    }
+}
+
+/// Renders every exported metric in the Prometheus text exposition format
+/// (the `tracing/metrics` node).
+fn render_prometheus(sack: &Arc<Sack>, tracing: &SackTracing) -> String {
+    let mut out = String::new();
+    let enabled = u64::from(tracing.hub().enabled());
+    let _ = writeln!(
+        out,
+        "# HELP sack_trace_enabled Tracepoint master switch state."
+    );
+    let _ = writeln!(out, "# TYPE sack_trace_enabled gauge");
+    let _ = writeln!(out, "sack_trace_enabled {enabled}");
+    let _ = writeln!(
+        out,
+        "# HELP sack_tracepoint_fired_total Events emitted per tracepoint."
+    );
+    let _ = writeln!(out, "# TYPE sack_tracepoint_fired_total counter");
+    for point in Tracepoint::ALL {
+        let _ = writeln!(
+            out,
+            "sack_tracepoint_fired_total{{point=\"{}\"}} {}",
+            point.name(),
+            tracing.hub().fired(point)
+        );
+    }
+    let _ = writeln!(out, "# HELP sack_stat_total SACK module counters.");
+    let _ = writeln!(out, "# TYPE sack_stat_total counter");
+    let table = stat_counters(sack.stats());
+    let refs: Vec<&ShardedCounter> = table.iter().map(|(_, c)| *c).collect();
+    let totals = ShardedCounter::snapshot_all(&refs, Ordering::Relaxed);
+    for ((name, _), total) in table.iter().zip(&totals) {
+        let _ = writeln!(out, "sack_stat_total{{counter=\"{name}\"}} {total}");
+    }
+    let _ = writeln!(out, "# HELP sack_policy_epoch Current policy epoch.");
+    let _ = writeln!(out, "# TYPE sack_policy_epoch gauge");
+    let _ = writeln!(out, "sack_policy_epoch {}", sack.policy_epoch());
+    let _ = writeln!(
+        out,
+        "# HELP sack_audit_lost_total Audit records evicted unread."
+    );
+    let _ = writeln!(out, "# TYPE sack_audit_lost_total counter");
+    let _ = writeln!(out, "sack_audit_lost_total {}", sack.audit().lost_records());
+    let _ = writeln!(
+        out,
+        "# HELP sack_flight_dropped_total Flight records overwritten unread."
+    );
+    let _ = writeln!(out, "# TYPE sack_flight_dropped_total counter");
+    let _ = writeln!(
+        out,
+        "sack_flight_dropped_total {}",
+        tracing.flight().dropped()
+    );
+    let _ = writeln!(
+        out,
+        "# HELP sack_hook_latency_ns Hook dispatch latency, nanoseconds."
+    );
+    let _ = writeln!(out, "# TYPE sack_hook_latency_ns histogram");
+    for (hook, verdict, flag, snap) in tracing.histogram_snapshots() {
+        let labels = format!(
+            "hook=\"{}\",verdict=\"{}\",cache=\"{}\"",
+            hook.name(),
+            verdict.name(),
+            flag.name()
+        );
+        let mut cumulative = 0u64;
+        for (i, n) in snap.buckets.iter().enumerate() {
+            cumulative += n;
+            // One cumulative line per log2 boundary the data reaches keeps
+            // the exposition compact without losing any occupied bucket.
+            if *n > 0 {
+                let _ = writeln!(
+                    out,
+                    "sack_hook_latency_ns_bucket{{{labels},le=\"{}\"}} {cumulative}",
+                    crate::stats::bucket_upper_bound(i)
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "sack_hook_latency_ns_bucket{{{labels},le=\"+Inf\"}} {cumulative}"
+        );
+        let _ = writeln!(out, "sack_hook_latency_ns_sum{{{labels}}} {}", snap.sum);
+        let _ = writeln!(out, "sack_hook_latency_ns_count{{{labels}}} {cumulative}");
+    }
+    out
+}
+
+/// Renders the same metrics as one JSON object (the `tracing/metrics_json`
+/// node). Hand-rolled: every key and label is a fixed identifier, so no
+/// escaping is needed.
+fn render_metrics_json(sack: &Arc<Sack>, tracing: &SackTracing) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"enabled\":{},",
+        if tracing.hub().enabled() {
+            "true"
+        } else {
+            "false"
+        }
+    );
+    out.push_str("\"tracepoints\":{");
+    for (i, point) in Tracepoint::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", point.name(), tracing.hub().fired(*point));
+    }
+    out.push_str("},\"stats\":{");
+    let table = stat_counters(sack.stats());
+    let refs: Vec<&ShardedCounter> = table.iter().map(|(_, c)| *c).collect();
+    let totals = ShardedCounter::snapshot_all(&refs, Ordering::Relaxed);
+    for (i, ((name, _), total)) in table.iter().zip(&totals).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{total}");
+    }
+    let _ = write!(out, "}},\"policy_epoch\":{},", sack.policy_epoch());
+    let _ = write!(
+        out,
+        "\"audit\":{{\"total\":{},\"lost\":{}}},",
+        sack.audit().total(),
+        sack.audit().lost_records()
+    );
+    let flight = tracing.flight();
+    let _ = write!(
+        out,
+        "\"flight\":{{\"capacity\":{},\"total\":{},\"dropped\":{}}},",
+        flight.capacity(),
+        flight.total(),
+        flight.dropped()
+    );
+    out.push_str("\"histograms\":[");
+    for (i, (hook, verdict, flag, snap)) in tracing.histogram_snapshots().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"hook\":\"{}\",\"verdict\":\"{}\",\"cache\":\"{}\",\
+             \"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            hook.name(),
+            verdict.name(),
+            flag.name(),
+            snap.count(),
+            snap.sum,
+            snap.percentile(0.50),
+            snap.percentile(0.95),
+            snap.percentile(0.99)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// `tracing/metrics`: Prometheus text exposition of every SACK metric.
+struct MetricsNode {
+    sack: Weak<Sack>,
+}
+
+impl SecurityFsFile for MetricsNode {
+    fn read_content(&self, _ctx: &HookCtx) -> KernelResult<Vec<u8>> {
+        let sack = upgrade(&self.sack)?;
+        let tracing = tracing(&sack)?;
+        Ok(render_prometheus(&sack, &tracing).into_bytes())
+    }
+
+    fn mode(&self) -> Mode {
+        Mode(0o444)
+    }
+}
+
+/// `tracing/metrics_json`: the same metrics as one JSON object.
+struct MetricsJsonNode {
+    sack: Weak<Sack>,
+}
+
+impl SecurityFsFile for MetricsJsonNode {
+    fn read_content(&self, _ctx: &HookCtx) -> KernelResult<Vec<u8>> {
+        let sack = upgrade(&self.sack)?;
+        let tracing = tracing(&sack)?;
+        Ok(render_metrics_json(&sack, &tracing).into_bytes())
+    }
+
+    fn mode(&self) -> Mode {
+        Mode(0o444)
     }
 }
 
@@ -214,6 +508,40 @@ pub fn register(sack: &Arc<Sack>, kernel: &Arc<Kernel>) -> KernelResult<()> {
     kernel.register_securityfs(
         &audit,
         Arc::new(AuditNode {
+            sack: Arc::downgrade(sack),
+        }),
+    )?;
+    // The tracing subtree. `securityfs_path` builds single components only
+    // (KPath::join rejects '/'), so the nested paths chain a second join;
+    // the VFS auto-creates the `tracing` directory on first registration.
+    let tracing_dir = securityfs_path(SACK_DIR, "tracing")?;
+    kernel.register_securityfs(
+        &tracing_dir.join("enable")?,
+        Arc::new(TracingEnableNode {
+            sack: Arc::downgrade(sack),
+        }),
+    )?;
+    kernel.register_securityfs(
+        &tracing_dir.join("events")?,
+        Arc::new(TracingEventsNode {
+            sack: Arc::downgrade(sack),
+        }),
+    )?;
+    kernel.register_securityfs(
+        &tracing_dir.join("flight")?,
+        Arc::new(TracingFlightNode {
+            sack: Arc::downgrade(sack),
+        }),
+    )?;
+    kernel.register_securityfs(
+        &tracing_dir.join("metrics")?,
+        Arc::new(MetricsNode {
+            sack: Arc::downgrade(sack),
+        }),
+    )?;
+    kernel.register_securityfs(
+        &tracing_dir.join("metrics_json")?,
+        Arc::new(MetricsJsonNode {
             sack: Arc::downgrade(sack),
         }),
     )?;
@@ -397,6 +725,253 @@ mod tests {
     fn double_attach_is_rejected() {
         let (kernel, sack) = boot();
         assert!(sack.attach(&kernel).is_err());
+    }
+
+    fn make_door(kernel: &Arc<Kernel>) {
+        kernel
+            .vfs()
+            .mkdir_all(&sack_kernel::KPath::new("/dev/car").unwrap())
+            .unwrap();
+        kernel
+            .vfs()
+            .create_file(
+                &sack_kernel::KPath::new("/dev/car/door0").unwrap(),
+                sack_kernel::Mode(0o666),
+                sack_kernel::Uid::ROOT,
+                sack_kernel::Gid(0),
+            )
+            .unwrap();
+    }
+
+    fn read_node(kernel: &Arc<Kernel>, node: &str) -> String {
+        let admin = kernel.spawn(Credentials::root());
+        String::from_utf8(
+            admin
+                .read_to_vec(&format!("/sys/kernel/security/SACK/{node}"))
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tracing_enable_node_toggles_the_hub() {
+        let (kernel, sack) = boot();
+        assert_eq!(read_node(&kernel, "tracing/enable"), "0\n");
+        let admin = kernel.spawn(Credentials::root());
+        let fd = admin
+            .open(
+                "/sys/kernel/security/SACK/tracing/enable",
+                OpenFlags::write_only(),
+            )
+            .unwrap();
+        admin.write(fd, b"1\n").unwrap();
+        assert!(sack.tracing().unwrap().hub().enabled());
+        assert_eq!(read_node(&kernel, "tracing/enable"), "1\n");
+        let err = admin.write(fd, b"2\n").unwrap_err();
+        assert_eq!(err.errno(), Errno::EINVAL);
+        admin.write(fd, b"0").unwrap();
+        assert!(!sack.tracing().unwrap().hub().enabled());
+    }
+
+    #[test]
+    fn tracing_enable_write_requires_mac_admin() {
+        let (kernel, sack) = boot();
+        let attacker = kernel.spawn(Credentials::user(1000, 1000));
+        let fd = attacker
+            .open(
+                "/sys/kernel/security/SACK/tracing/enable",
+                OpenFlags::write_only(),
+            )
+            .unwrap();
+        let err = attacker.write(fd, b"1").unwrap_err();
+        assert_eq!(err.errno(), Errno::EPERM);
+        assert!(!sack.tracing().unwrap().hub().enabled(), "switch unchanged");
+
+        let sds = kernel.spawn(Credentials::user(500, 500).with_capability(Capability::MacAdmin));
+        let fd = sds
+            .open(
+                "/sys/kernel/security/SACK/tracing/enable",
+                OpenFlags::write_only(),
+            )
+            .unwrap();
+        sds.write(fd, b"1").unwrap();
+        assert!(sack.tracing().unwrap().hub().enabled());
+    }
+
+    #[test]
+    fn tracing_events_node_counts_fired_tracepoints() {
+        let (kernel, sack) = boot();
+        sack.tracing().unwrap().hub().set_enabled(true);
+        let p = kernel.spawn(Credentials::user(100, 100));
+        let _ = p.open("/dev/null", OpenFlags::read_only());
+        sack.deliver_event("crash", Duration::ZERO).unwrap();
+        let text = read_node(&kernel, "tracing/events");
+        assert!(text.starts_with("# tracepoints enabled=1\n"), "{text}");
+        let count = |name: &str| -> u64 {
+            text.lines()
+                .find_map(|l| l.strip_prefix(&format!("{name} ")))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(count("hook_enter") > 0);
+        assert_eq!(count("hook_enter"), count("hook_exit"));
+        assert_eq!(count("ssm_transition"), 1);
+        assert_eq!(count("rcu_epoch_bump"), 1);
+        assert_eq!(count("cache_invalidate"), 1);
+    }
+
+    #[test]
+    fn flight_node_replays_denial_with_preceding_transition() {
+        let (kernel, sack) = boot();
+        make_door(&kernel);
+        sack.tracing().unwrap().hub().set_enabled(true);
+        // Crash, recover, then provoke a denial in the normal state: the
+        // flight dump must show the full situation history before it.
+        sack.deliver_event("crash", Duration::ZERO).unwrap();
+        sack.deliver_event("rescue_done", Duration::ZERO).unwrap();
+        let app = kernel.spawn(Credentials::user(1000, 1000));
+        assert!(app.open("/dev/car/door0", OpenFlags::write_only()).is_err());
+        let text = read_node(&kernel, "tracing/flight");
+        assert!(text.starts_with("# flight capacity="), "{text}");
+        let lines: Vec<&str> = text.lines().collect();
+        let transition = lines
+            .iter()
+            .position(|l| l.contains("ssm_transition from=emergency to=normal event=rescue_done"))
+            .unwrap_or_else(|| panic!("no transition in flight: {text}"));
+        let denial = lines
+            .iter()
+            .position(|l| l.contains("hook_exit hook=file_open verdict=deny"))
+            .unwrap_or_else(|| panic!("no denial in flight: {text}"));
+        let audit = lines
+            .iter()
+            .position(|l| l.contains("audit_emit seq=0"))
+            .unwrap_or_else(|| panic!("no audit_emit in flight: {text}"));
+        assert!(
+            transition < denial,
+            "transition must precede the denial it explains"
+        );
+        assert!(audit < denial, "audit record lands before the hook exit");
+    }
+
+    /// A minimal Prometheus text-format check: every non-empty line is a
+    /// `# HELP`/`# TYPE` comment or `name{labels} value` with a parseable
+    /// numeric value, and every sample's metric family was declared by a
+    /// preceding `# TYPE`.
+    fn assert_valid_prometheus(text: &str) {
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                typed.push(parts.next().unwrap().to_string());
+                let kind = parts.next().unwrap();
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind),
+                    "bad type: {line}"
+                );
+                continue;
+            }
+            if line.starts_with('#') {
+                assert!(line.starts_with("# HELP "), "bad comment: {line}");
+                continue;
+            }
+            let (name_labels, value) = line.rsplit_once(' ').unwrap();
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad value in: {line}"));
+            let name = name_labels.split('{').next().unwrap();
+            if let Some(rest) = name_labels.strip_prefix(&format!("{name}{{")) {
+                let labels = rest.strip_suffix('}').unwrap_or_else(|| {
+                    panic!("unterminated labels in: {line}");
+                });
+                for pair in labels.split(',') {
+                    let (k, v) = pair.split_once('=').unwrap();
+                    assert!(!k.is_empty(), "{line}");
+                    assert!(v.starts_with('"') && v.ends_with('"'), "{line}");
+                }
+            }
+            let family = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .filter(|f| typed.contains(&(*f).to_string()))
+                .unwrap_or(name);
+            assert!(
+                typed.contains(&family.to_string()),
+                "sample without # TYPE: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_node_is_valid_prometheus() {
+        let (kernel, sack) = boot();
+        make_door(&kernel);
+        sack.tracing().unwrap().hub().set_enabled(true);
+        let app = kernel.spawn(Credentials::user(1000, 1000));
+        assert!(app.open("/dev/car/door0", OpenFlags::write_only()).is_err());
+        sack.deliver_event("crash", Duration::ZERO).unwrap();
+        let text = read_node(&kernel, "tracing/metrics");
+        assert_valid_prometheus(&text);
+        assert!(text.contains("sack_trace_enabled 1"), "{text}");
+        assert!(
+            text.contains("sack_tracepoint_fired_total{point=\"ssm_transition\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hook=\"file_open\",verdict=\"deny\""),
+            "denied dispatch must surface a histogram series: {text}"
+        );
+        // Histogram invariant: the +Inf bucket equals the series count.
+        for line in text.lines().filter(|l| l.contains("le=\"+Inf\"")) {
+            let labels = line
+                .split_once('{')
+                .unwrap()
+                .1
+                .split(",le=")
+                .next()
+                .unwrap()
+                .to_string();
+            let inf: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            let count_line = text
+                .lines()
+                .find(|l| l.starts_with(&format!("sack_hook_latency_ns_count{{{labels}}}")))
+                .unwrap();
+            let count: u64 = count_line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert_eq!(inf, count, "{line}");
+        }
+    }
+
+    #[test]
+    fn metrics_json_node_is_well_formed() {
+        let (kernel, sack) = boot();
+        make_door(&kernel);
+        sack.tracing().unwrap().hub().set_enabled(true);
+        let app = kernel.spawn(Credentials::user(1000, 1000));
+        assert!(app.open("/dev/car/door0", OpenFlags::write_only()).is_err());
+        let text = read_node(&kernel, "tracing/metrics_json");
+        assert!(text.starts_with('{') && text.ends_with('}'), "{text}");
+        // Balanced braces/brackets and no trailing commas — enough to catch
+        // hand-rolled-JSON slips without a JSON dependency.
+        let mut depth = 0i32;
+        let mut prev = ' ';
+        for c in text.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    assert_ne!(prev, ',', "trailing comma before {c}");
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            if !c.is_whitespace() {
+                prev = c;
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced braces: {text}");
+        assert!(text.contains("\"enabled\":true"));
+        assert!(text.contains("\"tracepoints\":{\"hook_enter\":"));
+        assert!(text.contains("\"p95\":"), "{text}");
     }
 
     #[test]

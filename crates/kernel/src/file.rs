@@ -114,6 +114,26 @@ pub struct OpenFile {
     pub flags: OpenFlags,
     /// Current file offset.
     pub pos: Mutex<u64>,
+    /// securityfs snapshot, `seq_file`-style: the node's content is
+    /// rendered once at the first `read(2)` of this open and served from
+    /// here until close. Without it a chunked read of a node whose
+    /// content changes underneath (`tracing/metrics` observes the very
+    /// `file_permission` hooks the read fires) would stitch slices of
+    /// different renders into torn output.
+    pub seq_snapshot: Mutex<Option<Arc<Vec<u8>>>>,
+}
+
+impl OpenFile {
+    /// Creates an open file description at offset zero.
+    pub fn new(path: KPath, backing: FileBacking, flags: OpenFlags) -> OpenFile {
+        OpenFile {
+            path,
+            backing,
+            flags,
+            pos: Mutex::new(0),
+            seq_snapshot: Mutex::new(None),
+        }
+    }
 }
 
 impl OpenFile {
@@ -301,18 +321,17 @@ mod tests {
 
     fn dummy_file() -> Arc<OpenFile> {
         let data: FileData = Arc::new(RwLock::new(b"hello world".to_vec()));
-        Arc::new(OpenFile {
-            path: KPath::new("/f").unwrap(),
-            backing: FileBacking::Inode(Arc::new(Inode {
+        Arc::new(OpenFile::new(
+            KPath::new("/f").unwrap(),
+            FileBacking::Inode(Arc::new(Inode {
                 id: crate::types::InodeId(9),
                 kind: crate::vfs::InodeKind::Regular(data),
                 mode: crate::types::Mode::REGULAR,
                 uid: crate::cred::Uid::ROOT,
                 gid: crate::cred::Gid(0),
             })),
-            flags: OpenFlags::read_only(),
-            pos: Mutex::new(0),
-        })
+            OpenFlags::read_only(),
+        ))
     }
 
     #[test]

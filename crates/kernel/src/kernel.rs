@@ -12,6 +12,7 @@ use crate::path::KPath;
 use crate::securityfs::{SecurityFsFile, SECURITYFS_ROOT};
 use crate::task::ProcessTable;
 use crate::time::SimClock;
+use crate::trace::TraceHub;
 use crate::types::Pid;
 use crate::uctx::UserContext;
 use crate::vfs::Vfs;
@@ -29,6 +30,7 @@ use crate::vfs::Vfs;
 #[derive(Default)]
 pub struct KernelBuilder {
     modules: Vec<Arc<dyn SecurityModule>>,
+    trace: Option<Arc<TraceHub>>,
 }
 
 impl KernelBuilder {
@@ -43,13 +45,21 @@ impl KernelBuilder {
         self
     }
 
+    /// Uses an externally owned trace hub instead of booting a fresh one,
+    /// so consumers can register callbacks before the first dispatch.
+    pub fn trace_hub(mut self, hub: Arc<TraceHub>) -> Self {
+        self.trace = Some(hub);
+        self
+    }
+
     /// Boots the kernel: builds the LSM stack, creates the standard
     /// filesystem skeleton (`/dev`, `/etc`, `/tmp`, `/usr/bin`, securityfs
     /// mount point) and returns the kernel handle.
     pub fn boot(self) -> Arc<Kernel> {
+        let trace = self.trace.unwrap_or_else(TraceHub::new);
         let kernel = Arc::new(Kernel {
             vfs: Vfs::new(),
-            lsm: LsmStack::new(self.modules),
+            lsm: LsmStack::with_trace(self.modules, trace),
             tasks: ProcessTable::new(),
             listeners: ListenerTable::new(),
             clock: SimClock::new(),
@@ -109,6 +119,11 @@ impl Kernel {
     /// The LSM stack.
     pub fn lsm(&self) -> &LsmStack {
         &self.lsm
+    }
+
+    /// The tracepoint hub shared by the LSM stack and the security modules.
+    pub fn trace(&self) -> &Arc<TraceHub> {
+        self.lsm.trace()
     }
 
     /// The process table.

@@ -42,6 +42,7 @@ pub mod securityfs;
 pub mod sync;
 pub mod task;
 pub mod time;
+pub mod trace;
 pub mod types;
 pub mod uctx;
 pub mod vfs;
@@ -52,5 +53,6 @@ pub use kernel::{Kernel, KernelBuilder};
 pub use lsm::{AccessMask, HookCtx, ObjectKind, ObjectRef, SecurityModule, SocketFamily};
 pub use path::KPath;
 pub use sync::Rcu;
+pub use trace::{TraceEvent, TraceHook, TraceHub, TraceVerdict, Tracepoint};
 pub use types::{DeviceId, Fd, InodeId, Mode, Pid};
 pub use uctx::UserContext;

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use crate::cred::{Capability, Credentials};
 use crate::error::KernelResult;
 use crate::path::KPath;
+use crate::trace::{TraceEvent, TraceHook, TraceHub, TraceVerdict};
 use crate::types::{DeviceId, Pid};
 
 /// Requested access rights, the `MAY_*` mask passed to file hooks.
@@ -332,36 +333,61 @@ impl LsmStats {
 pub struct LsmStack {
     modules: Vec<Arc<dyn SecurityModule>>,
     stats: LsmStats,
+    trace: Arc<TraceHub>,
 }
 
+/// Dispatch with `hook_enter`/`hook_exit` tracepoints around the module walk.
+/// The `trace.enabled()` relaxed load + branch is the *entire* disabled-path
+/// cost; timestamps and events are only constructed when tracing is on.
 macro_rules! dispatch {
-    ($self:ident, $counter:ident, $hook:ident ( $($arg:expr),* )) => {{
+    ($self:ident, $tp:expr, $counter:ident, $hook:ident ( $($arg:expr),* )) => {{
         $self.stats.$counter.fetch_add(1, Ordering::Relaxed);
-        for m in &$self.modules {
-            if let Err(e) = m.$hook($($arg),*) {
-                $self.stats.denials.fetch_add(1, Ordering::Relaxed);
-                return Err(e);
-            }
-        }
-        Ok(())
+        dispatch!($self, $tp, $hook($($arg),*))
     }};
-    ($self:ident, $hook:ident ( $($arg:expr),* )) => {{
+    ($self:ident, $tp:expr, $hook:ident ( $($arg:expr),* )) => {{
+        let start = if $self.trace.enabled() {
+            $self.trace.emit(&TraceEvent::HookEnter { hook: $tp });
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let mut result = Ok(());
         for m in &$self.modules {
             if let Err(e) = m.$hook($($arg),*) {
                 $self.stats.denials.fetch_add(1, Ordering::Relaxed);
-                return Err(e);
+                result = Err(e);
+                break;
             }
         }
-        Ok(())
+        if let Some(t0) = start {
+            $self.trace.emit(&TraceEvent::HookExit {
+                hook: $tp,
+                verdict: if result.is_ok() {
+                    TraceVerdict::Allow
+                } else {
+                    TraceVerdict::Deny
+                },
+                latency_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
+        result
     }};
 }
 
 impl LsmStack {
-    /// Creates a stack with the given checking order.
+    /// Creates a stack with the given checking order and a private
+    /// (disabled) trace hub.
     pub fn new(modules: Vec<Arc<dyn SecurityModule>>) -> Self {
+        LsmStack::with_trace(modules, TraceHub::new())
+    }
+
+    /// Creates a stack wired to an externally owned trace hub, so consumers
+    /// registered on the hub observe this stack's dispatches.
+    pub fn with_trace(modules: Vec<Arc<dyn SecurityModule>>, trace: Arc<TraceHub>) -> Self {
         LsmStack {
             modules,
             stats: LsmStats::default(),
+            trace,
         }
     }
 
@@ -369,6 +395,11 @@ impl LsmStack {
     /// without LSM framework" baseline.
     pub fn empty() -> Self {
         LsmStack::new(Vec::new())
+    }
+
+    /// The tracepoint hub observing this stack.
+    pub fn trace(&self) -> &Arc<TraceHub> {
+        &self.trace
     }
 
     /// Names of the stacked modules, in checking order.
@@ -398,7 +429,12 @@ impl LsmStack {
         obj: &ObjectRef<'_>,
         mask: AccessMask,
     ) -> KernelResult<()> {
-        dispatch!(self, file_open, file_open(ctx, obj, mask))
+        dispatch!(
+            self,
+            TraceHook::FileOpen,
+            file_open,
+            file_open(ctx, obj, mask)
+        )
     }
 
     /// Dispatches `file_permission`.
@@ -408,12 +444,22 @@ impl LsmStack {
         obj: &ObjectRef<'_>,
         mask: AccessMask,
     ) -> KernelResult<()> {
-        dispatch!(self, file_permission, file_permission(ctx, obj, mask))
+        dispatch!(
+            self,
+            TraceHook::FilePermission,
+            file_permission,
+            file_permission(ctx, obj, mask)
+        )
     }
 
     /// Dispatches `file_ioctl`.
     pub fn file_ioctl(&self, ctx: &HookCtx, obj: &ObjectRef<'_>, cmd: u32) -> KernelResult<()> {
-        dispatch!(self, file_ioctl, file_ioctl(ctx, obj, cmd))
+        dispatch!(
+            self,
+            TraceHook::FileIoctl,
+            file_ioctl,
+            file_ioctl(ctx, obj, cmd)
+        )
     }
 
     /// Dispatches `file_mmap`.
@@ -423,7 +469,7 @@ impl LsmStack {
         obj: &ObjectRef<'_>,
         mask: AccessMask,
     ) -> KernelResult<()> {
-        dispatch!(self, file_mmap(ctx, obj, mask))
+        dispatch!(self, TraceHook::FileMmap, file_mmap(ctx, obj, mask))
     }
 
     /// Dispatches `inode_create`.
@@ -434,12 +480,16 @@ impl LsmStack {
         name: &str,
         kind: ObjectKind,
     ) -> KernelResult<()> {
-        dispatch!(self, inode_create(ctx, parent, name, kind))
+        dispatch!(
+            self,
+            TraceHook::InodeCreate,
+            inode_create(ctx, parent, name, kind)
+        )
     }
 
     /// Dispatches `inode_unlink`.
     pub fn inode_unlink(&self, ctx: &HookCtx, obj: &ObjectRef<'_>) -> KernelResult<()> {
-        dispatch!(self, inode_unlink(ctx, obj))
+        dispatch!(self, TraceHook::InodeUnlink, inode_unlink(ctx, obj))
     }
 
     /// Dispatches `inode_rename`.
@@ -449,46 +499,71 @@ impl LsmStack {
         old: &ObjectRef<'_>,
         new: &KPath,
     ) -> KernelResult<()> {
-        dispatch!(self, inode_rename(ctx, old, new))
+        dispatch!(self, TraceHook::InodeRename, inode_rename(ctx, old, new))
     }
 
     /// Dispatches `inode_getattr`.
     pub fn inode_getattr(&self, ctx: &HookCtx, obj: &ObjectRef<'_>) -> KernelResult<()> {
-        dispatch!(self, inode_getattr(ctx, obj))
+        dispatch!(self, TraceHook::InodeGetattr, inode_getattr(ctx, obj))
     }
 
     /// Dispatches `bprm_check`.
     pub fn bprm_check(&self, ctx: &HookCtx, exe: &KPath) -> KernelResult<()> {
-        dispatch!(self, bprm_check(ctx, exe))
+        dispatch!(self, TraceHook::BprmCheck, bprm_check(ctx, exe))
     }
 
     /// Dispatches `bprm_committed` (notification, cannot deny).
     pub fn bprm_committed(&self, ctx: &HookCtx, exe: &KPath) {
+        let start = self.trace_enter(TraceHook::BprmCommitted);
         for m in &self.modules {
             m.bprm_committed(ctx, exe);
         }
+        self.trace_exit(TraceHook::BprmCommitted, start);
     }
 
     /// Dispatches `task_alloc`.
     pub fn task_alloc(&self, ctx: &HookCtx, child: Pid) -> KernelResult<()> {
-        dispatch!(self, task_alloc(ctx, child))
+        dispatch!(self, TraceHook::TaskAlloc, task_alloc(ctx, child))
     }
 
     /// Dispatches `task_free` (notification, cannot deny).
     pub fn task_free(&self, pid: Pid) {
+        let start = self.trace_enter(TraceHook::TaskFree);
         for m in &self.modules {
             m.task_free(pid);
+        }
+        self.trace_exit(TraceHook::TaskFree, start);
+    }
+
+    /// `hook_enter` probe for notification hooks (no verdict).
+    fn trace_enter(&self, hook: TraceHook) -> Option<std::time::Instant> {
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::HookEnter { hook });
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// `hook_exit` probe for notification hooks; they cannot deny.
+    fn trace_exit(&self, hook: TraceHook, start: Option<std::time::Instant>) {
+        if let Some(t0) = start {
+            self.trace.emit(&TraceEvent::HookExit {
+                hook,
+                verdict: TraceVerdict::Allow,
+                latency_ns: t0.elapsed().as_nanos() as u64,
+            });
         }
     }
 
     /// Dispatches `capable`.
     pub fn capable(&self, ctx: &HookCtx, cap: Capability) -> KernelResult<()> {
-        dispatch!(self, capable(ctx, cap))
+        dispatch!(self, TraceHook::Capable, capable(ctx, cap))
     }
 
     /// Dispatches `socket_create`.
     pub fn socket_create(&self, ctx: &HookCtx, family: SocketFamily) -> KernelResult<()> {
-        dispatch!(self, socket_create(ctx, family))
+        dispatch!(self, TraceHook::SocketCreate, socket_create(ctx, family))
     }
 
     /// Dispatches `socket_connect`.
@@ -498,7 +573,11 @@ impl LsmStack {
         family: SocketFamily,
         addr: &str,
     ) -> KernelResult<()> {
-        dispatch!(self, socket_connect(ctx, family, addr))
+        dispatch!(
+            self,
+            TraceHook::SocketConnect,
+            socket_connect(ctx, family, addr)
+        )
     }
 }
 

@@ -20,8 +20,11 @@ pub const SECURITYFS_ROOT: &str = "/sys/kernel/security";
 
 /// Handler backing one securityfs pseudo-file.
 ///
-/// Unlike regular files there is no backing data: every `read(2)` calls
-/// [`SecurityFsFile::read_content`] and every `write(2)` calls
+/// Unlike regular files there is no backing data:
+/// [`SecurityFsFile::read_content`] renders the whole content once at
+/// the first `read(2)` of each open (then chunks are served from that
+/// snapshot, `seq_file`-style, so a node whose content changes under the
+/// read never tears), and every `write(2)` calls
 /// [`SecurityFsFile::write_content`].
 #[allow(unused_variables)]
 pub trait SecurityFsFile: Send + Sync {

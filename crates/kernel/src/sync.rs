@@ -383,11 +383,16 @@ mod tests {
             .collect();
 
         let writers: Vec<_> = (0..2)
-            .map(|w| {
+            .map(|_| {
                 let cell = Arc::clone(&cell);
                 thread::spawn(move || {
-                    for i in 0..2000u64 {
-                        cell.store(vec![i * 2 + w; 16]);
+                    for _ in 0..2000u64 {
+                        // Read-modify-write under the writer lock: publish
+                        // order equals value order, so the published
+                        // sequence is globally monotone even with two
+                        // racing writers (independent `store`s would not
+                        // be — each writer's counter races the other's).
+                        cell.update(|old| (vec![old[0] + 1; 16], ()));
                     }
                 })
             })

@@ -1,0 +1,557 @@
+//! # sack-trace — kernel-style static tracepoints
+//!
+//! Compiled-in probe points modelled on the Linux tracepoint machinery
+//! (`include/linux/tracepoint.h`): every probe site is guarded by a single
+//! **relaxed atomic load + branch**, so with tracing disabled the entire
+//! subsystem costs one predictable-not-taken branch per probe. Consumers
+//! attach dynamically at runtime — the moral equivalent of
+//! `register_trace_sys_enter()` — and receive every [`TraceEvent`]
+//! synchronously on the emitting thread, in program order.
+//!
+//! The hub deliberately does **not** buffer, aggregate or render anything:
+//! histograms, the flight recorder and the securityfs/Prometheus exports all
+//! live in `sack-core` as registered callbacks. This keeps the kernel layer
+//! dependency-free and lets benches attach alternative consumers.
+//!
+//! Event taxonomy (one [`Tracepoint`] per kind):
+//!
+//! | tracepoint          | fires when                                             |
+//! |---------------------|--------------------------------------------------------|
+//! | `hook_enter`        | an LSM hook dispatch starts                            |
+//! | `hook_exit`         | an LSM hook dispatch finishes (carries verdict+latency)|
+//! | `cache_hit`         | a decision-cache lookup hits                           |
+//! | `cache_miss`        | a decision-cache lookup misses                         |
+//! | `cache_invalidate`  | the policy epoch bump invalidates all cached decisions |
+//! | `ssm_transition`    | the situation state machine changes state              |
+//! | `policy_publish`    | a new `ActivePolicy` is published over RCU             |
+//! | `rcu_epoch_bump`    | the global policy epoch counter is incremented         |
+//! | `profile_recompile` | an AppArmor profile is (re)compiled to its DFA         |
+//! | `audit_emit`        | a record is appended to the audit ring                 |
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Identifies an LSM hook in trace events and latency histograms.
+///
+/// Mirrors the dispatch surface of [`crate::lsm::LsmStack`]; notification
+/// hooks (`bprm_committed`, `task_free`) are traced too, always with an
+/// `Allow` verdict since they cannot deny.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceHook {
+    /// `file_open`.
+    FileOpen,
+    /// `file_permission`.
+    FilePermission,
+    /// `file_ioctl`.
+    FileIoctl,
+    /// `file_mmap`.
+    FileMmap,
+    /// `inode_create`.
+    InodeCreate,
+    /// `inode_unlink`.
+    InodeUnlink,
+    /// `inode_rename`.
+    InodeRename,
+    /// `inode_getattr`.
+    InodeGetattr,
+    /// `bprm_check`.
+    BprmCheck,
+    /// `bprm_committed` (notification).
+    BprmCommitted,
+    /// `task_alloc`.
+    TaskAlloc,
+    /// `task_free` (notification).
+    TaskFree,
+    /// `capable`.
+    Capable,
+    /// `socket_create`.
+    SocketCreate,
+    /// `socket_connect`.
+    SocketConnect,
+}
+
+impl TraceHook {
+    /// Every hook, in dispatch-table order. Index with [`TraceHook::index`].
+    pub const ALL: [TraceHook; 15] = [
+        TraceHook::FileOpen,
+        TraceHook::FilePermission,
+        TraceHook::FileIoctl,
+        TraceHook::FileMmap,
+        TraceHook::InodeCreate,
+        TraceHook::InodeUnlink,
+        TraceHook::InodeRename,
+        TraceHook::InodeGetattr,
+        TraceHook::BprmCheck,
+        TraceHook::BprmCommitted,
+        TraceHook::TaskAlloc,
+        TraceHook::TaskFree,
+        TraceHook::Capable,
+        TraceHook::SocketCreate,
+        TraceHook::SocketConnect,
+    ];
+
+    /// Dense index into [`TraceHook::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The hook's LSM name (`file_open`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceHook::FileOpen => "file_open",
+            TraceHook::FilePermission => "file_permission",
+            TraceHook::FileIoctl => "file_ioctl",
+            TraceHook::FileMmap => "file_mmap",
+            TraceHook::InodeCreate => "inode_create",
+            TraceHook::InodeUnlink => "inode_unlink",
+            TraceHook::InodeRename => "inode_rename",
+            TraceHook::InodeGetattr => "inode_getattr",
+            TraceHook::BprmCheck => "bprm_check",
+            TraceHook::BprmCommitted => "bprm_committed",
+            TraceHook::TaskAlloc => "task_alloc",
+            TraceHook::TaskFree => "task_free",
+            TraceHook::Capable => "capable",
+            TraceHook::SocketCreate => "socket_create",
+            TraceHook::SocketConnect => "socket_connect",
+        }
+    }
+
+    /// Parses the LSM name produced by [`TraceHook::name`].
+    pub fn from_name(name: &str) -> Option<TraceHook> {
+        TraceHook::ALL.into_iter().find(|h| h.name() == name)
+    }
+}
+
+impl fmt::Display for TraceHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Outcome of a hook dispatch as seen by `hook_exit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceVerdict {
+    /// Every stacked module allowed the operation.
+    Allow,
+    /// Some module denied (first-deny-wins).
+    Deny,
+}
+
+impl TraceVerdict {
+    /// Stable lowercase label (`allow` / `deny`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceVerdict::Allow => "allow",
+            TraceVerdict::Deny => "deny",
+        }
+    }
+
+    /// Dense index (Allow = 0, Deny = 1).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for TraceVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The static tracepoint kinds, one per probe site family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tracepoint {
+    /// LSM hook dispatch entry.
+    HookEnter,
+    /// LSM hook dispatch exit (verdict + latency).
+    HookExit,
+    /// Decision-cache hit.
+    CacheHit,
+    /// Decision-cache miss.
+    CacheMiss,
+    /// Epoch bump invalidated all cached decisions.
+    CacheInvalidate,
+    /// Situation state machine transition.
+    SsmTransition,
+    /// New active policy published.
+    PolicyPublish,
+    /// Policy epoch counter bumped.
+    RcuEpochBump,
+    /// AppArmor profile (re)compiled.
+    ProfileRecompile,
+    /// Audit record appended.
+    AuditEmit,
+}
+
+impl Tracepoint {
+    /// Every tracepoint, in declaration order.
+    pub const ALL: [Tracepoint; 10] = [
+        Tracepoint::HookEnter,
+        Tracepoint::HookExit,
+        Tracepoint::CacheHit,
+        Tracepoint::CacheMiss,
+        Tracepoint::CacheInvalidate,
+        Tracepoint::SsmTransition,
+        Tracepoint::PolicyPublish,
+        Tracepoint::RcuEpochBump,
+        Tracepoint::ProfileRecompile,
+        Tracepoint::AuditEmit,
+    ];
+
+    /// Dense index into [`Tracepoint::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name, as shown in `tracing/events`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tracepoint::HookEnter => "hook_enter",
+            Tracepoint::HookExit => "hook_exit",
+            Tracepoint::CacheHit => "cache_hit",
+            Tracepoint::CacheMiss => "cache_miss",
+            Tracepoint::CacheInvalidate => "cache_invalidate",
+            Tracepoint::SsmTransition => "ssm_transition",
+            Tracepoint::PolicyPublish => "policy_publish",
+            Tracepoint::RcuEpochBump => "rcu_epoch_bump",
+            Tracepoint::ProfileRecompile => "profile_recompile",
+            Tracepoint::AuditEmit => "audit_emit",
+        }
+    }
+}
+
+impl fmt::Display for Tracepoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single trace event, the payload delivered to registered callbacks.
+///
+/// Hot-path variants (`HookEnter`, `HookExit`, cache events) carry only
+/// `Copy` data; rare control-plane variants own their strings so the flight
+/// recorder can retain them without lifetimes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// An LSM hook dispatch started.
+    HookEnter {
+        /// Which hook.
+        hook: TraceHook,
+    },
+    /// An LSM hook dispatch finished.
+    HookExit {
+        /// Which hook.
+        hook: TraceHook,
+        /// Allow or deny.
+        verdict: TraceVerdict,
+        /// Wall-clock nanoseconds spent in the stacked modules.
+        latency_ns: u64,
+    },
+    /// A decision-cache lookup hit.
+    CacheHit,
+    /// A decision-cache lookup missed.
+    CacheMiss,
+    /// The policy epoch bump invalidated every cached decision.
+    ///
+    /// Fires exactly **once per epoch bump**, never per cache slot — the
+    /// interleaving model in `sack-analyze` proves this.
+    CacheInvalidate {
+        /// The new epoch value.
+        epoch: u64,
+    },
+    /// The situation state machine transitioned.
+    SsmTransition {
+        /// Source state name.
+        from: String,
+        /// Destination state name.
+        to: String,
+        /// The environmental event that caused the transition.
+        event: String,
+    },
+    /// A new active policy was published over RCU.
+    PolicyPublish {
+        /// The epoch value after the publish's bump.
+        epoch: u64,
+    },
+    /// The global policy epoch counter was incremented.
+    RcuEpochBump {
+        /// The new epoch value.
+        epoch: u64,
+    },
+    /// An AppArmor profile was (re)compiled to its unified DFA.
+    ProfileRecompile {
+        /// Profile name.
+        profile: String,
+        /// True when the shared alphabet split and the whole world recompiled.
+        full_rebuild: bool,
+    },
+    /// A record was appended to the audit ring.
+    AuditEmit {
+        /// The record's monotonic sequence number.
+        seq: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The tracepoint this event belongs to.
+    pub fn tracepoint(&self) -> Tracepoint {
+        match self {
+            TraceEvent::HookEnter { .. } => Tracepoint::HookEnter,
+            TraceEvent::HookExit { .. } => Tracepoint::HookExit,
+            TraceEvent::CacheHit => Tracepoint::CacheHit,
+            TraceEvent::CacheMiss => Tracepoint::CacheMiss,
+            TraceEvent::CacheInvalidate { .. } => Tracepoint::CacheInvalidate,
+            TraceEvent::SsmTransition { .. } => Tracepoint::SsmTransition,
+            TraceEvent::PolicyPublish { .. } => Tracepoint::PolicyPublish,
+            TraceEvent::RcuEpochBump { .. } => Tracepoint::RcuEpochBump,
+            TraceEvent::ProfileRecompile { .. } => Tracepoint::ProfileRecompile,
+            TraceEvent::AuditEmit { .. } => Tracepoint::AuditEmit,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::HookEnter { hook } => write!(f, "hook_enter hook={hook}"),
+            TraceEvent::HookExit {
+                hook,
+                verdict,
+                latency_ns,
+            } => write!(f, "hook_exit hook={hook} verdict={verdict} ns={latency_ns}"),
+            TraceEvent::CacheHit => f.write_str("cache_hit"),
+            TraceEvent::CacheMiss => f.write_str("cache_miss"),
+            TraceEvent::CacheInvalidate { epoch } => {
+                write!(f, "cache_invalidate epoch={epoch}")
+            }
+            TraceEvent::SsmTransition { from, to, event } => {
+                write!(f, "ssm_transition from={from} to={to} event={event}")
+            }
+            TraceEvent::PolicyPublish { epoch } => write!(f, "policy_publish epoch={epoch}"),
+            TraceEvent::RcuEpochBump { epoch } => write!(f, "rcu_epoch_bump epoch={epoch}"),
+            TraceEvent::ProfileRecompile {
+                profile,
+                full_rebuild,
+            } => write!(
+                f,
+                "profile_recompile profile={profile} full_rebuild={full_rebuild}"
+            ),
+            TraceEvent::AuditEmit { seq } => write!(f, "audit_emit seq={seq}"),
+        }
+    }
+}
+
+/// A registered trace callback: runs synchronously on the emitting thread.
+pub type TraceCallback = Arc<dyn Fn(&TraceEvent) + Send + Sync>;
+
+/// Handle returned by [`TraceHub::register`]; pass to
+/// [`TraceHub::unregister`] to detach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHandle(u64);
+
+/// One cache line per fired-counter so concurrent probe sites never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCounter(AtomicU64);
+
+struct CallbackEntry {
+    handle: u64,
+    /// `None` attaches to every tracepoint.
+    point: Option<Tracepoint>,
+    callback: TraceCallback,
+}
+
+/// The tracepoint hub: one per booted kernel, shared by every layer.
+///
+/// Disabled cost is a single `Relaxed` load and branch per probe site
+/// ([`TraceHub::enabled`]); probe sites must guard event *construction*
+/// behind it:
+///
+/// ```
+/// use sack_kernel::trace::{TraceEvent, TraceHub};
+///
+/// let hub = TraceHub::new();
+/// if hub.enabled() {
+///     hub.emit(&TraceEvent::CacheHit); // never reached while disabled
+/// }
+/// ```
+pub struct TraceHub {
+    enabled: AtomicBool,
+    next_handle: AtomicU64,
+    fired: [PaddedCounter; Tracepoint::ALL.len()],
+    callbacks: RwLock<Vec<CallbackEntry>>,
+}
+
+impl TraceHub {
+    /// Creates a hub with tracing disabled and no callbacks.
+    pub fn new() -> Arc<TraceHub> {
+        Arc::new(TraceHub {
+            enabled: AtomicBool::new(false),
+            next_handle: AtomicU64::new(1),
+            fired: Default::default(),
+            callbacks: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// The one-load-one-branch global enable check.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables all tracepoints.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+    }
+
+    /// Attaches `callback` to a single tracepoint (`register_trace_*` style).
+    pub fn register(&self, point: Tracepoint, callback: TraceCallback) -> TraceHandle {
+        self.register_entry(Some(point), callback)
+    }
+
+    /// Attaches `callback` to **every** tracepoint.
+    pub fn register_all(&self, callback: TraceCallback) -> TraceHandle {
+        self.register_entry(None, callback)
+    }
+
+    fn register_entry(&self, point: Option<Tracepoint>, callback: TraceCallback) -> TraceHandle {
+        let handle = self.next_handle.fetch_add(1, Ordering::Relaxed);
+        self.callbacks.write().push(CallbackEntry {
+            handle,
+            point,
+            callback,
+        });
+        TraceHandle(handle)
+    }
+
+    /// Detaches a callback. Unknown handles are ignored.
+    pub fn unregister(&self, handle: TraceHandle) {
+        self.callbacks.write().retain(|e| e.handle != handle.0);
+    }
+
+    /// Number of attached callbacks (tests / diagnostics).
+    pub fn callback_count(&self) -> usize {
+        self.callbacks.read().len()
+    }
+
+    /// Emits an event to every matching callback and bumps the tracepoint's
+    /// fired counter. No-op while disabled; probe sites should still check
+    /// [`TraceHub::enabled`] first so the event is never even constructed on
+    /// the disabled path.
+    pub fn emit(&self, event: &TraceEvent) {
+        if !self.enabled() {
+            return;
+        }
+        let point = event.tracepoint();
+        self.fired[point.index()].0.fetch_add(1, Ordering::Relaxed);
+        for entry in self.callbacks.read().iter() {
+            if entry.point.is_none() || entry.point == Some(point) {
+                (entry.callback)(event);
+            }
+        }
+    }
+
+    /// How many times `point` has fired while enabled.
+    pub fn fired(&self, point: Tracepoint) -> u64 {
+        self.fired[point.index()].0.load(Ordering::Relaxed)
+    }
+
+    /// Total events fired across all tracepoints.
+    pub fn fired_total(&self) -> u64 {
+        Tracepoint::ALL.iter().map(|p| self.fired(*p)).sum()
+    }
+}
+
+impl fmt::Debug for TraceHub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceHub")
+            .field("enabled", &self.enabled())
+            .field("callbacks", &self.callback_count())
+            .field("fired_total", &self.fired_total())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn disabled_hub_emits_nothing() {
+        let hub = TraceHub::new();
+        let seen = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&seen);
+        hub.register_all(Arc::new(move |_| {
+            s.fetch_add(1, Ordering::Relaxed);
+        }));
+        hub.emit(&TraceEvent::CacheHit);
+        assert_eq!(seen.load(Ordering::Relaxed), 0);
+        assert_eq!(hub.fired(Tracepoint::CacheHit), 0);
+    }
+
+    #[test]
+    fn enabled_hub_delivers_in_order_and_counts() {
+        let hub = TraceHub::new();
+        hub.set_enabled(true);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l = Arc::clone(&log);
+        hub.register_all(Arc::new(move |ev| l.lock().unwrap().push(ev.clone())));
+        hub.emit(&TraceEvent::CacheMiss);
+        hub.emit(&TraceEvent::RcuEpochBump { epoch: 7 });
+        let log = log.lock().unwrap();
+        assert_eq!(
+            *log,
+            vec![TraceEvent::CacheMiss, TraceEvent::RcuEpochBump { epoch: 7 }]
+        );
+        assert_eq!(hub.fired(Tracepoint::CacheMiss), 1);
+        assert_eq!(hub.fired(Tracepoint::RcuEpochBump), 1);
+        assert_eq!(hub.fired_total(), 2);
+    }
+
+    #[test]
+    fn point_filter_and_unregister() {
+        let hub = TraceHub::new();
+        hub.set_enabled(true);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let handle = hub.register(
+            Tracepoint::CacheHit,
+            Arc::new(move |_| {
+                h.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        hub.emit(&TraceEvent::CacheHit);
+        hub.emit(&TraceEvent::CacheMiss); // filtered out
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        hub.unregister(handle);
+        hub.emit(&TraceEvent::CacheHit);
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert_eq!(hub.callback_count(), 0);
+    }
+
+    #[test]
+    fn hook_and_tracepoint_names_round_trip() {
+        for hook in TraceHook::ALL {
+            assert_eq!(TraceHook::from_name(hook.name()), Some(hook));
+            assert_eq!(TraceHook::ALL[hook.index()], hook);
+        }
+        for (i, point) in Tracepoint::ALL.into_iter().enumerate() {
+            assert_eq!(point.index(), i);
+        }
+    }
+
+    #[test]
+    fn toggling_gates_counters() {
+        let hub = TraceHub::new();
+        hub.emit(&TraceEvent::CacheHit);
+        hub.set_enabled(true);
+        hub.emit(&TraceEvent::CacheHit);
+        hub.set_enabled(false);
+        hub.emit(&TraceEvent::CacheHit);
+        assert_eq!(hub.fired(Tracepoint::CacheHit), 1);
+    }
+}

@@ -7,8 +7,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::error::{Errno, KernelError, KernelResult};
 use crate::file::{FileBacking, MappedRegion, OpenFile, OpenFlags};
 use crate::ipc::{Listener, Pipe};
@@ -156,12 +154,7 @@ impl UserContext {
             }
         }
 
-        let file = Arc::new(OpenFile {
-            path,
-            backing: FileBacking::Inode(node),
-            flags,
-            pos: Mutex::new(0),
-        });
+        let file = Arc::new(OpenFile::new(path, FileBacking::Inode(node), flags));
         self.task.fds.lock().install(file)
     }
 
@@ -219,7 +212,21 @@ impl UserContext {
                         driver.read(buf, *pos)?
                     }
                     InodeKind::SecurityFs(ops) => {
-                        let content = ops.read_content(&ctx)?;
+                        // seq_file semantics: render once at the first read
+                        // of this open, then serve every chunk from that
+                        // snapshot. Re-rendering per chunk would tear nodes
+                        // whose content changes under the read — e.g. the
+                        // tracing metrics observe the read's own hooks.
+                        let mut snapshot = file.seq_snapshot.lock();
+                        let content = match &*snapshot {
+                            Some(content) => Arc::clone(content),
+                            None => {
+                                let rendered = Arc::new(ops.read_content(&ctx)?);
+                                *snapshot = Some(Arc::clone(&rendered));
+                                rendered
+                            }
+                        };
+                        drop(snapshot);
                         let off = *pos as usize;
                         if off >= content.len() {
                             0
@@ -627,18 +634,16 @@ impl UserContext {
     pub fn pipe(&self) -> KernelResult<(Fd, Fd)> {
         let pipe = Pipe::new();
         let path = KPath::new("/proc/pipe")?;
-        let read_end = Arc::new(OpenFile {
-            path: path.clone(),
-            backing: FileBacking::PipeRead(Arc::clone(&pipe)),
-            flags: OpenFlags::read_only(),
-            pos: Mutex::new(0),
-        });
-        let write_end = Arc::new(OpenFile {
+        let read_end = Arc::new(OpenFile::new(
+            path.clone(),
+            FileBacking::PipeRead(Arc::clone(&pipe)),
+            OpenFlags::read_only(),
+        ));
+        let write_end = Arc::new(OpenFile::new(
             path,
-            backing: FileBacking::PipeWrite(pipe),
-            flags: OpenFlags::write_only(),
-            pos: Mutex::new(0),
-        });
+            FileBacking::PipeWrite(pipe),
+            OpenFlags::write_only(),
+        ));
         let mut fds = self.task.fds.lock();
         let r = fds.install(read_end)?;
         let w = fds.install(write_end)?;
@@ -680,12 +685,11 @@ impl UserContext {
     }
 
     fn install_socket(&self, endpoint: Arc<crate::ipc::SocketEndpoint>) -> KernelResult<Fd> {
-        let file = Arc::new(OpenFile {
-            path: KPath::new("/proc/socket")?,
-            backing: FileBacking::Socket(endpoint),
-            flags: OpenFlags::read_write(),
-            pos: Mutex::new(0),
-        });
+        let file = Arc::new(OpenFile::new(
+            KPath::new("/proc/socket")?,
+            FileBacking::Socket(endpoint),
+            OpenFlags::read_write(),
+        ));
         self.task.fds.lock().install(file)
     }
 
@@ -784,6 +788,51 @@ mod tests {
         assert_eq!(p.write(fd, b"hello").unwrap(), 5);
         p.close(fd).unwrap();
         assert_eq!(p.read_to_vec("/tmp/f").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn securityfs_chunked_read_serves_one_snapshot() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // A node whose content changes on every render: without the
+        // per-open snapshot, a chunked read would stitch bytes from
+        // different renders into torn output.
+        struct Mutating(AtomicU64);
+        impl crate::securityfs::SecurityFsFile for Mutating {
+            fn read_content(&self, _ctx: &crate::lsm::HookCtx) -> KernelResult<Vec<u8>> {
+                let generation = self.0.fetch_add(1, Ordering::SeqCst);
+                // 100 bytes per render, all stamped with the generation.
+                Ok(format!("{generation:0>10}").repeat(10).into_bytes())
+            }
+        }
+        let kernel = Kernel::boot_default();
+        kernel
+            .register_securityfs(
+                &KPath::new("/sys/kernel/security/test/mutating").unwrap(),
+                Arc::new(Mutating(AtomicU64::new(0))),
+            )
+            .unwrap();
+        let p = kernel.spawn(Credentials::root());
+        let fd = p
+            .open("/sys/kernel/security/test/mutating", OpenFlags::read_only())
+            .unwrap();
+        // Read in 7-byte chunks so slices straddle render boundaries.
+        let mut out = Vec::new();
+        let mut buf = [0u8; 7];
+        loop {
+            let n = p.read(fd, &mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        p.close(fd).unwrap();
+        assert_eq!(out, "0000000000".repeat(10).into_bytes());
+        // A fresh open takes a fresh snapshot of the next generation.
+        assert_eq!(
+            p.read_to_vec("/sys/kernel/security/test/mutating").unwrap(),
+            "0000000001".repeat(10).into_bytes()
+        );
     }
 
     #[test]

@@ -19,6 +19,11 @@
 #     MIN_INCR_RECOMPILE_SPEEDUP x faster than a full 100-profile
 #     table rebuild.
 #
+# Also runs the observer-effect bench (DESIGN.md §8) and fails if:
+#   * attached-but-disabled tracepoints cost more than
+#     MAX_TRACE_OVERHEAD x the never-attached baseline on the warm
+#     hook path (the "free when off" contract).
+#
 # Usage: scripts/bench_gate.sh [--full]
 #   --full  drop --quick and use criterion's full sample counts.
 
@@ -32,6 +37,7 @@ MIN_DFA_SPEEDUP="${MIN_DFA_SPEEDUP:-3.0}"
 MAX_DFA_DEGRADATION="${MAX_DFA_DEGRADATION:-1.5}"
 MIN_AA_DFA_SPEEDUP="${MIN_AA_DFA_SPEEDUP:-3.0}"
 MIN_INCR_RECOMPILE_SPEEDUP="${MIN_INCR_RECOMPILE_SPEEDUP:-10.0}"
+MAX_TRACE_OVERHEAD="${MAX_TRACE_OVERHEAD:-1.05}"
 OUT_JSON="${OUT_JSON:-BENCH_hook_latency.json}"
 
 QUICK="--quick"
@@ -42,7 +48,8 @@ fi
 TMP_JSON="$(mktemp)"
 TMP_LOG="$(mktemp)"
 TMP_JSON_PT="$(mktemp)"
-trap 'rm -f "$TMP_JSON" "$TMP_LOG" "$TMP_JSON_PT"' EXIT
+TMP_JSON_OBS="$(mktemp)"
+trap 'rm -f "$TMP_JSON" "$TMP_LOG" "$TMP_JSON_PT" "$TMP_JSON_OBS"' EXIT
 
 echo "== bench_gate: running ablation_decision_cache ${QUICK:+(quick mode)}" >&2
 BENCH_JSON_OUT="$TMP_JSON" \
@@ -82,9 +89,23 @@ AA_SCAN="$(median_of_pt 'profile_table_1000rules/scan')"
 RECOMPILE_INCR="$(median_of_pt 'recompile_100profiles/incremental')"
 RECOMPILE_FULL="$(median_of_pt 'recompile_100profiles/full')"
 
+echo "== bench_gate: running observer_effect ${QUICK:+(quick mode)}" >&2
+BENCH_JSON_OUT="$TMP_JSON_OBS" \
+    cargo bench --offline -p sack-bench --bench observer_effect -- $QUICK
+
+median_of_obs() {
+    grep -F "$1" "$TMP_JSON_OBS" | sed -n 's/.*"median_ns": \([0-9.]*\).*/\1/p' | head -1
+}
+
+TRACE_BASELINE="$(median_of_obs 'warm_hook/baseline')"
+TRACE_DISABLED="$(median_of_obs 'warm_hook/tracing-disabled')"
+TRACE_ENABLED="$(median_of_obs 'warm_hook/tracing-enabled')"
+TRACE_FLIGHT="$(median_of_obs 'flight_saturated/tracing-enabled')"
+
 for v in WARM_SINGLE DFA_SINGLE SCAN_SINGLE WARM_WSET SCAN_WSET HIT_RATE \
          DFA_100 SCAN_100 DFA_1K SCAN_1K DFA_10K SCAN_10K \
-         AA_DFA AA_SCAN RECOMPILE_INCR RECOMPILE_FULL; do
+         AA_DFA AA_SCAN RECOMPILE_INCR RECOMPILE_FULL \
+         TRACE_BASELINE TRACE_DISABLED TRACE_ENABLED TRACE_FLIGHT; do
     if [[ -z "${!v}" ]]; then
         echo "bench_gate: FAILED to extract $v from benchmark output" >&2
         exit 1
@@ -97,6 +118,8 @@ DFA_SPEEDUP_1K="$(awk -v a="$SCAN_1K" -v b="$DFA_1K" 'BEGIN { printf "%.2f", a /
 DFA_DEGRADATION="$(awk -v a="$DFA_10K" -v b="$DFA_100" 'BEGIN { printf "%.2f", a / b }')"
 AA_DFA_SPEEDUP="$(awk -v a="$AA_SCAN" -v b="$AA_DFA" 'BEGIN { printf "%.2f", a / b }')"
 INCR_SPEEDUP="$(awk -v a="$RECOMPILE_FULL" -v b="$RECOMPILE_INCR" 'BEGIN { printf "%.2f", a / b }')"
+TRACE_OVERHEAD_DISABLED="$(awk -v a="$TRACE_DISABLED" -v b="$TRACE_BASELINE" 'BEGIN { printf "%.3f", a / b }')"
+TRACE_OVERHEAD_ENABLED="$(awk -v a="$TRACE_ENABLED" -v b="$TRACE_BASELINE" 'BEGIN { printf "%.3f", a / b }')"
 
 cat > "$OUT_JSON" <<EOF
 {
@@ -131,13 +154,22 @@ cat > "$OUT_JSON" <<EOF
     "full_rebuild_median_ns": $RECOMPILE_FULL,
     "incremental_speedup": $INCR_SPEEDUP
   },
+  "tracing": {
+    "warm_hook_baseline_median_ns": $TRACE_BASELINE,
+    "warm_hook_tracing_disabled_median_ns": $TRACE_DISABLED,
+    "warm_hook_tracing_enabled_median_ns": $TRACE_ENABLED,
+    "flight_saturated_median_ns": $TRACE_FLIGHT,
+    "disabled_overhead_ratio": $TRACE_OVERHEAD_DISABLED,
+    "enabled_overhead_ratio": $TRACE_OVERHEAD_ENABLED
+  },
   "gate": {
     "min_speedup": $MIN_SPEEDUP,
     "min_hit_rate": $MIN_HIT_RATE,
     "min_dfa_speedup_1k": $MIN_DFA_SPEEDUP,
     "max_dfa_degradation": $MAX_DFA_DEGRADATION,
     "min_aa_dfa_speedup": $MIN_AA_DFA_SPEEDUP,
-    "min_incr_recompile_speedup": $MIN_INCR_RECOMPILE_SPEEDUP
+    "min_incr_recompile_speedup": $MIN_INCR_RECOMPILE_SPEEDUP,
+    "max_trace_overhead": $MAX_TRACE_OVERHEAD
   }
 }
 EOF
@@ -150,6 +182,8 @@ echo "   DFA vs scan @1k:      ${DFA_SPEEDUP_1K}x (dfa $DFA_1K ns vs scan $SCAN_
 echo "   DFA 100 -> 10k:       ${DFA_DEGRADATION}x (dfa $DFA_100 ns -> $DFA_10K ns)" >&2
 echo "   profile DFA @1k:      ${AA_DFA_SPEEDUP}x (dfa $AA_DFA ns vs scan $AA_SCAN ns)" >&2
 echo "   incr recompile @100:  ${INCR_SPEEDUP}x (incr $RECOMPILE_INCR ns vs full $RECOMPILE_FULL ns)" >&2
+echo "   trace off overhead:   ${TRACE_OVERHEAD_DISABLED}x (disabled $TRACE_DISABLED ns vs baseline $TRACE_BASELINE ns)" >&2
+echo "   trace on overhead:    ${TRACE_OVERHEAD_ENABLED}x (enabled $TRACE_ENABLED ns, flight-saturated $TRACE_FLIGHT ns)" >&2
 
 fail=0
 if awk -v s="$SPEEDUP_SINGLE" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
@@ -178,6 +212,10 @@ if awk -v s="$AA_DFA_SPEEDUP" -v m="$MIN_AA_DFA_SPEEDUP" 'BEGIN { exit !(s < m) 
 fi
 if awk -v s="$INCR_SPEEDUP" -v m="$MIN_INCR_RECOMPILE_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
     echo "bench_gate: FAIL — incremental recompile speedup ${INCR_SPEEDUP}x < required ${MIN_INCR_RECOMPILE_SPEEDUP}x on a 100-profile table" >&2
+    fail=1
+fi
+if awk -v r="$TRACE_OVERHEAD_DISABLED" -v m="$MAX_TRACE_OVERHEAD" 'BEGIN { exit !(r > m) }'; then
+    echo "bench_gate: FAIL — disabled tracepoints cost ${TRACE_OVERHEAD_DISABLED}x on the warm hook path (max ${MAX_TRACE_OVERHEAD}x)" >&2
     fail=1
 fi
 

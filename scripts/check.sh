@@ -5,8 +5,16 @@
 #   2. cargo clippy -D warnings   — lint-clean across every target
 #   3. cargo build --release      — the tier-1 build
 #   4. cargo test -q              — the full test suite (unit, integration,
-#                                   property, interleaving exhaustion)
-#   5. scripts/bench_gate.sh      — the hook-latency performance gate
+#                                   property, interleaving exhaustion,
+#                                   observer-effect differential)
+#   5. sack-analyze trace --self-check
+#                                 — boots a traced kernel and proves every
+#                                   tracepoint fires, the flight recorder
+#                                   replays a denial, and the metrics node
+#                                   is valid Prometheus
+#   6. scripts/bench_gate.sh      — the hook-latency performance gate,
+#                                   including the ≤MAX_TRACE_OVERHEAD
+#                                   disabled-tracepoint observer gate
 #
 # Usage: scripts/check.sh [--no-bench]
 #   --no-bench  skip the benchmark gate (useful on loaded machines where
@@ -37,6 +45,9 @@ cargo build --release
 
 step "cargo test -q"
 cargo test -q
+
+step "sack-analyze trace --self-check"
+./target/release/sack-analyze trace --self-check
 
 if [[ "$RUN_BENCH" == 1 ]]; then
     step "scripts/bench_gate.sh"

@@ -168,7 +168,18 @@ fn securityfs_nodes_visible_via_normal_vfs() {
         .vfs()
         .read_dir(&KPath::new("/sys/kernel/security/SACK").unwrap())
         .unwrap();
-    assert_eq!(entries, vec!["audit", "events", "policy", "state", "stats"]);
+    assert_eq!(
+        entries,
+        vec!["audit", "events", "policy", "state", "stats", "tracing"]
+    );
+    let tracing = kernel
+        .vfs()
+        .read_dir(&KPath::new("/sys/kernel/security/SACK/tracing").unwrap())
+        .unwrap();
+    assert_eq!(
+        tracing,
+        vec!["enable", "events", "flight", "metrics", "metrics_json"]
+    );
     let meta = p.stat("/sys/kernel/security/SACK/state").unwrap();
     assert_eq!(meta.kind, sack_kernel::ObjectKind::SecurityFs);
 }
