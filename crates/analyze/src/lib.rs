@@ -44,7 +44,8 @@ pub use analyzer::Analyzer;
 pub use diag::{DfaSize, Diagnostic, Report};
 pub use interleave::{explore, Exploration, Model, Violation};
 pub use models::{
-    CacheConfig, CacheModel, ProfileTableConfig, RcuConfig, RcuModel, RcuProfileTableModel,
+    CacheConfig, CacheModel, PerCpuCacheConfig, PerCpuCacheModel, ProfileTableConfig, RcuConfig,
+    RcuModel, RcuProfileTableModel,
 };
 pub use trace::{
     lint_flight, lint_metrics, parse_flight, render_report, self_check, validate_prometheus,

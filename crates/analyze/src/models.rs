@@ -1,6 +1,6 @@
 //! Bounded models of the lock-free hot path, for [`crate::explore`].
 //!
-//! Three models cover the lock-free structures the hook dispatch path
+//! Four models cover the lock-free structures the hook dispatch path
 //! relies on:
 //!
 //! * [`RcuModel`] — the hazard-pointer `Rcu<T>` from `sack-kernel`'s
@@ -21,6 +21,13 @@
 //!   never observes a torn profile table (rules from one snapshot,
 //!   shared alphabet from another) and that no stale grant survives a
 //!   completed replace.
+//! * [`PerCpuCacheModel`] — the per-CPU decision-cache array from
+//!   `sack-core`'s `cache` module: each reader is pinned to its own cache
+//!   instance (as each CPU is in the real dispatch path) and a policy
+//!   reload must retire stale entries in *every* instance at once. The
+//!   checked property is again outcome linearizability; the
+//!   `skip_one_instance` mutation models a flush-walk invalidation that
+//!   misses one instance, whose readers then replay a retired grant.
 //!
 //! All models carry mutation switches that disable one load-bearing
 //! ingredient of the real algorithm (the reader's validate loop, the
@@ -644,6 +651,253 @@ impl Model for CacheModel {
     }
 }
 
+/// Configuration for [`PerCpuCacheModel`].
+#[derive(Debug, Clone, Copy)]
+pub struct PerCpuCacheConfig {
+    /// Number of per-CPU cache instances.
+    pub instances: usize,
+    /// Number of reader threads, pinned round-robin to the instances
+    /// (reader `i` runs on instance `i % instances`) — exactly the
+    /// thread-local slot assignment of the real per-CPU array.
+    pub readers: usize,
+    /// Known-bad mutation: the epoch bump reaches every instance *except*
+    /// instance 0 — the flush-walk-that-misses-one design. Readers on the
+    /// skipped instance keep matching pre-reload entries and replay a
+    /// grant the reload retired.
+    pub skip_one_instance: bool,
+}
+
+impl PerCpuCacheConfig {
+    /// The faithful algorithm with `instances` instances and `readers`
+    /// pinned readers.
+    pub fn correct(instances: usize, readers: usize) -> PerCpuCacheConfig {
+        PerCpuCacheConfig {
+            instances,
+            readers,
+            skip_one_instance: false,
+        }
+    }
+}
+
+/// One per-CPU cache instance in [`PerCpuCacheModel`]: a slot pair plus
+/// the epoch its readers observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheInstance {
+    /// Slot tag word (`None` = empty slot).
+    tag: Option<u8>,
+    /// Slot payload word: (verifier, outcome).
+    payload: Option<(u8, Outcome)>,
+    /// The policy epoch as visible from this instance. In the real array
+    /// this is one global atomic — every instance sees a bump in the same
+    /// instant — which the correct writer models by stamping all
+    /// instances in a single step. The `skip_one_instance` mutation makes
+    /// the stamp a per-instance walk that misses instance 0.
+    epoch: u8,
+}
+
+/// Bounded model of the per-CPU decision-cache array across one policy
+/// reload.
+///
+/// One access key exists; the old policy (version 0) grants it, the new
+/// policy (version 1) denies it. Instance 0 starts warm (a pre-reload
+/// grant entry, as if its CPU had already evaluated the key); the other
+/// instances start empty so their readers exercise the miss/insert path.
+/// Each reader follows the [`CacheModel`] lookup protocol against *its
+/// own* instance only — there is no cross-instance traffic to hide a
+/// missed invalidation. The writer publishes the new policy, then bumps
+/// the epoch; because the epoch is one global counter embedded in every
+/// cache key, the bump retires stale entries in every instance in the
+/// same atomic step, with no flush walk that could skip one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PerCpuCacheModel {
+    readers: Vec<CacheReader>,
+    instances: Vec<CacheInstance>,
+    /// Writer progress: `Publish -> Bump -> Done` (trace emission is
+    /// covered by [`CacheModel`]).
+    reload: ReloadPc,
+    /// Live policy version: 0 grants, 1 denies.
+    policy: u8,
+    skip_one_instance: bool,
+}
+
+impl PerCpuCacheModel {
+    /// Builds the initial state for `config`.
+    pub fn new(config: PerCpuCacheConfig) -> PerCpuCacheModel {
+        PerCpuCacheModel {
+            readers: vec![
+                CacheReader {
+                    pc: CacheReaderPc::Start,
+                    e: 0,
+                    outcome: None,
+                    valid: 0,
+                };
+                config.readers
+            ],
+            instances: (0..config.instances)
+                .map(|i| CacheInstance {
+                    // Instance 0 is warm with the epoch-0 grant; the rest
+                    // are cold.
+                    tag: (i == 0).then_some(TAG),
+                    payload: (i == 0).then_some((0, Outcome::Allow)),
+                    epoch: 0,
+                })
+                .collect(),
+            reload: ReloadPc::Publish,
+            policy: 0,
+            skip_one_instance: config.skip_one_instance,
+        }
+    }
+
+    /// The instance reader `i` is pinned to.
+    fn instance_of(&self, i: usize) -> usize {
+        i % self.instances.len()
+    }
+
+    fn eval(policy: u8) -> Outcome {
+        if policy == 0 {
+            Outcome::Allow
+        } else {
+            Outcome::Deny
+        }
+    }
+
+    fn finish_reader(&mut self, i: usize, outcome: Outcome) -> Result<(), String> {
+        let instance = self.instance_of(i);
+        self.readers[i].outcome = Some(outcome);
+        self.readers[i].pc = CacheReaderPc::Done;
+        if self.readers[i].valid & outcome.bit() == 0 {
+            return Err(format!(
+                "linearizability violation: reader {i} on cache instance {instance} \
+                 returned {outcome:?} but no atomic placement of its check relative \
+                 to the reload produces it"
+            ));
+        }
+        Ok(())
+    }
+
+    fn reader_step(&mut self, i: usize) -> Result<(), String> {
+        let reader = self.readers[i];
+        let instance = self.instance_of(i);
+        match reader.pc {
+            CacheReaderPc::Start => {
+                self.readers[i].e = self.instances[instance].epoch;
+                self.readers[i].valid = match self.reload {
+                    ReloadPc::Publish => Self::eval(0).bit(),
+                    ReloadPc::Bump => Self::eval(0).bit() | Self::eval(1).bit(),
+                    ReloadPc::EmitInvalidate | ReloadPc::Done => Self::eval(1).bit(),
+                };
+                self.readers[i].pc = CacheReaderPc::LoadTag;
+            }
+            CacheReaderPc::LoadTag => {
+                self.readers[i].pc = if self.instances[instance].tag == Some(TAG) {
+                    CacheReaderPc::LoadPayload
+                } else {
+                    CacheReaderPc::Eval
+                };
+            }
+            CacheReaderPc::LoadPayload => match self.instances[instance].payload {
+                Some((verifier, outcome)) if verifier == reader.e => {
+                    return self.finish_reader(i, outcome);
+                }
+                _ => self.readers[i].pc = CacheReaderPc::Eval,
+            },
+            CacheReaderPc::Eval => {
+                let outcome = Self::eval(self.policy);
+                if outcome == Outcome::Allow {
+                    self.readers[i].outcome = Some(outcome);
+                    self.readers[i].pc = CacheReaderPc::StorePayload;
+                } else {
+                    return self.finish_reader(i, outcome);
+                }
+            }
+            CacheReaderPc::StorePayload => {
+                self.instances[instance].payload = Some((reader.e, Outcome::Allow));
+                self.readers[i].pc = CacheReaderPc::StoreTag;
+            }
+            CacheReaderPc::StoreTag => {
+                self.instances[instance].tag = Some(TAG);
+                return self.finish_reader(i, Outcome::Allow);
+            }
+            CacheReaderPc::Done => unreachable!(),
+        }
+        Ok(())
+    }
+
+    fn writer_step(&mut self) {
+        match self.reload {
+            ReloadPc::Publish => {
+                self.policy = 1;
+                for reader in &mut self.readers {
+                    if reader.pc != CacheReaderPc::Start && reader.pc != CacheReaderPc::Done {
+                        reader.valid |= Self::eval(1).bit();
+                    }
+                }
+                self.reload = ReloadPc::Bump;
+            }
+            ReloadPc::Bump => {
+                // One global `fetch_add`: every instance observes the new
+                // epoch in the same atomic step. The mutation turns this
+                // into a walk that skips instance 0, leaving its epoch-0
+                // entries replayable.
+                let first = usize::from(self.skip_one_instance);
+                for instance in &mut self.instances[first..] {
+                    instance.epoch = 1;
+                }
+                self.reload = ReloadPc::Done;
+            }
+            ReloadPc::EmitInvalidate | ReloadPc::Done => unreachable!(),
+        }
+    }
+}
+
+impl Model for PerCpuCacheModel {
+    fn threads(&self) -> usize {
+        self.readers.len() + 1
+    }
+
+    fn enabled(&self, thread: usize) -> bool {
+        if thread < self.readers.len() {
+            self.readers[thread].pc != CacheReaderPc::Done
+        } else {
+            self.reload != ReloadPc::Done
+        }
+    }
+
+    fn step(&mut self, thread: usize) -> Result<(), String> {
+        if thread < self.readers.len() {
+            self.reader_step(thread)
+        } else {
+            self.writer_step();
+            Ok(())
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.reload == ReloadPc::Done && self.readers.iter().all(|r| r.pc == CacheReaderPc::Done)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // Insertion order is payload-then-tag in every instance.
+        for (i, instance) in self.instances.iter().enumerate() {
+            if instance.tag.is_some() && instance.payload.is_none() {
+                return Err(format!("instance {i}: slot tag visible before payload"));
+            }
+        }
+        // In the faithful algorithm the bump covers every instance
+        // atomically: once the reload is done, no instance may still carry
+        // the pre-bump epoch. (The mutation violates exactly this; its
+        // readers surface it as a stale-grant replay, which is the
+        // user-visible symptom the linearizability check reports.)
+        if !self.skip_one_instance
+            && self.reload == ReloadPc::Done
+            && self.instances.iter().any(|inst| inst.epoch != 1)
+        {
+            return Err("completed epoch bump left an instance unstamped".to_string());
+        }
+        Ok(())
+    }
+}
+
 /// Configuration for [`RcuProfileTableModel`].
 ///
 /// At most one mutation switch may be on at a time.
@@ -1026,6 +1280,36 @@ mod tests {
         assert!(
             violation.message.contains("exactly once per bump"),
             "{violation}"
+        );
+    }
+
+    #[test]
+    fn per_cpu_cache_correct_algorithm_is_exhaustively_linearizable() {
+        // Three readers pinned round-robin to two instances (so one
+        // instance carries two racing readers), every interleaving with
+        // the reload explored: the single global epoch bump must retire
+        // the warm entry in every instance before any post-bump reader
+        // can replay it.
+        let model = PerCpuCacheModel::new(PerCpuCacheConfig::correct(2, 3));
+        let stats = explore(&model, 64).unwrap();
+        assert!(stats.complete_schedules > 0);
+        assert!(stats.states > 100, "model should be non-trivial");
+    }
+
+    #[test]
+    fn per_cpu_cache_skipping_one_instance_is_caught() {
+        let config = PerCpuCacheConfig {
+            skip_one_instance: true,
+            ..PerCpuCacheConfig::correct(2, 3)
+        };
+        let violation = explore(&PerCpuCacheModel::new(config), 64).unwrap_err();
+        assert!(
+            violation.message.contains("linearizability violation"),
+            "{violation}"
+        );
+        assert!(
+            violation.message.contains("instance 0"),
+            "the skipped instance must be the one replaying a stale grant: {violation}"
         );
     }
 

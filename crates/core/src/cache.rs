@@ -27,12 +27,19 @@
 //! — a spurious miss — never a wrong outcome (the payload embeds a second,
 //! independently-mixed hash of the same key).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Slot count per task. Must be a power of two. 512 slots × 16 bytes = 8 KiB
 /// per task — two pages — while covering far more distinct (path, perms)
 /// pairs than a task touches in practice.
 const SLOTS: usize = 512;
+
+/// Number of per-CPU cache instances in a [`PerCpuCache`]. Must be a power
+/// of two. Eight instances model a small SMP vehicle ECU; threads beyond
+/// eight share instances round-robin, exactly like hazard slots in
+/// `sack_kernel::sync`.
+pub const CPU_INSTANCES: usize = 8;
 
 /// A decision the cache may replay without re-evaluating the policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,6 +234,77 @@ impl DecisionCache {
     }
 }
 
+/// The calling thread's cache instance index. Mirrors the hazard-slot trick
+/// in `sack_kernel::sync::preferred_slot`: each thread draws a dense id from
+/// a process-global counter once, caches it in a thread-local, and maps it
+/// into the instance array by mask. This stands in for `smp_processor_id()`
+/// — on the simulated kernel a thread *is* a CPU — and costs one
+/// thread-local read on the hot path.
+pub fn current_cpu() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static CPU: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    CPU.with(|cpu| {
+        if cpu.get() == usize::MAX {
+            cpu.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        cpu.get() & (CPU_INSTANCES - 1)
+    })
+}
+
+/// A per-CPU array of [`DecisionCache`] instances for one task.
+///
+/// Each hardware thread looks up and inserts only in its own instance
+/// (selected by [`current_cpu`]), so concurrent hooks never contend on a
+/// cache line in the lookup path — there is no shared mutable word at all.
+/// Invalidation needs no cross-instance flush walk: the policy epoch,
+/// situation state, and confinement generation are part of every
+/// [`DecisionKey`], so one global epoch bump retires stale entries in
+/// *every* instance at once (they simply never match again). The
+/// `PerCpuCacheModel` in `sack-analyze` checks this protocol exhaustively,
+/// including the skip-one-instance mutation showing why a flush-walk design
+/// would be unsound.
+#[derive(Debug)]
+pub struct PerCpuCache {
+    cpus: Box<[DecisionCache]>,
+}
+
+impl Default for PerCpuCache {
+    fn default() -> PerCpuCache {
+        PerCpuCache::new()
+    }
+}
+
+impl PerCpuCache {
+    /// Creates [`CPU_INSTANCES`] empty cache instances.
+    pub fn new() -> PerCpuCache {
+        PerCpuCache {
+            cpus: (0..CPU_INSTANCES).map(|_| DecisionCache::new()).collect(),
+        }
+    }
+
+    /// Looks up a decision in the calling thread's instance.
+    pub fn lookup(&self, key: &DecisionKey<'_>) -> Option<CachedOutcome> {
+        self.cpus[current_cpu()].lookup(key)
+    }
+
+    /// Records an outcome in the calling thread's instance.
+    pub fn insert(&self, key: &DecisionKey<'_>, outcome: CachedOutcome) {
+        self.cpus[current_cpu()].insert(key, outcome)
+    }
+
+    /// Number of instances (always [`CPU_INSTANCES`]).
+    pub fn instances(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Direct access to instance `i`, for tests and invariant checks.
+    pub fn instance(&self, i: usize) -> &DecisionCache {
+        &self.cpus[i]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,5 +415,80 @@ mod tests {
             let path = format!("/data/file{i}");
             assert_eq!(cache.lookup(&key(1, 0, &path, 1)), None);
         }
+    }
+
+    #[test]
+    fn per_cpu_roundtrip_on_one_thread() {
+        let cache = PerCpuCache::new();
+        let k = key(1, 0, "/dev/car/door0", 0b10);
+        assert_eq!(cache.lookup(&k), None);
+        cache.insert(&k, CachedOutcome::Allow);
+        assert_eq!(cache.lookup(&k), Some(CachedOutcome::Allow));
+        // The entry lives in exactly one instance — the calling thread's.
+        let hits: usize = (0..cache.instances())
+            .filter(|&i| cache.instance(i).lookup(&k).is_some())
+            .count();
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_every_instance() {
+        // Warm the same decision into all instances (as if every CPU had
+        // evaluated it), then bump the epoch: no instance may replay it.
+        let cache = PerCpuCache::new();
+        let k = key(3, 0, "/dev/car/door0", 0b10);
+        for i in 0..cache.instances() {
+            cache.instance(i).insert(&k, CachedOutcome::Allow);
+        }
+        let bumped = key(4, 0, "/dev/car/door0", 0b10);
+        for i in 0..cache.instances() {
+            assert_eq!(
+                cache.instance(i).lookup(&bumped),
+                None,
+                "instance {i} replayed a pre-bump grant"
+            );
+            // The pre-bump entry itself is intact (lazy overwrite).
+            assert_eq!(cache.instance(i).lookup(&k), Some(CachedOutcome::Allow));
+        }
+    }
+
+    #[test]
+    fn threads_get_stable_instance_assignments() {
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            handles.push(std::thread::spawn(|| {
+                let first = current_cpu();
+                for _ in 0..100 {
+                    assert_eq!(current_cpu(), first);
+                }
+                first
+            }));
+        }
+        for h in handles {
+            let cpu = h.join().unwrap();
+            assert!(cpu < CPU_INSTANCES);
+        }
+    }
+
+    #[test]
+    fn per_cpu_concurrent_warm_lookups_do_not_interfere() {
+        use std::sync::Barrier;
+        let cache = PerCpuCache::new();
+        let barrier = Barrier::new(4);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let cache = &cache;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let path = format!("/protected/t{t}/file");
+                    let k = key(1, 0, &path, 1);
+                    cache.insert(&k, CachedOutcome::Allow);
+                    barrier.wait();
+                    for _ in 0..10_000 {
+                        assert_eq!(cache.lookup(&k), Some(CachedOutcome::Allow));
+                    }
+                });
+            }
+        });
     }
 }

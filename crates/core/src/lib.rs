@@ -76,7 +76,9 @@ pub mod stats;
 pub mod trace;
 
 pub use audit::{AuditLog, AuditRecord};
-pub use cache::{CachedOutcome, DecisionCache, DecisionKey};
+pub use cache::{
+    current_cpu, CachedOutcome, DecisionCache, DecisionKey, PerCpuCache, CPU_INSTANCES,
+};
 pub use enhance::{AppArmorEnhancer, EnhanceError, SACK_RULE_ORIGIN};
 pub use policy::{
     CompiledPolicy, IssueKind, IssueSeverity, PolicyIssue, RuleProvenance, SackPolicy,

@@ -20,7 +20,7 @@ use sack_kernel::trace::{TraceEvent, TraceHub};
 use sack_kernel::types::Pid;
 
 use crate::audit::{AuditLog, AuditRecord};
-use crate::cache::{CachedOutcome, DecisionCache, DecisionKey};
+use crate::cache::{CachedOutcome, DecisionKey, PerCpuCache};
 use crate::enhance::{validate_for_enhancement, AppArmorEnhancer, EnhanceError};
 use crate::policy::{CompiledPolicy, ParsePolicyError, PolicyIssue, SackPolicy};
 use crate::rules::SubjectCtx;
@@ -188,7 +188,9 @@ pub struct Sack {
     negative_cache_enabled: AtomicBool,
     /// Per-task decision caches, RCU-published copy-on-write (entries are
     /// added on a task's first mediated access and dropped on `task_free`).
-    caches: Rcu<HashMap<Pid, Arc<DecisionCache>>>,
+    /// Each entry is a per-CPU array of instances, so concurrent hooks of
+    /// the same task never share a cache line on the lookup path.
+    caches: Rcu<HashMap<Pid, Arc<PerCpuCache>>>,
     /// sack-trace recorder, wired once at [`Sack::attach`] (or explicitly
     /// via [`Sack::install_tracing`]). A `OnceLock` rather than an `Rcu`
     /// because the hot path reads it on every check: the untraced cost must
@@ -419,7 +421,7 @@ impl Sack {
     }
 
     /// The decision cache for `pid`, created on first use.
-    fn task_cache(&self, pid: Pid) -> Arc<DecisionCache> {
+    fn task_cache(&self, pid: Pid) -> Arc<PerCpuCache> {
         if let Some(cache) = self.caches.read().get(&pid) {
             return Arc::clone(cache);
         }
@@ -427,7 +429,7 @@ impl Sack {
             // Lost a race with another hook of the same task: reuse.
             Some(cache) => (map.clone(), Arc::clone(cache)),
             None => {
-                let cache = Arc::new(DecisionCache::new());
+                let cache = Arc::new(PerCpuCache::new());
                 let mut next = map.clone();
                 next.insert(pid, Arc::clone(&cache));
                 (next, cache)
@@ -1280,5 +1282,80 @@ mod tests {
             "reload must rebuild per-state DFA tables, not reuse them"
         );
         assert!(sack.policy_epoch() > epoch);
+    }
+
+    /// SSM transitions racing warm lookups on several threads: once a
+    /// transition's epoch bump has completed, no thread may get a verdict
+    /// computed against the retired situation state. The workers hammer the
+    /// same task's per-CPU caches *during* each `deliver_event` (verdicts in
+    /// that window may come from either side of the transition), then every
+    /// thread probes once after the bump and must see the new state's
+    /// verdict.
+    #[test]
+    fn ssm_transition_racing_warm_lookups_never_replays_retired_state() {
+        use sack_kernel::lsm::AccessMask;
+        use std::sync::Barrier;
+
+        const WORKERS: usize = 4;
+        const ROUNDS: usize = 100;
+        const HAMMER: usize = 200;
+
+        let sack = Sack::independent(DOOR_POLICY).unwrap();
+        // All workers share one task, so they exercise distinct instances
+        // of the same per-CPU cache array.
+        let ctx = HookCtx::new(
+            Pid(4100),
+            Credentials::user(100, 100),
+            Some(KPath::new("/usr/bin/rescue_daemon").unwrap()),
+        );
+        let path = KPath::new("/dev/car/door0").unwrap();
+        let obj = ObjectRef::regular(&path);
+        let start = Barrier::new(WORKERS + 1);
+        let settled = Barrier::new(WORKERS + 1);
+        let probed = Barrier::new(WORKERS + 1);
+
+        std::thread::scope(|s| {
+            for _ in 0..WORKERS {
+                let (sack, ctx, obj) = (&sack, &ctx, &obj);
+                let (start, settled, probed) = (&start, &settled, &probed);
+                s.spawn(move || {
+                    for round in 0..ROUNDS {
+                        start.wait();
+                        // Racing window: the transition lands somewhere in
+                        // here, so either verdict is legitimate.
+                        for _ in 0..HAMMER {
+                            let _ = sack.file_open(ctx, obj, AccessMask::WRITE);
+                        }
+                        settled.wait();
+                        // Post-bump probe: round parity says which state the
+                        // completed transition left us in.
+                        let emergency = round % 2 == 0;
+                        let verdict = sack.file_open(ctx, obj, AccessMask::WRITE);
+                        assert_eq!(
+                            verdict.is_ok(),
+                            emergency,
+                            "round {round}: verdict from retired state \
+                             (expected {} door-write)",
+                            if emergency { "granted" } else { "denied" },
+                        );
+                        probed.wait();
+                    }
+                });
+            }
+            for round in 0..ROUNDS {
+                start.wait();
+                let event = if round % 2 == 0 {
+                    "crash"
+                } else {
+                    "rescue_done"
+                };
+                sack.deliver_event(event, Duration::ZERO).unwrap();
+                // deliver_event has returned: the epoch bump is complete
+                // before any worker passes this barrier.
+                settled.wait();
+                probed.wait();
+            }
+        });
+        assert_eq!(sack.current_state_name(), "normal");
     }
 }

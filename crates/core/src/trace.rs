@@ -477,6 +477,98 @@ mod tests {
         }
     }
 
+    /// Multi-producer stress: with a ring big enough that nothing is
+    /// dropped, every producer's seq stream must be dense (0..n gapless),
+    /// the global seq must be a complete monotone sequence, and the dropped
+    /// counter must be exactly zero.
+    #[test]
+    fn flight_multi_producer_stress_gapless_when_nothing_drops() {
+        const PRODUCERS: usize = 8;
+        const PER_PRODUCER: usize = 500;
+        let ring = Arc::new(FlightRecorder::new(PRODUCERS * PER_PRODUCER));
+        let barrier = Arc::new(std::sync::Barrier::new(PRODUCERS));
+        let threads: Vec<_> = (0..PRODUCERS)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..PER_PRODUCER as u64 {
+                        ring.record(TraceEvent::RcuEpochBump { epoch: i });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let expected = (PRODUCERS * PER_PRODUCER) as u64;
+        assert_eq!(ring.total(), expected);
+        assert_eq!(ring.dropped(), 0, "nothing may drop in an oversized ring");
+        let entries = ring.snapshot();
+        assert_eq!(entries.len(), expected as usize);
+        // Global seq: complete and strictly monotone — 0..expected with no
+        // holes and no duplicates (snapshot sorts by seq).
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "global seq must be gapless");
+        }
+        // Per-producer seqs: each of the 8 producers emitted exactly
+        // PER_PRODUCER records with a dense 0..PER_PRODUCER seq stream.
+        let mut per_producer: HashMap<u64, Vec<u64>> = HashMap::new();
+        for e in &entries {
+            per_producer
+                .entry(e.producer)
+                .or_default()
+                .push(e.producer_seq);
+        }
+        assert_eq!(per_producer.len(), PRODUCERS);
+        for (producer, mut pseqs) in per_producer {
+            pseqs.sort_unstable();
+            let dense: Vec<u64> = (0..PER_PRODUCER as u64).collect();
+            assert_eq!(pseqs, dense, "producer {producer} has a seq gap");
+        }
+    }
+
+    /// Multi-producer stress under wraparound: the dropped counter must
+    /// account for exactly `total - capacity` records — an operator reading
+    /// `dropped()` knows precisely how much history the ring lost.
+    #[test]
+    fn flight_multi_producer_stress_exact_drop_count_under_wraparound() {
+        const PRODUCERS: usize = 8;
+        const PER_PRODUCER: usize = 500;
+        const CAP: usize = 64;
+        let ring = Arc::new(FlightRecorder::new(CAP));
+        let barrier = Arc::new(std::sync::Barrier::new(PRODUCERS));
+        let threads: Vec<_> = (0..PRODUCERS)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..PER_PRODUCER as u64 {
+                        ring.record(TraceEvent::RcuEpochBump { epoch: i });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let total = (PRODUCERS * PER_PRODUCER) as u64;
+        assert_eq!(ring.total(), total);
+        assert_eq!(
+            ring.dropped(),
+            total - CAP as u64,
+            "drop count must be exact"
+        );
+        let entries = ring.snapshot();
+        assert_eq!(entries.len(), CAP);
+        // Surviving records are unique by global seq and monotone.
+        for pair in entries.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "global seq regressed");
+        }
+    }
+
     #[test]
     fn flight_render_has_header_and_records() {
         let ring = FlightRecorder::new(4);

@@ -39,6 +39,7 @@ pub mod lsm;
 pub mod path;
 pub mod sched;
 pub mod securityfs;
+pub mod smp;
 pub mod sync;
 pub mod task;
 pub mod time;

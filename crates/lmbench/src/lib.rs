@@ -31,6 +31,9 @@ pub mod suite;
 pub mod testbed;
 pub mod workload;
 
-pub use report::{render_comparison, render_sweep};
-pub use suite::{run_suite, LmbenchResult, Op, OpGroup, Scale};
+pub use report::{render_comparison, render_contended_sweep, render_sweep};
+pub use suite::{
+    run_contended_sweep, run_suite, ContendedPoint, ContendedScenario, ContendedSweep,
+    LmbenchResult, Op, OpGroup, Scale,
+};
 pub use testbed::{LsmConfig, TestBed, TestBedOptions};

@@ -5,7 +5,7 @@
 
 use std::fmt::Write as _;
 
-use crate::suite::{LmbenchResult, Op, OpGroup};
+use crate::suite::{ContendedScenario, ContendedSweep, LmbenchResult, Op, OpGroup};
 
 /// Formats a value in its op's unit.
 fn format_value(op: Op, value: f64) -> String {
@@ -125,6 +125,44 @@ pub fn render_sweep(title: &str, param_name: &str, points: &[(String, f64)]) -> 
         let bar_len = (pct.abs().min(30.0) * 2.0) as usize;
         let bar: String = std::iter::repeat_n('#', bar_len).collect();
         let _ = writeln!(out, "{param:>16} | {pct:+6.2}% {bar}");
+    }
+    out
+}
+
+/// Renders the contended SMP sweep (DESIGN.md §9): one block per scenario,
+/// one row per thread count, with p50/p90/p99 per-hook latency, aggregate
+/// throughput, and scaling efficiency normalised to
+/// `min(threads, available_parallelism)`.
+pub fn render_contended_sweep(sweep: &ContendedSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== Contended hook dispatch (available parallelism: {}, {} hooks/thread) ===",
+        sweep.available_parallelism, sweep.iters_per_thread
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} | {:>9} {:>9} {:>9} | {:>12} {:>11}",
+        "scenario", "threads", "p50", "p90", "p99", "hooks/sec", "efficiency"
+    );
+    for scenario in ContendedScenario::ALL {
+        for point in sweep.points.iter().filter(|p| p.scenario == scenario) {
+            let efficiency = sweep
+                .efficiency(scenario, point.threads)
+                .map(|e| format!("{e:.2}x"))
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "{:<14} {:>8} | {:>7}ns {:>7}ns {:>7}ns | {:>12.0} {:>11}",
+                scenario.name(),
+                point.threads,
+                point.p50_ns,
+                point.p90_ns,
+                point.p99_ns,
+                point.ops_per_sec,
+                efficiency
+            );
+        }
     }
     out
 }

@@ -3,16 +3,24 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Barrier;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use sack_core::{HistogramSnapshot, LatencyHistogram, Sack};
 use sack_kernel::cred::Credentials;
 use sack_kernel::file::OpenFlags;
-use sack_kernel::lsm::SocketFamily;
+use sack_kernel::lsm::{AccessMask, HookCtx, ObjectRef, SecurityModule, SocketFamily};
+use sack_kernel::path::KPath;
 use sack_kernel::sched::CtxSwitchPair;
+use sack_kernel::smp;
+use sack_kernel::types::Pid;
 
 use crate::testbed::TestBed;
-use crate::workload::{REREAD_FILE, REREAD_SIZE};
+use crate::workload::{
+    synthetic_independent_policy, synthetic_racing_policy, BENCH_EXE, RACING_SHARED_PREFIX,
+    REREAD_FILE, REREAD_SIZE,
+};
 
 /// The LMBench operations reproduced from the paper's tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -503,6 +511,218 @@ pub fn run_suite(bed: &TestBed, scale: Scale) -> LmbenchResult {
     result
 }
 
+// ---------------------------------------------------------------------------
+// Contended SMP sweep (DESIGN.md §9): p50/p90/p99 hook latency and aggregate
+// throughput per thread count, for three contention regimes.
+
+/// Situation-state count for the contended sweep's synthetic policies.
+const SWEEP_STATES: usize = 4;
+/// Rule count for the contended sweep's synthetic policies.
+const SWEEP_RULES: usize = 100;
+/// The shared task id all sweep workers run as: one task, one per-CPU
+/// decision-cache array, each worker thread on its own instance.
+const SWEEP_PID: u32 = 4242;
+
+/// A contention regime of the SMP sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContendedScenario {
+    /// Decision cache on, every hook a per-CPU cache hit.
+    WarmCache,
+    /// Decision cache off: every hook walks the per-state DFA under
+    /// concurrent RCU reads and sharded-counter traffic.
+    DfaCold,
+    /// Decision cache on while a control thread churns the policy epoch
+    /// (SSM transitions plus periodic full policy reloads), so hooks keep
+    /// re-missing, re-evaluating and re-inserting.
+    ReloadRacing,
+}
+
+impl ContendedScenario {
+    /// All scenarios, in report order.
+    pub const ALL: [ContendedScenario; 3] = [
+        ContendedScenario::WarmCache,
+        ContendedScenario::DfaCold,
+        ContendedScenario::ReloadRacing,
+    ];
+
+    /// Human/machine-readable scenario name (used in report lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            ContendedScenario::WarmCache => "warm-cache",
+            ContendedScenario::DfaCold => "dfa-cold",
+            ContendedScenario::ReloadRacing => "reload-racing",
+        }
+    }
+
+    /// Key used in the `smp` block of `BENCH_hook_latency.json`.
+    pub fn json_key(self) -> &'static str {
+        match self {
+            ContendedScenario::WarmCache => "warm_cache",
+            ContendedScenario::DfaCold => "dfa_cold",
+            ContendedScenario::ReloadRacing => "reload_racing",
+        }
+    }
+}
+
+/// One measured point of the contended sweep: a scenario at a thread count.
+#[derive(Debug, Clone)]
+pub struct ContendedPoint {
+    /// The contention regime measured.
+    pub scenario: ContendedScenario,
+    /// Number of concurrent worker threads.
+    pub threads: usize,
+    /// Median per-hook latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 90th-percentile per-hook latency in nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile per-hook latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Aggregate throughput across all workers (hooks per second).
+    pub ops_per_sec: f64,
+    /// Total hooks dispatched by the workers at this point.
+    pub total_ops: u64,
+}
+
+/// Results of [`run_contended_sweep`].
+#[derive(Debug, Clone)]
+pub struct ContendedSweep {
+    /// One point per (scenario, thread count), scenario-major.
+    pub points: Vec<ContendedPoint>,
+    /// `std::thread::available_parallelism()` on the measuring host. The
+    /// scaling gate normalises to `min(threads, available_parallelism)`:
+    /// on a 1-core box the ideal speedup at 8 threads is 1×, on an 8-core
+    /// box it is the literal 8× linear target.
+    pub available_parallelism: usize,
+    /// Hook dispatches measured per worker thread.
+    pub iters_per_thread: usize,
+}
+
+impl ContendedSweep {
+    /// The measured point for `scenario` at `threads`, if it was run.
+    pub fn point(&self, scenario: ContendedScenario, threads: usize) -> Option<&ContendedPoint> {
+        self.points
+            .iter()
+            .find(|p| p.scenario == scenario && p.threads == threads)
+    }
+
+    /// Scaling efficiency of `scenario` at `threads`: the measured
+    /// speedup over the single-thread point, divided by the ideal speedup
+    /// `min(threads, available_parallelism)`. 1.0 is perfectly linear
+    /// scaling up to the core count; the bench gate requires ≥ 0.7 for
+    /// warm-cache hooks at 8 threads.
+    pub fn efficiency(&self, scenario: ContendedScenario, threads: usize) -> Option<f64> {
+        let base = self.point(scenario, 1)?;
+        let point = self.point(scenario, threads)?;
+        let ideal = threads.min(self.available_parallelism) as f64;
+        Some(point.ops_per_sec / base.ops_per_sec / ideal)
+    }
+}
+
+/// Runs the contended sweep: for each scenario and each entry of
+/// `thread_counts`, storms one task's hooks from that many worker threads
+/// (through [`smp::run_workers`] / [`smp::run_with_control`]) and records
+/// per-hook latency percentiles plus aggregate throughput.
+pub fn run_contended_sweep(thread_counts: &[usize], iters_per_thread: usize) -> ContendedSweep {
+    let mut points = Vec::new();
+    for scenario in ContendedScenario::ALL {
+        for &threads in thread_counts {
+            points.push(run_contended_point(scenario, threads, iters_per_thread));
+        }
+    }
+    ContendedSweep {
+        points,
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        iters_per_thread,
+    }
+}
+
+fn run_contended_point(
+    scenario: ContendedScenario,
+    threads: usize,
+    iters: usize,
+) -> ContendedPoint {
+    let policy = match scenario {
+        ContendedScenario::ReloadRacing => synthetic_racing_policy(SWEEP_STATES, SWEEP_RULES),
+        _ => synthetic_independent_policy(SWEEP_STATES, SWEEP_RULES),
+    };
+    let sack = Sack::independent(&policy).expect("sweep policy must compile");
+    if scenario == ContendedScenario::DfaCold {
+        sack.set_decision_cache_enabled(false);
+    }
+
+    // Workers warm their own per-CPU instance, align on a barrier so the
+    // measured sections fully overlap, then time every hook dispatch.
+    let ready = Barrier::new(threads);
+    let worker = |w: usize| {
+        let ctx = HookCtx::new(
+            Pid(SWEEP_PID),
+            Credentials::user(1000, 1000),
+            Some(KPath::new(BENCH_EXE).expect("bench exe path")),
+        );
+        // Per-worker object so DFA-cold walks differ by path tail; the
+        // racing scenario uses the all-states grant under /shared.
+        let path_str = match scenario {
+            ContendedScenario::ReloadRacing => format!("{RACING_SHARED_PREFIX}/dev{w}"),
+            _ => format!("/protected/area0/s0/devices/dev{w}"),
+        };
+        let path = KPath::new(&path_str).expect("sweep path");
+        let obj = ObjectRef::regular(&path);
+        let hist = LatencyHistogram::new();
+        sack.file_open(&ctx, &obj, AccessMask::READ)
+            .expect("sweep access must be granted");
+        ready.wait();
+        let start = Instant::now();
+        for _ in 0..iters {
+            let op = Instant::now();
+            sack.file_open(&ctx, &obj, AccessMask::READ)
+                .expect("sweep access must be granted");
+            hist.record(op.elapsed().as_nanos() as u64);
+        }
+        (hist.snapshot(), start.elapsed())
+    };
+
+    let results: Vec<(HistogramSnapshot, Duration)> = match scenario {
+        ContendedScenario::ReloadRacing => {
+            smp::run_with_control(threads, worker, |round| {
+                // Churn the policy epoch under the workers: mostly SSM
+                // transitions around the state ring, with a full policy
+                // reload every 64th round.
+                if round % 64 == 63 {
+                    let _ = sack.reload_policy(&policy);
+                } else if let Some(state) = sack
+                    .current_state_name()
+                    .strip_prefix('s')
+                    .and_then(|s| s.parse::<usize>().ok())
+                {
+                    let next = (state + 1) % SWEEP_STATES;
+                    let _ = sack.deliver_event(&format!("goto_s{next}"), Duration::ZERO);
+                }
+            })
+            .results
+        }
+        _ => smp::run_workers(threads, worker),
+    };
+
+    let mut merged = HistogramSnapshot::default();
+    let mut wall = Duration::ZERO;
+    for (snapshot, elapsed) in &results {
+        merged.merge(snapshot);
+        wall = wall.max(*elapsed);
+    }
+    let total_ops = (threads * iters) as u64;
+    ContendedPoint {
+        scenario,
+        threads,
+        p50_ns: merged.percentile(0.50),
+        p90_ns: merged.percentile(0.90),
+        p99_ns: merged.percentile(0.99),
+        ops_per_sec: total_ops as f64 / wall.as_secs_f64().max(f64::EPSILON),
+        total_ops,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,5 +793,43 @@ mod tests {
                 assert_eq!(unit, "MB/s");
             }
         }
+    }
+
+    #[test]
+    fn contended_sweep_covers_every_scenario_and_thread_count() {
+        let sweep = run_contended_sweep(&[1, 2], 200);
+        assert!(sweep.available_parallelism >= 1);
+        assert_eq!(sweep.iters_per_thread, 200);
+        assert_eq!(sweep.points.len(), ContendedScenario::ALL.len() * 2);
+        for scenario in ContendedScenario::ALL {
+            for threads in [1usize, 2] {
+                let point = sweep
+                    .point(scenario, threads)
+                    .unwrap_or_else(|| panic!("missing {}/{threads}", scenario.name()));
+                assert_eq!(point.total_ops, 200 * threads as u64);
+                assert!(point.p50_ns > 0, "{} p50", scenario.name());
+                assert!(point.p50_ns <= point.p90_ns, "{} p50<=p90", scenario.name());
+                assert!(point.p90_ns <= point.p99_ns, "{} p90<=p99", scenario.name());
+                assert!(point.ops_per_sec.is_finite() && point.ops_per_sec > 0.0);
+            }
+            // Efficiency is defined relative to the single-thread point and
+            // must be finite and positive at every measured count.
+            let e = sweep.efficiency(scenario, 2).expect("efficiency at 2");
+            assert!(
+                e.is_finite() && e > 0.0,
+                "{} efficiency {e}",
+                scenario.name()
+            );
+            assert!(sweep.efficiency(scenario, 1).unwrap() > 0.99);
+        }
+        // Unknown thread counts yield no point and no efficiency.
+        assert!(sweep.point(ContendedScenario::WarmCache, 7).is_none());
+        assert!(sweep.efficiency(ContendedScenario::WarmCache, 7).is_none());
+
+        let table = crate::report::render_contended_sweep(&sweep);
+        assert!(table.contains("warm-cache"));
+        assert!(table.contains("dfa-cold"));
+        assert!(table.contains("reload-racing"));
+        assert!(table.contains("hooks/sec"));
     }
 }

@@ -75,6 +75,33 @@ pub fn synthetic_enhanced_policy(states: usize, rules: usize) -> String {
     synthetic_independent_policy(states, rules).replace("subject=*", "subject=profile:bench")
 }
 
+/// Path prefix granted in *every* state by [`synthetic_racing_policy`].
+pub const RACING_SHARED_PREFIX: &str = "/shared";
+
+/// Like [`synthetic_independent_policy`], but every state's permission
+/// additionally grants `/shared/**` — a decision whose *verdict* is
+/// identical in all states. The contended reload-racing sweep hammers a
+/// `/shared` path while situation transitions churn the policy epoch: the
+/// measured cost is pure invalidation + recompute + reinsert, never a
+/// verdict flip into the (allocating) audit path.
+pub fn synthetic_racing_policy(states: usize, rules: usize) -> String {
+    let mut out = String::new();
+    let mut inside_per_rules = false;
+    for line in synthetic_independent_policy(states, rules).lines() {
+        out.push_str(line);
+        out.push('\n');
+        if line.starts_with("per_rules {") {
+            inside_per_rules = true;
+        } else if inside_per_rules && line.trim_end().ends_with(':') {
+            // Head of a permission's rule block: prepend the shared grant.
+            out.push_str(&format!(
+                "    allow subject=* {RACING_SHARED_PREFIX}/** rw;\n"
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use sack_core::SackPolicy;
@@ -99,6 +126,16 @@ mod tests {
         assert!(text.contains("subject=profile:bench"));
         assert!(!text.contains("subject=*"));
         SackPolicy::parse(&text).unwrap().compile().unwrap();
+    }
+
+    #[test]
+    fn racing_policy_grants_shared_in_every_state() {
+        let text = super::synthetic_racing_policy(4, 8);
+        let compiled = SackPolicy::parse(&text).unwrap().compile().unwrap();
+        assert_eq!(compiled.space().state_count(), 4);
+        // One shared grant per state on top of the requested rules.
+        assert!(compiled.rule_count() >= 8 + 4);
+        assert!(compiled.warnings().is_empty(), "{:?}", compiled.warnings());
     }
 
     #[test]

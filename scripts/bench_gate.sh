@@ -24,6 +24,19 @@
 #     MAX_TRACE_OVERHEAD x the never-attached baseline on the warm
 #     hook path (the "free when off" contract).
 #
+# Also runs the contended SMP sweep (DESIGN.md §9) and fails if:
+#   * warm-cache throughput at the highest thread count scales below
+#     MIN_SMP_EFFICIENCY x linear, normalised to
+#     min(threads, available_parallelism).
+#
+# Before rewriting BENCH_hook_latency.json the script cross-checks the
+# gate block recorded in the committed file against the thresholds it
+# actually enforces, and fails loudly on any disagreement — a recorded
+# threshold that drifts from the enforced one silently misdocuments the
+# gate (this happened: max_trace_overhead was committed as 0.5 while the
+# script enforced 1.05). The corrected file is still written, so the
+# next run is consistent again.
+#
 # Usage: scripts/bench_gate.sh [--full]
 #   --full  drop --quick and use criterion's full sample counts.
 
@@ -38,18 +51,51 @@ MAX_DFA_DEGRADATION="${MAX_DFA_DEGRADATION:-1.5}"
 MIN_AA_DFA_SPEEDUP="${MIN_AA_DFA_SPEEDUP:-3.0}"
 MIN_INCR_RECOMPILE_SPEEDUP="${MIN_INCR_RECOMPILE_SPEEDUP:-10.0}"
 MAX_TRACE_OVERHEAD="${MAX_TRACE_OVERHEAD:-1.05}"
+MIN_SMP_EFFICIENCY="${MIN_SMP_EFFICIENCY:-0.7}"
+SMP_THREADS="${SMP_THREADS:-1,2,4,8}"
 OUT_JSON="${OUT_JSON:-BENCH_hook_latency.json}"
 
 QUICK="--quick"
+SMP_ITERS_DEFAULT=5000
 if [[ "${1:-}" == "--full" ]]; then
     QUICK=""
+    SMP_ITERS_DEFAULT=20000
 fi
+SMP_ITERS="${SMP_ITERS:-$SMP_ITERS_DEFAULT}"
 
 TMP_JSON="$(mktemp)"
 TMP_LOG="$(mktemp)"
 TMP_JSON_PT="$(mktemp)"
 TMP_JSON_OBS="$(mktemp)"
-trap 'rm -f "$TMP_JSON" "$TMP_LOG" "$TMP_JSON_PT" "$TMP_JSON_OBS"' EXIT
+TMP_SMP_JSON="$(mktemp)"
+TMP_SMP_LOG="$(mktemp)"
+trap 'rm -f "$TMP_JSON" "$TMP_LOG" "$TMP_JSON_PT" "$TMP_JSON_OBS" "$TMP_SMP_JSON" "$TMP_SMP_LOG"' EXIT
+
+# --- Recorded-vs-enforced gate consistency -------------------------------
+# The committed JSON documents the thresholds it was gated with; if those
+# drift from the constants above, the record is lying about the gate.
+GATE_MISMATCH=0
+check_recorded_gate() {
+    local key="$1" enforced="$2" recorded
+    recorded="$(sed -n 's/.*"'"$key"'": \([0-9.]*\).*/\1/p' "$OUT_JSON" | head -1)"
+    if [[ -z "$recorded" ]]; then
+        echo "bench_gate: recorded gate.$key missing from $OUT_JSON (will be written)" >&2
+        GATE_MISMATCH=1
+    elif awk -v r="$recorded" -v e="$enforced" 'BEGIN { exit !(r + 0 != e + 0) }'; then
+        echo "bench_gate: FAIL — recorded gate.$key = $recorded disagrees with enforced $enforced" >&2
+        GATE_MISMATCH=1
+    fi
+}
+if [[ -f "$OUT_JSON" ]]; then
+    check_recorded_gate min_speedup "$MIN_SPEEDUP"
+    check_recorded_gate min_hit_rate "$MIN_HIT_RATE"
+    check_recorded_gate min_dfa_speedup_1k "$MIN_DFA_SPEEDUP"
+    check_recorded_gate max_dfa_degradation "$MAX_DFA_DEGRADATION"
+    check_recorded_gate min_aa_dfa_speedup "$MIN_AA_DFA_SPEEDUP"
+    check_recorded_gate min_incr_recompile_speedup "$MIN_INCR_RECOMPILE_SPEEDUP"
+    check_recorded_gate max_trace_overhead "$MAX_TRACE_OVERHEAD"
+    check_recorded_gate min_smp_efficiency "$MIN_SMP_EFFICIENCY"
+fi
 
 echo "== bench_gate: running ablation_decision_cache ${QUICK:+(quick mode)}" >&2
 BENCH_JSON_OUT="$TMP_JSON" \
@@ -102,10 +148,20 @@ TRACE_DISABLED="$(median_of_obs 'warm_hook/tracing-disabled')"
 TRACE_ENABLED="$(median_of_obs 'warm_hook/tracing-enabled')"
 TRACE_FLIGHT="$(median_of_obs 'flight_saturated/tracing-enabled')"
 
+echo "== bench_gate: running contended_sweep (threads $SMP_THREADS, $SMP_ITERS hooks/thread)" >&2
+cargo run --release --offline -p sack-lmbench --example contended_sweep -- \
+    --threads "$SMP_THREADS" --iters "$SMP_ITERS" --json "$TMP_SMP_JSON" \
+    | tee "$TMP_SMP_LOG" >&2
+
+SMP_MAX_THREADS="${SMP_THREADS##*,}"
+SMP_EFF_WARM="$(sed -n 's/^smp_efficiency scenario=warm-cache threads='"$SMP_MAX_THREADS"' value=\([0-9.]*\)$/\1/p' "$TMP_SMP_LOG" | head -1)"
+SMP_PARALLELISM="$(sed -n 's/^smp_meta available_parallelism=\([0-9]*\).*$/\1/p' "$TMP_SMP_LOG" | head -1)"
+
 for v in WARM_SINGLE DFA_SINGLE SCAN_SINGLE WARM_WSET SCAN_WSET HIT_RATE \
          DFA_100 SCAN_100 DFA_1K SCAN_1K DFA_10K SCAN_10K \
          AA_DFA AA_SCAN RECOMPILE_INCR RECOMPILE_FULL \
-         TRACE_BASELINE TRACE_DISABLED TRACE_ENABLED TRACE_FLIGHT; do
+         TRACE_BASELINE TRACE_DISABLED TRACE_ENABLED TRACE_FLIGHT \
+         SMP_EFF_WARM SMP_PARALLELISM; do
     if [[ -z "${!v}" ]]; then
         echo "bench_gate: FAILED to extract $v from benchmark output" >&2
         exit 1
@@ -162,6 +218,7 @@ cat > "$OUT_JSON" <<EOF
     "disabled_overhead_ratio": $TRACE_OVERHEAD_DISABLED,
     "enabled_overhead_ratio": $TRACE_OVERHEAD_ENABLED
   },
+  "smp": $(cat "$TMP_SMP_JSON"),
   "gate": {
     "min_speedup": $MIN_SPEEDUP,
     "min_hit_rate": $MIN_HIT_RATE,
@@ -169,7 +226,8 @@ cat > "$OUT_JSON" <<EOF
     "max_dfa_degradation": $MAX_DFA_DEGRADATION,
     "min_aa_dfa_speedup": $MIN_AA_DFA_SPEEDUP,
     "min_incr_recompile_speedup": $MIN_INCR_RECOMPILE_SPEEDUP,
-    "max_trace_overhead": $MAX_TRACE_OVERHEAD
+    "max_trace_overhead": $MAX_TRACE_OVERHEAD,
+    "min_smp_efficiency": $MIN_SMP_EFFICIENCY
   }
 }
 EOF
@@ -184,8 +242,13 @@ echo "   profile DFA @1k:      ${AA_DFA_SPEEDUP}x (dfa $AA_DFA ns vs scan $AA_SC
 echo "   incr recompile @100:  ${INCR_SPEEDUP}x (incr $RECOMPILE_INCR ns vs full $RECOMPILE_FULL ns)" >&2
 echo "   trace off overhead:   ${TRACE_OVERHEAD_DISABLED}x (disabled $TRACE_DISABLED ns vs baseline $TRACE_BASELINE ns)" >&2
 echo "   trace on overhead:    ${TRACE_OVERHEAD_ENABLED}x (enabled $TRACE_ENABLED ns, flight-saturated $TRACE_FLIGHT ns)" >&2
+echo "   smp warm efficiency:  ${SMP_EFF_WARM}x linear at $SMP_MAX_THREADS threads ($SMP_PARALLELISM-way parallel host)" >&2
 
 fail=0
+if [[ "$GATE_MISMATCH" -ne 0 ]]; then
+    echo "bench_gate: FAIL — $OUT_JSON recorded gate thresholds that disagree with the enforced constants (corrected file written; commit it)" >&2
+    fail=1
+fi
 if awk -v s="$SPEEDUP_SINGLE" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
     echo "bench_gate: FAIL — single-path speedup ${SPEEDUP_SINGLE}x < required ${MIN_SPEEDUP}x" >&2
     fail=1
@@ -216,6 +279,10 @@ if awk -v s="$INCR_SPEEDUP" -v m="$MIN_INCR_RECOMPILE_SPEEDUP" 'BEGIN { exit !(s
 fi
 if awk -v r="$TRACE_OVERHEAD_DISABLED" -v m="$MAX_TRACE_OVERHEAD" 'BEGIN { exit !(r > m) }'; then
     echo "bench_gate: FAIL — disabled tracepoints cost ${TRACE_OVERHEAD_DISABLED}x on the warm hook path (max ${MAX_TRACE_OVERHEAD}x)" >&2
+    fail=1
+fi
+if awk -v e="$SMP_EFF_WARM" -v m="$MIN_SMP_EFFICIENCY" 'BEGIN { exit !(e < m) }'; then
+    echo "bench_gate: FAIL — warm-cache scaling efficiency ${SMP_EFF_WARM}x < required ${MIN_SMP_EFFICIENCY}x linear at $SMP_MAX_THREADS threads" >&2
     fail=1
 fi
 

@@ -12,9 +12,14 @@
 #                                   tracepoint fires, the flight recorder
 #                                   replays a denial, and the metrics node
 #                                   is valid Prometheus
-#   6. scripts/bench_gate.sh      — the hook-latency performance gate,
+#   6. contended sweep smoke      — the SMP sweep runner at 2 threads,
+#                                   proving the contended path executes
+#   7. scripts/bench_gate.sh      — the hook-latency performance gate,
 #                                   including the ≤MAX_TRACE_OVERHEAD
-#                                   disabled-tracepoint observer gate
+#                                   disabled-tracepoint observer gate and
+#                                   the ≥MIN_SMP_EFFICIENCY scaling gate
+#   8. validate_bench_json.py     — BENCH_hook_latency.json schema check
+#                                   (all gate keys present, ratios finite)
 #
 # Usage: scripts/check.sh [--no-bench]
 #   --no-bench  skip the benchmark gate (useful on loaded machines where
@@ -40,8 +45,8 @@ cargo fmt --all -- --check
 step "cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-step "cargo build --release"
-cargo build --release
+step "cargo build --release --workspace"
+cargo build --release --workspace
 
 step "cargo test -q"
 cargo test -q
@@ -49,12 +54,19 @@ cargo test -q
 step "sack-analyze trace --self-check"
 ./target/release/sack-analyze trace --self-check
 
+step "contended sweep smoke (2 threads)"
+cargo run --release --offline -p sack-lmbench --example contended_sweep -- \
+    --threads 1,2 --iters 1000
+
 if [[ "$RUN_BENCH" == 1 ]]; then
     step "scripts/bench_gate.sh"
     scripts/bench_gate.sh
 else
     step "bench gate skipped (--no-bench)"
 fi
+
+step "validate BENCH_hook_latency.json schema"
+python3 scripts/validate_bench_json.py BENCH_hook_latency.json
 
 echo
 echo "check.sh: all gates green"

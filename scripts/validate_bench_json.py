@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Schema validation for BENCH_hook_latency.json.
+
+The benchmark gate hand-renders this file from shell and Rust (the repo
+vendors no serde/JSON library), so this validator is the only thing that
+catches a malformed splice before it is committed. Checks:
+
+  * the file parses as JSON;
+  * every section the gate writes is present;
+  * the gate block records every threshold the gate script enforces;
+  * the smp block has every scenario with per-thread-count percentiles
+    and a scaling_efficiency;
+  * every numeric leaf in the whole document is finite (a NaN/Infinity
+    ratio means a benchmark div-by-zero went unnoticed).
+
+Usage: python3 scripts/validate_bench_json.py [BENCH_hook_latency.json]
+Exits non-zero with one line per problem.
+"""
+
+import json
+import math
+import sys
+
+TOP_LEVEL_KEYS = [
+    "bench",
+    "policy_rules",
+    "single_path",
+    "working_set_64",
+    "rule_sweep",
+    "apparmor_profile_table",
+    "tracing",
+    "smp",
+    "gate",
+]
+
+# Must match the thresholds scripts/bench_gate.sh enforces.
+GATE_KEYS = [
+    "min_speedup",
+    "min_hit_rate",
+    "min_dfa_speedup_1k",
+    "max_dfa_degradation",
+    "min_aa_dfa_speedup",
+    "min_incr_recompile_speedup",
+    "max_trace_overhead",
+    "min_smp_efficiency",
+]
+
+SMP_SCENARIOS = ["warm_cache", "dfa_cold", "reload_racing"]
+SMP_POINT_KEYS = ["p50_ns", "p90_ns", "p99_ns", "ops_per_sec"]
+
+
+def walk_numbers(node, path, problems):
+    """Recursively checks every numeric leaf for finiteness."""
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        if not math.isfinite(node):
+            problems.append(f"{path}: non-finite value {node!r}")
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            walk_numbers(value, f"{path}.{key}", problems)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            walk_numbers(value, f"{path}[{i}]", problems)
+
+
+def validate(doc):
+    problems = []
+    for key in TOP_LEVEL_KEYS:
+        if key not in doc:
+            problems.append(f"missing top-level section {key!r}")
+
+    gate = doc.get("gate", {})
+    for key in GATE_KEYS:
+        if key not in gate:
+            problems.append(f"gate block missing threshold {key!r}")
+
+    smp = doc.get("smp", {})
+    if smp:
+        for key in ["available_parallelism", "thread_counts", "iters_per_thread", "max_threads"]:
+            if key not in smp:
+                problems.append(f"smp block missing {key!r}")
+        threads = smp.get("thread_counts", [])
+        if not threads:
+            problems.append("smp.thread_counts is empty")
+        scenarios = smp.get("scenarios", {})
+        for name in SMP_SCENARIOS:
+            block = scenarios.get(name)
+            if block is None:
+                problems.append(f"smp.scenarios missing {name!r}")
+                continue
+            if "scaling_efficiency" not in block:
+                problems.append(f"smp.scenarios.{name} missing scaling_efficiency")
+            for t in threads:
+                point = block.get(f"t{t}")
+                if point is None:
+                    problems.append(f"smp.scenarios.{name} missing t{t}")
+                    continue
+                for key in SMP_POINT_KEYS:
+                    if key not in point:
+                        problems.append(f"smp.scenarios.{name}.t{t} missing {key!r}")
+
+    walk_numbers(doc, "$", problems)
+    return problems
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_hook_latency.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"validate_bench_json: {path}: {e}", file=sys.stderr)
+        return 1
+    problems = validate(doc)
+    for problem in problems:
+        print(f"validate_bench_json: {path}: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"validate_bench_json: {path}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

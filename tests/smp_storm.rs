@@ -1,0 +1,312 @@
+//! Full-stack SMP storm (DESIGN.md §9): N worker threads drive the LSM
+//! stack while the control plane races them with situation transitions,
+//! policy reloads, and AppArmor profile replacements.
+//!
+//! The properties pinned down here are the ones the per-CPU decision
+//! caches must not break:
+//!
+//! * **No stale grant** — a decision whose verdict is identical in every
+//!   state is never spuriously denied (and vice versa) no matter how the
+//!   epoch churns mid-flight;
+//! * **Exactly-once invalidation** — `rcu_epoch_bump` and
+//!   `cache_invalidate` fire once per epoch bump, never once per cache
+//!   instance;
+//! * **Audit exactly-once** — with negative caching on, a replayed denial
+//!   increments the counter but is audited at most once per cache
+//!   instance, while the denial counter stays exact;
+//! * **Serial equivalence** — after the storm quiesces, verdicts match a
+//!   freshly-built twin that never saw any concurrency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sack_apparmor::{AppArmor, PolicyDb};
+use sack_core::{Sack, TransitionOutcome};
+use sack_kernel::cred::Credentials;
+use sack_kernel::lsm::{AccessMask, HookCtx, ObjectRef, SecurityModule};
+use sack_kernel::path::KPath;
+use sack_kernel::smp;
+use sack_kernel::trace::{TraceHub, Tracepoint};
+use sack_kernel::types::Pid;
+use sack_lmbench::workload::{
+    synthetic_enhanced_policy, synthetic_independent_policy, synthetic_racing_policy, BENCH_EXE,
+    BENCH_PROFILE, RACING_SHARED_PREFIX,
+};
+
+const STATES: usize = 4;
+const WORKERS: usize = 4;
+
+fn probe_ctx(pid: u32, exe: &str) -> HookCtx {
+    HookCtx::new(
+        Pid(pid),
+        Credentials::user(1000, 1000),
+        Some(KPath::new(exe).unwrap()),
+    )
+}
+
+fn open(module: &dyn SecurityModule, ctx: &HookCtx, path: &str, mask: AccessMask) -> bool {
+    let path = KPath::new(path).unwrap();
+    let obj = ObjectRef::regular(&path);
+    module.file_open(ctx, &obj, mask).is_ok()
+}
+
+/// Drives `sack` around the synthetic ring until it sits in state
+/// `s{target}`, delivering one `goto_s*` event per hop.
+fn drive_to_state(sack: &Sack, target: usize) {
+    for _ in 0..STATES {
+        let here: usize = sack
+            .current_state_name()
+            .strip_prefix('s')
+            .and_then(|s| s.parse().ok())
+            .expect("synthetic state name");
+        if here == target {
+            return;
+        }
+        let next = (here + 1) % STATES;
+        sack.deliver_event(&format!("goto_s{next}"), Duration::ZERO)
+            .unwrap();
+    }
+    panic!("ring never reached s{target}");
+}
+
+/// Tentpole driver: workers hammer the hook path while the control plane
+/// alternates policy reloads and situation transitions. The `/shared`
+/// paths are granted in *every* state, so any mid-storm denial would be a
+/// stale or torn verdict; the per-state paths flap legitimately and are
+/// only checked after the storm quiesces.
+#[test]
+fn storm_with_racing_reloads_never_produces_a_stale_verdict() {
+    let policy = synthetic_racing_policy(STATES, 32);
+    let sack = Sack::independent(&policy).unwrap();
+    sack.set_negative_cache_enabled(true);
+    let hub = TraceHub::new();
+    sack.install_tracing(Arc::clone(&hub));
+    hub.set_enabled(true);
+
+    let transitions = AtomicU64::new(0);
+    let reloads = AtomicU64::new(0);
+    let epoch_before = sack.policy_epoch();
+
+    const HAMMER: usize = 600;
+    let outcome = smp::run_with_control(
+        WORKERS,
+        |w| {
+            let ctx = probe_ctx(7000 + w as u32, BENCH_EXE);
+            let shared = format!("{RACING_SHARED_PREFIX}/dev{w}");
+            let mut shared_ok = 0usize;
+            let mut flapping_allowed = 0usize;
+            for i in 0..HAMMER {
+                if open(&*sack, &ctx, &shared, AccessMask::READ) {
+                    shared_ok += 1;
+                }
+                // State-dependent path: verdict legitimately flaps with the
+                // racing control plane; only the totals are interesting.
+                let state_path = format!("/protected/area0/s{}/dev", i % STATES);
+                if open(&*sack, &ctx, &state_path, AccessMask::WRITE) {
+                    flapping_allowed += 1;
+                }
+            }
+            (shared_ok, flapping_allowed)
+        },
+        |round| {
+            if round % 3 == 0 {
+                sack.reload_policy(&policy).unwrap();
+                reloads.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let here: usize = sack
+                    .current_state_name()
+                    .strip_prefix('s')
+                    .and_then(|s| s.parse().ok())
+                    .unwrap();
+                let next = (here + 1) % STATES;
+                let outcome = sack
+                    .deliver_event(&format!("goto_s{next}"), Duration::ZERO)
+                    .unwrap();
+                assert!(matches!(outcome, TransitionOutcome::Transitioned { .. }));
+                transitions.fetch_add(1, Ordering::Relaxed);
+            }
+        },
+    );
+
+    // The always-granted path never saw a stale or torn denial.
+    for (w, (shared_ok, _)) in outcome.results.iter().enumerate() {
+        assert_eq!(
+            *shared_ok, HAMMER,
+            "worker {w}: /shared verdict flipped during epoch churn"
+        );
+    }
+    assert!(outcome.control_rounds >= 1);
+
+    // The control plane is the only epoch source: one bump per transition
+    // plus one per reload, and the tracepoints fired exactly once per bump
+    // — never once per cache instance.
+    let bumps = transitions.load(Ordering::Relaxed) + reloads.load(Ordering::Relaxed);
+    assert_eq!(sack.policy_epoch() - epoch_before, bumps);
+    assert_eq!(hub.fired(Tracepoint::RcuEpochBump), sack.policy_epoch());
+    assert_eq!(hub.fired(Tracepoint::CacheInvalidate), sack.policy_epoch());
+
+    // Quiesced: walk the ring and compare every per-state verdict against
+    // a twin that was built serially and never raced anything.
+    let serial = Sack::independent(&policy).unwrap();
+    sack.reload_policy(&policy).unwrap();
+    let ctx = probe_ctx(7999, BENCH_EXE);
+    for state in 0..STATES {
+        drive_to_state(&sack, state);
+        drive_to_state(&serial, state);
+        for probe_state in 0..STATES {
+            let path = format!("/protected/area0/s{probe_state}/dev");
+            let stormed = open(&*sack, &ctx, &path, AccessMask::WRITE);
+            let expected = open(&*serial, &ctx, &path, AccessMask::WRITE);
+            assert_eq!(
+                stormed, expected,
+                "state s{state}, probe {path}: storm survivor diverged from serial twin"
+            );
+            assert_eq!(
+                stormed,
+                probe_state == state,
+                "state s{state}, probe {path}"
+            );
+        }
+        let shared = format!("{RACING_SHARED_PREFIX}/post");
+        assert!(open(&*sack, &ctx, &shared, AccessMask::READ));
+    }
+}
+
+/// Audit exactly-once under concurrency: every worker replays the same
+/// denied decision hundreds of times. The denial counter must count every
+/// refusal; the audit log must record the decision at most once per cache
+/// instance (each worker warms its own per-CPU instance), not once per
+/// refusal.
+#[test]
+fn denial_storm_counts_every_refusal_but_audits_at_most_once_per_instance() {
+    let sack = Sack::independent(&synthetic_independent_policy(2, 8)).unwrap();
+    sack.set_negative_cache_enabled(true);
+
+    // In the initial state s0, the s1 rules do not apply, but the path is
+    // still in the protected set: a guaranteed denial in every round.
+    const DENIED: &str = "/protected/area0/s1/dev";
+    let ctx = probe_ctx(7100, BENCH_EXE);
+    assert!(!open(&*sack, &ctx, DENIED, AccessMask::WRITE));
+
+    let denials_before = sack.stats().denials.load(Ordering::SeqCst);
+    let audits_before = sack.audit().total();
+
+    const HAMMER: usize = 500;
+    let denied: usize = smp::run_workers(WORKERS, |w| {
+        let ctx = probe_ctx(7100, BENCH_EXE);
+        let mut denied = 0usize;
+        for _ in 0..HAMMER {
+            if !open(&*sack, &ctx, DENIED, AccessMask::WRITE) {
+                denied += 1;
+            }
+        }
+        assert_eq!(denied, HAMMER, "worker {w}: denial verdict flipped");
+        denied
+    })
+    .into_iter()
+    .sum();
+
+    assert_eq!(denied, WORKERS * HAMMER);
+    // Exact refusal accounting...
+    assert_eq!(
+        sack.stats().denials.load(Ordering::SeqCst) - denials_before,
+        (WORKERS * HAMMER) as u64
+    );
+    // ...but at most one audit record per per-CPU cache instance: each
+    // worker's first miss may audit before the negative entry lands in its
+    // instance; every later round replays the cached denial silently.
+    let audit_delta = sack.audit().total() - audits_before;
+    assert!(
+        audit_delta <= WORKERS as u64,
+        "audit storm: {audit_delta} records for one decision across {WORKERS} workers"
+    );
+}
+
+/// Enhanced mode: the control plane replaces the AppArmor profile bundle
+/// (the `apparmor_parser -r` path) and transitions the SSM while confined
+/// traffic storms the hooks. Base-profile grants must hold throughout, and
+/// after quiescing the patched profile must match a serially-built twin.
+#[test]
+fn profile_replacement_races_enhanced_traffic_without_torn_verdicts() {
+    let policy = synthetic_enhanced_policy(STATES, 16);
+    let build = || {
+        let db = Arc::new(PolicyDb::new());
+        db.load_text(BENCH_PROFILE).unwrap();
+        let apparmor = AppArmor::new(db);
+        let sack = Sack::enhanced_apparmor(&policy, Arc::clone(&apparmor)).unwrap();
+        (sack, apparmor)
+    };
+    let (sack, apparmor) = build();
+    apparmor.set_profile(Pid(7200), "bench").unwrap();
+
+    const HAMMER: usize = 400;
+    let outcome = smp::run_with_control(
+        WORKERS,
+        |w| {
+            let ctx = probe_ctx(7200, BENCH_EXE);
+            let path = format!("/tmp/bench/storm{w}");
+            let mut ok = 0usize;
+            for _ in 0..HAMMER {
+                if open(&*apparmor, &ctx, &path, AccessMask::WRITE) {
+                    ok += 1;
+                }
+            }
+            ok
+        },
+        |round| {
+            if round % 2 == 0 {
+                // Atomic bundle replacement: reverts any situation patch
+                // until the next transition re-applies it.
+                apparmor.policy().load_text(BENCH_PROFILE).unwrap();
+            } else {
+                let here: usize = sack
+                    .current_state_name()
+                    .strip_prefix('s')
+                    .and_then(|s| s.parse().ok())
+                    .unwrap();
+                sack.deliver_event(&format!("goto_s{}", (here + 1) % STATES), Duration::ZERO)
+                    .unwrap();
+            }
+        },
+    );
+
+    // `/tmp/**` is in the base profile and in every replacement bundle:
+    // a single torn read during the atomic swap would show up here.
+    for (w, ok) in outcome.results.iter().enumerate() {
+        assert_eq!(*ok, HAMMER, "worker {w}: base-profile grant flickered");
+    }
+
+    // Quiesce: one more real transition re-applies the situation patch on
+    // top of whatever bundle the control plane left behind, after which the
+    // stormed instance must agree with a serial twin in the same state.
+    let here: usize = sack
+        .current_state_name()
+        .strip_prefix('s')
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    let target = (here + 1) % STATES;
+    sack.deliver_event(&format!("goto_s{target}"), Duration::ZERO)
+        .unwrap();
+
+    let (serial_sack, serial_aa) = build();
+    serial_aa.set_profile(Pid(7200), "bench").unwrap();
+    drive_to_state(&serial_sack, target);
+    assert_eq!(sack.current_state_name(), serial_sack.current_state_name());
+
+    let ctx = probe_ctx(7200, BENCH_EXE);
+    for probe_state in 0..STATES {
+        for area in 0..2 {
+            let path = format!("/protected/area{area}/s{probe_state}/dev");
+            let stormed = open(&*apparmor, &ctx, &path, AccessMask::WRITE);
+            let expected = open(&*serial_aa, &ctx, &path, AccessMask::WRITE);
+            assert_eq!(
+                stormed, expected,
+                "probe {path}: stormed profile table diverged from serial twin"
+            );
+            assert_eq!(stormed, probe_state == target, "probe {path}");
+        }
+    }
+    assert!(open(&*apparmor, &ctx, "/tmp/bench/post", AccessMask::READ));
+    assert!(!open(&*apparmor, &ctx, "/var/secret", AccessMask::READ));
+}
