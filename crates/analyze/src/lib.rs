@@ -26,6 +26,16 @@
 //!    cache, asserting memory safety and linearizability of grant/deny
 //!    outcomes. Known-bad mutations (skip the tag verifier, skip the
 //!    hazard scan) are caught with a concrete interleaving trace.
+//! 4. **Deterministic-schedule execution** ([`sched`]): the same bounded
+//!    exploration applied to the **real** implementations instead of
+//!    models — `Rcu`, `DecisionCacheIn`, and `PerCpuCacheIn` run
+//!    unmodified over the `sack_kernel::sync::shim` seam with every
+//!    primitive under scheduler control, planted mutations are caught
+//!    with printed counterexample schedules, and the abstract models'
+//!    counterexamples are replayed through the real code
+//!    ([`sched::conformance`]). The [`sync_lint`] source pass keeps the
+//!    seam airtight by rejecting direct `std::sync` use in the protocol
+//!    files.
 //!
 //! The `sack-analyze` binary wires the static pillar to the command line;
 //! `PolicySimulator` and `Sack::reload_policy` run the per-policy subset
@@ -38,6 +48,8 @@ pub mod analyzer;
 pub mod diag;
 pub mod interleave;
 pub mod models;
+pub mod sched;
+pub mod sync_lint;
 pub mod trace;
 
 pub use analyzer::Analyzer;
@@ -47,6 +59,8 @@ pub use models::{
     CacheConfig, CacheModel, PerCpuCacheConfig, PerCpuCacheModel, ProfileTableConfig, RcuConfig,
     RcuModel, RcuProfileTableModel,
 };
+pub use sched::{SchedBackend, SchedConfig, SchedExploration, SchedViolation};
+pub use sync_lint::{lint_paths, LintFinding};
 pub use trace::{
     lint_flight, lint_metrics, parse_flight, render_report, self_check, validate_prometheus,
     Anomaly, FlightDump, FlightRecord,

@@ -6,6 +6,8 @@
 //!              [--json] [--strict]
 //! sack-analyze trace (--self-check | <flight-dump>)
 //!              [--metrics <metrics.json>] [--strict]
+//! sack-analyze sched [--smoke]
+//! sack-analyze sync-lint [--root <dir>]
 //! ```
 //!
 //! Exit codes: `0` clean (warnings allowed unless `--strict`), `1`
@@ -24,7 +26,9 @@ use sack_te::TePolicy;
 const USAGE: &str = "usage: sack-analyze <policy.sack> [--profiles <profiles.aa>] \
                      [--te <policy.te>] [--json] [--strict]\n       \
                      sack-analyze trace (--self-check | <flight-dump>) \
-                     [--metrics <metrics.json>] [--strict]";
+                     [--metrics <metrics.json>] [--strict]\n       \
+                     sack-analyze sched [--smoke]\n       \
+                     sack-analyze sync-lint [--root <dir>]";
 
 struct Options {
     policy_path: String,
@@ -187,8 +191,185 @@ fn run_trace(options: &TraceOptions) -> Result<ExitCode, String> {
     })
 }
 
+/// Runs the deterministic-schedule executor gate: exhaustive exploration
+/// of every core scenario, every planted mutation caught with a printed
+/// counterexample, and the model-conformance replays. `--smoke` caps the
+/// per-scenario schedule budget for fast CI runs.
+fn run_sched(smoke: bool) -> Result<ExitCode, String> {
+    use sack_analyze::sched::{conformance, explore, scenarios, SchedConfig};
+    use sack_kernel::sync::Mutation;
+
+    let mut cfg = SchedConfig::exhaustive();
+    if smoke {
+        cfg.max_schedules = 2_000;
+    }
+
+    let core = [
+        scenarios::rcu_read_write(1),
+        scenarios::cache_epoch_bump(1),
+        scenarios::profile_publish(),
+        scenarios::cache_torn_pair(),
+        scenarios::percpu_invalidate_walk(false),
+    ];
+    println!("== exhaustive exploration (seed {:#x}) ==", cfg.seed);
+    for scenario in &core {
+        match explore(scenario, &cfg) {
+            Ok(stats) => {
+                println!(
+                    "  {:<32} {:>6} schedules, {:>5} sleep-pruned, complete={}",
+                    scenario.name, stats.schedules, stats.pruned, stats.complete
+                );
+                if !smoke && !stats.complete {
+                    return Err(format!(
+                        "{}: exploration hit the schedule budget before exhausting \
+                         the space",
+                        scenario.name
+                    ));
+                }
+            }
+            Err(violation) => {
+                println!("{violation}");
+                return Ok(ExitCode::from(1));
+            }
+        }
+    }
+
+    println!("== planted mutations (each must be caught) ==");
+    let mutations: [(&str, sack_analyze::sched::Scenario, Option<Mutation>); 4] = [
+        (
+            "rcu skip hazard re-validation",
+            scenarios::rcu_read_write(1),
+            Some(Mutation::RcuSkipValidation),
+        ),
+        (
+            "rcu free before hazard scan",
+            scenarios::rcu_read_write(1),
+            Some(Mutation::RcuFreeBeforeScan),
+        ),
+        (
+            "cache skip payload verifier",
+            scenarios::cache_torn_pair(),
+            Some(Mutation::CacheSkipVerifier),
+        ),
+        (
+            "per-cpu walk skips instance 0",
+            scenarios::percpu_invalidate_walk(true),
+            None,
+        ),
+    ];
+    for (label, scenario, mutation) in mutations {
+        let mut mcfg = cfg.clone();
+        mcfg.mutation = mutation;
+        match explore(&scenario, &mcfg) {
+            Err(violation) => {
+                println!(
+                    "  {:<32} caught in {} steps",
+                    label,
+                    violation.schedule.len()
+                );
+                println!("{violation}");
+            }
+            Ok(stats) => {
+                return Err(format!(
+                    "planted bug `{label}` survived {} schedules (complete = {}) — \
+                     the executor lost its teeth",
+                    stats.schedules, stats.complete
+                ));
+            }
+        }
+    }
+
+    println!("== model conformance (abstract counterexamples vs real code) ==");
+    let reports = conformance::run_all()?;
+    for r in &reports {
+        println!(
+            "  {:<32} model schedule {:?} -> real violation in {} steps",
+            r.model,
+            r.model_schedule,
+            r.real_violation.schedule.len()
+        );
+    }
+    println!("sched: all gates passed");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Runs the sync seam lint over the protocol sources.
+fn run_sync_lint(root: &str) -> Result<ExitCode, String> {
+    let roots = sack_analyze::sync_lint::default_roots(std::path::Path::new(root));
+    for r in &roots {
+        if !r.exists() {
+            return Err(format!(
+                "lint root `{}` does not exist — run from the repo root or pass --root",
+                r.display()
+            ));
+        }
+    }
+    let findings = sack_analyze::lint_paths(&roots).map_err(|err| format!("sync-lint: {err}"))?;
+    if findings.is_empty() {
+        println!("sync-lint: clean ({} roots)", roots.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "sync-lint: {} direct synchronization use(s) outside the sync::shim seam \
+         (route them through the shim or add a justified allowlist entry)",
+        findings.len()
+    );
+    Ok(ExitCode::from(1))
+}
+
+fn parse_sched_args(args: &[String]) -> Result<bool, String> {
+    let mut smoke = false;
+    for arg in args {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown sched argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(smoke)
+}
+
+fn parse_sync_lint_args(args: &[String]) -> Result<String, String> {
+    let mut root = ".".to_string();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = iter
+                    .next()
+                    .ok_or("--root requires a directory argument")?
+                    .clone();
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown sync-lint argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(root)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sched") {
+        return match parse_sched_args(&args[1..]).and_then(run_sched) {
+            Ok(code) => code,
+            Err(message) => {
+                eprintln!("sack-analyze: {message}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("sync-lint") {
+        return match parse_sync_lint_args(&args[1..]).and_then(|root| run_sync_lint(&root)) {
+            Ok(code) => code,
+            Err(message) => {
+                eprintln!("sack-analyze: {message}");
+                ExitCode::from(2)
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("trace") {
         let options = match parse_trace_args(&args[1..]) {
             Ok(options) => options,

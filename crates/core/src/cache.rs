@@ -26,14 +26,29 @@
 //! lock; a torn read across the pair can only produce a *verifier* mismatch
 //! — a spurious miss — never a wrong outcome (the payload embeds a second,
 //! independently-mixed hash of the same key).
+//!
+//! Like `sack_kernel::sync::Rcu`, the cache is generic over the
+//! synchronisation shim ([`Backend`]): the production aliases
+//! [`DecisionCache`] and [`PerCpuCache`] monomorphise to plain
+//! `std::sync::atomic` operations, while `sack-analyze`'s deterministic
+//! executor instantiates [`DecisionCacheIn`]`<SchedBackend>` to enumerate
+//! bounded interleavings of this exact lookup/insert code against epoch
+//! bumps and policy publishes.
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
+
+use sack_kernel::sync::shim::RawAtomicU64;
+use sack_kernel::sync::{Backend, Mutation, StdBackend};
 
 /// Slot count per task. Must be a power of two. 512 slots × 16 bytes = 8 KiB
 /// per task — two pages — while covering far more distinct (path, perms)
 /// pairs than a task touches in practice.
 const SLOTS: usize = 512;
+
+/// Public view of [`SLOTS`] for tooling that must reproduce the slot
+/// mapping exactly (e.g. `sack-analyze`'s torn-pair scenario stages keys
+/// into specific ways by computing `home` and the eviction victim).
+pub const DECISION_CACHE_SLOTS: usize = SLOTS;
 
 /// Number of per-CPU cache instances in a [`PerCpuCache`]. Must be a power
 /// of two. Eight instances model a small SMP vehicle ECU; threads beyond
@@ -163,29 +178,46 @@ fn splitmix(mut z: u64) -> u64 {
 
 /// One direct-mapped slot: `tag` full key hash (0 = empty), `payload` the
 /// verifier hash (top 61 bits) packed with the outcome code (low 3 bits).
-#[derive(Debug, Default)]
-struct Slot {
-    tag: AtomicU64,
-    payload: AtomicU64,
-}
-
-/// A fixed-size, lock-free, direct-mapped decision cache for one task.
 #[derive(Debug)]
-pub struct DecisionCache {
-    slots: Box<[Slot]>,
+struct SlotIn<B: Backend> {
+    tag: B::AtomicU64,
+    payload: B::AtomicU64,
 }
 
-impl Default for DecisionCache {
-    fn default() -> DecisionCache {
-        DecisionCache::new()
+impl<B: Backend> SlotIn<B> {
+    fn empty() -> SlotIn<B> {
+        SlotIn {
+            tag: RawAtomicU64::new(0),
+            payload: RawAtomicU64::new(0),
+        }
     }
 }
 
-impl DecisionCache {
+/// A fixed-size, lock-free, direct-mapped decision cache for one task,
+/// generic over the synchronisation backend. Production code uses the
+/// [`DecisionCache`] alias (std atomics); the deterministic-schedule
+/// executor instantiates this with its own backend so every `Acquire` load
+/// and `Release` store below becomes an explored yield point.
+#[derive(Debug)]
+pub struct DecisionCacheIn<B: Backend = StdBackend> {
+    slots: Box<[SlotIn<B>]>,
+}
+
+/// The production decision cache: [`DecisionCacheIn`] over plain
+/// `std::sync::atomic` operations.
+pub type DecisionCache = DecisionCacheIn<StdBackend>;
+
+impl<B: Backend> Default for DecisionCacheIn<B> {
+    fn default() -> DecisionCacheIn<B> {
+        DecisionCacheIn::new()
+    }
+}
+
+impl<B: Backend> DecisionCacheIn<B> {
     /// Creates an empty cache.
-    pub fn new() -> DecisionCache {
-        DecisionCache {
-            slots: (0..SLOTS).map(|_| Slot::default()).collect(),
+    pub fn new() -> DecisionCacheIn<B> {
+        DecisionCacheIn {
+            slots: (0..SLOTS).map(|_| SlotIn::empty()).collect(),
         }
     }
 
@@ -202,6 +234,13 @@ impl DecisionCache {
                 continue;
             }
             let payload = slot.payload.load(Ordering::Acquire);
+            if B::mutation(Mutation::CacheSkipVerifier) {
+                // Planted bug: trust the tag alone. A torn tag/payload pair
+                // (tag already updated, payload not yet) now replays a stale
+                // or mismatched outcome — the executor must find a schedule
+                // where this returns a verdict the serial cache never would.
+                return CachedOutcome::from_code(payload & 0b111);
+            }
             if payload >> 3 != verifier >> 3 {
                 continue; // stale or torn entry: treat as a miss
             }
@@ -234,23 +273,20 @@ impl DecisionCache {
     }
 }
 
-/// The calling thread's cache instance index. Mirrors the hazard-slot trick
-/// in `sack_kernel::sync::preferred_slot`: each thread draws a dense id from
-/// a process-global counter once, caches it in a thread-local, and maps it
-/// into the instance array by mask. This stands in for `smp_processor_id()`
-/// — on the simulated kernel a thread *is* a CPU — and costs one
-/// thread-local read on the hot path.
+/// The calling thread's cache instance index under backend `B`. The dense
+/// per-thread id comes from [`Backend::thread_index`] — the same id that
+/// selects the preferred hazard slot in `sack_kernel::sync` — mapped into
+/// the instance array by mask. This stands in for `smp_processor_id()`: on
+/// the simulated kernel a thread *is* a CPU, and under the deterministic
+/// executor the backend assigns scenario-controlled indices.
+pub fn current_cpu_in<B: Backend>() -> usize {
+    B::thread_index() & (CPU_INSTANCES - 1)
+}
+
+/// The calling thread's cache instance index (production backend). Costs
+/// one thread-local read on the hot path.
 pub fn current_cpu() -> usize {
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
-    thread_local! {
-        static CPU: Cell<usize> = const { Cell::new(usize::MAX) };
-    }
-    CPU.with(|cpu| {
-        if cpu.get() == usize::MAX {
-            cpu.set(NEXT.fetch_add(1, Ordering::Relaxed));
-        }
-        cpu.get() & (CPU_INSTANCES - 1)
-    })
+    current_cpu_in::<StdBackend>()
 }
 
 /// A per-CPU array of [`DecisionCache`] instances for one task.
@@ -266,32 +302,35 @@ pub fn current_cpu() -> usize {
 /// including the skip-one-instance mutation showing why a flush-walk design
 /// would be unsound.
 #[derive(Debug)]
-pub struct PerCpuCache {
-    cpus: Box<[DecisionCache]>,
+pub struct PerCpuCacheIn<B: Backend = StdBackend> {
+    cpus: Box<[DecisionCacheIn<B>]>,
 }
 
-impl Default for PerCpuCache {
-    fn default() -> PerCpuCache {
-        PerCpuCache::new()
+/// The production per-CPU cache: [`PerCpuCacheIn`] over std atomics.
+pub type PerCpuCache = PerCpuCacheIn<StdBackend>;
+
+impl<B: Backend> Default for PerCpuCacheIn<B> {
+    fn default() -> PerCpuCacheIn<B> {
+        PerCpuCacheIn::new()
     }
 }
 
-impl PerCpuCache {
+impl<B: Backend> PerCpuCacheIn<B> {
     /// Creates [`CPU_INSTANCES`] empty cache instances.
-    pub fn new() -> PerCpuCache {
-        PerCpuCache {
-            cpus: (0..CPU_INSTANCES).map(|_| DecisionCache::new()).collect(),
+    pub fn new() -> PerCpuCacheIn<B> {
+        PerCpuCacheIn {
+            cpus: (0..CPU_INSTANCES).map(|_| DecisionCacheIn::new()).collect(),
         }
     }
 
     /// Looks up a decision in the calling thread's instance.
     pub fn lookup(&self, key: &DecisionKey<'_>) -> Option<CachedOutcome> {
-        self.cpus[current_cpu()].lookup(key)
+        self.cpus[current_cpu_in::<B>()].lookup(key)
     }
 
     /// Records an outcome in the calling thread's instance.
     pub fn insert(&self, key: &DecisionKey<'_>, outcome: CachedOutcome) {
-        self.cpus[current_cpu()].insert(key, outcome)
+        self.cpus[current_cpu_in::<B>()].insert(key, outcome)
     }
 
     /// Number of instances (always [`CPU_INSTANCES`]).
@@ -300,7 +339,7 @@ impl PerCpuCache {
     }
 
     /// Direct access to instance `i`, for tests and invariant checks.
-    pub fn instance(&self, i: usize) -> &DecisionCache {
+    pub fn instance(&self, i: usize) -> &DecisionCacheIn<B> {
         &self.cpus[i]
     }
 }

@@ -77,7 +77,8 @@ pub mod trace;
 
 pub use audit::{AuditLog, AuditRecord};
 pub use cache::{
-    current_cpu, CachedOutcome, DecisionCache, DecisionKey, PerCpuCache, CPU_INSTANCES,
+    current_cpu, current_cpu_in, CachedOutcome, DecisionCache, DecisionCacheIn, DecisionKey,
+    PerCpuCache, PerCpuCacheIn, CPU_INSTANCES,
 };
 pub use enhance::{AppArmorEnhancer, EnhanceError, SACK_RULE_ORIGIN};
 pub use policy::{

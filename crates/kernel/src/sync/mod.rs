@@ -12,6 +12,18 @@
 //! uncontended atomic operations — instead of taking the `RwLock` that
 //! policy reloads and SSM transitions would otherwise contend on.
 //!
+//! # The synchronisation shim
+//!
+//! Every primitive the protocol touches goes through the [`shim::Backend`]
+//! seam instead of naming `std::sync` directly. `Rcu<T>` (the default
+//! backend) monomorphises to exactly the `std::sync` code it used to be;
+//! `Rcu<T, SchedBackend, N>` (from `sack-analyze`) runs the *same
+//! statements* under a deterministic scheduler that enumerates bounded
+//! thread interleavings, so the memory-ordering claims below are checked
+//! against this very file rather than a hand-maintained transcription.
+//! The hazard-slot count is a const parameter for the same reason: the
+//! executor explores small-slot instances of the identical protocol.
+//!
 //! # Reclamation invariant (hazard announcements)
 //!
 //! Readers announce the pointer they are about to take in one of
@@ -41,11 +53,15 @@
 //! newer snapshot that is current again, the reader acquires that newer,
 //! live snapshot — address equality implies liveness here, not staleness.
 
-use std::cell::Cell;
+pub mod shim;
+
 use std::fmt;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
+
+pub use shim::{Backend, Mutation, StdBackend};
+use shim::{RawAtomicPtr, RawAtomicUsize, RawMutex};
 
 /// Number of hazard announcement slots per cell — the maximum number of
 /// readers that can be simultaneously inside the pointer-load window of
@@ -53,29 +69,14 @@ use std::sync::{Arc, Mutex};
 /// bound on retired-but-unreclaimed snapshots.
 pub const HAZARD_SLOTS: usize = 64;
 
-/// Hands each thread a stable starting slot so uncontended readers on
-/// different threads do not fight over the same cache line.
-fn preferred_slot() -> usize {
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
-    thread_local! {
-        static HINT: Cell<usize> = const { Cell::new(usize::MAX) };
-    }
-    HINT.with(|hint| {
-        if hint.get() == usize::MAX {
-            hint.set(NEXT.fetch_add(1, SeqCst));
-        }
-        hint.get() % HAZARD_SLOTS
-    })
-}
-
 /// A read-copy-update cell holding an `Arc<T>` snapshot.
 ///
 /// * [`read`](Rcu::read) is lock-free: it claims a hazard slot, announces
 ///   the snapshot pointer, validates it is still current, and returns an
 ///   owned `Arc<T>`. Readers never block writers; a reader retries its
 ///   validation only when a writer published in the middle of its window.
-///   If all [`HAZARD_SLOTS`] slots are occupied the reader falls back to a
-///   brief acquisition of the writer mutex (which also makes the snapshot
+///   If all `SLOTS` slots are occupied the reader falls back to a brief
+///   acquisition of the writer mutex (which also makes the snapshot
 ///   stable), so `read` succeeds under any load.
 /// * [`store`](Rcu::store) / [`update`](Rcu::update) serialise writers on an
 ///   internal mutex, swap the snapshot pointer atomically, and *retire* the
@@ -86,39 +87,61 @@ fn preferred_slot() -> usize {
 /// Readers that already hold a returned `Arc<T>` keep it alive through its
 /// own strong count; hazard announcements only protect the pointer-load
 /// window inside [`read`] itself.
-pub struct Rcu<T> {
+///
+/// The `B` parameter selects the synchronisation backend ([`StdBackend`]
+/// in production, the deterministic executor in `sack-analyze`); `SLOTS`
+/// sizes the hazard array ([`HAZARD_SLOTS`] in production, small values
+/// under exhaustive schedule exploration).
+pub struct Rcu<T, B: Backend = StdBackend, const SLOTS: usize = HAZARD_SLOTS> {
     /// Current snapshot, produced by `Arc::into_raw`. Never null.
-    current: AtomicPtr<T>,
+    current: B::AtomicPtr<T>,
     /// Hazard announcement slots. Null = free; non-null = some reader is
     /// inside its load window and may be about to take this pointer.
-    hazards: [AtomicPtr<T>; HAZARD_SLOTS],
+    hazards: [B::AtomicPtr<T>; SLOTS],
     /// Serialises writers; holds snapshots retired while still announced in
-    /// a hazard slot, awaiting a later writer's scan (or `Drop`).
-    writer: Mutex<Vec<*const T>>,
+    /// a hazard slot, awaiting a later writer's scan (or `Drop`). Entries
+    /// are `*const T` addresses stored as `usize` so the mutex payload
+    /// stays `Send` without a pointer-wrapper type.
+    writer: B::Mutex<Vec<usize>>,
     /// Count of snapshots swapped in over the cell's lifetime (telemetry
     /// for tests and stats dumps; the initial value counts as 0).
-    generation: AtomicUsize,
+    generation: B::AtomicUsize,
 }
 
 // SAFETY: `Rcu<T>` shares `T` across threads exactly like `Arc<T>` does, so
 // it inherits `Arc`'s bounds: `T` must be `Send + Sync` for the cell to be
-// either.
-unsafe impl<T: Send + Sync> Send for Rcu<T> {}
-unsafe impl<T: Send + Sync> Sync for Rcu<T> {}
+// either. The backend primitives are `Send + Sync` by their trait bounds.
+unsafe impl<T: Send + Sync, B: Backend, const SLOTS: usize> Send for Rcu<T, B, SLOTS> {}
+unsafe impl<T: Send + Sync, B: Backend, const SLOTS: usize> Sync for Rcu<T, B, SLOTS> {}
 
 impl<T> Rcu<T> {
-    /// Creates a cell with an initial snapshot of `value`.
+    /// Creates a production-backend cell with an initial snapshot of
+    /// `value`.
     pub fn new(value: T) -> Rcu<T> {
-        Rcu::from_arc(Arc::new(value))
+        Rcu::new_in(value)
     }
 
-    /// Creates a cell from an existing `Arc` snapshot.
+    /// Creates a production-backend cell from an existing `Arc` snapshot.
     pub fn from_arc(value: Arc<T>) -> Rcu<T> {
+        Rcu::from_arc_in(value)
+    }
+}
+
+impl<T, B: Backend, const SLOTS: usize> Rcu<T, B, SLOTS> {
+    /// Creates a cell with an initial snapshot of `value` on backend `B`.
+    pub fn new_in(value: T) -> Rcu<T, B, SLOTS> {
+        Rcu::from_arc_in(Arc::new(value))
+    }
+
+    /// Creates a cell from an existing `Arc` snapshot on backend `B`.
+    pub fn from_arc_in(value: Arc<T>) -> Rcu<T, B, SLOTS> {
+        let initial = Arc::into_raw(value) as *mut T;
+        B::trace_alloc(initial as usize);
         Rcu {
-            current: AtomicPtr::new(Arc::into_raw(value) as *mut T),
-            hazards: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
-            writer: Mutex::new(Vec::new()),
-            generation: AtomicUsize::new(0),
+            current: RawAtomicPtr::new(initial),
+            hazards: std::array::from_fn(|_| RawAtomicPtr::new(ptr::null_mut())),
+            writer: RawMutex::new(Vec::new()),
+            generation: RawAtomicUsize::new(0),
         }
     }
 
@@ -126,9 +149,9 @@ impl<T> Rcu<T> {
     /// announces the pointer, validates it is still current, and bumps its
     /// strong count — no locks unless every slot is occupied.
     pub fn read(&self) -> Arc<T> {
-        let start = preferred_slot();
-        for i in 0..HAZARD_SLOTS {
-            let slot = &self.hazards[(start + i) % HAZARD_SLOTS];
+        let start = B::thread_index() % SLOTS;
+        for i in 0..SLOTS {
+            let slot = &self.hazards[(start + i) % SLOTS];
             let mut p = self.current.load(SeqCst);
             // Claim the slot by announcing the pointer we intend to take.
             // A failed exchange means another reader owns this slot.
@@ -138,12 +161,27 @@ impl<T> Rcu<T> {
             {
                 continue;
             }
+            if B::mutation(Mutation::RcuSkipValidation) {
+                // Planted bug (executor-only): trust the announcement
+                // without re-validating that the pointer is still current.
+                // A writer that scanned before our announcement landed may
+                // already have freed `p`.
+                B::check_acquire(p as usize);
+                // SAFETY: unsound by construction — this arm exists to be
+                // caught by the schedule executor (via `check_acquire`)
+                // before the count bump can touch freed memory.
+                unsafe { Arc::increment_strong_count(p) };
+                slot.store(ptr::null_mut(), SeqCst);
+                // SAFETY: we own the strong count incremented above.
+                return unsafe { Arc::from_raw(p) };
+            }
             loop {
                 // Validate *after* announcing: if the pointer is still
                 // current, no writer scan can have missed our announcement
                 // before retiring it (see module docs).
                 let cur = self.current.load(SeqCst);
                 if cur == p {
+                    B::check_acquire(p as usize);
                     // SAFETY: `p` is announced and validated current, so no
                     // writer has freed it (writers free only unannounced
                     // retired pointers); its strong count is still owned by
@@ -162,13 +200,15 @@ impl<T> Rcu<T> {
         // Every slot is occupied by an in-flight reader: fall back to the
         // writer mutex. Writers swap and reclaim only under this mutex, so
         // while we hold it the current snapshot cannot be retired.
-        let _graveyard = self.writer.lock().unwrap_or_else(|p| p.into_inner());
-        let p = self.current.load(SeqCst);
-        // SAFETY: the writer mutex is held, so `p` is current and its strong
-        // count is owned by the cell.
-        unsafe { Arc::increment_strong_count(p) };
-        // SAFETY: we own the strong count incremented above.
-        unsafe { Arc::from_raw(p) }
+        self.writer.with(|_graveyard| {
+            let p = self.current.load(SeqCst);
+            B::check_acquire(p as usize);
+            // SAFETY: the writer mutex is held, so `p` is current and its
+            // strong count is owned by the cell.
+            unsafe { Arc::increment_strong_count(p) };
+            // SAFETY: we own the strong count incremented above.
+            unsafe { Arc::from_raw(p) }
+        })
     }
 
     /// Publishes `value` as the new snapshot.
@@ -178,20 +218,22 @@ impl<T> Rcu<T> {
 
     /// Publishes an existing `Arc` as the new snapshot.
     pub fn store_arc(&self, value: Arc<T>) {
-        let unprotected = {
-            let mut graveyard = self.writer.lock().unwrap_or_else(|p| p.into_inner());
-            let old = self.current.swap(Arc::into_raw(value) as *mut T, SeqCst);
+        let fresh = Arc::into_raw(value) as *mut T;
+        B::trace_alloc(fresh as usize);
+        let unprotected = self.writer.with(|graveyard| {
+            let old = self.current.swap(fresh, SeqCst);
             self.generation.fetch_add(1, SeqCst);
-            graveyard.push(old as *const T);
-            self.take_unprotected(&mut graveyard)
-        };
+            graveyard.push(old as usize);
+            self.take_unprotected(graveyard)
+        });
         // Drop outside the lock: `T::drop` may be arbitrary user code (it
         // could even call `read` on this very cell's fallback path).
         for p in unprotected {
+            B::trace_free(p);
             // SAFETY: each retired pointer owns exactly the one strong count
             // transferred by `Arc::into_raw` at publish time, and the scan
             // above proved no reader announced it after it was retired.
-            unsafe { drop(Arc::from_raw(p)) };
+            unsafe { drop(Arc::from_raw(p as *const T)) };
         }
     }
 
@@ -200,23 +242,22 @@ impl<T> Rcu<T> {
     /// `update`s serialise and never lose each other's changes; readers are
     /// unaffected and see either the old or the new snapshot.
     pub fn update<R>(&self, f: impl FnOnce(&T) -> (T, R)) -> R {
-        let (out, unprotected) = {
-            let mut graveyard = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let (out, unprotected) = self.writer.with(|graveyard| {
             // SAFETY: the writer lock is held, so no other writer can retire
             // the current pointer while we borrow it.
             let cur = unsafe { &*self.current.load(SeqCst) };
             let (next, out) = f(cur);
-            let old = self
-                .current
-                .swap(Arc::into_raw(Arc::new(next)) as *mut T, SeqCst);
+            let fresh = Arc::into_raw(Arc::new(next)) as *mut T;
+            B::trace_alloc(fresh as usize);
+            let old = self.current.swap(fresh, SeqCst);
             self.generation.fetch_add(1, SeqCst);
-            graveyard.push(old as *const T);
-            let unprotected = self.take_unprotected(&mut graveyard);
-            (out, unprotected)
-        };
+            graveyard.push(old as usize);
+            (out, self.take_unprotected(graveyard))
+        });
         for p in unprotected {
+            B::trace_free(p);
             // SAFETY: as in `store_arc`.
-            unsafe { drop(Arc::from_raw(p)) };
+            unsafe { drop(Arc::from_raw(p as *const T)) };
         }
         out
     }
@@ -227,22 +268,28 @@ impl<T> Rcu<T> {
     }
 
     /// Number of retired snapshots awaiting reclamation. Bounded by
-    /// [`HAZARD_SLOTS`] after every write — telemetry for tests and stats.
+    /// `SLOTS` after every write — telemetry for tests and stats.
     pub fn retired_count(&self) -> usize {
-        self.writer.lock().unwrap_or_else(|p| p.into_inner()).len()
+        self.writer.with(|graveyard| graveyard.len())
     }
 
     /// Splits the graveyard into entries announced in some hazard slot
     /// (kept) and the rest (returned for the caller to free outside the
     /// lock). Must be called with the writer lock held, after the swap that
     /// retired the newest entry.
-    fn take_unprotected(&self, graveyard: &mut Vec<*const T>) -> Vec<*const T> {
-        let announced: Vec<*const T> = self
-            .hazards
-            .iter()
-            .map(|slot| slot.load(SeqCst) as *const T)
-            .filter(|p| !p.is_null())
-            .collect();
+    fn take_unprotected(&self, graveyard: &mut Vec<usize>) -> Vec<usize> {
+        let announced: Vec<usize> = if B::mutation(Mutation::RcuFreeBeforeScan) {
+            // Planted bug (executor-only): free every retiree without
+            // scanning the hazard slots — a reader mid-window loses the
+            // snapshot it announced.
+            Vec::new()
+        } else {
+            self.hazards
+                .iter()
+                .map(|slot| slot.load(SeqCst) as usize)
+                .filter(|p| *p != 0)
+                .collect()
+        };
         let mut unprotected = Vec::new();
         graveyard.retain(|p| {
             if announced.contains(p) {
@@ -254,8 +301,8 @@ impl<T> Rcu<T> {
         });
         // The reclamation invariant: everything still retired is announced.
         debug_assert!(
-            graveyard.len() <= HAZARD_SLOTS,
-            "graveyard exceeded hazard-slot bound: {} > {HAZARD_SLOTS}",
+            B::mutation(Mutation::RcuFreeBeforeScan) || graveyard.len() <= SLOTS,
+            "graveyard exceeded hazard-slot bound: {} > {SLOTS}",
             graveyard.len()
         );
         unprotected
@@ -295,7 +342,7 @@ impl<T: Default> Default for Rcu<T> {
     }
 }
 
-impl<T: fmt::Debug> fmt::Debug for Rcu<T> {
+impl<T: fmt::Debug, B: Backend, const SLOTS: usize> fmt::Debug for Rcu<T, B, SLOTS> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Rcu")
             .field("value", &self.read())
@@ -304,21 +351,23 @@ impl<T: fmt::Debug> fmt::Debug for Rcu<T> {
     }
 }
 
-impl<T> Drop for Rcu<T> {
+impl<T, B: Backend, const SLOTS: usize> Drop for Rcu<T, B, SLOTS> {
     fn drop(&mut self) {
         // `&mut self` proves no thread is inside `read` (that would require
         // a live `&self` borrow), so no hazard slot is owned by a reader and
         // both the graveyard and the current snapshot can be released
         // unconditionally.
-        let graveyard = self.writer.get_mut().unwrap_or_else(|p| p.into_inner());
-        for ptr in graveyard.drain(..) {
+        for ptr in self.writer.get_mut().drain(..) {
+            B::trace_free(ptr);
             // SAFETY: each retired pointer owns one strong count and no
             // readers exist.
-            unsafe { drop(Arc::from_raw(ptr)) };
+            unsafe { drop(Arc::from_raw(ptr as *const T)) };
         }
+        let current = self.current.load(SeqCst);
+        B::trace_free(current as usize);
         // SAFETY: the current pointer owns the strong count transferred at
         // publish (or construction) time.
-        unsafe { drop(Arc::from_raw(self.current.load(SeqCst))) };
+        unsafe { drop(Arc::from_raw(current)) };
     }
 }
 
@@ -475,5 +524,17 @@ mod tests {
         cell.store(String::from("new"));
         drop(cell);
         assert_eq!(*snap, "old");
+    }
+
+    #[test]
+    fn small_slot_instantiation_runs_the_same_protocol() {
+        // The executor explores `Rcu<T, SchedBackend, 2>`; prove the
+        // 2-slot instantiation behaves on the production backend too.
+        let cell: Rcu<u32, StdBackend, 2> = Rcu::new_in(5);
+        assert_eq!(*cell.read(), 5);
+        cell.store(6);
+        assert_eq!(*cell.read(), 6);
+        assert_eq!(cell.retired_count(), 0);
+        assert_eq!(cell.generation(), 1);
     }
 }

@@ -6,33 +6,60 @@
 #   3. cargo build --release      — the tier-1 build
 #   4. cargo test -q              — the full test suite (unit, integration,
 #                                   property, interleaving exhaustion,
-#                                   observer-effect differential)
-#   5. sack-analyze trace --self-check
+#                                   schedule-executor, observer-effect
+#                                   differential)
+#   5. sack-analyze sync-lint     — no direct std::sync/std::thread use in
+#                                   the protocol sources outside the
+#                                   sync::shim seam (keeps the executor's
+#                                   coverage from rotting)
+#   6. sack-analyze sched --smoke — bounded deterministic-schedule
+#                                   exploration of the real Rcu/cache code:
+#                                   core scenarios pass, every planted
+#                                   mutation is caught with a printed
+#                                   counterexample, model conformance holds
+#   7. sack-analyze trace --self-check
 #                                 — boots a traced kernel and proves every
 #                                   tracepoint fires, the flight recorder
 #                                   replays a denial, and the metrics node
 #                                   is valid Prometheus
-#   6. contended sweep smoke      — the SMP sweep runner at 2 threads,
+#   8. contended sweep smoke      — the SMP sweep runner at 2 threads,
 #                                   proving the contended path executes
-#   7. scripts/bench_gate.sh      — the hook-latency performance gate,
+#   9. scripts/bench_gate.sh      — the hook-latency performance gate,
 #                                   including the ≤MAX_TRACE_OVERHEAD
 #                                   disabled-tracepoint observer gate and
 #                                   the ≥MIN_SMP_EFFICIENCY scaling gate
-#   8. validate_bench_json.py     — BENCH_hook_latency.json schema check
+#  10. validate_bench_json.py     — BENCH_hook_latency.json schema check
 #                                   (all gate keys present, ratios finite)
 #
-# Usage: scripts/check.sh [--no-bench]
+# Usage: scripts/check.sh [--no-bench] [--sanitize]
 #   --no-bench  skip the benchmark gate (useful on loaded machines where
 #               timing gates are noisy; the functional gates still run).
+#   --sanitize  additionally run the sync/cache/smp tests under
+#               ThreadSanitizer (requires a nightly toolchain with
+#               rust-src; skipped with a notice when unavailable).
+#
+# Division of labour between the executor and TSan: the schedule executor
+# (step 6) serialises every shim operation, so it proves *protocol logic*
+# under sequential consistency — every interleaving at that granularity,
+# deterministically. It cannot see weak-memory bugs (a wrong Ordering on a
+# real atomic). The TSan lane runs the same tests on raw hardware
+# concurrency where the compiler/CPU may actually reorder, covering the
+# memory-model side the executor abstracts away. Neither subsumes the
+# other; CI wants both.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_BENCH=1
-if [[ "${1:-}" == "--no-bench" ]]; then
-    RUN_BENCH=0
-fi
+RUN_SANITIZE=0
+for arg in "$@"; do
+    case "$arg" in
+        --no-bench) RUN_BENCH=0 ;;
+        --sanitize) RUN_SANITIZE=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 step() {
     echo
@@ -51,12 +78,37 @@ cargo build --release --workspace
 step "cargo test -q"
 cargo test -q
 
+step "sack-analyze sync-lint"
+./target/release/sack-analyze sync-lint
+
+step "sack-analyze sched --smoke"
+./target/release/sack-analyze sched --smoke
+
 step "sack-analyze trace --self-check"
 ./target/release/sack-analyze trace --self-check
 
 step "contended sweep smoke (2 threads)"
 cargo run --release --offline -p sack-lmbench --example contended_sweep -- \
     --threads 1,2 --iters 1000
+
+if [[ "$RUN_SANITIZE" == 1 ]]; then
+    step "ThreadSanitizer lane (sync/cache/smp tests)"
+    if rustup run nightly rustc --version >/dev/null 2>&1 \
+        && rustup component list --toolchain nightly 2>/dev/null \
+            | grep -q "rust-src.*(installed)"; then
+        TSAN_TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -Zbuild-std --target "$TSAN_TARGET" \
+            -p sack-kernel --lib sync:: smp:: -- --test-threads=1
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -Zbuild-std --target "$TSAN_TARGET" \
+            -p sack-core --lib cache:: -- --test-threads=1
+    else
+        echo "tsan lane skipped: nightly toolchain with rust-src not available"
+    fi
+else
+    step "sanitizer lane skipped (pass --sanitize to enable)"
+fi
 
 if [[ "$RUN_BENCH" == 1 ]]; then
     step "scripts/bench_gate.sh"
