@@ -57,7 +57,7 @@ pub use diag::{DfaSize, Diagnostic, Report};
 pub use interleave::{explore, Exploration, Model, Violation};
 pub use models::{
     CacheConfig, CacheModel, PerCpuCacheConfig, PerCpuCacheModel, ProfileTableConfig, RcuConfig,
-    RcuModel, RcuProfileTableModel,
+    RcuModel, RcuProfileTableModel, RingConfig, RingModel,
 };
 pub use sched::{SchedBackend, SchedConfig, SchedExploration, SchedViolation};
 pub use sync_lint::{lint_paths, LintFinding};

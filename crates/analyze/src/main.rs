@@ -210,6 +210,7 @@ fn run_sched(smoke: bool) -> Result<ExitCode, String> {
         scenarios::profile_publish(),
         scenarios::cache_torn_pair(),
         scenarios::percpu_invalidate_walk(false),
+        scenarios::ring_produce_drain(),
     ];
     println!("== exhaustive exploration (seed {:#x}) ==", cfg.seed);
     for scenario in &core {
@@ -235,7 +236,7 @@ fn run_sched(smoke: bool) -> Result<ExitCode, String> {
     }
 
     println!("== planted mutations (each must be caught) ==");
-    let mutations: [(&str, sack_analyze::sched::Scenario, Option<Mutation>); 4] = [
+    let mutations: [(&str, sack_analyze::sched::Scenario, Option<Mutation>); 5] = [
         (
             "rcu skip hazard re-validation",
             scenarios::rcu_read_write(1),
@@ -255,6 +256,11 @@ fn run_sched(smoke: bool) -> Result<ExitCode, String> {
             "per-cpu walk skips instance 0",
             scenarios::percpu_invalidate_walk(true),
             None,
+        ),
+        (
+            "ring publish after lost claim",
+            scenarios::ring_produce_drain(),
+            Some(Mutation::RingTornPublish),
         ),
     ];
     for (label, scenario, mutation) in mutations {

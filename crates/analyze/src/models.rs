@@ -1,7 +1,7 @@
 //! Bounded models of the lock-free hot path, for [`crate::explore`].
 //!
-//! Four models cover the lock-free structures the hook dispatch path
-//! relies on:
+//! Five models cover the lock-free structures the hook dispatch and
+//! sensor ingestion paths rely on:
 //!
 //! * [`RcuModel`] — the hazard-pointer `Rcu<T>` from `sack-kernel`'s
 //!   `sync` module: readers run the announce/validate protocol, the
@@ -28,6 +28,12 @@
 //!   checked property is again outcome linearizability; the
 //!   `skip_one_instance` mutation models a flush-walk invalidation that
 //!   misses one instance, whose readers then replay a retired grant.
+//! * [`RingModel`] — the Vyukov MPSC submission ring from `sack-kernel`'s
+//!   `ring` module, the event plane's ingestion structure: producers race
+//!   the tail CAS (including the drop-oldest path of `force_enqueue`)
+//!   against a draining consumer. The checked properties are exact frame
+//!   accounting (no lost, duplicated or per-producer-reordered frame;
+//!   drop counts exact) over all bounded schedules including wraparound.
 //!
 //! All models carry mutation switches that disable one load-bearing
 //! ingredient of the real algorithm (the reader's validate loop, the
@@ -1215,6 +1221,433 @@ impl Model for RcuProfileTableModel {
     }
 }
 
+/// Configuration for [`RingModel`].
+#[derive(Debug, Clone, Copy)]
+pub struct RingConfig {
+    /// Number of producer threads.
+    pub producers: usize,
+    /// Values each producer enqueues (drop-oldest on a full ring).
+    pub values: usize,
+    /// Failed dequeue probes the consumer absorbs before giving up
+    /// (successful dequeues are free, so the consumer drains what it can).
+    pub attempts: usize,
+    /// Ring capacity in slots (power of two, like the real ring).
+    pub capacity: usize,
+    /// Known-bad mutation: a producer that loses the tail CAS publishes
+    /// its frame anyway, overwriting the winner's claimed slot.
+    pub torn_publish: bool,
+}
+
+impl RingConfig {
+    /// The faithful protocol with `producers` producers of `values`
+    /// frames each into a 2-slot ring — small enough to explore
+    /// exhaustively, full enough to exercise wraparound and drops.
+    pub fn correct(producers: usize, values: usize) -> RingConfig {
+        RingConfig {
+            producers,
+            values,
+            attempts: 2,
+            capacity: 2,
+            torn_publish: false,
+        }
+    }
+}
+
+/// Per-producer program counter for [`RingModel`]. The `Drop*` states are
+/// the inlined drop-oldest path of `force_enqueue`: the producer runs the
+/// consumer protocol once to discard the oldest frame, then retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RingProdPc {
+    /// Load the tail cursor.
+    LoadTail,
+    /// Load the claimed slot's sequence word and classify it.
+    LoadSeq,
+    /// CAS the tail from the loaded position to position + 1.
+    Cas,
+    /// Write the frame into the claimed slot.
+    WriteValue,
+    /// Publish: store sequence = position + 1.
+    Publish,
+    /// Drop-oldest: load the head cursor.
+    DropLoadHead,
+    /// Drop-oldest: load the head slot's sequence word.
+    DropLoadSeq,
+    /// Drop-oldest: CAS the head forward to claim the oldest frame.
+    DropCas,
+    /// Drop-oldest: read (and count) the discarded frame.
+    DropRead,
+    /// Drop-oldest: recycle the slot (sequence = position + capacity).
+    DropBumpSeq,
+    /// Finished all values.
+    Done,
+}
+
+/// Consumer program counter for [`RingModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RingConsPc {
+    /// Load the head cursor.
+    LoadHead,
+    /// Load the head slot's sequence word and classify it.
+    LoadSeq,
+    /// CAS the head forward to claim the frame.
+    Cas,
+    /// Read the claimed frame.
+    ReadValue,
+    /// Recycle the slot (sequence = position + capacity).
+    BumpSeq,
+    /// Out of probe attempts.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RingProducerState {
+    pc: RingProdPc,
+    /// Index of the next value this producer enqueues.
+    next: u8,
+    /// Loaded cursor (tail in the enqueue path, head in the drop path).
+    pos: u8,
+}
+
+/// Bounded model of the Vyukov MPSC submission ring
+/// (`sack_kernel::ring::RingIn`) at atomic-step granularity.
+///
+/// Frames are tagged `producer << 4 | index`, so the invariants can track
+/// every frame individually: at quiescence each produced frame is
+/// consumed, discarded (with the drop counter matching exactly) or still
+/// in the ring — never lost, never duplicated — and the consumed stream
+/// preserves each producer's enqueue order. The `torn_publish` mutation
+/// models the tempting bug the real enqueue's CAS-failure branch guards
+/// against: publishing into a slot whose claim was lost.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RingModel {
+    producers: Vec<RingProducerState>,
+    consumer_pc: RingConsPc,
+    consumer_pos: u8,
+    attempts_left: u8,
+    tail: u8,
+    head: u8,
+    seq: Vec<u8>,
+    val: Vec<Option<u8>>,
+    consumed: Vec<u8>,
+    discarded: Vec<u8>,
+    drop_count: u8,
+    capacity: u8,
+    values: u8,
+    torn_publish: bool,
+}
+
+impl RingModel {
+    /// Builds the initial state for `config`.
+    pub fn new(config: RingConfig) -> RingModel {
+        assert!(
+            config.capacity.is_power_of_two() && config.capacity >= 2,
+            "ring capacity must be a power of two >= 2"
+        );
+        assert!(config.producers < 16 && config.values < 16, "4-bit tags");
+        RingModel {
+            producers: vec![
+                RingProducerState {
+                    pc: if config.values == 0 {
+                        RingProdPc::Done
+                    } else {
+                        RingProdPc::LoadTail
+                    },
+                    next: 0,
+                    pos: 0,
+                };
+                config.producers
+            ],
+            consumer_pc: if config.attempts == 0 {
+                RingConsPc::Done
+            } else {
+                RingConsPc::LoadHead
+            },
+            consumer_pos: 0,
+            attempts_left: config.attempts as u8,
+            tail: 0,
+            head: 0,
+            // Slot i starts with sequence i: "empty, awaiting position i".
+            seq: (0..config.capacity as u8).collect(),
+            val: vec![None; config.capacity],
+            consumed: Vec::new(),
+            discarded: Vec::new(),
+            drop_count: 0,
+            capacity: config.capacity as u8,
+            values: config.values as u8,
+            torn_publish: config.torn_publish,
+        }
+    }
+
+    fn tag(&self, producer: usize, index: u8) -> u8 {
+        ((producer as u8) << 4) | index
+    }
+
+    fn slot(&self, pos: u8) -> usize {
+        (pos & (self.capacity - 1)) as usize
+    }
+
+    fn producer_step(&mut self, i: usize) -> Result<(), String> {
+        let p = self.producers[i];
+        match p.pc {
+            RingProdPc::LoadTail => {
+                self.producers[i].pos = self.tail;
+                self.producers[i].pc = RingProdPc::LoadSeq;
+            }
+            RingProdPc::LoadSeq => {
+                let dif = self.seq[self.slot(p.pos)] as i16 - p.pos as i16;
+                self.producers[i].pc = if dif == 0 {
+                    RingProdPc::Cas
+                } else if dif < 0 {
+                    // Full: run the drop-oldest path, then retry.
+                    RingProdPc::DropLoadHead
+                } else {
+                    // Stale tail snapshot: reload.
+                    RingProdPc::LoadTail
+                };
+            }
+            RingProdPc::Cas => {
+                if self.tail == p.pos {
+                    self.tail = p.pos + 1;
+                    self.producers[i].pc = RingProdPc::WriteValue;
+                } else if self.torn_publish {
+                    // Mutation: the claim was lost, publish anyway.
+                    self.producers[i].pc = RingProdPc::WriteValue;
+                } else {
+                    self.producers[i].pc = RingProdPc::LoadTail;
+                }
+            }
+            RingProdPc::WriteValue => {
+                let tag = self.tag(i, p.next);
+                let slot = self.slot(p.pos);
+                self.val[slot] = Some(tag);
+                self.producers[i].pc = RingProdPc::Publish;
+            }
+            RingProdPc::Publish => {
+                let slot = self.slot(p.pos);
+                self.seq[slot] = p.pos + 1;
+                self.producers[i].next += 1;
+                self.producers[i].pc = if self.producers[i].next == self.values {
+                    RingProdPc::Done
+                } else {
+                    RingProdPc::LoadTail
+                };
+            }
+            RingProdPc::DropLoadHead => {
+                self.producers[i].pos = self.head;
+                self.producers[i].pc = RingProdPc::DropLoadSeq;
+            }
+            RingProdPc::DropLoadSeq => {
+                let dif = self.seq[self.slot(p.pos)] as i16 - (p.pos as i16 + 1);
+                self.producers[i].pc = if dif == 0 {
+                    RingProdPc::DropCas
+                } else {
+                    // Empty or raced: someone made room, retry the enqueue.
+                    RingProdPc::LoadTail
+                };
+            }
+            RingProdPc::DropCas => {
+                if self.head == p.pos {
+                    self.head = p.pos + 1;
+                    self.producers[i].pc = RingProdPc::DropRead;
+                } else {
+                    self.producers[i].pc = RingProdPc::LoadTail;
+                }
+            }
+            RingProdPc::DropRead => {
+                let Some(tag) = self.val[self.slot(p.pos)] else {
+                    return Err(format!(
+                        "producer {i} discarded an unpublished slot at position {}",
+                        p.pos
+                    ));
+                };
+                self.discarded.push(tag);
+                self.drop_count += 1;
+                self.producers[i].pc = RingProdPc::DropBumpSeq;
+            }
+            RingProdPc::DropBumpSeq => {
+                let slot = self.slot(p.pos);
+                self.seq[slot] = p.pos + self.capacity;
+                self.producers[i].pc = RingProdPc::LoadTail;
+            }
+            RingProdPc::Done => unreachable!(),
+        }
+        Ok(())
+    }
+
+    fn consumer_fail(&mut self) {
+        self.attempts_left -= 1;
+        self.consumer_pc = if self.attempts_left == 0 {
+            RingConsPc::Done
+        } else {
+            RingConsPc::LoadHead
+        };
+    }
+
+    fn consumer_step(&mut self) -> Result<(), String> {
+        match self.consumer_pc {
+            RingConsPc::LoadHead => {
+                self.consumer_pos = self.head;
+                self.consumer_pc = RingConsPc::LoadSeq;
+            }
+            RingConsPc::LoadSeq => {
+                let pos = self.consumer_pos;
+                let dif = self.seq[self.slot(pos)] as i16 - (pos as i16 + 1);
+                if dif == 0 {
+                    self.consumer_pc = RingConsPc::Cas;
+                } else {
+                    // Empty or raced by a dropping producer: burn a probe.
+                    self.consumer_fail();
+                }
+            }
+            RingConsPc::Cas => {
+                if self.head == self.consumer_pos {
+                    self.head = self.consumer_pos + 1;
+                    self.consumer_pc = RingConsPc::ReadValue;
+                } else {
+                    self.consumer_fail();
+                }
+            }
+            RingConsPc::ReadValue => {
+                let Some(tag) = self.val[self.slot(self.consumer_pos)] else {
+                    return Err(format!(
+                        "consumer dequeued an unpublished slot at position {}",
+                        self.consumer_pos
+                    ));
+                };
+                self.consumed.push(tag);
+                self.consumer_pc = RingConsPc::BumpSeq;
+            }
+            RingConsPc::BumpSeq => {
+                let slot = self.slot(self.consumer_pos);
+                self.seq[slot] = self.consumer_pos + self.capacity;
+                self.consumer_pc = RingConsPc::LoadHead;
+            }
+            RingConsPc::Done => unreachable!(),
+        }
+        Ok(())
+    }
+
+    /// Frames still in the ring at quiescence, in ring order.
+    fn residue(&self) -> Result<Vec<u8>, String> {
+        let mut out = Vec::new();
+        for pos in self.head..self.tail {
+            if self.seq[self.slot(pos)] != pos + 1 {
+                return Err(format!(
+                    "occupied span holds an unpublished slot at position {pos}"
+                ));
+            }
+            match self.val[self.slot(pos)] {
+                Some(tag) => out.push(tag),
+                None => return Err(format!("occupied slot without a frame at position {pos}")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn check_order(&self, stream: &[u8], what: &str) -> Result<(), String> {
+        for producer in 0..self.producers.len() as u8 {
+            let mut last: Option<u8> = None;
+            for &tag in stream.iter().filter(|&&t| t >> 4 == producer) {
+                let index = tag & 0xF;
+                if let Some(prev) = last {
+                    if index <= prev {
+                        return Err(format!(
+                            "reordered frames for producer {producer} in {what}: \
+                             {index} after {prev}"
+                        ));
+                    }
+                }
+                last = Some(index);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Model for RingModel {
+    fn threads(&self) -> usize {
+        self.producers.len() + 1
+    }
+
+    fn enabled(&self, thread: usize) -> bool {
+        if thread < self.producers.len() {
+            self.producers[thread].pc != RingProdPc::Done
+        } else {
+            self.consumer_pc != RingConsPc::Done
+        }
+    }
+
+    fn step(&mut self, thread: usize) -> Result<(), String> {
+        if thread < self.producers.len() {
+            self.producer_step(thread)
+        } else {
+            self.consumer_step()
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.consumer_pc == RingConsPc::Done
+            && self.producers.iter().all(|p| p.pc == RingProdPc::Done)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        let span = self.tail as i16 - self.head as i16;
+        if span < 0 {
+            return Err(format!("head {} overtook tail {}", self.head, self.tail));
+        }
+        if span > self.capacity as i16 {
+            return Err(format!(
+                "ring over-full: {} positions occupied with capacity {}",
+                span, self.capacity
+            ));
+        }
+        if self.drop_count as usize != self.discarded.len() {
+            return Err(format!(
+                "drop counter drift: counted {} but discarded {}",
+                self.drop_count,
+                self.discarded.len()
+            ));
+        }
+        if !self.done() {
+            return Ok(());
+        }
+        // Quiescent accounting: every produced frame is consumed,
+        // discarded or still queued — exactly once.
+        let residue = self.residue()?;
+        for producer in 0..self.producers.len() {
+            for index in 0..self.values {
+                let tag = self.tag(producer, index);
+                let copies = self
+                    .consumed
+                    .iter()
+                    .chain(&self.discarded)
+                    .chain(&residue)
+                    .filter(|&&t| t == tag)
+                    .count();
+                if copies == 0 {
+                    return Err(format!(
+                        "lost frame: producer {producer} value {index} \
+                         neither consumed, discarded nor queued"
+                    ));
+                }
+                if copies > 1 {
+                    return Err(format!(
+                        "duplicated frame: producer {producer} value {index} \
+                         delivered {copies} times"
+                    ));
+                }
+            }
+        }
+        // Per-producer FIFO: the delivered stream (consumed now, residue
+        // later) and the drop-oldest discards each preserve enqueue order.
+        let mut delivered = self.consumed.clone();
+        delivered.extend(&residue);
+        self.check_order(&delivered, "delivered stream")?;
+        self.check_order(&self.discarded, "discarded stream")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1352,5 +1785,37 @@ mod tests {
         };
         let violation = explore(&RcuProfileTableModel::new(config), 64).unwrap_err();
         assert!(violation.message.contains("linearizability"), "{violation}");
+    }
+
+    #[test]
+    fn ring_correct_protocol_accounts_for_every_frame() {
+        // Two producers of two frames each through a 2-slot ring: every
+        // schedule wraps the ring at least once and many exercise the
+        // drop-oldest path, so exact accounting is proven under
+        // wraparound, drops and CAS races together.
+        let stats = explore(&RingModel::new(RingConfig::correct(2, 2)), 160).unwrap();
+        assert!(stats.complete_schedules > 0);
+        assert!(stats.states > 100, "model should be non-trivial");
+    }
+
+    #[test]
+    fn ring_single_producer_is_fifo() {
+        let stats = explore(&RingModel::new(RingConfig::correct(1, 3)), 160).unwrap();
+        assert!(stats.complete_schedules > 0);
+    }
+
+    #[test]
+    fn ring_torn_publish_is_caught() {
+        let config = RingConfig {
+            torn_publish: true,
+            ..RingConfig::correct(2, 2)
+        };
+        let violation = explore(&RingModel::new(config), 160).unwrap_err();
+        assert!(
+            violation.message.contains("lost frame")
+                || violation.message.contains("duplicated frame")
+                || violation.message.contains("unpublished slot"),
+            "{violation}"
+        );
     }
 }

@@ -174,6 +174,18 @@ impl RawAtomicUsize for SchedAtomicUsize {
         point(OpKind::Write, self.obj, "AtomicUsize.fetch_add");
         self.inner.fetch_add(v, order)
     }
+    fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        // As for `AtomicPtr.compare_exchange`: the announcement precedes
+        // the outcome, so classify conservatively as a write.
+        point(OpKind::Write, self.obj, "AtomicUsize.compare_exchange");
+        self.inner.compare_exchange(current, new, success, failure)
+    }
 }
 
 /// Executor-instrumented `AtomicU64`.

@@ -69,6 +69,27 @@ mod tests {
     }
 
     #[test]
+    fn ring_produce_drain_is_exhaustively_safe() {
+        let stats = explore(&scenarios::ring_produce_drain(), &SchedConfig::exhaustive())
+            .unwrap_or_else(|v| panic!("{v}"));
+        assert!(stats.complete, "exploration must exhaust the space");
+        assert!(stats.schedules > 10, "space must be non-trivial");
+    }
+
+    #[test]
+    fn ring_torn_publish_is_caught_in_real_code() {
+        let violation = explore(
+            &scenarios::ring_produce_drain(),
+            &SchedConfig::with_mutation(Mutation::RingTornPublish),
+        )
+        .expect_err("the planted bug must produce a violating schedule");
+        assert!(
+            violation.message.contains("lost or duplicated frames"),
+            "{violation}"
+        );
+    }
+
+    #[test]
     fn seeded_exploration_is_deterministic() {
         let cfg = SchedConfig {
             seed: 0xDEAD_BEEF,

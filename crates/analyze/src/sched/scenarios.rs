@@ -27,12 +27,18 @@
 //!   invalidation design, built from the same real cache instances, whose
 //!   skip-one-instance bug the `PerCpuCacheModel` predicts; the executor
 //!   confirms the prediction against real cache code.
+//! * [`ring_produce_drain`] — the real MPSC submission ring
+//!   (`sack_kernel::ring::RingIn`, the event plane's ingestion structure):
+//!   two producers race the tail CAS against a draining consumer; no
+//!   frame may be lost or duplicated (the `RingTornPublish` mutation
+//!   plants the lost-claim publish the `RingModel` predicts).
 
 use std::sync::{Arc, Mutex};
 
 use sack_core::{
     current_cpu_in, CachedOutcome, DecisionCacheIn, DecisionKey, PerCpuCacheIn, CPU_INSTANCES,
 };
+use sack_kernel::ring::RingIn;
 use sack_kernel::sync::shim::{RawAtomicU64, RawAtomicUsize};
 use sack_kernel::sync::{Backend, Rcu};
 
@@ -411,6 +417,73 @@ pub fn cache_torn_pair() -> Scenario {
                 bodies: vec![reader, writer],
                 check,
             }
+        }),
+    }
+}
+
+/// Two producers enqueue one frame each into the real 2-slot
+/// [`RingIn`] while a consumer runs bounded `try_dequeue` probes — the
+/// event plane's submit-vs-drain race at full contention (both producers
+/// fight over the same tail position).
+///
+/// Invariants: the controller drains the residue after the schedule and
+/// the union of consumer-drained and residue frames must be exactly the
+/// multiset {10, 20} — no lost, no duplicated frame, nothing dropped
+/// (capacity equals the frame count). The `RingTornPublish` mutation
+/// makes a producer that lost the tail CAS publish anyway, and the
+/// executor finds the schedule where one frame overwrites the other.
+pub fn ring_produce_drain() -> Scenario {
+    Scenario {
+        name: "ring-produce-vs-drain",
+        threads: vec!["producer", "producer", "consumer"],
+        make: Box::new(|| {
+            let ring: Arc<RingIn<u64, SchedBackend>> = Arc::new(RingIn::new_in(2));
+            let drained: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+            let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for value in [10u64, 20] {
+                let ring = Arc::clone(&ring);
+                bodies.push(Box::new(move || {
+                    // Two frames into two slots: the ring can never be
+                    // full, so a single try_enqueue must succeed (its
+                    // internal CAS loop retries lost races).
+                    ring.try_enqueue(value)
+                        .unwrap_or_else(|_| panic!("2-slot ring full with 2 producers"));
+                }));
+            }
+            {
+                let ring = Arc::clone(&ring);
+                let drained = Arc::clone(&drained);
+                bodies.push(Box::new(move || {
+                    // Bounded probes: drain what is visible, tolerate
+                    // running before the producers.
+                    for _ in 0..2 {
+                        if let Some(v) = ring.try_dequeue() {
+                            poison_tolerant(&drained).push(v);
+                        }
+                    }
+                }));
+            }
+            let check = Box::new(move || {
+                let mut frames = poison_tolerant(&drained).clone();
+                while let Some(v) = ring.try_dequeue() {
+                    frames.push(v);
+                }
+                frames.sort_unstable();
+                if frames != [10, 20] {
+                    return Err(format!(
+                        "ring lost or duplicated frames: drained + residue = {frames:?}, \
+                         expected [10, 20]"
+                    ));
+                }
+                if ring.dropped() != 0 {
+                    return Err(format!(
+                        "{} frames dropped with the ring never full",
+                        ring.dropped()
+                    ));
+                }
+                Ok(())
+            });
+            ScenarioRun { bodies, check }
         }),
     }
 }

@@ -64,6 +64,7 @@
 pub mod audit;
 pub mod cache;
 pub mod enhance;
+pub mod eventplane;
 pub mod policy;
 pub mod rules;
 pub mod sack;
@@ -81,6 +82,9 @@ pub use cache::{
     PerCpuCache, PerCpuCacheIn, CPU_INSTANCES,
 };
 pub use enhance::{AppArmorEnhancer, EnhanceError, SACK_RULE_ORIGIN};
+pub use eventplane::{
+    BackpressurePolicy, DrainOutcome, EventFrame, EventPlane, FrameError, MAX_EVENT_NAME,
+};
 pub use policy::{
     CompiledPolicy, IssueKind, IssueSeverity, PolicyIssue, RuleProvenance, SackPolicy,
 };
@@ -88,7 +92,9 @@ pub use rules::{MacRule, Permission, PermissionId, RuleEffect, StateRuleSet, Sub
 pub use sack::{ActivePolicy, EnforcementMode, Sack, SackError, SackStats};
 pub use simulate::{AccessQuery, PolicySimulator, Step, StepResult};
 pub use situation::{EventId, SituationEvent, SituationState, StateId, StateSpace};
-pub use ssm::{Ssm, TransitionListener, TransitionOutcome, TransitionRecord, TransitionRule};
+pub use ssm::{
+    CoalescedOutcome, Ssm, TransitionListener, TransitionOutcome, TransitionRecord, TransitionRule,
+};
 pub use statedfa::{StateDecision, StateDfa};
 pub use stats::{HistogramSnapshot, LatencyHistogram, ShardedCounter};
 pub use trace::{CacheFlag, FlightEntry, FlightRecorder, SackTracing};

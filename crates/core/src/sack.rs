@@ -22,10 +22,11 @@ use sack_kernel::types::Pid;
 use crate::audit::{AuditLog, AuditRecord};
 use crate::cache::{CachedOutcome, DecisionKey, PerCpuCache};
 use crate::enhance::{validate_for_enhancement, AppArmorEnhancer, EnhanceError};
+use crate::eventplane::{BackpressurePolicy, EventPlane};
 use crate::policy::{CompiledPolicy, ParsePolicyError, PolicyIssue, SackPolicy};
 use crate::rules::SubjectCtx;
 use crate::situation::StateId;
-use crate::ssm::{Ssm, TransitionOutcome};
+use crate::ssm::{CoalescedOutcome, Ssm, TransitionOutcome};
 use crate::stats::ShardedCounter;
 use crate::trace::SackTracing;
 
@@ -124,6 +125,11 @@ pub struct SackStats {
     pub cache_misses: ShardedCounter,
 }
 
+/// Process-global source of [`ActivePolicy::load_generation`] values.
+/// Starts at 1 so that generation 0 can serve as the event frames'
+/// "no hint" tag.
+static NEXT_LOAD_GENERATION: AtomicU64 = AtomicU64::new(1);
+
 /// A loaded policy with its running state machine; swapped atomically on
 /// policy reload.
 pub struct ActivePolicy {
@@ -131,6 +137,14 @@ pub struct ActivePolicy {
     pub ssm: Ssm,
     /// The compiled policy.
     pub policy: CompiledPolicy,
+    /// Process-unique generation assigned at construction. Event-id hints
+    /// resolved against this snapshot's event space carry this value
+    /// ([`crate::eventplane::EventFrame::set_hint`]), so the event plane's
+    /// drain can tell whether a submit-time hint still names the snapshot
+    /// it is about to deliver into: a policy reload swaps the whole
+    /// snapshot — generation included — in one RCU publish, and a stale
+    /// hint simply falls back to resolution by name.
+    pub load_generation: u64,
 }
 
 impl ActivePolicy {
@@ -143,7 +157,11 @@ impl ActivePolicy {
             policy.initial(),
         )
         .map_err(SackError::Ssm)?;
-        Ok(ActivePolicy { ssm, policy })
+        Ok(ActivePolicy {
+            ssm,
+            policy,
+            load_generation: NEXT_LOAD_GENERATION.fetch_add(1, Ordering::Relaxed),
+        })
     }
 }
 
@@ -196,6 +214,11 @@ pub struct Sack {
     /// because the hot path reads it on every check: the untraced cost must
     /// stay at one acquire load + branch.
     tracing: OnceLock<Arc<SackTracing>>,
+    /// The async batched event plane behind `SACK/sds/ring`, created at
+    /// [`Sack::attach`] (or explicitly via [`Sack::install_event_plane`]).
+    /// `OnceLock` because the plane holds a `Weak` back-reference that can
+    /// only exist once the module lives in an `Arc`.
+    plane: OnceLock<Arc<EventPlane>>,
 }
 
 impl Sack {
@@ -220,6 +243,7 @@ impl Sack {
             negative_cache_enabled: AtomicBool::new(false),
             caches: Rcu::new(HashMap::new()),
             tracing: OnceLock::new(),
+            plane: OnceLock::new(),
         }))
     }
 
@@ -254,6 +278,7 @@ impl Sack {
             negative_cache_enabled: AtomicBool::new(false),
             caches: Rcu::new(HashMap::new()),
             tracing: OnceLock::new(),
+            plane: OnceLock::new(),
         }))
     }
 
@@ -363,9 +388,31 @@ impl Sack {
     /// securityfs registration errors.
     pub fn attach(self: &Arc<Self>, kernel: &Arc<Kernel>) -> Result<(), SackError> {
         self.install_tracing(Arc::clone(kernel.trace()));
+        self.install_event_plane(EventPlane::DEFAULT_CAPACITY, BackpressurePolicy::DropOldest);
         crate::sackfs::register(self, kernel)?;
         self.kernel.store(Some(Arc::downgrade(kernel)));
         Ok(())
+    }
+
+    /// Creates the async batched event plane (the fast path behind
+    /// `SACK/sds/ring`). Called by [`Sack::attach`] with the default
+    /// capacity and drop-oldest policy; benches and tests that want a
+    /// different ring size or the blocking policy call it first — the first
+    /// configuration wins and later calls return the existing plane.
+    pub fn install_event_plane(
+        self: &Arc<Self>,
+        capacity: usize,
+        policy: BackpressurePolicy,
+    ) -> Arc<EventPlane> {
+        Arc::clone(
+            self.plane
+                .get_or_init(|| EventPlane::new(self, capacity, policy)),
+        )
+    }
+
+    /// The attached event plane, if one has been installed.
+    pub fn event_plane(&self) -> Option<&Arc<EventPlane>> {
+        self.plane.get()
     }
 
     /// Wires the sack-trace recorder to `hub`: attaches the histogram +
@@ -398,7 +445,7 @@ impl Sack {
     /// `build` runs only on the enabled path, so disabled probes never
     /// construct the event. Untraced cost: one `OnceLock` load + branch.
     #[inline]
-    fn trace_emit(&self, build: impl FnOnce() -> TraceEvent) {
+    pub(crate) fn trace_emit(&self, build: impl FnOnce() -> TraceEvent) {
         if let Some(tracing) = self.tracing.get() {
             let hub = tracing.hub();
             if hub.enabled() {
@@ -412,7 +459,7 @@ impl Sack {
         &self.audit
     }
 
-    fn now(&self) -> std::time::Duration {
+    pub(crate) fn now(&self) -> std::time::Duration {
         (*self.kernel.read())
             .as_ref()
             .and_then(std::sync::Weak::upgrade)
@@ -474,6 +521,109 @@ impl Sack {
             self.trace_emit(|| TraceEvent::RcuEpochBump { epoch });
             // Exactly one invalidate per bump — never one per cache slot;
             // the interleaving model in sack-analyze pins this down.
+            self.trace_emit(|| TraceEvent::CacheInvalidate { epoch });
+        }
+        Ok(outcome)
+    }
+
+    /// Delivers a whole drain batch of event names as **one** coalesced SSM
+    /// publish: for the entire batch, at most one transition, one
+    /// `ssm_transition` trace, one epoch bump and one cache invalidation —
+    /// the amortization the event plane exists for (DESIGN.md §11).
+    ///
+    /// Unknown names are counted in `events_unknown` and skipped rather
+    /// than failing the batch: a frame validated at submit time can still
+    /// be orphaned by a policy reload between enqueue and drain, and one
+    /// stale frame must not poison its batch-mates.
+    ///
+    /// # Errors
+    ///
+    /// [`SackError::Enhance`] if enhanced-mode profile patching fails.
+    pub fn deliver_coalesced<S: AsRef<str>>(
+        &self,
+        names: &[S],
+        now: Duration,
+    ) -> Result<CoalescedOutcome, SackError> {
+        self.stats
+            .events_received
+            .fetch_add(names.len() as u64, Ordering::Relaxed);
+        let active = self.active();
+        let space = active.ssm.space();
+        let mut ids = Vec::with_capacity(names.len());
+        for name in names {
+            match space.event_id(name.as_ref()) {
+                Some(id) => ids.push(id),
+                None => {
+                    self.stats.events_unknown.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.publish_coalesced(&active, &ids, now)
+    }
+
+    /// Frame-based twin of [`Sack::deliver_coalesced`] — the event plane's
+    /// drain entry point. A frame whose submit-time id hint was resolved
+    /// under this exact policy snapshot (generation match) skips the
+    /// name-to-id lookup entirely; any other frame — direct-API
+    /// submissions, or frames orphaned by a reload between enqueue and
+    /// drain — resolves by name as the string path does.
+    ///
+    /// # Errors
+    ///
+    /// [`SackError::Enhance`] if enhanced-mode profile patching fails.
+    pub(crate) fn deliver_coalesced_frames(
+        &self,
+        frames: &[crate::eventplane::EventFrame],
+        now: Duration,
+    ) -> Result<CoalescedOutcome, SackError> {
+        self.stats
+            .events_received
+            .fetch_add(frames.len() as u64, Ordering::Relaxed);
+        let active = self.active();
+        let space = active.ssm.space();
+        let gen = active.load_generation;
+        let mut ids = Vec::with_capacity(frames.len());
+        for frame in frames {
+            match frame.hint(gen).or_else(|| space.event_id(frame.name())) {
+                Some(id) => ids.push(id),
+                None => {
+                    self.stats.events_unknown.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.publish_coalesced(&active, &ids, now)
+    }
+
+    /// Shared tail of the coalesced-delivery paths: one dry-run SSM pass
+    /// over `ids`, then — only if the batch's net effect is a transition —
+    /// one publish, one trace, one epoch bump, one cache invalidation.
+    fn publish_coalesced(
+        &self,
+        active: &ActivePolicy,
+        ids: &[crate::situation::EventId],
+        now: Duration,
+    ) -> Result<CoalescedOutcome, SackError> {
+        let space = active.ssm.space();
+        let outcome = active.ssm.deliver_coalesced(ids, now);
+        if outcome.transitioned() {
+            let (from, to) = (outcome.from, outcome.to);
+            if let Some(enhancer) = &self.enhancer {
+                enhancer
+                    .apply_state(&active.policy, to)
+                    .map_err(SackError::Enhance)?;
+            }
+            self.trace_emit(|| TraceEvent::SsmTransition {
+                from: space.state(from).name.clone(),
+                to: space.state(to).name.clone(),
+                event: outcome
+                    .last_event
+                    .map(|e| space.event(e).name.clone())
+                    .unwrap_or_default(),
+            });
+            // Same invalidation protocol as deliver_event, but once per
+            // batch instead of once per effective transition.
+            let epoch = self.policy_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+            self.trace_emit(|| TraceEvent::RcuEpochBump { epoch });
             self.trace_emit(|| TraceEvent::CacheInvalidate { epoch });
         }
         Ok(outcome)

@@ -9,6 +9,9 @@
 //! | `policy`               | rw     | policy dump / live policy replacement      |
 //! | `stats`                | read   | module counters                            |
 //! | `audit`                | read   | denial ring with overflow accounting       |
+//! | `sds/ring`             | write  | batched frame submission (one write = one  |
+//! |                        |        | coalesced drain)                           |
+//! | `sds/stats`            | read   | event-plane counters                       |
 //! | `tracing/enable`       | rw     | tracepoint master switch (`0`/`1`)         |
 //! | `tracing/events`       | read   | per-tracepoint fired counts                |
 //! | `tracing/flight`       | read   | flight-recorder dump (last N events)       |
@@ -32,6 +35,7 @@ use sack_kernel::securityfs::{require_mac_admin, securityfs_path, SecurityFsFile
 use sack_kernel::trace::Tracepoint;
 use sack_kernel::types::Mode;
 
+use crate::eventplane::EventFrame;
 use crate::sack::{Sack, SackError};
 use crate::stats::ShardedCounter;
 use crate::trace::SackTracing;
@@ -58,6 +62,13 @@ impl SecurityFsFile for EventsNode {
             .unwrap_or(Duration::ZERO);
         let text = std::str::from_utf8(data)
             .map_err(|_| KernelError::with_context(Errno::EINVAL, "sackfs"))?;
+        // A frame is a newline-terminated line. A write whose final frame
+        // lacks the terminator is a partial frame — report it instead of
+        // silently accepting a truncated event (both ingestion paths
+        // validate frames identically).
+        if !text.is_empty() && !text.ends_with('\n') {
+            return Err(KernelError::with_context(Errno::EINVAL, "sackfs"));
+        }
         for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
             match sack.deliver_event(line, now) {
                 Ok(_) => {}
@@ -201,6 +212,109 @@ impl SecurityFsFile for AuditNode {
     }
 }
 
+fn event_plane(sack: &Arc<Sack>) -> KernelResult<Arc<crate::eventplane::EventPlane>> {
+    sack.event_plane()
+        .cloned()
+        .ok_or_else(|| KernelError::with_context(Errno::EIO, "sackfs"))
+}
+
+/// `sds/ring`: batched frame submission into the event plane. One write is
+/// one batch: every line is validated and enqueued, then a single drain
+/// coalesces the whole batch into at most one SSM transition + epoch bump.
+/// The synchronous `events` node remains the per-frame slow/compat path.
+struct SdsRingNode {
+    sack: Weak<Sack>,
+    kernel: Weak<Kernel>,
+}
+
+impl SecurityFsFile for SdsRingNode {
+    fn write_content(&self, ctx: &HookCtx, data: &[u8]) -> KernelResult<usize> {
+        require_mac_admin(ctx)?;
+        let sack = upgrade(&self.sack)?;
+        let plane = event_plane(&sack)?;
+        let now = upgrade(&self.kernel)
+            .map(|k| k.clock().now())
+            .unwrap_or(Duration::ZERO);
+        let text = std::str::from_utf8(data)
+            .map_err(|_| KernelError::with_context(Errno::EINVAL, "sackfs"))?;
+        // Same frame validation as the sync path: newline-terminated lines
+        // only, and every name must be a known event. The whole batch is
+        // validated and resolved before anything enters the ring, so a bad
+        // frame rejects the write without side effects — and each accepted
+        // frame carries its resolved event id as a generation-tagged hint,
+        // so the drain never resolves the same name twice (a reload
+        // between submit and drain invalidates the tag and the drain falls
+        // back to the name).
+        if !text.is_empty() && !text.ends_with('\n') {
+            return Err(KernelError::with_context(Errno::EINVAL, "sackfs"));
+        }
+        let active = sack.active();
+        let space = active.ssm.space();
+        let gen = active.load_generation;
+        let t_ns = now.as_nanos() as u64;
+        let mut frames: Vec<EventFrame> =
+            Vec::with_capacity(text.bytes().filter(|b| *b == b'\n').count());
+        for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            let Some(id) = space.event_id(line) else {
+                return Err(KernelError::with_context(Errno::EINVAL, "sackfs"));
+            };
+            let mut frame = EventFrame::new(line, 0, t_ns)
+                .map_err(|_| KernelError::with_context(Errno::EINVAL, "sackfs"))?;
+            frame.set_hint(id, gen);
+            frames.push(frame);
+        }
+        plane.submit_batch(&frames);
+        plane
+            .drain_all()
+            .map_err(|_| KernelError::with_context(Errno::EIO, "sackfs"))?;
+        Ok(data.len())
+    }
+
+    fn mode(&self) -> Mode {
+        // Like `events`: world-writable at the DAC layer, the
+        // CAP_MAC_ADMIN check in the handler is the real gate.
+        Mode(0o666)
+    }
+}
+
+/// `sds/stats`: the event-plane counters in `name value` lines.
+struct SdsStatsNode {
+    sack: Weak<Sack>,
+}
+
+/// The exported event-plane counters, in node order. One table serves the
+/// `sds/stats` node, the Prometheus exposition and the JSON metrics.
+fn sds_counters(plane: &crate::eventplane::EventPlane) -> [(&'static str, u64); 7] {
+    [
+        ("submitted", plane.submitted()),
+        ("drained", plane.drained_frames()),
+        ("drain_batches", plane.drain_batches()),
+        ("transitions", plane.transitions_published()),
+        ("coalesced", plane.frames_coalesced()),
+        ("dropped", plane.dropped()),
+        ("backpressure_waits", plane.backpressure_waits()),
+    ]
+}
+
+impl SecurityFsFile for SdsStatsNode {
+    fn read_content(&self, _ctx: &HookCtx) -> KernelResult<Vec<u8>> {
+        let sack = upgrade(&self.sack)?;
+        let plane = event_plane(&sack)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "policy {}", plane.policy().name());
+        let _ = writeln!(out, "capacity {}", plane.capacity());
+        let _ = writeln!(out, "depth {}", plane.depth());
+        for (name, value) in sds_counters(&plane) {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        Ok(out.into_bytes())
+    }
+
+    fn mode(&self) -> Mode {
+        Mode(0o444)
+    }
+}
+
 fn tracing(sack: &Arc<Sack>) -> KernelResult<Arc<SackTracing>> {
     sack.tracing()
         .cloned()
@@ -331,6 +445,19 @@ fn render_prometheus(sack: &Arc<Sack>, tracing: &SackTracing) -> String {
         "sack_flight_dropped_total {}",
         tracing.flight().dropped()
     );
+    if let Some(plane) = sack.event_plane() {
+        let _ = writeln!(
+            out,
+            "# HELP sack_sds_depth Event-plane ring occupancy, frames."
+        );
+        let _ = writeln!(out, "# TYPE sack_sds_depth gauge");
+        let _ = writeln!(out, "sack_sds_depth {}", plane.depth());
+        let _ = writeln!(out, "# HELP sack_sds_total Event-plane counters.");
+        let _ = writeln!(out, "# TYPE sack_sds_total counter");
+        for (name, value) in sds_counters(plane) {
+            let _ = writeln!(out, "sack_sds_total{{counter=\"{name}\"}} {value}");
+        }
+    }
     let _ = writeln!(
         out,
         "# HELP sack_hook_latency_ns Hook dispatch latency, nanoseconds."
@@ -412,6 +539,19 @@ fn render_metrics_json(sack: &Arc<Sack>, tracing: &SackTracing) -> String {
         flight.total(),
         flight.dropped()
     );
+    if let Some(plane) = sack.event_plane() {
+        let _ = write!(
+            out,
+            "\"sds\":{{\"policy\":\"{}\",\"capacity\":{},\"depth\":{}",
+            plane.policy().name(),
+            plane.capacity(),
+            plane.depth()
+        );
+        for (name, value) in sds_counters(plane) {
+            let _ = write!(out, ",\"{name}\":{value}");
+        }
+        out.push_str("},");
+    }
     out.push_str("\"histograms\":[");
     for (i, (hook, verdict, flag, snap)) in tracing.histogram_snapshots().iter().enumerate() {
         if i > 0 {
@@ -508,6 +648,21 @@ pub fn register(sack: &Arc<Sack>, kernel: &Arc<Kernel>) -> KernelResult<()> {
     kernel.register_securityfs(
         &audit,
         Arc::new(AuditNode {
+            sack: Arc::downgrade(sack),
+        }),
+    )?;
+    // The sds subtree: the batched event plane's submission + stats nodes.
+    let sds_dir = securityfs_path(SACK_DIR, "sds")?;
+    kernel.register_securityfs(
+        &sds_dir.join("ring")?,
+        Arc::new(SdsRingNode {
+            sack: Arc::downgrade(sack),
+            kernel: Arc::downgrade(kernel),
+        }),
+    )?;
+    kernel.register_securityfs(
+        &sds_dir.join("stats")?,
+        Arc::new(SdsStatsNode {
             sack: Arc::downgrade(sack),
         }),
     )?;
@@ -985,5 +1140,145 @@ mod tests {
         assert_eq!(sack.current_state_name(), "emergency");
         let active = sack.active();
         assert_eq!(active.ssm.taken_count(), 3);
+    }
+
+    #[test]
+    fn partial_frame_write_is_einval() {
+        let (kernel, sack) = boot();
+        let sds = kernel.spawn(Credentials::root());
+        let fd = sds
+            .open("/sys/kernel/security/SACK/events", OpenFlags::write_only())
+            .unwrap();
+        // No trailing newline: a truncated frame must be rejected, not
+        // silently treated as complete.
+        let err = sds.write(fd, b"crash").unwrap_err();
+        assert_eq!(err.errno(), Errno::EINVAL);
+        assert_eq!(sack.current_state_name(), "normal", "state unchanged");
+        assert_eq!(
+            sack.stats().events_received.load(Ordering::Relaxed),
+            0,
+            "partial frame never reaches the SSM"
+        );
+        // The batched path applies the same rule.
+        let fd = sds
+            .open(
+                "/sys/kernel/security/SACK/sds/ring",
+                OpenFlags::write_only(),
+            )
+            .unwrap();
+        let err = sds.write(fd, b"crash\nrescue_done").unwrap_err();
+        assert_eq!(err.errno(), Errno::EINVAL);
+        assert_eq!(sack.current_state_name(), "normal");
+        assert_eq!(sack.event_plane().unwrap().submitted(), 0);
+    }
+
+    #[test]
+    fn ring_write_coalesces_to_one_transition() {
+        let (kernel, sack) = boot();
+        let sds = kernel.spawn(Credentials::user(500, 500).with_capability(Capability::MacAdmin));
+        let fd = sds
+            .open(
+                "/sys/kernel/security/SACK/sds/ring",
+                OpenFlags::write_only(),
+            )
+            .unwrap();
+        let epoch_before = sack.policy_epoch();
+        // The same batch `multiple_events_in_one_write` pushes through the
+        // sync path (3 transitions there) publishes exactly once here.
+        sds.write(fd, b"crash\nrescue_done\ncrash\n").unwrap();
+        assert_eq!(sack.current_state_name(), "emergency");
+        assert_eq!(sack.active().ssm.taken_count(), 1);
+        assert_eq!(sack.policy_epoch(), epoch_before + 1, "one bump per write");
+        let plane = sack.event_plane().unwrap();
+        assert_eq!(plane.submitted(), 3);
+        assert_eq!(plane.drained_frames(), 3);
+        assert_eq!(plane.frames_coalesced(), 2);
+    }
+
+    #[test]
+    fn ring_write_unknown_event_is_einval_without_side_effects() {
+        let (kernel, sack) = boot();
+        let sds = kernel.spawn(Credentials::root());
+        let fd = sds
+            .open(
+                "/sys/kernel/security/SACK/sds/ring",
+                OpenFlags::write_only(),
+            )
+            .unwrap();
+        // A bad frame anywhere in the batch rejects the whole write before
+        // any frame enters the ring.
+        let err = sds.write(fd, b"crash\nmeteor\n").unwrap_err();
+        assert_eq!(err.errno(), Errno::EINVAL);
+        assert_eq!(sack.current_state_name(), "normal");
+        assert_eq!(sack.event_plane().unwrap().submitted(), 0);
+    }
+
+    #[test]
+    fn ring_write_without_mac_admin_is_eperm() {
+        let (kernel, sack) = boot();
+        let attacker = kernel.spawn(Credentials::user(1000, 1000));
+        let fd = attacker
+            .open(
+                "/sys/kernel/security/SACK/sds/ring",
+                OpenFlags::write_only(),
+            )
+            .unwrap();
+        let err = attacker.write(fd, b"crash\n").unwrap_err();
+        assert_eq!(err.errno(), Errno::EPERM);
+        assert_eq!(sack.current_state_name(), "normal", "state unchanged");
+    }
+
+    #[test]
+    fn sds_stats_node_reports_plane_counters() {
+        let (kernel, sack) = boot();
+        let sds = kernel.spawn(Credentials::root());
+        let fd = sds
+            .open(
+                "/sys/kernel/security/SACK/sds/ring",
+                OpenFlags::write_only(),
+            )
+            .unwrap();
+        sds.write(fd, b"crash\nrescue_done\n").unwrap();
+        let text = read_node(&kernel, "sds/stats");
+        assert!(text.contains("policy drop-oldest"), "{text}");
+        assert!(text.contains("capacity 1024"), "{text}");
+        assert!(text.contains("depth 0"), "{text}");
+        assert!(text.contains("submitted 2"), "{text}");
+        assert!(text.contains("drained 2"), "{text}");
+        assert!(text.contains("drain_batches 1"), "{text}");
+        assert!(text.contains("coalesced 1"), "{text}");
+        assert!(text.contains("dropped 0"), "{text}");
+        drop(sack);
+    }
+
+    #[test]
+    fn metrics_expose_sds_counters() {
+        let (kernel, sack) = boot();
+        let sds = kernel.spawn(Credentials::root());
+        let fd = sds
+            .open(
+                "/sys/kernel/security/SACK/sds/ring",
+                OpenFlags::write_only(),
+            )
+            .unwrap();
+        sds.write(fd, b"crash\n").unwrap();
+        let text = read_node(&kernel, "tracing/metrics");
+        assert_valid_prometheus(&text);
+        assert!(
+            text.contains("sack_sds_total{counter=\"submitted\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("sack_sds_depth 0"), "{text}");
+        assert!(
+            text.contains("sack_tracepoint_fired_total{point=\"sds_drain\"}"),
+            "{text}"
+        );
+        let json = read_node(&kernel, "tracing/metrics_json");
+        assert!(
+            json.contains("\"sds\":{\"policy\":\"drop-oldest\""),
+            "{json}"
+        );
+        assert!(json.contains("\"submitted\":1"), "{json}");
+        drop(sack);
     }
 }

@@ -51,6 +51,31 @@ impl TransitionOutcome {
     }
 }
 
+/// Outcome of [`Ssm::deliver_coalesced`]: the net effect of a whole batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalescedOutcome {
+    /// State before the batch.
+    pub from: StateId,
+    /// State after the batch (equals `from` when nothing matched, or when
+    /// the matches formed a cycle).
+    pub to: StateId,
+    /// How many events in the batch matched a rule during the dry run.
+    pub matched: usize,
+    /// Batch size (every event, matching or not).
+    pub delivered: usize,
+    /// The last matching event — the one the single history record is
+    /// attributed to. `None` iff `matched == 0`.
+    pub last_event: Option<EventId>,
+}
+
+impl CoalescedOutcome {
+    /// True when the batch published a transition (at least one match —
+    /// cycles included, mirroring self-loop semantics).
+    pub fn transitioned(&self) -> bool {
+        self.matched > 0
+    }
+}
+
 /// A transition-history record (exposed through SACKfs for audit).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransitionRecord {
@@ -229,6 +254,75 @@ impl Ssm {
         match self.space.event_id(name) {
             Some(id) => Ok(self.deliver(id, now)),
             None => Err(name.to_string()),
+        }
+    }
+
+    /// Delivers a whole batch of events as **one** coalesced transition.
+    ///
+    /// The batch is dry-run through the transition table from the current
+    /// state: each event either matches a rule for the evolving state (and
+    /// advances the dry-run cursor) or is ignored, exactly as a sequence of
+    /// [`Ssm::deliver`] calls would. But the machine then *publishes only
+    /// the net effect*: at most one atomic store, one history record (timed
+    /// `now`, attributed to the last matching event, spanning pre-batch →
+    /// final state) and one listener notification for the entire batch.
+    ///
+    /// A batch whose matches form a cycle (final state == pre-batch state)
+    /// still publishes, mirroring the self-loop semantics of
+    /// [`Ssm::deliver`]: enforcers may rely on re-entry notifications.
+    ///
+    /// `transitions_delivered` counts every event in the batch;
+    /// `transitions_taken` grows by at most one. This is the soundness
+    /// argument for epoch-per-drain (DESIGN.md §11): observers between
+    /// batches cannot distinguish the coalesced publish from the final
+    /// state of the per-event sequence, because intermediate states were
+    /// never observable outside the history anyway.
+    pub fn deliver_coalesced(&self, events: &[EventId], now: Duration) -> CoalescedOutcome {
+        self.transitions_delivered
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+        // Serialize against per-event delivery: the dry run and the publish
+        // happen under the same lock, so no interleaved transition can slip
+        // between them.
+        let mut history = self.history.lock();
+        let from = StateId(self.current.load(Ordering::Acquire));
+        let mut cursor = from;
+        let mut matched = 0usize;
+        let mut last_event = None;
+        for &event in events {
+            if let Some(to) = self.table[cursor.0].get(event.0).copied().flatten() {
+                cursor = to;
+                matched += 1;
+                last_event = Some(event);
+            }
+        }
+        let to = cursor;
+        if matched == 0 {
+            return CoalescedOutcome {
+                from,
+                to: from,
+                matched: 0,
+                delivered: events.len(),
+                last_event: None,
+            };
+        }
+        self.current.store(to.0, Ordering::Release);
+        self.transitions_taken.fetch_add(1, Ordering::Relaxed);
+        history.push(TransitionRecord {
+            at: now,
+            event: last_event.expect("matched > 0 implies a last event"),
+            from,
+            to,
+        });
+        drop(history);
+        for listener in self.listeners.read().iter() {
+            listener.on_transition(from, to);
+        }
+        CoalescedOutcome {
+            from,
+            to,
+            matched,
+            delivered: events.len(),
+            last_event,
         }
     }
 
@@ -562,6 +656,117 @@ mod tests {
         assert!(dot.contains("__start -> s0;"));
         // One edge per transition rule (6 in the Fig. 2 machine).
         assert_eq!(dot.matches("[label=\"").count() - 4, 6, "{dot}");
+    }
+
+    #[test]
+    fn coalesced_batch_publishes_net_effect_once() {
+        struct CountListener(Counter);
+        impl TransitionListener for CountListener {
+            fn on_transition(&self, _from: StateId, _to: StateId) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let ssm = fig2();
+        let listener = Arc::new(CountListener(Counter::new(0)));
+        ssm.add_listener(Arc::clone(&listener) as Arc<dyn TransitionListener>);
+        let crash = ssm.space().event_id("crash").unwrap();
+        let resolved = ssm.space().event_id("emergency_resolved").unwrap();
+        let left = ssm.space().event_id("driver_left").unwrap();
+        // driving -crash-> emergency -resolved-> pwd -left-> pwod, with a
+        // non-matching crash in the middle.
+        let out = ssm.deliver_coalesced(&[crash, crash, resolved, left], Duration::from_secs(9));
+        assert!(out.transitioned());
+        assert_eq!(out.matched, 3);
+        assert_eq!(out.delivered, 4);
+        assert_eq!(ssm.current_name(), "parking_without_driver");
+        // Net effect published once: one taken transition, one history
+        // record spanning pre-batch -> final, one listener call.
+        assert_eq!(ssm.taken_count(), 1);
+        assert_eq!(ssm.delivered_count(), 4);
+        let history = ssm.history();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].at, Duration::from_secs(9));
+        assert_eq!(ssm.space().state(history[0].from).name, "driving");
+        assert_eq!(
+            ssm.space().state(history[0].to).name,
+            "parking_without_driver"
+        );
+        assert_eq!(history[0].event, left, "attributed to last matching event");
+        assert_eq!(listener.0.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn coalesced_no_match_publishes_nothing() {
+        let ssm = fig2();
+        let resolved = ssm.space().event_id("emergency_resolved").unwrap();
+        let out = ssm.deliver_coalesced(&[resolved, resolved], Duration::ZERO);
+        assert!(!out.transitioned());
+        assert_eq!(out.from, out.to);
+        assert_eq!(ssm.current_name(), "driving");
+        assert_eq!(ssm.taken_count(), 0);
+        assert_eq!(ssm.delivered_count(), 2);
+        assert!(ssm.history().is_empty());
+    }
+
+    #[test]
+    fn coalesced_cycle_still_publishes_like_a_self_loop() {
+        struct CountListener(Counter);
+        impl TransitionListener for CountListener {
+            fn on_transition(&self, from: StateId, to: StateId) {
+                assert_eq!(from, to);
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let ssm = fig2();
+        let listener = Arc::new(CountListener(Counter::new(0)));
+        ssm.add_listener(Arc::clone(&listener) as Arc<dyn TransitionListener>);
+        let crash = ssm.space().event_id("crash").unwrap();
+        let resolved = ssm.space().event_id("emergency_resolved").unwrap();
+        let start = ssm.space().event_id("start_driving").unwrap();
+        // driving -> emergency -> pwd -> driving: a full cycle.
+        let out = ssm.deliver_coalesced(&[crash, resolved, start], Duration::ZERO);
+        assert!(out.transitioned());
+        assert_eq!(out.from, out.to);
+        assert_eq!(ssm.current_name(), "driving");
+        assert_eq!(ssm.taken_count(), 1);
+        assert_eq!(listener.0.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn coalesced_matches_per_event_final_state() {
+        // The coalescing rule is exactly "same final state as per-event
+        // delivery" — check against a replayed twin for a long mixed batch.
+        let batch_names = [
+            "crash",
+            "park",
+            "emergency_resolved",
+            "driver_left",
+            "driver_entered",
+            "start_driving",
+            "crash",
+        ];
+        let coalesced = fig2();
+        let twin = fig2();
+        let batch: Vec<EventId> = batch_names
+            .iter()
+            .map(|n| coalesced.space().event_id(n).unwrap())
+            .collect();
+        coalesced.deliver_coalesced(&batch, Duration::ZERO);
+        for &e in &batch {
+            twin.deliver(e, Duration::ZERO);
+        }
+        assert_eq!(coalesced.current(), twin.current());
+        assert_eq!(coalesced.delivered_count(), twin.delivered_count());
+        assert!(coalesced.taken_count() <= 1);
+    }
+
+    #[test]
+    fn coalesced_empty_batch_is_a_no_op() {
+        let ssm = fig2();
+        let out = ssm.deliver_coalesced(&[], Duration::ZERO);
+        assert!(!out.transitioned());
+        assert_eq!(out.delivered, 0);
+        assert_eq!(ssm.delivered_count(), 0);
     }
 
     #[test]

@@ -284,9 +284,16 @@ impl RecorderState {
             | TraceEvent::PolicyPublish { .. }
             | TraceEvent::RcuEpochBump { .. }
             | TraceEvent::ProfileRecompile { .. }
-            | TraceEvent::AuditEmit { .. } => {
+            | TraceEvent::AuditEmit { .. }
+            | TraceEvent::SdsDrain { .. }
+            | TraceEvent::SdsCoalesce { .. }
+            | TraceEvent::SdsBackpressure { .. } => {
                 self.flight.record(event.clone());
             }
+            // Per-frame hot path: counted by the hub, never flight-recorded
+            // (at sensor rates it would flush the whole ring between any two
+            // control-plane records).
+            TraceEvent::SdsEnqueue { .. } => {}
         }
     }
 }

@@ -66,6 +66,10 @@ pub enum Mutation {
     /// payload verifier — the check that makes cross-epoch tag
     /// collisions harmless.
     CacheSkipVerifier,
+    /// A `ring::RingIn` producer that loses the tail claim CAS publishes
+    /// anyway — writing its frame into a slot another producer already
+    /// owns, so one of the two frames silently vanishes.
+    RingTornPublish,
 }
 
 /// Backend view of `AtomicUsize`.
@@ -78,6 +82,15 @@ pub trait RawAtomicUsize: Send + Sync + std::fmt::Debug {
     fn store(&self, v: usize, order: Ordering);
     /// Atomic fetch-add returning the previous value.
     fn fetch_add(&self, v: usize, order: Ordering) -> usize;
+    /// Atomic compare-exchange; `Ok(previous)` on success.
+    #[allow(clippy::missing_errors_doc)]
+    fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize>;
 }
 
 /// Backend view of `AtomicU64`.
@@ -193,6 +206,16 @@ impl RawAtomicUsize for AtomicUsize {
     fn fetch_add(&self, v: usize, order: Ordering) -> usize {
         AtomicUsize::fetch_add(self, v, order)
     }
+    #[inline(always)]
+    fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        AtomicUsize::compare_exchange(self, current, new, success, failure)
+    }
 }
 
 impl RawAtomicU64 for AtomicU64 {
@@ -300,6 +323,7 @@ mod tests {
         assert!(!StdBackend::mutation(Mutation::RcuSkipValidation));
         assert!(!StdBackend::mutation(Mutation::RcuFreeBeforeScan));
         assert!(!StdBackend::mutation(Mutation::CacheSkipVerifier));
+        assert!(!StdBackend::mutation(Mutation::RingTornPublish));
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //! | `rcu_epoch_bump`    | the global policy epoch counter is incremented         |
 //! | `profile_recompile` | an AppArmor profile is (re)compiled to its DFA         |
 //! | `audit_emit`        | a record is appended to the audit ring                 |
+//! | `sds_enqueue`       | a sensor frame is enqueued into the submission ring    |
+//! | `sds_drain`         | a ring drain batch completes (batch size + transitions)|
+//! | `sds_coalesce`      | ≥2 frames collapsed into one SSM delivery in a drain   |
+//! | `sds_backpressure`  | the ring-full policy engaged (block or drop-oldest)    |
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -184,11 +188,19 @@ pub enum Tracepoint {
     ProfileRecompile,
     /// Audit record appended.
     AuditEmit,
+    /// Sensor frame enqueued into the SDS submission ring.
+    SdsEnqueue,
+    /// SDS ring drain batch completed.
+    SdsDrain,
+    /// Multiple frames coalesced into one SSM delivery during a drain.
+    SdsCoalesce,
+    /// Ring-full backpressure policy engaged.
+    SdsBackpressure,
 }
 
 impl Tracepoint {
     /// Every tracepoint, in declaration order.
-    pub const ALL: [Tracepoint; 10] = [
+    pub const ALL: [Tracepoint; 14] = [
         Tracepoint::HookEnter,
         Tracepoint::HookExit,
         Tracepoint::CacheHit,
@@ -199,6 +211,10 @@ impl Tracepoint {
         Tracepoint::RcuEpochBump,
         Tracepoint::ProfileRecompile,
         Tracepoint::AuditEmit,
+        Tracepoint::SdsEnqueue,
+        Tracepoint::SdsDrain,
+        Tracepoint::SdsCoalesce,
+        Tracepoint::SdsBackpressure,
     ];
 
     /// Dense index into [`Tracepoint::ALL`].
@@ -219,6 +235,10 @@ impl Tracepoint {
             Tracepoint::RcuEpochBump => "rcu_epoch_bump",
             Tracepoint::ProfileRecompile => "profile_recompile",
             Tracepoint::AuditEmit => "audit_emit",
+            Tracepoint::SdsEnqueue => "sds_enqueue",
+            Tracepoint::SdsDrain => "sds_drain",
+            Tracepoint::SdsCoalesce => "sds_coalesce",
+            Tracepoint::SdsBackpressure => "sds_backpressure",
         }
     }
 }
@@ -293,6 +313,37 @@ pub enum TraceEvent {
         /// The record's monotonic sequence number.
         seq: u64,
     },
+    /// A sensor frame was enqueued into the SDS submission ring.
+    ///
+    /// Hot-path: fires once per produced frame, carries only `Copy` data,
+    /// and is **not** flight-recorded (it would flush 256 slots in ~256 µs
+    /// at sensor rates) — the fired counter and Prometheus export still see
+    /// every enqueue.
+    SdsEnqueue {
+        /// Ring occupancy observed right after the enqueue (racy snapshot).
+        depth: usize,
+    },
+    /// An SDS ring drain batch completed.
+    SdsDrain {
+        /// Frames consumed by this drain.
+        batch: usize,
+        /// SSM transitions actually published (0 or 1 per drain).
+        transitions: usize,
+    },
+    /// Two or more frames collapsed into a single SSM delivery in a drain.
+    SdsCoalesce {
+        /// The environmental event whose frames were collapsed.
+        event: String,
+        /// How many frames the drain collapsed (≥ 2).
+        collapsed: usize,
+    },
+    /// The ring-full backpressure policy engaged.
+    SdsBackpressure {
+        /// Policy label: `drop-oldest` or `block`.
+        policy: &'static str,
+        /// Cumulative frames discarded by drop-oldest since boot.
+        dropped_total: u64,
+    },
 }
 
 impl TraceEvent {
@@ -309,6 +360,10 @@ impl TraceEvent {
             TraceEvent::RcuEpochBump { .. } => Tracepoint::RcuEpochBump,
             TraceEvent::ProfileRecompile { .. } => Tracepoint::ProfileRecompile,
             TraceEvent::AuditEmit { .. } => Tracepoint::AuditEmit,
+            TraceEvent::SdsEnqueue { .. } => Tracepoint::SdsEnqueue,
+            TraceEvent::SdsDrain { .. } => Tracepoint::SdsDrain,
+            TraceEvent::SdsCoalesce { .. } => Tracepoint::SdsCoalesce,
+            TraceEvent::SdsBackpressure { .. } => Tracepoint::SdsBackpressure,
         }
     }
 }
@@ -340,6 +395,20 @@ impl fmt::Display for TraceEvent {
                 "profile_recompile profile={profile} full_rebuild={full_rebuild}"
             ),
             TraceEvent::AuditEmit { seq } => write!(f, "audit_emit seq={seq}"),
+            TraceEvent::SdsEnqueue { depth } => write!(f, "sds_enqueue depth={depth}"),
+            TraceEvent::SdsDrain { batch, transitions } => {
+                write!(f, "sds_drain batch={batch} transitions={transitions}")
+            }
+            TraceEvent::SdsCoalesce { event, collapsed } => {
+                write!(f, "sds_coalesce event={event} collapsed={collapsed}")
+            }
+            TraceEvent::SdsBackpressure {
+                policy,
+                dropped_total,
+            } => write!(
+                f,
+                "sds_backpressure policy={policy} dropped_total={dropped_total}"
+            ),
         }
     }
 }

@@ -27,11 +27,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod report;
+pub mod sds;
 pub mod suite;
 pub mod testbed;
 pub mod workload;
 
-pub use report::{render_comparison, render_contended_sweep, render_sweep};
+pub use report::{render_comparison, render_contended_sweep, render_sds_sweep, render_sweep};
+pub use sds::{run_sds_sweep, SdsPoint, SdsSweep};
 pub use suite::{
     run_contended_sweep, run_suite, ContendedPoint, ContendedScenario, ContendedSweep,
     LmbenchResult, Op, OpGroup, Scale,

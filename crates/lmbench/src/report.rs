@@ -5,6 +5,7 @@
 
 use std::fmt::Write as _;
 
+use crate::sds::SdsSweep;
 use crate::suite::{ContendedScenario, ContendedSweep, LmbenchResult, Op, OpGroup};
 
 /// Formats a value in its op's unit.
@@ -167,6 +168,39 @@ pub fn render_contended_sweep(sweep: &ContendedSweep) -> String {
     out
 }
 
+/// Renders the SDS event-plane sweep (DESIGN.md §11): one row per target
+/// sensor rate comparing per-event sync ingestion against batched
+/// coalesced ingestion, then the warm-hook impact pair the bench gate
+/// checks.
+pub fn render_sds_sweep(sweep: &SdsSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== SDS event-plane ingestion ({} events/point) ===",
+        sweep.events_per_point
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>7} | {:>13} {:>13} | {:>8}",
+        "rate", "batch", "sync ev/s", "batched ev/s", "speedup"
+    );
+    for point in &sweep.points {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>7} | {:>13.0} {:>13.0} | {:>7.2}x",
+            point.rate, point.batch, point.sync_eps, point.batched_eps, point.speedup
+        );
+    }
+    let _ = writeln!(
+        out,
+        "warm-hook p50: base {}ns, plane active {}ns ({:.3}x)",
+        sweep.warm_base_p50_ns,
+        sweep.warm_plane_p50_ns,
+        sweep.warm_impact()
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +236,27 @@ mod tests {
         assert!(format_value(Op::Stat, 1.234).ends_with("µs"));
         assert!(format_value(Op::PipeBw, 2048.0).contains("K MB/s"));
         assert!(format_value(Op::PipeBw, 512.0).ends_with("MB/s"));
+    }
+
+    #[test]
+    fn sds_sweep_rendering() {
+        let sweep = SdsSweep {
+            points: vec![crate::sds::SdsPoint {
+                rate: 100_000,
+                batch: 100,
+                sync_eps: 50_000.0,
+                batched_eps: 400_000.0,
+                speedup: 8.0,
+            }],
+            events_per_point: 2_000,
+            warm_base_p50_ns: 120,
+            warm_plane_p50_ns: 126,
+        };
+        let text = render_sds_sweep(&sweep);
+        assert!(text.contains("100000"));
+        assert!(text.contains("8.00x"));
+        assert!(text.contains("warm-hook p50"));
+        assert!(text.contains("1.050x"));
     }
 
     #[test]

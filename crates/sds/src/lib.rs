@@ -24,6 +24,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod detector;
+pub mod ring;
 pub mod sensors;
 pub mod service;
 pub mod tracefile;
@@ -33,6 +34,7 @@ pub use detector::{
     CrashDetector, Detector, DriverPresenceDetector, GeofenceDetector, ParkingDetector,
     SpeedDetector,
 };
+pub use ring::{run_trace_batched, RingProducer, SACK_RING_PATH};
 pub use sensors::SensorFrame;
 pub use service::{standard_detectors, SdsReport, SdsService, SACK_EVENTS_PATH};
 pub use tracefile::{from_csv, to_csv, ParseTraceError};

@@ -29,6 +29,13 @@
 #     MIN_SMP_EFFICIENCY x linear, normalised to
 #     min(threads, available_parallelism).
 #
+# Also runs the SDS event-plane sweep (DESIGN.md §11) and fails if:
+#   * batched ring ingestion is not at least MIN_SDS_SPEEDUP x the
+#     synchronous per-event path's throughput at 100k events/sec;
+#   * an active plane draining non-matching batches inflates the warm
+#     hook p50 beyond MAX_SDS_WARM_IMPACT x the planeless baseline
+#     (coalesced drains must not invalidate the decision cache).
+#
 # Before rewriting BENCH_hook_latency.json the script cross-checks the
 # gate block recorded in the committed file against the thresholds it
 # actually enforces, and fails loudly on any disagreement — a recorded
@@ -53,6 +60,10 @@ MIN_INCR_RECOMPILE_SPEEDUP="${MIN_INCR_RECOMPILE_SPEEDUP:-10.0}"
 MAX_TRACE_OVERHEAD="${MAX_TRACE_OVERHEAD:-1.05}"
 MIN_SMP_EFFICIENCY="${MIN_SMP_EFFICIENCY:-0.7}"
 SMP_THREADS="${SMP_THREADS:-1,2,4,8}"
+MIN_SDS_SPEEDUP="${MIN_SDS_SPEEDUP:-5.0}"
+MAX_SDS_WARM_IMPACT="${MAX_SDS_WARM_IMPACT:-1.5}"
+SDS_RATES="${SDS_RATES:-10000,100000,1000000}"
+SDS_EVENTS="${SDS_EVENTS:-20000}"
 OUT_JSON="${OUT_JSON:-BENCH_hook_latency.json}"
 
 QUICK="--quick"
@@ -69,7 +80,9 @@ TMP_JSON_PT="$(mktemp)"
 TMP_JSON_OBS="$(mktemp)"
 TMP_SMP_JSON="$(mktemp)"
 TMP_SMP_LOG="$(mktemp)"
-trap 'rm -f "$TMP_JSON" "$TMP_LOG" "$TMP_JSON_PT" "$TMP_JSON_OBS" "$TMP_SMP_JSON" "$TMP_SMP_LOG"' EXIT
+TMP_SDS_JSON="$(mktemp)"
+TMP_SDS_LOG="$(mktemp)"
+trap 'rm -f "$TMP_JSON" "$TMP_LOG" "$TMP_JSON_PT" "$TMP_JSON_OBS" "$TMP_SMP_JSON" "$TMP_SMP_LOG" "$TMP_SDS_JSON" "$TMP_SDS_LOG"' EXIT
 
 # --- Recorded-vs-enforced gate consistency -------------------------------
 # The committed JSON documents the thresholds it was gated with; if those
@@ -95,6 +108,8 @@ if [[ -f "$OUT_JSON" ]]; then
     check_recorded_gate min_incr_recompile_speedup "$MIN_INCR_RECOMPILE_SPEEDUP"
     check_recorded_gate max_trace_overhead "$MAX_TRACE_OVERHEAD"
     check_recorded_gate min_smp_efficiency "$MIN_SMP_EFFICIENCY"
+    check_recorded_gate min_sds_speedup "$MIN_SDS_SPEEDUP"
+    check_recorded_gate max_sds_warm_impact "$MAX_SDS_WARM_IMPACT"
 fi
 
 echo "== bench_gate: running ablation_decision_cache ${QUICK:+(quick mode)}" >&2
@@ -157,11 +172,19 @@ SMP_MAX_THREADS="${SMP_THREADS##*,}"
 SMP_EFF_WARM="$(sed -n 's/^smp_efficiency scenario=warm-cache threads='"$SMP_MAX_THREADS"' value=\([0-9.]*\)$/\1/p' "$TMP_SMP_LOG" | head -1)"
 SMP_PARALLELISM="$(sed -n 's/^smp_meta available_parallelism=\([0-9]*\).*$/\1/p' "$TMP_SMP_LOG" | head -1)"
 
+echo "== bench_gate: running sds_sweep (rates $SDS_RATES, $SDS_EVENTS events/point)" >&2
+cargo run --release --offline -p sack-lmbench --example sds_sweep -- \
+    --rates "$SDS_RATES" --events "$SDS_EVENTS" --json "$TMP_SDS_JSON" \
+    | tee "$TMP_SDS_LOG" >&2
+
+SDS_SPEEDUP_100K="$(sed -n 's/^sds_speedup_at_100k value=\([0-9.]*\)$/\1/p' "$TMP_SDS_LOG" | head -1)"
+SDS_WARM_IMPACT="$(sed -n 's/^sds_warm_impact value=\([0-9.]*\)$/\1/p' "$TMP_SDS_LOG" | head -1)"
+
 for v in WARM_SINGLE DFA_SINGLE SCAN_SINGLE WARM_WSET SCAN_WSET HIT_RATE \
          DFA_100 SCAN_100 DFA_1K SCAN_1K DFA_10K SCAN_10K \
          AA_DFA AA_SCAN RECOMPILE_INCR RECOMPILE_FULL \
          TRACE_BASELINE TRACE_DISABLED TRACE_ENABLED TRACE_FLIGHT \
-         SMP_EFF_WARM SMP_PARALLELISM; do
+         SMP_EFF_WARM SMP_PARALLELISM SDS_SPEEDUP_100K SDS_WARM_IMPACT; do
     if [[ -z "${!v}" ]]; then
         echo "bench_gate: FAILED to extract $v from benchmark output" >&2
         exit 1
@@ -219,6 +242,7 @@ cat > "$OUT_JSON" <<EOF
     "enabled_overhead_ratio": $TRACE_OVERHEAD_ENABLED
   },
   "smp": $(cat "$TMP_SMP_JSON"),
+  "sds": $(cat "$TMP_SDS_JSON"),
   "gate": {
     "min_speedup": $MIN_SPEEDUP,
     "min_hit_rate": $MIN_HIT_RATE,
@@ -227,7 +251,9 @@ cat > "$OUT_JSON" <<EOF
     "min_aa_dfa_speedup": $MIN_AA_DFA_SPEEDUP,
     "min_incr_recompile_speedup": $MIN_INCR_RECOMPILE_SPEEDUP,
     "max_trace_overhead": $MAX_TRACE_OVERHEAD,
-    "min_smp_efficiency": $MIN_SMP_EFFICIENCY
+    "min_smp_efficiency": $MIN_SMP_EFFICIENCY,
+    "min_sds_speedup": $MIN_SDS_SPEEDUP,
+    "max_sds_warm_impact": $MAX_SDS_WARM_IMPACT
   }
 }
 EOF
@@ -243,6 +269,8 @@ echo "   incr recompile @100:  ${INCR_SPEEDUP}x (incr $RECOMPILE_INCR ns vs full
 echo "   trace off overhead:   ${TRACE_OVERHEAD_DISABLED}x (disabled $TRACE_DISABLED ns vs baseline $TRACE_BASELINE ns)" >&2
 echo "   trace on overhead:    ${TRACE_OVERHEAD_ENABLED}x (enabled $TRACE_ENABLED ns, flight-saturated $TRACE_FLIGHT ns)" >&2
 echo "   smp warm efficiency:  ${SMP_EFF_WARM}x linear at $SMP_MAX_THREADS threads ($SMP_PARALLELISM-way parallel host)" >&2
+echo "   sds batched @100k:    ${SDS_SPEEDUP_100K}x sync event throughput" >&2
+echo "   sds warm impact:      ${SDS_WARM_IMPACT}x warm-hook p50 with the plane active" >&2
 
 fail=0
 if [[ "$GATE_MISMATCH" -ne 0 ]]; then
@@ -283,6 +311,14 @@ if awk -v r="$TRACE_OVERHEAD_DISABLED" -v m="$MAX_TRACE_OVERHEAD" 'BEGIN { exit 
 fi
 if awk -v e="$SMP_EFF_WARM" -v m="$MIN_SMP_EFFICIENCY" 'BEGIN { exit !(e < m) }'; then
     echo "bench_gate: FAIL — warm-cache scaling efficiency ${SMP_EFF_WARM}x < required ${MIN_SMP_EFFICIENCY}x linear at $SMP_MAX_THREADS threads" >&2
+    fail=1
+fi
+if awk -v s="$SDS_SPEEDUP_100K" -v m="$MIN_SDS_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
+    echo "bench_gate: FAIL — batched sds ingestion ${SDS_SPEEDUP_100K}x < required ${MIN_SDS_SPEEDUP}x sync throughput at 100k events/sec" >&2
+    fail=1
+fi
+if awk -v r="$SDS_WARM_IMPACT" -v m="$MAX_SDS_WARM_IMPACT" 'BEGIN { exit !(r > m) }'; then
+    echo "bench_gate: FAIL — active event plane inflates warm-hook p50 by ${SDS_WARM_IMPACT}x (max ${MAX_SDS_WARM_IMPACT}x)" >&2
     fail=1
 fi
 

@@ -24,11 +24,16 @@
 #                                   is valid Prometheus
 #   8. contended sweep smoke      — the SMP sweep runner at 2 threads,
 #                                   proving the contended path executes
-#   9. scripts/bench_gate.sh      — the hook-latency performance gate,
+#   9. sds sweep smoke            — the event-plane sweep runner on a
+#                                   reduced grid, proving both ingestion
+#                                   paths and the warm probe execute
+#  10. scripts/bench_gate.sh      — the hook-latency performance gate,
 #                                   including the ≤MAX_TRACE_OVERHEAD
-#                                   disabled-tracepoint observer gate and
-#                                   the ≥MIN_SMP_EFFICIENCY scaling gate
-#  10. validate_bench_json.py     — BENCH_hook_latency.json schema check
+#                                   disabled-tracepoint observer gate, the
+#                                   ≥MIN_SMP_EFFICIENCY scaling gate and
+#                                   the ≥MIN_SDS_SPEEDUP batched-ingestion
+#                                   gate
+#  11. validate_bench_json.py     — BENCH_hook_latency.json schema check
 #                                   (all gate keys present, ratios finite)
 #
 # Usage: scripts/check.sh [--no-bench] [--sanitize]
@@ -90,6 +95,10 @@ step "sack-analyze trace --self-check"
 step "contended sweep smoke (2 threads)"
 cargo run --release --offline -p sack-lmbench --example contended_sweep -- \
     --threads 1,2 --iters 1000
+
+step "sds event-plane sweep smoke"
+cargo run --release --offline -p sack-lmbench --example sds_sweep -- \
+    --rates 10000,100000 --events 2000
 
 if [[ "$RUN_SANITIZE" == 1 ]]; then
     step "ThreadSanitizer lane (sync/cache/smp tests)"

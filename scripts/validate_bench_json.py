@@ -10,6 +10,9 @@ catches a malformed splice before it is committed. Checks:
   * the gate block records every threshold the gate script enforces;
   * the smp block has every scenario with per-thread-count percentiles
     and a scaling_efficiency;
+  * the sds block has a point per swept rate plus the two values the
+    gate checks (speedup_at_100k, warm_impact), and each recorded value
+    satisfies the threshold the gate block records for it;
   * every numeric leaf in the whole document is finite (a NaN/Infinity
     ratio means a benchmark div-by-zero went unnoticed).
 
@@ -30,6 +33,7 @@ TOP_LEVEL_KEYS = [
     "apparmor_profile_table",
     "tracing",
     "smp",
+    "sds",
     "gate",
 ]
 
@@ -43,10 +47,14 @@ GATE_KEYS = [
     "min_incr_recompile_speedup",
     "max_trace_overhead",
     "min_smp_efficiency",
+    "min_sds_speedup",
+    "max_sds_warm_impact",
 ]
 
 SMP_SCENARIOS = ["warm_cache", "dfa_cold", "reload_racing"]
 SMP_POINT_KEYS = ["p50_ns", "p90_ns", "p99_ns", "ops_per_sec"]
+
+SDS_POINT_KEYS = ["batch", "sync_eps", "batched_eps", "speedup"]
 
 
 def walk_numbers(node, path, problems):
@@ -99,6 +107,51 @@ def validate(doc):
                 for key in SMP_POINT_KEYS:
                     if key not in point:
                         problems.append(f"smp.scenarios.{name}.t{t} missing {key!r}")
+
+    sds = doc.get("sds", {})
+    if sds:
+        for key in [
+            "events_per_point",
+            "rates",
+            "points",
+            "speedup_at_100k",
+            "warm_base_p50_ns",
+            "warm_plane_p50_ns",
+            "warm_impact",
+        ]:
+            if key not in sds:
+                problems.append(f"sds block missing {key!r}")
+        rates = sds.get("rates", [])
+        if not rates:
+            problems.append("sds.rates is empty")
+        if 100000 not in rates:
+            problems.append("sds.rates does not include the gated 100000 events/sec point")
+        points = sds.get("points", {})
+        for rate in rates:
+            point = points.get(f"r{rate}")
+            if point is None:
+                problems.append(f"sds.points missing r{rate}")
+                continue
+            for key in SDS_POINT_KEYS:
+                if key not in point:
+                    problems.append(f"sds.points.r{rate} missing {key!r}")
+        # The recorded measurements must satisfy the thresholds the gate
+        # block itself records — a committed file that fails its own gate
+        # means the gate script did not actually run.
+        speedup = sds.get("speedup_at_100k")
+        min_speedup = gate.get("min_sds_speedup")
+        if isinstance(speedup, (int, float)) and isinstance(min_speedup, (int, float)):
+            if speedup < min_speedup:
+                problems.append(
+                    f"sds.speedup_at_100k {speedup} violates gate.min_sds_speedup {min_speedup}"
+                )
+        impact = sds.get("warm_impact")
+        max_impact = gate.get("max_sds_warm_impact")
+        if isinstance(impact, (int, float)) and isinstance(max_impact, (int, float)):
+            if impact > max_impact:
+                problems.append(
+                    f"sds.warm_impact {impact} violates gate.max_sds_warm_impact {max_impact}"
+                )
 
     walk_numbers(doc, "$", problems)
     return problems

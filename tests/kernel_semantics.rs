@@ -170,7 +170,7 @@ fn securityfs_nodes_visible_via_normal_vfs() {
         .unwrap();
     assert_eq!(
         entries,
-        vec!["audit", "events", "policy", "state", "stats", "tracing"]
+        vec!["audit", "events", "policy", "sds", "state", "stats", "tracing"]
     );
     let tracing = kernel
         .vfs()
