@@ -30,7 +30,7 @@ use sack_core::policy::{check_policy, IssueSeverity, RuleProvenance, SackPolicy,
 use sack_core::{RuleEffect, StateId};
 use sack_te::TePolicy;
 
-use crate::diag::{DfaSize, Diagnostic, ProfileDfaSize, Report};
+use crate::diag::{CompiledDfaSize, DfaSize, Diagnostic, ProfileDfaSize, Report};
 
 /// Origin tag on profile rules injected by SACK's enhancer; such rules are
 /// SACK's own and never count as stacking holes.
@@ -51,6 +51,38 @@ pub const CHECK_DFA_STATE_BLOWUP: &str = "dfa-state-blowup";
 /// State-count budget per compiled matcher; beyond this the table no
 /// longer looks like something a kernel should pin, so the analyzer warns.
 const DFA_STATE_BUDGET: usize = 64 * 1024;
+
+/// Snapshots the per-profile matcher sizes of a live [`PolicyDb`],
+/// including lazily-loaded profiles whose DFA is still an uncompiled stub
+/// (`compiled: None`) and shared-body dedup groups (profiles whose
+/// identical rule bodies share one DFA slot get the same `dedup_group`).
+/// Entries are in sorted profile-name order; group ids are assigned in
+/// first-appearance order.
+pub fn profile_dfa_sizes_of(db: &sack_apparmor::PolicyDb) -> Vec<ProfileDfaSize> {
+    let mut groups: HashMap<usize, usize> = HashMap::new();
+    let mut out = Vec::new();
+    for name in db.profile_names() {
+        let Some(compiled) = db.get(&name) else {
+            continue;
+        };
+        let rules = compiled.rules();
+        let handle = rules.dfa_handle();
+        let slot_addr = std::sync::Arc::as_ptr(handle) as usize;
+        let next_group = groups.len();
+        let dedup_group = *groups.entry(slot_addr).or_insert(next_group);
+        out.push(ProfileDfaSize {
+            profile: name,
+            rules: rules.len(),
+            classes: rules.alphabet().class_count(),
+            compiled: handle.stats().map(|s| CompiledDfaSize {
+                states: s.states,
+                transitions: s.transitions,
+            }),
+            dedup_group,
+        });
+    }
+    out
+}
 
 /// Static analyzer over a SACK policy and its stacked MAC layers.
 #[derive(Debug)]
@@ -155,18 +187,14 @@ impl<'a> Analyzer<'a> {
                 format!("profile `{}`: {}", diag.profile, diag.message),
             ));
         }
+        let mut sizes: HashMap<String, ProfileDfaSize> = profile_dfa_sizes_of(&db)
+            .into_iter()
+            .map(|s| (s.profile.clone(), s))
+            .collect();
         for profile in self.profiles {
-            let Some(compiled) = db.get(&profile.name) else {
-                continue;
-            };
-            let stats = compiled.rules().dfa_stats();
-            report.profile_dfa.push(ProfileDfaSize {
-                profile: profile.name.clone(),
-                rules: compiled.rules().len(),
-                states: stats.states,
-                transitions: stats.transitions,
-                classes: stats.classes,
-            });
+            if let Some(size) = sizes.remove(&profile.name) {
+                report.profile_dfa.push(size);
+            }
         }
     }
 

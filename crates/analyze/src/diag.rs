@@ -83,19 +83,30 @@ pub struct DfaSize {
     pub residual_rules: usize,
 }
 
-/// Compiled matcher size for one stacked AppArmor profile.
+/// Table size of one compiled profile matcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledDfaSize {
+    /// Number of DFA states in the profile's compiled matcher.
+    pub states: usize,
+    /// Number of live (non-dead) transitions in its table.
+    pub transitions: usize,
+}
+
+/// Matcher report entry for one stacked AppArmor profile.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProfileDfaSize {
     /// Profile name.
     pub profile: String,
     /// Number of path rules the profile compiles.
     pub rules: usize,
-    /// Number of DFA states in the profile's compiled matcher.
-    pub states: usize,
-    /// Number of live (non-dead) transitions in its table.
-    pub transitions: usize,
     /// Byte equivalence classes in the (namespace-shared) alphabet.
     pub classes: usize,
+    /// Table size once the body's DFA is built; `None` while a lazily
+    /// loaded profile is still an uncompiled stub.
+    pub compiled: Option<CompiledDfaSize>,
+    /// Shared-body dedup group: entries carrying the same id share one
+    /// DFA slot (identical rule bodies compiled at most once).
+    pub dedup_group: usize,
 }
 
 /// The outcome of one analyzer run.
@@ -167,11 +178,27 @@ impl Report {
         if !self.profile_dfa.is_empty() {
             out.push_str("per-profile DFA matcher:\n");
             for size in &self.profile_dfa {
-                out.push_str(&format!(
-                    "  {}: {} rule(s), {} states, {} transitions, \
-                     {} byte classes\n",
-                    size.profile, size.rules, size.states, size.transitions, size.classes
-                ));
+                let sharers = self
+                    .profile_dfa
+                    .iter()
+                    .filter(|s| s.dedup_group == size.dedup_group)
+                    .count();
+                out.push_str(&format!("  {}: {} rule(s), ", size.profile, size.rules));
+                match &size.compiled {
+                    Some(c) => out.push_str(&format!(
+                        "{} states, {} transitions, ",
+                        c.states, c.transitions
+                    )),
+                    None => out.push_str("uncompiled (lazy), "),
+                }
+                out.push_str(&format!("{} byte classes", size.classes));
+                if sharers > 1 {
+                    out.push_str(&format!(
+                        " [shared body group {}, {} profiles]",
+                        size.dedup_group, sharers
+                    ));
+                }
+                out.push('\n');
             }
         }
         out
@@ -201,9 +228,11 @@ impl Report {
     /// ```
     ///
     /// The `dfa` key is present only when the policy compiled cleanly and
-    /// matcher sizes were collected. A `profile_dfa` key with the same
-    /// shape (keyed by `profile` and including the `rules` count) is
-    /// present when stacked AppArmor profiles were supplied.
+    /// matcher sizes were collected. A `profile_dfa` key is present when
+    /// stacked AppArmor profiles were supplied; each entry carries
+    /// `profile`, `rules`, a `compiled` flag (`states`/`transitions` are
+    /// `null` for uncompiled lazy stubs), `classes`, and the shared-body
+    /// `dedup_group` id.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!(
@@ -256,14 +285,19 @@ impl Report {
                 if i > 0 {
                     out.push(',');
                 }
+                let (states, transitions) = match &size.compiled {
+                    Some(c) => (c.states.to_string(), c.transitions.to_string()),
+                    None => ("null".to_string(), "null".to_string()),
+                };
                 out.push_str(&format!(
-                    "{{\"profile\":\"{}\",\"rules\":{},\"states\":{},\
-                     \"transitions\":{},\"classes\":{}}}",
+                    "{{\"profile\":\"{}\",\"rules\":{},\"compiled\":{},\
+                     \"states\":{states},\"transitions\":{transitions},\
+                     \"classes\":{},\"dedup_group\":{}}}",
                     json_escape(&size.profile),
                     size.rules,
-                    size.states,
-                    size.transitions,
-                    size.classes
+                    size.compiled.is_some(),
+                    size.classes,
+                    size.dedup_group
                 ));
             }
             out.push(']');

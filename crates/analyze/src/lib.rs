@@ -52,8 +52,8 @@ pub mod sched;
 pub mod sync_lint;
 pub mod trace;
 
-pub use analyzer::Analyzer;
-pub use diag::{DfaSize, Diagnostic, Report};
+pub use analyzer::{profile_dfa_sizes_of, Analyzer};
+pub use diag::{CompiledDfaSize, DfaSize, Diagnostic, ProfileDfaSize, Report};
 pub use interleave::{explore, Exploration, Model, Violation};
 pub use models::{
     CacheConfig, CacheModel, PerCpuCacheConfig, PerCpuCacheModel, ProfileTableConfig, RcuConfig,

@@ -211,6 +211,7 @@ fn run_sched(smoke: bool) -> Result<ExitCode, String> {
         scenarios::cache_torn_pair(),
         scenarios::percpu_invalidate_walk(false),
         scenarios::ring_produce_drain(),
+        scenarios::lazy_first_touch(),
     ];
     println!("== exhaustive exploration (seed {:#x}) ==", cfg.seed);
     for scenario in &core {
@@ -236,7 +237,7 @@ fn run_sched(smoke: bool) -> Result<ExitCode, String> {
     }
 
     println!("== planted mutations (each must be caught) ==");
-    let mutations: [(&str, sack_analyze::sched::Scenario, Option<Mutation>); 5] = [
+    let mutations: [(&str, sack_analyze::sched::Scenario, Option<Mutation>); 6] = [
         (
             "rcu skip hazard re-validation",
             scenarios::rcu_read_write(1),
@@ -261,6 +262,11 @@ fn run_sched(smoke: bool) -> Result<ExitCode, String> {
             "ring publish after lost claim",
             scenarios::ring_produce_drain(),
             Some(Mutation::RingTornPublish),
+        ),
+        (
+            "lazy slot skips claim, double-publishes",
+            scenarios::lazy_first_touch(),
+            Some(Mutation::LazyDoublePublish),
         ),
     ];
     for (label, scenario, mutation) in mutations {

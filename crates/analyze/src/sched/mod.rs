@@ -90,6 +90,26 @@ mod tests {
     }
 
     #[test]
+    fn lazy_first_touch_is_exhaustively_safe() {
+        let stats = explore(&scenarios::lazy_first_touch(), &SchedConfig::exhaustive())
+            .unwrap_or_else(|v| panic!("{v}"));
+        assert!(stats.complete, "exploration must exhaust the space");
+        // The slot protocol is two CASes and a load per thread, so the
+        // reduced space is small — but it must still contain a real race.
+        assert!(stats.schedules > 1, "space must be non-trivial");
+    }
+
+    #[test]
+    fn lazy_double_publish_is_caught_in_real_code() {
+        let violation = explore(
+            &scenarios::lazy_first_touch(),
+            &SchedConfig::with_mutation(Mutation::LazyDoublePublish),
+        )
+        .expect_err("the planted bug must produce a violating schedule");
+        assert!(!violation.schedule.is_empty());
+    }
+
+    #[test]
     fn seeded_exploration_is_deterministic() {
         let cfg = SchedConfig {
             seed: 0xDEAD_BEEF,

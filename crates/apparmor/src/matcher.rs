@@ -12,10 +12,20 @@
 //! states carry the pre-folded [`RuleDecision`], so
 //! [`CompiledRules::evaluate_dfa`] answers in O(|path|) regardless of rule
 //! count. The index and scan are kept as differential-testing oracles.
+//!
+//! The DFA itself lives behind a [`SharedDfa`] handle: one `Arc<SharedDfa>`
+//! per *distinct rule body*, shared by every profile whose rules are
+//! identical (cross-profile dedup), and optionally deferred — an
+//! uncompiled handle builds its DFA on the first hook touch via
+//! [`sack_kernel::sync::LazySlot`], with [`CompiledRules::evaluate_dfa`]
+//! falling back to the retained bucketed index while a racing compile is
+//! in flight (never blocking, never wrong).
 
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+
+use sack_kernel::sync::LazySlot;
 
 use crate::dfa::{Alphabet, Dfa, DfaBuilder, DfaStats};
 use crate::profile::{FilePerms, PathRule};
@@ -52,6 +62,129 @@ impl fmt::Display for RuleDecision {
     }
 }
 
+/// Winner-only hook invoked exactly once, when a deferred [`SharedDfa`]
+/// actually compiles — compile counters, `profile_recompile` tracepoints
+/// and DFA-size lints all hang off it.
+pub type OnCompile = Box<dyn Fn(&Dfa<RuleDecision>) + Send + Sync>;
+
+/// Deferred-build input for a [`SharedDfa`] created lazily.
+struct LazyBuild {
+    rules: Vec<PathRule>,
+    on_compile: OnCompile,
+}
+
+/// A unified profile DFA that may not be compiled yet.
+///
+/// One `Arc<SharedDfa>` is the unit of cross-profile deduplication: the
+/// `PolicyDb` hands every profile with an identical rule body the same
+/// handle, so each distinct body compiles (and is resident) at most once.
+/// A handle is either *ready* (eager compile already ran) or *deferred*:
+/// the DFA is built by the first caller of [`SharedDfa::force`] — the
+/// first hook to touch any sharing profile — under the at-most-once
+/// [`LazySlot`] protocol.
+pub struct SharedDfa {
+    slot: LazySlot<Dfa<RuleDecision>>,
+    /// The byte-class alphabet any build of this handle compiles against
+    /// (also the answer to [`SharedDfa::alphabet`] before the DFA exists).
+    alphabet: Arc<Alphabet>,
+    /// Build input for deferred handles; `None` when constructed ready.
+    lazy: Option<LazyBuild>,
+}
+
+impl SharedDfa {
+    /// Wraps an eagerly-built DFA.
+    fn ready(dfa: Dfa<RuleDecision>) -> SharedDfa {
+        SharedDfa {
+            alphabet: Arc::clone(dfa.alphabet()),
+            slot: LazySlot::ready(dfa),
+            lazy: None,
+        }
+    }
+
+    /// Creates a deferred handle that compiles `rules` against `alphabet`
+    /// on first touch, invoking `on_compile` exactly once from the winner.
+    pub(crate) fn deferred(
+        rules: Vec<PathRule>,
+        alphabet: Arc<Alphabet>,
+        on_compile: OnCompile,
+    ) -> SharedDfa {
+        SharedDfa {
+            slot: LazySlot::empty(),
+            alphabet,
+            lazy: Some(LazyBuild { rules, on_compile }),
+        }
+    }
+
+    /// The compiled DFA, if the build has completed.
+    pub fn get(&self) -> Option<&Dfa<RuleDecision>> {
+        self.slot.get()
+    }
+
+    /// Compile-or-reuse: returns the DFA, building it if this caller wins
+    /// the first-touch claim. Returns `None` only while another thread's
+    /// build is in flight — the caller falls back to its scan matcher
+    /// rather than blocking.
+    pub fn force(&self) -> Option<&Dfa<RuleDecision>> {
+        if let Some(dfa) = self.slot.get() {
+            return Some(dfa);
+        }
+        // A ready handle is always published, so reaching here means the
+        // handle is deferred.
+        let lazy = self.lazy.as_ref()?;
+        self.slot.get_or_build(|| {
+            let dfa = build_dfa(&lazy.rules, &self.alphabet);
+            (lazy.on_compile)(&dfa);
+            dfa
+        })
+    }
+
+    /// True once the DFA has been built (eagerly or by a first touch).
+    pub fn is_compiled(&self) -> bool {
+        self.slot.is_built()
+    }
+
+    /// The alphabet this handle compiles (or compiled) against.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    /// Size statistics of the compiled DFA; `None` while uncompiled.
+    pub fn stats(&self) -> Option<DfaStats> {
+        self.slot.get().map(Dfa::stats)
+    }
+}
+
+impl fmt::Debug for SharedDfa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedDfa")
+            .field("compiled", &self.is_compiled())
+            .field("deferred", &self.lazy.is_some())
+            .finish()
+    }
+}
+
+/// Compiles `rules` into one unified, minimized DFA against a shared
+/// alphabet — the expensive half of a profile compile, shared by the
+/// eager, deferred, and first-touch paths.
+fn build_dfa(rules: &[PathRule], alphabet: &Arc<Alphabet>) -> Dfa<RuleDecision> {
+    let mut builder = DfaBuilder::new();
+    for (tag, rule) in rules.iter().enumerate() {
+        builder.add_glob(&rule.glob, tag as u32);
+    }
+    builder.build_with_alphabet(alphabet, |tags| {
+        let mut decision = RuleDecision::default();
+        for &tag in tags {
+            let rule = &rules[tag as usize];
+            if rule.deny {
+                decision.denied = decision.denied.union(rule.perms);
+            } else {
+                decision.allowed = decision.allowed.union(rule.perms);
+            }
+        }
+        decision
+    })
+}
+
 /// An indexed, immutable rule set.
 pub struct CompiledRules {
     /// Rules bucketed by literal first path component.
@@ -59,8 +192,9 @@ pub struct CompiledRules {
     /// Rules whose pattern has no literal first component (`/**`, `/*`…).
     global: Vec<CompiledRule>,
     /// All rules merged into one minimized DFA; accepting states carry the
-    /// union `RuleDecision` resolved at build time.
-    dfa: Dfa<RuleDecision>,
+    /// union `RuleDecision` resolved at build time. Shared across profiles
+    /// with identical rule bodies, and possibly still uncompiled.
+    dfa: Arc<SharedDfa>,
     len: usize,
 }
 
@@ -95,11 +229,21 @@ impl CompiledRules {
     }
 
     fn build_inner(rules: &[PathRule], alphabet: &Arc<Alphabet>) -> CompiledRules {
+        Self::build_sharing(
+            rules,
+            Arc::new(SharedDfa::ready(build_dfa(rules, alphabet))),
+        )
+    }
+
+    /// Builds the cheap index (buckets + global scan lists) around an
+    /// existing [`SharedDfa`] handle — the dedup path (`dfa` came from
+    /// another profile with the identical rule body) and the lazy path
+    /// (`dfa` is a deferred handle for this body). The caller guarantees
+    /// `dfa` was created for exactly this rule body.
+    pub(crate) fn build_sharing(rules: &[PathRule], dfa: Arc<SharedDfa>) -> CompiledRules {
         let mut buckets: HashMap<String, Vec<CompiledRule>> = HashMap::new();
         let mut global = Vec::new();
-        let mut builder = DfaBuilder::new();
-        for (tag, rule) in rules.iter().enumerate() {
-            builder.add_glob(&rule.glob, tag as u32);
+        for rule in rules {
             let compiled = CompiledRule {
                 glob: rule.glob.clone(),
                 perms: rule.perms,
@@ -110,18 +254,6 @@ impl CompiledRules {
                 None => global.push(compiled),
             }
         }
-        let dfa = builder.build_with_alphabet(alphabet, |tags| {
-            let mut decision = RuleDecision::default();
-            for &tag in tags {
-                let rule = &rules[tag as usize];
-                if rule.deny {
-                    decision.denied = decision.denied.union(rule.perms);
-                } else {
-                    decision.allowed = decision.allowed.union(rule.perms);
-                }
-            }
-            decision
-        });
         CompiledRules {
             buckets,
             global,
@@ -130,9 +262,17 @@ impl CompiledRules {
         }
     }
 
-    /// The byte-class alphabet the unified DFA was compiled against.
+    /// The byte-class alphabet the unified DFA is (or will be) compiled
+    /// against.
     pub fn alphabet(&self) -> &Arc<Alphabet> {
         self.dfa.alphabet()
+    }
+
+    /// The shared DFA handle — one per distinct rule body. Profiles with
+    /// identical bodies return `Arc::ptr_eq` handles (the dedup pin), and
+    /// the handle reports whether the DFA has compiled yet.
+    pub fn dfa_handle(&self) -> &Arc<SharedDfa> {
+        &self.dfa
     }
 
     /// Number of rules.
@@ -188,12 +328,22 @@ impl CompiledRules {
     /// Evaluates `path` with a single walk of the unified DFA — O(|path|)
     /// independent of rule count. Produces the same decision as
     /// [`CompiledRules::evaluate`] and [`CompiledRules::evaluate_scan`].
+    ///
+    /// On an uncompiled (lazily-loaded) body this is the first-touch
+    /// compile point: the winning caller builds the DFA once for every
+    /// sharing profile; a caller racing that in-flight build answers from
+    /// the retained bucketed index instead — it never blocks and its
+    /// decision is identical by the differential oracles.
     pub fn evaluate_dfa(&self, path: &str) -> RuleDecision {
-        *self.dfa.eval(path)
+        match self.dfa.force() {
+            Some(dfa) => *dfa.eval(path),
+            None => self.evaluate(path),
+        }
     }
 
-    /// Size statistics of the compiled DFA, for diagnostics.
-    pub fn dfa_stats(&self) -> DfaStats {
+    /// Size statistics of the compiled DFA, for diagnostics; `None` while
+    /// a lazily-loaded body is still uncompiled.
+    pub fn dfa_stats(&self) -> Option<DfaStats> {
         self.dfa.stats()
     }
 }
@@ -290,7 +440,7 @@ mod tests {
         assert!(d.permits(FilePerms::READ));
         assert!(c.evaluate_dfa("/dev/audio").permits(FilePerms::WRITE));
         assert!(!c.evaluate_dfa("/sys/x").permits(FilePerms::READ));
-        assert!(c.dfa_stats().states > 0);
+        assert!(c.dfa_stats().expect("eager build compiles").states > 0);
     }
 
     #[test]
@@ -320,5 +470,51 @@ mod tests {
         let c = CompiledRules::build(&[]);
         assert!(c.is_empty());
         assert!(!c.evaluate("/x").permits(FilePerms::READ));
+    }
+
+    #[test]
+    fn deferred_body_compiles_on_first_touch_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let body = rules(&[("/dev/car/**", "rw", false), ("/dev/car/door*", "w", true)]);
+        let alphabet = Arc::new(Alphabet::for_globs(body.iter().map(|r| &r.glob)));
+        let compiles = Arc::new(AtomicUsize::new(0));
+        let hook = Arc::clone(&compiles);
+        let shared = Arc::new(SharedDfa::deferred(
+            body.clone(),
+            Arc::clone(&alphabet),
+            Box::new(move |_| {
+                hook.fetch_add(1, Ordering::SeqCst);
+            }),
+        ));
+        let c = CompiledRules::build_sharing(&body, Arc::clone(&shared));
+        assert!(!c.dfa_handle().is_compiled());
+        assert_eq!(c.dfa_stats(), None, "uncompiled body reports no stats");
+        // First touch compiles; the decision matches the scan oracle.
+        let d = c.evaluate_dfa("/dev/car/door0");
+        assert_eq!(d, c.evaluate("/dev/car/door0"));
+        assert!(c.dfa_handle().is_compiled());
+        assert_eq!(compiles.load(Ordering::SeqCst), 1);
+        // Further touches reuse the published table.
+        c.evaluate_dfa("/dev/car/window");
+        assert_eq!(compiles.load(Ordering::SeqCst), 1);
+        assert!(Arc::ptr_eq(c.alphabet(), &alphabet));
+    }
+
+    #[test]
+    fn shared_handle_dedups_across_rule_sets() {
+        let body = rules(&[("/etc/*", "r", false)]);
+        let alphabet = Arc::new(Alphabet::for_globs(body.iter().map(|r| &r.glob)));
+        let shared = Arc::new(SharedDfa::deferred(
+            body.clone(),
+            alphabet,
+            Box::new(|_| {}),
+        ));
+        let a = CompiledRules::build_sharing(&body, Arc::clone(&shared));
+        let b = CompiledRules::build_sharing(&body, Arc::clone(&shared));
+        assert!(Arc::ptr_eq(a.dfa_handle(), b.dfa_handle()));
+        // Touching one profile compiles the body for every sharer.
+        a.evaluate_dfa("/etc/passwd");
+        assert!(b.dfa_handle().is_compiled());
+        assert_eq!(b.evaluate_dfa("/etc/passwd"), b.evaluate("/etc/passwd"));
     }
 }

@@ -17,17 +17,18 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use sack_kernel::trace::{TraceEvent, TraceHub};
 use sack_kernel::Rcu;
 
-use crate::dfa::Alphabet;
-use crate::matcher::CompiledRules;
+use crate::dfa::{Alphabet, Dfa};
+use crate::matcher::{CompiledRules, RuleDecision, SharedDfa};
 use crate::parser::{parse_profiles, ParseProfileError};
-use crate::profile::Profile;
+use crate::pipeline;
+use crate::profile::{PathRule, Profile};
 
 /// Diagnostic check name: a profile's unified DFA exceeded the state
 /// budget (pathological rule sets; enforcement still works but the table
@@ -63,6 +64,21 @@ impl fmt::Display for LoadDiagnostic {
     }
 }
 
+/// How [`PolicyDb`] compiles the unified DFA of freshly-installed rule
+/// bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompileMode {
+    /// Every distinct body's DFA is built before the table publishes
+    /// (across the bounded worker pool — see
+    /// [`PolicyDb::set_compile_workers`]).
+    #[default]
+    Eager,
+    /// Profiles install as uncompiled stubs; each distinct body's DFA is
+    /// built by the first hook that touches a sharing profile. Hooks
+    /// racing an in-flight build answer from the bucketed index.
+    Lazy,
+}
+
 /// A profile together with its compiled rule index.
 pub struct CompiledProfile {
     profile: Profile,
@@ -81,6 +97,12 @@ impl CompiledProfile {
     /// namespace-wide table maintained by [`PolicyDb`]).
     pub fn compile_with_alphabet(profile: Profile, alphabet: &Arc<Alphabet>) -> CompiledProfile {
         let rules = CompiledRules::build_with_alphabet(&profile.path_rules, alphabet);
+        CompiledProfile { profile, rules }
+    }
+
+    /// Assembles a profile around an already-built rule index (the dedup
+    /// and lazy install paths).
+    fn from_parts(profile: Profile, rules: CompiledRules) -> CompiledProfile {
         CompiledProfile { profile, rules }
     }
 
@@ -119,6 +141,19 @@ impl fmt::Display for UnknownProfileError {
 
 impl std::error::Error for UnknownProfileError {}
 
+/// Content hash of a profile's rule body: the full rule list with origin
+/// metadata stripped. Profiles whose bodies map to the same key share one
+/// [`SharedDfa`] slot — `HashMap` hashing is the content hash, and the
+/// full-key equality check makes collisions impossible rather than rare.
+type DedupKey = Vec<(String, u8, bool)>;
+
+fn body_key(rules: &[PathRule]) -> DedupKey {
+    rules
+        .iter()
+        .map(|r| (r.glob.to_string(), r.perms.bits(), r.deny))
+        .collect()
+}
+
 /// One immutable snapshot of the loaded-profile table.
 ///
 /// Cloning is shallow (`Arc` handles), so the copy-on-write updates in
@@ -127,6 +162,12 @@ impl std::error::Error for UnknownProfileError {}
 pub struct ProfileTable {
     profiles: HashMap<String, Arc<CompiledProfile>>,
     alphabet: Arc<Alphabet>,
+    /// Rule body → shared DFA slot, all compiled against `alphabet`.
+    /// Rebuilt from scratch on an alphabet split (old slots encode stale
+    /// byte classes); entries for since-removed bodies may linger — a
+    /// finer partition stays correct, reuse only requires an identical
+    /// body against the same alphabet.
+    dedup: HashMap<DedupKey, Arc<SharedDfa>>,
 }
 
 impl ProfileTable {
@@ -134,6 +175,7 @@ impl ProfileTable {
         ProfileTable {
             profiles: HashMap::new(),
             alphabet: Arc::new(Alphabet::minimal()),
+            dedup: HashMap::new(),
         }
     }
 }
@@ -143,7 +185,65 @@ impl fmt::Debug for ProfileTable {
         f.debug_struct("ProfileTable")
             .field("profiles", &self.profiles.len())
             .field("classes", &self.alphabet.class_count())
+            .field("bodies", &self.dedup.len())
             .finish()
+    }
+}
+
+/// State a deferred compile closure must reach after the owning
+/// [`PolicyDb`] borrow ends: a first-touch build can fire from any hook
+/// thread at any later time, so the compile counter, diagnostics sink,
+/// and tracepoint hub live behind one `Arc` the closures clone.
+struct DbShared {
+    /// Number of DFA builds actually performed (incremental-recompile
+    /// pin). Dedup reuse and lazy stubs do not count until a body is
+    /// really compiled.
+    profile_compiles: AtomicU64,
+    diagnostics: Mutex<Vec<LoadDiagnostic>>,
+    /// Tracepoint hub for `profile_recompile` events. Set once when tracing
+    /// is installed on the owning [`Sack`](../../sack_core/struct.Sack.html);
+    /// a `OnceLock` keeps the untraced cost to one load + branch.
+    trace: OnceLock<Arc<TraceHub>>,
+}
+
+impl DbShared {
+    #[inline]
+    fn trace_emit(&self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(hub) = self.trace.get() {
+            if hub.enabled() {
+                hub.emit(&build());
+            }
+        }
+    }
+
+    /// The winner-only hook a [`SharedDfa`] slot runs when its body is
+    /// actually compiled: bump the build counter, emit the
+    /// `profile_recompile` tracepoint, and lint for state blowup. `name`
+    /// is the profile that introduced the body; body-sharing profiles
+    /// ride on its one event.
+    fn on_compile(
+        self: &Arc<Self>,
+        name: String,
+        full_rebuild: bool,
+    ) -> impl Fn(&Dfa<RuleDecision>) + Send + Sync + 'static {
+        let shared = Arc::clone(self);
+        move |dfa| {
+            shared.profile_compiles.fetch_add(1, Ordering::Relaxed);
+            shared.trace_emit(|| TraceEvent::ProfileRecompile {
+                profile: name.clone(),
+                full_rebuild,
+            });
+            let states = dfa.stats().states;
+            if states > PROFILE_DFA_STATE_BUDGET {
+                shared.diagnostics.lock().push(LoadDiagnostic {
+                    profile: name.clone(),
+                    check: CHECK_PROFILE_DFA_BLOWUP,
+                    message: format!(
+                        "compiled DFA has {states} states (budget {PROFILE_DFA_STATE_BUDGET})"
+                    ),
+                });
+            }
+        }
     }
 }
 
@@ -154,15 +254,14 @@ pub struct PolicyDb {
     /// Routes hook evaluation through the unified per-profile DFA; off, the
     /// bucketed index scan serves as the differential-testing oracle.
     dfa_enabled: AtomicBool,
-    /// Number of profile compiles performed (incremental-recompile pin).
-    profile_compiles: AtomicU64,
+    /// Lazy vs eager DFA compilation for newly-installed bodies.
+    lazy: AtomicBool,
+    /// Worker cap for the eager bulk-compile pool; 0 means
+    /// [`pipeline::default_workers`].
+    workers: AtomicUsize,
     /// Number of shared-alphabet rebuilds (world recompiles).
     alphabet_rebuilds: AtomicU64,
-    diagnostics: Mutex<Vec<LoadDiagnostic>>,
-    /// Tracepoint hub for `profile_recompile` events. Set once when tracing
-    /// is installed on the owning [`Sack`](../../sack_core/struct.Sack.html);
-    /// a `OnceLock` keeps the untraced cost to one load + branch.
-    trace: OnceLock<Arc<TraceHub>>,
+    shared: Arc<DbShared>,
 }
 
 impl Default for PolicyDb {
@@ -171,10 +270,14 @@ impl Default for PolicyDb {
             table: Rcu::new(ProfileTable::empty()),
             revision: AtomicU64::new(0),
             dfa_enabled: AtomicBool::new(true),
-            profile_compiles: AtomicU64::new(0),
+            lazy: AtomicBool::new(false),
+            workers: AtomicUsize::new(0),
             alphabet_rebuilds: AtomicU64::new(0),
-            diagnostics: Mutex::new(Vec::new()),
-            trace: OnceLock::new(),
+            shared: Arc::new(DbShared {
+                profile_compiles: AtomicU64::new(0),
+                diagnostics: Mutex::new(Vec::new()),
+                trace: OnceLock::new(),
+            }),
         }
     }
 }
@@ -190,22 +293,76 @@ impl PolicyDb {
     /// (matching the attach-once lifecycle of SACK tracing); later calls
     /// with a different hub are ignored.
     pub fn set_trace_hub(&self, hub: Arc<TraceHub>) {
-        let _ = self.trace.set(hub);
+        let _ = self.shared.trace.set(hub);
     }
 
-    #[inline]
-    fn trace_emit(&self, build: impl FnOnce() -> TraceEvent) {
-        if let Some(hub) = self.trace.get() {
-            if hub.enabled() {
-                hub.emit(&build());
-            }
+    /// Selects eager (default) or lazy DFA compilation for profiles
+    /// installed after the call. Already-installed profiles keep their
+    /// slots; switching modes never recompiles anything.
+    pub fn set_compile_mode(&self, mode: CompileMode) {
+        self.lazy.store(mode == CompileMode::Lazy, Ordering::SeqCst);
+    }
+
+    /// The compile mode applied to newly-installed profiles.
+    pub fn compile_mode(&self) -> CompileMode {
+        if self.lazy.load(Ordering::SeqCst) {
+            CompileMode::Lazy
+        } else {
+            CompileMode::Eager
         }
     }
 
-    /// Compiles `profile` into `table`, reusing the shared alphabet when
-    /// the new rules do not split any byte class and rebuilding it (plus a
-    /// world recompile) when they do. Returns the next table and the new
-    /// compiled handle.
+    /// Caps the eager bulk-compile worker pool; `0` (the default) sizes it
+    /// to the machine's available parallelism.
+    pub fn set_compile_workers(&self, workers: usize) {
+        self.workers.store(workers, Ordering::SeqCst);
+    }
+
+    /// The configured worker cap after resolving `0` to the machine
+    /// default.
+    pub fn compile_workers(&self) -> usize {
+        match self.workers.load(Ordering::SeqCst) {
+            0 => pipeline::default_workers(),
+            n => n,
+        }
+    }
+
+    /// Looks up (or creates) the shared DFA slot for `rules` in `dedup`
+    /// and assembles the profile around it. Freshly-created slots are
+    /// pushed to `fresh` so an eager install can force them in parallel
+    /// after the whole bundle is deduplicated.
+    fn install_one(
+        &self,
+        dedup: &mut HashMap<DedupKey, Arc<SharedDfa>>,
+        fresh: &mut Vec<Arc<SharedDfa>>,
+        profile: Profile,
+        alphabet: &Arc<Alphabet>,
+        full_rebuild: bool,
+    ) -> Arc<CompiledProfile> {
+        let key = body_key(&profile.path_rules);
+        let slot = match dedup.get(&key) {
+            Some(slot) => Arc::clone(slot),
+            None => {
+                let slot = Arc::new(SharedDfa::deferred(
+                    profile.path_rules.clone(),
+                    Arc::clone(alphabet),
+                    Box::new(self.shared.on_compile(profile.name.clone(), full_rebuild)),
+                ));
+                dedup.insert(key, Arc::clone(&slot));
+                fresh.push(Arc::clone(&slot));
+                slot
+            }
+        };
+        let rules = CompiledRules::build_sharing(&profile.path_rules, slot);
+        Arc::new(CompiledProfile::from_parts(profile, rules))
+    }
+
+    /// Installs `incoming` into `table`: one alphabet pre-pass for the
+    /// whole bundle (rebuilt — with a world recompile — only when a new
+    /// rule splits a byte class), identical rule bodies deduplicated onto
+    /// one shared DFA slot, and the distinct fresh bodies compiled across
+    /// the worker pool (eager mode) or left for first hook touch (lazy
+    /// mode). Returns the next table and the new compiled handles.
     fn install_many(
         &self,
         table: &ProfileTable,
@@ -214,11 +371,14 @@ impl PolicyDb {
         let splits = table
             .alphabet
             .would_split(incoming.iter().flat_map(Profile::globs));
-        let (alphabet, mut profiles) = if splits {
+        let mut fresh: Vec<Arc<SharedDfa>> = Vec::new();
+        let (alphabet, mut profiles, mut dedup) = if splits {
             // Some new rule separates bytes the current table merges:
             // rebuild the namespace alphabet over everything and recompile
-            // the world against it. Profiles about to be replaced by
-            // `incoming` are skipped — their fresh form compiles below.
+            // the world against it. Old dedup slots encode the stale byte
+            // classes, so the map restarts empty. Profiles about to be
+            // replaced by `incoming` are skipped — their fresh form
+            // installs below.
             let replaced: HashSet<&str> = incoming.iter().map(|p| p.name.as_str()).collect();
             let alphabet = Arc::new(Alphabet::for_globs(
                 table
@@ -229,49 +389,57 @@ impl PolicyDb {
                     .chain(incoming.iter().flat_map(Profile::globs)),
             ));
             self.alphabet_rebuilds.fetch_add(1, Ordering::Relaxed);
-            let profiles = table
+            let mut dedup = HashMap::new();
+            let mut retained: Vec<&Arc<CompiledProfile>> = table
                 .profiles
-                .iter()
-                .filter(|(name, _)| !replaced.contains(name.as_str()))
-                .map(|(name, p)| {
-                    self.profile_compiles.fetch_add(1, Ordering::Relaxed);
-                    self.trace_emit(|| TraceEvent::ProfileRecompile {
-                        profile: name.clone(),
-                        full_rebuild: true,
-                    });
-                    let compiled =
-                        CompiledProfile::compile_with_alphabet(p.profile().clone(), &alphabet);
-                    (name.clone(), Arc::new(compiled))
+                .values()
+                .filter(|p| !replaced.contains(p.profile().name.as_str()))
+                .collect();
+            retained.sort_by(|a, b| a.profile().name.cmp(&b.profile().name));
+            let profiles = retained
+                .into_iter()
+                .map(|p| {
+                    let compiled = self.install_one(
+                        &mut dedup,
+                        &mut fresh,
+                        p.profile().clone(),
+                        &alphabet,
+                        true,
+                    );
+                    (compiled.profile().name.clone(), compiled)
                 })
                 .collect();
-            (alphabet, profiles)
+            (alphabet, profiles, dedup)
         } else {
-            (Arc::clone(&table.alphabet), table.profiles.clone())
+            (
+                Arc::clone(&table.alphabet),
+                table.profiles.clone(),
+                table.dedup.clone(),
+            )
         };
         let mut handles = Vec::with_capacity(incoming.len());
         for profile in incoming {
             self.lint(&profile);
-            self.profile_compiles.fetch_add(1, Ordering::Relaxed);
-            self.trace_emit(|| TraceEvent::ProfileRecompile {
-                profile: profile.name.clone(),
-                full_rebuild: splits,
-            });
-            let compiled = Arc::new(CompiledProfile::compile_with_alphabet(profile, &alphabet));
-            let stats = compiled.rules().dfa_stats();
-            if stats.states > PROFILE_DFA_STATE_BUDGET {
-                self.diagnostics.lock().push(LoadDiagnostic {
-                    profile: compiled.profile().name.clone(),
-                    check: CHECK_PROFILE_DFA_BLOWUP,
-                    message: format!(
-                        "compiled DFA has {} states (budget {PROFILE_DFA_STATE_BUDGET})",
-                        stats.states
-                    ),
-                });
-            }
+            let compiled = self.install_one(&mut dedup, &mut fresh, profile, &alphabet, splits);
             profiles.insert(compiled.profile().name.clone(), Arc::clone(&compiled));
             handles.push(compiled);
         }
-        (ProfileTable { profiles, alphabet }, handles)
+        if self.compile_mode() == CompileMode::Eager && !fresh.is_empty() {
+            // The alphabet pre-pass above means the builds share no
+            // mutable state; force every fresh body across the pool before
+            // the table publishes.
+            pipeline::for_each_parallel(&fresh, self.compile_workers(), |slot| {
+                slot.force();
+            });
+        }
+        (
+            ProfileTable {
+                profiles,
+                alphabet,
+                dedup,
+            },
+            handles,
+        )
     }
 
     /// Source-level lints that do not need the compiled form.
@@ -280,7 +448,7 @@ impl PolicyDb {
         for rule in &profile.path_rules {
             let key = (rule.glob.to_string(), rule.perms.bits(), rule.deny);
             if !seen.insert(key) {
-                self.diagnostics.lock().push(LoadDiagnostic {
+                self.shared.diagnostics.lock().push(LoadDiagnostic {
                     profile: profile.name.clone(),
                     check: CHECK_DUPLICATE_PATH_RULE,
                     message: format!("rule `{}` appears more than once", rule.glob),
@@ -297,6 +465,18 @@ impl PolicyDb {
         });
         self.revision.fetch_add(1, Ordering::Release);
         handle
+    }
+
+    /// Loads a whole bundle of already-parsed profiles as one atomic
+    /// table swap (one alphabet check, one parallel compile pass).
+    pub fn load_many(&self, profiles: Vec<Profile>) -> usize {
+        let n = profiles.len();
+        if n > 0 {
+            self.table
+                .update(|table| (self.install_many(table, profiles).0, ()));
+            self.revision.fetch_add(1, Ordering::Release);
+        }
+        n
     }
 
     /// Parses profile-language text and loads every profile in it as one
@@ -445,11 +625,12 @@ impl PolicyDb {
         self.dfa_enabled.load(Ordering::SeqCst)
     }
 
-    /// Total profile compiles since creation. Incremental recompilation is
+    /// Total DFA builds since creation. Incremental recompilation is
     /// pinned by this counter: a single-profile edit moves it by exactly
-    /// one unless the shared alphabet had to be rebuilt.
+    /// one unless the shared alphabet had to be rebuilt; dedup reuse and
+    /// still-uncompiled lazy stubs do not move it at all.
     pub fn compile_count(&self) -> u64 {
-        self.profile_compiles.load(Ordering::Relaxed)
+        self.shared.profile_compiles.load(Ordering::Relaxed)
     }
 
     /// Number of shared-alphabet rebuilds (each implies a world recompile).
@@ -460,7 +641,7 @@ impl PolicyDb {
     /// Drains the accumulated load diagnostics (lints fire on every
     /// compile path, including `logprof` promotions).
     pub fn take_load_diagnostics(&self) -> Vec<LoadDiagnostic> {
-        std::mem::take(&mut *self.diagnostics.lock())
+        std::mem::take(&mut *self.shared.diagnostics.lock())
     }
 }
 
@@ -696,6 +877,110 @@ mod tests {
         .unwrap();
         let diags = db.take_load_diagnostics();
         assert_eq!(diags.len(), 1, "duplicate survived the patch: {diags:?}");
+    }
+
+    #[test]
+    fn identical_bodies_share_one_dfa() {
+        let db = PolicyDb::new();
+        db.load_text(
+            "profile a { /dev/car/** rw, }\n\
+             profile b { /dev/car/** rw, }\n\
+             profile c { /var/log/* r, }",
+        )
+        .unwrap();
+        // Two distinct bodies → two builds, not three.
+        assert_eq!(db.compile_count(), 2);
+        let a = db.get("a").unwrap();
+        let b = db.get("b").unwrap();
+        let c = db.get("c").unwrap();
+        assert!(
+            Arc::ptr_eq(a.rules().dfa_handle(), b.rules().dfa_handle()),
+            "identical bodies must share one DFA"
+        );
+        assert!(!Arc::ptr_eq(a.rules().dfa_handle(), c.rules().dfa_handle()));
+        // Sharing is transparent to enforcement.
+        assert!(a
+            .rules()
+            .evaluate_dfa("/dev/car/x")
+            .permits(FilePerms::WRITE));
+        assert!(b
+            .rules()
+            .evaluate_dfa("/dev/car/x")
+            .permits(FilePerms::WRITE));
+    }
+
+    #[test]
+    fn lazy_mode_defers_builds_to_first_touch() {
+        let db = PolicyDb::new();
+        db.set_compile_mode(CompileMode::Lazy);
+        assert_eq!(db.compile_mode(), CompileMode::Lazy);
+        db.load_text("profile x { /dev/car/* rw, }\nprofile y { /sys/** r, }")
+            .unwrap();
+        assert_eq!(db.compile_count(), 0, "lazy load must not build");
+        let x = db.get("x").unwrap();
+        let y = db.get("y").unwrap();
+        assert!(!x.rules().dfa_handle().is_compiled());
+        // Scan and index answer while uncompiled.
+        assert!(x.rules().evaluate("/dev/car/a").permits(FilePerms::WRITE));
+        assert_eq!(db.compile_count(), 0);
+        // First DFA touch builds exactly the touched body.
+        assert!(x
+            .rules()
+            .evaluate_dfa("/dev/car/a")
+            .permits(FilePerms::WRITE));
+        assert_eq!(db.compile_count(), 1);
+        assert!(x.rules().dfa_handle().is_compiled());
+        assert!(!y.rules().dfa_handle().is_compiled(), "y was never touched");
+        assert!(y.rules().evaluate_dfa("/sys/a").permits(FilePerms::READ));
+        assert_eq!(db.compile_count(), 2);
+    }
+
+    #[test]
+    fn lazy_stubs_recompile_on_alphabet_split_without_touch() {
+        let db = PolicyDb::new();
+        db.set_compile_mode(CompileMode::Lazy);
+        db.load_text("profile x { /dev/car/* rw, }\nprofile y { /dev/can0 r, }")
+            .unwrap();
+        let rebuilds = db.alphabet_rebuild_count();
+        // Splitting patch rebuilds the alphabet; the untouched profiles
+        // become fresh stubs against the new alphabet, still unbuilt.
+        db.patch("x", |p| {
+            p.path_rules
+                .push(PathRule::allow("/dev/c%r", FilePerms::READ).unwrap());
+        })
+        .unwrap();
+        assert_eq!(db.alphabet_rebuild_count(), rebuilds + 1);
+        assert_eq!(db.compile_count(), 0, "split must not force lazy builds");
+        let shared = db.alphabet();
+        for name in db.profile_names() {
+            let compiled = db.get(&name).unwrap();
+            assert!(Arc::ptr_eq(compiled.rules().alphabet(), &shared));
+            assert!(!compiled.rules().dfa_handle().is_compiled());
+        }
+        assert!(db
+            .get("x")
+            .unwrap()
+            .rules()
+            .evaluate_dfa("/dev/c%r")
+            .permits(FilePerms::READ));
+        assert_eq!(db.compile_count(), 1);
+    }
+
+    #[test]
+    fn pinned_worker_count_compiles_eagerly() {
+        let db = PolicyDb::new();
+        db.set_compile_workers(2);
+        assert_eq!(db.compile_workers(), 2);
+        db.load_text(
+            "profile a { /x/[0-9]* r, }\n\
+             profile b { /y/{u,v}w w, }\n\
+             profile c { /z/?q rw, }",
+        )
+        .unwrap();
+        assert_eq!(db.compile_count(), 3);
+        for name in db.profile_names() {
+            assert!(db.get(&name).unwrap().rules().dfa_handle().is_compiled());
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 pub mod check;
 pub mod parser;
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -263,9 +264,27 @@ impl SackPolicy {
                 .iter()
                 .flat_map(|rules| rules.iter().map(|r| &r.object)),
         ));
-        let state_dfas: Vec<Arc<StateDfa>> = state_perms
-            .iter()
-            .map(|perms| {
+        // States granting the same permission set compile to the same
+        // table: build each distinct set once — across the bounded worker
+        // pool, safe because the shared alphabet is fixed above — and
+        // share the `Arc` among the states mapping to it.
+        let mut slot_of: Vec<usize> = Vec::with_capacity(state_perms.len());
+        let mut distinct: Vec<&Vec<PermissionId>> = Vec::new();
+        let mut seen: HashMap<Vec<usize>, usize> = HashMap::new();
+        for perms in &state_perms {
+            let mut key: Vec<usize> = perms.iter().map(|pid| pid.0).collect();
+            key.sort_unstable();
+            let next = distinct.len();
+            let slot = *seen.entry(key).or_insert(next);
+            if slot == next {
+                distinct.push(perms);
+            }
+            slot_of.push(slot);
+        }
+        let built: Vec<Arc<StateDfa>> = sack_apparmor::pipeline::map_parallel(
+            &distinct,
+            sack_apparmor::pipeline::default_workers(),
+            |perms| {
                 Arc::new(StateDfa::build_with_alphabet(
                     perms.iter().flat_map(|pid| perm_rules[pid.0].iter()),
                     perm_rules
@@ -273,8 +292,10 @@ impl SackPolicy {
                         .flat_map(|rules| rules.iter().map(|r| &r.object)),
                     &shared_alphabet,
                 ))
-            })
-            .collect();
+            },
+        );
+        let state_dfas: Vec<Arc<StateDfa>> =
+            slot_of.iter().map(|&s| Arc::clone(&built[s])).collect();
 
         Ok(CompiledPolicy {
             space,
@@ -458,6 +479,37 @@ mod tests {
                 "state {index} compiled against a private alphabet"
             );
         }
+    }
+
+    #[test]
+    fn states_with_equal_permission_sets_share_one_dfa() {
+        // Both states grant exactly P (one via `*`), so their unified
+        // tables dedup onto one build; the distinct state gets its own.
+        let compiled = SackPolicy::parse(
+            r#"
+states { a = 0; b = 1; c = 2; }
+events { go; }
+transitions { a -go-> b; b -go-> c; c -go-> a; }
+initial a;
+permissions { P; Q; }
+state_per { *: P; c: Q; }
+per_rules {
+    P: allow subject=* /data/** r;
+    Q: allow subject=* /dev/car/* w;
+}
+"#,
+        )
+        .unwrap()
+        .compile()
+        .unwrap();
+        let a = compiled.space().state_id("a").unwrap();
+        let b = compiled.space().state_id("b").unwrap();
+        let c = compiled.space().state_id("c").unwrap();
+        assert!(
+            Arc::ptr_eq(compiled.state_dfa(a), compiled.state_dfa(b)),
+            "equal permission sets must share one compiled table"
+        );
+        assert!(!Arc::ptr_eq(compiled.state_dfa(a), compiled.state_dfa(c)));
     }
 
     #[test]

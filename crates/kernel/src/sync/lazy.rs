@@ -1,0 +1,238 @@
+//! [`LazySlot`]: a publish-once cell for first-touch compilation.
+//!
+//! The profile-compilation pipeline loads never-hit profiles as
+//! *uncompiled stubs*: the expensive unified DFA is built on the first
+//! hook that actually touches the profile. The protocol that makes the
+//! first touch safe under SMP lives here, over the same [`shim::Backend`]
+//! seam as [`Rcu`](super::Rcu), so the deterministic-schedule executor in
+//! `sack-analyze` explores the *shipped* code:
+//!
+//! * **At-most-once build.** A `claim` word is CAS'd `0 → 1` before
+//!   building; exactly one racer wins. Losers return immediately (the
+//!   caller falls back to its retained scan matcher), so hooks never
+//!   block on a compile and never observe a half-built table.
+//! * **Publish-once pointer.** The winner publishes the built value with
+//!   a single pointer store. Once non-null the pointer is never replaced
+//!   or freed until the slot itself drops (which requires `&mut`), so a
+//!   `&T` handed out by [`LazySlot::get`] stays valid for the borrow of
+//!   the slot — readers need no hazard announcements at all.
+//!
+//! The planted [`Mutation::LazyDoublePublish`] bug removes the claim, so
+//! two racing builders both publish and the second frees the first's
+//! value while a concurrent reader may be between its pointer load and
+//! its dereference — the executor's freed-address registry catches the
+//! use-after-free before it happens.
+
+use std::ptr;
+use std::sync::atomic::Ordering::SeqCst;
+
+use super::shim::{Backend, Mutation, RawAtomicPtr, RawAtomicUsize, StdBackend};
+
+/// A cell holding a value that is built lazily, at most once, by the
+/// first caller of [`LazySlot::get_or_build`] — or built eagerly up
+/// front via [`LazySlot::ready`]. See the module docs for the protocol.
+pub struct LazySlot<T, B: Backend = StdBackend> {
+    /// `0` = nobody has started the build; `1` = a builder claimed it
+    /// (and, eventually, published). Never reset.
+    claim: B::AtomicUsize,
+    /// The published value. Null until the winning builder's store;
+    /// afterwards immutable until `Drop`.
+    value: B::AtomicPtr<T>,
+}
+
+// SAFETY: the slot shares `T` across threads like a `&T` once published;
+// `T: Send + Sync` carries exactly the bounds that makes sound. The
+// backend primitives are `Send + Sync` by their trait bounds.
+unsafe impl<T: Send + Sync, B: Backend> Send for LazySlot<T, B> {}
+unsafe impl<T: Send + Sync, B: Backend> Sync for LazySlot<T, B> {}
+
+impl<T, B: Backend> LazySlot<T, B> {
+    /// Creates an unbuilt slot.
+    pub fn empty() -> LazySlot<T, B> {
+        LazySlot {
+            claim: RawAtomicUsize::new(0),
+            value: RawAtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Creates a slot already holding `value` (the eager-compile path:
+    /// same cell type, no first-touch race left to run).
+    pub fn ready(value: T) -> LazySlot<T, B> {
+        let p = Box::into_raw(Box::new(value));
+        B::trace_alloc(p as usize);
+        LazySlot {
+            claim: RawAtomicUsize::new(1),
+            value: RawAtomicPtr::new(p),
+        }
+    }
+
+    /// The published value, if the build has completed.
+    ///
+    /// The returned borrow is tied to `&self`: the pointer, once
+    /// published, is freed only by `Drop` (which requires `&mut self`),
+    /// so it outlives every outstanding shared borrow.
+    pub fn get(&self) -> Option<&T> {
+        let p = self.value.load(SeqCst);
+        if p.is_null() {
+            return None;
+        }
+        B::check_acquire(p as usize);
+        // SAFETY: a non-null published pointer is immutable and owned by
+        // the slot until `Drop`; see above.
+        Some(unsafe { &*p })
+    }
+
+    /// True once a build has published.
+    pub fn is_built(&self) -> bool {
+        !self.value.load(SeqCst).is_null()
+    }
+
+    /// Returns the value, building it if nobody has yet.
+    ///
+    /// Exactly one caller wins the claim and runs `build` (so `build`
+    /// runs at most once per slot); the winner always gets `Some`.
+    /// A loser returns whatever is published at that instant — `None`
+    /// while the winner's build is still in flight — and must fall back
+    /// to its own slow path instead of blocking.
+    pub fn get_or_build(&self, build: impl FnOnce() -> T) -> Option<&T> {
+        if let Some(v) = self.get() {
+            return Some(v);
+        }
+        if !B::mutation(Mutation::LazyDoublePublish)
+            && self.claim.compare_exchange(0, 1, SeqCst, SeqCst).is_err()
+        {
+            // Another builder owns the claim. It may already have
+            // published between our `get` and the failed CAS, so look
+            // once more — but never wait.
+            return self.get();
+        }
+        let p = Box::into_raw(Box::new(build()));
+        B::trace_alloc(p as usize);
+        if B::mutation(Mutation::LazyDoublePublish) {
+            // Planted bug (executor-only): with no claim, both racers
+            // build; publishing by unconditional swap frees the other
+            // racer's value while a reader may be between its pointer
+            // load and its dereference.
+            let old = self.value.swap(p, SeqCst);
+            if !old.is_null() {
+                B::trace_free(old as usize);
+                // SAFETY: unsound by construction — this arm exists to
+                // be caught by the schedule executor's freed-address
+                // registry at the reader's `check_acquire`.
+                unsafe { drop(Box::from_raw(old)) };
+            }
+        } else {
+            let published = self
+                .value
+                .compare_exchange(ptr::null_mut(), p, SeqCst, SeqCst);
+            debug_assert!(published.is_ok(), "claim CAS guarantees a sole publisher");
+        }
+        self.get()
+    }
+}
+
+impl<T, B: Backend> Default for LazySlot<T, B> {
+    fn default() -> Self {
+        LazySlot::empty()
+    }
+}
+
+impl<T: std::fmt::Debug, B: Backend> std::fmt::Debug for LazySlot<T, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazySlot")
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+impl<T, B: Backend> Drop for LazySlot<T, B> {
+    fn drop(&mut self) {
+        // `&mut self` proves no `&T` borrow is outstanding.
+        let p = self.value.load(SeqCst);
+        if !p.is_null() {
+            B::trace_free(p as usize);
+            // SAFETY: the published pointer owns the boxed value and no
+            // borrows remain.
+            unsafe { drop(Box::from_raw(p)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn empty_builds_once_on_first_touch() {
+        let slot: LazySlot<u32> = LazySlot::empty();
+        assert!(!slot.is_built());
+        assert_eq!(slot.get(), None);
+        assert_eq!(slot.get_or_build(|| 7), Some(&7));
+        assert!(slot.is_built());
+        // A second touch reuses the published value, never rebuilds.
+        assert_eq!(slot.get_or_build(|| 9), Some(&7));
+        assert_eq!(slot.get(), Some(&7));
+    }
+
+    #[test]
+    fn ready_slot_never_runs_the_builder() {
+        let slot: LazySlot<String> = LazySlot::ready("eager".to_string());
+        assert!(slot.is_built());
+        assert_eq!(
+            slot.get_or_build(|| unreachable!("ready slot must not build")),
+            Some(&"eager".to_string())
+        );
+    }
+
+    #[test]
+    fn racing_builders_build_at_most_once() {
+        for _ in 0..64 {
+            let slot: Arc<LazySlot<u64>> = Arc::new(LazySlot::empty());
+            let builds = Arc::new(AtomicUsize::new(0));
+            let threads: Vec<_> = (0..4)
+                .map(|_| {
+                    let slot = Arc::clone(&slot);
+                    let builds = Arc::clone(&builds);
+                    thread::spawn(move || {
+                        slot.get_or_build(|| {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            42
+                        })
+                        .copied()
+                    })
+                })
+                .collect();
+            let results: Vec<Option<u64>> =
+                threads.into_iter().map(|t| t.join().unwrap()).collect();
+            assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one build");
+            // Losers may see None (in-flight) but never a wrong value.
+            assert!(results.iter().flatten().all(|&v| v == 42));
+            // Someone (at least the winner) got the value.
+            assert!(results.iter().any(Option::is_some));
+            assert_eq!(slot.get(), Some(&42));
+        }
+    }
+
+    #[test]
+    fn drop_frees_the_published_value() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let slot: LazySlot<Counted> = LazySlot::empty();
+        slot.get_or_build(|| Counted(Arc::clone(&drops)));
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(slot);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        // An unbuilt slot drops nothing.
+        let empty: LazySlot<Counted> = LazySlot::empty();
+        drop(empty);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+}

@@ -70,6 +70,11 @@ pub enum Mutation {
     /// anyway — writing its frame into a slot another producer already
     /// owns, so one of the two frames silently vanishes.
     RingTornPublish,
+    /// A `LazySlot` first-touch builder skips the claim CAS: two racing
+    /// compilers both build and publish, and the second publish frees
+    /// the first value while a concurrent hook may be between its
+    /// pointer load and its dereference.
+    LazyDoublePublish,
 }
 
 /// Backend view of `AtomicUsize`.
@@ -324,6 +329,7 @@ mod tests {
         assert!(!StdBackend::mutation(Mutation::RcuFreeBeforeScan));
         assert!(!StdBackend::mutation(Mutation::CacheSkipVerifier));
         assert!(!StdBackend::mutation(Mutation::RingTornPublish));
+        assert!(!StdBackend::mutation(Mutation::LazyDoublePublish));
     }
 
     #[test]

@@ -27,13 +27,19 @@
 #   9. sds sweep smoke            — the event-plane sweep runner on a
 #                                   reduced grid, proving both ingestion
 #                                   paths and the warm probe execute
-#  10. scripts/bench_gate.sh      — the hook-latency performance gate,
+#  10. profile-compile smoke      — a 2-worker parallel bulk load plus a
+#                                   lazy load with one forced first-touch
+#                                   compile, proving both pipeline paths
+#                                   execute even where the benchmark
+#                                   gate's parallel floor is exempt
+#  11. scripts/bench_gate.sh      — the hook-latency performance gate,
 #                                   including the ≤MAX_TRACE_OVERHEAD
 #                                   disabled-tracepoint observer gate, the
 #                                   ≥MIN_SMP_EFFICIENCY scaling gate and
 #                                   the ≥MIN_SDS_SPEEDUP batched-ingestion
-#                                   gate
-#  11. validate_bench_json.py     — BENCH_hook_latency.json schema check
+#                                   gate and the parallel-compile /
+#                                   cold-attach reload gates
+#  12. validate_bench_json.py     — BENCH_hook_latency.json schema check
 #                                   (all gate keys present, ratios finite)
 #
 # Usage: scripts/check.sh [--no-bench] [--sanitize]
@@ -99,6 +105,9 @@ cargo run --release --offline -p sack-lmbench --example contended_sweep -- \
 step "sds event-plane sweep smoke"
 cargo run --release --offline -p sack-lmbench --example sds_sweep -- \
     --rates 10000,100000 --events 2000
+
+step "profile-compile pipeline smoke (2-worker bulk + lazy first touch)"
+cargo run --release --offline -p sack-lmbench --example profile_compile_smoke
 
 if [[ "$RUN_SANITIZE" == 1 ]]; then
     step "ThreadSanitizer lane (sync/cache/smp tests)"

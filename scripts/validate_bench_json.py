@@ -13,6 +13,9 @@ catches a malformed splice before it is committed. Checks:
   * the sds block has a point per swept rate plus the two values the
     gate checks (speedup_at_100k, warm_impact), and each recorded value
     satisfies the threshold the gate block records for it;
+  * the profile_compile block has every bulk/lazy median plus the
+    normalised parallel floor, and the recorded speedup and cold-attach
+    fraction satisfy the thresholds recorded for them;
   * every numeric leaf in the whole document is finite (a NaN/Infinity
     ratio means a benchmark div-by-zero went unnoticed).
 
@@ -31,6 +34,7 @@ TOP_LEVEL_KEYS = [
     "working_set_64",
     "rule_sweep",
     "apparmor_profile_table",
+    "profile_compile",
     "tracing",
     "smp",
     "sds",
@@ -45,6 +49,8 @@ GATE_KEYS = [
     "max_dfa_degradation",
     "min_aa_dfa_speedup",
     "min_incr_recompile_speedup",
+    "min_parallel_compile_speedup",
+    "max_cold_attach_fraction",
     "max_trace_overhead",
     "min_smp_efficiency",
     "min_sds_speedup",
@@ -55,6 +61,22 @@ SMP_SCENARIOS = ["warm_cache", "dfa_cold", "reload_racing"]
 SMP_POINT_KEYS = ["p50_ns", "p90_ns", "p99_ns", "ops_per_sec"]
 
 SDS_POINT_KEYS = ["batch", "sync_eps", "batched_eps", "speedup"]
+
+PROFILE_COMPILE_KEYS = [
+    "rules_per_profile",
+    "bulk_serial_100_median_ns",
+    "bulk_parallel_100_median_ns",
+    "bulk_serial_1000_median_ns",
+    "bulk_parallel_1000_median_ns",
+    "bulk_serial_10000_median_ns",
+    "bulk_parallel_10000_median_ns",
+    "parallel_speedup_1k",
+    "cores",
+    "enforced_min_parallel_speedup",
+    "lazy_load_1000_median_ns",
+    "cold_attach_1000_median_ns",
+    "cold_attach_fraction",
+]
 
 
 def walk_numbers(node, path, problems):
@@ -107,6 +129,38 @@ def validate(doc):
                 for key in SMP_POINT_KEYS:
                     if key not in point:
                         problems.append(f"smp.scenarios.{name}.t{t} missing {key!r}")
+
+    pc = doc.get("profile_compile", {})
+    if pc:
+        for key in PROFILE_COMPILE_KEYS:
+            if key not in pc:
+                problems.append(f"profile_compile block missing {key!r}")
+        # Recorded measurements must satisfy the thresholds the gate block
+        # records (the gate exempts single-core hosts from the parallel
+        # floor by recording enforced_min_parallel_speedup = 0).
+        speedup = pc.get("parallel_speedup_1k")
+        enforced = pc.get("enforced_min_parallel_speedup")
+        if isinstance(speedup, (int, float)) and isinstance(enforced, (int, float)):
+            if speedup < enforced:
+                problems.append(
+                    f"profile_compile.parallel_speedup_1k {speedup} violates "
+                    f"enforced_min_parallel_speedup {enforced}"
+                )
+        configured = gate.get("min_parallel_compile_speedup")
+        if isinstance(enforced, (int, float)) and isinstance(configured, (int, float)):
+            if enforced > configured:
+                problems.append(
+                    f"profile_compile.enforced_min_parallel_speedup {enforced} exceeds "
+                    f"gate.min_parallel_compile_speedup {configured}"
+                )
+        fraction = pc.get("cold_attach_fraction")
+        max_fraction = gate.get("max_cold_attach_fraction")
+        if isinstance(fraction, (int, float)) and isinstance(max_fraction, (int, float)):
+            if fraction > max_fraction:
+                problems.append(
+                    f"profile_compile.cold_attach_fraction {fraction} violates "
+                    f"gate.max_cold_attach_fraction {max_fraction}"
+                )
 
     sds = doc.get("sds", {})
     if sds:

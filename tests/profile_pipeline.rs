@@ -1,0 +1,324 @@
+//! Differential properties of the profile-compilation pipeline:
+//! **lazy == eager == serial** (DESIGN.md §12).
+//!
+//! Random profile corpora and the shipped vehicle bundle are loaded three
+//! ways — serial-eager (1 worker), parallel-eager (worker pool), and lazy
+//! (uncompiled stubs, first-touch compiled in randomized order) — and
+//! must be indistinguishable from the hook side:
+//!
+//! * byte-identical verdicts on random path probes, DFA vs bucketed index
+//!   vs naive scan, across all three load modes;
+//! * identical audit records for the same access sequence through the
+//!   full `AppArmor` module;
+//! * dedup pinned structurally: profiles with identical rule bodies share
+//!   one `Arc<SharedDfa>` (`Arc::ptr_eq`), and the compile counter moves
+//!   once per *distinct body*, not once per profile;
+//! * lazy compiles exactly the touched set — the counter tracks the
+//!   number of distinct bodies touched, and untouched profiles stay
+//!   uncompiled stubs.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use sack_suite::prop::{self, Rng};
+
+use sack_apparmor::profile::FilePerms;
+use sack_apparmor::{AppArmor, CompileMode, PolicyDb};
+use sack_kernel::cred::Credentials;
+use sack_kernel::lsm::{AccessMask, HookCtx, ObjectRef, SecurityModule};
+use sack_kernel::path::KPath;
+use sack_kernel::types::Pid;
+use sack_vehicle::VEHICLE_APPARMOR_PROFILES;
+
+/// Glob fragments for generated rule patterns: literals, wildcards,
+/// classes, and brace alternations, all from a small byte vocabulary so
+/// random probes actually collide with the rules.
+#[allow(clippy::explicit_auto_deref)] // deref required for inference, as in properties.rs
+fn pattern(rng: &mut Rng) -> String {
+    let n = rng.range(1, 7);
+    let mut out = String::from("/");
+    for _ in 0..n {
+        match *rng.pick_weighted(&[(3, 0u8), (2, 1), (2, 2), (1, 3), (1, 4), (1, 5), (1, 6)]) {
+            0 => out.push_str(*rng.pick(&["a", "b", "dir", "door", "x1"])),
+            1 => out.push('/'),
+            2 => out.push('*'),
+            3 => out.push_str("**"),
+            4 => out.push('?'),
+            5 => out.push_str(*rng.pick(&["[ab]", "[0-3]", "[!q]"])),
+            _ => out.push_str(*rng.pick(&["{a,b}", "{dir,door}"])),
+        }
+    }
+    out
+}
+
+fn probe_path(rng: &mut Rng) -> String {
+    let n = rng.range(1, 6);
+    let comps: Vec<&str> = (0..n)
+        .map(|_| *rng.pick(&["a", "b", "ab", "dir", "door", "door0", "x1", "q"]))
+        .collect();
+    format!("/{}", comps.join("/"))
+}
+
+/// A random corpus: a pool of distinct rule bodies (each stamped with a
+/// unique literal rule so no two bodies can coincide by chance) and a
+/// profile list where several profiles deliberately share a body.
+/// Returns the corpus text and each profile's body index.
+fn corpus(rng: &mut Rng) -> (String, Vec<usize>) {
+    let nbodies = rng.range(2, 5);
+    let bodies: Vec<String> = (0..nbodies)
+        .map(|b| {
+            let mut body = format!("    /body{b}/tag r,\n");
+            for _ in 0..rng.range(1, 4) {
+                let deny = if rng.below(4) == 0 { "deny " } else { "" };
+                let perms = *rng.pick(&["r", "w", "rw", "rwm", "rx"]);
+                body.push_str(&format!("    {deny}{} {perms},\n", pattern(rng)));
+            }
+            body
+        })
+        .collect();
+    let nprofiles = rng.range(4, 10);
+    let mut text = String::new();
+    let mut assignment = Vec::with_capacity(nprofiles);
+    for i in 0..nprofiles {
+        let b = rng.below(bodies.len());
+        assignment.push(b);
+        text.push_str(&format!("profile p{i} {{\n{}}}\n", bodies[b]));
+    }
+    (text, assignment)
+}
+
+fn three_dbs(text: &str) -> (PolicyDb, PolicyDb, PolicyDb) {
+    let serial = PolicyDb::new();
+    serial.set_compile_workers(1);
+    let parallel = PolicyDb::new();
+    parallel.set_compile_workers(4);
+    let lazy = PolicyDb::new();
+    lazy.set_compile_mode(CompileMode::Lazy);
+    let n = serial.load_text(text).unwrap();
+    assert_eq!(parallel.load_text(text).unwrap(), n);
+    assert_eq!(lazy.load_text(text).unwrap(), n);
+    (serial, parallel, lazy)
+}
+
+#[test]
+fn random_corpora_load_identically_serial_parallel_lazy() {
+    prop::for_cases(25, |rng| {
+        let (text, assignment) = corpus(rng);
+        let nprofiles = assignment.len();
+        let distinct: HashSet<usize> = assignment.iter().copied().collect();
+        let (serial, parallel, lazy) = three_dbs(&text);
+
+        // Dedup compiles each distinct body exactly once; lazy compiles
+        // nothing at load.
+        assert_eq!(serial.compile_count(), distinct.len() as u64);
+        assert_eq!(parallel.compile_count(), distinct.len() as u64);
+        assert_eq!(lazy.compile_count(), 0);
+
+        // Structural dedup pin in every mode: same body ⇔ same slot.
+        for db in [&serial, &parallel, &lazy] {
+            let handles: Vec<_> = (0..nprofiles)
+                .map(|i| Arc::clone(db.get(&format!("p{i}")).unwrap().rules().dfa_handle()))
+                .collect();
+            for i in 0..nprofiles {
+                for j in (i + 1)..nprofiles {
+                    assert_eq!(
+                        Arc::ptr_eq(&handles[i], &handles[j]),
+                        assignment[i] == assignment[j],
+                        "p{i} vs p{j}: slot sharing must mirror body equality"
+                    );
+                }
+            }
+        }
+
+        // Serial and parallel build identical tables.
+        for i in 0..nprofiles {
+            let name = format!("p{i}");
+            let s = serial.get(&name).unwrap();
+            let p = parallel.get(&name).unwrap();
+            assert_eq!(s.rules().dfa_stats(), p.rules().dfa_stats(), "{name}");
+        }
+
+        // First-touch a random subset of the lazy table in random order;
+        // every touch must agree with both eager tables and with the
+        // retained scan matcher, and the compile counter must track the
+        // touched *body* set exactly.
+        let mut order: Vec<usize> = (0..nprofiles).collect();
+        rng.shuffle(&mut order);
+        let touch_n = rng.range(1, nprofiles + 1);
+        let probes: Vec<String> = (0..12).map(|_| probe_path(rng)).collect();
+        let mut touched_bodies: HashSet<usize> = HashSet::new();
+        for &i in &order[..touch_n] {
+            let name = format!("p{i}");
+            let s = serial.get(&name).unwrap();
+            let p = parallel.get(&name).unwrap();
+            let l = lazy.get(&name).unwrap();
+            for probe in &probes {
+                let want = s.rules().evaluate_dfa(probe);
+                assert_eq!(want, p.rules().evaluate_dfa(probe), "{name} @ {probe}");
+                assert_eq!(want, l.rules().evaluate(probe), "{name} @ {probe} (scan)");
+                assert_eq!(
+                    want,
+                    l.rules().evaluate_dfa(probe),
+                    "{name} @ {probe} (lazy)"
+                );
+            }
+            touched_bodies.insert(assignment[i]);
+            assert_eq!(
+                lazy.compile_count(),
+                touched_bodies.len() as u64,
+                "lazy must compile exactly the touched body set"
+            );
+        }
+
+        // Untouched bodies stay stubs.
+        for &i in &order[touch_n..] {
+            if !touched_bodies.contains(&assignment[i]) {
+                let l = lazy.get(&format!("p{i}")).unwrap();
+                assert!(
+                    !l.rules().dfa_handle().is_compiled(),
+                    "p{i}: never touched, must stay uncompiled"
+                );
+            }
+        }
+    });
+}
+
+fn hook_ctx(pid: u32, exe: &str) -> HookCtx {
+    HookCtx::new(
+        Pid(pid),
+        Credentials::user(1000, 1000),
+        Some(KPath::new(exe).unwrap()),
+    )
+}
+
+fn open(module: &AppArmor, ctx: &HookCtx, path: &str, mask: AccessMask) -> bool {
+    let path = KPath::new(path).unwrap();
+    let obj = ObjectRef::regular(&path);
+    module.file_open(ctx, &obj, mask).is_ok()
+}
+
+/// The shipped vehicle bundle driven through the full `AppArmor` module
+/// in all three load modes: one confined task per profile, a shared
+/// random access sequence, byte-identical verdicts *and* identical audit
+/// records, and the lazy compile counter pinned to the touched set.
+#[test]
+fn vehicle_bundle_verdicts_and_audits_match_across_load_modes() {
+    prop::for_cases(8, |rng| {
+        let mk = |cfg: &dyn Fn(&PolicyDb)| {
+            let db = Arc::new(PolicyDb::new());
+            cfg(&db);
+            db.load_text(VEHICLE_APPARMOR_PROFILES).unwrap();
+            let module = AppArmor::new(Arc::clone(&db));
+            (db, module)
+        };
+        let (serial_db, serial) = mk(&|db| db.set_compile_workers(1));
+        let (_parallel_db, parallel) = mk(&|db| db.set_compile_workers(4));
+        let (lazy_db, lazy) = mk(&|db| db.set_compile_mode(CompileMode::Lazy));
+        assert_eq!(lazy_db.compile_count(), 0, "lazy load must not compile");
+
+        let names = serial_db.profile_names();
+        for module in [&serial, &parallel, &lazy] {
+            for (i, name) in names.iter().enumerate() {
+                module.set_profile(Pid(9000 + i as u32), name).unwrap();
+            }
+        }
+        // Confining a task snapshots the profile but must not compile it.
+        assert_eq!(lazy_db.compile_count(), 0, "set_profile must not compile");
+
+        let targets = [
+            "/usr/bin/media_app",
+            "/usr/lib/libc.so",
+            "/media/usb/song.mp3",
+            "/dev/car/door0",
+            "/dev/car/engine/rpm",
+            "/tmp/cache/a",
+            "/etc/passwd",
+            "/var/secret",
+        ];
+        let mut touched: HashSet<usize> = HashSet::new();
+        for _ in 0..40 {
+            let task = rng.below(names.len());
+            let ctx = hook_ctx(9000 + task as u32, &format!("/usr/bin/{}", names[task]));
+            let path = if rng.bool() {
+                (*rng.pick(&targets)).to_string()
+            } else {
+                probe_path(rng)
+            };
+            let mask = if rng.bool() {
+                AccessMask::READ
+            } else {
+                AccessMask::WRITE
+            };
+            let want = open(&serial, &ctx, &path, mask);
+            assert_eq!(
+                want,
+                open(&parallel, &ctx, &path, mask),
+                "{path} (parallel)"
+            );
+            assert_eq!(want, open(&lazy, &ctx, &path, mask), "{path} (lazy)");
+            touched.insert(task);
+            // The bundle's three bodies are distinct, so the lazy counter
+            // tracks exactly the set of profiles hooks have touched.
+            assert_eq!(
+                lazy_db.compile_count(),
+                touched.len() as u64,
+                "lazy must compile exactly the touched profiles"
+            );
+        }
+
+        // The three modules saw identical traffic; their audit trails
+        // must be identical records, not merely equal counts.
+        let want = serial.take_audit_log();
+        assert!(!want.is_empty(), "denied probes must produce audit records");
+        assert_eq!(want, parallel.take_audit_log(), "parallel audit diverged");
+        assert_eq!(want, lazy.take_audit_log(), "lazy audit diverged");
+    });
+}
+
+#[test]
+fn vehicle_bundle_probe_equivalence() {
+    prop::for_cases(8, |rng| {
+        let (serial, parallel, lazy) = three_dbs(VEHICLE_APPARMOR_PROFILES);
+        let mut names = serial.profile_names();
+        rng.shuffle(&mut names);
+        let probes: Vec<String> = (0..16)
+            .map(|_| {
+                if rng.bool() {
+                    probe_path(rng)
+                } else {
+                    (*rng.pick(&[
+                        "/usr/bin/media_app",
+                        "/usr/lib/libc.so",
+                        "/dev/car/door0",
+                        "/dev/car/engine/rpm",
+                        "/tmp/cache/a",
+                        "/etc/passwd",
+                        "/var/secret",
+                    ]))
+                    .to_string()
+                }
+            })
+            .collect();
+        for name in &names {
+            let s = serial.get(name).unwrap();
+            let p = parallel.get(name).unwrap();
+            let l = lazy.get(name).unwrap();
+            for probe in &probes {
+                let want = s.rules().evaluate_dfa(probe);
+                assert_eq!(want, p.rules().evaluate_dfa(probe), "{name} @ {probe}");
+                assert_eq!(want, l.rules().evaluate(probe), "{name} @ {probe} (scan)");
+                assert_eq!(
+                    want,
+                    l.rules().evaluate_dfa(probe),
+                    "{name} @ {probe} (lazy)"
+                );
+                assert_eq!(
+                    want.permits(FilePerms::READ),
+                    l.rules().evaluate(probe).permits(FilePerms::READ)
+                );
+            }
+        }
+        // The bundle's three bodies are distinct: all touched ⇒ all built.
+        assert_eq!(lazy.compile_count(), serial.compile_count());
+    });
+}

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use sack_apparmor::{AppArmor, PolicyDb};
+use sack_apparmor::{AppArmor, CompileMode, PolicyDb};
 use sack_core::{Sack, TransitionOutcome};
 use sack_kernel::cred::Credentials;
 use sack_kernel::lsm::{AccessMask, HookCtx, ObjectRef, SecurityModule};
@@ -221,6 +221,96 @@ fn denial_storm_counts_every_refusal_but_audits_at_most_once_per_instance() {
         audit_delta <= WORKERS as u64,
         "audit storm: {audit_delta} records for one decision across {WORKERS} workers"
     );
+}
+
+/// Lazy compilation under storm: the profile database installs every
+/// bundle as uncompiled stubs, so each control-plane replacement publishes
+/// a table whose DFA the racing hooks must first-touch compile. The base
+/// grant must hold in every round (an in-flight build answers from the
+/// retained scan matcher — never blocks, never flickers), the
+/// `profile_recompile` tracepoint must fire at most once per published
+/// bundle (the at-most-once claim under maximal contention), and the
+/// quiesced table must agree with an eager serial twin.
+#[test]
+fn lazy_first_touch_storm_compiles_each_published_body_at_most_once() {
+    let db = Arc::new(PolicyDb::new());
+    db.set_compile_mode(CompileMode::Lazy);
+    let hub = TraceHub::new();
+    db.set_trace_hub(Arc::clone(&hub));
+    hub.set_enabled(true);
+    db.load_text(BENCH_PROFILE).unwrap();
+    assert_eq!(db.compile_count(), 0, "lazy load must not compile");
+    let apparmor = AppArmor::new(Arc::clone(&db));
+    apparmor.set_profile(Pid(7300), "bench").unwrap();
+
+    const HAMMER: usize = 400;
+    let reloads = AtomicU64::new(0);
+    let outcome = smp::run_with_control(
+        WORKERS,
+        |w| {
+            let ctx = probe_ctx(7300, BENCH_EXE);
+            let path = format!("/tmp/bench/lazy{w}");
+            let mut ok = 0usize;
+            for _ in 0..HAMMER {
+                if open(&*apparmor, &ctx, &path, AccessMask::WRITE) {
+                    ok += 1;
+                }
+            }
+            ok
+        },
+        |_round| {
+            // Atomic bundle replacement: publishes a fresh uncompiled stub
+            // for `bench` that the storm immediately first-touches.
+            db.load_text(BENCH_PROFILE).unwrap();
+            reloads.fetch_add(1, Ordering::Relaxed);
+        },
+    );
+
+    for (w, ok) in outcome.results.iter().enumerate() {
+        assert_eq!(
+            *ok, HAMMER,
+            "worker {w}: grant flickered during lazy first-touch races"
+        );
+    }
+    assert!(outcome.control_rounds >= 1);
+
+    // Every published bundle carries exactly one distinct body, and racing
+    // hooks may compile each published body at most once: the claim CAS
+    // admits one winner, losers reuse or fall back.
+    let publishes = reloads.load(Ordering::Relaxed) + 1;
+    let fired = hub.fired(Tracepoint::ProfileRecompile);
+    assert!(
+        (1..=publishes).contains(&fired),
+        "profile_recompile fired {fired} times across {publishes} published bundles"
+    );
+    assert_eq!(
+        db.compile_count(),
+        fired,
+        "every DFA build must emit exactly one tracepoint"
+    );
+
+    // Quiesced: the stormed lazy table answers exactly like an eager twin
+    // that never saw any concurrency.
+    let serial_db = Arc::new(PolicyDb::new());
+    serial_db.load_text(BENCH_PROFILE).unwrap();
+    let serial = AppArmor::new(Arc::clone(&serial_db));
+    serial.set_profile(Pid(7300), "bench").unwrap();
+    let ctx = probe_ctx(7300, BENCH_EXE);
+    for (path, mask) in [
+        ("/tmp/bench/post", AccessMask::WRITE),
+        ("/etc/passwd", AccessMask::READ),
+        ("/etc/sub/dir", AccessMask::READ),
+        ("/dev/car/door0", AccessMask::READ),
+        ("/dev/car/door0", AccessMask::WRITE),
+        ("/var/secret", AccessMask::READ),
+        ("/usr/lib/libc.so", AccessMask::READ),
+    ] {
+        assert_eq!(
+            open(&*apparmor, &ctx, path, mask),
+            open(&*serial, &ctx, path, mask),
+            "probe {path}: stormed lazy table diverged from eager serial twin"
+        );
+    }
 }
 
 /// Enhanced mode: the control plane replaces the AppArmor profile bundle
