@@ -1,0 +1,306 @@
+//! Fleet telemetry forensics: lints over [`FleetAlert`] streams and the
+//! `sack-analyze fleet` end-to-end self-check.
+//!
+//! The alert lints treat a rollout's alert log the way [`crate::trace`]
+//! treats a flight dump: a healthy run produces either nothing or one
+//! crisp, replayable alert per incident. Streams that flap, storm, or
+//! arrive without a flight excerpt indicate a mis-tuned detector bank or
+//! an instance whose flight ring is being starved — both worth blocking
+//! a rollout pipeline over.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sack_fleet::FleetAlert;
+
+/// One finding from [`lint_alerts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertFinding {
+    /// Stable check id (`fleet-excerpt-missing`, `fleet-flapping`,
+    /// `fleet-alert-storm`).
+    pub check: &'static str,
+    /// Human-readable description with the offending cohort/tick.
+    pub message: String,
+}
+
+impl fmt::Display for AlertFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.check, self.message)
+    }
+}
+
+/// Alerts in one tick (across cohorts) at or above which
+/// [`lint_alerts`] reports a storm.
+pub const ALERT_STORM_PER_TICK: usize = 8;
+
+/// Distinct ticks on which the same (cohort, kind) pair may alert before
+/// [`lint_alerts`] reports flapping.
+pub const ALERT_FLAP_TICKS: usize = 3;
+
+/// Lints an alert stream (e.g. a [`sack_fleet::RolloutDriver`]'s log):
+///
+/// * `fleet-excerpt-missing` — an alert carries no flight-recorder
+///   excerpt, so the incident cannot be replayed;
+/// * `fleet-flapping` — the same (cohort, detector) pair alerted on
+///   [`ALERT_FLAP_TICKS`]+ distinct ticks: the detector threshold sits
+///   on top of the steady-state signal;
+/// * `fleet-alert-storm` — [`ALERT_STORM_PER_TICK`]+ alerts landed on a
+///   single tick: a fleet-wide event is being reported once per cohort
+///   instead of being aggregated.
+pub fn lint_alerts(alerts: &[FleetAlert]) -> Vec<AlertFinding> {
+    let mut findings = Vec::new();
+    let mut per_pair: BTreeMap<(String, &'static str), Vec<u64>> = BTreeMap::new();
+    let mut per_tick: BTreeMap<u64, usize> = BTreeMap::new();
+    for alert in alerts {
+        if alert.flight_excerpt.is_empty() {
+            findings.push(AlertFinding {
+                check: "fleet-excerpt-missing",
+                message: format!(
+                    "{} alert for cohort `{}` at tick {} has no flight excerpt",
+                    alert.kind, alert.cohort, alert.tick
+                ),
+            });
+        }
+        let ticks = per_pair
+            .entry((alert.cohort.clone(), alert.kind.name()))
+            .or_default();
+        if !ticks.contains(&alert.tick) {
+            ticks.push(alert.tick);
+        }
+        *per_tick.entry(alert.tick).or_insert(0) += 1;
+    }
+    for ((cohort, kind), ticks) in &per_pair {
+        if ticks.len() >= ALERT_FLAP_TICKS {
+            findings.push(AlertFinding {
+                check: "fleet-flapping",
+                message: format!(
+                    "cohort `{cohort}` raised `{kind}` on {} distinct ticks {ticks:?}",
+                    ticks.len()
+                ),
+            });
+        }
+    }
+    for (tick, count) in &per_tick {
+        if *count >= ALERT_STORM_PER_TICK {
+            findings.push(AlertFinding {
+                check: "fleet-alert-storm",
+                message: format!("{count} alerts landed on tick {tick}"),
+            });
+        }
+    }
+    findings
+}
+
+/// End-to-end fleet self-check, behind `sack-analyze fleet`: boots a
+/// small multi-cohort fleet, promotes a clean rollout cohort-by-cohort,
+/// rolls a second rollout back off an injected canary denial spike,
+/// validates the aggregated Prometheus endpoint with the same strict
+/// HELP/TYPE validator used for per-instance metrics, and runs
+/// [`lint_alerts`] over both alert logs.
+///
+/// Returns a short human-readable report of what was proven.
+///
+/// # Errors
+///
+/// A message naming the first check that failed.
+pub fn fleet_self_check() -> Result<String, String> {
+    use std::sync::Arc;
+
+    use sack_core::Sack;
+    use sack_fleet::{FleetAggregator, RolloutConfig, RolloutDriver, RolloutStatus};
+    use sack_kernel::cred::Credentials;
+    use sack_kernel::kernel::KernelBuilder;
+    use sack_kernel::lsm::{AccessMask, HookCtx, ObjectRef, SecurityModule};
+    use sack_kernel::path::KPath;
+    use sack_kernel::types::Pid;
+
+    const POLICY: &str = r#"
+        states { normal = 0; emergency = 1; }
+        events { crash; rescue_done; }
+        transitions { normal -crash-> emergency; emergency -rescue_done-> normal; }
+        initial normal;
+        permissions { CAR; }
+        state_per { normal: CAR; emergency: CAR; }
+        per_rules { CAR: allow subject=* /dev/car/** r; }
+    "#;
+    const COHORTS: [&str; 3] = ["canary", "wave-1", "wave-2"];
+    const PER_COHORT: usize = 4;
+
+    let fail = |what: &str, detail: String| format!("fleet self-check: {what}: {detail}");
+
+    let agg = FleetAggregator::new();
+    let mut kernels = Vec::new();
+    for cohort in COHORTS {
+        for _ in 0..PER_COHORT {
+            let sack = Sack::independent(POLICY).map_err(|e| fail("policy load", e.to_string()))?;
+            let kernel = KernelBuilder::new()
+                .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+                .boot();
+            sack.attach(&kernel)
+                .map_err(|e| fail("attach", e.to_string()))?;
+            kernel.trace().set_enabled(true);
+            agg.register(&kernel, &sack, cohort);
+            kernels.push((kernel, sack));
+        }
+    }
+
+    let door = KPath::new("/dev/car/door0").map_err(|e| fail("path", e.to_string()))?;
+    let drive = |mask: AccessMask, n: usize| {
+        let ctx = HookCtx::new(Pid(7000), Credentials::user(1000, 1000), None);
+        let obj = ObjectRef::regular(&door);
+        for (kernel, _) in &kernels {
+            for _ in 0..n {
+                let _ = kernel.lsm().file_open(&ctx, &obj, mask);
+            }
+        }
+    };
+
+    // Rollout 1: same policy everywhere, clean telemetry — must promote
+    // every cohort.
+    let cohorts: Vec<String> = COHORTS.iter().map(|c| c.to_string()).collect();
+    let mut promote = RolloutDriver::new(
+        Arc::clone(&agg),
+        cohorts.clone(),
+        POLICY,
+        POLICY,
+        RolloutConfig {
+            soak_ticks: 2,
+            ..RolloutConfig::default()
+        },
+    );
+    let mut steps = 0;
+    while !promote.finished() {
+        drive(AccessMask::READ, 4);
+        promote.step();
+        steps += 1;
+        if steps > 64 {
+            return Err(fail("promote", "rollout did not converge".to_string()));
+        }
+    }
+    if promote.status() != RolloutStatus::Promoted {
+        return Err(fail("promote", format!("{}", promote.status())));
+    }
+
+    // Rollout 2: inject a canary denial spike mid-soak — must roll back.
+    let mut rollback = RolloutDriver::new(
+        Arc::clone(&agg),
+        cohorts,
+        POLICY,
+        POLICY,
+        RolloutConfig {
+            soak_ticks: 4,
+            ..RolloutConfig::default()
+        },
+    );
+    rollback.step(); // prime + push to canary
+    {
+        let ctx = HookCtx::new(Pid(7000), Credentials::user(1000, 1000), None);
+        let obj = ObjectRef::regular(&door);
+        for (kernel, _) in &kernels[..PER_COHORT] {
+            for _ in 0..16 {
+                if kernel
+                    .lsm()
+                    .file_open(&ctx, &obj, AccessMask::WRITE)
+                    .is_ok()
+                {
+                    return Err(fail(
+                        "spike injection",
+                        "door write unexpectedly granted".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+    rollback.step();
+    let RolloutStatus::RolledBack { cohort, .. } = rollback.status() else {
+        return Err(fail("rollback", format!("{}", rollback.status())));
+    };
+    if cohort != "canary" {
+        return Err(fail("rollback", format!("blamed cohort `{cohort}`")));
+    }
+
+    // The aggregated endpoint must satisfy the strict HELP/TYPE validator
+    // and label rollups by cohort.
+    let text = agg.render_prometheus();
+    let samples =
+        crate::trace::validate_prometheus(&text).map_err(|e| fail("fleet prometheus", e))?;
+    for cohort in COHORTS {
+        if !text.contains(&format!("cohort=\"{cohort}\"")) {
+            return Err(fail(
+                "fleet prometheus",
+                format!("no samples labelled cohort=\"{cohort}\""),
+            ));
+        }
+    }
+
+    // Both alert logs must lint clean: promotion saw no alerts at all,
+    // and the rollback saw one crisp excerpt-bearing incident.
+    if !promote.alerts().is_empty() {
+        return Err(fail(
+            "promote alerts",
+            format!("{} unexpected alert(s)", promote.alerts().len()),
+        ));
+    }
+    let findings = lint_alerts(rollback.alerts());
+    if let Some(finding) = findings.first() {
+        return Err(fail("alert lint", finding.to_string()));
+    }
+
+    Ok(format!(
+        "fleet self-check passed: {} instances in {} cohorts, clean rollout \
+         promoted in {steps} steps, canary spike rolled back with {} alert(s) \
+         lint clean, fleet endpoint valid ({samples} Prometheus samples)\n",
+        COHORTS.len() * PER_COHORT,
+        COHORTS.len(),
+        rollback.alerts().len(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sack_fleet::{FleetAlert, FleetAlertKind};
+
+    fn alert(kind: FleetAlertKind, cohort: &str, tick: u64, excerpt: bool) -> FleetAlert {
+        FleetAlert {
+            kind,
+            cohort: cohort.to_string(),
+            tick,
+            detail: "test".to_string(),
+            flight_excerpt: if excerpt {
+                vec!["seq=1 producer=0 hook_exit".to_string()]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    #[test]
+    fn lint_flags_missing_excerpt_flapping_and_storms() {
+        let clean = [alert(FleetAlertKind::DenialSpike, "canary", 3, true)];
+        assert!(lint_alerts(&clean).is_empty());
+
+        let missing = [alert(FleetAlertKind::DenialSpike, "canary", 3, false)];
+        let findings = lint_alerts(&missing);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].check, "fleet-excerpt-missing");
+
+        let flapping: Vec<FleetAlert> = (1..=3)
+            .map(|t| alert(FleetAlertKind::TransitionStorm, "wave-1", t, true))
+            .collect();
+        let findings = lint_alerts(&flapping);
+        assert!(findings.iter().any(|f| f.check == "fleet-flapping"));
+
+        let storm: Vec<FleetAlert> = (0..ALERT_STORM_PER_TICK)
+            .map(|i| alert(FleetAlertKind::FlightOverflow, &format!("c{i}"), 7, true))
+            .collect();
+        let findings = lint_alerts(&storm);
+        assert!(findings.iter().any(|f| f.check == "fleet-alert-storm"));
+    }
+
+    #[test]
+    fn fleet_self_check_passes_end_to_end() {
+        let report = fleet_self_check().unwrap();
+        assert!(report.contains("fleet self-check passed"), "{report}");
+    }
+}

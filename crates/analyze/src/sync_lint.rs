@@ -145,6 +145,16 @@ const ALLOWLIST: &[(&str, &str, &str)] = &[
         "use parking_lot::RwLock;",
         "inode/dentry table locks; blocking by design",
     ),
+    (
+        "kernel/src/instance.rs",
+        "use std::sync::atomic::{AtomicU64, Ordering};",
+        "instance-id allocator; monotonic counter only",
+    ),
+    (
+        "kernel/src/instance.rs",
+        "use parking_lot::RwLock;",
+        "fleet registry membership table lock; blocking by design",
+    ),
 ];
 
 /// `std::sync` items that are safe to name directly: they carry no

@@ -477,8 +477,9 @@ pub fn render_report(dump: &FlightDump, anomalies: &[Anomaly]) -> String {
 /// would: every sample line must parse as `name{labels} value`, label
 /// values must be quoted, every sample must belong to a family declared
 /// by a preceding `# TYPE` line (histogram samples may use the
-/// `_bucket` / `_sum` / `_count` suffixes, counters `_total`), and
-/// values must be finite numbers.
+/// `_bucket` / `_sum` / `_count` suffixes, counters `_total`), every
+/// declared family must also carry a `# HELP` line with the same name,
+/// and values must be finite numbers.
 ///
 /// Returns the number of sample lines on success.
 ///
@@ -487,6 +488,7 @@ pub fn render_report(dump: &FlightDump, anomalies: &[Anomaly]) -> String {
 /// A message naming the first offending line.
 pub fn validate_prometheus(text: &str) -> Result<usize, String> {
     let mut families: Vec<String> = Vec::new();
+    let mut helps: Vec<String> = Vec::new();
     let mut samples = 0usize;
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
@@ -497,11 +499,12 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
         if let Some(comment) = line.strip_prefix('#') {
             let mut tokens = comment.split_whitespace();
             match tokens.next() {
-                Some("HELP") => {
-                    if tokens.next().is_none() {
+                Some("HELP") => match tokens.next() {
+                    Some(name) => helps.push(name.to_string()),
+                    None => {
                         return Err(format!("line {line_no}: HELP without a metric name"));
                     }
-                }
+                },
                 Some("TYPE") => {
                     let name = tokens
                         .next()
@@ -575,6 +578,11 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
     }
     if samples == 0 {
         return Err("no sample lines".to_string());
+    }
+    for family in &families {
+        if !helps.iter().any(|h| h == family) {
+            return Err(format!("family `{family}` has # TYPE but no # HELP"));
+        }
     }
     Ok(samples)
 }
@@ -713,14 +721,6 @@ pub fn self_check() -> Result<String, String> {
         }
     }
 
-    // Every tracepoint must have fired at least once.
-    let hub = kernel.trace();
-    for point in Tracepoint::ALL {
-        if hub.fired(point) == 0 {
-            return Err(fail("tracepoint coverage", format!("{point} never fired")));
-        }
-    }
-
     // The flight dump — read through securityfs, parsed by this module —
     // must replay the denial behind its situation transition, cleanly.
     let read_node = |name: &str| -> Result<String, String> {
@@ -772,6 +772,74 @@ pub fn self_check() -> Result<String, String> {
 
     let samples = validate_prometheus(&read_node("tracing/metrics")?)
         .map_err(|e| fail("prometheus validation", e))?;
+
+    // Fleet rollout coverage: stage this kernel through a one-cohort
+    // fleet so the five `fleet_rollout_*` tracepoints fire on its own
+    // hub — a promote run on clean telemetry, then a rollback run
+    // tripped by a denial spike of exactly the kind the flight already
+    // replayed. Runs after the flight checks so the extra control-plane
+    // records cannot evict the replayed transition from the ring.
+    {
+        use sack_fleet::{FleetAggregator, RolloutConfig, RolloutDriver, RolloutStatus};
+        let agg = FleetAggregator::new();
+        agg.register(&kernel, &sack, "vehicles");
+        let cohorts = vec!["vehicles".to_string()];
+        let mut promote = RolloutDriver::new(
+            Arc::clone(&agg),
+            cohorts.clone(),
+            POLICY,
+            POLICY,
+            RolloutConfig {
+                soak_ticks: 1,
+                ..RolloutConfig::default()
+            },
+        );
+        for _ in 0..8 {
+            if promote.finished() {
+                break;
+            }
+            promote.step();
+        }
+        if promote.status() != RolloutStatus::Promoted {
+            return Err(fail(
+                "fleet promote",
+                format!("expected promotion, got {}", promote.status()),
+            ));
+        }
+        let mut rollback = RolloutDriver::new(
+            Arc::clone(&agg),
+            cohorts,
+            POLICY,
+            POLICY,
+            RolloutConfig {
+                soak_ticks: 4,
+                ..RolloutConfig::default()
+            },
+        );
+        rollback.step(); // primes the baseline and pushes the candidate
+        for _ in 0..32 {
+            // Door writes in `normal` are denied: a synthetic canary spike.
+            let _ = app.open("/dev/car/door0", OpenFlags::write_only());
+        }
+        rollback.step();
+        match rollback.status() {
+            RolloutStatus::RolledBack { .. } => {}
+            other => {
+                return Err(fail(
+                    "fleet rollback",
+                    format!("expected rollback on the denial spike, got {other}"),
+                ));
+            }
+        }
+    }
+
+    // Every tracepoint must have fired at least once.
+    let hub = kernel.trace();
+    for point in Tracepoint::ALL {
+        if hub.fired(point) == 0 {
+            return Err(fail("tracepoint coverage", format!("{point} never fired")));
+        }
+    }
 
     Ok(format!(
         "self-check passed: {} tracepoints fired, flight replayed the denial \
@@ -1009,13 +1077,18 @@ mod tests {
 
     #[test]
     fn prometheus_validator_accepts_good_and_rejects_bad() {
-        let good = "# HELP x_total things\n# TYPE x counter\nx_total 3\n\
-                    # TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 2\nh_count 1\n";
+        let good = "# HELP x things\n# TYPE x counter\nx_total 3\n\
+                    # HELP h stuff\n# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 1\nh_sum 2\nh_count 1\n";
         assert_eq!(validate_prometheus(good).unwrap(), 4);
         assert!(validate_prometheus("orphan 1\n").is_err());
-        assert!(validate_prometheus("# TYPE x counter\nx_total nope\n").is_err());
-        assert!(validate_prometheus("# TYPE x counter\nx{a=b} 1\n").is_err());
+        assert!(validate_prometheus("# HELP x t\n# TYPE x counter\nx_total nope\n").is_err());
+        assert!(validate_prometheus("# HELP x t\n# TYPE x counter\nx{a=b} 1\n").is_err());
         assert!(validate_prometheus("").is_err());
+        // A family declared by TYPE but never described by HELP is rejected.
+        let helpless = "# TYPE x counter\nx_total 3\n";
+        let err = validate_prometheus(helpless).unwrap_err();
+        assert!(err.contains("no # HELP"), "{err}");
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod situation;
 pub mod ssm;
 pub mod statedfa;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 pub use audit::{AuditLog, AuditRecord};
@@ -97,4 +98,5 @@ pub use ssm::{
 };
 pub use statedfa::{StateDecision, StateDfa};
 pub use stats::{HistogramSnapshot, LatencyHistogram, ShardedCounter};
+pub use telemetry::{decode_hist_key, hist_key, TelemetrySnapshot, TELEMETRY_HIST_KEYS};
 pub use trace::{CacheFlag, FlightEntry, FlightRecorder, SackTracing};

@@ -387,7 +387,8 @@ impl Sack {
     ///
     /// securityfs registration errors.
     pub fn attach(self: &Arc<Self>, kernel: &Arc<Kernel>) -> Result<(), SackError> {
-        self.install_tracing(Arc::clone(kernel.trace()));
+        let tracing = self.install_tracing(Arc::clone(kernel.trace()));
+        tracing.set_instance(kernel.instance().0);
         self.install_event_plane(EventPlane::DEFAULT_CAPACITY, BackpressurePolicy::DropOldest);
         crate::sackfs::register(self, kernel)?;
         self.kernel.store(Some(Arc::downgrade(kernel)));

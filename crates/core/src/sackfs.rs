@@ -534,11 +534,19 @@ fn render_metrics_json(sack: &Arc<Sack>, tracing: &SackTracing) -> String {
     let flight = tracing.flight();
     let _ = write!(
         out,
-        "\"flight\":{{\"capacity\":{},\"total\":{},\"dropped\":{}}},",
+        "\"flight\":{{\"capacity\":{},\"total\":{},\"dropped\":{},",
         flight.capacity(),
         flight.total(),
         flight.dropped()
     );
+    out.push_str("\"dropped_by_producer\":{");
+    for (i, (producer, dropped)) in flight.dropped_by_producer().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{producer}\":{dropped}");
+    }
+    out.push_str("}},");
     if let Some(plane) = sack.event_plane() {
         let _ = write!(
             out,
@@ -1127,6 +1135,7 @@ mod tests {
         assert!(text.contains("\"enabled\":true"));
         assert!(text.contains("\"tracepoints\":{\"hook_enter\":"));
         assert!(text.contains("\"p95\":"), "{text}");
+        assert!(text.contains("\"dropped_by_producer\":{"), "{text}");
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! state, no allocation on the hot path.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -121,6 +121,9 @@ pub struct FlightRecorder {
     slots: Box<[FlightSlot]>,
     claimed: AtomicU64,
     overwritten: AtomicU64,
+    // Per-producer loss ledger. Only touched on the overflow path (a ring
+    // that never wraps never takes this lock), so a plain mutex is fine.
+    dropped_by: Mutex<BTreeMap<u64, u64>>,
 }
 
 impl FlightRecorder {
@@ -140,6 +143,7 @@ impl FlightRecorder {
                 .collect(),
             claimed: AtomicU64::new(0),
             overwritten: AtomicU64::new(0),
+            dropped_by: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -174,8 +178,21 @@ impl FlightRecorder {
         let mut slot = self.slots[(seq % cap) as usize].entry.lock();
         // A producer that claimed an older sequence but got here after being
         // lapped must not clobber the newer record.
-        if slot.as_ref().is_none_or(|existing| existing.seq < seq) {
-            *slot = Some(entry);
+        match slot.as_ref() {
+            None => *slot = Some(entry),
+            Some(existing) if existing.seq < seq => {
+                // Evicting a retained record: the loss belongs to the
+                // producer whose record is being overwritten.
+                let evicted = existing.producer;
+                *slot = Some(entry);
+                drop(slot);
+                *self.dropped_by.lock().entry(evicted).or_insert(0) += 1;
+            }
+            Some(_) => {
+                // Lapped: the incoming (older) record is the one discarded.
+                drop(slot);
+                *self.dropped_by.lock().entry(producer).or_insert(0) += 1;
+            }
         }
         seq
     }
@@ -188,6 +205,15 @@ impl FlightRecorder {
     /// Records overwritten before a reader could see them.
     pub fn dropped(&self) -> u64 {
         self.overwritten.load(Ordering::Relaxed)
+    }
+
+    /// Per-producer loss counts: how many of each producer's records were
+    /// evicted (or lap-discarded) before a reader saw them. The values sum
+    /// to [`FlightRecorder::dropped`] once all in-flight writes land, which
+    /// is what lets a ring-overflow detector localize the lossy producer
+    /// instead of only reporting a global count.
+    pub fn dropped_by_producer(&self) -> BTreeMap<u64, u64> {
+        self.dropped_by.lock().clone()
     }
 
     /// Snapshot of the retained records, oldest first (global-seq order).
@@ -287,7 +313,12 @@ impl RecorderState {
             | TraceEvent::AuditEmit { .. }
             | TraceEvent::SdsDrain { .. }
             | TraceEvent::SdsCoalesce { .. }
-            | TraceEvent::SdsBackpressure { .. } => {
+            | TraceEvent::SdsBackpressure { .. }
+            | TraceEvent::FleetRolloutBegin { .. }
+            | TraceEvent::FleetRolloutPush { .. }
+            | TraceEvent::FleetRolloutPromote { .. }
+            | TraceEvent::FleetRolloutRollback { .. }
+            | TraceEvent::FleetRolloutComplete { .. } => {
                 self.flight.record(event.clone());
             }
             // Per-frame hot path: counted by the hub, never flight-recorded
@@ -304,6 +335,12 @@ pub struct SackTracing {
     hub: Arc<TraceHub>,
     state: Arc<RecorderState>,
     handle: TraceHandle,
+    /// Fleet instance id of the kernel this recorder is attached to
+    /// (`0` = unset, e.g. a free-standing recorder in a bench).
+    instance: AtomicU64,
+    /// Monotonic generation stamped onto each telemetry capture, so deltas
+    /// can name exactly which capture they are relative to.
+    generation: AtomicU64,
 }
 
 impl SackTracing {
@@ -321,7 +358,31 @@ impl SackTracing {
         });
         let cb_state = Arc::clone(&state);
         let handle = hub.register_all(Arc::new(move |ev| cb_state.on_event(ev)));
-        Arc::new(SackTracing { hub, state, handle })
+        Arc::new(SackTracing {
+            hub,
+            state,
+            handle,
+            instance: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+        })
+    }
+
+    /// Stamps the fleet instance id of the kernel this recorder belongs to.
+    /// Called by `Sack::attach`; telemetry captured before attachment
+    /// carries instance 0 ("unset").
+    pub fn set_instance(&self, instance: u64) {
+        self.instance.store(instance, Ordering::Relaxed);
+    }
+
+    /// The stamped fleet instance id (0 when never attached).
+    pub fn instance(&self) -> u64 {
+        self.instance.load(Ordering::Relaxed)
+    }
+
+    /// Allocates the next telemetry generation. Each capture gets a fresh,
+    /// strictly increasing generation so delta replay can order captures.
+    pub fn next_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// The hub this recorder listens on.
@@ -574,6 +635,22 @@ mod tests {
         for pair in entries.windows(2) {
             assert!(pair[0].seq < pair[1].seq, "global seq regressed");
         }
+    }
+
+    #[test]
+    fn flight_per_producer_drop_ledger_sums_to_global() {
+        let ring = FlightRecorder::new(4);
+        for i in 0..10 {
+            ring.record(TraceEvent::RcuEpochBump { epoch: i });
+        }
+        let by = ring.dropped_by_producer();
+        assert_eq!(by.len(), 1, "single producer: one ledger entry");
+        let sum: u64 = by.values().sum();
+        assert_eq!(sum, ring.dropped(), "ledger must sum to the global count");
+        // A ring that never wraps keeps an empty ledger.
+        let quiet = FlightRecorder::new(8);
+        quiet.record(TraceEvent::RcuEpochBump { epoch: 0 });
+        assert!(quiet.dropped_by_producer().is_empty());
     }
 
     #[test]

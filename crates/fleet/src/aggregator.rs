@@ -1,0 +1,526 @@
+//! The fleet aggregator: metricsd-style pull-fold of per-instance
+//! telemetry into cohort and fleet rollups.
+//!
+//! Topology (DESIGN.md §13): every registered kernel instance keeps its own
+//! `SackTracing` recorder; on each [`FleetAggregator::tick`] the aggregator
+//! captures a [`TelemetrySnapshot`] per live instance, folds the captures
+//! into per-cohort rollups and one fleet-level snapshot, and remembers each
+//! instance's previous capture so the tick also yields exact per-cohort
+//! *deltas* — the stream the anomaly detectors consume. Snapshot merge is
+//! associative and commutative, so the fold order (per-cohort trees here, a
+//! flat serial fold in the differential tests) never changes the result.
+//!
+//! Membership is weak: a dead instance (its kernel or module dropped
+//! mid-fold) contributes its last capture to the cumulative rollup and is
+//! reported in `dead`, never unwrapped.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::{Mutex, RwLock};
+
+use sack_core::{Sack, SackTracing, TelemetrySnapshot};
+use sack_kernel::kernel::Kernel;
+use sack_kernel::trace::{TraceHub, Tracepoint};
+use sack_kernel::{InstanceId, InstanceRegistry};
+
+/// One member's aggregator-side state.
+struct Member {
+    cohort: String,
+    kernel: Weak<Kernel>,
+    sack: Weak<Sack>,
+    /// The member's previous capture, for per-tick deltas.
+    last: Mutex<Option<TelemetrySnapshot>>,
+}
+
+/// Per-cohort result of one aggregation tick.
+#[derive(Debug, Clone)]
+pub struct CohortReport {
+    /// Cohort label.
+    pub cohort: String,
+    /// Instances captured live this tick.
+    pub live: usize,
+    /// Registered instances whose kernel or module has died.
+    pub dead: usize,
+    /// Fold of every member's latest capture (monotone totals).
+    pub cumulative: TelemetrySnapshot,
+    /// Fold of every live member's change since the previous tick.
+    pub delta: TelemetrySnapshot,
+}
+
+/// Result of one [`FleetAggregator::tick`].
+#[derive(Debug, Clone)]
+pub struct FleetTick {
+    /// Monotonic tick number, starting at 1.
+    pub tick: u64,
+    /// Fold of every cohort's cumulative rollup.
+    pub fleet: TelemetrySnapshot,
+    /// Per-cohort rollups, keyed by cohort label.
+    pub cohorts: BTreeMap<String, CohortReport>,
+}
+
+/// The fleet-level telemetry plane: registry, tick folding and the single
+/// Prometheus endpoint for O(1000) in-process kernel instances.
+pub struct FleetAggregator {
+    /// Fleet-level control-plane hub: rollout decisions and fleet events
+    /// are emitted here (and mirrored to affected instances).
+    hub: Arc<TraceHub>,
+    /// Fleet-level recorder: flight-records every rollout decision.
+    tracing: Arc<SackTracing>,
+    registry: InstanceRegistry,
+    members: RwLock<BTreeMap<InstanceId, Member>>,
+    ticks: AtomicU64,
+    alerts: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl FleetAggregator {
+    /// Creates an empty aggregator with its own (enabled) fleet trace hub.
+    pub fn new() -> Arc<FleetAggregator> {
+        let hub = TraceHub::new();
+        hub.set_enabled(true);
+        let tracing = SackTracing::attach(Arc::clone(&hub));
+        Arc::new(FleetAggregator {
+            hub,
+            tracing,
+            registry: InstanceRegistry::new(),
+            members: RwLock::new(BTreeMap::new()),
+            ticks: AtomicU64::new(0),
+            alerts: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The fleet-level trace hub (carries the `fleet_rollout_*` family).
+    pub fn hub(&self) -> &Arc<TraceHub> {
+        &self.hub
+    }
+
+    /// The fleet-level recorder; its flight replays rollout decisions.
+    pub fn tracing(&self) -> &Arc<SackTracing> {
+        &self.tracing
+    }
+
+    /// The underlying kernel instance registry.
+    pub fn registry(&self) -> &InstanceRegistry {
+        &self.registry
+    }
+
+    /// Registers one kernel + its SACK module under `cohort`. Installs and
+    /// instance-stamps the module's tracing if the caller has not already
+    /// attached it. Holds only weak handles: the aggregator never keeps an
+    /// instance alive.
+    pub fn register(&self, kernel: &Arc<Kernel>, sack: &Arc<Sack>, cohort: &str) -> InstanceId {
+        let tracing = sack.install_tracing(Arc::clone(kernel.trace()));
+        tracing.set_instance(kernel.instance().0);
+        let id = self.registry.register(kernel, cohort);
+        self.members.write().insert(
+            id,
+            Member {
+                cohort: cohort.to_string(),
+                kernel: Arc::downgrade(kernel),
+                sack: Arc::downgrade(sack),
+                last: Mutex::new(None),
+            },
+        );
+        id
+    }
+
+    /// Registered member count (live or dead).
+    pub fn len(&self) -> usize {
+        self.members.read().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.members.read().is_empty()
+    }
+
+    /// The live SACK modules of one cohort, in instance order — the rollout
+    /// driver's push/rollback surface.
+    pub fn cohort_sacks(&self, cohort: &str) -> Vec<(InstanceId, Arc<Sack>)> {
+        self.members
+            .read()
+            .iter()
+            .filter(|(_, m)| m.cohort == cohort)
+            .filter_map(|(id, m)| m.sack.upgrade().map(|s| (*id, s)))
+            .collect()
+    }
+
+    /// The live trace hubs of one cohort — rollout decisions are mirrored
+    /// here so each instance's flight recorder explains its own policy flips.
+    pub fn cohort_hubs(&self, cohort: &str) -> Vec<Arc<TraceHub>> {
+        self.members
+            .read()
+            .values()
+            .filter(|m| m.cohort == cohort)
+            .filter_map(|m| m.kernel.upgrade().map(|k| Arc::clone(k.trace())))
+            .collect()
+    }
+
+    /// Every live member's trace hub.
+    pub fn all_hubs(&self) -> Vec<Arc<TraceHub>> {
+        self.members
+            .read()
+            .values()
+            .filter_map(|m| m.kernel.upgrade().map(|k| Arc::clone(k.trace())))
+            .collect()
+    }
+
+    /// Every live SACK module, in instance order.
+    pub fn all_sacks(&self) -> Vec<(InstanceId, Arc<Sack>)> {
+        self.members
+            .read()
+            .iter()
+            .filter_map(|(id, m)| m.sack.upgrade().map(|s| (*id, s)))
+            .collect()
+    }
+
+    /// The distinct cohort labels, sorted.
+    pub fn cohorts(&self) -> Vec<String> {
+        let mut labels: Vec<String> = self
+            .members
+            .read()
+            .values()
+            .map(|m| m.cohort.clone())
+            .collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+
+    /// Bumps the per-kind alert counter (exposed on the fleet endpoint).
+    pub fn record_alert(&self, kind: &'static str) {
+        *self.alerts.lock().entry(kind).or_insert(0) += 1;
+    }
+
+    /// The last flight-recorder entries of `cohort`'s lossiest live member
+    /// (falling back to its first), rendered — the replay excerpt attached
+    /// to a [`crate::FleetAlert`].
+    pub fn flight_excerpt(&self, cohort: &str, max_entries: usize) -> Vec<String> {
+        let members = self.members.read();
+        let mut best: Option<(u64, Arc<Sack>)> = None;
+        for member in members.values().filter(|m| m.cohort == cohort) {
+            let Some(sack) = member.sack.upgrade() else {
+                continue;
+            };
+            let dropped = sack
+                .tracing()
+                .map(|t| t.flight().dropped())
+                .unwrap_or_default();
+            if best.as_ref().is_none_or(|(d, _)| dropped > *d) {
+                best = Some((dropped, sack));
+            }
+        }
+        let Some((_, sack)) = best else {
+            return Vec::new();
+        };
+        let Some(tracing) = sack.tracing() else {
+            return Vec::new();
+        };
+        let entries = tracing.flight().snapshot();
+        entries
+            .iter()
+            .rev()
+            .take(max_entries)
+            .rev()
+            .map(|e| format!("seq={} producer={} {}", e.seq, e.producer, e.event))
+            .collect()
+    }
+
+    /// One aggregation tick: captures every live member, folds cohort and
+    /// fleet rollups, and advances each member's delta base. Dead members
+    /// contribute their last capture to the cumulative fold and are counted
+    /// in `dead` — never unwrapped, never a panic.
+    pub fn tick(&self) -> FleetTick {
+        let tick = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        let members = self.members.read();
+        let mut cohorts: BTreeMap<String, CohortReport> = BTreeMap::new();
+        for member in members.values() {
+            let report = cohorts
+                .entry(member.cohort.clone())
+                .or_insert_with(|| CohortReport {
+                    cohort: member.cohort.clone(),
+                    live: 0,
+                    dead: 0,
+                    cumulative: TelemetrySnapshot::default(),
+                    delta: TelemetrySnapshot::default(),
+                });
+            let mut last = member.last.lock();
+            // `kernel` going away also counts as death even if the module
+            // Arc is still held somewhere: the vehicle is gone.
+            let alive = member.kernel.strong_count() > 0;
+            let tracing = member.sack.upgrade().filter(|_| alive).and_then(|sack| {
+                // One instance can momentarily lack tracing if the caller
+                // raced registration; treat it as dead for this tick.
+                sack.tracing().cloned()
+            });
+            match tracing {
+                Some(tracing) => {
+                    let snapshot = TelemetrySnapshot::capture(&tracing);
+                    let delta = match last.as_ref() {
+                        Some(prev) => snapshot.delta_since(prev),
+                        None => snapshot.clone(),
+                    };
+                    report.live += 1;
+                    report.cumulative.merge(&snapshot);
+                    report.delta.merge(&delta);
+                    *last = Some(snapshot);
+                }
+                None => {
+                    report.dead += 1;
+                    if let Some(prev) = last.as_ref() {
+                        report.cumulative.merge(prev);
+                    }
+                }
+            }
+        }
+        drop(members);
+        let mut fleet = TelemetrySnapshot::default();
+        for report in cohorts.values() {
+            fleet.merge(&report.cumulative);
+        }
+        FleetTick {
+            tick,
+            fleet,
+            cohorts,
+        }
+    }
+
+    /// Ticks completed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Renders the fleet Prometheus endpoint: every family carries
+    /// `# HELP`/`# TYPE`, rollups are labelled by `cohort`, and the
+    /// per-instance families by `instance` + `cohort`. Scraping performs a
+    /// fresh fold without advancing the detector delta bases.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let members = self.members.read();
+
+        // Capture without touching `last`: scrapes must not eat the deltas
+        // the detectors are watching.
+        struct Row {
+            instance: u64,
+            cohort: String,
+            snap: Option<TelemetrySnapshot>,
+        }
+        let rows: Vec<Row> = members
+            .iter()
+            .map(|(id, m)| Row {
+                instance: id.0,
+                cohort: m.cohort.clone(),
+                snap: match (m.kernel.strong_count() > 0, m.sack.upgrade()) {
+                    (true, Some(sack)) => sack.tracing().map(|t| TelemetrySnapshot::capture(t)),
+                    _ => m.last.lock().clone(),
+                },
+            })
+            .collect();
+        drop(members);
+
+        let mut by_cohort: BTreeMap<&str, (usize, usize, TelemetrySnapshot)> = BTreeMap::new();
+        let mut fleet = TelemetrySnapshot::default();
+        for row in &rows {
+            let entry = row.cohort.as_str();
+            let slot = by_cohort
+                .entry(entry)
+                .or_insert_with(|| (0, 0, TelemetrySnapshot::default()));
+            match &row.snap {
+                Some(snap) => {
+                    slot.0 += 1;
+                    slot.2.merge(snap);
+                    fleet.merge(snap);
+                }
+                None => slot.1 += 1,
+            }
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP sack_fleet_instances Live registered instances per cohort."
+        );
+        let _ = writeln!(out, "# TYPE sack_fleet_instances gauge");
+        for (cohort, (live, _, _)) in &by_cohort {
+            let _ = writeln!(out, "sack_fleet_instances{{cohort=\"{cohort}\"}} {live}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP sack_fleet_instances_dead Registered instances whose kernel died."
+        );
+        let _ = writeln!(out, "# TYPE sack_fleet_instances_dead gauge");
+        for (cohort, (_, dead, _)) in &by_cohort {
+            let _ = writeln!(
+                out,
+                "sack_fleet_instances_dead{{cohort=\"{cohort}\"}} {dead}"
+            );
+        }
+        let _ = writeln!(out, "# HELP sack_fleet_ticks Aggregation ticks completed.");
+        let _ = writeln!(out, "# TYPE sack_fleet_ticks counter");
+        let _ = writeln!(out, "sack_fleet_ticks {}", self.ticks());
+        let _ = writeln!(
+            out,
+            "# HELP sack_fleet_alerts_total Fleet alerts raised per detector kind."
+        );
+        let _ = writeln!(out, "# TYPE sack_fleet_alerts_total counter");
+        for (kind, count) in self.alerts.lock().iter() {
+            let _ = writeln!(out, "sack_fleet_alerts_total{{kind=\"{kind}\"}} {count}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP sack_fleet_tracepoint_fired_total Fleet-wide events per tracepoint."
+        );
+        let _ = writeln!(out, "# TYPE sack_fleet_tracepoint_fired_total counter");
+        for point in Tracepoint::ALL {
+            let _ = writeln!(
+                out,
+                "sack_fleet_tracepoint_fired_total{{point=\"{}\"}} {}",
+                point.name(),
+                fleet.point(point)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP sack_fleet_denials_total Hook denials per cohort."
+        );
+        let _ = writeln!(out, "# TYPE sack_fleet_denials_total counter");
+        for (cohort, (_, _, snap)) in &by_cohort {
+            let _ = writeln!(
+                out,
+                "sack_fleet_denials_total{{cohort=\"{cohort}\"}} {}",
+                snap.denials()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP sack_fleet_transitions_total SSM transitions per cohort."
+        );
+        let _ = writeln!(out, "# TYPE sack_fleet_transitions_total counter");
+        for (cohort, (_, _, snap)) in &by_cohort {
+            let _ = writeln!(
+                out,
+                "sack_fleet_transitions_total{{cohort=\"{cohort}\"}} {}",
+                snap.transitions()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP sack_fleet_flight_dropped_total Flight records lost per cohort."
+        );
+        let _ = writeln!(out, "# TYPE sack_fleet_flight_dropped_total counter");
+        for (cohort, (_, _, snap)) in &by_cohort {
+            let _ = writeln!(
+                out,
+                "sack_fleet_flight_dropped_total{{cohort=\"{cohort}\"}} {}",
+                snap.flight_dropped
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP sack_fleet_instance_hook_exits_total Hook dispatches per instance."
+        );
+        let _ = writeln!(out, "# TYPE sack_fleet_instance_hook_exits_total counter");
+        for row in &rows {
+            if let Some(snap) = &row.snap {
+                let _ = writeln!(
+                    out,
+                    "sack_fleet_instance_hook_exits_total{{instance=\"{}\",cohort=\"{}\"}} {}",
+                    row.instance,
+                    row.cohort,
+                    snap.hook_exits()
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP sack_fleet_instance_denials_total Hook denials per instance."
+        );
+        let _ = writeln!(out, "# TYPE sack_fleet_instance_denials_total counter");
+        for row in &rows {
+            if let Some(snap) = &row.snap {
+                let _ = writeln!(
+                    out,
+                    "sack_fleet_instance_denials_total{{instance=\"{}\",cohort=\"{}\"}} {}",
+                    row.instance,
+                    row.cohort,
+                    snap.denials()
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP sack_fleet_hook_latency_ns Hook dispatch latency per cohort, nanoseconds."
+        );
+        let _ = writeln!(out, "# TYPE sack_fleet_hook_latency_ns histogram");
+        for (cohort, (_, _, snap)) in &by_cohort {
+            let hist = snap.hook_latency();
+            let mut cumulative = 0u64;
+            for (i, n) in hist.buckets.iter().enumerate() {
+                cumulative += n;
+                if *n > 0 {
+                    let _ = writeln!(
+                        out,
+                        "sack_fleet_hook_latency_ns_bucket{{cohort=\"{cohort}\",le=\"{}\"}} {cumulative}",
+                        sack_core::stats::bucket_upper_bound(i)
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "sack_fleet_hook_latency_ns_bucket{{cohort=\"{cohort}\",le=\"+Inf\"}} {cumulative}"
+            );
+            let _ = writeln!(
+                out,
+                "sack_fleet_hook_latency_ns_sum{{cohort=\"{cohort}\"}} {}",
+                hist.sum
+            );
+            let _ = writeln!(
+                out,
+                "sack_fleet_hook_latency_ns_count{{cohort=\"{cohort}\"}} {cumulative}"
+            );
+        }
+        let fleet_hist = fleet.hook_latency();
+        let _ = writeln!(
+            out,
+            "# HELP sack_fleet_hook_latency_p50_ns Fleet-level hook latency p50."
+        );
+        let _ = writeln!(out, "# TYPE sack_fleet_hook_latency_p50_ns gauge");
+        let _ = writeln!(
+            out,
+            "sack_fleet_hook_latency_p50_ns {}",
+            fleet_hist.percentile(0.50)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP sack_fleet_hook_latency_p95_ns Fleet-level hook latency p95."
+        );
+        let _ = writeln!(out, "# TYPE sack_fleet_hook_latency_p95_ns gauge");
+        let _ = writeln!(
+            out,
+            "sack_fleet_hook_latency_p95_ns {}",
+            fleet_hist.percentile(0.95)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP sack_fleet_hook_latency_p99_ns Fleet-level hook latency p99."
+        );
+        let _ = writeln!(out, "# TYPE sack_fleet_hook_latency_p99_ns gauge");
+        let _ = writeln!(
+            out,
+            "sack_fleet_hook_latency_p99_ns {}",
+            fleet_hist.percentile(0.99)
+        );
+        out
+    }
+}
+
+impl fmt::Debug for FleetAggregator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetAggregator")
+            .field("members", &self.len())
+            .field("ticks", &self.ticks())
+            .finish()
+    }
+}

@@ -1,0 +1,328 @@
+//! Health-gated staged policy rollout.
+//!
+//! The driver pushes a candidate policy to the first (canary) cohort, then
+//! watches the anomaly detectors over a configurable soak window; each
+//! clean window promotes the next cohort, and *any* alert anywhere in the
+//! fleet republishes the prior `ActivePolicy` (through the existing RCU
+//! reload path) on every upgraded instance. Every decision — begin, push,
+//! promote, rollback, complete — is emitted as a `fleet_rollout_*`
+//! tracepoint on the fleet hub and mirrored to the affected instances'
+//! hubs, so both the fleet flight recorder and each instance's own ring
+//! explain why its policy changed.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sack_kernel::trace::TraceEvent;
+
+use crate::aggregator::FleetAggregator;
+use crate::detect::{DetectorBank, DetectorConfig, FleetAlert};
+
+/// Monotonic rollout identifier source.
+static NEXT_ROLLOUT: AtomicU64 = AtomicU64::new(1);
+
+/// Knobs for one staged rollout.
+#[derive(Debug, Clone)]
+pub struct RolloutConfig {
+    /// Clean aggregation ticks a cohort must soak before promotion.
+    pub soak_ticks: u64,
+    /// Detector thresholds used for the health gate.
+    pub detectors: DetectorConfig,
+}
+
+impl Default for RolloutConfig {
+    fn default() -> RolloutConfig {
+        RolloutConfig {
+            soak_ticks: 3,
+            detectors: DetectorConfig::default(),
+        }
+    }
+}
+
+/// Where a rollout currently stands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RolloutStatus {
+    /// The candidate is live on `cohort`, which has soaked `ticks_clean`
+    /// of the required window.
+    Soaking {
+        /// Cohort currently under observation.
+        cohort: String,
+        /// Clean ticks accumulated so far.
+        ticks_clean: u64,
+    },
+    /// Every cohort promoted; the candidate is fleet-wide.
+    Promoted,
+    /// An alert fired; every upgraded instance runs the prior policy again.
+    RolledBack {
+        /// The cohort the triggering alert named.
+        cohort: String,
+        /// Rendering of the triggering alert.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RolloutStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RolloutStatus::Soaking {
+                cohort,
+                ticks_clean,
+            } => write!(f, "soaking cohort={cohort} clean={ticks_clean}"),
+            RolloutStatus::Promoted => f.write_str("promoted"),
+            RolloutStatus::RolledBack { cohort, reason } => {
+                write!(f, "rolled back at cohort={cohort}: {reason}")
+            }
+        }
+    }
+}
+
+enum Stage {
+    NotStarted,
+    Soaking { cohort_idx: usize, ticks_clean: u64 },
+    Done { promoted: bool },
+}
+
+/// Drives one candidate policy cohort-by-cohort across the fleet with the
+/// detectors as the promotion gate.
+pub struct RolloutDriver {
+    id: u64,
+    aggregator: Arc<FleetAggregator>,
+    /// Stage order; index 0 is the canary.
+    cohorts: Vec<String>,
+    candidate: String,
+    prior: String,
+    config: RolloutConfig,
+    bank: DetectorBank,
+    stage: Stage,
+    /// Indices into `cohorts` currently running the candidate.
+    upgraded: Vec<usize>,
+    alerts: Vec<FleetAlert>,
+}
+
+impl RolloutDriver {
+    /// Plans a rollout of `candidate` over `cohorts` (canary first),
+    /// remembering `prior` as the rollback target.
+    pub fn new(
+        aggregator: Arc<FleetAggregator>,
+        cohorts: Vec<String>,
+        candidate: &str,
+        prior: &str,
+        config: RolloutConfig,
+    ) -> RolloutDriver {
+        RolloutDriver {
+            id: NEXT_ROLLOUT.fetch_add(1, Ordering::Relaxed),
+            aggregator,
+            cohorts,
+            candidate: candidate.to_string(),
+            prior: prior.to_string(),
+            bank: DetectorBank::new(config.detectors.clone()),
+            config,
+            stage: Stage::NotStarted,
+            upgraded: Vec::new(),
+            alerts: Vec::new(),
+        }
+    }
+
+    /// This rollout's identifier (stamped on every tracepoint it emits).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Every alert observed so far, in firing order.
+    pub fn alerts(&self) -> &[FleetAlert] {
+        &self.alerts
+    }
+
+    /// Current status.
+    pub fn status(&self) -> RolloutStatus {
+        match &self.stage {
+            Stage::NotStarted => RolloutStatus::Soaking {
+                cohort: self.cohorts.first().cloned().unwrap_or_default(),
+                ticks_clean: 0,
+            },
+            Stage::Soaking {
+                cohort_idx,
+                ticks_clean,
+            } => RolloutStatus::Soaking {
+                cohort: self.cohorts[*cohort_idx].clone(),
+                ticks_clean: *ticks_clean,
+            },
+            Stage::Done { promoted: true } => RolloutStatus::Promoted,
+            Stage::Done { promoted: false } => match self.alerts.first() {
+                Some(alert) => RolloutStatus::RolledBack {
+                    cohort: alert.cohort.clone(),
+                    reason: alert.to_string(),
+                },
+                None => RolloutStatus::RolledBack {
+                    cohort: String::new(),
+                    reason: "rollout aborted".to_string(),
+                },
+            },
+        }
+    }
+
+    /// True once the rollout has promoted everywhere or rolled back.
+    pub fn finished(&self) -> bool {
+        matches!(self.stage, Stage::Done { .. })
+    }
+
+    /// Advances the rollout by one aggregation tick.
+    ///
+    /// The first call primes the detector baselines from current traffic,
+    /// emits `fleet_rollout_begin`, and pushes the candidate to the canary
+    /// cohort. Each later call folds the fleet, runs the detectors, and
+    /// either extends the soak, promotes the next cohort, or rolls the
+    /// whole fleet back. Callers drive hook traffic between steps.
+    pub fn step(&mut self) -> RolloutStatus {
+        match self.stage {
+            Stage::Done { .. } => return self.status(),
+            Stage::NotStarted => {
+                // Baseline-priming fold: the first observation of each
+                // cohort seeds its EWMA without alerting.
+                let tick = self.aggregator.tick();
+                let _ = self.bank.observe(&tick, &self.aggregator);
+                self.emit_all(TraceEvent::FleetRolloutBegin {
+                    rollout: self.id,
+                    cohorts: self.cohorts.len(),
+                });
+                self.push(0);
+                self.stage = Stage::Soaking {
+                    cohort_idx: 0,
+                    ticks_clean: 0,
+                };
+                return self.status();
+            }
+            Stage::Soaking { .. } => {}
+        }
+
+        let tick = self.aggregator.tick();
+        let alerts = self.bank.observe(&tick, &self.aggregator);
+        if !alerts.is_empty() {
+            self.alerts.extend(alerts);
+            self.rollback();
+            return self.status();
+        }
+
+        let Stage::Soaking {
+            cohort_idx,
+            ticks_clean,
+        } = &mut self.stage
+        else {
+            unreachable!("soaking checked above");
+        };
+        *ticks_clean += 1;
+        if *ticks_clean < self.config.soak_ticks {
+            return self.status();
+        }
+
+        // Clean window: promote this cohort and push the next (or finish).
+        let idx = *cohort_idx;
+        let cohort = self.cohorts[idx].clone();
+        let soak = *ticks_clean;
+        self.emit_cohort(
+            &cohort,
+            TraceEvent::FleetRolloutPromote {
+                rollout: self.id,
+                cohort: cohort.clone(),
+                soak_ticks: soak,
+            },
+        );
+        if idx + 1 < self.cohorts.len() {
+            self.push(idx + 1);
+            self.stage = Stage::Soaking {
+                cohort_idx: idx + 1,
+                ticks_clean: 0,
+            };
+        } else {
+            self.emit_all(TraceEvent::FleetRolloutComplete {
+                rollout: self.id,
+                promoted: true,
+            });
+            self.stage = Stage::Done { promoted: true };
+        }
+        self.status()
+    }
+
+    /// Publishes the candidate on every live instance of cohort `idx`.
+    fn push(&mut self, idx: usize) {
+        let cohort = self.cohorts[idx].clone();
+        let sacks = self.aggregator.cohort_sacks(&cohort);
+        let mut pushed = 0usize;
+        for (_, sack) in &sacks {
+            if sack.reload_policy(&self.candidate).is_ok() {
+                pushed += 1;
+            }
+        }
+        self.upgraded.push(idx);
+        self.emit_cohort(
+            &cohort,
+            TraceEvent::FleetRolloutPush {
+                rollout: self.id,
+                cohort: cohort.clone(),
+                instances: pushed,
+            },
+        );
+    }
+
+    /// Republishes the prior policy on every upgraded cohort (newest
+    /// first), emitting one rollback decision per cohort.
+    fn rollback(&mut self) {
+        let reason = self
+            .alerts
+            .first()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        for idx in self.upgraded.clone().into_iter().rev() {
+            let cohort = self.cohorts[idx].clone();
+            let sacks = self.aggregator.cohort_sacks(&cohort);
+            let mut reverted = 0usize;
+            for (_, sack) in &sacks {
+                if sack.reload_policy(&self.prior).is_ok() {
+                    reverted += 1;
+                }
+            }
+            self.emit_cohort(
+                &cohort,
+                TraceEvent::FleetRolloutRollback {
+                    rollout: self.id,
+                    cohort: cohort.clone(),
+                    reason: reason.clone(),
+                    instances: reverted,
+                },
+            );
+        }
+        self.upgraded.clear();
+        self.emit_all(TraceEvent::FleetRolloutComplete {
+            rollout: self.id,
+            promoted: false,
+        });
+        self.stage = Stage::Done { promoted: false };
+    }
+
+    /// Emits on the fleet hub and every member hub.
+    fn emit_all(&self, event: TraceEvent) {
+        self.aggregator.hub().emit(&event);
+        for hub in self.aggregator.all_hubs() {
+            hub.emit(&event);
+        }
+    }
+
+    /// Emits on the fleet hub and the named cohort's member hubs.
+    fn emit_cohort(&self, cohort: &str, event: TraceEvent) {
+        self.aggregator.hub().emit(&event);
+        for hub in self.aggregator.cohort_hubs(cohort) {
+            hub.emit(&event);
+        }
+    }
+}
+
+impl fmt::Debug for RolloutDriver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RolloutDriver")
+            .field("id", &self.id)
+            .field("cohorts", &self.cohorts)
+            .field("status", &self.status())
+            .finish()
+    }
+}

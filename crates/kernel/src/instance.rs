@@ -1,0 +1,197 @@
+//! Fleet instance identity and registry.
+//!
+//! Every booted [`Kernel`](crate::kernel::Kernel) is stamped with a
+//! process-wide-unique, monotonic [`InstanceId`] — the fleet analogue of a
+//! vehicle's VIN. The telemetry plane (`sack-fleet`) keys every exported
+//! snapshot by this id, so aggregation trees can merge partial folds from
+//! any subset of instances without collisions.
+//!
+//! [`InstanceRegistry`] is the aggregator-side membership table: it holds
+//! only [`Weak`] kernel handles grouped into named cohorts, so a registered
+//! instance that shuts down (its last `Arc` dropped) simply vanishes from
+//! the next fold instead of pinning the kernel alive or panicking the
+//! aggregation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::RwLock;
+
+use crate::kernel::Kernel;
+
+/// Process-wide monotonic id source; instance 0 is reserved as "unset".
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+/// Unique identity of one booted kernel instance (one vehicle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId(pub u64);
+
+impl InstanceId {
+    /// The reserved "no instance" id, used by telemetry captured from a
+    /// tracing layer that was never attached to a booted kernel.
+    pub const UNSET: InstanceId = InstanceId(0);
+
+    /// Allocates the next process-wide-unique instance id.
+    pub fn next() -> InstanceId {
+        InstanceId(NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One registered fleet member: a weak kernel handle plus its cohort label.
+#[derive(Debug, Clone)]
+pub struct InstanceEntry {
+    /// The member's instance id (denormalised so a dead handle still names
+    /// itself in diagnostics).
+    pub id: InstanceId,
+    /// Cohort label the member was registered under.
+    pub cohort: String,
+    /// The kernel, held weakly: a dead instance is skipped, never unwrapped.
+    pub kernel: Weak<Kernel>,
+}
+
+/// Aggregator-side membership table, grouped into named cohorts.
+///
+/// Registration never takes ownership: the registry holds [`Weak`] handles,
+/// so instance shutdown mid-fold is a skip, not an error.
+#[derive(Default)]
+pub struct InstanceRegistry {
+    members: RwLock<BTreeMap<InstanceId, InstanceEntry>>,
+}
+
+impl InstanceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> InstanceRegistry {
+        InstanceRegistry::default()
+    }
+
+    /// Registers `kernel` under `cohort`, keyed by its instance id.
+    /// Re-registering the same instance moves it to the new cohort.
+    pub fn register(&self, kernel: &Arc<Kernel>, cohort: &str) -> InstanceId {
+        let id = kernel.instance();
+        self.members.write().insert(
+            id,
+            InstanceEntry {
+                id,
+                cohort: cohort.to_string(),
+                kernel: Arc::downgrade(kernel),
+            },
+        );
+        id
+    }
+
+    /// Removes an instance; unknown ids are ignored.
+    pub fn unregister(&self, id: InstanceId) {
+        self.members.write().remove(&id);
+    }
+
+    /// Registered member count, live or dead.
+    pub fn len(&self) -> usize {
+        self.members.read().len()
+    }
+
+    /// True when no instance is registered.
+    pub fn is_empty(&self) -> bool {
+        self.members.read().is_empty()
+    }
+
+    /// Snapshot of every entry, in instance-id order.
+    pub fn entries(&self) -> Vec<InstanceEntry> {
+        self.members.read().values().cloned().collect()
+    }
+
+    /// Snapshot of the entries of one cohort, in instance-id order.
+    pub fn cohort_entries(&self, cohort: &str) -> Vec<InstanceEntry> {
+        self.members
+            .read()
+            .values()
+            .filter(|e| e.cohort == cohort)
+            .cloned()
+            .collect()
+    }
+
+    /// The distinct cohort labels, sorted.
+    pub fn cohorts(&self) -> Vec<String> {
+        let mut labels: Vec<String> = self
+            .members
+            .read()
+            .values()
+            .map(|e| e.cohort.clone())
+            .collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+
+    /// Drops entries whose kernel has died; returns how many were reaped.
+    pub fn reap_dead(&self) -> usize {
+        let mut members = self.members.write();
+        let before = members.len();
+        members.retain(|_, e| e.kernel.strong_count() > 0);
+        before - members.len()
+    }
+}
+
+impl fmt::Debug for InstanceRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let members = self.members.read();
+        f.debug_struct("InstanceRegistry")
+            .field("members", &members.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+
+    #[test]
+    fn boot_assigns_unique_monotonic_ids() {
+        let a = KernelBuilder::new().boot();
+        let b = KernelBuilder::new().boot();
+        assert_ne!(a.instance(), b.instance());
+        assert!(a.instance() < b.instance());
+        assert_ne!(a.instance(), InstanceId::UNSET);
+    }
+
+    #[test]
+    fn registry_groups_cohorts_and_reaps_dead() {
+        let registry = InstanceRegistry::new();
+        let a = KernelBuilder::new().boot();
+        let b = KernelBuilder::new().boot();
+        registry.register(&a, "canary");
+        registry.register(&b, "wave-1");
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.cohorts(), vec!["canary", "wave-1"]);
+        assert_eq!(registry.cohort_entries("canary").len(), 1);
+
+        drop(b);
+        // The dead entry is still listed until reaped, but upgrades fail.
+        let dead: Vec<_> = registry
+            .entries()
+            .into_iter()
+            .filter(|e| e.kernel.upgrade().is_none())
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(registry.reap_dead(), 1);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn reregistering_moves_cohort() {
+        let registry = InstanceRegistry::new();
+        let a = KernelBuilder::new().boot();
+        registry.register(&a, "canary");
+        registry.register(&a, "wave-1");
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.cohorts(), vec!["wave-1"]);
+    }
+}

@@ -33,6 +33,7 @@ pub mod cred;
 pub mod device;
 pub mod error;
 pub mod file;
+pub mod instance;
 pub mod ipc;
 pub mod kernel;
 pub mod lsm;
@@ -51,6 +52,7 @@ pub mod vfs;
 
 pub use cred::{Capability, CapabilitySet, Credentials, Gid, Uid};
 pub use error::{Errno, KernelError, KernelResult};
+pub use instance::{InstanceEntry, InstanceId, InstanceRegistry};
 pub use kernel::{Kernel, KernelBuilder};
 pub use lsm::{AccessMask, HookCtx, ObjectKind, ObjectRef, SecurityModule, SocketFamily};
 pub use path::KPath;

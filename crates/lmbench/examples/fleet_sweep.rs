@@ -1,0 +1,108 @@
+//! Fleet aggregation-cost sweep runner (DESIGN.md §13): fold latency per
+//! fleet size, plus the warm-hook p50 impact of active scraping.
+//!
+//! Usage:
+//!   cargo run --release -p sack-lmbench --example fleet_sweep -- \
+//!       [--instances 64,256,1024] [--json PATH] [--smoke]
+//!
+//! Prints the human table, then machine-readable `fleet_meta` /
+//! `fleet_point` / `fleet_warm_impact` lines for `scripts/bench_gate.sh`.
+//! With `--json PATH`, also writes the `fleet` block spliced into
+//! `BENCH_hook_latency.json`. With `--smoke`, runs the 64-instance
+//! rollback end-to-end instead and exits non-zero on failure.
+
+use sack_lmbench::{render_fleet_sweep, run_fleet_smoke, run_fleet_sweep, FleetSweep};
+
+fn main() {
+    let mut instances: Vec<usize> = vec![64, 256, 1024];
+    let mut json_path: Option<String> = None;
+    let mut smoke = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--instances" => {
+                i += 1;
+                instances = args[i]
+                    .split(',')
+                    .map(|n| n.parse().expect("--instances takes e.g. 64,256,1024"))
+                    .collect();
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args[i].clone());
+            }
+            "--smoke" => smoke = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+
+    if smoke {
+        match run_fleet_smoke() {
+            Ok(report) => print!("{report}"),
+            Err(message) => {
+                eprintln!("fleet_sweep: {message}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let sweep = run_fleet_sweep(&instances);
+    print!("{}", render_fleet_sweep(&sweep));
+
+    println!("fleet_meta points={}", sweep.points.len());
+    for point in &sweep.points {
+        println!(
+            "fleet_point instances={} fold_ns={} fold_per_instance_ns={}",
+            point.instances, point.fold_ns, point.fold_per_instance_ns
+        );
+    }
+    println!("fleet_warm_impact value={:.3}", sweep.warm_impact());
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, fleet_json(&sweep)).expect("write --json output");
+    }
+}
+
+/// The `fleet` block of `BENCH_hook_latency.json`, hand-rendered (the
+/// repo vendors no serde; the schema is validated by
+/// `scripts/validate_bench_json.py`).
+fn fleet_json(sweep: &FleetSweep) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let counts: Vec<String> = sweep
+        .points
+        .iter()
+        .map(|p| p.instances.to_string())
+        .collect();
+    out.push_str(&format!(
+        "    \"instance_counts\": [{}],\n",
+        counts.join(", ")
+    ));
+    out.push_str("    \"points\": {\n");
+    for (i, point) in sweep.points.iter().enumerate() {
+        let comma = if i + 1 < sweep.points.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      \"i{}\": {{ \"fold_ns\": {}, \"fold_per_instance_ns\": {} }}{comma}\n",
+            point.instances, point.fold_ns, point.fold_per_instance_ns
+        ));
+    }
+    out.push_str("    },\n");
+    out.push_str(&format!(
+        "    \"warm_base_p50_ns\": {},\n",
+        sweep.warm_base_p50_ns
+    ));
+    out.push_str(&format!(
+        "    \"warm_scraped_p50_ns\": {},\n",
+        sweep.warm_scraped_p50_ns
+    ));
+    out.push_str(&format!(
+        "    \"warm_impact\": {:.3}\n",
+        sweep.warm_impact()
+    ));
+    out.push_str("  }");
+    out
+}

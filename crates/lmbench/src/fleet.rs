@@ -1,0 +1,328 @@
+//! Fleet aggregation-cost sweep and rollout smoke test (DESIGN.md §13).
+//!
+//! Two questions the fleet telemetry plane must answer with numbers:
+//!
+//! * **What does a fold cost?** For each fleet size the sweep boots that
+//!   many attached kernel instances, drives warm traffic through every
+//!   one, and times [`FleetAggregator::tick`] — a full capture-and-merge
+//!   of every instance's histograms, counters and flight totals.
+//! * **What does scraping cost the data plane?** A fixed-size fleet runs
+//!   a warm-hook p50 probe on one member twice: once idle, once while a
+//!   background thread scrapes the Prometheus endpoint (each scrape is a
+//!   fresh fold) as fast as it can. The bench gate holds the ratio to
+//!   `MAX_FLEET_WARM_IMPACT`: observing the fleet must not slow it.
+//!
+//! [`run_fleet_smoke`] is the `check.sh` end-to-end: 64 instances in 4
+//! cohorts, mixed traffic, a denial spike injected into the canary
+//! mid-rollout — the rollout must roll back within one soak window and
+//! the tree-folded fleet p99 must equal a flat serial fold's p99.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use sack_core::{LatencyHistogram, Sack, TelemetrySnapshot};
+use sack_fleet::{FleetAggregator, RolloutConfig, RolloutDriver, RolloutStatus};
+use sack_kernel::cred::Credentials;
+use sack_kernel::kernel::{Kernel, KernelBuilder};
+use sack_kernel::lsm::{AccessMask, HookCtx, ObjectRef, SecurityModule};
+use sack_kernel::path::KPath;
+use sack_kernel::trace::Tracepoint;
+use sack_kernel::types::Pid;
+
+/// The sweep's policy: read grants on the car tree in every situation.
+const FLEET_POLICY: &str = r#"
+    states { normal = 0; emergency = 1; }
+    events { crash; rescue_done; }
+    transitions { normal -crash-> emergency; emergency -rescue_done-> normal; }
+    initial normal;
+    permissions { CAR; }
+    state_per { normal: CAR; emergency: CAR; }
+    per_rules { CAR: allow subject=* /dev/car/** r; }
+"#;
+
+/// Warm hook dispatches per instance before a fold is timed.
+const WARMUP_HOOKS: usize = 32;
+/// Fold timings per point; the minimum is reported.
+const FOLD_REPS: usize = 5;
+/// Hook dispatches per warm-probe measurement.
+const WARM_PROBE_ITERS: usize = 20_000;
+/// Fleet size behind the warm-probe overhead measurement.
+const WARM_PROBE_FLEET: usize = 64;
+
+/// One measured fleet size.
+#[derive(Debug, Clone)]
+pub struct FleetPoint {
+    /// Registered kernel instances.
+    pub instances: usize,
+    /// Best-of-[`FOLD_REPS`] wall time of one full aggregation tick (ns).
+    pub fold_ns: u64,
+    /// `fold_ns / instances` — the marginal cost of one more vehicle.
+    pub fold_per_instance_ns: u64,
+}
+
+/// Results of [`run_fleet_sweep`].
+#[derive(Debug, Clone)]
+pub struct FleetSweep {
+    /// One point per requested fleet size, in order.
+    pub points: Vec<FleetPoint>,
+    /// Warm-hook p50 on a member of an idle [`WARM_PROBE_FLEET`]-instance
+    /// fleet (nanoseconds).
+    pub warm_base_p50_ns: u64,
+    /// The same probe while the endpoint is scraped continuously (ns).
+    pub warm_scraped_p50_ns: u64,
+}
+
+impl FleetSweep {
+    /// Warm-hook p50 ratio, scraped over idle. The bench gate requires
+    /// this ≤ `MAX_FLEET_WARM_IMPACT`: the pull-fold must never stall
+    /// the per-instance hook path.
+    pub fn warm_impact(&self) -> f64 {
+        self.warm_scraped_p50_ns as f64 / (self.warm_base_p50_ns.max(1)) as f64
+    }
+
+    /// The measured fold latency at `instances`, if swept.
+    pub fn fold_ns_at(&self, instances: usize) -> Option<u64> {
+        self.points
+            .iter()
+            .find(|p| p.instances == instances)
+            .map(|p| p.fold_ns)
+    }
+}
+
+fn boot() -> (Arc<Kernel>, Arc<Sack>) {
+    let sack = Sack::independent(FLEET_POLICY).expect("fleet policy must compile");
+    let kernel = KernelBuilder::new()
+        .security_module(Arc::clone(&sack) as Arc<dyn SecurityModule>)
+        .boot();
+    sack.attach(&kernel).expect("attach");
+    kernel.trace().set_enabled(true);
+    (kernel, sack)
+}
+
+/// Dispatches `n` reads (or denied writes) through `kernel`'s LSM stack.
+fn drive(kernel: &Kernel, n: usize, mask: AccessMask) -> usize {
+    let ctx = HookCtx::new(Pid(4242), Credentials::user(1000, 1000), None);
+    let path = KPath::new("/dev/car/door0").expect("probe path");
+    let obj = ObjectRef::regular(&path);
+    (0..n)
+        .filter(|_| kernel.lsm().file_open(&ctx, &obj, mask).is_ok())
+        .count()
+}
+
+/// One booted member: the kernel and its attached SACK instance.
+type Instance = (Arc<Kernel>, Arc<Sack>);
+
+/// Boots `n` instances spread round-robin over `cohorts`, registered and
+/// warmed so every fold has real histograms to merge.
+fn boot_fleet(n: usize, cohorts: &[&str]) -> (Arc<FleetAggregator>, Vec<Instance>) {
+    let agg = FleetAggregator::new();
+    let mut instances = Vec::with_capacity(n);
+    for i in 0..n {
+        let (kernel, sack) = boot();
+        agg.register(&kernel, &sack, cohorts[i % cohorts.len()]);
+        drive(&kernel, WARMUP_HOOKS, AccessMask::READ);
+        instances.push((kernel, sack));
+    }
+    (agg, instances)
+}
+
+fn time_fold(agg: &FleetAggregator) -> u64 {
+    (0..FOLD_REPS)
+        .map(|_| {
+            let start = Instant::now();
+            let tick = agg.tick();
+            let elapsed = start.elapsed().as_nanos() as u64;
+            assert!(!tick.cohorts.is_empty(), "fold saw no cohorts");
+            elapsed
+        })
+        .min()
+        .unwrap_or(0)
+}
+
+/// Runs the aggregation-cost sweep over the given fleet sizes, then the
+/// warm-hook scrape-overhead probe on a [`WARM_PROBE_FLEET`]-instance
+/// fleet.
+pub fn run_fleet_sweep(instance_counts: &[usize]) -> FleetSweep {
+    let points = instance_counts
+        .iter()
+        .map(|&instances| {
+            let (agg, members) = boot_fleet(instances, &["canary", "wave-1", "wave-2", "wave-3"]);
+            let fold_ns = time_fold(&agg);
+            drop(members);
+            FleetPoint {
+                instances,
+                fold_ns,
+                fold_per_instance_ns: fold_ns / instances.max(1) as u64,
+            }
+        })
+        .collect();
+
+    let (agg, members) = boot_fleet(WARM_PROBE_FLEET, &["canary", "wave-1", "wave-2", "wave-3"]);
+    let probe = &members[0].0;
+    let warm_base_p50_ns = warm_p50(probe);
+    let stop = AtomicBool::new(false);
+    let mut warm_scraped_p50_ns = 0;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut scrapes = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let text = agg.render_prometheus();
+                assert!(!text.is_empty());
+                scrapes += 1;
+            }
+            assert!(scrapes > 0, "scraper never ran");
+        });
+        warm_scraped_p50_ns = warm_p50(probe);
+        stop.store(true, Ordering::Relaxed);
+    });
+    FleetSweep {
+        points,
+        warm_base_p50_ns,
+        warm_scraped_p50_ns,
+    }
+}
+
+/// Warm-hook p50 over [`WARM_PROBE_ITERS`] dispatches on one member.
+fn warm_p50(kernel: &Kernel) -> u64 {
+    let ctx = HookCtx::new(Pid(4242), Credentials::user(1000, 1000), None);
+    let path = KPath::new("/dev/car/door0").expect("probe path");
+    let obj = ObjectRef::regular(&path);
+    let hist = LatencyHistogram::new();
+    kernel
+        .lsm()
+        .file_open(&ctx, &obj, AccessMask::READ)
+        .expect("probe access must be granted");
+    for _ in 0..WARM_PROBE_ITERS {
+        let op = Instant::now();
+        kernel
+            .lsm()
+            .file_open(&ctx, &obj, AccessMask::READ)
+            .expect("probe access must be granted");
+        hist.record(op.elapsed().as_nanos() as u64);
+    }
+    hist.snapshot().percentile(0.50)
+}
+
+/// The `check.sh` fleet smoke: 64 instances in 4 cohorts under mixed
+/// traffic, a staged rollout whose canary takes a denial spike mid-soak.
+/// Proves the rollback fires within one soak window, that every rollout
+/// decision hit the fleet trace hub, and that the tree-folded fleet p99
+/// equals a flat serial fold's p99.
+///
+/// # Errors
+///
+/// A message naming the first failed assertion.
+pub fn run_fleet_smoke() -> Result<String, String> {
+    const COHORTS: [&str; 4] = ["canary", "wave-1", "wave-2", "wave-3"];
+    const INSTANCES: usize = 64;
+    let (agg, members) = boot_fleet(INSTANCES, &COHORTS);
+
+    // Mixed warm traffic everywhere: reads that hit, plus a sprinkle of
+    // denied writes so the baseline denial rate is nonzero.
+    for (kernel, _) in &members {
+        drive(kernel, 64, AccessMask::READ);
+        drive(kernel, 2, AccessMask::WRITE);
+    }
+
+    let mut driver = RolloutDriver::new(
+        Arc::clone(&agg),
+        COHORTS.iter().map(|c| c.to_string()).collect(),
+        FLEET_POLICY,
+        FLEET_POLICY,
+        RolloutConfig {
+            soak_ticks: 3,
+            ..RolloutConfig::default()
+        },
+    );
+    driver.step(); // prime + push to canary
+    for (kernel, _) in &members {
+        drive(kernel, 8, AccessMask::READ);
+    }
+    driver.step(); // clean soak tick 1 of 3
+
+    // Denial spike in the canary cohort, mid-soak.
+    for (kernel, _) in members.iter().take(INSTANCES / COHORTS.len()) {
+        drive(kernel, 64, AccessMask::WRITE);
+    }
+    driver.step();
+    let status = driver.status();
+    let RolloutStatus::RolledBack { cohort, reason } = status else {
+        return Err(format!(
+            "fleet smoke: expected rollback within one soak window, got {status}"
+        ));
+    };
+    if cohort != "canary" {
+        return Err(format!(
+            "fleet smoke: rollback blamed `{cohort}`, not the canary"
+        ));
+    }
+    let hub = agg.hub();
+    for (point, want) in [
+        (Tracepoint::FleetRolloutBegin, 1),
+        (Tracepoint::FleetRolloutPush, 1),
+        (Tracepoint::FleetRolloutRollback, 1),
+        (Tracepoint::FleetRolloutComplete, 1),
+    ] {
+        let got = hub.fired(point);
+        if got != want {
+            return Err(format!(
+                "fleet smoke: {} fired {got} time(s), expected {want}",
+                point.name()
+            ));
+        }
+    }
+
+    // Differential fold oracle: the aggregator's tree fold must agree
+    // with a flat serial fold of fresh captures — same p99, same totals.
+    let tick = agg.tick();
+    let mut serial = TelemetrySnapshot::default();
+    for (_, sack) in &members {
+        let tracing = sack.tracing().ok_or("fleet smoke: tracing missing")?;
+        serial.merge(&TelemetrySnapshot::capture(tracing));
+    }
+    let tree_p99 = tick.fleet.hook_latency().percentile(0.99);
+    let serial_p99 = serial.hook_latency().percentile(0.99);
+    if tree_p99 != serial_p99 {
+        return Err(format!(
+            "fleet smoke: tree-fold p99 {tree_p99}ns != serial-fold p99 {serial_p99}ns"
+        ));
+    }
+    if tick.fleet.denials() != serial.denials() {
+        return Err(format!(
+            "fleet smoke: tree-fold denials {} != serial-fold denials {}",
+            tick.fleet.denials(),
+            serial.denials()
+        ));
+    }
+
+    Ok(format!(
+        "fleet smoke passed: {INSTANCES} instances in {} cohorts, canary spike \
+         rolled back within one soak window ({reason}), aggregate p99 {tree_p99}ns \
+         matches the serial fold\n",
+        COHORTS.len(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_monotone_nonzero_points() {
+        let sweep = run_fleet_sweep(&[4, 8]);
+        assert_eq!(sweep.points.len(), 2);
+        for point in &sweep.points {
+            assert!(point.fold_ns > 0, "{point:?}");
+        }
+        assert!(sweep.warm_base_p50_ns > 0);
+        assert!(sweep.warm_scraped_p50_ns > 0);
+        assert!(sweep.warm_impact() > 0.0);
+    }
+
+    #[test]
+    fn smoke_passes() {
+        let report = run_fleet_smoke().expect("fleet smoke");
+        assert!(report.contains("fleet smoke passed"), "{report}");
+    }
+}
